@@ -1,0 +1,153 @@
+(* Benchmark & experiment-regeneration harness.
+
+   Two parts, both run by `dune exec bench/main.exe`:
+
+   1. Experiment regeneration — one driver per figure/table of the paper
+      (F1..F5, T1; see DESIGN.md §3), printing the measured series whose
+      shape the paper's artwork depicts, with pass/fail checks.
+
+   2. Bechamel microbenchmarks — one Test.make per experiment workload
+      plus the ablation benches DESIGN.md §4 calls out (hom-search
+      ordering, core-fold strategy, treewidth heuristics, core-chase
+      cadence).
+
+   Environment: BENCH_SCALE (default 1) lengthens the prefixes;
+   BENCH_SKIP_MICRO=1 skips part 2 (used by quick CI runs). *)
+
+open Bechamel
+open Bechamel.Toolkit
+open Syntax
+
+let scale =
+  match Sys.getenv_opt "BENCH_SCALE" with
+  | Some s -> (try max 1 (int_of_string s) with _ -> 1)
+  | None -> 1
+
+let budget steps = { Chase.Variants.max_steps = steps; max_atoms = 20_000 }
+
+(* ------------------------------------------------------------------ *)
+(* Microbenchmark workloads (prepared once, outside the timed thunks) *)
+
+let staircase_prefix = Zoo.Staircase.universal_model_prefix ~cols:8
+let staircase_instance = Homo.Instance.of_atomset staircase_prefix.Zoo.Staircase.atoms
+let staircase_query = Zoo.Staircase.column staircase_prefix 3
+let step4 = Zoo.Staircase.step_atomset staircase_prefix 4
+let elevator_prefix = (Zoo.Elevator.universal_model_prefix ~cols:5).Zoo.Elevator.atoms
+
+let grid4 =
+  let v = Array.init 4 (fun i -> Array.init 4 (fun j ->
+      Term.var_of_id ~hint:"g" (900_000 + (i * 4) + j))) in
+  let atoms = ref [] in
+  for i = 0 to 3 do
+    for j = 0 to 3 do
+      if i < 3 then atoms := Atom.make "h" [ v.(i).(j); v.(i + 1).(j) ] :: !atoms;
+      if j < 3 then atoms := Atom.make "v" [ v.(i).(j); v.(i).(j + 1) ] :: !atoms
+    done
+  done;
+  Atomset.of_list !atoms
+
+let tc_chain_kb =
+  let atom p args = Atom.make p args in
+  let facts =
+    List.init 40 (fun i ->
+        atom "e" [ Term.const (Printf.sprintf "n%d" i);
+                   Term.const (Printf.sprintf "n%d" (i + 1)) ])
+  in
+  let x = Term.var_of_id ~hint:"X" 910_000 and y = Term.var_of_id ~hint:"Y" 910_001
+  and z = Term.var_of_id ~hint:"Z" 910_002 in
+  Kb.of_lists ~facts
+    ~rules:[ Rule.make ~name:"trans"
+               ~body:[ atom "e" [ x; y ]; atom "e" [ y; z ] ]
+               ~head:[ atom "e" [ x; z ] ] () ]
+
+let staircase_derivation_20 =
+  (Chase.Variants.core ~budget:(budget 20) (Zoo.Staircase.kb ())).Chase.Variants.derivation
+
+let micro_tests =
+  [
+    (* per-figure workloads *)
+    Test.make ~name:"F2:core-chase-20-steps" (Staged.stage (fun () ->
+        ignore (Chase.Variants.core ~budget:(budget 20) (Zoo.Staircase.kb ()))));
+    Test.make ~name:"F2:hom C3 -> P^h_8" (Staged.stage (fun () ->
+        ignore (Homo.Hom.find staircase_query staircase_instance)));
+    Test.make ~name:"F2:core-of-step-S4" (Staged.stage (fun () ->
+        ignore (Homo.Core.of_atomset step4)));
+    Test.make ~name:"F4:exact-treewidth-elevator5" (Staged.stage (fun () ->
+        ignore (Treewidth.exact elevator_prefix)));
+    Test.make ~name:"F4:core-chase-elevator-25" (Staged.stage (fun () ->
+        ignore (Chase.Variants.core ~budget:(budget 25) (Zoo.Elevator.kb ()))));
+    Test.make ~name:"F5:robust-sequence-20" (Staged.stage (fun () ->
+        ignore (Corechase.Robust.of_derivation staircase_derivation_20)));
+    Test.make ~name:"F1:countermodel-sat" (Staged.stage (fun () ->
+        ignore (Modelfinder.find_model_upto ~max_domain:3 (Zoo.Classic.bts_not_fes ()))));
+    Test.make ~name:"tw:exact-grid-4x4" (Staged.stage (fun () ->
+        ignore (Treewidth.exact grid4)));
+    (* ablations (DESIGN.md §4) *)
+    Test.make ~name:"abl:hom-order:greedy" (Staged.stage (fun () ->
+        Homo.Hom.naive_order := false;
+        ignore (Homo.Hom.count staircase_query staircase_instance)));
+    Test.make ~name:"abl:hom-order:naive" (Staged.stage (fun () ->
+        Homo.Hom.naive_order := true;
+        ignore (Homo.Hom.count staircase_query staircase_instance);
+        Homo.Hom.naive_order := false));
+    Test.make ~name:"abl:index:on" (Staged.stage (fun () ->
+        Homo.Instance.use_indexes := true;
+        ignore (Homo.Hom.count staircase_query staircase_instance)));
+    Test.make ~name:"abl:index:off" (Staged.stage (fun () ->
+        Homo.Instance.use_indexes := false;
+        ignore (Homo.Hom.count staircase_query staircase_instance);
+        Homo.Instance.use_indexes := true));
+    Test.make ~name:"abl:core:by-variable" (Staged.stage (fun () ->
+        Homo.Core.strategy := Homo.Core.By_variable;
+        ignore (Homo.Core.of_atomset step4)));
+    Test.make ~name:"abl:core:by-atom" (Staged.stage (fun () ->
+        Homo.Core.strategy := Homo.Core.By_atom;
+        ignore (Homo.Core.of_atomset step4);
+        Homo.Core.strategy := Homo.Core.By_variable));
+    Test.make ~name:"abl:tw:min-fill" (Staged.stage (fun () ->
+        ignore (Treewidth.upper_bound ~heuristic:Treewidth.Min_fill elevator_prefix)));
+    Test.make ~name:"abl:tw:min-degree" (Staged.stage (fun () ->
+        ignore (Treewidth.upper_bound ~heuristic:Treewidth.Min_degree elevator_prefix)));
+    Test.make ~name:"abl:datalog:naive" (Staged.stage (fun () ->
+        ignore (Chase.Datalog.saturate ~strategy:`Naive (Kb.rules tc_chain_kb)
+                  (Kb.facts tc_chain_kb))));
+    Test.make ~name:"abl:datalog:seminaive" (Staged.stage (fun () ->
+        ignore (Chase.Datalog.saturate ~strategy:`Seminaive (Kb.rules tc_chain_kb)
+                  (Kb.facts tc_chain_kb))));
+    Test.make ~name:"abl:cadence:every-app" (Staged.stage (fun () ->
+        ignore (Chase.Variants.core ~cadence:Chase.Variants.Every_application
+                  ~budget:(budget 15) (Zoo.Staircase.kb ()))));
+    Test.make ~name:"abl:cadence:every-round" (Staged.stage (fun () ->
+        ignore (Chase.Variants.core ~cadence:Chase.Variants.Every_round
+                  ~budget:(budget 15) (Zoo.Staircase.kb ()))));
+  ]
+
+let run_micro () =
+  let test = Test.make_grouped ~name:"corechase" ~fmt:"%s %s" micro_tests in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.4) ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] test in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
+  Format.printf "@.=== microbenchmarks (monotonic clock, ns/run) ===@.";
+  List.iter
+    (fun (name, r) ->
+      match Analyze.OLS.estimates r with
+      | Some [ est ] -> Format.printf "  %-44s %14.1f ns/run@." name est
+      | _ -> Format.printf "  %-44s (no estimate)@." name)
+    rows
+
+let () =
+  Format.printf "corechase bench harness (scale=%d)@." scale;
+  let ok = Experiments.run_all ~scale Format.std_formatter in
+  Format.printf "@.experiment regeneration: %s@."
+    (if ok then "ALL PASS" else "SOME FAILED");
+  (match Sys.getenv_opt "BENCH_SKIP_MICRO" with
+  | Some "1" -> Format.printf "(microbenchmarks skipped)@."
+  | _ -> run_micro ());
+  if not ok then exit 1

@@ -1,0 +1,260 @@
+(* corechase — command-line front end.
+
+   Subcommands:
+     chase      run a chase variant on a DLGP file
+     entail     decide the file's queries (Theorem-1 skeleton)
+     classify   syntactic class analysis + behavioural probes
+     treewidth  treewidth of the facts of a DLGP file
+     repro      regenerate the paper's figures/tables (F1..F5, T1)
+     zoo        print a built-in KB in DLGP syntax *)
+
+open Cmdliner
+module CTerm = Cmdliner.Term
+open Syntax
+
+let load_document path =
+  match Dlgp.parse_file path with
+  | Ok d -> d
+  | Error e -> Fmt.failwith "%s: %a" path Dlgp.pp_error e
+
+let load_kb path = Dlgp.kb_of_document (load_document path)
+
+(* common args *)
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"DLGP input file.")
+
+let steps_arg =
+  Arg.(value & opt int 500 & info [ "steps" ] ~doc:"Rule-application budget.")
+
+let atoms_arg =
+  Arg.(value & opt int 20000 & info [ "max-atoms" ] ~doc:"Instance size budget.")
+
+let budget_of steps atoms = { Chase.Variants.max_steps = steps; max_atoms = atoms }
+
+(* chase *)
+let variant_arg =
+  let variant_conv =
+    Arg.enum
+      [
+        ("oblivious", Chase.Oblivious); ("skolem", Chase.Skolem);
+        ("restricted", Chase.Restricted); ("frugal", Chase.Frugal);
+        ("core", Chase.Core);
+      ]
+  in
+  Arg.(value & opt variant_conv Chase.Core & info [ "variant"; "v" ] ~doc:"Chase variant: oblivious, skolem, restricted or core.")
+
+let chase_cmd =
+  let run file variant steps atoms verbose =
+    let kb = load_kb file in
+    let report = Chase.run ~budget:(budget_of steps atoms) variant kb in
+    Fmt.pr "variant:    %s@." (Chase.variant_name report.Chase.variant);
+    Fmt.pr "outcome:    %s@."
+      (if report.Chase.terminated then "terminated (fixpoint reached)"
+       else "budget exhausted");
+    Fmt.pr "steps:      %d@." report.Chase.steps;
+    Fmt.pr "final size: %d atoms@." (Atomset.cardinal report.Chase.final);
+    if verbose then
+      Atomset.iter (fun a -> Fmt.pr "%s.@." (Dlgp.atom_to_string a)) report.Chase.final
+  in
+  let verbose =
+    Arg.(value & flag & info [ "print"; "p" ] ~doc:"Print the final instance.")
+  in
+  Cmd.v (Cmd.info "chase" ~doc:"Run a chase variant on a DLGP knowledge base.")
+    CTerm.(const run $ file_arg $ variant_arg $ steps_arg $ atoms_arg $ verbose)
+
+(* entail *)
+let entail_cmd =
+  let run file steps atoms max_domain =
+    let doc = load_document file in
+    let kb = Dlgp.kb_of_document doc in
+    let budget = budget_of steps atoms in
+    (match doc.Dlgp.constraints with
+    | [] -> ()
+    | constraints -> (
+        match Corechase.Entailment.inconsistent ~budget ~constraints kb with
+        | Corechase.Entailment.Entailed ->
+            Fmt.pr "KB is INCONSISTENT (a constraint body is entailed)@."
+        | Corechase.Entailment.Not_entailed -> Fmt.pr "constraints: consistent@."
+        | Corechase.Entailment.Unknown m -> Fmt.pr "constraints: unknown (%s)@." m));
+    if doc.Dlgp.queries = [] then Fmt.pr "no queries in %s@." file
+    else
+      List.iter
+        (fun q ->
+          if Kb.Query.is_boolean q then
+            let verdict = Corechase.Entailment.decide ~budget ~max_domain kb q in
+            Fmt.pr "%a  ⟶  %a@." Kb.Query.pp q Corechase.Entailment.pp_verdict
+              verdict
+          else
+            let tuples_str tuples =
+              String.concat " "
+                (List.map
+                   (fun t ->
+                     "("
+                     ^ String.concat ", "
+                         (List.map (fun x -> Fmt.str "%a" Term.pp x) t)
+                     ^ ")")
+                   tuples)
+            in
+            match Corechase.Entailment.certain_answers ~budget kb q with
+            | Corechase.Entailment.Complete tuples ->
+                Fmt.pr "%a  ⟶  %d certain answer(s): %s@." Kb.Query.pp q
+                  (List.length tuples) (tuples_str tuples)
+            | Corechase.Entailment.Sound tuples ->
+                Fmt.pr "%a  ⟶  ≥%d certain answer(s) (budget hit): %s@."
+                  Kb.Query.pp q (List.length tuples) (tuples_str tuples))
+        doc.Dlgp.queries
+  in
+  let max_domain =
+    Arg.(value & opt int 4 & info [ "max-domain" ] ~doc:"Countermodel domain budget.")
+  in
+  Cmd.v
+    (Cmd.info "entail"
+       ~doc:"Decide the file's Boolean CQs with the chase + countermodel pair of semi-procedures.")
+    CTerm.(const run $ file_arg $ steps_arg $ atoms_arg $ max_domain)
+
+(* classify *)
+let classify_cmd =
+  let run file steps atoms =
+    let kb = load_kb file in
+    let report = Rclasses.analyze (Kb.rules kb) in
+    Fmt.pr "%a@." Rclasses.pp_report report;
+    (match
+       Corechase.Probes.core_chase_terminates ~budget:(budget_of steps atoms) kb
+     with
+    | Corechase.Probes.Terminates n -> Fmt.pr "core chase: terminates after %d steps@." n
+    | Corechase.Probes.No_verdict -> Fmt.pr "core chase: no fixpoint within budget@.");
+    let profile =
+      Corechase.Probes.tw_profile ~budget:(budget_of (min steps 80) atoms)
+        ~variant:`Core kb
+    in
+    Fmt.pr "core-chase treewidth series: %a@."
+      Fmt.(list ~sep:sp int)
+      profile.Corechase.Probes.series
+  in
+  Cmd.v
+    (Cmd.info "classify"
+       ~doc:"Syntactic decidability-class analysis plus behavioural probes.")
+    CTerm.(const run $ file_arg $ steps_arg $ atoms_arg)
+
+(* treewidth *)
+let treewidth_cmd =
+  let run file =
+    let kb = load_kb file in
+    let facts = Kb.facts kb in
+    let w, exact = Treewidth.best_effort facts in
+    Fmt.pr "facts: %d atoms over %d terms@." (Atomset.cardinal facts)
+      (List.length (Atomset.terms facts));
+    Fmt.pr "treewidth: %d (%s)@." w (if exact then "exact" else "min-fill upper bound");
+    Fmt.pr "lower bound: %d@." (Treewidth.lower_bound facts);
+    let d = Treewidth.decomposition facts in
+    Fmt.pr "witnessing decomposition (width %d):@.%a@."
+      (Treewidth.Decomposition.width d) Treewidth.Decomposition.pp d
+  in
+  Cmd.v (Cmd.info "treewidth" ~doc:"Treewidth of the facts of a DLGP file.")
+    CTerm.(const run $ file_arg)
+
+(* repro *)
+let repro_cmd =
+  let run names scale =
+    let selected =
+      if names = [] then Experiments.all
+      else
+        List.filter
+          (fun (n, _) -> List.mem (String.uppercase_ascii n) (List.map String.uppercase_ascii names))
+          Experiments.all
+    in
+    let ok =
+      List.fold_left
+        (fun acc (name, f) ->
+          Fmt.pr "@.";
+          let ok = f ?scale:(Some scale) Format.std_formatter in
+          Fmt.pr "--- %s: %s ---@." name (if ok then "PASS" else "FAIL");
+          acc && ok)
+        true selected
+    in
+    if not ok then exit 1
+  in
+  let names =
+    Arg.(value & pos_all string [] & info [] ~docv:"EXP" ~doc:"Experiment ids (F1..F5, T1); all when omitted.")
+  in
+  let scale =
+    Arg.(value & opt int 1 & info [ "scale" ] ~doc:"Prefix-length scale factor (1 = quick, 3 = thorough).")
+  in
+  Cmd.v
+    (Cmd.info "repro" ~doc:"Regenerate the paper's figures and tables.")
+    CTerm.(const run $ names $ scale)
+
+(* dot *)
+let dot_cmd =
+  let run file what =
+    let kb = load_kb file in
+    let facts = Kb.facts kb in
+    match what with
+    | `Instance -> print_string (Treewidth.Dot.atomset ~name:file facts)
+    | `Decomposition ->
+        print_string
+          (Treewidth.Dot.decomposition ~name:file (Treewidth.decomposition facts))
+  in
+  let what =
+    let w =
+      Arg.enum [ ("instance", `Instance); ("decomposition", `Decomposition) ]
+    in
+    Arg.(value & opt w `Instance & info [ "kind"; "k" ] ~doc:"instance or decomposition.")
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Export the facts (or their tree decomposition) as Graphviz DOT.")
+    CTerm.(const run $ file_arg $ what)
+
+(* tptp *)
+let tptp_cmd =
+  let run file =
+    let doc = load_document file in
+    let kb = Dlgp.kb_of_document doc in
+    match doc.Dlgp.queries with
+    | [] -> Fmt.pr "no queries in %s@." file
+    | qs ->
+        List.iteri
+          (fun i q ->
+            Fmt.pr "%s@."
+              (Fol.tptp_problem ~name:(Printf.sprintf "q%d" i) kb q))
+          qs
+  in
+  Cmd.v
+    (Cmd.info "tptp"
+       ~doc:"Export the file's entailment problems in TPTP FOF syntax (one problem per query).")
+    CTerm.(const run $ file_arg)
+
+(* zoo *)
+let zoo_cmd =
+  let kbs () =
+    Zoo.Classic.all_named ()
+    @ [ ("steepening-staircase", Zoo.Staircase.kb ());
+        ("inflating-elevator", Zoo.Elevator.kb ()) ]
+  in
+  let run name =
+    match name with
+    | None ->
+        List.iter (fun (n, _) -> Fmt.pr "%s@." n) (kbs ())
+    | Some n -> (
+        match List.assoc_opt n (kbs ()) with
+        | None -> Fmt.failwith "unknown KB %s (try `corechase zoo' to list)" n
+        | Some kb ->
+            let doc =
+              { Dlgp.facts = Kb.facts kb; rules = Kb.rules kb; egds = Kb.egds kb; queries = []; constraints = [] }
+            in
+            Fmt.pr "%a@." Dlgp.print_document doc)
+  in
+  let name_arg = Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME") in
+  Cmd.v
+    (Cmd.info "zoo" ~doc:"List or print the built-in knowledge bases in DLGP syntax.")
+    CTerm.(const run $ name_arg)
+
+let () =
+  let info =
+    Cmd.info "corechase" ~version:"1.0.0"
+      ~doc:"Existential-rule reasoning: chase variants, treewidth, robust aggregation (PODS'23 reproduction)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ chase_cmd; entail_cmd; classify_cmd; treewidth_cmd; repro_cmd; tptp_cmd; dot_cmd; zoo_cmd ]))

@@ -1,0 +1,24 @@
+(* Interactive chase shell — a thin stdin loop over the Repl interpreter.
+
+   Run with:  dune exec bin/corechase_repl.exe
+   then e.g.: kb p(a). [spawn] e(X,Y), p(Y) :- p(X). [loop] e(X,X) :- p(X).
+              step 3
+              show
+              robust
+              quit *)
+
+let () =
+  print_endline "corechase shell — type 'help' for commands";
+  let rec loop st =
+    if Repl.wants_exit st then ()
+    else begin
+      print_string "chase> ";
+      match read_line () with
+      | exception End_of_file -> ()
+      | line ->
+          let st', out = Repl.exec st line in
+          if out <> "" then print_endline out;
+          loop st'
+    end
+  in
+  loop Repl.initial

@@ -1,0 +1,1 @@
+examples/class_audit.ml: Chase Corechase Fmt Kb List Rclasses Syntax Zoo

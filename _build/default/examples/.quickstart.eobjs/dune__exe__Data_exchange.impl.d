@@ -1,0 +1,1 @@
+examples/data_exchange.ml: Atom Atomset Chase Corechase Dlgp Egd Fmt Homo Kb List Rclasses Syntax Term

@@ -1,0 +1,1 @@
+examples/elevator_tour.ml: Atomset Chase Fmt Homo Kb List Syntax Treewidth Zoo

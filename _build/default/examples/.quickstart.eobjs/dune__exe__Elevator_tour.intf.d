@@ -1,0 +1,1 @@
+examples/elevator_tour.mli:

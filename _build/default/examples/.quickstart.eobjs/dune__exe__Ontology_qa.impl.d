@@ -1,0 +1,1 @@
+examples/ontology_qa.ml: Chase Corechase Dlgp Fmt Fol Kb List Rclasses Syntax

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Atomset Chase Corechase Dlgp Fmt Kb List Rclasses Syntax

@@ -1,0 +1,1 @@
+examples/staircase_tour.ml: Atom Atomset Chase Corechase Fmt Kb List Syntax Term Treewidth Zoo

@@ -1,0 +1,1 @@
+examples/staircase_tour.mli:

@@ -1,0 +1,102 @@
+(* Data exchange with the core chase: the classical application of cores
+   (Fagin, Kolaitis, Miller, Popa).  Source-to-target tuple-generating
+   dependencies are existential rules; the core chase computes the CORE
+   universal solution — the smallest target instance that answers all
+   certain-answer queries.
+
+   Run with:  dune exec examples/data_exchange.exe *)
+
+open Syntax
+
+let source =
+  {|
+  % Source: employee records and a management hierarchy.
+  @facts
+  emp(ann, sales).
+  emp(bob, sales).
+  emp(cyd, dev).
+  boss(ann, bob).
+
+  @rules
+  % Every employee works in some department office with some address.
+  [st1] works(E, D), office(D, A) :- emp(E, D).
+  % Bosses share an office with their reports.
+  [st2] works(B, D), works(E, D) :- boss(B, E).
+  % Departments are organisational units.
+  [st3] unit(D) :- emp(E, D).
+|}
+
+let () =
+  let kb =
+    match Dlgp.parse_kb source with
+    | Ok kb -> kb
+    | Error e -> Fmt.failwith "%a" Dlgp.pp_error e
+  in
+  Fmt.pr "Source instance + mapping: %d facts, %d st-tgds.@.@."
+    (Atomset.cardinal (Kb.facts kb))
+    (List.length (Kb.rules kb));
+
+  (* The mapping is weakly acyclic: every chase terminates. *)
+  let report = Rclasses.analyze (Kb.rules kb) in
+  Fmt.pr "weakly acyclic: %b  ⟹ all chase variants terminate@.@."
+    report.Rclasses.weakly_acyclic;
+
+  (* Compare the canonical (restricted-chase) solution with the core
+     solution. *)
+  let rc = Chase.Variants.restricted kb in
+  let cc = Chase.Variants.core kb in
+  let canonical =
+    (Chase.Derivation.last rc.Chase.Variants.derivation).Chase.Derivation.instance
+  in
+  let core_solution =
+    (Chase.Derivation.last cc.Chase.Variants.derivation).Chase.Derivation.instance
+  in
+  Fmt.pr "canonical universal solution: %d atoms@." (Atomset.cardinal canonical);
+  Fmt.pr "core universal solution:      %d atoms (the unique smallest)@."
+    (Atomset.cardinal core_solution);
+  Fmt.pr "%a@.@." Atomset.pp core_solution;
+  assert (Homo.Core.is_core core_solution);
+  assert (Homo.Morphism.hom_equivalent canonical core_solution);
+
+  (* Target equality constraints: each department has a unique address.
+     The TGD+EGD chase merges the invented addresses per department. *)
+  let d = Term.fresh_var ~hint:"D" () and a1 = Term.fresh_var ~hint:"A1" ()
+  and a2 = Term.fresh_var ~hint:"A2" () in
+  let unique_address =
+    Egd.make ~name:"unique-address"
+      ~body:[ Atom.make "office" [ d; a1 ]; Atom.make "office" [ d; a2 ] ]
+      a1 a2
+  in
+  let kb_fd = Kb.with_egds [ unique_address ] kb in
+  let egd_run = Chase.Variants.Egds.run kb_fd in
+  let egd_solution =
+    List.nth egd_run.Chase.Variants.Egds.trace
+      (List.length egd_run.Chase.Variants.Egds.trace - 1)
+  in
+  Fmt.pr "with the unique-address FD:   %d atoms (addresses merged per dept)@.@."
+    (Atomset.cardinal egd_solution);
+  assert (egd_run.Chase.Variants.Egds.outcome = Chase.Variants.Egds.Terminated);
+
+  (* Certain answers: Boolean CQs evaluated on either solution agree. *)
+  let x = Term.fresh_var ~hint:"X" () and d = Term.fresh_var ~hint:"D" () in
+  let queries =
+    [
+      ( "ann and bob share a department",
+        Kb.Query.make
+          [ Atom.make "works" [ Term.const "ann"; d ];
+            Atom.make "works" [ Term.const "bob"; d ] ] );
+      ( "cyd has an office address",
+        Kb.Query.make
+          [ Atom.make "works" [ Term.const "cyd"; d ];
+            Atom.make "office" [ d; x ] ] );
+      ( "ann works in dev",
+        Kb.Query.make [ Atom.make "works" [ Term.const "ann"; Term.const "dev" ] ] );
+    ]
+  in
+  List.iter
+    (fun (name, q) ->
+      let on_core = Corechase.Entailment.holds_in q core_solution in
+      let on_canonical = Corechase.Entailment.holds_in q canonical in
+      assert (on_core = on_canonical);
+      Fmt.pr "  certain(%-34s) = %b@." name on_core)
+    queries

@@ -1,0 +1,68 @@
+(* A guided tour of the inflating elevator (Section 7 of the paper): the
+   KB that HAS a treewidth-1 universal model, while every core chase
+   sequence inflates beyond any treewidth bound (Proposition 8,
+   Corollary 1) — the converse failure to the staircase's.
+
+   Run with:  dune exec examples/elevator_tour.exe *)
+
+open Syntax
+
+let tw a = fst (Treewidth.best_effort a)
+
+let () =
+  let kb = Zoo.Elevator.kb () in
+  Fmt.pr "The inflating elevator K_v:@.%a@.@." Kb.pp kb;
+
+  (* 1. The spine I^v* is a universal model of treewidth 1. *)
+  Fmt.pr "The spine I^v* (universal model, Definition 11):@.";
+  List.iter
+    (fun n ->
+      let sp = Zoo.Elevator.spine_prefix ~cols:n in
+      Fmt.pr "  prefix cols=%-2d  %3d atoms  treewidth %d@." n
+        (Atomset.cardinal sp.Zoo.Elevator.atoms)
+        (tw sp.Zoo.Elevator.atoms))
+    [ 2; 5; 10 ];
+  Fmt.pr "Treewidth 1 at every prefix length (Proposition 7).@.@.";
+
+  (* 2. The full universal model I^v, in contrast, fattens out. *)
+  Fmt.pr "The full chase limit I^v (Definition 10):@.";
+  List.iter
+    (fun n ->
+      let s = Zoo.Elevator.universal_model_prefix ~cols:n in
+      Fmt.pr "  prefix cols=%-2d  %3d atoms  treewidth %d@." n
+        (Atomset.cardinal s.Zoo.Elevator.atoms)
+        (tw s.Zoo.Elevator.atoms))
+    [ 2; 4; 6 ];
+  Fmt.pr "@.";
+
+  (* 3. The growing cores I^v_n that every core chase must pass through. *)
+  Fmt.pr "The growing cores I^v_n (Definition 12):@.";
+  List.iter
+    (fun n ->
+      let fc = Zoo.Elevator.frontier_core ~cols:n in
+      Fmt.pr "  I^v_%-2d  %3d atoms  core: %-5b  treewidth %d@." n
+        (Atomset.cardinal fc.Zoo.Elevator.atoms)
+        (Homo.Core.is_core fc.Zoo.Elevator.atoms)
+        (tw fc.Zoo.Elevator.atoms))
+    [ 1; 2; 3; 4 ];
+  Fmt.pr "@.";
+
+  (* 4. And indeed: the core chase's instances get ever wider.  The
+     minimal (core) representation of the chase state cannot use the
+     skinny spine, because the spine's h-cycle-free unfolding is not yet
+     entailed at any finite stage. *)
+  let cc =
+    Chase.Variants.core
+      ~budget:{ Chase.Variants.max_steps = 70; max_atoms = 3_000 }
+      kb
+  in
+  Fmt.pr "Core chase treewidth series (Corollary 1):@.  ";
+  List.iter
+    (fun st ->
+      if st.Chase.Derivation.index mod 5 = 0 then
+        Fmt.pr "%d " (tw st.Chase.Derivation.instance))
+    (Chase.Derivation.steps cc.Chase.Variants.derivation);
+  Fmt.pr "@.@.The elevator shows the second failure direction: a@.";
+  Fmt.pr "treewidth-finite universal model exists, yet NO core chase@.";
+  Fmt.pr "sequence is treewidth-bounded — the two properties of Figure 1@.";
+  Fmt.pr "are independent.@."

@@ -1,0 +1,76 @@
+(* A guided tour of the steepening staircase (Sections 6 and 8 of the
+   paper): the KB whose core chase is treewidth-bounded by 2 although no
+   universal model has finite treewidth — and how the robust aggregation
+   still extracts a treewidth-1 finitely universal model from it.
+
+   Run with:  dune exec examples/staircase_tour.exe *)
+
+open Syntax
+
+let tw a = fst (Treewidth.best_effort a)
+
+let () =
+  let kb = Zoo.Staircase.kb () in
+  Fmt.pr "The steepening staircase K_h:@.%a@.@." Kb.pp kb;
+
+  (* 1. The core chase walks the staircase one column at a time. *)
+  let budget = { Chase.Variants.max_steps = 45; max_atoms = 2_000 } in
+  let cc = Chase.Variants.core ~budget kb in
+  let d = cc.Chase.Variants.derivation in
+  Fmt.pr "Core chase (%d steps, %s):@."
+    (Chase.Derivation.length d - 1)
+    (match cc.Chase.Variants.outcome with
+    | Chase.Variants.Terminated -> "terminated"
+    | Chase.Variants.Budget_exhausted -> "budget exhausted — it never terminates");
+  List.iter
+    (fun st ->
+      if st.Chase.Derivation.index mod 5 = 0 then
+        Fmt.pr "  F_%-3d  %3d atoms   treewidth %d@." st.Chase.Derivation.index
+          (Atomset.cardinal st.Chase.Derivation.instance)
+          (tw st.Chase.Derivation.instance))
+    (Chase.Derivation.steps d);
+  Fmt.pr "Every F_i has treewidth ≤ 2 (Proposition 4).@.@.";
+
+  (* 2. Yet the natural aggregation D* = ∪F_i accumulates the whole
+     staircase, which contains grids of unbounded size (Proposition 5). *)
+  let nat = Chase.Derivation.natural_aggregation d in
+  Fmt.pr "Natural aggregation D*: %d atoms, treewidth %d, contains a 2x2 grid: %b@."
+    (Atomset.cardinal nat) (tw nat)
+    (Treewidth.Grid.contains ~n:2 nat);
+
+  (* 3. The robust aggregation instead collapses the staircase into the
+     infinite column Ĩ^h — a model that is only FINITELY universal, but
+     has treewidth 1 (Definitions 14-16, Propositions 11-12). *)
+  let r = Corechase.Robust.of_derivation d in
+  (match Corechase.Robust.check_invariants r with
+  | Ok () -> Fmt.pr "Robust sequence invariants: all hold.@."
+  | Error m -> Fmt.pr "Robust sequence PROBLEM: %s@." m);
+  let stable = Corechase.Robust.stable_aggregation r in
+  Fmt.pr "Robust aggregation (stable part): %d atoms, treewidth %d@."
+    (Atomset.cardinal stable) (tw stable);
+  Fmt.pr "%a@.@." Atomset.pp_verbose stable;
+
+  (* 4. Both structures decide exactly the same conjunctive queries
+     (Proposition 9: finite universality suffices). *)
+  let x = Term.fresh_var ~hint:"X" () and y = Term.fresh_var ~hint:"Y" () in
+  let queries =
+    [
+      ("a ceiling exists", Kb.Query.make [ Atom.make "c" [ x ] ]);
+      ( "floor with loop",
+        Kb.Query.make [ Atom.make "f" [ x ]; Atom.make "h" [ x; x ] ] );
+      ( "v-edge into a ceiling",
+        Kb.Query.make [ Atom.make "v" [ x; y ]; Atom.make "c" [ y ] ] );
+      ( "floor that is also ceiling",
+        Kb.Query.make [ Atom.make "f" [ x ]; Atom.make "c" [ x ] ] );
+    ]
+  in
+  List.iter
+    (fun (name, q) ->
+      Fmt.pr "  %-28s in D*: %-5b in robust D⊛: %-5b@." name
+        (Corechase.Entailment.holds_in q nat)
+        (Corechase.Entailment.holds_in q stable))
+    queries;
+  Fmt.pr "@.The staircase shows: bounded-treewidth core chase sequences do NOT@.";
+  Fmt.pr "imply a bounded-treewidth universal model — but the robust@.";
+  Fmt.pr "aggregation still yields a treewidth-bounded finitely universal@.";
+  Fmt.pr "model, which is all CQ answering needs (Theorem 2).@."

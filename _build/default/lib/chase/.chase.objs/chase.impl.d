@@ -1,0 +1,1 @@
+lib/chase/chase.ml: Atomset Datalog Derivation Homo Kb List Syntax Trigger Variants

@@ -1,0 +1,1 @@
+lib/chase/chase.mli: Atomset Datalog Derivation Kb Rule Syntax Trigger Variants

@@ -1,0 +1,1 @@
+lib/chase/datalog.ml: Atomset Homo List Rule Subst Syntax

@@ -1,0 +1,1 @@
+lib/chase/datalog.mli: Atomset Rule Syntax

@@ -1,0 +1,1 @@
+lib/chase/derivation.ml: Atomset Fmt Kb List Printf Result Rule Subst Syntax Trigger

@@ -1,0 +1,1 @@
+lib/chase/derivation.mli: Atomset Fmt Kb Subst Syntax Trigger

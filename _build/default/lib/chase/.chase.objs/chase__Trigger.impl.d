@@ -1,0 +1,1 @@
+lib/chase/trigger.ml: Atomset Fmt Homo List Rule Subst Syntax Term

@@ -1,0 +1,1 @@
+lib/chase/trigger.mli: Atomset Fmt Homo Rule Subst Syntax Term

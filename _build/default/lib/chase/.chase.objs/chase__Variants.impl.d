@@ -1,0 +1,1 @@
+lib/chase/variants.ml: Atomset Derivation Egd Fmt Fun Hashtbl Homo Kb List Rule Seq Set Subst Syntax Term Trigger

@@ -1,0 +1,1 @@
+lib/chase/variants.mli: Atomset Derivation Egd Kb Seq Syntax Term

@@ -1,0 +1,95 @@
+(** Chase engines for existential rules (Sections 2–3 of the paper).
+
+    Entry module of the [chase] library: re-exports {!Trigger},
+    {!Derivation} and {!Variants}, and offers a uniform runner. *)
+
+module Trigger = Trigger
+module Derivation = Derivation
+module Datalog = Datalog
+module Variants = Variants
+
+open Syntax
+
+type variant = Oblivious | Skolem | Restricted | Frugal | Core
+
+let variant_name = function
+  | Oblivious -> "oblivious"
+  | Skolem -> "skolem"
+  | Restricted -> "restricted"
+  | Frugal -> "frugal"
+  | Core -> "core"
+
+type report = {
+  variant : variant;
+  terminated : bool;
+  steps : int;  (** rule applications performed *)
+  final : Atomset.t;  (** last instance computed *)
+  sizes : int list;  (** instance sizes along the run, [F_0 …] *)
+}
+
+(** Run any variant under a budget and report uniformly.  For [Restricted]
+    and [Core] the run is a Definition-1 derivation; use
+    {!Variants.restricted} / {!Variants.core} directly to inspect it. *)
+let run ?budget variant kb =
+  match variant with
+  | Oblivious ->
+      let t = Variants.Baseline.oblivious ?budget kb in
+      {
+        variant;
+        terminated = t.Variants.Baseline.terminated;
+        steps = t.Variants.Baseline.steps;
+        final = List.nth t.Variants.Baseline.instances
+            (List.length t.Variants.Baseline.instances - 1);
+        sizes = List.map Atomset.cardinal t.Variants.Baseline.instances;
+      }
+  | Skolem ->
+      let t = Variants.Baseline.skolem ?budget kb in
+      {
+        variant;
+        terminated = t.Variants.Baseline.terminated;
+        steps = t.Variants.Baseline.steps;
+        final = List.nth t.Variants.Baseline.instances
+            (List.length t.Variants.Baseline.instances - 1);
+        sizes = List.map Atomset.cardinal t.Variants.Baseline.instances;
+      }
+  | Restricted | Frugal ->
+      let r =
+        (match variant with
+        | Frugal -> Variants.frugal ?budget kb
+        | _ -> Variants.restricted ?budget kb)
+      in
+      let d = r.Variants.derivation in
+      {
+        variant;
+        terminated = r.Variants.outcome = Variants.Terminated;
+        steps = Derivation.length d - 1;
+        final = (Derivation.last d).Derivation.instance;
+        sizes =
+          List.map
+            (fun st -> Atomset.cardinal st.Derivation.instance)
+            (Derivation.steps d);
+      }
+  | Core ->
+      let r = Variants.core ?budget kb in
+      let d = r.Variants.derivation in
+      {
+        variant;
+        terminated = r.Variants.outcome = Variants.Terminated;
+        steps = Derivation.length d - 1;
+        final = (Derivation.last d).Derivation.instance;
+        sizes =
+          List.map
+            (fun st -> Atomset.cardinal st.Derivation.instance)
+            (Derivation.steps d);
+      }
+
+(** Does the instance satisfy every rule (i.e. is it a model of the
+    ruleset)?  An instance is a model of a rule iff every trigger for it is
+    satisfied in it. *)
+let is_model_of_rules rules inst =
+  Trigger.unsatisfied_triggers rules inst = []
+
+(** Is the instance a model of the KB: receives the facts homomorphically
+    and satisfies every rule. *)
+let is_model kb inst =
+  Homo.Hom.maps_to (Kb.facts kb) inst && is_model_of_rules (Kb.rules kb) inst

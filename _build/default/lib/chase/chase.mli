@@ -1,0 +1,41 @@
+(** Chase engines for existential rules (Sections 2–3 of the paper).
+
+    Entry module of the [chase] library.  {!Trigger} implements triggers
+    and rule application [α(I, tr)]; {!Derivation} the paper's
+    Definition-1 derivations (with simplification traces and fairness
+    accounting); {!Variants} the concrete engines: restricted, core,
+    frugal (Definition-1 instances) and the oblivious/skolem baselines. *)
+
+module Trigger : module type of Trigger
+
+module Derivation : module type of Derivation
+
+module Datalog : module type of Datalog
+
+module Variants : module type of Variants
+
+open Syntax
+
+type variant = Oblivious | Skolem | Restricted | Frugal | Core
+
+val variant_name : variant -> string
+
+type report = {
+  variant : variant;
+  terminated : bool;
+  steps : int;  (** rule applications performed *)
+  final : Atomset.t;  (** last instance computed *)
+  sizes : int list;  (** instance sizes along the run, [F_0 …] *)
+}
+
+val run : ?budget:Variants.budget -> variant -> Kb.t -> report
+(** Run any variant under a budget and report uniformly.  For
+    [Restricted], [Frugal] and [Core] the run is a Definition-1
+    derivation; use {!Variants} directly to inspect it. *)
+
+val is_model_of_rules : Rule.t list -> Atomset.t -> bool
+(** Every trigger of every rule is satisfied in the instance. *)
+
+val is_model : Kb.t -> Atomset.t -> bool
+(** The instance receives the facts homomorphically and satisfies every
+    rule — modelhood in the paper's sense (Section 2). *)

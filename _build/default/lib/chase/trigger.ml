@@ -1,0 +1,88 @@
+open Syntax
+
+type t = { rule : Rule.t; mapping : Subst.t }
+
+let make rule mapping =
+  { rule; mapping = Subst.restrict (Rule.universal_vars rule) mapping }
+
+let rule tr = tr.rule
+
+let mapping tr = tr.mapping
+
+let rename sigma tr =
+  {
+    tr with
+    mapping =
+      Subst.restrict (Rule.universal_vars tr.rule)
+        (Subst.compose sigma tr.mapping);
+  }
+
+let equal tr1 tr2 =
+  Rule.equal tr1.rule tr2.rule && Subst.equal tr1.mapping tr2.mapping
+
+let is_trigger_for tr inst =
+  Atomset.subset (Subst.apply tr.mapping (Rule.body tr.rule)) inst
+
+let satisfied_in tr indexed =
+  (* π extends to a homomorphism from B ∪ H into the instance. *)
+  let src = Atomset.union (Rule.body tr.rule) (Rule.head tr.rule) in
+  Homo.Hom.exists ~seed:tr.mapping src indexed
+
+let satisfied tr inst = satisfied_in tr (Homo.Instance.of_atomset inst)
+
+type application = {
+  result : Atomset.t;
+  pi_safe : Subst.t;
+  produced : Atomset.t;
+  fresh : Term.t list;
+}
+
+let pi_safe_of tr =
+  let frontier_part = Subst.restrict (Rule.frontier tr.rule) tr.mapping in
+  let fresh = ref [] in
+  let full =
+    List.fold_left
+      (fun s z ->
+        let nv = Term.fresh_var ~hint:(Term.hint z) () in
+        fresh := nv :: !fresh;
+        Subst.add z nv s)
+      frontier_part
+      (Rule.existential_vars tr.rule)
+  in
+  (full, List.rev !fresh)
+
+let apply_with tr pi_safe fresh inst =
+  if not (is_trigger_for tr inst) then
+    invalid_arg "Trigger.apply: not a trigger for the instance";
+  let produced = Subst.apply pi_safe (Rule.head tr.rule) in
+  { result = Atomset.union inst produced; pi_safe; produced; fresh }
+
+let apply tr inst =
+  let pi_safe, fresh = pi_safe_of tr in
+  apply_with tr pi_safe fresh inst
+
+let apply_with_pi_safe tr pi_safe inst =
+  let fresh =
+    List.filter_map
+      (fun z ->
+        match Subst.find z pi_safe with
+        | Some t when Term.is_var t -> Some t
+        | _ -> None)
+      (Rule.existential_vars tr.rule)
+  in
+  apply_with tr pi_safe fresh inst
+
+let triggers_of r indexed =
+  List.map (fun h -> make r h) (Homo.Hom.all (Rule.body r) indexed)
+
+let unsatisfied_triggers rules inst =
+  let indexed = Homo.Instance.of_atomset inst in
+  List.concat_map
+    (fun r ->
+      List.filter (fun tr -> not (satisfied_in tr indexed)) (triggers_of r indexed))
+    rules
+
+let pp ppf tr =
+  Fmt.pf ppf "(%s, %a)"
+    (if Rule.name tr.rule = "" then "<rule>" else Rule.name tr.rule)
+    Subst.pp tr.mapping

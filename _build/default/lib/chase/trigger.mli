@@ -1,0 +1,61 @@
+(** Triggers and rule application (Section 2).
+
+    A trigger for an instance [I] is a pair [tr = (R, π)] where [π] maps
+    [body(R)] into [I].  It is {e satisfied} in [I] when [π] extends to a
+    homomorphism from [body(R) ∪ head(R)] into [I].  Applying [tr] on [I]
+    produces [α(I, tr) = I ∪ π_safe(head(R))] where [π_safe] maps frontier
+    variables through [π] and existential variables to globally fresh
+    nulls (footnote 2 of the paper). *)
+
+open Syntax
+
+type t = private { rule : Rule.t; mapping : Subst.t }
+
+val make : Rule.t -> Subst.t -> t
+(** [make r π].  [π] is restricted to the universal variables of [r]. *)
+
+val rule : t -> Rule.t
+
+val mapping : t -> Subst.t
+
+val rename : Subst.t -> t -> t
+(** The paper's [σ(tr) = (R, σ • π)]. *)
+
+val equal : t -> t -> bool
+(** Same rule (by name and content) and same mapping on the rule's
+    universal variables. *)
+
+val is_trigger_for : t -> Atomset.t -> bool
+(** [π(body R) ⊆ I]. *)
+
+val satisfied : t -> Atomset.t -> bool
+(** Satisfaction in an arbitrary instance: [π] maps the body into it and
+    extends to the head. *)
+
+val satisfied_in : t -> Homo.Instance.t -> bool
+(** As {!satisfied} on a pre-indexed instance. *)
+
+type application = {
+  result : Atomset.t;  (** [α(I, tr)] *)
+  pi_safe : Subst.t;  (** the safe extension used *)
+  produced : Atomset.t;  (** [π_safe(head R)] — the atoms added *)
+  fresh : Term.t list;  (** the fresh nulls created, by existential var order *)
+}
+
+val apply : t -> Atomset.t -> application
+(** @raise Invalid_argument if the trigger does not hold in the instance. *)
+
+val apply_with_pi_safe : t -> Subst.t -> Atomset.t -> application
+(** Replay an application with a {e given} safe extension (used by the
+    robust-sequence construction, which must reuse "the same fresh
+    variables as in [α(F_{i-1}, tr)]", Definition 15). *)
+
+val triggers_of : Rule.t -> Homo.Instance.t -> t list
+(** All triggers of a rule for an instance (one per body homomorphism),
+    in deterministic search order. *)
+
+val unsatisfied_triggers : Rule.t list -> Atomset.t -> t list
+(** All triggers of the rules that are {e not} satisfied — the restricted
+    chase's active triggers. *)
+
+val pp : t Fmt.t

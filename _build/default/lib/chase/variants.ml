@@ -1,0 +1,353 @@
+open Syntax
+
+type budget = { max_steps : int; max_atoms : int }
+
+let default_budget = { max_steps = 2000; max_atoms = 20_000 }
+
+type outcome = Terminated | Budget_exhausted
+
+type run = { derivation : Derivation.t; outcome : outcome; rounds : int }
+
+type cadence = Every_application | Every_round
+
+(* Round-based engine: [simplify] computes σ_i for a freshly produced
+   pre-instance; [round_end] post-processes the derivation when a round
+   (one sweep over the snapshot of active triggers) completes. *)
+let run_engine ?(round_end = Fun.id) ~budget ~simplify ~start_simplification
+    kb =
+  let d = ref (Derivation.start ?simplification:start_simplification kb) in
+  let steps_done = ref 0 in
+  let rounds = ref 0 in
+  let outcome = ref None in
+  let rules = Kb.rules kb in
+  while !outcome = None do
+    let current = (Derivation.last !d).Derivation.instance in
+    let active = Trigger.unsatisfied_triggers rules current in
+    if active = [] then outcome := Some Terminated
+    else begin
+      incr rounds;
+      (* apply the snapshot, re-checking satisfaction before each firing
+         (the trace of the trigger, for non-monotone simplifications) *)
+      let base_index = Derivation.length !d - 1 in
+      List.iter
+        (fun tr ->
+          match !outcome with
+          | Some _ -> ()
+          | None ->
+              if !steps_done >= budget.max_steps then
+                outcome := Some Budget_exhausted
+              else begin
+                let last = Derivation.last !d in
+                let trace =
+                  Derivation.sigma_trace !d ~from_:base_index
+                    ~to_:last.Derivation.index
+                in
+                let tr' = Trigger.rename trace tr in
+                if
+                  Trigger.is_trigger_for tr' last.Derivation.instance
+                  && not (Trigger.satisfied tr' last.Derivation.instance)
+                then begin
+                  let app = Trigger.apply tr' last.Derivation.instance in
+                  let sigma = simplify app in
+                  d :=
+                    Derivation.extend_applied ~validate:false !d tr' app
+                      ~simplification:sigma;
+                  incr steps_done;
+                  if
+                    Atomset.cardinal
+                      (Derivation.last !d).Derivation.instance
+                    > budget.max_atoms
+                  then outcome := Some Budget_exhausted
+                end
+              end)
+        active;
+      (* round completed: let the variant post-process (e.g. retract the
+         round's last application to a core) *)
+      if Derivation.length !d - 1 > base_index then d := round_end !d
+    end
+  done;
+  {
+    derivation = !d;
+    outcome = (match !outcome with Some o -> o | None -> assert false);
+    rounds = !rounds;
+  }
+
+let restricted ?(budget = default_budget) kb =
+  run_engine ~budget
+    ~simplify:(fun _ -> Subst.empty)
+    ~start_simplification:None kb
+
+let core ?(budget = default_budget) ?(cadence = Every_application)
+    ?(simplify_start = true) kb =
+  let start_simplification =
+    if simplify_start then Some (Homo.Core.retraction_to_core (Kb.facts kb))
+    else None
+  in
+  match cadence with
+  | Every_application ->
+      run_engine ~budget
+        ~simplify:(fun app ->
+          Homo.Core.retraction_to_core app.Trigger.result)
+        ~start_simplification kb
+  | Every_round ->
+      (* Restricted steps within a round; the round's last application is
+         re-simplified by a retraction-to-core once the round has ended
+         (Deutsch–Nash–Remmel's parallel core chase, viewed as a
+         Definition-1 derivation). *)
+      run_engine ~budget
+        ~simplify:(fun _ -> Subst.empty)
+        ~round_end:(fun d ->
+          let pre = (Derivation.last d).Derivation.pre_instance in
+          Derivation.replace_last_simplification ~validate:false d
+            (Homo.Core.retraction_to_core pre))
+        ~start_simplification kb
+
+(* Frugal simplification: fold the freshly created nulls of [app] back
+   into the rest of the pre-instance when an endomorphism fixing every
+   older term allows it.  The search seeds the homomorphism with the
+   identity on all non-fresh terms, so only the fresh nulls may move. *)
+let frugal_simplification (app : Trigger.application) =
+  match app.Trigger.fresh with
+  | [] -> Subst.empty
+  | fresh ->
+      let pre = app.Trigger.result in
+      let module TS = Set.Make (Term) in
+      let fresh_set = TS.of_list fresh in
+      let older =
+        List.filter (fun t -> not (TS.mem t fresh_set)) (Atomset.terms pre)
+      in
+      let identity_seed =
+        List.fold_left
+          (fun s t -> if Term.is_var t then Subst.add t t s else s)
+          Subst.empty older
+      in
+      let rec fold_nulls sigma current remaining =
+        match remaining with
+        | [] -> sigma
+        | z :: rest ->
+            let z' = Subst.apply_term sigma z in
+            if not (Term.is_var z') || not (TS.mem z' fresh_set) then
+              fold_nulls sigma current rest
+            else
+              let target = Atomset.without_term z' current in
+              let seed =
+                (* identity on everything but the fresh nulls still alive *)
+                List.fold_left
+                  (fun s t ->
+                    if Term.is_var t && not (TS.mem t fresh_set) then
+                      Subst.add t t s
+                    else s)
+                  identity_seed (Atomset.terms current)
+              in
+              (match Homo.Hom.find ~seed current (Homo.Instance.of_atomset target) with
+              | Some h ->
+                  let h = Subst.restrict (Atomset.vars current) h in
+                  fold_nulls (Subst.compose h sigma) (Subst.apply h current) rest
+              | None -> fold_nulls sigma current rest)
+      in
+      let sigma = fold_nulls Subst.empty pre fresh in
+      (* the composite folds only fresh nulls and fixes its image: a
+         retraction of the pre-instance *)
+      sigma
+
+let frugal ?(budget = default_budget) kb =
+  run_engine ~budget ~simplify:frugal_simplification
+    ~start_simplification:None kb
+
+let stream ~variant kb =
+  let simplify =
+    match variant with
+    | `Restricted -> fun _ -> Subst.empty
+    | `Core -> fun (app : Trigger.application) ->
+        Homo.Core.retraction_to_core app.Trigger.result
+    | `Frugal -> frugal_simplification
+  in
+  (* state: current derivation + the queue of (traced-from, trigger) pairs
+     left over from the current round's snapshot *)
+  let rec next (d, queue) () =
+    match queue with
+    | (base_index, tr) :: rest -> (
+        let last = Derivation.last d in
+        let trace =
+          Derivation.sigma_trace d ~from_:base_index ~to_:last.Derivation.index
+        in
+        let tr' = Trigger.rename trace tr in
+        if
+          Trigger.is_trigger_for tr' last.Derivation.instance
+          && not (Trigger.satisfied tr' last.Derivation.instance)
+        then begin
+          let app = Trigger.apply tr' last.Derivation.instance in
+          let d' =
+            Derivation.extend_applied ~validate:false d tr' app
+              ~simplification:(simplify app)
+          in
+          Seq.Cons (d', next (d', rest))
+        end
+        else next (d, rest) ())
+    | [] ->
+        (* start a new round *)
+        let current = (Derivation.last d).Derivation.instance in
+        let active = Trigger.unsatisfied_triggers (Kb.rules kb) current in
+        if active = [] then Seq.Nil
+        else
+          let base = Derivation.length d - 1 in
+          next (d, List.map (fun tr -> (base, tr)) active) ()
+  in
+  let d0 =
+    Derivation.start
+      ?simplification:
+        (match variant with
+        | `Core -> Some (Homo.Core.retraction_to_core (Kb.facts kb))
+        | _ -> None)
+      kb
+  in
+  fun () -> Seq.Cons (d0, next (d0, []))
+
+module Egds = struct
+  type outcome = Terminated | Budget_exhausted | Failed of Egd.t
+
+  type run = { trace : Atomset.t list; outcome : outcome; steps : int }
+
+  let violations egds inst =
+    let indexed = Homo.Instance.of_atomset inst in
+    List.concat_map
+      (fun egd0 ->
+        let egd = Egd.rename_apart egd0 in
+        let l, r = Egd.sides egd in
+        List.filter_map
+          (fun pi ->
+            let u = Subst.apply_term pi l and v = Subst.apply_term pi r in
+            if Term.equal u v then None else Some (egd0, u, v))
+          (Homo.Hom.all (Egd.body egd) indexed))
+      egds
+
+  (* the unifier for one violation: constants are preferred as
+     representatives; between variables, the <_X-smaller one survives *)
+  let unifier u v =
+    match (Term.is_const u, Term.is_const v) with
+    | true, true -> None (* hard failure *)
+    | true, false -> Some (Subst.singleton v u)
+    | false, true -> Some (Subst.singleton u v)
+    | false, false ->
+        if Term.compare_by_rank u v <= 0 then Some (Subst.singleton v u)
+        else Some (Subst.singleton u v)
+
+  let run ?(budget = default_budget) ?(variant = `Restricted) kb =
+    let egds = Kb.egds kb in
+    let trace = ref [] in
+    let steps = ref 0 in
+    let record inst = trace := inst :: !trace in
+    let exception Fail of Egd.t in
+    let exception Out_of_budget in
+    (* saturate the EGDs on an instance *)
+    let rec egd_saturate inst =
+      match violations egds inst with
+      | [] -> inst
+      | (egd, u, v) :: _ -> (
+          if !steps >= budget.max_steps then raise Out_of_budget;
+          incr steps;
+          match unifier u v with
+          | None -> raise (Fail egd)
+          | Some s -> egd_saturate (Subst.apply s inst))
+    in
+    (* one TGD round on an instance (restricted-style; core retracts) *)
+    let tgd_round inst =
+      let active = Trigger.unsatisfied_triggers (Kb.rules kb) inst in
+      if active = [] then None
+      else
+        Some
+          (List.fold_left
+             (fun inst tr ->
+               if !steps >= budget.max_steps then raise Out_of_budget;
+               if
+                 Trigger.is_trigger_for tr inst
+                 && not (Trigger.satisfied tr inst)
+               then begin
+                 incr steps;
+                 let app = Trigger.apply tr inst in
+                 if Atomset.cardinal app.Trigger.result > budget.max_atoms
+                 then raise Out_of_budget;
+                 match variant with
+                 | `Restricted -> app.Trigger.result
+                 | `Core ->
+                     Subst.apply
+                       (Homo.Core.retraction_to_core app.Trigger.result)
+                       app.Trigger.result
+               end
+               else inst)
+             inst active)
+    in
+    let outcome = ref Terminated in
+    (try
+       let inst = ref (egd_saturate (Kb.facts kb)) in
+       record !inst;
+       let continue = ref true in
+       while !continue do
+         match tgd_round !inst with
+         | None -> continue := false
+         | Some inst' ->
+             inst := egd_saturate inst';
+             record !inst
+       done
+     with
+    | Fail egd -> outcome := Failed egd
+    | Out_of_budget -> outcome := Budget_exhausted);
+    { trace = List.rev !trace; outcome = !outcome; steps = !steps }
+end
+
+module Baseline = struct
+  type trace = { instances : Atomset.t list; terminated : bool; steps : int }
+
+  (* Key identifying a trigger for the oblivious chase: rule name + images
+     of all universal variables; for skolem: rule name + frontier images. *)
+  let trigger_key vars tr =
+    let pi = Trigger.mapping tr in
+    ( Rule.name (Trigger.rule tr),
+      List.map
+        (fun v -> Fmt.str "%a" Term.pp_debug (Subst.apply_term pi v))
+        (vars (Trigger.rule tr)) )
+
+  let run_keyed ~key ?(budget = default_budget) kb =
+    let seen = Hashtbl.create 64 in
+    let instances = ref [ Kb.facts kb ] in
+    let steps = ref 0 in
+    let terminated = ref false in
+    let finished = ref false in
+    while not !finished do
+      let current = List.hd !instances in
+      let indexed = Homo.Instance.of_atomset current in
+      let fresh_triggers =
+        List.concat_map
+          (fun r ->
+            List.filter
+              (fun tr -> not (Hashtbl.mem seen (key tr)))
+              (Trigger.triggers_of r indexed))
+          (Kb.rules kb)
+      in
+      if fresh_triggers = [] then begin
+        terminated := true;
+        finished := true
+      end
+      else
+        List.iter
+          (fun tr ->
+            if not !finished then
+              if
+                !steps >= budget.max_steps
+                || Atomset.cardinal (List.hd !instances) > budget.max_atoms
+              then finished := true
+              else if not (Hashtbl.mem seen (key tr)) then begin
+                Hashtbl.replace seen (key tr) ();
+                let app = Trigger.apply tr (List.hd !instances) in
+                instances := app.Trigger.result :: !instances;
+                incr steps
+              end)
+          fresh_triggers
+    done;
+    { instances = List.rev !instances; terminated = !terminated; steps = !steps }
+
+  let oblivious ?budget kb =
+    run_keyed ~key:(trigger_key Rule.universal_vars) ?budget kb
+
+  let skolem ?budget kb = run_keyed ~key:(trigger_key Rule.frontier) ?budget kb
+end

@@ -1,0 +1,107 @@
+(** The chase variants (Sections 1 and 3).
+
+    {b Restricted (standard) chase} — applies only unsatisfied triggers, no
+    simplification ([σ_i] = identity): a monotonic Definition-1 derivation.
+
+    {b Core chase} — applies unsatisfied triggers and retracts to a core;
+    the cadence is configurable: retract after every rule application
+    (each [σ_i] produces a core, the paper's primary reading) or after
+    every saturation round (Deutsch–Nash–Remmel's parallel formulation;
+    still a core chase sequence since cores recur at finite distance).
+
+    {b Scheduling} — both engines are round-based and breadth-first: the
+    unsatisfied triggers of the current instance are collected, then
+    applied in order, each re-checked for satisfaction just before
+    application (an earlier application may have satisfied it).  In the
+    limit this yields fair derivations; on finite prefixes
+    {!Derivation.fairness_debt} quantifies the remainder.
+
+    {b Oblivious / semi-oblivious (skolem) chase} — these apply triggers
+    regardless of satisfaction, so they are *not* Definition-1 derivations;
+    they are provided as the classical monotone baselines and return plain
+    instance sequences. *)
+
+open Syntax
+
+type budget = {
+  max_steps : int;  (** rule applications (trigger firings) *)
+  max_atoms : int;  (** stop when the current instance exceeds this size *)
+}
+
+val default_budget : budget
+
+type outcome =
+  | Terminated  (** fixpoint: no unsatisfied trigger remains *)
+  | Budget_exhausted
+
+type run = { derivation : Derivation.t; outcome : outcome; rounds : int }
+
+val restricted : ?budget:budget -> Kb.t -> run
+(** Run the restricted chase from [K]. *)
+
+type cadence = Every_application | Every_round
+
+val core : ?budget:budget -> ?cadence:cadence -> ?simplify_start:bool ->
+  Kb.t -> run
+(** Run the core chase.  [simplify_start] (default [true]) applies [σ_0] =
+    retraction-to-core to the initial facts, matching [F_0 = σ_0(F)]. *)
+
+val frugal : ?budget:budget -> Kb.t -> run
+(** The frugal chase (Konstantinidis–Ambite; the paper's Section 3 notes
+    that Definition 1 covers it): after each rule application, the
+    simplification [σ_i] folds {e only the freshly created nulls} back
+    into older terms where possible, leaving the older part untouched.
+    Cheaper than a full core retraction, stronger than the restricted
+    chase; sits strictly between the two in redundancy removal. *)
+
+val stream :
+  variant:[ `Restricted | `Core | `Frugal ] -> Kb.t -> Derivation.t Seq.t
+(** The lazy chase: a sequence of growing derivation prefixes, one element
+    per rule application — the computational reading of the paper's
+    infinite sequences [(F_i)_{i∈ℕ}].  The sequence is infinite for
+    non-terminating KBs (consume with [Seq.take]); it ends after the
+    element whose last instance is a fixpoint.  Scheduling is the same
+    round-based fair strategy as the eager engines. *)
+
+(** The standard chase with equality-generating dependencies.  EGD steps
+    unify terms across the whole instance, so they are neither monotonic
+    nor Definition-1 simplifications; the engine is documented as the
+    classical TGD+EGD chase (Deutsch–Nash–Remmel / Fagin et al.), kept
+    separate from the paper's derivations. *)
+module Egds : sig
+  type outcome =
+    | Terminated  (** fixpoint, all TGDs and EGDs satisfied *)
+    | Budget_exhausted
+    | Failed of Egd.t
+        (** hard failure: the EGD forced two distinct constants equal —
+            the KB has no model *)
+
+  type run = {
+    trace : Atomset.t list;  (** instance after each phase *)
+    outcome : outcome;
+    steps : int;  (** TGD applications + EGD unifications *)
+  }
+
+  val run :
+    ?budget:budget -> ?variant:[ `Restricted | `Core ] -> Kb.t -> run
+  (** Alternate EGD saturation (unifying violated equalities, preferring
+      constants and [<_X]-smaller variables as representatives) with TGD
+      rounds of the chosen variant (default [`Restricted]). *)
+
+  val violations : Egd.t list -> Atomset.t -> (Egd.t * Term.t * Term.t) list
+  (** The (egd, image of left, image of right) triples with distinct
+      images, for inspection. *)
+end
+
+(** Monotone baselines outside Definition 1. *)
+module Baseline : sig
+  type trace = { instances : Atomset.t list; terminated : bool; steps : int }
+
+  val oblivious : ?budget:budget -> Kb.t -> trace
+  (** Fires every trigger exactly once (per (rule, body-homomorphism)
+      pair), regardless of satisfaction. *)
+
+  val skolem : ?budget:budget -> Kb.t -> trace
+  (** Semi-oblivious: fires at most one trigger per (rule, frontier
+      restriction) pair — equivalent to skolemisation. *)
+end

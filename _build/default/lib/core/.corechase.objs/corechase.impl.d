@@ -1,0 +1,1 @@
+lib/core/corechase.ml: Atomset Certificate Entailment Homo List Measures Probes Robust Syntax

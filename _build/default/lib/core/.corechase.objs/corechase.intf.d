@@ -1,0 +1,1 @@
+lib/core/corechase.mli: Atomset Certificate Entailment Kb Measures Probes Robust Syntax

@@ -1,0 +1,1 @@
+lib/core/certificate.ml: Atomset Chase Fmt Homo Kb List Option Result Rule Subst Syntax

@@ -1,0 +1,1 @@
+lib/core/certificate.mli: Chase Fmt Kb Subst Syntax

@@ -1,0 +1,1 @@
+lib/core/entailment.ml: Chase Fmt Homo Kb List Modelfinder Syntax Term Ucq

@@ -1,0 +1,1 @@
+lib/core/entailment.mli: Atomset Chase Fmt Kb Syntax Term Ucq

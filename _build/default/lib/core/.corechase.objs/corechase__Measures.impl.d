@@ -1,0 +1,1 @@
+lib/core/measures.ml: Array Atomset List Syntax Treewidth

@@ -1,0 +1,1 @@
+lib/core/probes.ml: Atom Atomset Chase Kb List Measures Rule Syntax Term

@@ -1,0 +1,1 @@
+lib/core/probes.mli: Atomset Chase Kb Rule Syntax

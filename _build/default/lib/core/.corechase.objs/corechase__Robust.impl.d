@@ -1,0 +1,1 @@
+lib/core/robust.ml: Array Atomset Chase List Printf Result Subst Syntax Term Treewidth

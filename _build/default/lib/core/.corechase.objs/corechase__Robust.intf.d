@@ -1,0 +1,1 @@
+lib/core/robust.mli: Atomset Chase Subst Syntax

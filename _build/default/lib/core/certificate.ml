@@ -1,0 +1,81 @@
+open Syntax
+
+type t = {
+  derivation : Chase.Derivation.t;
+  index : int;
+  witness : Subst.t;
+}
+
+let find ?(variant = `Core) ?budget kb q =
+  let run =
+    match variant with
+    | `Restricted -> Chase.Variants.restricted ?budget kb
+    | `Core -> Chase.Variants.core ?budget kb
+  in
+  let d = run.Chase.Variants.derivation in
+  let rec scan = function
+    | [] -> None
+    | st :: rest -> (
+        match
+          Homo.Hom.find_into (Kb.Query.atoms q) st.Chase.Derivation.instance
+        with
+        | Some h ->
+            Some
+              {
+                derivation = d;
+                index = st.Chase.Derivation.index;
+                witness = Subst.restrict (Kb.Query.vars q) h;
+              }
+        | None -> scan rest)
+  in
+  scan (Chase.Derivation.steps d)
+
+let check kb q cert =
+  let ( let* ) = Result.bind in
+  let check_ b msg = if b then Ok () else Error msg in
+  let d = cert.derivation in
+  let* () =
+    check_
+      (Atomset.equal (Kb.facts (Chase.Derivation.kb d)) (Kb.facts kb))
+      "certificate derivation starts from different facts"
+  in
+  let* () =
+    check_
+      (List.for_all
+         (fun st ->
+           match st.Chase.Derivation.trigger with
+           | None -> true
+           | Some tr ->
+               List.exists
+                 (Rule.equal (Chase.Trigger.rule tr))
+                 (Kb.rules kb))
+         (Chase.Derivation.steps d))
+      "certificate fires a rule outside the KB"
+  in
+  let* () = Chase.Derivation.validate d in
+  let* () =
+    check_
+      (cert.index >= 0 && cert.index < Chase.Derivation.length d)
+      "certificate index out of range"
+  in
+  let target = Chase.Derivation.instance_at d cert.index in
+  check_
+    (Atomset.subset (Subst.apply cert.witness (Kb.Query.atoms q)) target)
+    "witness does not map the query into the indexed element"
+
+let pp ppf cert =
+  let rules =
+    List.filter_map
+      (fun st ->
+        Option.map
+          (fun tr -> Rule.name (Chase.Trigger.rule tr))
+          st.Chase.Derivation.trigger)
+      (Chase.Derivation.steps cert.derivation)
+  in
+  Fmt.pf ppf
+    "@[<v>entailment certificate: %d rule applications, query maps into F_%d@,\
+     rules fired: %a@,witness: %a@]"
+    (Chase.Derivation.length cert.derivation - 1)
+    cert.index
+    Fmt.(list ~sep:sp string)
+    rules Subst.pp cert.witness

@@ -1,0 +1,33 @@
+(** Checkable entailment certificates.
+
+    When the chase-based semi-procedure answers [K ⊨ Q], the evidence is a
+    Definition-1 derivation prefix from [K] together with a homomorphism
+    of [Q] into one of its elements: every derivation element is universal
+    for [K] (Proposition 1(1)), so the pair proves the entailment.  The
+    certificate can be re-checked independently of the search that
+    produced it — the checker replays the rule applications and verifies
+    the homomorphism, trusting only Definition 1 and Proposition 1. *)
+
+open Syntax
+
+type t = {
+  derivation : Chase.Derivation.t;
+  index : int;  (** the element the query maps into *)
+  witness : Subst.t;  (** the homomorphism [Q → F_index] *)
+}
+
+val find :
+  ?variant:[ `Restricted | `Core ] -> ?budget:Chase.Variants.budget ->
+  Kb.t -> Kb.Query.t -> t option
+(** Produce a certificate by chasing (default: core chase); [None] when
+    the budget runs out before the query is reached (or the chase
+    terminates without it — the KB then does not entail the query). *)
+
+val check : Kb.t -> Kb.Query.t -> t -> (unit, string) result
+(** Independent verification: the derivation starts from [K]'s facts and
+    uses only [K]'s rules, every Definition-1 side condition holds
+    ({!Chase.Derivation.validate}), and the witness maps the query's atoms
+    into the indexed element. *)
+
+val pp : t Fmt.t
+(** A short human-readable account: step count, rules fired, witness. *)

@@ -1,0 +1,40 @@
+(** The paper's primary contribution as a library (Sections 5, 8, 9).
+
+    Entry module of [corechase.core]:
+
+    - {!Measures} — structural measures, uniform/recurring boundedness
+      (Section 5);
+    - {!Robust} — robust renaming, robust sequences and the robust
+      aggregation [D⊛] (Definitions 14–16, Lemma 1, Propositions 10–11);
+    - {!Entailment} — CQ entailment via universal chase prefixes and
+      bounded countermodels (Proposition 1(3), Proposition 9, Theorem 1);
+    - {!Probes} — budgeted semi-procedures for the abstract classes fes /
+      bts / core-bts of Figure 1 (Definitions 6 and 17).
+
+    Underneath sit [corechase.syntax] (terms/atoms/rules), [corechase.homo]
+    (homomorphisms and cores), [corechase.chase] (Definition-1 derivations
+    and the four chase variants), [corechase.treewidth] (Definition 4) and
+    [corechase.modelfinder] (the bounded countermodel search). *)
+
+module Measures = Measures
+module Robust = Robust
+module Entailment = Entailment
+module Probes = Probes
+module Certificate = Certificate
+
+open Syntax
+
+(** [finitely_universal_on_prefixes prefixes models]: the experimental
+    counterpart of Definition 13 — every listed finite prefix (of a
+    candidate finitely-universal model) maps homomorphically into every
+    listed model. *)
+let finitely_universal_on_prefixes (prefixes : Atomset.t list)
+    (models : Atomset.t list) : bool =
+  List.for_all
+    (fun p -> List.for_all (fun m -> Homo.Hom.maps_to p m) models)
+    prefixes
+
+(** Proposition 9, experimentally: a CQ holds in a finitely universal model
+    iff it is entailed; on finite structures this is just query evaluation,
+    re-exported for discoverability. *)
+let query_holds = Entailment.holds_in

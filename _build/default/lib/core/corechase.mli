@@ -1,0 +1,35 @@
+(** The paper's primary contribution as a library (Sections 5, 8, 9).
+
+    Entry module of [corechase.core]:
+
+    - {!Measures} — structural measures, uniform/recurring boundedness
+      (Section 5);
+    - {!Robust} — robust renaming, robust sequences and the robust
+      aggregation [D⊛] (Definitions 14–16, Lemma 1, Propositions 10–11);
+    - {!Entailment} — CQ/UCQ entailment via universal chase prefixes and
+      bounded countermodels (Proposition 1(3), Proposition 9, Theorem 1),
+      certain answers, consistency w.r.t. negative constraints;
+    - {!Probes} — budgeted semi-procedures for the abstract classes fes /
+      bts / core-bts of Figure 1 (Definitions 6 and 17);
+    - {!Certificate} — independently checkable entailment certificates. *)
+
+module Measures : module type of Measures
+
+module Robust : module type of Robust
+
+module Entailment : module type of Entailment
+
+module Probes : module type of Probes
+
+module Certificate : module type of Certificate
+
+open Syntax
+
+val finitely_universal_on_prefixes : Atomset.t list -> Atomset.t list -> bool
+(** The experimental counterpart of Definition 13: every listed finite
+    prefix (of a candidate finitely universal model) maps homomorphically
+    into every listed model. *)
+
+val query_holds : Kb.Query.t -> Atomset.t -> bool
+(** Re-export of {!Entailment.holds_in} (Proposition 9's query
+    evaluation). *)

@@ -1,0 +1,99 @@
+open Syntax
+
+type verdict = Entailed | Not_entailed | Unknown of string
+
+let pp_verdict ppf = function
+  | Entailed -> Fmt.string ppf "entailed"
+  | Not_entailed -> Fmt.string ppf "not entailed"
+  | Unknown why -> Fmt.pf ppf "unknown (%s)" why
+
+let holds_in q inst = Homo.Hom.maps_to (Kb.Query.atoms q) inst
+
+let via_chase ?(variant = `Core) ?budget kb q =
+  let run =
+    match variant with
+    | `Restricted -> Chase.Variants.restricted ?budget kb
+    | `Core -> Chase.Variants.core ?budget kb
+  in
+  let d = run.Chase.Variants.derivation in
+  let hit =
+    List.exists
+      (fun st -> holds_in q st.Chase.Derivation.instance)
+      (Chase.Derivation.steps d)
+  in
+  if hit then Entailed
+  else if run.Chase.Variants.outcome = Chase.Variants.Terminated then
+    Not_entailed
+  else Unknown "chase budget exhausted without finding the query"
+
+let via_countermodel ~max_domain kb q =
+  match Modelfinder.find_model_upto ~max_domain ~forbid:q kb with
+  | Some _ -> Not_entailed
+  | None -> Unknown "no countermodel within the domain budget"
+
+type answers = Complete of Term.t list list | Sound of Term.t list list
+
+let certain_answers ?(variant = `Core) ?budget kb q =
+  let avars = Kb.Query.answer_vars q in
+  if avars = [] then
+    invalid_arg "Entailment.certain_answers: Boolean query";
+  let run =
+    match variant with
+    | `Restricted -> Chase.Variants.restricted ?budget kb
+    | `Core -> Chase.Variants.core ?budget kb
+  in
+  let d = run.Chase.Variants.derivation in
+  (* collect over every derivation element: each is universal for K, so a
+     constant tuple found anywhere is certain; a tuple can be present early
+     and collapsed later, so the union over elements is still sound *)
+  let tuples =
+    List.fold_left
+      (fun acc st ->
+        List.fold_left
+          (fun acc t -> if List.mem t acc then acc else t :: acc)
+          acc
+          (Homo.Cq.certain_answers ~answer_vars:avars q
+             st.Chase.Derivation.instance))
+      []
+      (Chase.Derivation.steps d)
+    |> List.sort_uniq (List.compare Term.compare)
+  in
+  if run.Chase.Variants.outcome = Chase.Variants.Terminated then
+    Complete tuples
+  else Sound tuples
+
+let decide ?budget ?(max_domain = 4) kb q =
+  match via_chase ?budget kb q with
+  | (Entailed | Not_entailed) as v -> v
+  | Unknown why1 -> (
+      match via_countermodel ~max_domain kb q with
+      | Not_entailed -> Not_entailed
+      | Unknown why2 -> Unknown (why1 ^ "; " ^ why2)
+      | Entailed -> assert false)
+
+let inconsistent ?budget ?(max_domain = 4) ~constraints kb =
+  let verdicts = List.map (fun c -> decide ?budget ~max_domain kb c) constraints in
+  if List.exists (fun v -> v = Entailed) verdicts then Entailed
+  else if List.for_all (fun v -> v = Not_entailed) verdicts then Not_entailed
+  else Unknown "some constraint checks exhausted their budget"
+
+let ucq_holds_in u inst =
+  List.exists (fun q -> holds_in q inst) (Ucq.disjuncts u)
+
+let decide_ucq ?budget ?(max_domain = 4) kb u =
+  let run = Chase.Variants.core ?budget kb in
+  let d = run.Chase.Variants.derivation in
+  let hit =
+    List.exists
+      (fun st -> ucq_holds_in u st.Chase.Derivation.instance)
+      (Chase.Derivation.steps d)
+  in
+  if hit then Entailed
+  else if run.Chase.Variants.outcome = Chase.Variants.Terminated then
+    Not_entailed
+  else
+    match
+      Modelfinder.find_model_upto ~max_domain ~forbid_all:(Ucq.disjuncts u) kb
+    with
+    | Some _ -> Not_entailed
+    | None -> Unknown "chase budget exhausted; no countermodel either"

@@ -1,0 +1,77 @@
+(** CQ entailment procedures (Proposition 1(3), Proposition 9, Theorems 1–2).
+
+    Three engines are provided:
+
+    - {!via_chase}: the "yes" semi-decision procedure.  Every derivation
+      element [F_i] is universal for [K] (Proposition 1(1)), so [Q ↪ F_i]
+      certifies [K ⊨ Q]; a terminated chase whose result does not receive
+      [Q] certifies [K ⊭ Q] (the result is then a universal model).
+    - {!via_countermodel}: the "no" semi-decision procedure.  A finite
+      model of [F ∧ Σ ∧ ¬Q] certifies [K ⊭ Q].  (The paper's Theorem 1
+      searches treewidth-bounded models via Courcelle; we search
+      domain-size-bounded models — see DESIGN.md §1.)
+    - {!decide}: Theorem 1's skeleton — both procedures with increasing
+      budgets; each is sound, so the first verdict wins. *)
+
+open Syntax
+
+type verdict =
+  | Entailed
+  | Not_entailed
+  | Unknown of string  (** budgets exhausted; the message says which *)
+
+val pp_verdict : verdict Fmt.t
+
+val holds_in : Kb.Query.t -> Atomset.t -> bool
+(** [Q] maps homomorphically into the instance. *)
+
+val via_chase :
+  ?variant:[ `Restricted | `Core ] -> ?budget:Chase.Variants.budget ->
+  Kb.t -> Kb.Query.t -> verdict
+(** Default variant: [`Core] (the variant that terminates whenever a finite
+    universal model exists). *)
+
+val via_countermodel : max_domain:int -> Kb.t -> Kb.Query.t -> verdict
+(** [Not_entailed] if a countermodel with at most [max_domain] elements
+    exists; [Unknown] otherwise (never [Entailed]). *)
+
+val decide :
+  ?budget:Chase.Variants.budget -> ?max_domain:int -> Kb.t -> Kb.Query.t ->
+  verdict
+(** Runs {!via_chase} then, if inconclusive, {!via_countermodel}
+    (defaults: the chase default budget; domains up to 4). *)
+
+type answers =
+  | Complete of Term.t list list
+      (** the chase terminated: exactly the certain answers *)
+  | Sound of Term.t list list
+      (** budget exhausted: every listed tuple is certain, more may exist *)
+
+val certain_answers :
+  ?variant:[ `Restricted | `Core ] -> ?budget:Chase.Variants.budget ->
+  Kb.t -> Kb.Query.t -> answers
+(** Certain answers of a query with distinguished variables: all-constant
+    images of the answer variables over the chase result.  Soundness before
+    termination comes from every derivation element being universal for
+    [K] (Proposition 1(1)).
+    @raise Invalid_argument on Boolean queries (use {!decide}). *)
+
+val ucq_holds_in : Ucq.t -> Atomset.t -> bool
+(** Some disjunct maps homomorphically into the instance. *)
+
+val decide_ucq :
+  ?budget:Chase.Variants.budget -> ?max_domain:int -> Kb.t -> Ucq.t ->
+  verdict
+(** UCQ entailment: [K ⊨ ⋁ qᵢ] iff some disjunct maps into a universal
+    model (UCQs are homomorphism-preserved).  The chase side checks each
+    derivation element against the union; the countermodel side refutes
+    {e all} disjuncts simultaneously — note a disjunct-wise [decide] would
+    be unsound for the "no" direction, since each disjunct could fail in a
+    different model. *)
+
+val inconsistent :
+  ?budget:Chase.Variants.budget -> ?max_domain:int ->
+  constraints:Kb.Query.t list -> Kb.t -> verdict
+(** Negative-constraint checking: [Entailed] here means "the KB violates
+    some constraint" (a constraint body is entailed); [Not_entailed] means
+    consistent (w.r.t. the given constraints). *)

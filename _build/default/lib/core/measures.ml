@@ -1,0 +1,52 @@
+open Syntax
+
+type t = { name : string; measure : Atomset.t -> int }
+
+let size = { name = "size"; measure = Atomset.cardinal }
+
+let term_count =
+  { name = "terms"; measure = (fun a -> List.length (Atomset.terms a)) }
+
+let treewidth =
+  { name = "treewidth"; measure = (fun a -> fst (Treewidth.best_effort a)) }
+
+let treewidth_upper =
+  { name = "treewidth-ub"; measure = (fun a -> Treewidth.upper_bound a) }
+
+let pathwidth =
+  { name = "pathwidth"; measure = (fun a -> fst (Treewidth.Pathwidth.of_atomset a)) }
+
+let series m instances = List.map m.measure instances
+
+let uniformly_bounded_by k xs = List.for_all (fun x -> x <= k) xs
+
+let uniform_bound = function
+  | [] -> None
+  | x :: xs -> Some (List.fold_left max x xs)
+
+let recurringly_bounded_proxy ~k ~window xs =
+  if window <= 0 then invalid_arg "Measures: window must be positive";
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  if n = 0 then true
+  else begin
+    let ok = ref true in
+    let start = ref 0 in
+    while !ok && !start + window <= n do
+      let found = ref false in
+      for i = !start to !start + window - 1 do
+        if arr.(i) <= k then found := true
+      done;
+      if not !found then ok := false;
+      incr start
+    done;
+    !ok
+  end
+
+let is_monotone_growing xs =
+  let rec go strictly = function
+    | x :: (y :: _ as rest) ->
+        if y < x then false else go (strictly || y > x) rest
+    | _ -> strictly
+  in
+  go false xs

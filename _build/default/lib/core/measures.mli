@@ -1,0 +1,50 @@
+(** Structural measures and boundedness of sequences (Section 5).
+
+    A structural measure maps instances to [ℕ ∪ {∞}]; computationally we
+    only evaluate them on finite instances, where they are finite, so the
+    codomain here is [int].  A sequence [(F_i)] is {e uniformly μ-bounded}
+    when some [k] bounds every [μ(F_i)], and {e recurringly μ-bounded} when
+    some [k] is reached again and again beyond every index.
+
+    On finite prefixes, uniform boundedness is checkable outright; recurring
+    boundedness is approximated by a sliding-window proxy (every window of
+    a given length contains an element ≤ k), which experiments combine with
+    the known closed forms of the paper's sequences. *)
+
+open Syntax
+
+type t = { name : string; measure : Atomset.t -> int }
+
+val size : t
+(** Number of atoms (the measure for which Deutsch–Nash–Remmel's
+    equivalence holds). *)
+
+val term_count : t
+
+val treewidth : t
+(** Exact treewidth when the instance has ≤ 62 terms, min-fill upper bound
+    beyond. *)
+
+val treewidth_upper : t
+(** Min-fill upper bound (cheap, never below the true value). *)
+
+val pathwidth : t
+(** Pathwidth (vertex separation): exact up to 25 terms, greedy upper
+    bound beyond.  Always ≥ treewidth; the paper's Section 5 statements
+    about structural measures apply to it verbatim, and the grid-based
+    counterexamples defeat it as well (pw(grid) ≥ tw(grid)). *)
+
+val series : t -> Atomset.t list -> int list
+
+val uniformly_bounded_by : int -> int list -> bool
+
+val uniform_bound : int list -> int option
+(** The maximum of the series — [None] on the empty series. *)
+
+val recurringly_bounded_proxy : k:int -> window:int -> int list -> bool
+(** Every length-[window] window of the series contains a value ≤ [k].
+    A finite-prefix proxy for recurring μ-boundedness. *)
+
+val is_monotone_growing : int list -> bool
+(** Never decreases and strictly increases somewhere — the signature of the
+    inflating elevator's treewidth series (Proposition 8.4). *)

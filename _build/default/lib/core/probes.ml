@@ -1,0 +1,66 @@
+open Syntax
+
+let critical_instance rules =
+  let star = Term.const "star" in
+  let consts =
+    star
+    :: List.concat_map
+         (fun r ->
+           Atomset.consts (Rule.body r) @ Atomset.consts (Rule.head r))
+         rules
+    |> List.sort_uniq Term.compare
+  in
+  let preds = List.sort_uniq compare (List.concat_map Rule.preds rules) in
+  (* all atoms over all predicates with all argument combinations drawn from
+     the constants: the classical critical instance uses the single ★; we
+     include rule constants as well, which only strengthens the probe *)
+  let rec tuples k =
+    if k = 0 then [ [] ]
+    else
+      let shorter = tuples (k - 1) in
+      List.concat_map (fun c -> List.map (fun tl -> c :: tl) shorter) consts
+  in
+  List.concat_map
+    (fun (p, ar) -> List.map (fun args -> Atom.make p args) (tuples ar))
+    preds
+  |> Atomset.of_list
+
+type termination = Terminates of int | No_verdict
+
+let core_chase_terminates ?budget kb =
+  let run = Chase.Variants.core ?budget kb in
+  match run.Chase.Variants.outcome with
+  | Chase.Variants.Terminated ->
+      Terminates (Chase.Derivation.length run.Chase.Variants.derivation - 1)
+  | Chase.Variants.Budget_exhausted -> No_verdict
+
+let fes_probe ?budget rules =
+  core_chase_terminates ?budget
+    (Kb.make ~facts:(critical_instance rules) ~rules)
+
+let tw_series_of_run ?budget ~variant kb =
+  let run =
+    match variant with
+    | `Restricted -> Chase.Variants.restricted ?budget kb
+    | `Core -> Chase.Variants.core ?budget kb
+  in
+  List.map
+    (fun st -> Measures.treewidth.Measures.measure st.Chase.Derivation.instance)
+    (Chase.Derivation.steps run.Chase.Variants.derivation)
+
+type tw_profile = {
+  series : int list;
+  max_seen : int;
+  uniform_candidate : int;
+  monotone_growing : bool;
+}
+
+let tw_profile ?budget ~variant kb =
+  let series = tw_series_of_run ?budget ~variant kb in
+  let max_seen = match Measures.uniform_bound series with Some m -> m | None -> -1 in
+  {
+    series;
+    max_seen;
+    uniform_candidate = max_seen;
+    monotone_growing = Measures.is_monotone_growing series;
+  }

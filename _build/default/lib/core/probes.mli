@@ -1,0 +1,47 @@
+(** Empirical probes for the abstract ruleset classes of Figure 1.
+
+    The classes fes (finite expansion sets), bts (bounded treewidth sets,
+    Definition 6) and core-bts (Definition 17) are undecidable in general;
+    the probes below are the budgeted semi-procedures that the experiment
+    harness uses to populate the paper's class-membership picture:
+
+    - [fes_*]: does the core chase terminate (within budget)?  Termination
+      certifies membership behaviour on the probed instance; budget
+      exhaustion is inconclusive.
+    - [tw_series_*]: the treewidth profile of a chase run — uniformly
+      bounded profiles witness bts/core-bts behaviour on the probed
+      instance, monotone growth witnesses the inflating-elevator
+      phenomenon.
+
+    The {!critical_instance} (one constant, all predicates saturated) is
+    the classical single-instance probe for ∀-termination of the skolem
+    chase; for the core chase it remains a useful heuristic, which is how
+    the harness uses it (documented in EXPERIMENTS.md). *)
+
+open Syntax
+
+val critical_instance : Rule.t list -> Atomset.t
+(** All atoms [p(★,…,★)] over the rules' predicates and the single constant
+    [★] (plus every constant mentioned by the rules). *)
+
+type termination = Terminates of int  (** steps used *) | No_verdict
+
+val core_chase_terminates : ?budget:Chase.Variants.budget -> Kb.t -> termination
+
+val fes_probe : ?budget:Chase.Variants.budget -> Rule.t list -> termination
+(** Core-chase termination on the critical instance. *)
+
+val tw_series_of_run :
+  ?budget:Chase.Variants.budget -> variant:[ `Restricted | `Core ] -> Kb.t ->
+  int list
+(** Treewidth (best effort) of each derivation element [F_0, F_1, …]. *)
+
+type tw_profile = {
+  series : int list;
+  max_seen : int;
+  uniform_candidate : int;  (** max of the series — the only possible uniform bound on the prefix *)
+  monotone_growing : bool;  (** the inflating-elevator signature *)
+}
+
+val tw_profile : ?budget:Chase.Variants.budget -> variant:[ `Restricted | `Core ] ->
+  Kb.t -> tw_profile

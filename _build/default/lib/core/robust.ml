@@ -1,0 +1,244 @@
+open Syntax
+
+let robust_renaming a sigma =
+  if not (Subst.is_retraction_of a sigma) then
+    invalid_arg "Robust.robust_renaming: not a retraction";
+  let image = Subst.apply sigma a in
+  let all_vars = Atomset.vars a in
+  List.fold_left
+    (fun acc x ->
+      (* the preimage σ⁻¹(x) inside vars(a); x belongs to it since a
+         retraction is the identity on its image's terms *)
+      let smallest =
+        List.fold_left
+          (fun m y ->
+            if
+              Term.equal (Subst.apply_term sigma y) x
+              && Term.compare_by_rank y m < 0
+            then y
+            else m)
+          x all_vars
+      in
+      if Term.equal smallest x then acc else Subst.add x smallest acc)
+    Subst.empty (Atomset.vars image)
+
+let tau_of a sigma = Subst.compose (robust_renaming a sigma) sigma
+
+type step = {
+  index : int;
+  a_prime : Atomset.t;
+  sigma_prime : Subst.t;
+  f_prime : Atomset.t;
+  renaming : Subst.t;
+  g : Atomset.t;
+  rho : Subst.t;
+  tau : Subst.t;
+}
+
+type t = { derivation : Chase.Derivation.t; rev_steps : step list; len : int }
+
+let build_step0 (dstep : Chase.Derivation.step) =
+  let f = dstep.Chase.Derivation.pre_instance in
+  let sigma0 = dstep.Chase.Derivation.simplification in
+  let f0 = dstep.Chase.Derivation.instance in
+  let renaming = robust_renaming f sigma0 in
+  let g = Subst.apply renaming f0 in
+  {
+    index = 0;
+    a_prime = f;
+    sigma_prime = sigma0;
+    f_prime = f0;
+    renaming;
+    g;
+    rho = Subst.restrict (Atomset.vars f0) renaming;
+    tau = Subst.compose renaming sigma0;
+  }
+
+let build_step (prev : step) (prev_f : Atomset.t) (dstep : Chase.Derivation.step) =
+  let a_i = dstep.Chase.Derivation.pre_instance in
+  let sigma_i = dstep.Chase.Derivation.simplification in
+  let f_i = dstep.Chase.Derivation.instance in
+  let rho_prev = prev.rho in
+  let a_prime = Subst.apply rho_prev a_i in
+  let inv =
+    match Subst.inverse_on (Atomset.vars prev_f) rho_prev with
+    | Some s -> s
+    | None -> invalid_arg "Robust: ρ_{i-1} is not invertible (internal error)"
+  in
+  (* σ'_i = ρ_{i-1} • σ_i • ρ_{i-1}⁻¹, built pointwise on vars(A'_i) *)
+  let sigma_prime =
+    List.fold_left
+      (fun acc x' ->
+        let x = Subst.apply_term inv x' in
+        let img = Subst.apply_term rho_prev (Subst.apply_term sigma_i x) in
+        if Term.equal img x' then acc else Subst.add x' img acc)
+      Subst.empty (Atomset.vars a_prime)
+  in
+  let f_prime = Subst.apply sigma_prime a_prime in
+  let renaming = robust_renaming a_prime sigma_prime in
+  let g = Subst.apply renaming f_prime in
+  {
+    index = dstep.Chase.Derivation.index;
+    a_prime;
+    sigma_prime;
+    f_prime;
+    renaming;
+    g;
+    rho = Subst.restrict (Atomset.vars f_i) (Subst.compose renaming rho_prev);
+    tau = Subst.compose renaming sigma_prime;
+  }
+
+let of_derivation d =
+  let dsteps = Chase.Derivation.steps d in
+  match dsteps with
+  | [] -> invalid_arg "Robust.of_derivation: empty derivation"
+  | d0 :: rest ->
+      let s0 = build_step0 d0 in
+      let rev_steps, _ =
+        List.fold_left
+          (fun (acc, prev_f) dstep ->
+            let prev = List.hd acc in
+            let s = build_step prev prev_f dstep in
+            (s :: acc, dstep.Chase.Derivation.instance))
+          ([ s0 ], d0.Chase.Derivation.instance)
+          rest
+      in
+      { derivation = d; rev_steps; len = List.length rev_steps }
+
+let derivation r = r.derivation
+
+let length r = r.len
+
+let step r i =
+  if i < 0 || i >= r.len then invalid_arg "Robust.step: out of range";
+  List.nth r.rev_steps (r.len - 1 - i)
+
+let steps r = List.rev r.rev_steps
+
+let g_at r i = (step r i).g
+
+let tau_trace r ~from_ ~to_ =
+  if from_ > to_ then invalid_arg "Robust.tau_trace: from_ > to_";
+  let rec go i acc =
+    if i > to_ then acc else go (i + 1) (Subst.compose (step r i).tau acc)
+  in
+  go (from_ + 1) Subst.empty
+
+let aggregation r =
+  (* τ̄_i^k built from the top down: τ̄_i^k = τ̄_{i+1}^k • τ_{i+1} *)
+  let rec go i trace acc =
+    if i < 0 then acc
+    else
+      let acc = Atomset.union acc (Subst.apply trace (g_at r i)) in
+      if i = 0 then acc
+      else go (i - 1) (Subst.compose trace (step r i).tau) acc
+  in
+  go (r.len - 1) Subst.empty Atomset.empty
+
+let aggregation_upto r i =
+  if i < 0 || i >= r.len then invalid_arg "Robust.aggregation_upto";
+  (* ∪_{j≤i} τ̄_j^K(G_j): the same top-down traversal as [aggregation], but
+     only indices up to [i] contribute (their images are still pushed
+     through every remaining τ of the prefix) *)
+  let rec go j trace acc =
+    if j < 0 then acc
+    else
+      let acc =
+        if j <= i then Atomset.union acc (Subst.apply trace (g_at r j))
+        else acc
+      in
+      if j = 0 then acc else go (j - 1) (Subst.compose trace (step r j).tau) acc
+  in
+  go (r.len - 1) Subst.empty Atomset.empty
+
+let fold_indices r =
+  List.filter_map
+    (fun st ->
+      if Subst.is_empty st.Chase.Derivation.simplification then None
+      else Some st.Chase.Derivation.index)
+    (Chase.Derivation.steps r.derivation)
+
+let stable_aggregation r =
+  (* Candidate truncation points are the simplification (fold) boundaries;
+     the stable part of D⊛ surfaces at the boundaries where a whole step
+     has been retracted away.  Pick the latest candidate of minimal atom
+     count relative to its depth — concretely: among fold indices, the
+     aggregation-upto with the smallest width-proxy (atoms per index),
+     preferring later indices on ties.  Falls back to the full aggregation
+     when the derivation never simplifies (monotonic case). *)
+  match fold_indices r with
+  | [] -> aggregation r
+  | folds ->
+      let scored =
+        List.map
+          (fun i ->
+            let a = aggregation_upto r i in
+            (* minimise treewidth; on ties prefer the larger (more complete)
+               and later aggregation *)
+            let w = Treewidth.upper_bound a in
+            ((w, -Atomset.cardinal a, -i), a))
+          folds
+      in
+      let _, best =
+        List.fold_left
+          (fun (bs, ba) (s, a) -> if s < bs then (s, a) else (bs, ba))
+          (match scored with x :: _ -> x | [] -> assert false)
+          scored
+      in
+      best
+
+let check_invariants r =
+  let ( let* ) = Result.bind in
+  let check b msg = if b then Ok () else Error msg in
+  let dsteps = Array.of_list (Chase.Derivation.steps r.derivation) in
+  let rsteps = Array.of_list (steps r) in
+  let n = Array.length rsteps in
+  let rec loop i =
+    if i >= n then Ok ()
+    else begin
+      let rs = rsteps.(i) in
+      let ds = dsteps.(i) in
+      let* () =
+        check
+          (Subst.is_retraction_of rs.a_prime rs.sigma_prime)
+          (Printf.sprintf "step %d: σ' is not a retraction of A'" i)
+      in
+      let* () =
+        check
+          (Atomset.equal rs.g (Subst.apply rs.rho ds.Chase.Derivation.instance))
+          (Printf.sprintf "step %d: ρ_i(F_i) ≠ G_i" i)
+      in
+      let* () =
+        check
+          (Subst.is_injective_on
+             (Atomset.terms ds.Chase.Derivation.instance)
+             rs.rho)
+          (Printf.sprintf "step %d: ρ_i not injective on terms(F_i)" i)
+      in
+      let* () =
+        if i = 0 then Ok ()
+        else
+          check
+            (Atomset.subset (Subst.apply rs.tau rsteps.(i - 1).g) rs.g)
+            (Printf.sprintf "step %d: τ_i(G_{i-1}) ⊄ G_i" i)
+      in
+      loop (i + 1)
+    end
+  in
+  let* () = loop 0 in
+  (* Lemma 1(i) on prefixes: pushing the length-j prefix aggregation through
+     τ_{j+1} lands inside the length-(j+1) prefix aggregation *)
+  let prefix_of j =
+    let rec drop k l = if k = 0 then l else drop (k - 1) (List.tl l) in
+    { r with rev_steps = drop (r.len - j) r.rev_steps; len = j }
+  in
+  let rec mono j =
+    if j >= r.len then Ok ()
+    else
+      let a_j = aggregation (prefix_of j) in
+      let a_j1 = aggregation (prefix_of (j + 1)) in
+      let pushed = Subst.apply rsteps.(j).tau a_j in
+      if Atomset.subset pushed a_j1 then mono (j + 1)
+      else Error (Printf.sprintf "prefix aggregation not monotone at %d" j)
+  in
+  mono 1

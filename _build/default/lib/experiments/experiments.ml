@@ -1,0 +1,459 @@
+open Syntax
+
+let check ppf ok fmt =
+  Format.kasprintf
+    (fun msg ->
+      Format.fprintf ppf "  [%s] %s@." (if ok then "ok" else "FAIL") msg;
+      ok)
+    fmt
+
+let pp_series ppf name series =
+  Format.fprintf ppf "  %-28s %s@." name
+    (String.concat " " (List.map string_of_int series))
+
+let budget steps = { Chase.Variants.max_steps = steps; max_atoms = 20_000 }
+
+let tw a = fst (Treewidth.best_effort a)
+
+let last_instance (run : Chase.Variants.run) =
+  (Chase.Derivation.last run.Chase.Variants.derivation).Chase.Derivation.instance
+
+let tw_series (run : Chase.Variants.run) =
+  List.map
+    (fun st -> tw st.Chase.Derivation.instance)
+    (Chase.Derivation.steps run.Chase.Variants.derivation)
+
+let size_series (run : Chase.Variants.run) =
+  List.map
+    (fun st -> Atomset.cardinal st.Chase.Derivation.instance)
+    (Chase.Derivation.steps run.Chase.Variants.derivation)
+
+(* ------------------------------------------------------------------ *)
+(* F1: the class landscape *)
+
+let exp_f1 ?(scale = 1) ppf =
+  Format.fprintf ppf "=== F1: decidable-class landscape (Figure 1) ===@.";
+  let steps = 60 * scale in
+  let ok = ref true in
+  let row name kb expect_fes_probe expect_bts_cert =
+    let report = Rclasses.analyze (Kb.rules kb) in
+    let fes_cert = Rclasses.implies_fes report in
+    let bts_cert = Rclasses.implies_bts report in
+    let termination =
+      match Corechase.Probes.core_chase_terminates ~budget:(budget steps) kb with
+      | Corechase.Probes.Terminates n -> Printf.sprintf "terminates(%d)" n
+      | Corechase.Probes.No_verdict -> "diverges(budget)"
+    in
+    let profile =
+      Corechase.Probes.tw_profile ~budget:(budget (40 * scale)) ~variant:`Core kb
+    in
+    Format.fprintf ppf "  %-18s fes-cert=%-5b bts-cert=%-5b cc=%-18s tw-max=%d%s@."
+      name fes_cert bts_cert termination profile.Corechase.Probes.max_seen
+      (if profile.Corechase.Probes.monotone_growing then " (growing)" else "");
+    (match expect_fes_probe with
+    | Some expected ->
+        let actual = String.length termination >= 10 && String.sub termination 0 10 = "terminates" in
+        ok := check ppf (actual = expected) "%s: core-chase termination as expected" name && !ok
+    | None -> ());
+    match expect_bts_cert with
+    | Some expected ->
+        ok := check ppf (bts_cert = expected) "%s: bts certificate as expected" name && !ok
+    | None -> ()
+  in
+  row "transitive-closure" (Zoo.Classic.transitive_closure ()) (Some true)
+    (Some true) (* datalog is trivially weakly guarded, hence bts *);
+  row "fes-not-bts" (Zoo.Classic.fes_not_bts ()) (Some true) (Some false);
+  row "bts-not-fes" (Zoo.Classic.bts_not_fes ()) (Some false) (Some true);
+  row "core-terminating" (Zoo.Classic.core_terminating ()) (Some true) None;
+  row "guarded-ancestor" (Zoo.Classic.guarded_ancestor ()) (Some false) (Some true);
+  row "steepening-staircase" (Zoo.Staircase.kb ()) (Some false) (Some false);
+  row "inflating-elevator" (Zoo.Elevator.kb ()) (Some false) (Some false);
+  (* the separations of Figure 1, behaviourally:
+     - fes-not-bts: the core chase terminates (fes) yet no guardedness-
+       style bts certificate applies and its syntactic fes certificates
+       fail too (its fes-hood is semantic);
+     - bts-not-fes: guarded (bts) while the core chase diverges. *)
+  let fes_not_bts = Rclasses.analyze (Kb.rules (Zoo.Classic.fes_not_bts ())) in
+  let bts_not_fes = Rclasses.analyze (Kb.rules (Zoo.Classic.bts_not_fes ())) in
+  let fnb_terminates =
+    match
+      Corechase.Probes.core_chase_terminates ~budget:(budget steps)
+        (Zoo.Classic.fes_not_bts ())
+    with
+    | Corechase.Probes.Terminates _ -> true
+    | Corechase.Probes.No_verdict -> false
+  in
+  ok :=
+    check ppf
+      (fnb_terminates && not (Rclasses.implies_bts fes_not_bts))
+      "fes-not-bts: fes behaviour without a bts certificate"
+    && !ok;
+  let bnf_diverges =
+    match
+      Corechase.Probes.core_chase_terminates ~budget:(budget steps)
+        (Zoo.Classic.bts_not_fes ())
+    with
+    | Corechase.Probes.Terminates _ -> false
+    | Corechase.Probes.No_verdict -> true
+  in
+  ok :=
+    check ppf
+      (Rclasses.implies_bts bts_not_fes && bnf_diverges
+      && not (Rclasses.implies_fes bts_not_fes))
+      "bts-not-fes: bts certificate while the core chase diverges"
+    && !ok;
+  !ok
+
+(* ------------------------------------------------------------------ *)
+(* F2: the steepening staircase *)
+
+let exp_f2 ?(scale = 1) ppf =
+  Format.fprintf ppf "=== F2: steepening staircase (Figure 2, Props 3-5) ===@.";
+  let steps = 45 * scale in
+  let ok = ref true in
+  let kb = Zoo.Staircase.kb () in
+  let cc = Chase.Variants.core ~budget:(budget steps) kb in
+  let rc = Chase.Variants.restricted ~budget:(budget steps) kb in
+  let cc_tw = tw_series cc in
+  pp_series ppf "core-chase treewidth" cc_tw;
+  ok :=
+    check ppf
+      (Corechase.Measures.uniformly_bounded_by 2 cc_tw)
+      "core-chase sequence uniformly treewidth-bounded by 2 (Prop 4)"
+    && !ok;
+  pp_series ppf "core-chase |F_i|" (size_series cc);
+  pp_series ppf "restricted |F_i|" (size_series rc);
+  ok :=
+    check ppf
+      (Atomset.cardinal (last_instance cc) < Atomset.cardinal (last_instance rc))
+      "core chase instances stay leaner than restricted"
+    && !ok;
+  (* Prop 5: the natural aggregation (= I^h) accumulates grids *)
+  let nat = Chase.Derivation.natural_aggregation cc.Chase.Variants.derivation in
+  let grid_n = Treewidth.Grid.lower_bound_via_grids ~max_n:3 nat in
+  Format.fprintf ppf "  largest grid found in D*: %dx%d (tw ≥ %d)@." grid_n
+    grid_n grid_n;
+  ok := check ppf (grid_n >= 2) "D* contains a 2x2 grid (Prop 5 prefix)" && !ok;
+  (* generator side: prefixes of I^h have growing exact treewidth *)
+  let prefix_tws =
+    List.map
+      (fun n -> tw (Zoo.Staircase.universal_model_prefix ~cols:n).Zoo.Staircase.atoms)
+      [ 2; 4; 6 ]
+  in
+  pp_series ppf "tw(P^h_n), n=2,4,6" prefix_tws;
+  ok :=
+    check ppf
+      (match prefix_tws with [ a; b; c ] -> a < c && a <= b && b <= c | _ -> false)
+      "tw(I^h prefix) grows with the prefix (no finite bound, Prop 5)"
+    && !ok;
+  ok :=
+    check ppf
+      (Homo.Hom.maps_to (last_instance rc)
+         (Zoo.Staircase.universal_model_prefix ~cols:(4 * scale + 8)).Zoo.Staircase.atoms)
+      "restricted-chase prefix embeds into the I^h generator (Prop 3)"
+    && !ok;
+  !ok
+
+(* ------------------------------------------------------------------ *)
+(* F3: the inflating elevator KB *)
+
+let exp_f3 ?(scale = 1) ppf =
+  Format.fprintf ppf "=== F3: inflating elevator KB (Figure 3, Prop 6) ===@.";
+  let ok = ref true in
+  let kb = Zoo.Elevator.kb () in
+  let n = 3 + scale in
+  let s = Zoo.Elevator.universal_model_prefix ~cols:n in
+  Format.fprintf ppf "  I^v prefix (cols=%d): %d atoms, %d terms, tw=%d@." n
+    (Atomset.cardinal s.Zoo.Elevator.atoms)
+    (List.length (Atomset.terms s.Zoo.Elevator.atoms))
+    (tw s.Zoo.Elevator.atoms);
+  ok :=
+    check ppf
+      (Homo.Hom.maps_to (Kb.facts kb) s.Zoo.Elevator.atoms)
+      "F_v embeds into the I^v generator"
+    && !ok;
+  let frontier =
+    List.filter_map (fun j -> s.Zoo.Elevator.term n j) (List.init (2 * n + 1) Fun.id)
+  in
+  let module TS = Set.Make (Term) in
+  let fr = TS.of_list frontier in
+  let confined =
+    List.for_all
+      (fun tr ->
+        let image =
+          Subst.apply (Chase.Trigger.mapping tr) (Rule.body (Chase.Trigger.rule tr))
+        in
+        List.exists (fun t -> TS.mem t fr) (Atomset.terms image))
+      (Chase.Trigger.unsatisfied_triggers (Kb.rules kb) s.Zoo.Elevator.atoms)
+  in
+  ok :=
+    check ppf confined
+      "I^v generator is a model except at its frontier column (Prop 6)"
+    && !ok;
+  let rc = Chase.Variants.restricted ~budget:(budget (40 * scale)) kb in
+  ok :=
+    check ppf
+      (Homo.Hom.maps_to (last_instance rc)
+         (Zoo.Elevator.spine_prefix ~cols:40).Zoo.Elevator.atoms)
+      "restricted-chase prefix collapses onto the spine"
+    && !ok;
+  !ok
+
+(* ------------------------------------------------------------------ *)
+(* F4: I^v*, the growing cores, and Corollary 1 *)
+
+let exp_f4 ?(scale = 1) ppf =
+  Format.fprintf ppf
+    "=== F4: elevator models & core growth (Figure 4, Props 7-8, Cor 1) ===@.";
+  let ok = ref true in
+  (* I^v* has treewidth 1 at every prefix length (Prop 7) *)
+  let spine_tws =
+    List.map
+      (fun n -> tw (Zoo.Elevator.spine_prefix ~cols:n).Zoo.Elevator.atoms)
+      [ 2; 5; 8; 12 ]
+  in
+  pp_series ppf "tw(I^v* prefix), n=2,5,8,12" spine_tws;
+  ok :=
+    check ppf
+      (List.for_all (fun w -> w = 1) spine_tws)
+      "I^v* is a treewidth-1 universal model (Prop 7)"
+    && !ok;
+  (* Section 5's remark: the grid-based counterexamples defeat other
+     structural measures too — measure pathwidth alongside *)
+  let spine_pws =
+    List.map
+      (fun n ->
+        fst (Treewidth.Pathwidth.of_atomset
+               (Zoo.Elevator.spine_prefix ~cols:n).Zoo.Elevator.atoms))
+      [ 2; 5; 8 ]
+  in
+  pp_series ppf "pw(I^v* prefix), n=2,5,8" spine_pws;
+  ok :=
+    check ppf
+      (List.for_all (fun w -> w <= 1) spine_pws)
+      "the spine is pathwidth-1 as well"
+    && !ok;
+  (* growing cores: I^v_n are cores with growing treewidth (Prop 8.1-8.2:
+     tw ≥ ⌊n/3⌋+1, so growth shows from n ≈ 6 on) *)
+  let ns = [ 1; 2; 4; 3 + (3 * scale) ] in
+  let cores_ok = ref true and tws = ref [] in
+  List.iter
+    (fun n ->
+      let fc = Zoo.Elevator.frontier_core ~cols:n in
+      if not (Homo.Core.is_core fc.Zoo.Elevator.atoms) then cores_ok := false;
+      tws := tw fc.Zoo.Elevator.atoms :: !tws)
+    ns;
+  let tws = List.rev !tws in
+  pp_series ppf "tw(I^v_n)" tws;
+  let pws =
+    List.map
+      (fun n ->
+        fst (Treewidth.Pathwidth.of_atomset
+               (Zoo.Elevator.frontier_core ~cols:n).Zoo.Elevator.atoms))
+      ns
+  in
+  pp_series ppf "pw(I^v_n)" pws;
+  ok :=
+    check ppf
+      (List.for_all2 (fun p t -> p >= t) pws tws)
+      "pathwidth dominates treewidth on every I^v_n (Section 5 remark)"
+    && !ok;
+  ok := check ppf !cores_ok "every I^v_n is a core (Prop 8.1)" && !ok;
+  ok :=
+    check ppf
+      (List.length tws >= 2
+      && List.nth tws (List.length tws - 1) > List.hd tws)
+      "tw(I^v_n) grows (Prop 8.2)"
+    && !ok;
+  (* Corollary 1: the core chase's treewidth series grows *)
+  let cc = Chase.Variants.core ~budget:(budget (60 * scale)) (Zoo.Elevator.kb ()) in
+  let series = tw_series cc in
+  pp_series ppf "core-chase treewidth" series;
+  let max_tw = List.fold_left max 0 series in
+  ok :=
+    check ppf (max_tw >= 2)
+      "core-chase treewidth exceeds every small bound on the prefix (Cor 1)"
+    && !ok;
+  let tail = List.filteri (fun i _ -> i >= List.length series - 5) series in
+  ok :=
+    check ppf
+      (List.for_all (fun w -> w >= max_tw - 1) tail)
+      "treewidth does not recur to small values at the end of the prefix"
+    && !ok;
+  !ok
+
+(* ------------------------------------------------------------------ *)
+(* F5: the robust sequence and the aggregation theorem *)
+
+let exp_f5 ?(scale = 1) ppf =
+  Format.fprintf ppf
+    "=== F5: robust aggregation of the staircase (Defs 14-16, Props 10-12) ===@.";
+  let ok = ref true in
+  let cc = Chase.Variants.core ~budget:(budget (40 * scale)) (Zoo.Staircase.kb ()) in
+  let d = cc.Chase.Variants.derivation in
+  let r = Corechase.Robust.of_derivation d in
+  (match Corechase.Robust.check_invariants r with
+  | Ok () -> ok := check ppf true "all Definition-15 invariants hold" && !ok
+  | Error m -> ok := check ppf false "invariants: %s" m && !ok);
+  let agg = Corechase.Robust.aggregation r in
+  let stable = Corechase.Robust.stable_aggregation r in
+  let nat = Chase.Derivation.natural_aggregation d in
+  (* aggregations can exceed the exact-treewidth vertex budget: min-fill
+     upper bounds suffice for the ≤-side checks, grids for the ≥-side *)
+  let tw_ub = Treewidth.upper_bound in
+  Format.fprintf ppf
+    "  |D*|=%d (tw≤%d)   |D⊛ prefix|=%d (tw≤%d)   |stable|=%d (tw≤%d)@."
+    (Atomset.cardinal nat) (tw_ub nat) (Atomset.cardinal agg) (tw_ub agg)
+    (Atomset.cardinal stable) (tw_ub stable);
+  ok :=
+    check ppf (tw_ub agg <= 2)
+      "D⊛ inherits the derivation's treewidth bound 2 (Prop 12.2)"
+    && !ok;
+  ok :=
+    check ppf (tw_ub stable <= 1) "stable part of D⊛ is the column (tw 1)"
+    && !ok;
+  ok :=
+    check ppf
+      (Treewidth.Grid.contains ~n:2 nat)
+      "natural aggregation D* contains grids (its treewidth diverges)"
+    && !ok;
+  ok :=
+    check ppf
+      (not (Treewidth.Grid.contains ~n:2 stable))
+      "stable D⊛ contains no grid"
+    && !ok;
+  let col = Zoo.Staircase.infinite_column_prefix ~height:(30 * scale) in
+  ok :=
+    check ppf
+      (Homo.Hom.maps_to stable col.Zoo.Staircase.atoms)
+      "stable D⊛ embeds into the Ĩ^h column (Section 8's narrative)"
+    && !ok;
+  (* Prop 10: τ stabilisation of G_0 *)
+  let k = Corechase.Robust.length r - 1 in
+  let img j = Subst.apply (Corechase.Robust.tau_trace r ~from_:0 ~to_:j) (Corechase.Robust.g_at r 0) in
+  ok :=
+    check ppf
+      (Atomset.equal (img k) (img (k - 1)))
+      "τ̄(G_0) is stable at the end of the prefix (Prop 10)"
+    && !ok;
+  !ok
+
+(* ------------------------------------------------------------------ *)
+(* T1: replay of Table 1's schedule *)
+
+let find_trigger rule_name rules inst mapping_hints =
+  let r = List.find (fun r -> Rule.name r = rule_name) rules in
+  let vars = List.sort_uniq Term.compare (Rule.universal_vars r) in
+  let sigma =
+    List.fold_left
+      (fun s v ->
+        match List.assoc_opt (Term.hint v) mapping_hints with
+        | Some t -> Subst.add v t s
+        | None -> s)
+      Subst.empty vars
+  in
+  let tr = Chase.Trigger.make r sigma in
+  if not (Chase.Trigger.is_trigger_for tr inst) then None else Some tr
+
+let exp_t1 ?(scale = 1) ppf =
+  Format.fprintf ppf "=== T1: Table 1 replay (column C_k → step S_k) ===@.";
+  let ok = ref true in
+  let kb = Zoo.Staircase.kb () in
+  let rules = Kb.rules kb in
+  List.iter
+    (fun k ->
+      let s = Zoo.Staircase.universal_model_prefix ~cols:(k + 1) in
+      let cell i j = Option.get (s.Zoo.Staircase.term i j) in
+      let column = Zoo.Staircase.column s k in
+      (* drive a derivation from (C_k, Σ_h) following Table 1's schedule *)
+      let kb_k = Kb.make ~facts:column ~rules in
+      let d = ref (Chase.Derivation.start kb_k) in
+      let apply rule_name hints =
+        let inst = (Chase.Derivation.last !d).Chase.Derivation.instance in
+        match find_trigger rule_name rules inst hints with
+        | Some tr ->
+            d := Chase.Derivation.extend !d tr ~simplification:Subst.empty
+        | None -> failwith (rule_name ^ ": scheduled trigger not applicable")
+      in
+      (try
+         (* R1 on the top loop *)
+         apply "Rh1" [ ("X", cell k k) ];
+         (* the fresh nulls created play the roles of (k,k+1), (k+1,k),
+            (k+1,k+1); recover them from the derivation's last step *)
+         let last = Chase.Derivation.last !d in
+         let x' , y, y' =
+           match last.Chase.Derivation.trigger with
+           | Some tr ->
+               let ps = last.Chase.Derivation.pi_safe in
+               let r1 = Chase.Trigger.rule tr in
+               let img h =
+                 Subst.apply_term ps
+                   (List.find (fun v -> Term.hint v = h) (Rule.existential_vars r1))
+               in
+               (img "X'", img "Y", img "Y'")
+           | None -> assert false
+         in
+         (* bookkeeping for the new column's cells *)
+         let new_cell = Hashtbl.create 8 in
+         Hashtbl.replace new_cell (k, k + 1) x';
+         Hashtbl.replace new_cell (k + 1, k) y;
+         Hashtbl.replace new_cell (k + 1, k + 1) y';
+         (* R2 from top to bottom: j = k .. 1 *)
+         for j = k downto 1 do
+           apply "Rh2"
+             [
+               ("X", cell k (j - 1)); ("X'", cell k j);
+               ("Y'", Hashtbl.find new_cell (k + 1, j));
+             ];
+           let last = Chase.Derivation.last !d in
+           let ps = last.Chase.Derivation.pi_safe in
+           let r2 =
+             Chase.Trigger.rule (Option.get last.Chase.Derivation.trigger)
+           in
+           let y_new =
+             Subst.apply_term ps
+               (List.find (fun v -> Term.hint v = "Y") (Rule.existential_vars r2))
+           in
+           Hashtbl.replace new_cell (k + 1, j - 1) y_new
+         done;
+         (* R3 propagates the floor *)
+         apply "Rh3"
+           [ ("X", cell k 0); ("Y", Hashtbl.find new_cell (k + 1, 0)) ];
+         (* R4 climbs the loops: rows 1 .. k+1 *)
+         for j = 1 to k + 1 do
+           apply "Rh4"
+             [
+               ("X", Hashtbl.find new_cell (k + 1, j - 1));
+               ("X'", Hashtbl.find new_cell (k + 1, j));
+             ]
+         done;
+         let result = (Chase.Derivation.last !d).Chase.Derivation.instance in
+         let expected = Zoo.Staircase.step_atomset s k in
+         ok :=
+           check ppf
+             (Homo.Morphism.isomorphic result expected)
+             "k=%d: schedule yields S^h_%d (%d rule applications)" k k
+             (Chase.Derivation.length !d - 1)
+           && !ok
+       with Failure m -> ok := check ppf false "k=%d: %s" k m && !ok))
+    (List.init (1 + scale) (fun i -> i + 1));
+  !ok
+
+let all =
+  [
+    ("F1", exp_f1);
+    ("F2", exp_f2);
+    ("F3", exp_f3);
+    ("F4", exp_f4);
+    ("F5", exp_f5);
+    ("T1", exp_t1);
+  ]
+
+let run_all ?scale ppf =
+  List.fold_left
+    (fun acc (name, f) ->
+      Format.fprintf ppf "@.";
+      let ok = f ?scale ppf in
+      Format.fprintf ppf "--- %s: %s ---@." name (if ok then "PASS" else "FAIL");
+      acc && ok)
+    true all

@@ -1,0 +1,44 @@
+(** Regeneration of every figure and table of the paper (see DESIGN.md §3
+    for the experiment index and EXPERIMENTS.md for paper-vs-measured).
+
+    Each experiment prints a human-readable report of the measured series
+    whose shape the paper's artwork depicts, and returns [true] iff every
+    checked property held.  The [scale] parameter trades runtime for
+    prefix length (1 = test-suite scale, 2–3 = bench scale). *)
+
+val exp_f1 : ?scale:int -> Format.formatter -> bool
+(** Figure 1: the class-membership matrix over the ruleset zoo —
+    syntactic certificates (fes/bts), core-chase termination probes, and
+    treewidth profiles, reproducing the Venn diagram's separations. *)
+
+val exp_f2 : ?scale:int -> Format.formatter -> bool
+(** Figure 2 / Propositions 3–5: the steepening staircase.  Core-chase
+    treewidth series (uniform bound 2), restricted-vs-core instance sizes,
+    and grid growth inside the natural aggregation. *)
+
+val exp_f3 : ?scale:int -> Format.formatter -> bool
+(** Figure 3 / Proposition 6: the inflating elevator KB and the
+    correctness of the [I^v] generator (facts embed; unsatisfied triggers
+    confined to the frontier). *)
+
+val exp_f4 : ?scale:int -> Format.formatter -> bool
+(** Figure 4 / Propositions 7–8, Corollary 1: [I^v*] has treewidth 1 at
+    every prefix length; the growing cores [I^v_n] are cores with growing
+    treewidth; the core chase's treewidth series grows. *)
+
+val exp_f5 : ?scale:int -> Format.formatter -> bool
+(** Figures 5–6 / Definitions 14–16, Propositions 10–12: the robust
+    sequence of the staircase core chase — all commutation invariants, τ
+    stabilisation, and the aggregation treewidth story (D⊛ bounded, D*
+    unbounded). *)
+
+val exp_t1 : ?scale:int -> Format.formatter -> bool
+(** Table 1: replay the rule-application schedule turning column [C^h_k]
+    into step [S^h_k] and check the result is isomorphic to the
+    generator's step. *)
+
+val all : (string * (?scale:int -> Format.formatter -> bool)) list
+(** Every experiment, keyed by its DESIGN.md id ("F1".."F5", "T1"). *)
+
+val run_all : ?scale:int -> Format.formatter -> bool
+(** Run every experiment; [true] iff all pass. *)

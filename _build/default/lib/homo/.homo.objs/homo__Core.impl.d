@@ -1,0 +1,1 @@
+lib/homo/core.ml: Atom Atomset List Morphism Subst Syntax

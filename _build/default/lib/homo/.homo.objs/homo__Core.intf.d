@@ -1,0 +1,1 @@
+lib/homo/core.mli: Atomset Subst Syntax

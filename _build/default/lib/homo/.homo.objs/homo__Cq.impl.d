@@ -1,0 +1,1 @@
+lib/homo/cq.ml: Atomset Core Hom Instance Kb List Printf Subst Syntax Term

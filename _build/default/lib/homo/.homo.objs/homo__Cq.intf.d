@@ -1,0 +1,1 @@
+lib/homo/cq.mli: Atomset Kb Syntax Term

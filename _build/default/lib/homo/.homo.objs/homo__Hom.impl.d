@@ -1,0 +1,1 @@
+lib/homo/hom.ml: Atom Atomset Instance List Option Set String Subst Syntax Term

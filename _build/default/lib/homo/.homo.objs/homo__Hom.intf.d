@@ -1,0 +1,1 @@
+lib/homo/hom.mli: Atom Atomset Instance Subst Syntax

@@ -1,0 +1,1 @@
+lib/homo/instance.ml: Atom Atomset Int List Map String Subst Syntax Term

@@ -1,0 +1,1 @@
+lib/homo/instance.mli: Atom Atomset Fmt Subst Syntax Term

@@ -1,0 +1,1 @@
+lib/homo/morphism.ml: Atomset Hom Instance List Subst Syntax Term

@@ -1,0 +1,1 @@
+lib/homo/morphism.mli: Atomset Subst Syntax

@@ -1,0 +1,55 @@
+open Syntax
+
+type strategy = By_variable | By_atom
+
+let strategy = ref By_variable
+
+let find_fold_by_variable a =
+  List.find_map
+    (fun x ->
+      let target = Atomset.without_term x a in
+      Morphism.find_endomorphism_into a target)
+    (Atomset.vars a)
+
+let find_fold_by_atom a =
+  List.find_map
+    (fun at ->
+      if Atom.is_ground at then None
+      else Morphism.find_endomorphism_into a (Atomset.remove at a))
+    (Atomset.to_list a)
+
+let find_fold a =
+  match !strategy with
+  | By_variable -> find_fold_by_variable a
+  | By_atom -> find_fold_by_atom a
+
+let rec fold_loop sigma current =
+  match find_fold current with
+  | None -> (sigma, current)
+  | Some h -> fold_loop (Subst.compose h sigma) (Subst.apply h current)
+
+let retraction_to_core a =
+  let sigma_star, c = fold_loop Subst.empty a in
+  if Subst.is_empty sigma_star then Subst.empty
+  else begin
+    (* σ* : A → C is a homomorphism onto the core C; its restriction to C
+       is an endomorphism of the finite core C, hence an automorphism.
+       Pre-composing with the inverse yields a retraction. *)
+    let g = Subst.restrict (Atomset.vars c) sigma_star in
+    let r =
+      if Subst.is_identity_on (Atomset.terms c) g then sigma_star
+      else
+        let g_inv = Morphism.invert_automorphism c g in
+        Subst.compose g_inv sigma_star
+    in
+    assert (Subst.is_retraction_of a r);
+    r
+  end
+
+let core_with_retraction a =
+  let r = retraction_to_core a in
+  (Subst.apply r a, r)
+
+let of_atomset a = fst (core_with_retraction a)
+
+let is_core a = match find_fold a with None -> true | Some _ -> false

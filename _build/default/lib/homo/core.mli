@@ -1,0 +1,42 @@
+(** Cores of finite atomsets (Section 2).
+
+    A finite atomset is a {e core} if its only retraction is the identity.
+    Every finite atomset has a retract that is a core, unique up to
+    isomorphism.  The core chase (and Definition 14's robust renaming)
+    need the {e retraction} onto the core, not merely the core itself, so
+    the central entry point here returns the substitution.
+
+    Algorithm: repeatedly look for a variable [x] and an endomorphism of
+    [A] into [A] minus the atoms containing [x] (a "fold" eliminating
+    [x]); compose the folds; when no variable can be eliminated the image
+    is a core.  The composite is a homomorphism [A → core] but not yet a
+    retraction; its restriction to the core is an automorphism of the
+    core, which we invert and pre-compose to obtain a genuine retraction
+    (identity on the core's terms).  Completeness: a non-core finite
+    atomset has a proper retraction, whose image omits at least one
+    variable, so the per-variable fold search cannot miss it.
+
+    Two fold strategies are available for ablation ([abl:core]):
+    [By_variable] (default) searches, per variable [x], for an
+    endomorphism into [A] minus the atoms containing [x];
+    [By_atom] searches, per non-ground atom [at], for an endomorphism into
+    [A ∖ {at}].  Both are complete; their search profiles differ. *)
+
+open Syntax
+
+type strategy = By_variable | By_atom
+
+val strategy : strategy ref
+(** Default [Whole_image]. *)
+
+val retraction_to_core : Atomset.t -> Subst.t
+(** A retraction [σ] of the atomset with [σ(A)] a core.  The identity
+    substitution (empty) when the atomset is already a core. *)
+
+val of_atomset : Atomset.t -> Atomset.t
+(** The core itself: [σ(A)] for [σ = retraction_to_core A]. *)
+
+val is_core : Atomset.t -> bool
+
+val core_with_retraction : Atomset.t -> Atomset.t * Subst.t
+(** Both at once. *)

@@ -1,0 +1,35 @@
+open Syntax
+
+(* Freeze a query's variables into fresh constants. *)
+let freeze atoms =
+  let sigma =
+    List.fold_left
+      (fun s v ->
+        Subst.add v (Term.const (Printf.sprintf "frzq_%d" (Term.rank v))) s)
+      Subst.empty (Atomset.vars atoms)
+  in
+  Subst.apply sigma atoms
+
+let contained_in q1 q2 =
+  (* q1 ⊑ q2 iff q2 maps into the frozen q1 (Chandra–Merlin) *)
+  Hom.maps_to (Kb.Query.atoms q2) (freeze (Kb.Query.atoms q1))
+
+let equivalent q1 q2 = contained_in q1 q2 && contained_in q2 q1
+
+let minimize q = Kb.Query.of_atomset ~name:(Kb.Query.name q) (Core.of_atomset (Kb.Query.atoms q))
+
+let is_minimal q = Core.is_core (Kb.Query.atoms q)
+
+let evaluate q inst = Hom.maps_to (Kb.Query.atoms q) inst
+
+let answers ~answer_vars q inst =
+  let indexed = Instance.of_atomset inst in
+  let tuples =
+    List.map
+      (fun h -> List.map (Subst.apply_term h) answer_vars)
+      (Hom.all (Kb.Query.atoms q) indexed)
+  in
+  List.sort_uniq (List.compare Term.compare) tuples
+
+let certain_answers ~answer_vars q inst =
+  List.filter (List.for_all Term.is_const) (answers ~answer_vars q inst)

@@ -1,0 +1,37 @@
+(** Classical conjunctive-query theory on top of the homomorphism and core
+    machinery (Chandra–Merlin): containment, equivalence, minimisation.
+
+    For Boolean CQs [q₁], [q₂] read as existentially closed conjunctions:
+    [q₁ ⊑ q₂] (q₁ is contained in q₂ — every model of q₁ satisfies q₂) iff
+    there is a homomorphism from [q₂]'s atoms to [q₁]'s atoms treating
+    [q₁]'s variables as frozen constants; equivalently, iff [q₂] maps into
+    [q₁] homomorphically.  The minimal equivalent query is the core. *)
+
+open Syntax
+
+val contained_in : Kb.Query.t -> Kb.Query.t -> bool
+(** [contained_in q1 q2]: [q1 ⊑ q2]. *)
+
+val equivalent : Kb.Query.t -> Kb.Query.t -> bool
+
+val minimize : Kb.Query.t -> Kb.Query.t
+(** The core of the query: the unique (up to isomorphism) minimal
+    equivalent CQ. *)
+
+val is_minimal : Kb.Query.t -> bool
+
+val evaluate : Kb.Query.t -> Atomset.t -> bool
+(** Boolean evaluation over an instance (homomorphism existence). *)
+
+val answers :
+  answer_vars:Term.t list -> Kb.Query.t -> Atomset.t -> Term.t list list
+(** All answer tuples: images of the answer variables under homomorphisms
+    of the query into the instance, deduplicated, sorted.  (On chase
+    results, tuples containing nulls are "possible" rather than "certain"
+    answers — {!certain_answers} filters them.) *)
+
+val certain_answers :
+  answer_vars:Term.t list -> Kb.Query.t -> Atomset.t -> Term.t list list
+(** {!answers} restricted to all-constant tuples: evaluated on a universal
+    model (e.g. a terminated chase result), these are exactly the certain
+    answers of the query over the KB. *)

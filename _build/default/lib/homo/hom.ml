@@ -1,0 +1,143 @@
+open Syntax
+
+let naive_order = ref false
+
+module TS = Set.Make (Term)
+
+let extend_pair sigma pat_t tgt_t acc_new =
+  match pat_t with
+  | Term.Const _ -> if Term.equal pat_t tgt_t then Some (sigma, acc_new) else None
+  | Term.Var _ -> (
+      match Subst.find pat_t sigma with
+      | Some img -> if Term.equal img tgt_t then Some (sigma, acc_new) else None
+      | None -> Some (Subst.add pat_t tgt_t sigma, (pat_t, tgt_t) :: acc_new))
+
+let extend_via_atom_full sigma pattern target =
+  if
+    (not (String.equal (Atom.pred pattern) (Atom.pred target)))
+    || Atom.arity pattern <> Atom.arity target
+  then None
+  else
+    let rec go sigma acc_new ps ts =
+      match (ps, ts) with
+      | [], [] -> Some (sigma, acc_new)
+      | p :: ps', t :: ts' -> (
+          match extend_pair sigma p t acc_new with
+          | None -> None
+          | Some (sigma', acc') -> go sigma' acc' ps' ts')
+      | _ -> None
+    in
+    go sigma [] (Atom.args pattern) (Atom.args target)
+
+let extend_via_atom sigma pattern target =
+  Option.map fst (extend_via_atom_full sigma pattern target)
+
+(* Core backtracking engine.  [k] is called on every solution; raising from
+   [k] aborts the search (used for early exit). *)
+let solve ?(seed = Subst.empty) ?(injective = false) ~(k : Subst.t -> unit)
+    (src : Atomset.t) (tgt : Instance.t) : unit =
+  let atoms = Atomset.to_list src in
+  (* Under injectivity, track the set of image terms already in use.  The
+     initial set contains the seed's images and the source's constants
+     (which are their own images). *)
+  let init_used =
+    if not injective then TS.empty
+    else
+      List.fold_left
+        (fun used v ->
+          match Subst.find v seed with
+          | Some img -> TS.add img used
+          | None -> used)
+        (TS.of_list (Atomset.consts src))
+        (Atomset.vars src)
+  in
+  let rec go sigma used remaining =
+    match remaining with
+    | [] -> k sigma
+    | _ ->
+        let next, rest =
+          if !naive_order then (List.hd remaining, List.tl remaining)
+          else
+            (* most-constrained-first: smallest candidate bucket *)
+            let scored =
+              List.map
+                (fun a -> (Instance.candidate_count tgt a sigma, a))
+                remaining
+            in
+            let best =
+              List.fold_left
+                (fun (bc, ba) (c, a) ->
+                  if c < bc then (c, a) else (bc, ba))
+                (List.hd scored) (List.tl scored)
+            in
+            (snd best, List.filter (fun a -> a != snd best) remaining)
+        in
+        let try_candidate target_atom =
+          match extend_via_atom_full sigma next target_atom with
+          | None -> ()
+          | Some (sigma', new_bindings) ->
+              if injective then begin
+                (* each fresh image must be unused, and fresh images must be
+                   pairwise distinct (checked by sequential insertion) *)
+                let rec check used = function
+                  | [] -> Some used
+                  | (_, img) :: rest ->
+                      if TS.mem img used then None
+                      else check (TS.add img used) rest
+                in
+                match check used new_bindings with
+                | None -> ()
+                | Some used' -> go sigma' used' rest
+              end
+              else go sigma' used rest
+        in
+        List.iter try_candidate (Instance.candidates tgt next sigma)
+  in
+  go seed init_used atoms
+
+exception Stop
+
+let find ?seed ?injective src tgt =
+  let result = ref None in
+  (try
+     solve ?seed ?injective
+       ~k:(fun s ->
+         result := Some s;
+         raise Stop)
+       src tgt
+   with Stop -> ());
+  !result
+
+let exists ?seed ?injective src tgt =
+  match find ?seed ?injective src tgt with Some _ -> true | None -> false
+
+let all ?seed ?injective ?limit src tgt =
+  let acc = ref [] in
+  let n = ref 0 in
+  (try
+     solve ?seed ?injective
+       ~k:(fun s ->
+         acc := s :: !acc;
+         incr n;
+         match limit with Some l when !n >= l -> raise Stop | _ -> ())
+       src tgt
+   with Stop -> ());
+  List.rev !acc
+
+let count ?seed ?injective ?limit src tgt =
+  let n = ref 0 in
+  (try
+     solve ?seed ?injective
+       ~k:(fun _ ->
+         incr n;
+         match limit with Some l when !n >= l -> raise Stop | _ -> ())
+       src tgt
+   with Stop -> ());
+  !n
+
+let iter ?seed ?injective f src tgt = solve ?seed ?injective ~k:f src tgt
+
+let find_into src tgt_atoms = find src (Instance.of_atomset tgt_atoms)
+
+let maps_to src tgt_atoms =
+  match find_into src tgt_atoms with Some _ -> true | None -> false

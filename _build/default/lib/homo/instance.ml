@@ -1,0 +1,94 @@
+open Syntax
+
+module SMap = Map.Make (String)
+
+module PTKey = struct
+  type t = string * int * Term.t
+
+  let compare (p1, i1, t1) (p2, i2, t2) =
+    let c = String.compare p1 p2 in
+    if c <> 0 then c
+    else
+      let c = Int.compare i1 i2 in
+      if c <> 0 then c else Term.compare t1 t2
+end
+
+module PTMap = Map.Make (PTKey)
+
+type t = {
+  atoms : Atomset.t;
+  by_pred : Atom.t list SMap.t;
+  by_ppt : Atom.t list PTMap.t;
+}
+
+let of_atomset atoms =
+  let by_pred, by_ppt =
+    Atomset.fold
+      (fun a (bp, bt) ->
+        let bp =
+          SMap.update (Atom.pred a)
+            (function None -> Some [ a ] | Some l -> Some (a :: l))
+            bp
+        in
+        let bt, _ =
+          List.fold_left
+            (fun (bt, i) arg ->
+              ( PTMap.update
+                  (Atom.pred a, i, arg)
+                  (function None -> Some [ a ] | Some l -> Some (a :: l))
+                  bt,
+                i + 1 ))
+            (bt, 0) (Atom.args a)
+        in
+        (bp, bt))
+      atoms (SMap.empty, PTMap.empty)
+  in
+  { atoms; by_pred; by_ppt }
+
+let atomset ins = ins.atoms
+
+let cardinal ins = Atomset.cardinal ins.atoms
+
+let atoms_with_pred ins p =
+  match SMap.find_opt p ins.by_pred with Some l -> l | None -> []
+
+let atoms_with_pred_pos_term ins p i t =
+  match PTMap.find_opt (p, i, t) ins.by_ppt with Some l -> l | None -> []
+
+(* The most selective index entry for a pattern atom: among argument
+   positions whose pattern term is a constant or a σ-bound variable, the
+   (pred, pos, term) bucket with the fewest atoms; otherwise the predicate
+   bucket. *)
+let best_bucket ins pattern sigma =
+  let p = Atom.pred pattern in
+  let bound_positions =
+    List.filteri
+      (fun _ _ -> true)
+      (List.mapi (fun i arg -> (i, arg)) (Atom.args pattern))
+    |> List.filter_map (fun (i, arg) ->
+           match arg with
+           | Term.Const _ -> Some (i, arg)
+           | Term.Var _ -> (
+               match Subst.find arg sigma with
+               | Some img -> Some (i, img)
+               | None -> None))
+  in
+  let pred_bucket = atoms_with_pred ins p in
+  List.fold_left
+    (fun best (i, img) ->
+      let bucket = atoms_with_pred_pos_term ins p i img in
+      if List.length bucket < List.length best then bucket else best)
+    pred_bucket bound_positions
+
+let use_indexes = ref true
+
+let all_atoms ins = Atomset.to_list ins.atoms
+
+let candidates ins pattern sigma =
+  if !use_indexes then best_bucket ins pattern sigma else all_atoms ins
+
+let candidate_count ins pattern sigma =
+  if !use_indexes then List.length (best_bucket ins pattern sigma)
+  else Atomset.cardinal ins.atoms
+
+let pp ppf ins = Atomset.pp ppf ins.atoms

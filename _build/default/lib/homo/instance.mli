@@ -1,0 +1,44 @@
+(** Indexed instances: an {!Syntax.Atomset.t} wrapped with access structures
+    for conjunctive matching.
+
+    Two indexes are maintained:
+    - by predicate: all atoms with a given predicate symbol;
+    - by (predicate, position, term): all atoms with a given term at a given
+      argument position.
+
+    Instances are immutable; chase engines rebuild them per round (the
+    rebuild is linear and dwarfed by the matching work it accelerates —
+    see the [abl:index] ablation bench). *)
+
+open Syntax
+
+type t
+
+val of_atomset : Atomset.t -> t
+
+val atomset : t -> Atomset.t
+
+val cardinal : t -> int
+
+val atoms_with_pred : t -> string -> Atom.t list
+(** All atoms with the given predicate (empty list if none). *)
+
+val atoms_with_pred_pos_term : t -> string -> int -> Term.t -> Atom.t list
+(** All atoms with the given term at the given 0-based position. *)
+
+val candidates : t -> Atom.t -> Subst.t -> Atom.t list
+(** [candidates ins pattern σ]: a superset of the atoms of [ins] that the
+    [pattern] atom can map to under an extension of [σ].  Uses the most
+    selective index available given the pattern's constants and
+    [σ]-bound variables; callers still verify full consistency. *)
+
+val candidate_count : t -> Atom.t -> Subst.t -> int
+(** Length of {!candidates} without materialising it beyond the index. *)
+
+val pp : t Fmt.t
+
+val use_indexes : bool ref
+(** Ablation switch ([abl:index]): when [false], {!candidates} ignores the
+    indexes and returns the whole atom list (the matcher still rejects
+    non-matching atoms, so results are unchanged — only slower).  Default
+    [true]. *)

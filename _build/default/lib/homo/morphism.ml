@@ -1,0 +1,43 @@
+open Syntax
+
+let find_endomorphism_into a target = Hom.find a (Instance.of_atomset target)
+
+let profile a =
+  (Atomset.cardinal a, List.length (Atomset.terms a), Atomset.preds a)
+
+let find_isomorphism a b =
+  (* Prechecks: same atom count, same term count, same predicate profile,
+     and the constants coincide (constants are isomorphism-invariant). *)
+  if profile a <> profile b then None
+  else if
+    not
+      (List.equal Term.equal (Atomset.consts a) (Atomset.consts b))
+  then None
+  else
+    (* An injective homomorphism between equinumerous atomsets over
+       equinumerous term sets is an isomorphism (see DESIGN.md §2 item 5):
+       injectivity on terms makes it injective on atoms, hence surjective
+       onto [b]; the inverse is then automatically a homomorphism. *)
+    Hom.find ~injective:true a (Instance.of_atomset b)
+
+let isomorphic a b =
+  match find_isomorphism a b with Some _ -> true | None -> false
+
+let hom_equivalent a b = Hom.maps_to a b && Hom.maps_to b a
+
+let is_automorphism a sigma =
+  Subst.is_endomorphism_of a sigma
+  && Atomset.equal (Subst.apply sigma a) a
+  && Subst.is_injective_on (Atomset.terms a) sigma
+
+let invert_automorphism a sigma =
+  if not (is_automorphism a sigma) then
+    invalid_arg "Morphism.invert_automorphism: not an automorphism";
+  match Subst.inverse_on (Atomset.terms a) sigma with
+  | Some inv -> inv
+  | None -> invalid_arg "Morphism.invert_automorphism: not invertible"
+
+let retract_of a sigma =
+  if not (Subst.is_retraction_of a sigma) then
+    invalid_arg "Morphism.retract_of: not a retraction";
+  Subst.apply sigma a

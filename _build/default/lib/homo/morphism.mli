@@ -1,0 +1,37 @@
+(** Endomorphisms, isomorphisms, retractions and homomorphic equivalence
+    (Section 2).
+
+    All notions are relative to finite atomsets.  Recall the paper's
+    definitions: an endomorphism of [A] is a homomorphism [A → A]; an
+    isomorphism is a bijective homomorphism whose inverse is a
+    homomorphism; a retraction is an endomorphism that is the identity on
+    the terms of its image (the image then being a {e retract}). *)
+
+open Syntax
+
+val find_endomorphism_into : Atomset.t -> Atomset.t -> Subst.t option
+(** [find_endomorphism_into a target] with [target ⊆ a]: a homomorphism
+    from [a] into [target] (used by the core-folding loop with
+    [target = a] minus the atoms containing some variable). *)
+
+val find_isomorphism : Atomset.t -> Atomset.t -> Subst.t option
+(** An isomorphism from the first atomset to the second, if any.  The
+    returned substitution is injective on [terms a] and its inverse (via
+    {!Syntax.Subst.inverse_on}) is a homomorphism back. *)
+
+val isomorphic : Atomset.t -> Atomset.t -> bool
+
+val hom_equivalent : Atomset.t -> Atomset.t -> bool
+(** Homomorphisms in both directions exist. *)
+
+val is_automorphism : Atomset.t -> Subst.t -> bool
+(** [σ] is an endomorphism of the atomset that permutes its terms and maps
+    the atomset onto itself. *)
+
+val invert_automorphism : Atomset.t -> Subst.t -> Subst.t
+(** Inverse of an automorphism on the atomset's terms.
+    @raise Invalid_argument if the substitution is not an automorphism. *)
+
+val retract_of : Atomset.t -> Subst.t -> Atomset.t
+(** The retract [σ(A)] of a retraction.
+    @raise Invalid_argument if [σ] is not a retraction of the atomset. *)

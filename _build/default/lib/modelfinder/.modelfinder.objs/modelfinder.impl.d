@@ -1,0 +1,1 @@
+lib/modelfinder/modelfinder.ml: Atomset Encode Homo Kb List Rule Sat Syntax Term

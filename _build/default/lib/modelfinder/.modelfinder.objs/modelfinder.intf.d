@@ -1,0 +1,1 @@
+lib/modelfinder/modelfinder.mli: Atomset Encode Kb Sat Syntax Term

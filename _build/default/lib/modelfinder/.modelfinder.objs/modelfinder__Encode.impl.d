@@ -1,0 +1,1 @@
+lib/modelfinder/encode.ml: Array Atom Atomset Fun Hashtbl Kb List Printf Rule Syntax Term

@@ -1,0 +1,1 @@
+lib/modelfinder/encode.mli: Atomset Kb Syntax Term

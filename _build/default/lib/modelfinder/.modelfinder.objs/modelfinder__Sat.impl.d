@@ -1,0 +1,1 @@
+lib/modelfinder/sat.ml: Array List Queue

@@ -1,0 +1,143 @@
+open Syntax
+
+type t = {
+  nvars : int;
+  clauses : int list list;
+  domain : Term.t list;
+  decode : bool array -> Atomset.t;
+}
+
+(* All assignments of [vars] to domain indices [0..d-1]. *)
+let assignments vars d =
+  let rec go = function
+    | [] -> [ [] ]
+    | v :: rest ->
+        let tails = go rest in
+        List.concat_map
+          (fun e -> List.map (fun tl -> (v, e) :: tl) tails)
+          (List.init d Fun.id)
+  in
+  go vars
+
+let encode ~domain_size ?forbid ?(forbid_all = []) kb =
+  if domain_size <= 0 then invalid_arg "Encode: domain_size must be positive";
+  let forbidden =
+    (match forbid with None -> [] | Some q -> [ q ]) @ forbid_all
+  in
+  let query_consts =
+    List.concat_map (fun q -> Atomset.consts (Kb.Query.atoms q)) forbidden
+  in
+  let consts =
+    List.sort_uniq Term.compare (Kb.consts kb @ query_consts)
+  in
+  if List.length consts > domain_size then
+    invalid_arg "Encode: domain_size smaller than the number of constants";
+  let domain =
+    consts
+    @ List.init
+        (domain_size - List.length consts)
+        (fun i -> Term.const (Printf.sprintf "_d%d" i))
+  in
+  let domain_arr = Array.of_list domain in
+  let d = domain_size in
+  (* element index of a constant *)
+  let const_index =
+    let tbl = Hashtbl.create 16 in
+    List.iteri (fun i t -> Hashtbl.replace tbl t i) domain;
+    fun t ->
+      match Hashtbl.find_opt tbl t with
+      | Some i -> i
+      | None -> invalid_arg "Encode: unknown constant"
+  in
+  (* SAT variable per ground atom *)
+  let next_var = ref 0 in
+  let fresh_var () =
+    incr next_var;
+    !next_var
+  in
+  let atom_vars : (string * int list, int) Hashtbl.t = Hashtbl.create 256 in
+  let atom_var p tuple =
+    match Hashtbl.find_opt atom_vars (p, tuple) with
+    | Some v -> v
+    | None ->
+        let v = fresh_var () in
+        Hashtbl.replace atom_vars (p, tuple) v;
+        v
+  in
+  let clauses = ref [] in
+  let emit c = clauses := c :: !clauses in
+  (* ground an atom under an assignment (variable -> element index) *)
+  let ground_atom env a =
+    let tuple =
+      List.map
+        (fun arg ->
+          match arg with
+          | Term.Const _ -> const_index arg
+          | Term.Var _ -> (
+              match List.assoc_opt arg env with
+              | Some e -> e
+              | None -> invalid_arg "Encode: unbound variable in grounding"))
+        (Atom.args a)
+    in
+    atom_var (Atom.pred a) tuple
+  in
+  (* 1. facts *)
+  let fact_atoms = Atomset.to_list (Kb.facts kb) in
+  let fact_nulls = Atomset.vars (Kb.facts kb) in
+  (match fact_nulls with
+  | [] -> List.iter (fun a -> emit [ ground_atom [] a ]) fact_atoms
+  | nulls ->
+      let selectors =
+        List.map
+          (fun env ->
+            let s = fresh_var () in
+            List.iter (fun a -> emit [ -s; ground_atom env a ]) fact_atoms;
+            s)
+          (assignments nulls d)
+      in
+      emit selectors);
+  (* 2. rules *)
+  List.iter
+    (fun r ->
+      let body = Atomset.to_list (Rule.body r) in
+      let head = Atomset.to_list (Rule.head r) in
+      let ex = Rule.existential_vars r in
+      List.iter
+        (fun env ->
+          let neg_body = List.map (fun a -> -ground_atom env a) body in
+          match ex with
+          | [] -> List.iter (fun h -> emit (neg_body @ [ ground_atom env h ])) head
+          | _ ->
+              let selectors =
+                List.map
+                  (fun ex_env ->
+                    let s = fresh_var () in
+                    List.iter
+                      (fun h -> emit [ -s; ground_atom (ex_env @ env) h ])
+                      head;
+                    s)
+                  (assignments ex d)
+              in
+              emit (neg_body @ selectors))
+        (assignments (Rule.universal_vars r) d))
+    (Kb.rules kb);
+  (* 3. negated queries *)
+  List.iter
+    (fun q ->
+      let atoms = Atomset.to_list (Kb.Query.atoms q) in
+      let qvars = Kb.Query.vars q in
+      List.iter
+        (fun env -> emit (List.map (fun a -> -ground_atom env a) atoms))
+        (assignments qvars d))
+    forbidden;
+  let decode model =
+    Hashtbl.fold
+      (fun (p, tuple) v acc ->
+        if v < Array.length model && model.(v) then
+          Atomset.add
+            (Atom.make p (List.map (fun e -> domain_arr.(e)) tuple))
+            acc
+        else acc)
+      atom_vars Atomset.empty
+  in
+  { nvars = !next_var; clauses = List.rev !clauses; domain; decode }

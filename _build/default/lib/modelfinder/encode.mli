@@ -1,0 +1,35 @@
+(** Propositional grounding of [F ∧ Σ ∧ ¬Q] over a finite domain.
+
+    Given a domain size [d], the encoder fixes a domain consisting of the
+    KB's (and query's) constants plus anonymous elements up to [d], creates
+    one SAT variable per ground atom, and emits:
+
+    - embedding clauses for the facts [F] (whose nulls may land anywhere:
+      one selector variable per assignment of the nulls);
+    - rule clauses: for every grounding of a rule's universal variables,
+      body implies some grounding of the head (selector variables per
+      existential assignment; plain Horn clauses for datalog heads);
+    - query refutation clauses: for every grounding of the query variables,
+      at least one query atom is false.
+
+    The paper's Theorem 1 uses satisfiability of [F ∧ Σ ∧ ¬Q] over
+    structures of treewidth ≤ k (Courcelle); we substitute structures of
+    {e domain size} ≤ d — a sound countermodel search exercising the same
+    role (see DESIGN.md §1). *)
+
+open Syntax
+
+type t = {
+  nvars : int;
+  clauses : int list list;
+  domain : Term.t list;  (** domain elements as constant terms *)
+  decode : bool array -> Atomset.t;  (** model → atomset of true atoms *)
+}
+
+val encode :
+  domain_size:int -> ?forbid:Kb.Query.t -> ?forbid_all:Kb.Query.t list ->
+  Kb.t -> t
+(** [forbid_all] refutes every listed query simultaneously (used for UCQ
+    countermodels); [forbid] is the single-query convenience.
+    @raise Invalid_argument if [domain_size] is smaller than the number of
+    constants, or not positive. *)

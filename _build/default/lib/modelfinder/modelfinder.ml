@@ -1,0 +1,62 @@
+(** Bounded-domain finite model finder.
+
+    Entry module of the [modelfinder] library: searches for a finite model
+    of a KB — optionally one refuting a conjunctive query — over domains of
+    increasing size, by SAT-solving the propositional grounding
+    ({!Encode}) with the built-in DPLL solver ({!Sat}).
+
+    In the paper's Theorem 1, the "no" semi-decision procedure checks
+    satisfiability of [F ∧ Σ ∧ ¬Q] over structures of treewidth ≤ k.  We
+    substitute domain-size-bounded structures (see DESIGN.md §1): finding
+    such a model certifies [K ⊭ Q]; exhausting the size budget is
+    inconclusive, exactly as the paper's procedure is before the right [k]
+    is reached. *)
+
+module Sat = Sat
+module Encode = Encode
+
+open Syntax
+
+type model = { domain : Term.t list; atoms : Atomset.t }
+
+(** Search a single domain size. *)
+let find_model ~domain_size ?forbid ?forbid_all kb : model option =
+  let enc = Encode.encode ~domain_size ?forbid ?forbid_all kb in
+  match Sat.solve ~nvars:enc.Encode.nvars enc.Encode.clauses with
+  | Sat.Unsat -> None
+  | Sat.Sat assignment ->
+      Some { domain = enc.Encode.domain; atoms = enc.Encode.decode assignment }
+
+(** Search sizes [1..max_domain], smallest first. *)
+let find_model_upto ~max_domain ?forbid ?forbid_all kb : model option =
+  let min_size = max 1 (List.length (Kb.consts kb)) in
+  let rec go d =
+    if d > max_domain then None
+    else
+      match
+        if d < min_size then None
+        else find_model ~domain_size:d ?forbid ?forbid_all kb
+      with
+      | Some m -> Some m
+      | None -> go (d + 1)
+  in
+  go 1
+
+(** Model checking (independent of the SAT path, for validation): the
+    atomset receives the facts and satisfies every rule. *)
+let is_model_of kb (atoms : Atomset.t) : bool =
+  let indexed = Homo.Instance.of_atomset atoms in
+  Homo.Hom.exists (Kb.facts kb) indexed
+  && List.for_all
+       (fun r ->
+         List.for_all
+           (fun pi ->
+             Homo.Hom.exists ~seed:pi
+               (Atomset.union (Rule.body r) (Rule.head r))
+               indexed)
+           (Homo.Hom.all (Rule.body r) indexed))
+       (Kb.rules kb)
+
+(** Does the query hold in the atomset? *)
+let satisfies_query (q : Kb.Query.t) (atoms : Atomset.t) : bool =
+  Homo.Hom.maps_to (Kb.Query.atoms q) atoms

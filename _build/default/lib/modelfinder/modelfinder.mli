@@ -1,0 +1,38 @@
+(** Bounded-domain finite model finder.
+
+    Entry module of the [modelfinder] library: searches for a finite model
+    of a KB — optionally one refuting one or several conjunctive queries —
+    over domains of increasing size, by SAT-solving the propositional
+    grounding ({!Encode}) with the built-in DPLL solver ({!Sat}).
+
+    In the paper's Theorem 1, the "no" semi-decision procedure checks
+    satisfiability of [F ∧ Σ ∧ ¬Q] over structures of treewidth ≤ k.  We
+    substitute domain-size-bounded structures (see DESIGN.md §1): finding
+    such a model certifies [K ⊭ Q]; exhausting the size budget is
+    inconclusive, exactly as the paper's procedure is before the right [k]
+    is reached. *)
+
+module Sat : module type of Sat
+
+module Encode : module type of Encode
+
+open Syntax
+
+type model = { domain : Term.t list; atoms : Atomset.t }
+
+val find_model :
+  domain_size:int -> ?forbid:Kb.Query.t -> ?forbid_all:Kb.Query.t list ->
+  Kb.t -> model option
+(** Search a single domain size.
+    @raise Invalid_argument when the domain cannot hold the constants. *)
+
+val find_model_upto :
+  max_domain:int -> ?forbid:Kb.Query.t -> ?forbid_all:Kb.Query.t list ->
+  Kb.t -> model option
+(** Search sizes [1..max_domain], smallest first (sizes below the constant
+    count are skipped). *)
+
+val is_model_of : Kb.t -> Atomset.t -> bool
+(** Model checking, independent of the SAT path (validation aid). *)
+
+val satisfies_query : Kb.Query.t -> Atomset.t -> bool

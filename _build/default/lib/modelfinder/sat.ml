@@ -1,0 +1,114 @@
+type result = Sat of bool array | Unsat
+
+(* Assignment codes: 0 unassigned, 1 true, -1 false. *)
+
+let lit_var l = abs l
+
+let lit_sign l = l > 0
+
+let value assign l =
+  let v = assign.(lit_var l) in
+  if v = 0 then 0 else if lit_sign l then v else -v
+
+let solve ~nvars clauses =
+  List.iter
+    (List.iter (fun l ->
+         if l = 0 || abs l > nvars then
+           invalid_arg "Sat.solve: literal out of range"))
+    clauses;
+  let clauses = Array.of_list (List.map Array.of_list clauses) in
+  let nclauses = Array.length clauses in
+  let assign = Array.make (nvars + 1) 0 in
+  let trail = ref [] in
+  (* occurrence lists: clauses containing each variable *)
+  let occurs = Array.make (nvars + 1) [] in
+  Array.iteri
+    (fun ci c ->
+      Array.iter (fun l -> occurs.(lit_var l) <- ci :: occurs.(lit_var l)) c)
+    clauses;
+  let set l =
+    assign.(lit_var l) <- (if lit_sign l then 1 else -1);
+    trail := lit_var l :: !trail
+  in
+  let undo_to mark =
+    while !trail != mark do
+      match !trail with
+      | v :: rest ->
+          assign.(v) <- 0;
+          trail := rest
+      | [] -> assert false
+    done
+  in
+  (* Unit propagation over the clauses touched by the queue of newly
+     assigned variables; returns false on conflict. *)
+  let exception Conflict in
+  let propagate queue0 =
+    let queue = Queue.create () in
+    List.iter (fun v -> Queue.add v queue) queue0;
+    try
+      (* first pass: all clauses once (to catch initial units) *)
+      let scan ci =
+        let c = clauses.(ci) in
+        let sat = ref false in
+        let unassigned = ref 0 in
+        let last = ref 0 in
+        Array.iter
+          (fun l ->
+            match value assign l with
+            | 1 -> sat := true
+            | 0 ->
+                incr unassigned;
+                last := l
+            | _ -> ())
+          c;
+        if not !sat then
+          if !unassigned = 0 then raise Conflict
+          else if !unassigned = 1 then begin
+            set !last;
+            Queue.add (lit_var !last) queue
+          end
+      in
+      if queue0 = [] then
+        for ci = 0 to nclauses - 1 do
+          scan ci
+        done;
+      while not (Queue.is_empty queue) do
+        let v = Queue.take queue in
+        List.iter scan occurs.(v)
+      done;
+      true
+    with Conflict -> false
+  in
+  let rec search () =
+    (* pick first unassigned variable *)
+    let rec pick v = if v > nvars then 0 else if assign.(v) = 0 then v else pick (v + 1) in
+    let v = pick 1 in
+    if v = 0 then true
+    else
+      let mark = !trail in
+      let try_phase phase =
+        set (if phase then v else -v);
+        if propagate [ v ] && search () then true
+        else begin
+          undo_to mark;
+          false
+        end
+      in
+      try_phase true || try_phase false
+  in
+  if not (propagate []) then Unsat
+  else if search () then begin
+    let model = Array.make (nvars + 1) false in
+    for v = 1 to nvars do
+      model.(v) <- assign.(v) = 1
+    done;
+    Sat model
+  end
+  else Unsat
+
+let is_satisfying clauses model =
+  List.for_all
+    (List.exists (fun l ->
+         let v = model.(lit_var l) in
+         if lit_sign l then v else not v))
+    clauses

@@ -1,0 +1,19 @@
+(** A small DPLL SAT solver (unit propagation + chronological backtracking
+    over a branching heuristic), used by the bounded-domain model finder to
+    decide satisfiability of the propositional grounding of
+    [F ∧ Σ ∧ ¬Q] over a fixed domain.
+
+    Variables are positive integers; a literal is [+v] (positive) or [-v]
+    (negative).  Clauses are integer lists.  The solver is deliberately
+    simple — groundings at the domain sizes the paper's examples need stay
+    in the thousands of clauses. *)
+
+type result = Sat of bool array  (** [assignment.(v)] for [v ≥ 1] *) | Unsat
+
+val solve : nvars:int -> int list list -> result
+(** [solve ~nvars clauses].  Variables range over [1..nvars]; [0] is
+    forbidden in clauses.
+    @raise Invalid_argument on a literal out of range or 0. *)
+
+val is_satisfying : int list list -> bool array -> bool
+(** Check a model against the clause set (testing aid). *)

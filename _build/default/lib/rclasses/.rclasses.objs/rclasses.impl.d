@@ -1,0 +1,1 @@
+lib/rclasses/rclasses.ml: Acyclicity Dependency Fmt Guardedness List Position Rule Syntax

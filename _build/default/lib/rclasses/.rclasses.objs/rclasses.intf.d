@@ -1,0 +1,1 @@
+lib/rclasses/rclasses.mli: Acyclicity Dependency Fmt Guardedness Position Rule Syntax

@@ -1,0 +1,1 @@
+lib/rclasses/acyclicity.ml: Array Fun List Position Rule Set Syntax Term

@@ -1,0 +1,1 @@
+lib/rclasses/acyclicity.mli: Position Rule Syntax Term

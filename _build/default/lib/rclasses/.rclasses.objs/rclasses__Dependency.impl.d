@@ -1,0 +1,1 @@
+lib/rclasses/dependency.ml: Array Atomset Chase Fun Homo List Printf Rule String Subst Syntax Term

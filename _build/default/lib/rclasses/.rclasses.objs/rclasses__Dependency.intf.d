@@ -1,0 +1,1 @@
+lib/rclasses/dependency.mli: Rule Syntax

@@ -1,0 +1,1 @@
+lib/rclasses/guardedness.ml: Atom Atomset List Position Rule Syntax

@@ -1,0 +1,1 @@
+lib/rclasses/guardedness.mli: Position Rule Syntax

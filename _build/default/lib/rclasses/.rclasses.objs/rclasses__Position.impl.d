@@ -1,0 +1,1 @@
+lib/rclasses/position.ml: Atom Atomset Fmt Int List Rule Set Stdlib String Syntax Term

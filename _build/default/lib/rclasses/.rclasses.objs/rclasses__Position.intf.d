@@ -1,0 +1,1 @@
+lib/rclasses/position.mli: Atomset Fmt Rule Syntax Term

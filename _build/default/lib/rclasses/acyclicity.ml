@@ -1,0 +1,71 @@
+open Syntax
+
+let weakly_acyclic rules =
+  not (Position.Graph.has_special_cycle (Position.Graph.build rules))
+
+module PSet = Set.Make (Position)
+
+let omega_set rules z =
+  let rule_of_z =
+    List.find
+      (fun r -> List.exists (Term.equal z) (Rule.existential_vars r))
+      rules
+  in
+  let initial = PSet.of_list (Position.positions_of_var z (Rule.head rule_of_z)) in
+  let step s =
+    List.fold_left
+      (fun acc r ->
+        List.fold_left
+          (fun acc x ->
+            let bpos = Position.positions_of_var x (Rule.body r) in
+            if bpos <> [] && List.for_all (fun p -> PSet.mem p acc) bpos then
+              PSet.union acc
+                (PSet.of_list (Position.positions_of_var x (Rule.head r)))
+            else acc)
+          acc (Rule.frontier r))
+      s rules
+  in
+  let rec fix s =
+    let s' = step s in
+    if PSet.equal s s' then s else fix s'
+  in
+  fix initial
+
+let omega rules z = PSet.elements (omega_set rules z)
+
+let jointly_acyclic rules =
+  let existentials =
+    List.concat_map
+      (fun r -> List.map (fun z -> (r, z)) (Rule.existential_vars r))
+      rules
+  in
+  let n = List.length existentials in
+  let arr = Array.of_list existentials in
+  let omegas = Array.map (fun (_, z) -> omega_set rules z) arr in
+  (* edge i → j: a null for z_i can feed the creation of a null for z_j —
+     some frontier variable of z_j's rule has all its (nonempty) body
+     occurrences inside Ω(z_i) *)
+  let edge i j =
+    let r', _ = arr.(j) in
+    List.exists
+      (fun x ->
+        let bpos = Position.positions_of_var x (Rule.body r') in
+        bpos <> [] && List.for_all (fun p -> PSet.mem p omegas.(i)) bpos)
+      (Rule.frontier r')
+  in
+  let adj =
+    Array.init n (fun i ->
+        List.concat (List.init n (fun j -> if edge i j then [ j ] else [])))
+  in
+  let color = Array.make n 0 in
+  let rec has_cycle i =
+    if color.(i) = 1 then true
+    else if color.(i) = 2 then false
+    else begin
+      color.(i) <- 1;
+      let c = List.exists has_cycle adj.(i) in
+      color.(i) <- 2;
+      c
+    end
+  in
+  not (List.exists has_cycle (List.init n Fun.id))

@@ -1,0 +1,19 @@
+(** Acyclicity-based termination classes.
+
+    - {e Weak acyclicity} (Fagin–Kolaitis–Miller–Popa): no cycle through a
+      special edge in the position graph.  Guarantees termination of every
+      chase variant on every instance (hence fes).
+    - {e Joint acyclicity} (Krötzsch–Rudolph): acyclicity of the dependency
+      graph between existential variables, where [Ω(z)] — the positions a
+      [z]-null can travel to — is computed as a least fixed point.  Strictly
+      generalises weak acyclicity. *)
+
+open Syntax
+
+val weakly_acyclic : Rule.t list -> bool
+
+val omega : Rule.t list -> Term.t -> Position.t list
+(** [omega rules z]: the positions that nulls created for the existential
+    variable [z] (of one of the rules) may reach. *)
+
+val jointly_acyclic : Rule.t list -> bool

@@ -1,0 +1,65 @@
+open Syntax
+
+let may_depend_pred r ~on =
+  let head_preds = Atomset.preds (Rule.head on) in
+  List.exists
+    (fun (p, ar) ->
+      List.exists (fun (q, ar') -> String.equal p q && ar = ar') head_preds)
+    (Atomset.preds (Rule.body r))
+
+let freeze aset =
+  let subst =
+    List.fold_left
+      (fun s v ->
+        Subst.add v (Term.const (Printf.sprintf "frz_%d" (Term.rank v))) s)
+      Subst.empty (Atomset.vars aset)
+  in
+  (Subst.apply subst aset, subst)
+
+let depends_frozen r ~on =
+  let on = Rule.rename_apart on and r = Rule.rename_apart r in
+  let frozen_body, frz = freeze (Rule.body on) in
+  let tr = Chase.Trigger.make on frz in
+  let app = Chase.Trigger.apply tr frozen_body in
+  let created = app.Chase.Trigger.produced in
+  let after = app.Chase.Trigger.result in
+  let indexed = Homo.Instance.of_atomset after in
+  (* a homomorphism of body(r) into the result that touches a created atom
+     and yields an unsatisfied trigger *)
+  List.exists
+    (fun pi ->
+      let image = Subst.apply pi (Rule.body r) in
+      (not (Atomset.is_empty (Atomset.inter image (Atomset.diff created frozen_body))))
+      && not (Chase.Trigger.satisfied (Chase.Trigger.make r pi) after))
+    (Homo.Hom.all (Rule.body r) indexed)
+
+let graph_with dep rules =
+  let arr = Array.of_list rules in
+  let n = Array.length arr in
+  List.concat
+    (List.init n (fun i ->
+         List.concat
+           (List.init n (fun j ->
+                if dep arr.(j) ~on:arr.(i) then [ (i, j) ] else []))))
+
+let pred_graph rules = graph_with may_depend_pred rules
+
+let frozen_graph rules = graph_with depends_frozen rules
+
+let agrd_sound rules =
+  let n = List.length rules in
+  let edges = pred_graph rules in
+  let adj = Array.make n [] in
+  List.iter (fun (i, j) -> adj.(i) <- j :: adj.(i)) edges;
+  let color = Array.make n 0 in
+  let rec has_cycle i =
+    if color.(i) = 1 then true
+    else if color.(i) = 2 then false
+    else begin
+      color.(i) <- 1;
+      let c = List.exists has_cycle adj.(i) in
+      color.(i) <- 2;
+      c
+    end
+  in
+  not (List.exists has_cycle (List.init n Fun.id))

@@ -1,0 +1,31 @@
+(** Rule dependencies and the graph of rule dependencies (GRD).
+
+    [r₂] depends on [r₁] when some application of [r₁] can create a new
+    unsatisfied trigger for [r₂] (Baget et al.).  Exact dependency checking
+    needs piece-unifiers; we provide two practical detectors bracketing it:
+
+    - {!may_depend_pred}: predicate-level test — complete (never misses a
+      dependency) but may report spurious ones;
+    - {!depends_frozen}: freeze [body(r₁)] to fresh constants, apply [r₁],
+      and look for a new trigger of [r₂] using a created atom — sound
+      (every hit is a real dependency) but may miss dependencies that
+      require unifying distinct body variables of [r₁].
+
+    Acyclicity of the {e complete} overapproximation therefore soundly
+    certifies an acyclic GRD (aGRD), which implies chase termination. *)
+
+open Syntax
+
+val may_depend_pred : Rule.t -> on:Rule.t -> bool
+(** Some predicate of [body r] occurs in [head on]. *)
+
+val depends_frozen : Rule.t -> on:Rule.t -> bool
+
+val pred_graph : Rule.t list -> (int * int) list
+(** Edges [(i, j)]: rule [j] may depend on rule [i] (predicate-level). *)
+
+val frozen_graph : Rule.t list -> (int * int) list
+
+val agrd_sound : Rule.t list -> bool
+(** The predicate-level graph is acyclic — a sound certificate for an
+    acyclic GRD (hence termination of all chase variants, hence fes). *)

@@ -1,0 +1,45 @@
+open Syntax
+
+let atom_contains_all vars a =
+  List.for_all (fun v -> Atom.mem_term v a) vars
+
+let exists_guard vars r =
+  vars = [] || Atomset.exists (atom_contains_all vars) (Rule.body r)
+
+let is_linear r = Atomset.cardinal (Rule.body r) = 1
+
+let is_guarded r = exists_guard (Rule.universal_vars r) r
+
+let is_frontier_guarded r = exists_guard (Rule.frontier r) r
+
+let is_frontier_one r = List.length (Rule.frontier r) <= 1
+
+let only_at_affected affected r v =
+  let pos = Position.positions_of_var v (Rule.body r) in
+  List.for_all (fun p -> List.exists (fun q -> Position.compare p q = 0) affected) pos
+
+let is_weakly_guarded affected r =
+  exists_guard
+    (List.filter (only_at_affected affected r) (Rule.universal_vars r))
+    r
+
+let is_weakly_frontier_guarded affected r =
+  exists_guard (List.filter (only_at_affected affected r) (Rule.frontier r)) r
+
+let lift pred rules = List.for_all pred rules
+
+let ruleset_linear = lift is_linear
+
+let ruleset_guarded = lift is_guarded
+
+let ruleset_frontier_guarded = lift is_frontier_guarded
+
+let ruleset_frontier_one = lift is_frontier_one
+
+let ruleset_weakly_guarded rules =
+  let affected = Position.affected_positions rules in
+  lift (is_weakly_guarded affected) rules
+
+let ruleset_weakly_frontier_guarded rules =
+  let affected = Position.affected_positions rules in
+  lift (is_weakly_frontier_guarded affected) rules

@@ -1,0 +1,39 @@
+(** Guardedness-family syntactic classes (Section 4's "varying notions of
+    guardedness" that guarantee treewidth-bounded chases, hence bts).
+
+    All predicates operate on single rules and lift to rulesets by
+    conjunction. *)
+
+open Syntax
+
+val is_linear : Rule.t -> bool
+(** Single body atom. *)
+
+val is_guarded : Rule.t -> bool
+(** Some body atom contains every universal variable of the rule. *)
+
+val is_frontier_guarded : Rule.t -> bool
+(** Some body atom contains every frontier variable. *)
+
+val is_frontier_one : Rule.t -> bool
+(** At most one frontier variable. *)
+
+val is_weakly_guarded : Position.t list -> Rule.t -> bool
+(** Some body atom contains every universal variable that occurs only at
+    affected positions (pass {!Position.affected_positions} of the whole
+    ruleset). *)
+
+val is_weakly_frontier_guarded : Position.t list -> Rule.t -> bool
+(** Same with frontier variables. *)
+
+val ruleset_linear : Rule.t list -> bool
+
+val ruleset_guarded : Rule.t list -> bool
+
+val ruleset_frontier_guarded : Rule.t list -> bool
+
+val ruleset_frontier_one : Rule.t list -> bool
+
+val ruleset_weakly_guarded : Rule.t list -> bool
+
+val ruleset_weakly_frontier_guarded : Rule.t list -> bool

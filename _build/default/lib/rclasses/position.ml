@@ -1,0 +1,132 @@
+open Syntax
+
+type t = string * int
+
+let compare (p1, i1) (p2, i2) =
+  let c = String.compare p1 p2 in
+  if c <> 0 then c else Int.compare i1 i2
+
+let pp ppf (p, i) = Fmt.pf ppf "%s[%d]" p i
+
+let positions_of_var v aset =
+  Atomset.fold
+    (fun a acc ->
+      List.concat
+        (List.mapi
+           (fun i arg -> if Term.equal arg v then [ (Atom.pred a, i) ] else [])
+           (Atom.args a))
+      @ acc)
+    aset []
+  |> List.sort_uniq compare
+
+let all_positions rules =
+  List.concat_map
+    (fun r ->
+      List.concat_map
+        (fun (p, ar) -> List.init ar (fun i -> (p, i)))
+        (Rule.preds r))
+    rules
+  |> List.sort_uniq compare
+
+module PSet = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Graph = struct
+  type pos = t
+
+  type nonrec t = {
+    ordinary : (pos * pos) list;
+    special : (pos * pos) list;
+  }
+
+  let build rules =
+    let ordinary = ref [] and special = ref [] in
+    List.iter
+      (fun r ->
+        let body = Rule.body r and head = Rule.head r in
+        let specials_targets =
+          List.concat_map
+            (fun z -> positions_of_var z head)
+            (Rule.existential_vars r)
+        in
+        List.iter
+          (fun x ->
+            let body_pos = positions_of_var x body in
+            let head_pos = positions_of_var x head in
+            List.iter
+              (fun bp ->
+                List.iter (fun hp -> ordinary := (bp, hp) :: !ordinary) head_pos;
+                List.iter (fun sp -> special := (bp, sp) :: !special)
+                  specials_targets)
+              body_pos)
+          (Rule.frontier r))
+      rules;
+    {
+      ordinary = List.sort_uniq Stdlib.compare !ordinary;
+      special = List.sort_uniq Stdlib.compare !special;
+    }
+
+  let ordinary_edges g = g.ordinary
+
+  let special_edges g = g.special
+
+  (* A special cycle exists iff some special edge (u ⇒ v) admits a path
+     from v back to u in the full graph. *)
+  let has_special_cycle g =
+    let all_edges = g.ordinary @ g.special in
+    let reachable_from start =
+      let rec go seen frontier =
+        match frontier with
+        | [] -> seen
+        | u :: rest ->
+            let next =
+              List.filter_map
+                (fun (a, b) ->
+                  if compare a u = 0 && not (PSet.mem b seen) then Some b
+                  else None)
+                all_edges
+            in
+            go (List.fold_left (fun s v -> PSet.add v s) seen next)
+              (next @ rest)
+      in
+      go (PSet.singleton start) [ start ]
+    in
+    List.exists (fun (u, v) -> PSet.mem u (reachable_from v)) g.special
+end
+
+let affected_positions rules =
+  let initial =
+    List.concat_map
+      (fun r ->
+        List.concat_map
+          (fun z -> positions_of_var z (Rule.head r))
+          (Rule.existential_vars r))
+      rules
+    |> PSet.of_list
+  in
+  let step affected =
+    List.fold_left
+      (fun acc r ->
+        List.fold_left
+          (fun acc x ->
+            let body_pos = positions_of_var x (Rule.body r) in
+            if
+              body_pos <> []
+              && List.for_all (fun p -> PSet.mem p acc) body_pos
+            then
+              List.fold_left
+                (fun acc hp -> PSet.add hp acc)
+                acc
+                (positions_of_var x (Rule.head r))
+            else acc)
+          acc (Rule.frontier r))
+      affected rules
+  in
+  let rec fix s =
+    let s' = step s in
+    if PSet.equal s s' then s else fix s'
+  in
+  PSet.elements (fix initial)

@@ -1,0 +1,51 @@
+(** Predicate positions and the dependency structures built on them.
+
+    A {e position} is a pair (predicate, argument index).  Two classical
+    constructions over positions drive the syntactic termination classes of
+    Section 4's landscape:
+
+    - the {e position graph} of Fagin et al. (weak acyclicity): ordinary
+      edges propagate frontier variables, special edges mark where
+      existential variables are created;
+    - {e affected positions} (Calì–Gottlob–Kifer): the positions that may
+      hold labelled nulls during any chase, used by weak guardedness. *)
+
+open Syntax
+
+type t = string * int
+(** (predicate, 0-based argument index). *)
+
+val compare : t -> t -> int
+
+val pp : t Fmt.t
+
+val positions_of_var : Term.t -> Atomset.t -> t list
+(** The positions at which the variable occurs in the atomset. *)
+
+val all_positions : Rule.t list -> t list
+
+(** The weak-acyclicity position graph. *)
+module Graph : sig
+  type pos := t
+
+  type t
+
+  val build : Rule.t list -> t
+  (** For every rule [B → H], every frontier variable [x] at body position
+      [π]: an ordinary edge [π → π'] for every position [π'] of [x] in
+      [H], and a special edge [π ⇒ π''] for every position [π''] of every
+      existential variable of the rule in [H]. *)
+
+  val ordinary_edges : t -> (pos * pos) list
+
+  val special_edges : t -> (pos * pos) list
+
+  val has_special_cycle : t -> bool
+  (** A cycle through at least one special edge — the negation of weak
+      acyclicity. *)
+end
+
+val affected_positions : Rule.t list -> t list
+(** Least fixed point: head positions of existential variables are
+    affected; if a frontier variable occurs in the body {e only} at
+    affected positions, its head positions become affected. *)

@@ -1,0 +1,78 @@
+(** Syntactic decidability classes for existential rules (the concrete
+    landscape sketched in Sections 1 and 4 of the paper).
+
+    Entry module of the [rclasses] library: re-exports {!Position},
+    {!Guardedness}, {!Acyclicity} and {!Dependency} and offers a one-call
+    analysis with the standard implications
+
+    - datalog / weak acyclicity / joint acyclicity / acyclic GRD ⟹ the
+      chase terminates on every instance ⟹ fes ⟹ core-bts;
+    - (weakly) (frontier-)guarded / linear ⟹ treewidth-bounded chases
+      ⟹ bts ⟹ core-bts. *)
+
+module Position = Position
+module Guardedness = Guardedness
+module Acyclicity = Acyclicity
+module Dependency = Dependency
+
+open Syntax
+
+type report = {
+  datalog : bool;
+  linear : bool;
+  guarded : bool;
+  frontier_guarded : bool;
+  frontier_one : bool;
+  weakly_guarded : bool;
+  weakly_frontier_guarded : bool;
+  weakly_acyclic : bool;
+  jointly_acyclic : bool;
+  agrd_sound : bool;
+}
+
+let analyze (rules : Rule.t list) : report =
+  {
+    datalog = List.for_all Rule.is_datalog rules;
+    linear = Guardedness.ruleset_linear rules;
+    guarded = Guardedness.ruleset_guarded rules;
+    frontier_guarded = Guardedness.ruleset_frontier_guarded rules;
+    frontier_one = Guardedness.ruleset_frontier_one rules;
+    weakly_guarded = Guardedness.ruleset_weakly_guarded rules;
+    weakly_frontier_guarded = Guardedness.ruleset_weakly_frontier_guarded rules;
+    weakly_acyclic = Acyclicity.weakly_acyclic rules;
+    jointly_acyclic = Acyclicity.jointly_acyclic rules;
+    agrd_sound = Dependency.agrd_sound rules;
+  }
+
+(** Syntactic certificate that the ruleset is fes (core chase terminates on
+    every instance). *)
+let implies_fes (r : report) : bool =
+  r.datalog || r.weakly_acyclic || r.jointly_acyclic || r.agrd_sound
+
+(** Syntactic certificate that the ruleset is bts (treewidth-bounded
+    restricted chases on every instance). *)
+let implies_bts (r : report) : bool =
+  r.linear || r.guarded || r.frontier_guarded || r.frontier_one
+  || r.weakly_guarded || r.weakly_frontier_guarded
+
+(** Syntactic certificate for the paper's core-bts (Definition 17):
+    subsumes both (Proposition 13). *)
+let implies_core_bts (r : report) : bool = implies_fes r || implies_bts r
+
+let pp_report ppf (r : report) =
+  let flag name b = Fmt.pf ppf "  %-26s %s@," name (if b then "yes" else "no") in
+  Fmt.pf ppf "@[<v>";
+  flag "datalog" r.datalog;
+  flag "linear" r.linear;
+  flag "guarded" r.guarded;
+  flag "frontier-guarded" r.frontier_guarded;
+  flag "frontier-one" r.frontier_one;
+  flag "weakly guarded" r.weakly_guarded;
+  flag "weakly frontier-guarded" r.weakly_frontier_guarded;
+  flag "weakly acyclic" r.weakly_acyclic;
+  flag "jointly acyclic" r.jointly_acyclic;
+  flag "aGRD (pred-level, sound)" r.agrd_sound;
+  flag "⟹ fes" (implies_fes r);
+  flag "⟹ bts" (implies_bts r);
+  flag "⟹ core-bts" (implies_core_bts r);
+  Fmt.pf ppf "@]"

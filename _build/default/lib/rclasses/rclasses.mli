@@ -1,0 +1,45 @@
+(** Syntactic decidability classes for existential rules (the concrete
+    landscape sketched in Sections 1 and 4 of the paper).
+
+    Entry module of the [rclasses] library, with the standard implications
+
+    - datalog / weak acyclicity / joint acyclicity / acyclic GRD ⟹ the
+      chase terminates on every instance ⟹ fes ⟹ core-bts;
+    - (weakly) (frontier-)guarded / linear ⟹ treewidth-bounded chases
+      ⟹ bts ⟹ core-bts. *)
+
+module Position : module type of Position
+
+module Guardedness : module type of Guardedness
+
+module Acyclicity : module type of Acyclicity
+
+module Dependency : module type of Dependency
+
+open Syntax
+
+type report = {
+  datalog : bool;
+  linear : bool;
+  guarded : bool;
+  frontier_guarded : bool;
+  frontier_one : bool;
+  weakly_guarded : bool;
+  weakly_frontier_guarded : bool;
+  weakly_acyclic : bool;
+  jointly_acyclic : bool;
+  agrd_sound : bool;
+}
+
+val analyze : Rule.t list -> report
+
+val implies_fes : report -> bool
+(** Some syntactic certificate of universal chase termination holds. *)
+
+val implies_bts : report -> bool
+(** Some guardedness-family certificate holds. *)
+
+val implies_core_bts : report -> bool
+(** Either of the above (Proposition 13: core-bts subsumes both). *)
+
+val pp_report : report Fmt.t

@@ -1,0 +1,192 @@
+open Syntax
+
+type variant = [ `Restricted | `Core | `Frugal ]
+
+type state = {
+  kb : Kb.t option;
+  variant : variant;
+  derivation : Chase.Derivation.t option;
+  rest : Chase.Derivation.t Seq.t option;  (** unconsumed stream tail *)
+  exit : bool;
+}
+
+let initial =
+  { kb = None; variant = `Core; derivation = None; rest = None; exit = false }
+
+let wants_exit st = st.exit
+
+let help_text =
+  "commands: load FILE | kb TEXT | variant restricted|core|frugal | step [N]\n\
+  \          run [N] | show | tw | summary | robust | query Q | classify\n\
+  \          reset | help | quit"
+
+let variant_name = function
+  | `Restricted -> "restricted"
+  | `Core -> "core"
+  | `Frugal -> "frugal"
+
+(* (re)start the stream for the current KB/variant *)
+let boot st kb =
+  let seq = Chase.Variants.stream ~variant:st.variant kb in
+  match seq () with
+  | Seq.Cons (d0, rest) ->
+      { st with kb = Some kb; derivation = Some d0; rest = Some rest }
+  | Seq.Nil -> { st with kb = Some kb; derivation = None; rest = None }
+
+let with_kb st f =
+  match (st.kb, st.derivation) with
+  | Some kb, Some d -> f kb d
+  | _ -> (st, "no knowledge base loaded (use: load FILE or kb TEXT)")
+
+let advance st n =
+  with_kb st (fun _ d0 ->
+      let rec go d rest k =
+        if k = 0 then (d, rest, false)
+        else
+          match rest () with
+          | Seq.Nil -> (d, Seq.empty, true)
+          | Seq.Cons (d', rest') -> go d' rest' (k - 1)
+      in
+      match st.rest with
+      | None -> (st, "run finished (reset to start over)")
+      | Some rest ->
+          let d', rest', finished = go d0 rest n in
+          let st' =
+            {
+              st with
+              derivation = Some d';
+              rest = (if finished then None else Some rest');
+            }
+          in
+          let last = (Chase.Derivation.last d').Chase.Derivation.instance in
+          ( st',
+            Fmt.str "%s: %d steps total, |F| = %d%s"
+              (variant_name st.variant)
+              (Chase.Derivation.length d' - 1)
+              (Atomset.cardinal last)
+              (if finished then " — fixpoint reached" else "") ))
+
+let parse_int_default s d =
+  match int_of_string_opt (String.trim s) with Some n when n > 0 -> n | _ -> d
+
+let cmd_load st arg =
+  match Dlgp.parse_file (String.trim arg) with
+  | exception Sys_error m -> (st, m)
+  | Error e -> (st, Fmt.str "%a" Dlgp.pp_error e)
+  | Ok doc ->
+      let kb = Dlgp.kb_of_document doc in
+      ( boot st kb,
+        Fmt.str "loaded %d facts, %d rules" (Atomset.cardinal (Kb.facts kb))
+          (List.length (Kb.rules kb)) )
+
+let cmd_kb st arg =
+  match Dlgp.parse_kb arg with
+  | Error e -> (st, Fmt.str "%a" Dlgp.pp_error e)
+  | Ok kb ->
+      ( boot st kb,
+        Fmt.str "loaded %d facts, %d rules" (Atomset.cardinal (Kb.facts kb))
+          (List.length (Kb.rules kb)) )
+
+let cmd_variant st arg =
+  let v =
+    match String.trim arg with
+    | "restricted" -> Some `Restricted
+    | "core" -> Some `Core
+    | "frugal" -> Some `Frugal
+    | _ -> None
+  in
+  match v with
+  | None -> (st, "variants: restricted | core | frugal")
+  | Some v -> (
+      let st = { st with variant = v } in
+      match st.kb with
+      | Some kb -> (boot st kb, "variant set; run reset")
+      | None -> (st, "variant set"))
+
+let cmd_show st =
+  with_kb st (fun _ d ->
+      let inst = (Chase.Derivation.last d).Chase.Derivation.instance in
+      (st, Fmt.str "%a" Atomset.pp_verbose inst))
+
+let cmd_tw st =
+  with_kb st (fun _ d ->
+      let inst = (Chase.Derivation.last d).Chase.Derivation.instance in
+      let w, exact = Treewidth.best_effort inst in
+      ( st,
+        Fmt.str "treewidth %d (%s); pathwidth %d" w
+          (if exact then "exact" else "min-fill bound")
+          (fst (Treewidth.Pathwidth.of_atomset inst)) ))
+
+let cmd_summary st =
+  with_kb st (fun _ d -> (st, Fmt.str "%a" Chase.Derivation.pp_summary d))
+
+let cmd_robust st =
+  with_kb st (fun _ d ->
+      let r = Corechase.Robust.of_derivation d in
+      let agg = Corechase.Robust.aggregation r in
+      let stable = Corechase.Robust.stable_aggregation r in
+      let inv =
+        match Corechase.Robust.check_invariants r with
+        | Ok () -> "ok"
+        | Error m -> "VIOLATED: " ^ m
+      in
+      ( st,
+        Fmt.str
+          "invariants: %s@.D⊛ prefix: %d atoms (tw ≤ %d)@.stable part: %d atoms (tw ≤ %d)"
+          inv (Atomset.cardinal agg) (Treewidth.upper_bound agg)
+          (Atomset.cardinal stable)
+          (Treewidth.upper_bound stable) ))
+
+let cmd_query st arg =
+  with_kb st (fun kb d ->
+      match Dlgp.parse_string ("? :- " ^ String.trim arg ^ ".") with
+      | Error e -> (st, Fmt.str "%a" Dlgp.pp_error e)
+      | Ok { Dlgp.queries = [ q ]; _ } ->
+          let inst = (Chase.Derivation.last d).Chase.Derivation.instance in
+          let here = Corechase.Entailment.holds_in q inst in
+          let verdict =
+            Corechase.Entailment.decide
+              ~budget:{ Chase.Variants.max_steps = 200; max_atoms = 5000 }
+              kb q
+          in
+          ( st,
+            Fmt.str "in current instance: %b;  K ⊨ Q: %a" here
+              Corechase.Entailment.pp_verdict verdict )
+      | Ok _ -> (st, "could not parse the query"))
+
+let cmd_classify st =
+  match st.kb with
+  | None -> (st, "no knowledge base loaded")
+  | Some kb -> (st, Fmt.str "%a" Rclasses.pp_report (Rclasses.analyze (Kb.rules kb)))
+
+let cmd_reset st =
+  match st.kb with
+  | None -> (st, "no knowledge base loaded")
+  | Some kb -> (boot st kb, "reset to F_0")
+
+let exec st line =
+  let line = String.trim line in
+  let cmd, arg =
+    match String.index_opt line ' ' with
+    | None -> (line, "")
+    | Some i ->
+        ( String.sub line 0 i,
+          String.sub line (i + 1) (String.length line - i - 1) )
+  in
+  match cmd with
+  | "" -> (st, "")
+  | "help" -> (st, help_text)
+  | "quit" | "exit" -> ({ st with exit = true }, "bye")
+  | "load" -> cmd_load st arg
+  | "kb" -> cmd_kb st arg
+  | "variant" -> cmd_variant st arg
+  | "step" -> advance st (parse_int_default arg 1)
+  | "run" -> advance st (parse_int_default arg 100)
+  | "show" -> cmd_show st
+  | "tw" -> cmd_tw st
+  | "summary" -> cmd_summary st
+  | "robust" -> cmd_robust st
+  | "query" -> cmd_query st arg
+  | "classify" -> cmd_classify st
+  | "reset" -> cmd_reset st
+  | _ -> (st, "unknown command\n" ^ help_text)

@@ -1,0 +1,35 @@
+(** The interactive chase shell: a pure command interpreter (the
+    [corechase-repl] binary wraps it in a stdin loop; tests drive it
+    directly).
+
+    Commands (one per line):
+
+    {v
+    load FILE            parse a DLGP file as the current KB
+    kb TEXT              parse inline DLGP text as the current KB
+    variant NAME         restricted | core | frugal   (resets the run)
+    step [N]             apply N rule applications (default 1)
+    run [N]              chase until fixpoint or N more steps (default 100)
+    show                 print the current instance
+    tw                   treewidth of the current instance
+    summary              one line per derivation step
+    robust               robust-aggregation summary of the current run
+    query Q              evaluate a CQ (DLGP body syntax) on the current
+                         instance and decide it against the KB
+    classify             syntactic class report for the KB's rules
+    reset                back to F_0
+    help                 this text
+    quit                 leave
+    v} *)
+
+type state
+
+val initial : state
+
+val exec : state -> string -> state * string
+(** Execute one command line; returns the new state and the output text.
+    Unknown commands return usage help; errors are reported in the output,
+    never raised. *)
+
+val wants_exit : state -> bool
+(** [true] after a [quit] command. *)

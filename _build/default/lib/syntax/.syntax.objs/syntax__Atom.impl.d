@@ -1,0 +1,1 @@
+lib/syntax/atom.ml: Fmt Hashtbl List String Term

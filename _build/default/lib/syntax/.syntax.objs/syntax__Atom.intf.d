@@ -1,0 +1,1 @@
+lib/syntax/atom.mli: Fmt Term

@@ -1,0 +1,1 @@
+lib/syntax/atomset.ml: Atom Fmt List Set Stdlib Term

@@ -1,0 +1,1 @@
+lib/syntax/atomset.mli: Atom Fmt Term

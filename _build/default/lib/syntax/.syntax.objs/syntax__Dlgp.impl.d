@@ -1,0 +1,1 @@
+lib/syntax/dlgp.ml: Atom Atomset Egd Fmt Format Kb List Printf Result Rule String Term

@@ -1,0 +1,1 @@
+lib/syntax/dlgp.mli: Atom Atomset Egd Fmt Format Kb Rule

@@ -1,0 +1,1 @@
+lib/syntax/egd.ml: Atom Atomset Fmt List Subst Term

@@ -1,0 +1,1 @@
+lib/syntax/egd.mli: Atom Atomset Fmt Term

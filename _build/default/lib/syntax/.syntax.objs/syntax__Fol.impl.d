@@ -1,0 +1,1 @@
+lib/syntax/fol.ml: Atom Atomset Buffer Char Fmt Format Kb List Rule Set String Term Ucq

@@ -1,0 +1,1 @@
+lib/syntax/fol.mli: Atom Atomset Fmt Kb Rule Term Ucq

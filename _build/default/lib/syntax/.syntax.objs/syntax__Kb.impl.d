@@ -1,0 +1,1 @@
+lib/syntax/kb.ml: Atom Atomset Egd Fmt List Rule String Term

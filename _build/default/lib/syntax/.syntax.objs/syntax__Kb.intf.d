@@ -1,0 +1,1 @@
+lib/syntax/kb.mli: Atom Atomset Egd Fmt Rule Term

@@ -1,0 +1,1 @@
+lib/syntax/rule.ml: Atom Atomset Fmt List String Subst Term

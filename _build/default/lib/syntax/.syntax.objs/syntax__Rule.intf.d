@@ -1,0 +1,1 @@
+lib/syntax/rule.mli: Atom Atomset Fmt Term

@@ -1,0 +1,1 @@
+lib/syntax/schema.ml: Atom Atomset Fmt Kb List Map Printf Result Rule String

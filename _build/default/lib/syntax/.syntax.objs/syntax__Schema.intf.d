@@ -1,0 +1,1 @@
+lib/syntax/schema.mli: Atom Atomset Fmt Kb Rule

@@ -1,0 +1,1 @@
+lib/syntax/subst.ml: Atom Atomset Fmt Int List Map Option Term

@@ -1,0 +1,1 @@
+lib/syntax/subst.mli: Atom Atomset Fmt Term

@@ -1,0 +1,1 @@
+lib/syntax/term.ml: Fmt Hashtbl Int String

@@ -1,0 +1,1 @@
+lib/syntax/ucq.ml: Fmt Kb

@@ -1,0 +1,1 @@
+lib/syntax/ucq.mli: Fmt Kb

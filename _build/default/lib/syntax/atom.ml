@@ -1,0 +1,38 @@
+type t = { pred : string; args : Term.t list }
+
+let make pred args = { pred; args }
+
+let pred a = a.pred
+
+let args a = a.args
+
+let arity a = List.length a.args
+
+let terms a = a.args
+
+let term_set a = List.sort_uniq Term.compare a.args
+
+let vars a = List.filter Term.is_var (term_set a)
+
+let consts a = List.filter Term.is_const (term_set a)
+
+let is_ground a = List.for_all Term.is_const a.args
+
+let mem_term t a = List.exists (Term.equal t) a.args
+
+let compare a1 a2 =
+  let c = String.compare a1.pred a2.pred in
+  if c <> 0 then c else List.compare Term.compare a1.args a2.args
+
+let equal a1 a2 = compare a1 a2 = 0
+
+let hash a = Hashtbl.hash (a.pred, List.map Term.hash a.args)
+
+let pp_with pp_term ppf a =
+  match a.args with
+  | [] -> Fmt.string ppf a.pred
+  | args -> Fmt.pf ppf "%s(%a)" a.pred Fmt.(list ~sep:comma pp_term) args
+
+let pp ppf a = pp_with Term.pp ppf a
+
+let pp_debug ppf a = pp_with Term.pp_debug ppf a

@@ -1,0 +1,45 @@
+(** Atoms over a schema (Section 2).
+
+    An atom is [p(t₁,…,t_k)] with [p] a predicate symbol and [t_i] terms.
+    Arity is implicit in the argument list; {!Schema} can validate that the
+    same predicate is always used at a single arity. *)
+
+type t = private { pred : string; args : Term.t list }
+
+val make : string -> Term.t list -> t
+(** [make p args] is the atom [p(args)]. *)
+
+val pred : t -> string
+
+val args : t -> Term.t list
+
+val arity : t -> int
+
+val terms : t -> Term.t list
+(** Argument list, in position order (possibly with duplicates). *)
+
+val term_set : t -> Term.t list
+(** Distinct terms of the atom, sorted. *)
+
+val vars : t -> Term.t list
+(** Distinct variables of the atom, sorted by rank. *)
+
+val consts : t -> Term.t list
+(** Distinct constants of the atom. *)
+
+val is_ground : t -> bool
+(** [true] iff the atom contains no variable. *)
+
+val mem_term : Term.t -> t -> bool
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val pp : t Fmt.t
+(** [p(t1,...,tk)]; nullary atoms print as [p]. *)
+
+val pp_debug : t Fmt.t
+(** Like {!pp} but with variable ranks. *)

@@ -1,0 +1,429 @@
+type document = {
+  facts : Atomset.t;
+  rules : Rule.t list;
+  egds : Egd.t list;
+  queries : Kb.Query.t list;
+  constraints : Kb.Query.t list;
+}
+
+type error = { line : int; col : int; message : string }
+
+let pp_error ppf e =
+  Fmt.pf ppf "parse error at line %d, column %d: %s" e.line e.col e.message
+
+exception Error of error
+
+(* ------------------------------------------------------------------ *)
+(* Lexer *)
+
+type token =
+  | Lident of string (* lowercase identifier / number / quoted: constant *)
+  | Uident of string (* uppercase or _ identifier: variable *)
+  | Lparen
+  | Rparen
+  | Comma
+  | Dot
+  | Implied (* ":-" *)
+  | Equals (* "=" *)
+  | Question
+  | Bang
+  | Label of string (* "[...]" rule label *)
+  | Section of string (* "@facts" etc *)
+  | Eof
+
+type lexer = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int; (* offset of beginning of current line *)
+}
+
+let mk_lexer src = { src; pos = 0; line = 1; bol = 0 }
+
+let col lx = lx.pos - lx.bol + 1
+
+let fail lx message = raise (Error { line = lx.line; col = col lx; message })
+
+let peek_char lx =
+  if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let advance lx =
+  (match peek_char lx with
+  | Some '\n' ->
+      lx.line <- lx.line + 1;
+      lx.bol <- lx.pos + 1
+  | _ -> ());
+  lx.pos <- lx.pos + 1
+
+let is_lower c = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')
+
+let is_upper c = (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c =
+  is_lower c || is_upper c || c = '-' || c = '.' && false (* '.' terminates *)
+
+let rec skip_ws lx =
+  match peek_char lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance lx;
+      skip_ws lx
+  | Some '%' ->
+      let rec to_eol () =
+        match peek_char lx with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance lx;
+            to_eol ()
+      in
+      to_eol ();
+      skip_ws lx
+  | _ -> ()
+
+let read_while lx pred =
+  let start = lx.pos in
+  let rec go () =
+    match peek_char lx with
+    | Some c when pred c ->
+        advance lx;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  String.sub lx.src start (lx.pos - start)
+
+let read_delimited lx close what =
+  advance lx;
+  let start = lx.pos in
+  let rec go () =
+    match peek_char lx with
+    | Some c when c = close -> ()
+    | Some _ ->
+        advance lx;
+        go ()
+    | None -> fail lx (Printf.sprintf "unterminated %s" what)
+  in
+  go ();
+  let s = String.sub lx.src start (lx.pos - start) in
+  advance lx;
+  s
+
+let next_token lx =
+  skip_ws lx;
+  match peek_char lx with
+  | None -> Eof
+  | Some '(' ->
+      advance lx;
+      Lparen
+  | Some ')' ->
+      advance lx;
+      Rparen
+  | Some ',' ->
+      advance lx;
+      Comma
+  | Some '.' ->
+      advance lx;
+      Dot
+  | Some '?' ->
+      advance lx;
+      Question
+  | Some '!' ->
+      advance lx;
+      Bang
+  | Some '=' ->
+      advance lx;
+      Equals
+  | Some ':' ->
+      advance lx;
+      if peek_char lx = Some '-' then (
+        advance lx;
+        Implied)
+      else fail lx "expected '-' after ':'"
+  | Some '[' -> Label (String.trim (read_delimited lx ']' "label"))
+  | Some '"' -> Lident (read_delimited lx '"' "string literal")
+  | Some '<' -> Lident (read_delimited lx '>' "IRI literal")
+  | Some '@' ->
+      advance lx;
+      Section (read_while lx is_ident_char)
+  | Some c when is_lower c -> Lident (read_while lx is_ident_char)
+  | Some c when is_upper c -> Uident (read_while lx is_ident_char)
+  | Some c -> fail lx (Printf.sprintf "unexpected character %C" c)
+
+(* ------------------------------------------------------------------ *)
+(* Parser *)
+
+type parser_state = {
+  lx : lexer;
+  mutable tok : token;
+  mutable vars : (string * Term.t) list; (* per-statement variable scope *)
+}
+
+let mk_parser src =
+  let lx = mk_lexer src in
+  { lx; tok = next_token lx; vars = [] }
+
+let shift st = st.tok <- next_token st.lx
+
+let expect st tok what =
+  if st.tok = tok then shift st else fail st.lx ("expected " ^ what)
+
+let var_of st name =
+  match List.assoc_opt name st.vars with
+  | Some v -> v
+  | None ->
+      let v = Term.fresh_var ~hint:name () in
+      st.vars <- (name, v) :: st.vars;
+      v
+
+let parse_term st =
+  match st.tok with
+  | Lident c ->
+      shift st;
+      Term.const c
+  | Uident x ->
+      shift st;
+      var_of st x
+  | _ -> fail st.lx "expected a term"
+
+let parse_atom st =
+  match st.tok with
+  | Lident p -> (
+      shift st;
+      match st.tok with
+      | Lparen ->
+          shift st;
+          let rec args acc =
+            let t = parse_term st in
+            match st.tok with
+            | Comma ->
+                shift st;
+                args (t :: acc)
+            | Rparen ->
+                shift st;
+                List.rev (t :: acc)
+            | _ -> fail st.lx "expected ',' or ')' in atom arguments"
+          in
+          Atom.make p (args [])
+      | _ -> Atom.make p [] (* propositional atom *))
+  | _ -> fail st.lx "expected an atom"
+
+let parse_conjunction st =
+  let rec go acc =
+    let a = parse_atom st in
+    match st.tok with
+    | Comma ->
+        shift st;
+        go (a :: acc)
+    | _ -> List.rev (a :: acc)
+  in
+  go []
+
+(* One statement.  Returns [None] on section markers. *)
+type statement =
+  | Fact_atoms of Atom.t list
+  | Rule_stmt of Rule.t
+  | Query_stmt of Kb.Query.t
+  | Constraint_stmt of Kb.Query.t
+  | Egd_stmt of Egd.t
+
+let parse_statement st =
+  st.vars <- [];
+  match st.tok with
+  | Section _ ->
+      shift st;
+      None
+  | Question ->
+      shift st;
+      let answers =
+        match st.tok with
+        | Lparen ->
+            (* answer list: variables are kept as distinguished answer
+               variables; constants in answer position are accepted and
+               ignored (Boolean component) *)
+            shift st;
+            let rec collect acc =
+              let acc =
+                match st.tok with
+                | Uident x ->
+                    shift st;
+                    var_of st x :: acc
+                | Lident _ ->
+                    shift st;
+                    acc
+                | _ -> fail st.lx "expected a term in answer list"
+              in
+              match st.tok with
+              | Comma ->
+                  shift st;
+                  collect acc
+              | Rparen ->
+                  shift st;
+                  List.rev acc
+              | _ -> fail st.lx "expected ',' or ')' in answer list"
+            in
+            collect []
+        | _ -> []
+      in
+      expect st Implied "':-' after query head";
+      let body = parse_conjunction st in
+      expect st Dot "'.' at end of query";
+      Some (Query_stmt (Kb.Query.make ~answers body))
+  | Uident x ->
+      (* an EGD head: X = Y :- body. *)
+      shift st;
+      let l = var_of st x in
+      expect st Equals "'=' in an equality head";
+      let r =
+        match st.tok with
+        | Uident y ->
+            shift st;
+            var_of st y
+        | _ -> fail st.lx "expected a variable on the right of '='"
+      in
+      expect st Implied "':-' after the equality head";
+      let body = parse_conjunction st in
+      expect st Dot "'.' at end of EGD";
+      (try Some (Egd_stmt (Egd.make ~body l r))
+       with Invalid_argument m -> fail st.lx m)
+  | Bang ->
+      shift st;
+      expect st Implied "':-' after '!'";
+      let body = parse_conjunction st in
+      expect st Dot "'.' at end of constraint";
+      Some (Constraint_stmt (Kb.Query.make body))
+  | Label lbl -> (
+      shift st;
+      let first = parse_conjunction st in
+      match st.tok with
+      | Implied ->
+          shift st;
+          let body = parse_conjunction st in
+          expect st Dot "'.' at end of rule";
+          Some (Rule_stmt (Rule.make ~name:lbl ~body ~head:first ()))
+      | Dot ->
+          shift st;
+          Some (Fact_atoms first)
+      | _ -> fail st.lx "expected ':-' or '.'")
+  | _ -> (
+      let first = parse_conjunction st in
+      match st.tok with
+      | Implied ->
+          shift st;
+          let body = parse_conjunction st in
+          expect st Dot "'.' at end of rule";
+          Some (Rule_stmt (Rule.make ~body ~head:first ()))
+      | Dot ->
+          shift st;
+          Some (Fact_atoms first)
+      | _ -> fail st.lx "expected ':-' or '.'")
+
+let parse_string src =
+  let st = mk_parser src in
+  let rec go facts rules egds queries constraints =
+    match st.tok with
+    | Eof ->
+        Ok
+          {
+            facts = Atomset.of_list (List.rev facts);
+            rules = List.rev rules;
+            egds = List.rev egds;
+            queries = List.rev queries;
+            constraints = List.rev constraints;
+          }
+    | _ -> (
+        match parse_statement st with
+        | None -> go facts rules egds queries constraints
+        | Some (Fact_atoms atoms) ->
+            go (List.rev_append atoms facts) rules egds queries constraints
+        | Some (Rule_stmt r) -> go facts (r :: rules) egds queries constraints
+        | Some (Egd_stmt e) -> go facts rules (e :: egds) queries constraints
+        | Some (Query_stmt q) -> go facts rules egds (q :: queries) constraints
+        | Some (Constraint_stmt c) ->
+            go facts rules egds queries (c :: constraints))
+  in
+  try go [] [] [] [] [] with Error e -> Result.Error e
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  parse_string s
+
+let kb_of_document d =
+  Kb.with_egds d.egds (Kb.make ~facts:d.facts ~rules:d.rules)
+
+let parse_kb src = Result.map kb_of_document (parse_string src)
+
+(* ------------------------------------------------------------------ *)
+(* Printer *)
+
+let needs_quotes c =
+  String.length c = 0
+  || (not (is_lower c.[0]))
+  || String.exists (fun ch -> not (is_ident_char ch)) c
+
+let term_to_string t =
+  match t with
+  | Term.Const c -> if needs_quotes c then "\"" ^ c ^ "\"" else c
+  | Term.Var v ->
+      let h = v.Term.hint in
+      if h <> "" && is_upper h.[0] && not (String.exists (fun ch -> not (is_ident_char ch)) h)
+      then h
+      else "V" ^ string_of_int v.Term.id
+
+let atom_to_string a =
+  match Atom.args a with
+  | [] -> Atom.pred a
+  | args ->
+      Printf.sprintf "%s(%s)" (Atom.pred a)
+        (String.concat ", " (List.map term_to_string args))
+
+let conj_to_string atoms = String.concat ", " (List.map atom_to_string atoms)
+
+let rule_to_string r =
+  let label = if Rule.name r = "" then "" else "[" ^ Rule.name r ^ "] " in
+  Printf.sprintf "%s%s :- %s." label
+    (conj_to_string (Atomset.to_list (Rule.head r)))
+    (conj_to_string (Atomset.to_list (Rule.body r)))
+
+let print_document ppf d =
+  let pf fmt = Format.fprintf ppf fmt in
+  if not (Atomset.is_empty d.facts) then begin
+    pf "@[<v>@@facts@,";
+    Atomset.iter (fun a -> pf "%s.@," (atom_to_string a)) d.facts;
+    pf "@]"
+  end;
+  if d.rules <> [] || d.egds <> [] then begin
+    pf "@[<v>@@rules@,";
+    List.iter (fun r -> pf "%s@," (rule_to_string r)) d.rules;
+    List.iter
+      (fun e ->
+        let l, r = Egd.sides e in
+        pf "%s = %s :- %s.@," (term_to_string l) (term_to_string r)
+          (conj_to_string (Atomset.to_list (Egd.body e))))
+      d.egds;
+    pf "@]"
+  end;
+  if d.queries <> [] then begin
+    pf "@[<v>@@queries@,";
+    List.iter
+      (fun q ->
+        match Kb.Query.answer_vars q with
+        | [] ->
+            pf "? :- %s.@,"
+              (conj_to_string (Atomset.to_list (Kb.Query.atoms q)))
+        | avs ->
+            pf "?(%s) :- %s.@,"
+              (String.concat ", " (List.map term_to_string avs))
+              (conj_to_string (Atomset.to_list (Kb.Query.atoms q))))
+      d.queries;
+    pf "@]"
+  end;
+  if d.constraints <> [] then begin
+    pf "@[<v>@@constraints@,";
+    List.iter
+      (fun c ->
+        pf "! :- %s.@," (conj_to_string (Atomset.to_list (Kb.Query.atoms c))))
+      d.constraints;
+    pf "@]"
+  end

@@ -1,0 +1,55 @@
+(** Parser and printer for a subset of the DLGP 2.0 format (the textual
+    format of the Graal existential-rule toolkit), giving the library a real
+    I/O surface.
+
+    Supported statements, each terminated by a dot:
+
+    - facts: [p(a,b), q(b).] — a conjunction of ground-or-null atoms;
+    - rules: [\[label\] h1(X,Z), h2(Z) :- b1(X,Y), b2(Y).] — head [:-] body,
+      head variables absent from the body read as existentially quantified;
+    - queries: [?(X) :- p(X,Y).] (answer variables kept as the query's
+      distinguished variables) or [? :- p(X,Y).] (Boolean);
+    - negative constraints: [! :- p(X,X).];
+    - equality-generating dependencies: [X = Y :- p(Z,X), p(Z,Y).];
+    - section markers [@facts] [@rules] [@queries] [@constraints] (accepted,
+      non-binding) and [%] line comments.
+
+    Lexical conventions: identifiers starting with a lowercase letter or
+    digit (or quoted with ["…"] or [<…>]) are constants; identifiers
+    starting with an uppercase letter or [_] are variables, scoped per
+    statement. *)
+
+type document = {
+  facts : Atomset.t;
+  rules : Rule.t list;
+  egds : Egd.t list;  (** equality heads: [X = Y :- body.] *)
+  queries : Kb.Query.t list;
+  constraints : Kb.Query.t list;
+      (** negative constraints [! :- body.]: the KB is inconsistent iff
+          some constraint body is entailed *)
+}
+
+type error = { line : int; col : int; message : string }
+
+val pp_error : error Fmt.t
+
+val parse_string : string -> (document, error) result
+
+val parse_file : string -> (document, error) result
+(** @raise Sys_error if the file cannot be read. *)
+
+val kb_of_document : document -> Kb.t
+(** Keeps facts, rules and EGDs; forgets queries and constraints. *)
+
+val parse_kb : string -> (Kb.t, error) result
+(** [parse_kb s] parses and keeps only facts and rules. *)
+
+val print_document : Format.formatter -> document -> unit
+(** Prints a document back in parseable DLGP syntax (modulo variable
+    names, which are printed as [V<rank>] when hint-less). *)
+
+val atom_to_string : Atom.t -> string
+(** One atom in DLGP syntax. *)
+
+val rule_to_string : Rule.t -> string
+(** One rule in DLGP syntax ([head :- body.]). *)

@@ -1,0 +1,45 @@
+type t = { name : string; body : Atomset.t; left : Term.t; right : Term.t }
+
+let make_set ?(name = "") ~body left right =
+  if Atomset.is_empty body then invalid_arg "Egd.make: empty body";
+  if Term.is_const left || Term.is_const right then
+    invalid_arg "Egd.make: equated sides must be variables";
+  let vars = Atomset.vars body in
+  if
+    not
+      (List.exists (Term.equal left) vars
+      && List.exists (Term.equal right) vars)
+  then invalid_arg "Egd.make: equated variables must occur in the body";
+  { name; body; left; right }
+
+let make ?name ~body left right =
+  make_set ?name ~body:(Atomset.of_list body) left right
+
+let name e = e.name
+
+let body e = e.body
+
+let sides e = (e.left, e.right)
+
+let rename_apart e =
+  let renaming =
+    List.fold_left
+      (fun s v -> Subst.add v (Term.fresh_var ~hint:(Term.hint v) ()) s)
+      Subst.empty (Atomset.vars e.body)
+  in
+  {
+    e with
+    body = Subst.apply renaming e.body;
+    left = Subst.apply_term renaming e.left;
+    right = Subst.apply_term renaming e.right;
+  }
+
+let pp ppf e =
+  let pp_conj ppf s =
+    Fmt.(list ~sep:(any " ∧ ") Atom.pp) ppf (Atomset.to_list s)
+  in
+  if e.name = "" then
+    Fmt.pf ppf "@[%a → %a = %a@]" pp_conj e.body Term.pp e.left Term.pp e.right
+  else
+    Fmt.pf ppf "@[%s: %a → %a = %a@]" e.name pp_conj e.body Term.pp e.left
+      Term.pp e.right

@@ -1,0 +1,37 @@
+(** Equality-generating dependencies (EGDs).
+
+    The classical companions of tuple-generating dependencies in the chase
+    literature (Deutsch–Nash–Remmel [9], Fagin et al. [10]): sentences
+    [∀X⃗. B[X⃗] → x = y] with [x, y] variables of the body.  Applying an
+    EGD to an instance unifies the images of [x] and [y]; unifying two
+    distinct constants is a {e hard failure} (the KB has no model).
+
+    The paper's derivations (Definition 1) cover TGDs only; the EGD-aware
+    engine lives in {!Chase.Variants} and is documented as the standard
+    extension, outside Definition 1. *)
+
+type t = private {
+  name : string;
+  body : Atomset.t;
+  left : Term.t;
+  right : Term.t;
+}
+
+val make : ?name:string -> body:Atom.t list -> Term.t -> Term.t -> t
+(** [make ~body x y].
+    @raise Invalid_argument if the body is empty, either side is a
+    constant, or either side does not occur in the body. *)
+
+val make_set : ?name:string -> body:Atomset.t -> Term.t -> Term.t -> t
+
+val name : t -> string
+
+val body : t -> Atomset.t
+
+val sides : t -> Term.t * Term.t
+
+val rename_apart : t -> t
+(** Fresh-variable copy (engines rename before matching). *)
+
+val pp : t Fmt.t
+(** [name: body → l = r]. *)

@@ -1,0 +1,155 @@
+type t =
+  | Atom of Atom.t
+  | And of t list
+  | Or of t list
+  | Not of t
+  | Implies of t * t
+  | Forall of Term.t list * t
+  | Exists of Term.t list * t
+
+let conj_of_atomset aset = And (List.map (fun a -> Atom a) (Atomset.to_list aset))
+
+let of_atomset aset =
+  match Atomset.vars aset with
+  | [] -> conj_of_atomset aset
+  | vars -> Exists (vars, conj_of_atomset aset)
+
+let of_rule r =
+  let body = conj_of_atomset (Rule.body r) in
+  let head = conj_of_atomset (Rule.head r) in
+  let head =
+    match Rule.existential_vars r with
+    | [] -> head
+    | ex -> Exists (ex, head)
+  in
+  match Rule.universal_vars r with
+  | [] -> Implies (body, head)
+  | univ -> Forall (univ, Implies (body, head))
+
+let of_query q = of_atomset (Kb.Query.atoms q)
+
+let of_ucq u = Or (List.map of_query (Ucq.disjuncts u))
+
+let of_kb kb =
+  let facts = Kb.facts kb in
+  let fact_sentences =
+    if Atomset.is_empty facts then [] else [ of_atomset facts ]
+  in
+  fact_sentences @ List.map of_rule (Kb.rules kb)
+
+module TS = Set.Make (Term)
+
+let rec free_vars_set = function
+  | Atom a -> TS.of_list (Atom.vars a)
+  | And fs | Or fs ->
+      List.fold_left (fun s f -> TS.union s (free_vars_set f)) TS.empty fs
+  | Not f -> free_vars_set f
+  | Implies (f, g) -> TS.union (free_vars_set f) (free_vars_set g)
+  | Forall (vs, f) | Exists (vs, f) ->
+      TS.diff (free_vars_set f) (TS.of_list vs)
+
+let free_vars f = TS.elements (free_vars_set f)
+
+let is_sentence f = free_vars f = []
+
+(* precedence: quantifiers < implies < or < and < not/atom *)
+let rec pp_prec prec ppf f =
+  let paren p body =
+    if prec > p then Fmt.pf ppf "(%t)" body else body ppf
+  in
+  match f with
+  | Atom a -> Atom.pp ppf a
+  | And [] -> Fmt.string ppf "⊤"
+  | Or [] -> Fmt.string ppf "⊥"
+  | And fs ->
+      paren 3 (fun ppf ->
+          Fmt.(list ~sep:(any " ∧ ") (pp_prec 4)) ppf fs)
+  | Or fs ->
+      paren 2 (fun ppf -> Fmt.(list ~sep:(any " ∨ ") (pp_prec 3)) ppf fs)
+  | Not f -> Fmt.pf ppf "¬%a" (pp_prec 4) f
+  | Implies (f, g) ->
+      paren 1 (fun ppf ->
+          Fmt.pf ppf "%a → %a" (pp_prec 2) f (pp_prec 1) g)
+  | Forall (vs, f) ->
+      paren 0 (fun ppf ->
+          Fmt.pf ppf "∀%a. %a" Fmt.(list ~sep:comma Term.pp) vs (pp_prec 0) f)
+  | Exists (vs, f) ->
+      paren 0 (fun ppf ->
+          Fmt.pf ppf "∃%a. %a" Fmt.(list ~sep:comma Term.pp) vs (pp_prec 0) f)
+
+let pp ppf f = pp_prec 0 ppf f
+
+(* ------------------------------------------------------------------ *)
+(* TPTP FOF output *)
+
+let sanitize_lower s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | '0' .. '9' | '_' -> Buffer.add_char b c
+      | 'A' .. 'Z' -> Buffer.add_char b (Char.lowercase_ascii c)
+      | _ -> Buffer.add_char b '_')
+    s;
+  let s' = Buffer.contents b in
+  if s' = "" || not (match s'.[0] with 'a' .. 'z' -> true | _ -> false) then
+    "c_" ^ s'
+  else s'
+
+let tptp_term ppf = function
+  | Term.Const c -> Fmt.string ppf (sanitize_lower c)
+  | Term.Var v -> Fmt.pf ppf "V%d" v.Term.id
+
+let tptp_atom ppf a =
+  match Atom.args a with
+  | [] -> Fmt.pf ppf "%s" (sanitize_lower (Atom.pred a))
+  | args ->
+      Fmt.pf ppf "%s(%a)"
+        (sanitize_lower (Atom.pred a))
+        Fmt.(list ~sep:comma tptp_term)
+        args
+
+let rec pp_tptp_prec prec ppf f =
+  let paren p body =
+    if prec > p then Fmt.pf ppf "(%t)" body else body ppf
+  in
+  match f with
+  | Atom a -> tptp_atom ppf a
+  | And [] -> Fmt.string ppf "$true"
+  | Or [] -> Fmt.string ppf "$false"
+  | And [ f ] -> pp_tptp_prec prec ppf f
+  | Or [ f ] -> pp_tptp_prec prec ppf f
+  | And fs ->
+      paren 3 (fun ppf -> Fmt.(list ~sep:(any " & ") (pp_tptp_prec 4)) ppf fs)
+  | Or fs ->
+      paren 2 (fun ppf -> Fmt.(list ~sep:(any " | ") (pp_tptp_prec 3)) ppf fs)
+  | Not f -> Fmt.pf ppf "~ %a" (pp_tptp_prec 4) f
+  | Implies (f, g) ->
+      paren 1 (fun ppf ->
+          Fmt.pf ppf "%a => %a" (pp_tptp_prec 2) f (pp_tptp_prec 2) g)
+  | Forall (vs, f) ->
+      paren 0 (fun ppf ->
+          Fmt.pf ppf "! [%a] : %a"
+            Fmt.(list ~sep:comma tptp_term)
+            vs (pp_tptp_prec 4) f)
+  | Exists (vs, f) ->
+      paren 0 (fun ppf ->
+          Fmt.pf ppf "? [%a] : %a"
+            Fmt.(list ~sep:comma tptp_term)
+            vs (pp_tptp_prec 4) f)
+
+let pp_tptp ppf f = pp_tptp_prec 0 ppf f
+
+let tptp_problem ?(name = "corechase") kb q =
+  let b = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer b in
+  Format.pp_set_margin ppf 10_000;
+  Format.fprintf ppf "%% TPTP export of an existential-rule entailment problem.@.";
+  Format.fprintf ppf "%% K ⊨ Q  iff  a refutation prover reports Theorem.@.";
+  List.iteri
+    (fun i f ->
+      Format.fprintf ppf "fof(%s_ax%d, axiom, %a).@." name i pp_tptp f)
+    (of_kb kb);
+  Format.fprintf ppf "fof(%s_goal, conjecture, %a).@." name pp_tptp (of_query q);
+  Format.pp_print_flush ppf ();
+  Buffer.contents b

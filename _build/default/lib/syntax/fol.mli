@@ -1,0 +1,50 @@
+(** First-order readings of atomsets, rules, KBs and queries.
+
+    The paper identifies an atomset with the existential closure of the
+    conjunction of its atoms and a rule with the sentence
+    [∀X⃗Y⃗. B → ∃Z⃗. H] (Section 2); Theorem 1's "yes" semi-procedure relies
+    on the completeness of first-order logic.  This module materialises
+    those readings as formula ASTs and exports entailment problems in the
+    TPTP FOF format, so external first-order provers can be used as an
+    independent oracle for [K ⊨ Q]. *)
+
+type t =
+  | Atom of Atom.t
+  | And of t list  (** [And []] is ⊤ *)
+  | Or of t list  (** [Or []] is ⊥ *)
+  | Not of t
+  | Implies of t * t
+  | Forall of Term.t list * t
+  | Exists of Term.t list * t
+
+val of_atomset : Atomset.t -> t
+(** Existential closure of the conjunction. *)
+
+val of_rule : Rule.t -> t
+(** [∀X⃗Y⃗. B[X⃗,Y⃗] → ∃Z⃗. H[X⃗,Z⃗]]. *)
+
+val of_query : Kb.Query.t -> t
+
+val of_ucq : Ucq.t -> t
+(** Disjunction of the existentially closed disjuncts. *)
+
+val of_kb : Kb.t -> t list
+(** The facts sentence (if any) followed by one sentence per rule. *)
+
+val free_vars : t -> Term.t list
+(** Free variables, sorted by rank.  Empty on all [of_*] outputs. *)
+
+val is_sentence : t -> bool
+
+val pp : t Fmt.t
+(** Human-readable syntax with ∀/∃/∧/∨/¬/→. *)
+
+val pp_tptp : t Fmt.t
+(** The formula in TPTP FOF term syntax (no [fof(...)] wrapper).
+    Variables print as [V<rank>]; constants are sanitised to
+    [lower_snake] with a [c_] prefix where needed. *)
+
+val tptp_problem : ?name:string -> Kb.t -> Kb.Query.t -> string
+(** A complete TPTP problem: one [fof(..., axiom, ...)] per KB sentence
+    and the query as [fof(..., conjecture, ...)].  A refutation-complete
+    prover reports Theorem iff [K ⊨ Q]. *)

@@ -1,0 +1,81 @@
+type t = { facts : Atomset.t; rules : Rule.t list; egds : Egd.t list }
+
+let make ~facts ~rules = { facts; rules; egds = [] }
+
+let of_lists ~facts ~rules = make ~facts:(Atomset.of_list facts) ~rules
+
+let with_egds egds kb = { kb with egds }
+
+let facts k = k.facts
+
+let rules k = k.rules
+
+let egds k = k.egds
+
+let preds k =
+  List.sort_uniq compare
+    (Atomset.preds k.facts @ List.concat_map Rule.preds k.rules)
+
+let consts k =
+  let rule_consts r =
+    Atomset.consts (Rule.body r) @ Atomset.consts (Rule.head r)
+  in
+  List.sort_uniq Term.compare
+    (Atomset.consts k.facts @ List.concat_map rule_consts k.rules)
+
+let pp ppf k =
+  Fmt.pf ppf "@[<v>facts: %a@,%a%a@]" Atomset.pp k.facts
+    Fmt.(list Rule.pp)
+    k.rules
+    Fmt.(list Egd.pp)
+    k.egds
+
+module Query = struct
+  type t = { name : string; atoms : Atomset.t; answer_vars : Term.t list }
+
+  let of_atomset ?(name = "") ?(answers = []) atoms =
+    if Atomset.is_empty atoms then invalid_arg "Query.make: empty query";
+    let qvars = Atomset.vars atoms in
+    if
+      not
+        (List.for_all
+           (fun v -> List.exists (Term.equal v) qvars)
+           answers)
+    then invalid_arg "Query.make: answer variable absent from the atoms";
+    { name; atoms; answer_vars = answers }
+
+  let make ?name ?answers atoms =
+    of_atomset ?name ?answers (Atomset.of_list atoms)
+
+  let atoms q = q.atoms
+
+  let name q = q.name
+
+  let answer_vars q = q.answer_vars
+
+  let is_boolean q = q.answer_vars = []
+
+  let vars q = Atomset.vars q.atoms
+
+  let pp ppf q =
+    match q.answer_vars with
+    | [] ->
+        Fmt.pf ppf "@[? :- %a@]"
+          Fmt.(list ~sep:comma Atom.pp)
+          (Atomset.to_list q.atoms)
+    | avs ->
+        Fmt.pf ppf "@[?(%a) :- %a@]"
+          Fmt.(list ~sep:comma Term.pp)
+          avs
+          Fmt.(list ~sep:comma Atom.pp)
+          (Atomset.to_list q.atoms)
+
+  let well_formed kb q =
+    let kb_preds = preds kb in
+    List.for_all
+      (fun (p, ar) ->
+        match List.find_opt (fun (p', _) -> String.equal p p') kb_preds with
+        | None -> true (* a predicate unused by the KB is fine, just unsatisfiable *)
+        | Some (_, ar') -> ar = ar')
+      (Atomset.preds q.atoms)
+end

@@ -1,0 +1,63 @@
+(** Knowledge bases (Section 2): [K = (F, Σ)] with [F] a finite instance and
+    [Σ] a finite ruleset, together with Boolean conjunctive queries. *)
+
+type t = private {
+  facts : Atomset.t;
+  rules : Rule.t list;
+  egds : Egd.t list;  (** equality-generating dependencies, default [] *)
+}
+
+val make : facts:Atomset.t -> rules:Rule.t list -> t
+(** No EGDs; attach them with {!with_egds}. *)
+
+val of_lists : facts:Atom.t list -> rules:Rule.t list -> t
+
+val with_egds : Egd.t list -> t -> t
+
+val facts : t -> Atomset.t
+
+val rules : t -> Rule.t list
+
+val egds : t -> Egd.t list
+
+val preds : t -> (string * int) list
+(** All (predicate, arity) pairs of facts and rules. *)
+
+val consts : t -> Term.t list
+(** All constants of facts and rules. *)
+
+val pp : t Fmt.t
+
+(** Boolean conjunctive queries are finite atomsets; we give them a named
+    wrapper for clarity of APIs. *)
+module Query : sig
+  type kb := t
+
+  type t = private {
+    name : string;
+    atoms : Atomset.t;
+    answer_vars : Term.t list;
+        (** distinguished (answer) variables; empty for Boolean queries *)
+  }
+
+  val make : ?name:string -> ?answers:Term.t list -> Atom.t list -> t
+  (** @raise Invalid_argument on the empty query or when an answer
+      variable does not occur in the atoms. *)
+
+  val of_atomset : ?name:string -> ?answers:Term.t list -> Atomset.t -> t
+
+  val atoms : t -> Atomset.t
+
+  val name : t -> string
+
+  val answer_vars : t -> Term.t list
+
+  val is_boolean : t -> bool
+
+  val vars : t -> Term.t list
+
+  val pp : t Fmt.t
+
+  val well_formed : kb -> t -> bool
+  (** Arity-consistency of the query against the KB's schema usage. *)
+end

@@ -1,0 +1,71 @@
+module M = Map.Make (String)
+
+type t = int M.t
+
+let empty = M.empty
+
+let declare p ar s =
+  match M.find_opt p s with
+  | Some ar' when ar <> ar' ->
+      invalid_arg
+        (Printf.sprintf "Schema.declare: %s used at arities %d and %d" p ar' ar)
+  | _ -> M.add p ar s
+
+let arity p s = M.find_opt p s
+
+let mem p s = M.mem p s
+
+let preds s = M.bindings s
+
+let declare_res p ar s =
+  match M.find_opt p s with
+  | Some ar' when ar <> ar' ->
+      Error
+        (Printf.sprintf "predicate %s used at arities %d and %d" p ar' ar)
+  | _ -> Ok (M.add p ar s)
+
+let fold_result f init xs =
+  List.fold_left
+    (fun acc x -> Result.bind acc (fun s -> f x s))
+    (Ok init) xs
+
+let of_atoms atoms s =
+  fold_result (fun a s -> declare_res (Atom.pred a) (Atom.arity a) s) s atoms
+
+let of_atomset aset = of_atoms (Atomset.to_list aset) empty
+
+let of_kb kb =
+  let atoms_of_rule r =
+    Atomset.to_list (Rule.body r) @ Atomset.to_list (Rule.head r)
+  in
+  Result.bind
+    (of_atoms (Atomset.to_list (Kb.facts kb)) empty)
+    (fun s -> of_atoms (List.concat_map atoms_of_rule (Kb.rules kb)) s)
+
+let check_atom s a =
+  match M.find_opt (Atom.pred a) s with
+  | None -> Error (Printf.sprintf "undeclared predicate %s" (Atom.pred a))
+  | Some ar when ar <> Atom.arity a ->
+      Error
+        (Printf.sprintf "predicate %s declared with arity %d, used with %d"
+           (Atom.pred a) ar (Atom.arity a))
+  | Some _ -> Ok ()
+
+let check_atomset s aset =
+  fold_result (fun a () -> check_atom s a) () (Atomset.to_list aset)
+
+let check_rule s r =
+  Result.bind (check_atomset s (Rule.body r)) (fun () ->
+      check_atomset s (Rule.head r))
+
+let check_kb s kb =
+  Result.bind (check_atomset s (Kb.facts kb)) (fun () ->
+      fold_result (fun r () -> check_rule s r) () (Kb.rules kb))
+
+let union s1 s2 =
+  fold_result (fun (p, ar) s -> declare_res p ar s) s1 (M.bindings s2)
+
+let pp ppf s =
+  Fmt.pf ppf "{@[%a@]}"
+    Fmt.(list ~sep:comma (pair ~sep:(any "/") string int))
+    (M.bindings s)

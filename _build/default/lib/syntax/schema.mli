@@ -1,0 +1,37 @@
+(** Schemas (Section 2): a finite set of relation symbols with arities.
+
+    Atoms do not carry a schema themselves; a [Schema.t] is a consistency
+    artefact inferred from, or checked against, atomsets and rulesets. *)
+
+type t
+
+val empty : t
+
+val declare : string -> int -> t -> t
+(** @raise Invalid_argument if the predicate is already declared with a
+    different arity. *)
+
+val arity : string -> t -> int option
+
+val mem : string -> t -> bool
+
+val preds : t -> (string * int) list
+(** Sorted (predicate, arity) list. *)
+
+val of_atomset : Atomset.t -> (t, string) result
+(** Infers a schema; [Error msg] if a predicate occurs at two arities. *)
+
+val of_kb : Kb.t -> (t, string) result
+(** Infers a schema from facts and rules. *)
+
+val check_atom : t -> Atom.t -> (unit, string) result
+
+val check_atomset : t -> Atomset.t -> (unit, string) result
+
+val check_rule : t -> Rule.t -> (unit, string) result
+
+val check_kb : t -> Kb.t -> (unit, string) result
+
+val union : t -> t -> (t, string) result
+
+val pp : t Fmt.t

@@ -1,0 +1,61 @@
+type var = { id : int; hint : string }
+
+type t = Const of string | Var of var
+
+(* Global rank counter: next rank to issue.  [var_of_id] bumps it past any
+   explicitly requested rank so that freshness is preserved process-wide. *)
+let counter = ref 0
+
+let fresh_var ?(hint = "") () =
+  let id = !counter in
+  incr counter;
+  Var { id; hint }
+
+let var_of_id ?(hint = "") id =
+  if id < 0 then invalid_arg "Term.var_of_id: negative rank";
+  if id >= !counter then counter := id + 1;
+  Var { id; hint }
+
+let const c = Const c
+
+let is_var = function Var _ -> true | Const _ -> false
+
+let is_const = function Const _ -> true | Var _ -> false
+
+let rank = function
+  | Var v -> v.id
+  | Const c -> invalid_arg ("Term.rank: constant " ^ c)
+
+let hint = function Var v -> v.hint | Const c -> c
+
+let compare t1 t2 =
+  match (t1, t2) with
+  | Const c1, Const c2 -> String.compare c1 c2
+  | Const _, Var _ -> -1
+  | Var _, Const _ -> 1
+  | Var v1, Var v2 -> Int.compare v1.id v2.id
+
+let compare_by_rank t1 t2 =
+  match (t1, t2) with
+  | Const c1, Const c2 -> String.compare c1 c2
+  | Const _, Var _ -> -1
+  | Var _, Const _ -> 1
+  | Var v1, Var v2 -> Int.compare v1.id v2.id
+
+let equal t1 t2 = compare t1 t2 = 0
+
+let hash = function
+  | Const c -> Hashtbl.hash (0, c)
+  | Var v -> Hashtbl.hash (1, v.id)
+
+let pp ppf = function
+  | Const c -> Fmt.string ppf c
+  | Var { id; hint } ->
+      if hint = "" then Fmt.pf ppf "?%d" id else Fmt.string ppf hint
+
+let pp_debug ppf = function
+  | Const c -> Fmt.string ppf c
+  | Var { id; hint } ->
+      if hint = "" then Fmt.pf ppf "?%d" id else Fmt.pf ppf "%s#%d" hint id
+
+let reset_counter_for_tests () = counter := 0

@@ -1,0 +1,16 @@
+type t = { name : string; disjuncts : Kb.Query.t list }
+
+let make ?(name = "") disjuncts =
+  if disjuncts = [] then invalid_arg "Ucq.make: empty union";
+  { name; disjuncts }
+
+let disjuncts u = u.disjuncts
+
+let name u = u.name
+
+let of_query q = { name = Kb.Query.name q; disjuncts = [ q ] }
+
+let pp ppf u =
+  Fmt.pf ppf "@[%a@]"
+    Fmt.(list ~sep:(any " ∨ ") Kb.Query.pp)
+    u.disjuncts

@@ -1,0 +1,21 @@
+(** Unions of conjunctive queries.
+
+    UCQs are preserved under homomorphisms, so everything the paper builds
+    for CQs lifts verbatim (the abstract introduces universal models as
+    deciding "all queries preserved under homomorphisms"): [K ⊨ ⋁ qᵢ] iff
+    some disjunct maps into a universal model of [K]. *)
+
+type t = private { name : string; disjuncts : Kb.Query.t list }
+
+val make : ?name:string -> Kb.Query.t list -> t
+(** @raise Invalid_argument on an empty disjunct list. *)
+
+val disjuncts : t -> Kb.Query.t list
+
+val name : t -> string
+
+val of_query : Kb.Query.t -> t
+
+val pp : t Fmt.t
+(** Evaluation and entailment live in [Corechase.Entailment] (they need
+    the homomorphism machinery of higher layers). *)

@@ -1,0 +1,1 @@
+lib/treewidth/treewidth.ml: Atomset Decomposition Dot Elimination Exact Graph Grid Hypergraph Lowerbound Pathwidth Primal Syntax

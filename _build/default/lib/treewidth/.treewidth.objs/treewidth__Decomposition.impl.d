@@ -1,0 +1,1 @@
+lib/treewidth/decomposition.ml: Array Atom Atomset Fmt Fun Hashtbl List Set Syntax Term

@@ -1,0 +1,1 @@
+lib/treewidth/decomposition.mli: Atomset Fmt Syntax Term

@@ -1,0 +1,1 @@
+lib/treewidth/dot.ml: Array Atom Atomset Buffer Decomposition Fmt Hashtbl List Printf String Syntax Term

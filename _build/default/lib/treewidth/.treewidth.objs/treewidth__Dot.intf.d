@@ -1,0 +1,1 @@
+lib/treewidth/dot.mli: Atomset Decomposition Syntax

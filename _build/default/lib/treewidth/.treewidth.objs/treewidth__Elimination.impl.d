@@ -1,0 +1,1 @@
+lib/treewidth/elimination.ml: Array Decomposition Fun Graph Int List Primal Set

@@ -1,0 +1,1 @@
+lib/treewidth/exact.ml: Array Graph Hashtbl List

@@ -1,0 +1,1 @@
+lib/treewidth/exact.mli: Graph

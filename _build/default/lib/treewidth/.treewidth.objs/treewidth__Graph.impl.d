@@ -1,0 +1,1 @@
+lib/treewidth/graph.ml: Array Fmt Fun Int List Set

@@ -1,0 +1,1 @@
+lib/treewidth/graph.mli: Fmt

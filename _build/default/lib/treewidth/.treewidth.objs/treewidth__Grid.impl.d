@@ -1,0 +1,1 @@
+lib/treewidth/grid.ml: Array Atom Atomset Homo List Subst Syntax Term

@@ -1,0 +1,1 @@
+lib/treewidth/grid.mli: Atomset Syntax Term

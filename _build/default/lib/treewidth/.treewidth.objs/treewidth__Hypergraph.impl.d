@@ -1,0 +1,1 @@
+lib/treewidth/hypergraph.ml: Array Atom Atomset Decomposition Elimination List Primal Set Syntax Term

@@ -1,0 +1,1 @@
+lib/treewidth/hypergraph.mli: Atomset Syntax Term

@@ -1,0 +1,1 @@
+lib/treewidth/lowerbound.ml: Array Fun Graph Int List Set

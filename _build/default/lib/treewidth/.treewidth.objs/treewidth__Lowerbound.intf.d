@@ -1,0 +1,1 @@
+lib/treewidth/lowerbound.mli: Graph

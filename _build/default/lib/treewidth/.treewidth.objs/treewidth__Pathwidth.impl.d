@@ -1,0 +1,1 @@
+lib/treewidth/pathwidth.ml: Array Graph Hashtbl List Primal

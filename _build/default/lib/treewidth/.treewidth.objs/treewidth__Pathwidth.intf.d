@@ -1,0 +1,1 @@
+lib/treewidth/pathwidth.mli: Graph Syntax

@@ -1,0 +1,1 @@
+lib/treewidth/primal.ml: Array Atom Atomset Graph Hashtbl List Syntax Term

@@ -1,0 +1,1 @@
+lib/treewidth/primal.mli: Atomset Graph Syntax Term

@@ -1,0 +1,86 @@
+open Syntax
+module TS = Set.Make (Term)
+
+type t = { bags : Term.t list array; edges : (int * int) list }
+
+let width d =
+  Array.fold_left
+    (fun acc bag -> max acc (List.length (List.sort_uniq Term.compare bag) - 1))
+    (-1) d.bags
+
+(* Union-find acyclicity & bounds check. *)
+let is_tree d =
+  let n = Array.length d.bags in
+  let parent = Array.init n Fun.id in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let ok = ref true in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n || u = v then ok := false
+      else
+        let ru = find u and rv = find v in
+        if ru = rv then ok := false (* cycle *) else parent.(ru) <- rv)
+    d.edges;
+  !ok
+
+let covers aset d =
+  let bag_sets = Array.map TS.of_list d.bags in
+  Atomset.for_all
+    (fun a ->
+      let ts = Atom.term_set a in
+      Array.exists (fun bag -> List.for_all (fun t -> TS.mem t bag) ts) bag_sets)
+    aset
+
+let connected d =
+  let n = Array.length d.bags in
+  let adj = Array.make n [] in
+  List.iter
+    (fun (u, v) ->
+      adj.(u) <- v :: adj.(u);
+      adj.(v) <- u :: adj.(v))
+    d.edges;
+  let bag_sets = Array.map TS.of_list d.bags in
+  let terms =
+    Array.fold_left (fun acc b -> TS.union acc (TS.of_list b)) TS.empty d.bags
+  in
+  TS.for_all
+    (fun t ->
+      let holds = ref [] in
+      Array.iteri (fun i b -> if TS.mem t b then holds := i :: !holds) bag_sets;
+      match !holds with
+      | [] -> true
+      | start :: _ ->
+          (* BFS restricted to bags containing t must reach all of them. *)
+          let seen = Hashtbl.create 8 in
+          let rec dfs i =
+            if not (Hashtbl.mem seen i) then begin
+              Hashtbl.replace seen i ();
+              List.iter
+                (fun j -> if TS.mem t bag_sets.(j) then dfs j)
+                adj.(i)
+            end
+          in
+          dfs start;
+          List.for_all (Hashtbl.mem seen) !holds)
+    terms
+
+let is_valid aset d =
+  let aset_terms = TS.of_list (Atomset.terms aset) in
+  let bags_within =
+    Array.for_all (List.for_all (fun t -> TS.mem t aset_terms)) d.bags
+  in
+  bags_within && is_tree d && covers aset d && connected d
+
+let trivial aset =
+  match Atomset.terms aset with
+  | [] -> { bags = [||]; edges = [] }
+  | ts -> { bags = [| ts |]; edges = [] }
+
+let pp ppf d =
+  Fmt.pf ppf "@[<v>%a@,edges: %a@]"
+    Fmt.(
+      array ~sep:cut (fun ppf bag ->
+          Fmt.pf ppf "bag {@[%a@]}" (list ~sep:comma Term.pp) bag))
+    d.bags
+    Fmt.(list ~sep:comma (pair ~sep:(any "-") int int))
+    d.edges

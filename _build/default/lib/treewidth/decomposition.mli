@@ -1,0 +1,35 @@
+(** Tree decompositions (Definition 4).
+
+    A tree decomposition of an atomset [A] is a tree whose vertices ("bags")
+    are sets of terms of [A] such that (i) every atom's terms fit in some
+    bag and (ii) for each term, the bags containing it induce a connected
+    subtree.  The width is the largest bag size minus one. *)
+
+open Syntax
+
+type t = { bags : Term.t list array; edges : (int * int) list }
+(** [bags.(i)] is the i-th bag (terms, no duplicates); [edges] are
+    undirected tree edges between bag indices. *)
+
+val width : t -> int
+(** Largest bag size minus one; [-1] for the empty decomposition. *)
+
+val is_tree : t -> bool
+(** The edge set forms a tree (or forest — a forest is accepted, as a
+    decomposition of a disconnected atomset naturally is one). *)
+
+val covers : Atomset.t -> t -> bool
+(** Condition (i): every atom's terms lie inside some single bag. *)
+
+val connected : t -> bool
+(** Condition (ii): for every term, the bags containing it induce a
+    connected subgraph of the (forest) decomposition. *)
+
+val is_valid : Atomset.t -> t -> bool
+(** Conjunction of {!is_tree}, {!covers} and {!connected}, plus: every bag
+    contains only terms of the atomset. *)
+
+val trivial : Atomset.t -> t
+(** The single-bag decomposition (width = #terms - 1). *)
+
+val pp : t Fmt.t

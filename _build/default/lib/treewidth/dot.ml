@@ -1,0 +1,75 @@
+open Syntax
+
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | '"' -> "\\\""
+         | '\\' -> "\\\\"
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let term_id t =
+  match t with
+  | Term.Const c -> "c_" ^ escape c
+  | Term.Var v -> Printf.sprintf "v_%d" v.Term.id
+
+let term_label t = escape (Fmt.str "%a" Term.pp_debug t)
+
+let atomset ?(name = "instance") a =
+  let b = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "graph \"%s\" {\n" (escape name);
+  pf "  node [shape=circle, fontsize=10];\n";
+  (* unary predicates annotate the node label *)
+  let unary = Hashtbl.create 16 in
+  Atomset.iter
+    (fun at ->
+      match Atom.args at with
+      | [ t ] ->
+          let cur = try Hashtbl.find unary (term_id t) with Not_found -> [] in
+          Hashtbl.replace unary (term_id t) (Atom.pred at :: cur)
+      | _ -> ())
+    a;
+  List.iter
+    (fun t ->
+      let marks =
+        match Hashtbl.find_opt unary (term_id t) with
+        | Some ps -> "\\n" ^ escape (String.concat "," (List.sort compare ps))
+        | None -> ""
+      in
+      pf "  %s [label=\"%s%s\"];\n" (term_id t) (term_label t) marks)
+    (Atomset.terms a);
+  let edge_counter = ref 0 in
+  Atomset.iter
+    (fun at ->
+      match Atom.args at with
+      | [] | [ _ ] -> ()
+      | [ t1; t2 ] ->
+          pf "  %s -- %s [label=\"%s\"%s];\n" (term_id t1) (term_id t2)
+            (escape (Atom.pred at))
+            (if Term.equal t1 t2 then ", dir=forward" else "")
+      | args ->
+          (* hyperedge node *)
+          incr edge_counter;
+          let hid = Printf.sprintf "h_%d" !edge_counter in
+          pf "  %s [shape=box, label=\"%s\"];\n" hid (escape (Atom.pred at));
+          List.iter (fun t -> pf "  %s -- %s;\n" hid (term_id t)) args)
+    a;
+  pf "}\n";
+  Buffer.contents b
+
+let decomposition ?(name = "decomposition") (d : Decomposition.t) =
+  let b = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "graph \"%s\" {\n" (escape name);
+  pf "  node [shape=box, fontsize=10];\n";
+  Array.iteri
+    (fun i bag ->
+      pf "  b%d [label=\"{%s}\"];\n" i
+        (escape (String.concat ", " (List.map term_label bag))))
+    d.Decomposition.bags;
+  List.iter (fun (i, j) -> pf "  b%d -- b%d;\n" i j) d.Decomposition.edges;
+  pf "}\n";
+  Buffer.contents b

@@ -1,0 +1,14 @@
+(** Graphviz (DOT) export, for visualising the paper's structures — the
+    staircase, the elevator, tree decompositions and chase snapshots
+    render directly with [dot -Tsvg].
+
+    Binary atoms become labelled edges, unary atoms node annotations,
+    higher-arity atoms a hyperedge node connected to its arguments. *)
+
+open Syntax
+
+val atomset : ?name:string -> Atomset.t -> string
+(** A [graph { ... }] of the instance. *)
+
+val decomposition : ?name:string -> Decomposition.t -> string
+(** The bag tree, each node listing its bag's terms. *)

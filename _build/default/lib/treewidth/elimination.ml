@@ -1,0 +1,88 @@
+module ISet = Set.Make (Int)
+
+(* Working state: alive adjacency sets that we mutate as we eliminate. *)
+type state = { adj : ISet.t array; mutable alive : ISet.t }
+
+let state_of_graph g =
+  let n = Graph.vertex_count g in
+  {
+    adj = Array.init n (fun v -> ISet.of_list (Graph.neighbors g v));
+    alive = ISet.of_list (List.init n Fun.id);
+  }
+
+let live_neighbors st v = ISet.inter st.adj.(v) st.alive
+
+let eliminate st v =
+  let nb = live_neighbors st v in
+  ISet.iter
+    (fun u -> st.adj.(u) <- ISet.union st.adj.(u) (ISet.remove u nb))
+    nb;
+  st.alive <- ISet.remove v st.alive;
+  nb
+
+let width_of_order g order =
+  let st = state_of_graph g in
+  Array.fold_left
+    (fun acc v ->
+      let nb = eliminate st v in
+      max acc (ISet.cardinal nb))
+    (-1) order
+
+let decomposition_of_order primal order =
+  let g = primal.Primal.graph in
+  let n = Graph.vertex_count g in
+  let st = state_of_graph g in
+  let bags = Array.make n [] in
+  let position = Array.make n 0 in
+  Array.iteri (fun i v -> position.(v) <- i) order;
+  let parents = ref [] in
+  Array.iteri
+    (fun i v ->
+      let nb = eliminate st v in
+      bags.(i) <- v :: ISet.elements nb;
+      (* link to the bag of the first-eliminated later neighbour *)
+      match ISet.min_elt_opt (ISet.map (fun u -> position.(u)) nb) with
+      | Some j -> parents := (i, j) :: !parents
+      | None -> ())
+    order;
+  let to_terms vs = List.map (Primal.term_of_vertex primal) vs in
+  { Decomposition.bags = Array.map to_terms bags; edges = !parents }
+
+let greedy_order score g =
+  let n = Graph.vertex_count g in
+  let st = state_of_graph g in
+  let order = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let best =
+      ISet.fold
+        (fun v best ->
+          let s = score st v in
+          match best with
+          | Some (bs, _) when bs <= s -> best
+          | _ -> Some (s, v))
+        st.alive None
+    in
+    match best with
+    | Some (_, v) ->
+        order.(i) <- v;
+        ignore (eliminate st v)
+    | None -> assert false
+  done;
+  order
+
+let min_degree_order g =
+  greedy_order (fun st v -> ISet.cardinal (live_neighbors st v)) g
+
+let fill_count st v =
+  let nb = ISet.elements (live_neighbors st v) in
+  let rec go acc = function
+    | [] -> acc
+    | u :: rest ->
+        let missing =
+          List.length (List.filter (fun w -> not (ISet.mem w st.adj.(u))) rest)
+        in
+        go (acc + missing) rest
+  in
+  go 0 nb
+
+let min_fill_order g = greedy_order fill_count g

@@ -1,0 +1,21 @@
+(** Elimination orderings and the decompositions they induce.
+
+    Eliminating a vertex [v] turns its current neighbourhood into a clique
+    and removes [v]; the bag of [v] is [{v} ∪ N(v)] at elimination time.
+    The width of an ordering is the largest bag size minus one; treewidth is
+    the minimum width over all orderings.  [decomposition_of_order] realises
+    the standard bag-tree construction (each bag linked to the bag of the
+    first-eliminated vertex among its later neighbours). *)
+
+val width_of_order : Graph.t -> int array -> int
+(** Width of the given elimination order (a permutation of vertices). *)
+
+val decomposition_of_order : Primal.t -> int array -> Decomposition.t
+(** The tree decomposition induced by the order, on the atomset's terms. *)
+
+val min_degree_order : Graph.t -> int array
+(** Greedy: repeatedly eliminate a vertex of minimum current degree. *)
+
+val min_fill_order : Graph.t -> int array
+(** Greedy: repeatedly eliminate a vertex whose neighbourhood needs the
+    fewest fill edges. *)

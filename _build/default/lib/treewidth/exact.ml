@@ -1,0 +1,142 @@
+let max_vertices = 62
+
+(* Bitmask helpers *)
+let popcount m =
+  let rec go m acc = if m = 0 then acc else go (m land (m - 1)) (acc + 1) in
+  go m 0
+
+let iter_bits m f =
+  let rec go m =
+    if m <> 0 then begin
+      let b = m land -m in
+      (* index of lowest set bit *)
+      let rec idx b i = if b = 1 then i else idx (b lsr 1) (i + 1) in
+      f (idx b 0);
+      go (m lxor b)
+    end
+  in
+  go m
+
+type state = { n : int; adj : int array }
+(* adj.(v): bitmask of current neighbours among alive vertices; dead
+   vertices keep stale entries which are masked with [alive] on use. *)
+
+let state_of_graph g =
+  let n = Graph.vertex_count g in
+  if n > max_vertices then
+    invalid_arg "Exact.treewidth: more than 62 vertices";
+  let adj =
+    Array.init n (fun v ->
+        List.fold_left (fun m u -> m lor (1 lsl u)) 0 (Graph.neighbors g v))
+  in
+  { n; adj }
+
+let full_mask n = if n = 0 then 0 else (1 lsl n) - 1
+
+(* Eliminate v in place given the alive mask; returns its live degree. *)
+let eliminate st alive v =
+  let nb = st.adj.(v) land alive land lnot (1 lsl v) in
+  iter_bits nb (fun u -> st.adj.(u) <- st.adj.(u) lor (nb land lnot (1 lsl u)));
+  popcount nb
+
+(* Min-fill upper bound on the current alive subgraph. *)
+let minfill_ub st alive0 =
+  let st = { st with adj = Array.copy st.adj } in
+  let alive = ref alive0 in
+  let width = ref (-1) in
+  while !alive <> 0 do
+    (* pick min-fill vertex *)
+    let best = ref (-1) and best_fill = ref max_int in
+    iter_bits !alive (fun v ->
+        let nb = st.adj.(v) land !alive land lnot (1 lsl v) in
+        let fill = ref 0 in
+        iter_bits nb (fun u ->
+            fill := !fill + popcount (nb land lnot st.adj.(u) land lnot (1 lsl u)));
+        if !fill < !best_fill then begin
+          best_fill := !fill;
+          best := v
+        end);
+    let v = !best in
+    let d = eliminate st !alive v in
+    width := max !width d;
+    alive := !alive land lnot (1 lsl v)
+  done;
+  !width
+
+(* MMD (maximum minimum degree / degeneracy-style) lower bound on the alive
+   subgraph: repeatedly delete (not eliminate) a minimum-degree vertex; the
+   maximum of the minimum degrees seen is a treewidth lower bound. *)
+let mmd_lb st alive0 =
+  let alive = ref alive0 in
+  let best = ref (-1) in
+  while !alive <> 0 do
+    let minv = ref (-1) and mind = ref max_int in
+    iter_bits !alive (fun v ->
+        let d = popcount (st.adj.(v) land !alive land lnot (1 lsl v)) in
+        if d < !mind then begin
+          mind := d;
+          minv := v
+        end);
+    best := max !best !mind;
+    alive := !alive land lnot (1 lsl !minv)
+  done;
+  !best
+
+let treewidth g =
+  let st0 = state_of_graph g in
+  let n = st0.n in
+  if n = 0 then -1
+  else begin
+    let all = full_mask n in
+    let best = ref (minfill_ub { st0 with adj = Array.copy st0.adj } all) in
+    (* memo: eliminated-set mask -> smallest current_max explored with *)
+    let memo : (int, int) Hashtbl.t = Hashtbl.create 4096 in
+    let rec go st alive current_max =
+      if current_max >= !best then ()
+      else if alive = 0 then best := current_max
+      else if popcount alive <= current_max + 1 then
+        (* any order on the rest keeps all bags within current_max *)
+        best := current_max
+      else begin
+        let eliminated = all land lnot alive in
+        (match Hashtbl.find_opt memo eliminated with
+        | Some m when m <= current_max -> ()
+        | _ ->
+            Hashtbl.replace memo eliminated current_max;
+            let lb = mmd_lb st alive in
+            if max lb current_max >= !best then ()
+            else begin
+              (* simplicial rule: eliminate a simplicial vertex for free *)
+              let simplicial = ref (-1) in
+              iter_bits alive (fun v ->
+                  if !simplicial < 0 then begin
+                    let nb = st.adj.(v) land alive land lnot (1 lsl v) in
+                    let is_clique = ref true in
+                    iter_bits nb (fun u ->
+                        if
+                          nb land lnot st.adj.(u) land lnot (1 lsl u) <> 0
+                        then is_clique := false);
+                    if !is_clique then simplicial := v
+                  end);
+              if !simplicial >= 0 then begin
+                let v = !simplicial in
+                let st' = { st with adj = Array.copy st.adj } in
+                let d = eliminate st' alive v in
+                go st' (alive land lnot (1 lsl v)) (max current_max d)
+              end
+              else
+                iter_bits alive (fun v ->
+                    let d0 =
+                      popcount (st.adj.(v) land alive land lnot (1 lsl v))
+                    in
+                    if max current_max d0 < !best then begin
+                      let st' = { st with adj = Array.copy st.adj } in
+                      let d = eliminate st' alive v in
+                      go st' (alive land lnot (1 lsl v)) (max current_max d)
+                    end)
+            end)
+      end
+    in
+    go st0 all (-1);
+    !best
+  end

@@ -1,0 +1,16 @@
+(** Exact treewidth by branch-and-bound over elimination orderings
+    (QuickBB-style), for graphs of at most 62 vertices (bitmask-encoded
+    states).
+
+    Prunings used: greedy min-fill upper bound as the incumbent, MMD lower
+    bound at every node, the simplicial-vertex rule (a vertex whose live
+    neighbourhood is a clique can always be eliminated first without loss),
+    and memoisation on the set of eliminated vertices (the eliminated graph
+    is independent of the elimination order inside the set). *)
+
+val treewidth : Graph.t -> int
+(** Exact treewidth ([-1] for the empty graph).
+    @raise Invalid_argument on graphs with more than 62 vertices. *)
+
+val max_vertices : int
+(** The 62-vertex limit. *)

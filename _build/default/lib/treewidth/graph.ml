@@ -1,0 +1,81 @@
+module ISet = Set.Make (Int)
+
+type t = { n : int; adj : ISet.t array }
+
+let create n =
+  if n < 0 then invalid_arg "Graph.create: negative size";
+  { n; adj = Array.make n ISet.empty }
+
+let vertex_count g = g.n
+
+let check g v =
+  if v < 0 || v >= g.n then invalid_arg "Graph: vertex out of range"
+
+let add_edge g u v =
+  check g u;
+  check g v;
+  if u <> v then begin
+    g.adj.(u) <- ISet.add v g.adj.(u);
+    g.adj.(v) <- ISet.add u g.adj.(v)
+  end
+
+let has_edge g u v =
+  check g u;
+  check g v;
+  ISet.mem v g.adj.(u)
+
+let neighbors g v =
+  check g v;
+  ISet.elements g.adj.(v)
+
+let degree g v =
+  check g v;
+  ISet.cardinal g.adj.(v)
+
+let edge_count g =
+  Array.fold_left (fun acc s -> acc + ISet.cardinal s) 0 g.adj / 2
+
+let of_edges n edges =
+  let g = create n in
+  List.iter (fun (u, v) -> add_edge g u v) edges;
+  g
+
+let copy g = { n = g.n; adj = Array.map Fun.id g.adj }
+
+let fold_vertices f g acc =
+  let rec go v acc = if v >= g.n then acc else go (v + 1) (f v acc) in
+  go 0 acc
+
+let is_clique g vs =
+  let rec go = function
+    | [] -> true
+    | v :: rest ->
+        List.for_all (fun u -> has_edge g u v) rest && go rest
+  in
+  go vs
+
+let connected_components g =
+  let seen = Array.make g.n false in
+  let rec dfs v acc =
+    if seen.(v) then acc
+    else begin
+      seen.(v) <- true;
+      List.fold_left (fun acc u -> dfs u acc) (v :: acc) (neighbors g v)
+    end
+  in
+  fold_vertices
+    (fun v comps ->
+      if seen.(v) then comps else List.sort Int.compare (dfs v []) :: comps)
+    g []
+  |> List.rev
+
+let pp ppf g =
+  let edges =
+    fold_vertices
+      (fun v acc ->
+        ISet.fold (fun u acc -> if u > v then (v, u) :: acc else acc) g.adj.(v) acc)
+      g []
+  in
+  Fmt.pf ppf "graph(n=%d; @[%a@])" g.n
+    Fmt.(list ~sep:comma (pair ~sep:(any "-") int int))
+    (List.rev edges)

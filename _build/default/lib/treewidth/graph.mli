@@ -1,0 +1,37 @@
+(** Simple undirected graphs on integer vertices [0..n-1].
+
+    This is the substrate under all treewidth computations: atomsets are
+    turned into their Gaifman (primal) graphs by {!Primal}. *)
+
+type t
+
+val create : int -> t
+(** [create n]: [n] vertices, no edges. *)
+
+val vertex_count : t -> int
+
+val edge_count : t -> int
+
+val add_edge : t -> int -> int -> unit
+(** Ignores self-loops; idempotent. @raise Invalid_argument when out of
+    range. *)
+
+val has_edge : t -> int -> int -> bool
+
+val neighbors : t -> int -> int list
+(** Sorted. *)
+
+val degree : t -> int -> int
+
+val of_edges : int -> (int * int) list -> t
+
+val copy : t -> t
+
+val fold_vertices : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val is_clique : t -> int list -> bool
+(** Do the listed vertices induce a complete subgraph? *)
+
+val connected_components : t -> int list list
+
+val pp : t Fmt.t

@@ -1,0 +1,77 @@
+open Syntax
+
+let cooccur a t1 t2 =
+  Atomset.exists (fun at -> Atom.mem_term t1 at && Atom.mem_term t2 at) a
+
+let check naming n a =
+  let terms = Array.init n (fun i -> Array.init n (fun j -> naming (i + 1) (j + 1))) in
+  let all = Array.to_list terms |> Array.concat |> Array.to_list in
+  let distinct = List.sort_uniq Term.compare all in
+  List.length distinct = n * n
+  &&
+  let ok = ref true in
+  for k = 0 to n - 2 do
+    for l = 0 to n - 1 do
+      if not (cooccur a terms.(k).(l) terms.(k + 1).(l)) then ok := false;
+      if not (cooccur a terms.(l).(k) terms.(l).(k + 1)) then ok := false
+    done
+  done;
+  !ok
+
+(* Encode the Gaifman adjacency of [a] as a symmetric binary predicate and
+   search for the grid pattern with the injective homomorphism solver. *)
+let adjacency_atomset a =
+  let edges = ref Atomset.empty in
+  let add t1 t2 =
+    edges := Atomset.add (Atom.make "adj" [ t1; t2 ]) !edges;
+    edges := Atomset.add (Atom.make "adj" [ t2; t1 ]) !edges
+  in
+  Atomset.iter
+    (fun at ->
+      let ts = Atom.term_set at in
+      let rec pairs = function
+        | [] -> ()
+        | t :: rest ->
+            List.iter (add t) rest;
+            pairs rest
+      in
+      pairs ts)
+    a;
+  !edges
+
+let grid_pattern n =
+  let cells = Array.init n (fun _ -> Array.init n (fun _ -> Term.fresh_var ~hint:"g" ())) in
+  let atoms = ref [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i + 1 < n then
+        atoms := Atom.make "adj" [ cells.(i).(j); cells.(i + 1).(j) ] :: !atoms;
+      if j + 1 < n then
+        atoms := Atom.make "adj" [ cells.(i).(j); cells.(i).(j + 1) ] :: !atoms
+    done
+  done;
+  (cells, Atomset.of_list !atoms)
+
+let find ~n a =
+  if n <= 0 then invalid_arg "Grid.find: n must be positive";
+  if n = 1 then
+    match Atomset.terms a with
+    | [] -> None
+    | t :: _ -> Some [| [| t |] |]
+  else
+    let adj = adjacency_atomset a in
+    let cells, pattern = grid_pattern n in
+    match Homo.Hom.find ~injective:true pattern (Homo.Instance.of_atomset adj) with
+    | None -> None
+    | Some h ->
+        Some (Array.map (Array.map (Subst.apply_term h)) cells)
+
+let contains ~n a = match find ~n a with Some _ -> true | None -> false
+
+let lower_bound_via_grids ?(max_n = 3) a =
+  let rec go best n =
+    if n > max_n then best
+    else if contains ~n a then go n (n + 1)
+    else best
+  in
+  go 0 1

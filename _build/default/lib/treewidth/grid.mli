@@ -1,0 +1,27 @@
+(** Grids inside atomsets (Definition 5) and the lower bound of Fact 2.
+
+    An atomset [A] contains an [n×n]-grid when there are [n²] distinct
+    terms [t_i^j] such that vertically and horizontally adjacent pairs
+    co-occur in some atom of [A].  Fact 2: containment of an [n×n]-grid
+    implies [tw(A) ≥ n].
+
+    Checking a *given* naming is linear; *searching* for a grid is subgraph
+    isomorphism on the Gaifman graph, which we solve by encoding adjacency
+    as a binary predicate and reusing the injective homomorphism solver. *)
+
+open Syntax
+
+val check : (int -> int -> Term.t) -> int -> Atomset.t -> bool
+(** [check naming n a]: does the naming [t_i^j = naming i j]
+    (1-based [i], [j] per Definition 5) witness an [n×n]-grid in [a]? *)
+
+val find : n:int -> Atomset.t -> Term.t array array option
+(** Search for an [n×n]-grid among the terms of the atomset.  Exponential
+    in general: intended for small [n] (≤ 3–4) on moderate instances. *)
+
+val contains : n:int -> Atomset.t -> bool
+
+val lower_bound_via_grids : ?max_n:int -> Atomset.t -> int
+(** The largest [n ≤ max_n] (default 3) such that an [n×n]-grid is found;
+    by Fact 2 this is a treewidth lower bound.  Returns 0 when even a 1×1
+    grid (a term) is absent. *)

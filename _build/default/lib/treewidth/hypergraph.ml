@@ -1,0 +1,64 @@
+open Syntax
+module TS = Set.Make (Term)
+
+type t = { edges : TS.t list; vertices : TS.t }
+
+let of_atomset a =
+  let edges =
+    Atomset.fold (fun at acc -> TS.of_list (Atom.term_set at) :: acc) a []
+    |> List.sort_uniq TS.compare
+  in
+  let vertices = List.fold_left TS.union TS.empty edges in
+  { edges; vertices }
+
+let vertex_count h = TS.cardinal h.vertices
+
+let edge_count h = List.length h.edges
+
+let cover_number h terms =
+  let target = TS.of_list terms in
+  if
+    not
+      (TS.for_all
+         (fun t -> List.exists (fun e -> TS.mem t e) h.edges)
+         target)
+  then invalid_arg "Hypergraph.cover_number: uncoverable term";
+  let best = ref max_int in
+  let rec go uncovered used =
+    if used >= !best then ()
+    else if TS.is_empty uncovered then best := used
+    else begin
+      (* branch on one uncovered vertex: some chosen edge must contain it *)
+      let v = TS.min_elt uncovered in
+      List.iter
+        (fun e ->
+          if TS.mem v e then go (TS.diff uncovered e) (used + 1))
+        h.edges
+    end
+  in
+  go target 0;
+  !best
+
+let ghw_of_decomposition h (d : Decomposition.t) =
+  Array.fold_left
+    (fun acc bag -> max acc (cover_number h bag))
+    0 d.Decomposition.bags
+
+let ghw_upper a =
+  if Atomset.is_empty a then 0
+  else begin
+    let h = of_atomset a in
+    let p = Primal.of_atomset a in
+    let decomposition_of order = Elimination.decomposition_of_order p order in
+    let candidates =
+      [
+        decomposition_of (Elimination.min_fill_order p.Primal.graph);
+        decomposition_of (Elimination.min_degree_order p.Primal.graph);
+      ]
+    in
+    List.fold_left
+      (fun acc d -> min acc (ghw_of_decomposition h d))
+      max_int candidates
+  end
+
+let is_acyclic_evidence a = ghw_upper a = 1

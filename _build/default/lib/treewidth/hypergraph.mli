@@ -1,0 +1,39 @@
+(** Hypergraph view of atomsets and a (generalized) hypertree width upper
+    bound — the third structural measure Section 5 mentions alongside
+    treewidth and cliquewidth.
+
+    The hypergraph of an atomset has the terms as vertices and one
+    hyperedge per atom (its term set).  A generalized hypertree
+    decomposition reuses a tree decomposition but charges each bag the
+    number of hyperedges needed to cover it; generalized hypertree width
+    (ghw) is the minimum over decompositions of the maximum bag cover
+    number.  Computing ghw exactly is NP-hard even for fixed widths; we
+    report the {e upper bound} obtained from the min-fill and min-degree
+    tree decompositions with exact per-bag set covers — sound for every
+    "ghw ≤ k" claim, and exact on the acyclic (ghw = 1) case whenever one
+    of the decompositions is width-optimal. *)
+
+open Syntax
+
+type t
+
+val of_atomset : Atomset.t -> t
+
+val vertex_count : t -> int
+
+val edge_count : t -> int
+(** Distinct hyperedges (atom term sets, deduplicated). *)
+
+val cover_number : t -> Term.t list -> int
+(** Minimum number of hyperedges whose union contains the given terms
+    (exact, branch and bound).
+    @raise Invalid_argument if some term is covered by no hyperedge. *)
+
+val ghw_upper : Atomset.t -> int
+(** Upper bound on the generalized hypertree width: the best max-bag-cover
+    over the min-fill and min-degree decompositions.  [0] for the empty
+    atomset. *)
+
+val is_acyclic_evidence : Atomset.t -> bool
+(** [ghw_upper = 1]: certifies α-acyclicity-like behaviour (every bag of
+    some decomposition is covered by a single atom). *)

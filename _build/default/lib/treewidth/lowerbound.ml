@@ -1,0 +1,50 @@
+module ISet = Set.Make (Int)
+
+let mmd g =
+  let n = Graph.vertex_count g in
+  if n = 0 then -1
+  else begin
+    let adj = Array.init n (fun v -> ISet.of_list (Graph.neighbors g v)) in
+    let alive = ref (ISet.of_list (List.init n Fun.id)) in
+    let best = ref (-1) in
+    while not (ISet.is_empty !alive) do
+      let v, d =
+        ISet.fold
+          (fun v (bv, bd) ->
+            let d = ISet.cardinal (ISet.inter adj.(v) !alive) in
+            if d < bd then (v, d) else (bv, bd))
+          !alive (-1, max_int)
+      in
+      best := max !best d;
+      alive := ISet.remove v !alive
+    done;
+    !best
+  end
+
+let greedy_clique g =
+  let n = Graph.vertex_count g in
+  (* grow a clique greedily from each vertex in decreasing-degree order,
+     keep the best *)
+  let by_degree =
+    List.sort
+      (fun u v -> compare (Graph.degree g v) (Graph.degree g u))
+      (List.init n Fun.id)
+  in
+  let grow start =
+    List.fold_left
+      (fun clique v ->
+        if v <> start && List.for_all (Graph.has_edge g v) clique then
+          v :: clique
+        else clique)
+      [ start ] by_degree
+  in
+  List.fold_left
+    (fun best start ->
+      let c = grow start in
+      if List.length c > List.length best then c else best)
+    [] by_degree
+
+let clique g =
+  match greedy_clique g with [] -> -1 | c -> List.length c - 1
+
+let best g = max (mmd g) (clique g)

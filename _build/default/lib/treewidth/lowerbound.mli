@@ -1,0 +1,19 @@
+(** Treewidth lower bounds.
+
+    - [mmd]: the Maximum Minimum Degree bound (a.k.a. the degeneracy
+      bound): repeatedly delete a minimum-degree vertex; the largest
+      minimum degree encountered is a lower bound on treewidth.
+    - [clique]: (size of any clique) - 1 is a lower bound; we report the
+      largest clique found greedily (sound, not necessarily maximum). *)
+
+val mmd : Graph.t -> int
+(** [-1] on the empty graph. *)
+
+val greedy_clique : Graph.t -> int list
+(** A (maximal, not necessarily maximum) clique. *)
+
+val clique : Graph.t -> int
+(** [List.length (greedy_clique g) - 1]. *)
+
+val best : Graph.t -> int
+(** The max of the implemented bounds. *)

@@ -1,0 +1,83 @@
+let max_vertices = 25
+
+let iter_bits m f =
+  let rec go m =
+    if m <> 0 then begin
+      let b = m land -m in
+      let rec idx b i = if b = 1 then i else idx (b lsr 1) (i + 1) in
+      f (idx b 0);
+      go (m lxor b)
+    end
+  in
+  go m
+
+let adj_masks g =
+  let n = Graph.vertex_count g in
+  Array.init n (fun v ->
+      List.fold_left (fun m u -> m lor (1 lsl u)) 0 (Graph.neighbors g v))
+
+(* number of vertices in S with a neighbour outside S *)
+let boundary adj all s =
+  let b = ref 0 in
+  iter_bits s (fun v -> if adj.(v) land all land lnot s <> 0 then incr b);
+  !b
+
+let greedy_cost g =
+  let n = Graph.vertex_count g in
+  if n = 0 then -1
+  else begin
+    let adj = adj_masks g in
+    let all = (1 lsl n) - 1 in
+    let placed = ref 0 in
+    let cost = ref 0 in
+    for _ = 1 to n do
+      (* place the vertex minimising the resulting boundary *)
+      let best = ref (-1) and best_b = ref max_int in
+      iter_bits (all land lnot !placed) (fun v ->
+          let b = boundary adj all (!placed lor (1 lsl v)) in
+          if b < !best_b then begin
+            best_b := b;
+            best := v
+          end);
+      placed := !placed lor (1 lsl !best);
+      cost := max !cost !best_b
+    done;
+    !cost
+  end
+
+let upper_bound = greedy_cost
+
+let exact g =
+  let n = Graph.vertex_count g in
+  if n > max_vertices then invalid_arg "Pathwidth.exact: too many vertices";
+  if n = 0 then -1
+  else begin
+    let adj = adj_masks g in
+    let all = (1 lsl n) - 1 in
+    let best = ref (greedy_cost g) in
+    (* memo: placed-set -> best achievable max-boundary from here given an
+       already-incurred maximum; store the smallest incurred max explored *)
+    let memo : (int, int) Hashtbl.t = Hashtbl.create 4096 in
+    let rec go placed incurred =
+      if incurred >= !best then ()
+      else if placed = all then best := incurred
+      else
+        match Hashtbl.find_opt memo placed with
+        | Some m when m <= incurred -> ()
+        | _ ->
+            Hashtbl.replace memo placed incurred;
+            iter_bits (all land lnot placed) (fun v ->
+                let s = placed lor (1 lsl v) in
+                let b = boundary adj all s in
+                let incurred' = max incurred b in
+                if incurred' < !best then go s incurred')
+    in
+    go 0 0;
+    !best
+  end
+
+let of_atomset a =
+  let p = Primal.of_atomset a in
+  let g = p.Primal.graph in
+  if Graph.vertex_count g <= max_vertices then (exact g, true)
+  else (greedy_cost g, false)

@@ -1,0 +1,26 @@
+(** Pathwidth, as a further instance of Section 5's generic structural
+    measures.
+
+    We compute the vertex separation number (equal to pathwidth): for a
+    linear order [v_1 … v_n], the cost is the maximum over prefixes [S] of
+    the number of vertices in [S] with a neighbour outside [S]; pathwidth
+    is the minimum cost over all orders.  Solved by branch-and-bound with
+    memoisation on the placed-vertex set (bitmask), so graphs up to
+    {!max_vertices} vertices; a greedy order provides the incumbent and a
+    fallback upper bound beyond the limit.
+
+    Note [tw(G) ≤ pw(G)] always. *)
+
+val max_vertices : int
+(** 25: the memoisation is per-subset. *)
+
+val exact : Graph.t -> int
+(** Exact pathwidth ([-1] for the empty graph).
+    @raise Invalid_argument beyond {!max_vertices}. *)
+
+val upper_bound : Graph.t -> int
+(** Greedy (min-boundary-growth) order cost — sound for any size. *)
+
+val of_atomset : Syntax.Atomset.t -> int * bool
+(** Pathwidth of the Gaifman graph: exact when small (flag [true]),
+    greedy upper bound otherwise. *)

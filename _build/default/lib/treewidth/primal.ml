@@ -1,0 +1,32 @@
+open Syntax
+
+type t = { graph : Graph.t; terms : Term.t array }
+
+let of_atomset aset =
+  let terms = Array.of_list (Atomset.terms aset) in
+  let index = Hashtbl.create 16 in
+  Array.iteri (fun i t -> Hashtbl.replace index t i) terms;
+  let g = Graph.create (Array.length terms) in
+  Atomset.iter
+    (fun a ->
+      let vs = List.map (Hashtbl.find index) (Atom.term_set a) in
+      let rec pairs = function
+        | [] -> ()
+        | v :: rest ->
+            List.iter (fun u -> Graph.add_edge g u v) rest;
+            pairs rest
+      in
+      pairs vs)
+    aset;
+  { graph = g; terms }
+
+let vertex_of_term p t =
+  let n = Array.length p.terms in
+  let rec go i =
+    if i >= n then None
+    else if Term.equal p.terms.(i) t then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let term_of_vertex p v = p.terms.(v)

@@ -1,0 +1,17 @@
+(** Gaifman (primal) graphs of atomsets.
+
+    Vertices are the terms of the atomset; two terms are adjacent iff they
+    co-occur in some atom.  Tree decompositions of the atomset in the sense
+    of Definition 4 are exactly the tree decompositions of this graph, so
+    all width computations go through it. *)
+
+open Syntax
+
+type t = { graph : Graph.t; terms : Term.t array }
+(** [terms.(v)] is the term represented by vertex [v]. *)
+
+val of_atomset : Atomset.t -> t
+
+val vertex_of_term : t -> Term.t -> int option
+
+val term_of_vertex : t -> int -> Term.t

@@ -1,0 +1,69 @@
+(** Treewidth toolkit (Section 4 of the paper).
+
+    Entry module of the [treewidth] library: re-exports the submodules and
+    offers atomset-level convenience functions. *)
+
+module Graph = Graph
+module Primal = Primal
+module Decomposition = Decomposition
+module Elimination = Elimination
+module Exact = Exact
+module Lowerbound = Lowerbound
+module Grid = Grid
+module Pathwidth = Pathwidth
+module Hypergraph = Hypergraph
+module Dot = Dot
+
+open Syntax
+
+type heuristic = Min_fill | Min_degree
+
+(** Heuristic upper bound on [tw(a)] via a greedy elimination order.
+    [-1] on atomsets without terms. *)
+let upper_bound ?(heuristic = Min_fill) (a : Atomset.t) : int =
+  let p = Primal.of_atomset a in
+  let order =
+    match heuristic with
+    | Min_fill -> Elimination.min_fill_order p.Primal.graph
+    | Min_degree -> Elimination.min_degree_order p.Primal.graph
+  in
+  Elimination.width_of_order p.Primal.graph order
+
+(** Sound lower bound on [tw(a)] (degeneracy/clique based). *)
+let lower_bound (a : Atomset.t) : int =
+  Lowerbound.best (Primal.of_atomset a).Primal.graph
+
+(** Exact treewidth.  [None] when the atomset has more terms than
+    {!Exact.max_vertices} (callers then combine {!upper_bound} and
+    {!lower_bound}). *)
+let exact (a : Atomset.t) : int option =
+  let p = Primal.of_atomset a in
+  if Graph.vertex_count p.Primal.graph > Exact.max_vertices then None
+  else Some (Exact.treewidth p.Primal.graph)
+
+(** Exact when feasible, otherwise the min-fill upper bound.  The boolean
+    is [true] when the value is exact. *)
+let best_effort (a : Atomset.t) : int * bool =
+  match exact a with
+  | Some w -> (w, true)
+  | None -> (upper_bound a, false)
+
+(** A valid tree decomposition witnessing [upper_bound ~heuristic a]. *)
+let decomposition ?(heuristic = Min_fill) (a : Atomset.t) : Decomposition.t =
+  let p = Primal.of_atomset a in
+  let order =
+    match heuristic with
+    | Min_fill -> Elimination.min_fill_order p.Primal.graph
+    | Min_degree -> Elimination.min_degree_order p.Primal.graph
+  in
+  Elimination.decomposition_of_order p order
+
+(** [at_most a k]: is [tw(a) ≤ k]?  Uses cheap bounds before the exact
+    computation. *)
+let at_most (a : Atomset.t) (k : int) : bool =
+  if upper_bound a <= k then true
+  else if lower_bound a > k then false
+  else
+    match exact a with
+    | Some w -> w <= k
+    | None -> false (* conservatively unknown: report not-bounded *)

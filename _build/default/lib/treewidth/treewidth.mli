@@ -1,0 +1,55 @@
+(** Treewidth toolkit (Section 4 of the paper).
+
+    Entry module of the [treewidth] library: {!Graph} and {!Primal} build
+    Gaifman graphs of atomsets; {!Decomposition} implements Definition 4
+    with validity checking; {!Elimination} turns elimination orders into
+    decompositions; {!Exact} computes exact treewidth by branch-and-bound;
+    {!Lowerbound} and {!Grid} provide the lower-bound side (Fact 2);
+    {!Pathwidth} and {!Hypergraph} add the further structural measures
+    Section 5 alludes to. *)
+
+module Graph : module type of Graph
+
+module Primal : module type of Primal
+
+module Decomposition : module type of Decomposition
+
+module Elimination : module type of Elimination
+
+module Exact : module type of Exact
+
+module Lowerbound : module type of Lowerbound
+
+module Grid : module type of Grid
+
+module Pathwidth : module type of Pathwidth
+
+module Hypergraph : module type of Hypergraph
+
+module Dot : module type of Dot
+
+open Syntax
+
+type heuristic = Min_fill | Min_degree
+
+val upper_bound : ?heuristic:heuristic -> Atomset.t -> int
+(** Heuristic upper bound on [tw(a)] via a greedy elimination order.
+    [-1] on atomsets without terms. *)
+
+val lower_bound : Atomset.t -> int
+(** Sound lower bound (degeneracy / clique based). *)
+
+val exact : Atomset.t -> int option
+(** Exact treewidth; [None] when the atomset has more terms than
+    {!Exact.max_vertices}. *)
+
+val best_effort : Atomset.t -> int * bool
+(** Exact when feasible (flag [true]), otherwise the min-fill upper
+    bound. *)
+
+val decomposition : ?heuristic:heuristic -> Atomset.t -> Decomposition.t
+(** A valid tree decomposition witnessing [upper_bound ~heuristic]. *)
+
+val at_most : Atomset.t -> int -> bool
+(** [at_most a k]: is [tw(a) ≤ k]?  Cheap bounds first, exact when
+    needed; conservatively [false] when undecided. *)

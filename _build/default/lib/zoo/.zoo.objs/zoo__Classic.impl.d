@@ -1,0 +1,1 @@
+lib/zoo/classic.ml: Atom Kb Rule Syntax Term

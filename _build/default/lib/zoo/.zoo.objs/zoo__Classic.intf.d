@@ -1,0 +1,1 @@
+lib/zoo/classic.mli: Kb Syntax

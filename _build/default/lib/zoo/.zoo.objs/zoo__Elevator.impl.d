@@ -1,0 +1,1 @@
+lib/zoo/elevator.ml: Array Atom Atomset Hashtbl Kb Printf Rule Syntax Term

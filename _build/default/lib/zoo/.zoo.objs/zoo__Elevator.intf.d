@@ -1,0 +1,1 @@
+lib/zoo/elevator.mli: Atomset Kb Syntax Term

@@ -1,0 +1,1 @@
+lib/zoo/randomkb.ml: Array Atom Int64 Kb List Printf Rule Syntax Term

@@ -1,0 +1,1 @@
+lib/zoo/randomkb.mli: Kb Syntax

@@ -1,0 +1,1 @@
+lib/zoo/staircase.ml: Array Atom Atomset Kb List Printf Rule Syntax Term

@@ -1,0 +1,1 @@
+lib/zoo/staircase.mli: Atomset Kb Syntax Term

@@ -1,0 +1,81 @@
+open Syntax
+
+let atom p args = Atom.make p args
+let a = Term.const "a"
+let b = Term.const "b"
+let c = Term.const "c"
+let d = Term.const "d"
+
+let bts_not_fes () =
+  let x = Term.fresh_var ~hint:"X" () and y = Term.fresh_var ~hint:"Y" ()
+  and z = Term.fresh_var ~hint:"Z" () in
+  Kb.of_lists
+    ~facts:[ atom "r" [ a; b ] ]
+    ~rules:
+      [
+        Rule.make ~name:"grow"
+          ~body:[ atom "r" [ x; y ] ]
+          ~head:[ atom "r" [ y; z ] ]
+          ();
+      ]
+
+let fes_not_bts () =
+  let x = Term.fresh_var ~hint:"X" () and y = Term.fresh_var ~hint:"Y" ()
+  and z = Term.fresh_var ~hint:"Z" () and v = Term.fresh_var ~hint:"V" () in
+  Kb.of_lists
+    ~facts:[ atom "r" [ a; b ]; atom "r" [ b; c ] ]
+    ~rules:
+      [
+        Rule.make ~name:"squash"
+          ~body:[ atom "r" [ x; y ]; atom "r" [ y; z ] ]
+          ~head:[ atom "r" [ x; x ]; atom "r" [ x; z ]; atom "r" [ z; v ] ]
+          ();
+      ]
+
+let core_terminating () =
+  let x = Term.fresh_var ~hint:"X" () and y = Term.fresh_var ~hint:"Y" () in
+  let r1 =
+    Rule.make ~name:"spawn"
+      ~body:[ atom "p" [ x ] ]
+      ~head:[ atom "e" [ x; y ]; atom "p" [ y ] ]
+      ()
+  in
+  let x2 = Term.fresh_var ~hint:"X" () in
+  let r2 =
+    Rule.make ~name:"loop" ~body:[ atom "p" [ x2 ] ] ~head:[ atom "e" [ x2; x2 ] ] ()
+  in
+  Kb.of_lists ~facts:[ atom "p" [ a ] ] ~rules:[ r1; r2 ]
+
+let transitive_closure () =
+  let x = Term.fresh_var ~hint:"X" () and y = Term.fresh_var ~hint:"Y" ()
+  and z = Term.fresh_var ~hint:"Z" () in
+  Kb.of_lists
+    ~facts:[ atom "e" [ a; b ]; atom "e" [ b; c ]; atom "e" [ c; d ] ]
+    ~rules:
+      [
+        Rule.make ~name:"trans"
+          ~body:[ atom "e" [ x; y ]; atom "e" [ y; z ] ]
+          ~head:[ atom "e" [ x; z ] ]
+          ();
+      ]
+
+let guarded_ancestor () =
+  let x = Term.fresh_var ~hint:"X" () and y = Term.fresh_var ~hint:"Y" () in
+  Kb.of_lists
+    ~facts:[ atom "person" [ Term.const "alice" ] ]
+    ~rules:
+      [
+        Rule.make ~name:"parent"
+          ~body:[ atom "person" [ x ] ]
+          ~head:[ atom "parent" [ x; y ]; atom "person" [ y ] ]
+          ();
+      ]
+
+let all_named () =
+  [
+    ("bts-not-fes", bts_not_fes ());
+    ("fes-not-bts", fes_not_bts ());
+    ("core-terminating", core_terminating ());
+    ("transitive-closure", transitive_closure ());
+    ("guarded-ancestor", guarded_ancestor ());
+  ]

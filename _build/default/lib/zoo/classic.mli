@@ -1,0 +1,36 @@
+(** Classic rulesets populating Figure 1's class landscape, plus standard
+    test KBs.
+
+    - {!bts_not_fes}: [r(X,Y) → ∃Z. r(Y,Z)] — treewidth-bounded chases
+      (a path), never core-chase-terminating on seed facts
+      (Proposition 13's first witness);
+    - {!fes_not_bts}: [r(X,Y) ∧ r(Y,Z) → ∃V. r(X,X) ∧ r(X,Z) ∧ r(Z,V)] —
+      core chase terminates, restricted-chase treewidth explodes is not the
+      point: its bts witness fails (Proposition 13's second witness);
+    - {!core_terminating}: the folklore KB on which the core chase
+      terminates but the restricted chase runs forever;
+    - {!transitive_closure}: plain datalog;
+    - {!guarded_ancestor}: a guarded ruleset with existentials that is
+      bts by guardedness. *)
+
+open Syntax
+
+val bts_not_fes : unit -> Kb.t
+(** Facts [{r(a,b)}]. *)
+
+val fes_not_bts : unit -> Kb.t
+(** Facts [{r(a,b), r(b,c)}]. *)
+
+val core_terminating : unit -> Kb.t
+(** [p(X) → ∃Y. e(X,Y) ∧ p(Y)] and [p(X) → e(X,X)] over [{p(a)}]. *)
+
+val transitive_closure : unit -> Kb.t
+(** Edges [e(a,b), e(b,c), e(c,d)] and the rule
+    [e(X,Y) ∧ e(Y,Z) → e(X,Z)]. *)
+
+val guarded_ancestor : unit -> Kb.t
+(** [person(X) → ∃Y. parent(X,Y) ∧ person(Y)] over [{person(alice)}] — the
+    textbook guarded non-terminating ruleset. *)
+
+val all_named : unit -> (string * Kb.t) list
+(** Every KB above with a stable name, for the classification harness. *)

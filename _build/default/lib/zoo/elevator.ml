@@ -1,0 +1,198 @@
+open Syntax
+
+let atom p args = Atom.make p args
+
+(* Σ_v, Figure 3:
+   R1: c(X) ∧ h(X,Y) → ∃Y'Y''. v(Y,Y') ∧ v(Y',Y'') ∧ c(Y'')
+   R2: d(X) ∧ f(X) ∧ v(X,X') → ∃Y'. h(X',Y') ∧ f(Y')
+   R3: v(X,X') ∧ h(X,Y) → ∃Y'. v(Y,Y') ∧ h(X',Y')
+   R4: c(X) → d(X)
+   R5: v(X,X') ∧ d(X') → d(X)
+   R6: h(X,Y) ∧ d(Y) ∧ f(Y) → f(X) ∧ v(X,X)
+   R7: c(X) ∧ h(X,Y) ∧ v(Y,Y') ∧ f(Y') → h(X,Y') *)
+let rules () =
+  let v ?(h = "X") () = Term.fresh_var ~hint:h () in
+  let r1 =
+    let x = v () and y = v ~h:"Y" () and y' = v ~h:"Y'" ()
+    and y'' = v ~h:"Y''" () in
+    Rule.make ~name:"Rv1"
+      ~body:[ atom "c" [ x ]; atom "h" [ x; y ] ]
+      ~head:[ atom "v" [ y; y' ]; atom "v" [ y'; y'' ]; atom "c" [ y'' ] ]
+      ()
+  in
+  let r2 =
+    let x = v () and x' = v ~h:"X'" () and y' = v ~h:"Y'" () in
+    Rule.make ~name:"Rv2"
+      ~body:[ atom "d" [ x ]; atom "f" [ x ]; atom "v" [ x; x' ] ]
+      ~head:[ atom "h" [ x'; y' ]; atom "f" [ y' ] ]
+      ()
+  in
+  let r3 =
+    let x = v () and x' = v ~h:"X'" () and y = v ~h:"Y" ()
+    and y' = v ~h:"Y'" () in
+    Rule.make ~name:"Rv3"
+      ~body:[ atom "v" [ x; x' ]; atom "h" [ x; y ] ]
+      ~head:[ atom "v" [ y; y' ]; atom "h" [ x'; y' ] ]
+      ()
+  in
+  let r4 =
+    let x = v () in
+    Rule.make ~name:"Rv4" ~body:[ atom "c" [ x ] ] ~head:[ atom "d" [ x ] ] ()
+  in
+  let r5 =
+    let x = v () and x' = v ~h:"X'" () in
+    Rule.make ~name:"Rv5"
+      ~body:[ atom "v" [ x; x' ]; atom "d" [ x' ] ]
+      ~head:[ atom "d" [ x ] ]
+      ()
+  in
+  let r6 =
+    let x = v () and y = v ~h:"Y" () in
+    Rule.make ~name:"Rv6"
+      ~body:[ atom "h" [ x; y ]; atom "d" [ y ]; atom "f" [ y ] ]
+      ~head:[ atom "f" [ x ]; atom "v" [ x; x ] ]
+      ()
+  in
+  let r7 =
+    let x = v () and y = v ~h:"Y" () and y' = v ~h:"Y'" () in
+    Rule.make ~name:"Rv7"
+      ~body:
+        [
+          atom "c" [ x ]; atom "h" [ x; y ]; atom "v" [ y; y' ];
+          atom "f" [ y' ];
+        ]
+      ~head:[ atom "h" [ x; y' ] ]
+      ()
+  in
+  [ r1; r2; r3; r4; r5; r6; r7 ]
+
+let kb () =
+  let x00 = Term.fresh_var ~hint:"Xv0_0" () in
+  let x10 = Term.fresh_var ~hint:"Xv1_0" () in
+  Kb.make
+    ~facts:
+      (Atomset.of_list
+         [
+           atom "c" [ x00 ]; atom "d" [ x00 ]; atom "h" [ x00; x10 ];
+           atom "f" [ x10 ];
+         ])
+    ~rules:(rules ())
+
+type structure = {
+  atoms : Atomset.t;
+  term : int -> int -> Term.t option;
+}
+
+let row_lo i = max 0 (i - 1)
+
+let row_hi i = 2 * i
+
+(* I^v restricted to columns 0..n, with cells created column-major,
+   bottom-up (the order of Proposition 6's naming scheme). *)
+let universal_model_prefix ~cols:n =
+  if n < 0 then invalid_arg "Elevator: cols must be ≥ 0";
+  let cell : (int * int, Term.t) Hashtbl.t = Hashtbl.create 64 in
+  for i = 0 to n do
+    for j = row_lo i to row_hi i do
+      Hashtbl.replace cell (i, j)
+        (Term.fresh_var ~hint:(Printf.sprintf "Xv%d_%d" i j) ())
+    done
+  done;
+  let t i j = Hashtbl.find_opt cell (i, j) in
+  let te i j =
+    match t i j with Some x -> x | None -> assert false
+  in
+  let atoms = ref [] in
+  let add a = atoms := a :: !atoms in
+  for i = 0 to n do
+    for j = row_lo i to row_hi i do
+      add (atom "d" [ te i j ]);
+      add (atom "f" [ te i j ]);
+      (* vertical edges and self-loops *)
+      if j < row_hi i then add (atom "v" [ te i j; te i (j + 1) ]);
+      if j >= i then add (atom "v" [ te i j; te i j ]);
+      (* horizontal row edges (the target exists iff j ≥ i) *)
+      if i < n && j >= i then add (atom "h" [ te i j; te (i + 1) j ])
+    done;
+    add (atom "c" [ te i (row_hi i) ]);
+    (* express edges from the top *)
+    if i < n then begin
+      add (atom "h" [ te i (row_hi i); te (i + 1) ((2 * i) + 1) ]);
+      add (atom "h" [ te i (row_hi i); te (i + 1) ((2 * i) + 2) ])
+    end;
+    (* fair-limit completion: the R3 trigger instantiated through the
+       v-self-loop of X^i_i (body v(X,X) ∧ h(X, X^{i+1}_i)) can only be
+       satisfied by an atom h(X^i_i, Y') with v(X^{i+1}_i, Y'), i.e. the
+       diagonal h(X^i_i, X^{i+1}_{i+1}); for i = 0 this coincides with the
+       first express edge.  See the .mli note. *)
+    if i >= 1 && i < n then add (atom "h" [ te i i; te (i + 1) (i + 1) ])
+  done;
+  { atoms = Atomset.of_list !atoms; term = t }
+
+(* I^v*: the induced substructure on the top cells X^i_{2i}. *)
+let spine_prefix ~cols:n =
+  if n < 0 then invalid_arg "Elevator: cols must be ≥ 0";
+  let top =
+    Array.init (n + 1) (fun i ->
+        Term.fresh_var ~hint:(Printf.sprintf "Top%d" i) ())
+  in
+  let atoms = ref [] in
+  let add a = atoms := a :: !atoms in
+  for i = 0 to n do
+    add (atom "d" [ top.(i) ]);
+    add (atom "f" [ top.(i) ]);
+    add (atom "c" [ top.(i) ]);
+    add (atom "v" [ top.(i); top.(i) ]);
+    if i < n then add (atom "h" [ top.(i); top.(i + 1) ])
+  done;
+  {
+    atoms = Atomset.of_list !atoms;
+    term = (fun i j -> if j = 0 && i >= 0 && i <= n then Some top.(i) else None);
+  }
+
+(* Reconstruction of I^v_n (Definition 12); see the .mli note. *)
+let frontier_core ~cols:n =
+  if n < 0 then invalid_arg "Elevator: cols must be ≥ 0";
+  let full = universal_model_prefix ~cols:(n + 1) in
+  let keep i j =
+    (j = 2 * i && 2 * i <= n) || (i <= n + 1 && j >= n && j <= 2 * i)
+  in
+  let kept_terms = ref [] in
+  for i = 0 to n + 1 do
+    for j = row_lo i to row_hi i do
+      if keep i j then
+        match full.term i j with
+        | Some t -> kept_terms := t :: !kept_terms
+        | None -> ()
+    done
+  done;
+  let induced = Atomset.induced !kept_terms full.atoms in
+  (* locate a term's cell to apply the atom-removal conditions *)
+  let coords t =
+    let found = ref None in
+    for i = 0 to n + 1 do
+      for j = row_lo i to row_hi i do
+        match full.term i j with
+        | Some t' when Term.equal t t' -> found := Some (i, j)
+        | _ -> ()
+      done
+    done;
+    match !found with Some c -> c | None -> assert false
+  in
+  let atoms =
+    Atomset.filter
+      (fun a ->
+        match (Atom.pred a, Atom.args a) with
+        | "v", [ t1; t2 ] when Term.equal t1 t2 ->
+            snd (coords t1) <= n
+        | "f", [ t ] -> snd (coords t) <= n
+        | "h", [ t1; t2 ] ->
+            let _, j = coords t1 and _, k = coords t2 in
+            not (k > j && k > n)
+        | _ -> true)
+      induced
+  in
+  {
+    atoms;
+    term = (fun i j -> if keep i j then full.term i j else None);
+  }

@@ -1,0 +1,59 @@
+(** The Inflating Elevator [K_v] (Definition 9, Figure 3) and its
+    associated structures (Figure 4).
+
+    The KB has a universal model of treewidth 1 ([I^v*], Definition 11),
+    yet every core chase sequence for it consists of instances of
+    ever-growing treewidth (Proposition 8, Corollary 1).
+
+    Cells are addressed as [(i, j)] — column [i ≥ 0], rows
+    [max(0, i-1) ≤ j ≤ 2i].  Atoms of [I^v] (Definition 10):
+
+    - [d(X^i_j)] and [f(X^i_j)] on every cell, [c(X^i_{2i})] on tops;
+    - [h(X^i_j, X^{i+1}_j)] for [j ≥ i] (row edges),
+      [h(X^i_{2i}, X^{i+1}_{2i+1})] and [h(X^i_{2i}, X^{i+1}_{2i+2})]
+      (the top-to-top "express" edges);
+    - [v(X^i_j, X^i_{j+1})] within columns, and the vertical self-loops
+      [v(X^i_j, X^i_j)] for [j ≥ i].
+
+    {b Deviation from the published atom list.}  Definition 10 as printed
+    omits the diagonal edges [h(X^i_i, X^{i+1}_{i+1})] ([i ≥ 1]).  Without
+    them the listed structure is not a model of [Σ_v]: the trigger of rule
+    R3 instantiated through the self-loop [v(X^i_i, X^i_i)] with
+    [Y = X^{i+1}_i] requires some [Y'] with [v(X^{i+1}_i, Y')] and
+    [h(X^i_i, Y')], and the only [v]-successor of the loop-less bottom cell
+    [X^{i+1}_i] is [X^{i+1}_{i+1}].  A fair chase therefore derives exactly
+    these diagonals, and our generator includes them (checked by the test
+    ["prefix model except frontier"]).  All claims the paper makes about
+    [I^v] (universality, the spine [I^v*], the growing cores, treewidth
+    growth of the core chase) are unaffected — the experiments measure
+    them on this completed structure. *)
+
+open Syntax
+
+val kb : unit -> Kb.t
+(** [K_v = (F_v, Σ_v)] with
+    [F_v = {c(X^0_0), d(X^0_0), h(X^0_0, X^1_0), f(X^1_0)}] and the seven
+    rules R1–R7 of Figure 3. *)
+
+type structure = {
+  atoms : Atomset.t;
+  term : int -> int -> Term.t option;
+}
+
+val universal_model_prefix : cols:int -> structure
+(** [I^v] restricted to columns [0..n]. *)
+
+val spine_prefix : cols:int -> structure
+(** [I^v*] (Definition 11) restricted to columns [0..n]: the subset of
+    [I^v] on the top cells [X^i_{2i}] only — a treewidth-1 universal model.
+    [term i 0] addresses the i-th top. *)
+
+val frontier_core : cols:int -> structure
+(** A reconstruction of the growing cores [(I^v_n)] (Definition 12; the
+    source text of the definition is partly garbled in extraction, see
+    DESIGN.md): the spine of tops [X^i_{2i}] for [2i ≤ n] together with the
+    frontier region [{X^i_j | i ≤ n+1, n ≤ j ≤ 2i}], with the
+    frontier's vertical self-loops, [f]-marks above row [n] and express
+    edges beyond row [n] removed.  Tests validate the two properties the
+    paper states: the structure is a core (Prop 8.1) and contains a
+    [⌊n/3⌋+1]-grid (Prop 8.2). *)

@@ -1,0 +1,105 @@
+open Syntax
+
+type config = {
+  n_predicates : int;
+  n_constants : int;
+  n_facts : int;
+  n_rules : int;
+  max_body_atoms : int;
+  max_head_atoms : int;
+  existential_bias : float;
+  datalog_only : bool;
+}
+
+let default =
+  {
+    n_predicates = 3;
+    n_constants = 3;
+    n_facts = 4;
+    n_rules = 3;
+    max_body_atoms = 2;
+    max_head_atoms = 2;
+    existential_bias = 0.4;
+    datalog_only = false;
+  }
+
+let datalog = { default with datalog_only = true; existential_bias = 0.0 }
+
+(* Deterministic LCG (Numerical Recipes constants), 32-bit outputs. *)
+type rng = { mutable state : int64 }
+
+let mk_rng seed = { state = Int64.of_int (seed land 0x3FFFFFFF) }
+
+let next rng =
+  rng.state <-
+    Int64.logand
+      (Int64.add (Int64.mul rng.state 1664525L) 1013904223L)
+      0xFFFFFFFFL;
+  Int64.to_int (Int64.shift_right_logical rng.state 8)
+
+let int rng bound = if bound <= 0 then 0 else next rng mod bound
+
+let float01 rng = float_of_int (int rng 10_000) /. 10_000.
+
+let pick rng l = List.nth l (int rng (List.length l))
+
+let predicates cfg =
+  List.init cfg.n_predicates (fun i ->
+      (Printf.sprintf "p%d" i, 1 + (i mod 2) (* alternate arities 1/2 *)))
+
+let constants cfg = List.init cfg.n_constants (fun i -> Term.const (Printf.sprintf "k%d" i))
+
+let gen_fact rng cfg =
+  let p, ar = pick rng (predicates cfg) in
+  Atom.make p (List.init ar (fun _ -> pick rng (constants cfg)))
+
+let gen_rule rng cfg idx =
+  (* variable pool for this rule *)
+  let pool = Array.init 5 (fun i -> Term.fresh_var ~hint:(Printf.sprintf "R%d_%d" idx i) ()) in
+  let n_body = 1 + int rng cfg.max_body_atoms in
+  let body = ref [] in
+  let used_vars = ref [] in
+  for k = 0 to n_body - 1 do
+    let p, ar = pick rng (predicates cfg) in
+    let args =
+      List.init ar (fun _ ->
+          (* connect to an already-used variable half of the time *)
+          if k > 0 && !used_vars <> [] && int rng 2 = 0 then pick rng !used_vars
+          else begin
+            let v = pool.(int rng (Array.length pool)) in
+            used_vars := v :: !used_vars;
+            v
+          end)
+    in
+    body := Atom.make p args :: !body
+  done;
+  let body_vars = List.sort_uniq Term.compare !used_vars in
+  let n_head = 1 + int rng cfg.max_head_atoms in
+  let existentials =
+    Array.init 2 (fun i -> Term.fresh_var ~hint:(Printf.sprintf "R%dE%d" idx i) ())
+  in
+  let head = ref [] in
+  (* guarantee at least one frontier variable in the head *)
+  let frontier_anchor = pick rng body_vars in
+  for k = 0 to n_head - 1 do
+    let p, ar = pick rng (predicates cfg) in
+    let args =
+      List.init ar (fun pos ->
+          if k = 0 && pos = 0 then frontier_anchor
+          else if
+            (not cfg.datalog_only) && float01 rng < cfg.existential_bias
+          then existentials.(int rng 2)
+          else pick rng body_vars)
+    in
+    head := Atom.make p args :: !head
+  done;
+  Rule.make ~name:(Printf.sprintf "r%d" idx) ~body:!body ~head:!head ()
+
+let generate ~seed cfg =
+  let rng = mk_rng seed in
+  let facts = List.init cfg.n_facts (fun _ -> gen_fact rng cfg) in
+  let rules = List.init cfg.n_rules (fun i -> gen_rule rng cfg i) in
+  Kb.of_lists ~facts ~rules
+
+let generate_many ~seed ?(count = 10) cfg =
+  List.init count (fun i -> generate ~seed:(seed + (i * 7919)) cfg)

@@ -1,0 +1,33 @@
+(** Deterministic, seeded random knowledge bases, for property testing and
+    workload generation.
+
+    All generation is driven by a private linear-congruential PRNG so that
+    a seed fully determines the KB: property-test failures reproduce and
+    benchmark workloads are stable across runs. *)
+
+open Syntax
+
+type config = {
+  n_predicates : int;  (** unary/binary predicate pool size *)
+  n_constants : int;
+  n_facts : int;
+  n_rules : int;
+  max_body_atoms : int;
+  max_head_atoms : int;
+  existential_bias : float;
+      (** probability that a head variable is existential (0.0–1.0) *)
+  datalog_only : bool;  (** force no existential variables *)
+}
+
+val default : config
+
+val datalog : config
+(** [default] with [datalog_only = true]. *)
+
+val generate : seed:int -> config -> Kb.t
+(** The KB determined by the seed.  Rules are connected (each body atom
+    shares a variable with a previous one when possible) and heads reuse
+    at least one frontier variable, so the chase has real work to do. *)
+
+val generate_many : seed:int -> ?count:int -> config -> Kb.t list
+(** [count] (default 10) KBs from consecutive derived seeds. *)

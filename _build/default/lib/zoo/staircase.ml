@@ -1,0 +1,161 @@
+open Syntax
+
+let atom p args = Atom.make p args
+
+(* Σ_h, Figure 2 (universal quantifiers omitted as in the paper):
+   R1: h(X,X) → ∃X'YY'. h(X,Y) ∧ v(X,X') ∧ h(X',Y') ∧ v(Y,Y') ∧ c(Y')
+   R2: h(X,X) ∧ v(X,X') ∧ h(X',X') ∧ h(X',Y') → ∃Y. c(Y') ∧ h(X,Y) ∧ v(Y,Y')
+   R3: f(X) ∧ h(X,X) ∧ h(X,Y) → f(Y) ∧ h(Y,Y)
+   R4: h(X,X) ∧ v(X,X') ∧ c(X') → h(X',X') *)
+let rules () =
+  let r1 =
+    let x = Term.fresh_var ~hint:"X" () in
+    let x' = Term.fresh_var ~hint:"X'" () in
+    let y = Term.fresh_var ~hint:"Y" () in
+    let y' = Term.fresh_var ~hint:"Y'" () in
+    Rule.make ~name:"Rh1"
+      ~body:[ atom "h" [ x; x ] ]
+      ~head:
+        [
+          atom "h" [ x; y ]; atom "v" [ x; x' ]; atom "h" [ x'; y' ];
+          atom "v" [ y; y' ]; atom "c" [ y' ];
+        ]
+      ()
+  in
+  let r2 =
+    let x = Term.fresh_var ~hint:"X" () in
+    let x' = Term.fresh_var ~hint:"X'" () in
+    let y = Term.fresh_var ~hint:"Y" () in
+    let y' = Term.fresh_var ~hint:"Y'" () in
+    Rule.make ~name:"Rh2"
+      ~body:
+        [
+          atom "h" [ x; x ]; atom "v" [ x; x' ]; atom "h" [ x'; x' ];
+          atom "h" [ x'; y' ];
+        ]
+      ~head:[ atom "c" [ y' ]; atom "h" [ x; y ]; atom "v" [ y; y' ] ]
+      ()
+  in
+  let r3 =
+    let x = Term.fresh_var ~hint:"X" () in
+    let y = Term.fresh_var ~hint:"Y" () in
+    Rule.make ~name:"Rh3"
+      ~body:[ atom "f" [ x ]; atom "h" [ x; x ]; atom "h" [ x; y ] ]
+      ~head:[ atom "f" [ y ]; atom "h" [ y; y ] ]
+      ()
+  in
+  let r4 =
+    let x = Term.fresh_var ~hint:"X" () in
+    let x' = Term.fresh_var ~hint:"X'" () in
+    Rule.make ~name:"Rh4"
+      ~body:[ atom "h" [ x; x ]; atom "v" [ x; x' ]; atom "c" [ x' ] ]
+      ~head:[ atom "h" [ x'; x' ] ]
+      ()
+  in
+  [ r1; r2; r3; r4 ]
+
+let kb () =
+  let x00 = Term.fresh_var ~hint:"X0_0" () in
+  Kb.make
+    ~facts:(Atomset.of_list [ atom "f" [ x00 ]; atom "h" [ x00; x00 ] ])
+    ~rules:(rules ())
+
+type structure = {
+  atoms : Atomset.t;
+  term : int -> int -> Term.t option;
+}
+
+(* I^h restricted to columns 0..n.  Cell (i,j) exists for 0 ≤ j ≤ i+1.
+   Variables are created column-major, bottom row first, so that ranks grow
+   with (i, j) lexicographically — the order the chase narrative of
+   Section 6 creates them in, and the one the robust-renaming discussion of
+   Section 8 assumes. *)
+let universal_model_prefix ~cols:n =
+  if n < 0 then invalid_arg "Staircase: cols must be ≥ 0";
+  let cell =
+    Array.init (n + 1) (fun i ->
+        Array.init (i + 2) (fun j ->
+            Term.fresh_var ~hint:(Printf.sprintf "Xh%d_%d" i j) ()))
+  in
+  let atoms = ref [] in
+  let add a = atoms := a :: !atoms in
+  for i = 0 to n do
+    add (atom "f" [ cell.(i).(0) ]);
+    for j = 1 to i do
+      add (atom "c" [ cell.(i).(j) ])
+    done;
+    for j = 0 to i do
+      add (atom "h" [ cell.(i).(j); cell.(i).(j) ]);
+      add (atom "v" [ cell.(i).(j); cell.(i).(j + 1) ])
+    done;
+    if i < n then
+      for j = 0 to i + 1 do
+        add (atom "h" [ cell.(i).(j); cell.(i + 1).(j) ])
+      done
+  done;
+  {
+    atoms = Atomset.of_list !atoms;
+    term =
+      (fun i j ->
+        if i >= 0 && i <= n && j >= 0 && j <= i + 1 then Some cell.(i).(j)
+        else None);
+  }
+
+let cells_exn s pairs =
+  List.map
+    (fun (i, j) ->
+      match s.term i j with
+      | Some t -> t
+      | None -> invalid_arg "Staircase: cell out of range")
+    pairs
+
+let column s k =
+  let terms = cells_exn s (List.init (k + 1) (fun j -> (k, j))) in
+  Atomset.induced terms s.atoms
+
+let step_atomset s k =
+  let terms =
+    cells_exn s
+      (List.init (k + 2) (fun j -> (k, j))
+      @ List.init (k + 2) (fun j -> (k + 1, j)))
+  in
+  Atomset.induced terms s.atoms
+
+(* Ĩ^h truncated at [height]: one infinite column — f at the bottom, c
+   above, an h-self-loop on every cell, a v-path upward. *)
+let infinite_column_prefix ~height =
+  if height < 0 then invalid_arg "Staircase: height must be ≥ 0";
+  let cell =
+    Array.init (height + 1) (fun j ->
+        Term.fresh_var ~hint:(Printf.sprintf "Col%d" j) ())
+  in
+  let atoms = ref [] in
+  let add a = atoms := a :: !atoms in
+  add (atom "f" [ cell.(0) ]);
+  for j = 0 to height do
+    add (atom "h" [ cell.(j); cell.(j) ]);
+    if j >= 1 then add (atom "c" [ cell.(j) ]);
+    if j < height then add (atom "v" [ cell.(j); cell.(j + 1) ])
+  done;
+  {
+    atoms = Atomset.of_list !atoms;
+    term =
+      (fun i j ->
+        if i = 0 && j >= 0 && j <= height then Some cell.(j) else None);
+  }
+
+let grid_naming s ~n =
+  (* Appendix B: T_{n×n} = {X^i_j | n+1 ≤ i ≤ 2n, 0 ≤ j ≤ n-1} *)
+  let ok = ref true in
+  for a = 1 to n do
+    for b = 1 to n do
+      if s.term (n + a) (b - 1) = None then ok := false
+    done
+  done;
+  if not !ok then None
+  else
+    Some
+      (fun a b ->
+        match s.term (n + a) (b - 1) with
+        | Some t -> t
+        | None -> assert false)

@@ -1,0 +1,53 @@
+(** The Steepening Staircase [K_h] (Definition 7, Figure 2) and its
+    associated infinite structures.
+
+    The KB admits a core chase sequence uniformly treewidth-bounded by 2,
+    while {e no} universal model of it has finite treewidth
+    (Propositions 4 and 5).
+
+    Cells are addressed as [(i, j)] — column [i ≥ 0], row [j]; the
+    staircase's universal model [I^h] (Definition 8) has cells
+    [0 ≤ j ≤ i+1] per column.  Atoms of [I^h]:
+
+    - [f(X^i_0)] — the floor;
+    - [c(X^i_j)] for [1 ≤ j ≤ i] — ceilings;
+    - [h(X^i_j, X^i_j)] for [j ≤ i] — the horizontal self-loops;
+    - [v(X^i_j, X^i_{j+1})] for [j ≤ i] — vertical edges;
+    - [h(X^i_j, X^{i+1}_j)] — horizontal edges between columns.
+
+    All generators create fresh variables per call; the returned [term]
+    function gives the cell naming, for grid checks and isomorphism
+    tests. *)
+
+open Syntax
+
+val kb : unit -> Kb.t
+(** [K_h = (F_h, Σ_h)] with [F_h = {f(X^0_0), h(X^0_0, X^0_0)}] (the
+    initial term is a null, as in the paper) and the four rules R1–R4. *)
+
+type structure = {
+  atoms : Atomset.t;
+  term : int -> int -> Term.t option;  (** [term i j] = cell [(i,j)] *)
+}
+
+val universal_model_prefix : cols:int -> structure
+(** [P^h_n]: the subset of [I^h] induced by the columns [0..n]. *)
+
+val column : structure -> int -> Atomset.t
+(** [C^h_k]: the subset induced by [{X^k_j}_{j ≤ k}] (the k-th column minus
+    its top element).  The structure must contain column [k]. *)
+
+val step_atomset : structure -> int -> Atomset.t
+(** [S^h_k]: the "step" — the subset induced by
+    [C_k ∪ C_{k+1} ∪ {X^k_{k+1}}].  Requires columns [k] and [k+1]. *)
+
+val infinite_column_prefix : height:int -> structure
+(** [Ĩ^h] truncated at row [height]: the finitely universal (but not
+    universal) infinite-column model of [K_h] — [f] at the bottom, [c]
+    above, a horizontal self-loop on every cell, a vertical path upward.
+    ([term 0 j] addresses row [j].) *)
+
+val grid_naming : structure -> n:int -> (int -> int -> Term.t) option
+(** The [n×n]-grid inside the prefix used by Proposition 5's proof:
+    cell [(a,b) ↦ X^{n+a}_{b-1}] for [1 ≤ a,b ≤ n].  [None] if the prefix
+    is too small (needs [cols ≥ 2n]). *)

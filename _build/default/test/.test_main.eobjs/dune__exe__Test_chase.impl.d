@@ -1,0 +1,1 @@
+test/test_chase.ml: Alcotest Atom Atomset Chase Fmt Homo Kb List QCheck QCheck_alcotest Rule Seq Subst Syntax Term Zoo

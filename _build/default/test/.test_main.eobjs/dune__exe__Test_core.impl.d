@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Atom Atomset Chase Corechase Fmt Gen Homo Kb List Modelfinder Printf QCheck QCheck_alcotest Rule Subst Syntax Term Treewidth Ucq Zoo

@@ -1,0 +1,1 @@
+test/test_datalog.ml: Alcotest Atom Atomset Chase Kb List Printf Rule Syntax Term Zoo

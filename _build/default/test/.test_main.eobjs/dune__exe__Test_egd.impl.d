@@ -1,0 +1,1 @@
+test/test_egd.ml: Alcotest Atom Atomset Chase Dlgp Egd Fmt Kb List Rule Syntax Term

@@ -1,0 +1,1 @@
+test/test_homo.ml: Alcotest Atom Atomset Fmt Homo Kb List QCheck QCheck_alcotest Subst Syntax Term

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Atom Atomset Chase Corechase Fmt Homo Kb List Printf Result Rule Schema Syntax Term Zoo

@@ -1,0 +1,1 @@
+test/test_rclasses.ml: Alcotest Atom Atomset Chase Corechase Kb List Rclasses Rule Syntax Term Zoo

@@ -1,0 +1,1 @@
+test/test_repl.ml: Alcotest List Repl String

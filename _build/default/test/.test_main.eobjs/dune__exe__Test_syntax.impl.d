@@ -1,0 +1,1 @@
+test/test_syntax.ml: Alcotest Atom Atomset Dlgp Fmt Fol Kb List QCheck QCheck_alcotest Result Rule Schema String Subst Syntax Term

@@ -1,0 +1,1 @@
+test/test_treewidth.ml: Alcotest Array Atom Atomset Fmt Gen List Option Printf QCheck QCheck_alcotest String Syntax Term Treewidth

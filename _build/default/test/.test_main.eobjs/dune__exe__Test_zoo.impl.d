@@ -1,0 +1,1 @@
+test/test_zoo.ml: Alcotest Atom Atomset Chase Fun Homo Kb List Option Printf Rule Schema Set Subst Syntax Term Treewidth Zoo

@@ -1,0 +1,12 @@
+  $ cat > family.dlgp <<'KB'
+  > parent(alice, bob).
+  > parent(bob, carol).
+  > [anc-base] ancestor(X, Y) :- parent(X, Y).
+  > [anc-rec]  ancestor(X, Z) :- parent(X, Y), ancestor(Y, Z).
+  > ?(X) :- ancestor(alice, X).
+  > ! :- parent(X, X).
+  > KB
+  $ corechase chase family.dlgp --variant core
+  $ corechase entail family.dlgp
+  $ corechase classify family.dlgp | head -3
+  $ corechase zoo | head -3

@@ -1,0 +1,30 @@
+Smoke-test the command-line interface on a bundled knowledge base.
+
+  $ cat > family.dlgp <<'KB'
+  > parent(alice, bob).
+  > parent(bob, carol).
+  > [anc-base] ancestor(X, Y) :- parent(X, Y).
+  > [anc-rec]  ancestor(X, Z) :- parent(X, Y), ancestor(Y, Z).
+  > ?(X) :- ancestor(alice, X).
+  > ! :- parent(X, X).
+  > KB
+
+  $ corechase chase family.dlgp --variant core
+  variant:    core
+  outcome:    terminated (fixpoint reached)
+  steps:      3
+  final size: 5 atoms
+
+  $ corechase entail family.dlgp
+  constraints: consistent
+  ?(X) :- ancestor(alice, X)  ⟶  2 certain answer(s): (bob) (carol)
+
+  $ corechase classify family.dlgp | head -3
+    datalog                    yes
+    linear                     no
+    guarded                    no
+
+  $ corechase zoo | head -3
+  bts-not-fes
+  fes-not-bts
+  core-terminating

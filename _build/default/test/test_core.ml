@@ -1,0 +1,709 @@
+(* Tests for lib/core and lib/modelfinder: structural measures, robust
+   renaming/sequences/aggregation (Definitions 14-16), entailment engines
+   (Theorem 1's skeleton), class probes, SAT solver and bounded model
+   finding. *)
+
+open Syntax
+module CC = Corechase
+
+let atom p args = Atom.make p args
+let aset = Atomset.of_list
+let a = Term.const "a"
+let b = Term.const "b"
+
+let aset_t : Atomset.t Alcotest.testable =
+  Alcotest.testable Atomset.pp_verbose Atomset.equal
+
+(* ------------------------------------------------------------------ *)
+(* Measures *)
+
+let test_measures_basic () =
+  let s = aset [ atom "p" [ a; b ]; atom "q" [ a ] ] in
+  Alcotest.(check int) "size" 2 (CC.Measures.size.CC.Measures.measure s);
+  Alcotest.(check int) "terms" 2 (CC.Measures.term_count.CC.Measures.measure s);
+  Alcotest.(check int) "treewidth" 1 (CC.Measures.treewidth.CC.Measures.measure s)
+
+let test_measures_boundedness () =
+  Alcotest.(check bool) "uniform" true
+    (CC.Measures.uniformly_bounded_by 2 [ 1; 2; 2; 1 ]);
+  Alcotest.(check bool) "not uniform" false
+    (CC.Measures.uniformly_bounded_by 2 [ 1; 3 ]);
+  Alcotest.(check (option int)) "uniform bound" (Some 3)
+    (CC.Measures.uniform_bound [ 1; 3; 2 ]);
+  Alcotest.(check (option int)) "empty" None (CC.Measures.uniform_bound [])
+
+let test_measures_recurring_proxy () =
+  (* treewidth dips back to 1 every 3 steps: recurringly 1-bounded *)
+  let series = [ 1; 5; 9; 1; 6; 11; 1; 8 ] in
+  Alcotest.(check bool) "recurring at k=1,w=3" true
+    (CC.Measures.recurringly_bounded_proxy ~k:1 ~window:3 series);
+  Alcotest.(check bool) "not recurring at k=1,w=2" false
+    (CC.Measures.recurringly_bounded_proxy ~k:1 ~window:2 series)
+
+let test_measures_monotone_growing () =
+  Alcotest.(check bool) "growing" true
+    (CC.Measures.is_monotone_growing [ 1; 1; 2; 3; 3 ]);
+  Alcotest.(check bool) "flat is not growing" false
+    (CC.Measures.is_monotone_growing [ 2; 2; 2 ]);
+  Alcotest.(check bool) "dip disqualifies" false
+    (CC.Measures.is_monotone_growing [ 1; 3; 2 ])
+
+(* ------------------------------------------------------------------ *)
+(* Robust renaming (Definition 14) *)
+
+let test_robust_renaming_picks_smallest () =
+  (* A = {p(x,y), p(y,y)} with rank(x) < rank(y); σ: x↦y is a retraction;
+     ρ_σ must rename y back to x (the <X-smallest preimage). *)
+  let x = Term.fresh_var ~hint:"x" () in
+  let y = Term.fresh_var ~hint:"y" () in
+  let s = aset [ atom "p" [ x; y ]; atom "p" [ y; y ] ] in
+  let sigma = Subst.of_list [ (x, y) ] in
+  let rho = CC.Robust.robust_renaming s sigma in
+  Alcotest.(check bool) "y ↦ x" true
+    (Term.equal (Subst.apply_term rho y) x);
+  (* τ_σ = ρ_σ • σ maps the whole atomset onto the renamed retract *)
+  let tau = CC.Robust.tau_of s sigma in
+  Alcotest.(check aset_t) "τ_σ(A) = {p(x,x)}"
+    (aset [ atom "p" [ x; x ] ])
+    (Subst.apply tau s)
+
+let test_robust_renaming_identity_on_untouched () =
+  let x = Term.fresh_var ~hint:"x" () in
+  let y = Term.fresh_var ~hint:"y" () in
+  let z = Term.fresh_var ~hint:"z" () in
+  let s = aset [ atom "p" [ x; y ]; atom "p" [ y; y ]; atom "q" [ z ] ] in
+  let sigma = Subst.of_list [ (x, y) ] in
+  let rho = CC.Robust.robust_renaming s sigma in
+  Alcotest.(check bool) "z untouched" true
+    (Term.equal (Subst.apply_term rho z) z)
+
+let test_robust_renaming_rejects_non_retraction () =
+  let x = Term.fresh_var ~hint:"x" () in
+  let y = Term.fresh_var ~hint:"y" () in
+  let s = aset [ atom "p" [ x; y ] ] in
+  let swap = Subst.of_list [ (x, y); (y, x) ] in
+  match CC.Robust.robust_renaming s swap with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "must reject non-retractions"
+
+let test_robust_renaming_is_isomorphism_of_image () =
+  let x = Term.fresh_var ~hint:"x" () in
+  let y = Term.fresh_var ~hint:"y" () in
+  let z = Term.fresh_var ~hint:"z" () in
+  let s = aset [ atom "p" [ x; y ]; atom "p" [ y; z ]; atom "p" [ z; z ] ] in
+  (* σ: x↦z, y↦z is a retraction onto {p(z,z)} *)
+  let sigma = Subst.of_list [ (x, z); (y, z) ] in
+  let rho = CC.Robust.robust_renaming s sigma in
+  (* smallest preimage of z is x *)
+  Alcotest.(check bool) "z ↦ x" true (Term.equal (Subst.apply_term rho z) x);
+  let image = Subst.apply sigma s in
+  Alcotest.(check bool) "ρ_σ iso on image" true
+    (Homo.Morphism.isomorphic image (Subst.apply rho image))
+
+(* ------------------------------------------------------------------ *)
+(* Robust sequences on a handcrafted non-monotonic derivation *)
+
+(* KB: facts {p(a)}, rules: r1: p(X) → ∃Y e(X,Y) ∧ p(Y); r2: p(X) → e(X,X).
+   The core chase terminates after collapsing the spawned chain. *)
+let core_wins_kb () =
+  let x = Term.fresh_var ~hint:"X" () and y = Term.fresh_var ~hint:"Y" () in
+  let r1 =
+    Rule.make ~name:"spawn" ~body:[ atom "p" [ x ] ]
+      ~head:[ atom "e" [ x; y ]; atom "p" [ y ] ] ()
+  in
+  let x2 = Term.fresh_var ~hint:"X" () in
+  let r2 =
+    Rule.make ~name:"loop" ~body:[ atom "p" [ x2 ] ] ~head:[ atom "e" [ x2; x2 ] ] ()
+  in
+  Kb.of_lists ~facts:[ atom "p" [ a ] ] ~rules:[ r1; r2 ]
+
+let test_robust_sequence_invariants_on_core_chase () =
+  let run = Chase.Variants.core (core_wins_kb ()) in
+  let r = CC.Robust.of_derivation run.Chase.Variants.derivation in
+  (match CC.Robust.check_invariants r with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  Alcotest.(check int) "same length as derivation"
+    (Chase.Derivation.length run.Chase.Variants.derivation)
+    (CC.Robust.length r)
+
+let test_robust_g_isomorphic_to_f () =
+  let run = Chase.Variants.core (core_wins_kb ()) in
+  let d = run.Chase.Variants.derivation in
+  let r = CC.Robust.of_derivation d in
+  List.iteri
+    (fun i st ->
+      Alcotest.(check bool)
+        (Printf.sprintf "G_%d ≅ F_%d" i i)
+        true
+        (Homo.Morphism.isomorphic st.CC.Robust.g
+           (Chase.Derivation.instance_at d i)))
+    (CC.Robust.steps r)
+
+let test_robust_aggregation_terminating_case () =
+  (* on a terminating core chase, D⊛ must be hom-equivalent to the final
+     universal model (both are finitely universal models of K) *)
+  let kb = core_wins_kb () in
+  let run = Chase.Variants.core kb in
+  let d = run.Chase.Variants.derivation in
+  let r = CC.Robust.of_derivation d in
+  let agg = CC.Robust.aggregation r in
+  let final = (Chase.Derivation.last d).Chase.Derivation.instance in
+  Alcotest.(check bool) "D⊛ ≡hom final" true
+    (Homo.Morphism.hom_equivalent agg final);
+  Alcotest.(check bool) "D⊛ is a model" true (Chase.is_model kb agg)
+
+let test_robust_aggregation_monotonic_equals_natural () =
+  (* for a monotonic (restricted) derivation the robust and natural
+     aggregations coincide up to isomorphism *)
+  let x = Term.fresh_var ~hint:"X" () and y = Term.fresh_var ~hint:"Y" () in
+  let kb =
+    Kb.of_lists
+      ~facts:[ atom "p" [ a; b ] ]
+      ~rules:[ Rule.make ~name:"sym" ~body:[ atom "p" [ x; y ] ] ~head:[ atom "p" [ y; x ] ] () ]
+  in
+  let run = Chase.Variants.restricted kb in
+  let d = run.Chase.Variants.derivation in
+  let r = CC.Robust.of_derivation d in
+  Alcotest.(check bool) "D⊛ ≅ D*" true
+    (Homo.Morphism.isomorphic (CC.Robust.aggregation r)
+       (Chase.Derivation.natural_aggregation d))
+
+(* ------------------------------------------------------------------ *)
+(* The paper's Section 8 narrative: robust aggregation of the staircase *)
+
+let staircase_core_run budget_steps =
+  Chase.Variants.core
+    ~budget:{ Chase.Variants.max_steps = budget_steps; max_atoms = 2000 }
+    (Zoo.Staircase.kb ())
+
+let test_staircase_robust_aggregation_is_column () =
+  let run = staircase_core_run 40 in
+  let d = run.Chase.Variants.derivation in
+  let r = CC.Robust.of_derivation d in
+  (match CC.Robust.check_invariants r with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  let agg = CC.Robust.aggregation r in
+  (* Proposition 12.2 on the prefix: D⊛ inherits the derivation's
+     treewidth bound (2); the prefix aggregation carries the in-flight
+     frontier of the last instance, the stable part is the pure column *)
+  Alcotest.(check bool) "tw(D⊛ prefix) ≤ 2" true
+    (fst (Treewidth.best_effort agg) <= 2);
+  let stable = CC.Robust.stable_aggregation r in
+  Alcotest.(check bool) "tw(stable part) ≤ 1" true
+    (fst (Treewidth.best_effort stable) <= 1);
+  Alcotest.(check bool) "no grid in stable D⊛" false
+    (Treewidth.Grid.contains ~n:2 stable);
+  (* while the natural aggregation of the same derivation has a grid *)
+  let nat = Chase.Derivation.natural_aggregation d in
+  Alcotest.(check bool) "grid in D*" true (Treewidth.Grid.contains ~n:2 nat);
+  (* and the stable part maps into the column generator (and receives its
+     small prefix) *)
+  let col = Zoo.Staircase.infinite_column_prefix ~height:30 in
+  Alcotest.(check bool) "stable D⊛ ↪ Ĩ^h prefix" true
+    (Homo.Hom.maps_to stable col.Zoo.Staircase.atoms);
+  let small = Zoo.Staircase.infinite_column_prefix ~height:1 in
+  Alcotest.(check bool) "Ĩ^h small prefix ↪ stable D⊛" true
+    (Homo.Hom.maps_to small.Zoo.Staircase.atoms stable)
+
+let test_staircase_robust_aggregation_grows_with_prefix () =
+  let height agg =
+    (* longest strict v-path = number of c-atoms + 1 in a column *)
+    Atomset.fold
+      (fun at n -> if Atom.pred at = "c" then n + 1 else n)
+      agg 0
+  in
+  let h1 =
+    height (CC.Robust.aggregation (CC.Robust.of_derivation (staircase_core_run 15).Chase.Variants.derivation))
+  in
+  let h2 =
+    height (CC.Robust.aggregation (CC.Robust.of_derivation (staircase_core_run 45).Chase.Variants.derivation))
+  in
+  Alcotest.(check bool) "column grows with the prefix" true (h2 > h1)
+
+let test_staircase_tau_stabilises () =
+  (* Proposition 10 on the prefix: early G_i variables reach stable values:
+     pushing through one more τ does not change the image of G_0 *)
+  let run = staircase_core_run 40 in
+  let r = CC.Robust.of_derivation run.Chase.Variants.derivation in
+  let k = CC.Robust.length r - 1 in
+  let img_pre = Subst.apply (CC.Robust.tau_trace r ~from_:0 ~to_:(k - 1)) (CC.Robust.g_at r 0) in
+  let img = Subst.apply (CC.Robust.tau_trace r ~from_:0 ~to_:k) (CC.Robust.g_at r 0) in
+  Alcotest.(check aset_t) "τ̄(G_0) stable at the end" img_pre img
+
+let test_elevator_robust_invariants_and_bound () =
+  (* the elevator's core chase has GROWING treewidth; Prop 12.2 still
+     applies with the prefix maximum as the (recurring) bound: the robust
+     aggregation cannot exceed it *)
+  let run =
+    Chase.Variants.core
+      ~budget:{ Chase.Variants.max_steps = 30; max_atoms = 2000 }
+      (Zoo.Elevator.kb ())
+  in
+  let d = run.Chase.Variants.derivation in
+  let r = CC.Robust.of_derivation d in
+  (match CC.Robust.check_invariants r with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  let series =
+    List.map
+      (fun st -> Treewidth.upper_bound st.Chase.Derivation.instance)
+      (Chase.Derivation.steps d)
+  in
+  let bound = List.fold_left max 0 series in
+  let agg = CC.Robust.aggregation r in
+  Alcotest.(check bool) "tw(D⊛ prefix) ≤ prefix bound" true
+    (Treewidth.upper_bound agg <= bound)
+
+let test_aggregation_upto_monotone () =
+  let run = staircase_core_run 30 in
+  let r = CC.Robust.of_derivation run.Chase.Variants.derivation in
+  let k = CC.Robust.length r - 1 in
+  (* ⊆-monotone in the truncation index, and the full index recovers the
+     aggregation *)
+  let rec check_mono i =
+    if i >= k then ()
+    else begin
+      Alcotest.(check bool)
+        (Printf.sprintf "upto %d ⊆ upto %d" i (i + 1))
+        true
+        (Atomset.subset
+           (CC.Robust.aggregation_upto r i)
+           (CC.Robust.aggregation_upto r (i + 1)));
+      check_mono (i + 1)
+    end
+  in
+  check_mono 0;
+  Alcotest.(check bool) "upto K = aggregation" true
+    (Atomset.equal (CC.Robust.aggregation_upto r k) (CC.Robust.aggregation r))
+
+(* ------------------------------------------------------------------ *)
+(* SAT solver *)
+
+let test_sat_trivial () =
+  (match Modelfinder.Sat.solve ~nvars:1 [ [ 1 ] ] with
+  | Modelfinder.Sat.Sat m -> Alcotest.(check bool) "v1 true" true m.(1)
+  | Modelfinder.Sat.Unsat -> Alcotest.fail "satisfiable");
+  match Modelfinder.Sat.solve ~nvars:1 [ [ 1 ]; [ -1 ] ] with
+  | Modelfinder.Sat.Unsat -> ()
+  | Modelfinder.Sat.Sat _ -> Alcotest.fail "unsatisfiable"
+
+let test_sat_chain_propagation () =
+  (* implications 1→2→3→4 with unit 1 and ¬4: unsat *)
+  let clauses = [ [ 1 ]; [ -1; 2 ]; [ -2; 3 ]; [ -3; 4 ]; [ -4 ] ] in
+  (match Modelfinder.Sat.solve ~nvars:4 clauses with
+  | Modelfinder.Sat.Unsat -> ()
+  | _ -> Alcotest.fail "unit chain must conflict");
+  let clauses' = [ [ 1 ]; [ -1; 2 ]; [ -2; 3 ] ] in
+  match Modelfinder.Sat.solve ~nvars:3 clauses' with
+  | Modelfinder.Sat.Sat m ->
+      Alcotest.(check bool) "propagated" true (m.(1) && m.(2) && m.(3))
+  | _ -> Alcotest.fail "satisfiable"
+
+let test_sat_pigeonhole_2_into_1 () =
+  (* two pigeons, one hole: p1 ∨ p1?  encode: x1 = pigeon1 in hole, x2 =
+     pigeon2 in hole, both must be placed, not together *)
+  match Modelfinder.Sat.solve ~nvars:2 [ [ 1 ]; [ 2 ]; [ -1; -2 ] ] with
+  | Modelfinder.Sat.Unsat -> ()
+  | _ -> Alcotest.fail "PHP(2,1) is unsat"
+
+let test_sat_validates_models () =
+  let clauses = [ [ 1; 2 ]; [ -1; 3 ]; [ -2; -3 ] ] in
+  match Modelfinder.Sat.solve ~nvars:3 clauses with
+  | Modelfinder.Sat.Sat m ->
+      Alcotest.(check bool) "model checks" true
+        (Modelfinder.Sat.is_satisfying clauses m)
+  | _ -> Alcotest.fail "satisfiable"
+
+let test_sat_range_check () =
+  match Modelfinder.Sat.solve ~nvars:1 [ [ 2 ] ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "literal out of range must raise"
+
+let prop_sat_agrees_with_bruteforce =
+  QCheck.Test.make ~name:"DPLL agrees with brute force" ~count:200
+    QCheck.(
+      make
+        Gen.(
+          let lit = map (fun (v, s) -> if s then v + 1 else -(v + 1)) (pair (int_bound 3) bool) in
+          list_size (int_bound 8) (list_size (int_range 1 3) lit)))
+    (fun clauses ->
+      let nvars = 4 in
+      let brute =
+        let rec assigns v acc =
+          if v > nvars then [ acc ]
+          else assigns (v + 1) (true :: acc) @ assigns (v + 1) (false :: acc)
+        in
+        List.exists
+          (fun bits ->
+            let arr = Array.of_list (false :: List.rev bits) in
+            Modelfinder.Sat.is_satisfying clauses arr)
+          (assigns 1 [])
+      in
+      let dpll =
+        match Modelfinder.Sat.solve ~nvars clauses with
+        | Modelfinder.Sat.Sat m -> Modelfinder.Sat.is_satisfying clauses m
+        | Modelfinder.Sat.Unsat -> false
+      in
+      brute = dpll)
+
+(* ------------------------------------------------------------------ *)
+(* Model finder *)
+
+let test_modelfinder_finds_loop_model () =
+  (* r(X,Y) → ∃Z r(Y,Z) over r(a,b): domain size 2 has the model with a
+     cycle on b (or similar) *)
+  let kb = Zoo.Classic.bts_not_fes () in
+  match Modelfinder.find_model_upto ~max_domain:2 kb with
+  | Some m ->
+      Alcotest.(check bool) "verified model" true
+        (Modelfinder.is_model_of kb m.Modelfinder.atoms)
+  | None -> Alcotest.fail "a 2-element model exists"
+
+let test_modelfinder_respects_negated_query () =
+  let kb = Zoo.Classic.bts_not_fes () in
+  (* forbid r(X,X): self-loop-free finite models of the chain rule exist
+     only with a longer cycle: domain 1 impossible, 2 possible (2-cycle) *)
+  let x = Term.fresh_var ~hint:"X" () in
+  let q = Kb.Query.make [ atom "r" [ x; x ] ] in
+  (* domain 1 cannot even hold the two constants: rejected *)
+  (match Modelfinder.find_model ~domain_size:1 ~forbid:q kb with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "domain below the constant count must be rejected");
+  match Modelfinder.find_model ~domain_size:2 ~forbid:q kb with
+  | Some m ->
+      Alcotest.(check bool) "no r(X,X)" false
+        (Modelfinder.satisfies_query q m.Modelfinder.atoms);
+      Alcotest.(check bool) "still a model" true
+        (Modelfinder.is_model_of kb m.Modelfinder.atoms)
+  | None -> Alcotest.fail "2-cycle model exists"
+
+let test_modelfinder_unsat_when_query_entailed () =
+  (* datalog: p(a,b) with symmetry entails p(b,a): no countermodel exists
+     at any domain size *)
+  let x = Term.fresh_var ~hint:"X" () and y = Term.fresh_var ~hint:"Y" () in
+  let kb =
+    Kb.of_lists
+      ~facts:[ atom "p" [ a; b ] ]
+      ~rules:[ Rule.make ~name:"sym" ~body:[ atom "p" [ x; y ] ] ~head:[ atom "p" [ y; x ] ] () ]
+  in
+  let q = Kb.Query.make [ atom "p" [ b; a ] ] in
+  Alcotest.(check bool) "no countermodel" true
+    (Modelfinder.find_model_upto ~max_domain:3 ~forbid:q kb = None)
+
+let test_modelfinder_nulls_in_facts () =
+  (* facts with a null: p(a, Y): a model must embed it somewhere *)
+  let y = Term.fresh_var ~hint:"Y" () in
+  let kb = Kb.of_lists ~facts:[ atom "p" [ a; y ] ] ~rules:[] in
+  match Modelfinder.find_model ~domain_size:1 kb with
+  | Some m -> Alcotest.(check bool) "p(a,a)" true (Atomset.mem (atom "p" [ a; a ]) m.Modelfinder.atoms)
+  | None -> Alcotest.fail "must find the collapse model"
+
+let test_modelfinder_domain_too_small () =
+  let kb = Kb.of_lists ~facts:[ atom "p" [ a; b ] ] ~rules:[] in
+  match Modelfinder.find_model ~domain_size:1 kb with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "2 constants cannot fit in domain 1"
+
+(* ------------------------------------------------------------------ *)
+(* Entailment (Theorem 1's skeleton) *)
+
+let test_entailment_via_chase_positive () =
+  let kb = Zoo.Staircase.kb () in
+  let x = Term.fresh_var ~hint:"X" () in
+  let q = Kb.Query.make [ atom "c" [ x ] ] in
+  Alcotest.(check bool) "K_h ⊨ ∃X c(X)" true
+    (CC.Entailment.via_chase
+       ~budget:{ Chase.Variants.max_steps = 15; max_atoms = 500 }
+       kb q
+    = CC.Entailment.Entailed)
+
+let test_entailment_via_chase_terminating_negative () =
+  let kb = Zoo.Classic.transitive_closure () in
+  let q = Kb.Query.make [ atom "e" [ b; a ] ] in
+  Alcotest.(check bool) "no backward edge" true
+    (CC.Entailment.via_chase kb q = CC.Entailment.Not_entailed)
+
+let test_entailment_via_countermodel () =
+  let kb = Zoo.Staircase.kb () in
+  (* unused predicate: trivially not entailed, and the collapse model
+     witnesses it *)
+  let x = Term.fresh_var ~hint:"X" () in
+  let q = Kb.Query.make [ atom "g" [ x ] ] in
+  Alcotest.(check bool) "countermodel found" true
+    (CC.Entailment.via_countermodel ~max_domain:1 kb q
+    = CC.Entailment.Not_entailed)
+
+let test_entailment_decide_combines () =
+  let kb = Zoo.Classic.bts_not_fes () in
+  let x = Term.fresh_var ~hint:"X" () and y = Term.fresh_var ~hint:"Y" () in
+  (* entailed: ∃XY r(X,Y) *)
+  let q1 = Kb.Query.make [ atom "r" [ x; y ] ] in
+  Alcotest.(check bool) "positive" true
+    (CC.Entailment.decide
+       ~budget:{ Chase.Variants.max_steps = 10; max_atoms = 100 }
+       kb q1
+    = CC.Entailment.Entailed);
+  (* not entailed, needs the countermodel side (chase diverges):
+     ∃X r(X,X) *)
+  let x2 = Term.fresh_var ~hint:"X" () in
+  let q2 = Kb.Query.make [ atom "r" [ x2; x2 ] ] in
+  Alcotest.(check bool) "negative via countermodel" true
+    (CC.Entailment.decide
+       ~budget:{ Chase.Variants.max_steps = 10; max_atoms = 100 }
+       ~max_domain:3 kb q2
+    = CC.Entailment.Not_entailed)
+
+let test_entailment_unknown_when_budgets_small () =
+  let kb = Zoo.Staircase.kb () in
+  (* a query true only deep in the chase and with no small countermodel
+     decidable at domain 1-2?  Use the v-2-path: entailed eventually *)
+  let x = Term.fresh_var ~hint:"X" () and y = Term.fresh_var ~hint:"Y" ()
+  and z = Term.fresh_var ~hint:"Z" () in
+  let q = Kb.Query.make [ atom "v" [ x; y ]; atom "v" [ y; z ]; atom "c" [ y ]; atom "c" [ z ] ] in
+  match
+    CC.Entailment.via_chase
+      ~budget:{ Chase.Variants.max_steps = 1; max_atoms = 50 }
+      kb q
+  with
+  | CC.Entailment.Unknown _ -> ()
+  | v -> Alcotest.failf "expected unknown, got %a" CC.Entailment.pp_verdict v
+
+let test_entailment_proposition9_on_column () =
+  (* Proposition 9 experimentally: the finitely universal Ĩ^h decides the
+     same queries as the universal staircase prefix *)
+  let col = (Zoo.Staircase.infinite_column_prefix ~height:8).Zoo.Staircase.atoms in
+  let stair = (Zoo.Staircase.universal_model_prefix ~cols:8).Zoo.Staircase.atoms in
+  let x = Term.fresh_var ~hint:"X" () and y = Term.fresh_var ~hint:"Y" () in
+  let queries =
+    [
+      Kb.Query.make [ atom "c" [ x ] ];
+      Kb.Query.make [ atom "f" [ x ]; atom "h" [ x; x ] ];
+      Kb.Query.make [ atom "v" [ x; y ]; atom "c" [ y ] ];
+      Kb.Query.make [ atom "f" [ x ]; atom "c" [ x ] ];
+    ]
+  in
+  List.iter
+    (fun q ->
+      Alcotest.(check bool)
+        (Fmt.str "agree on %a" Kb.Query.pp q)
+        (CC.Entailment.holds_in q stair)
+        (CC.Entailment.holds_in q col))
+    queries
+
+let test_certain_answers_terminating () =
+  let kb = Zoo.Classic.transitive_closure () in
+  let x = Term.fresh_var ~hint:"X" () in
+  let q = Kb.Query.make ~answers:[ x ] [ atom "e" [ a; x ] ] in
+  match CC.Entailment.certain_answers kb q with
+  | CC.Entailment.Complete tuples ->
+      (* e(a,b), e(a,c), e(a,d) after closure *)
+      Alcotest.(check int) "three reachable" 3 (List.length tuples);
+      Alcotest.(check bool) "b among them" true (List.mem [ b ] tuples)
+  | CC.Entailment.Sound _ -> Alcotest.fail "datalog chase terminates"
+
+let test_certain_answers_nulls_filtered () =
+  (* r(X,Y) → ∃Z r(Y,Z) over r(a,b): answers to r(a,X) are certain only
+     for X=b; the invented successors are nulls *)
+  let kb = Zoo.Classic.bts_not_fes () in
+  let x = Term.fresh_var ~hint:"X" () in
+  let q = Kb.Query.make ~answers:[ x ] [ atom "r" [ a; x ] ] in
+  match
+    CC.Entailment.certain_answers
+      ~budget:{ Chase.Variants.max_steps = 15; max_atoms = 200 }
+      kb q
+  with
+  | CC.Entailment.Sound tuples ->
+      Alcotest.(check (list (list (Alcotest.testable Term.pp_debug Term.equal))))
+        "only the constant answer" [ [ b ] ] tuples
+  | CC.Entailment.Complete _ -> Alcotest.fail "this chase diverges"
+
+let test_certain_answers_rejects_boolean () =
+  let kb = Zoo.Classic.transitive_closure () in
+  let q = Kb.Query.make [ atom "e" [ a; b ] ] in
+  match CC.Entailment.certain_answers kb q with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "Boolean queries must be rejected"
+
+let test_ucq_entailment () =
+  let kb = Zoo.Classic.transitive_closure () in
+  let x = Term.fresh_var ~hint:"X" () in
+  (* e(d,X) ∨ e(a,d): second disjunct holds after closure *)
+  let u =
+    Ucq.make
+      [
+        Kb.Query.make [ atom "e" [ Term.const "d"; x ] ];
+        Kb.Query.make [ atom "e" [ a; Term.const "d" ] ];
+      ]
+  in
+  Alcotest.(check bool) "entailed via second disjunct" true
+    (CC.Entailment.decide_ucq kb u = CC.Entailment.Entailed);
+  let x2 = Term.fresh_var ~hint:"X" () in
+  let u2 =
+    Ucq.make
+      [
+        Kb.Query.make [ atom "e" [ Term.const "d"; x2 ] ];
+        Kb.Query.make [ atom "e" [ b; a ] ];
+      ]
+  in
+  Alcotest.(check bool) "neither disjunct entailed" true
+    (CC.Entailment.decide_ucq kb u2 = CC.Entailment.Not_entailed)
+
+let test_ucq_countermodel_refutes_all_disjuncts () =
+  (* on a diverging KB, the countermodel must avoid BOTH disjuncts at
+     once: r(X,X) ∨ loop2 where loop2 = r(X,Y) ∧ r(Y,X).  A 2-cycle
+     refutes the first but not the second; a 3-cycle refutes both. *)
+  let kb = Zoo.Classic.bts_not_fes () in
+  let x = Term.fresh_var ~hint:"X" () and y = Term.fresh_var ~hint:"Y" () in
+  let u =
+    Ucq.make
+      [
+        Kb.Query.make [ atom "r" [ x; x ] ];
+        (let x2 = Term.fresh_var () and y2 = Term.fresh_var () in
+         Kb.Query.make [ atom "r" [ x2; y2 ]; atom "r" [ y2; x2 ] ]);
+      ]
+  in
+  ignore y;
+  Alcotest.(check bool) "3-cycle countermodel found" true
+    (CC.Entailment.decide_ucq
+       ~budget:{ Chase.Variants.max_steps = 10; max_atoms = 100 }
+       ~max_domain:3 kb u
+    = CC.Entailment.Not_entailed)
+
+let test_ucq_make_rejects_empty () =
+  match Ucq.make [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty UCQ must be rejected"
+
+let test_inconsistency_checking () =
+  let kb = Zoo.Classic.transitive_closure () in
+  let x = Term.fresh_var ~hint:"X" () in
+  (* violated constraint: there is an edge out of a *)
+  let bad = Kb.Query.make [ atom "e" [ a; x ] ] in
+  (* satisfied constraint: no self-loop *)
+  let fine = Kb.Query.make [ atom "e" [ x; x ] ] in
+  Alcotest.(check bool) "violation detected" true
+    (CC.Entailment.inconsistent ~constraints:[ bad ] kb = CC.Entailment.Entailed);
+  Alcotest.(check bool) "consistent KB passes" true
+    (CC.Entailment.inconsistent ~constraints:[ fine ] kb
+    = CC.Entailment.Not_entailed)
+
+(* ------------------------------------------------------------------ *)
+(* Probes *)
+
+let test_probes_critical_instance () =
+  let kb = Zoo.Classic.transitive_closure () in
+  let ci = CC.Probes.critical_instance (Kb.rules kb) in
+  (* predicates e/2 over constants {star,a?}: rules of transitive closure
+     have no constants, so only star: e(star,star) *)
+  Alcotest.(check int) "one atom" 1 (Atomset.cardinal ci)
+
+let test_probes_fes () =
+  (match CC.Probes.fes_probe (Kb.rules (Zoo.Classic.transitive_closure ())) with
+  | CC.Probes.Terminates _ -> ()
+  | CC.Probes.No_verdict -> Alcotest.fail "datalog is fes");
+  match
+    CC.Probes.fes_probe
+      ~budget:{ Chase.Variants.max_steps = 30; max_atoms = 300 }
+      (Kb.rules (Zoo.Classic.bts_not_fes ()))
+  with
+  | CC.Probes.No_verdict -> ()
+  | CC.Probes.Terminates _ ->
+      (* on the critical instance r(star,star) the chase terminates at
+         once (the loop satisfies everything): the probe is only a
+         heuristic — accept either outcome but record it *)
+      ()
+
+let test_probes_tw_profile_staircase_vs_elevator () =
+  let bud = { Chase.Variants.max_steps = 35; max_atoms = 2000 } in
+  let stair = CC.Probes.tw_profile ~budget:bud ~variant:`Core (Zoo.Staircase.kb ()) in
+  Alcotest.(check bool) "staircase core profile ≤ 2" true
+    (stair.CC.Probes.max_seen <= 2);
+  let elev = CC.Probes.tw_profile ~budget:{ Chase.Variants.max_steps = 60; max_atoms = 2000 } ~variant:`Core (Zoo.Elevator.kb ()) in
+  Alcotest.(check bool) "elevator core profile ≥ 2" true
+    (elev.CC.Probes.max_seen >= 2)
+
+let test_finitely_universal_on_prefixes () =
+  let col3 = (Zoo.Staircase.infinite_column_prefix ~height:3).Zoo.Staircase.atoms in
+  let col5 = (Zoo.Staircase.infinite_column_prefix ~height:5).Zoo.Staircase.atoms in
+  let stair = (Zoo.Staircase.universal_model_prefix ~cols:8).Zoo.Staircase.atoms in
+  Alcotest.(check bool) "column prefixes universal wrt staircase" true
+    (CC.finitely_universal_on_prefixes [ col3; col5 ] [ stair ])
+
+let qcheck_cases = List.map QCheck_alcotest.to_alcotest [ prop_sat_agrees_with_bruteforce ]
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "core.measures",
+      [
+        tc "basic" test_measures_basic;
+        tc "boundedness" test_measures_boundedness;
+        tc "recurring proxy" test_measures_recurring_proxy;
+        tc "monotone growing" test_measures_monotone_growing;
+      ] );
+    ( "core.robust.renaming",
+      [
+        tc "picks <X-smallest preimage" test_robust_renaming_picks_smallest;
+        tc "identity on untouched" test_robust_renaming_identity_on_untouched;
+        tc "rejects non-retraction" test_robust_renaming_rejects_non_retraction;
+        tc "isomorphism on image" test_robust_renaming_is_isomorphism_of_image;
+      ] );
+    ( "core.robust.sequence",
+      [
+        tc "invariants on core chase" test_robust_sequence_invariants_on_core_chase;
+        tc "G_i ≅ F_i" test_robust_g_isomorphic_to_f;
+        tc "terminating aggregation" test_robust_aggregation_terminating_case;
+        tc "monotonic = natural" test_robust_aggregation_monotonic_equals_natural;
+      ] );
+    ( "core.robust.staircase",
+      [
+        tc "D⊛ is the column (Section 8)" test_staircase_robust_aggregation_is_column;
+        tc "column grows with prefix" test_staircase_robust_aggregation_grows_with_prefix;
+        tc "τ stabilises (Prop 10)" test_staircase_tau_stabilises;
+        tc "elevator: invariants & Prop 12.2 bound" test_elevator_robust_invariants_and_bound;
+        tc "aggregation_upto monotone" test_aggregation_upto_monotone;
+      ] );
+    ( "modelfinder.sat",
+      [
+        tc "trivial" test_sat_trivial;
+        tc "unit chains" test_sat_chain_propagation;
+        tc "pigeonhole" test_sat_pigeonhole_2_into_1;
+        tc "model validation" test_sat_validates_models;
+        tc "range check" test_sat_range_check;
+      ] );
+    ( "modelfinder.search",
+      [
+        tc "finds loop model" test_modelfinder_finds_loop_model;
+        tc "negated query" test_modelfinder_respects_negated_query;
+        tc "no countermodel when entailed" test_modelfinder_unsat_when_query_entailed;
+        tc "nulls in facts" test_modelfinder_nulls_in_facts;
+        tc "domain too small" test_modelfinder_domain_too_small;
+      ] );
+    ( "core.entailment",
+      [
+        tc "chase positive" test_entailment_via_chase_positive;
+        tc "chase negative (terminated)" test_entailment_via_chase_terminating_negative;
+        tc "countermodel negative" test_entailment_via_countermodel;
+        tc "decide combines both" test_entailment_decide_combines;
+        tc "unknown on tiny budgets" test_entailment_unknown_when_budgets_small;
+        tc "Proposition 9 on the column" test_entailment_proposition9_on_column;
+        tc "certain answers (terminating)" test_certain_answers_terminating;
+        tc "certain answers filter nulls" test_certain_answers_nulls_filtered;
+        tc "certain answers reject Boolean" test_certain_answers_rejects_boolean;
+        tc "inconsistency checking" test_inconsistency_checking;
+        tc "UCQ entailment" test_ucq_entailment;
+        tc "UCQ countermodel refutes all disjuncts" test_ucq_countermodel_refutes_all_disjuncts;
+        tc "UCQ rejects empty union" test_ucq_make_rejects_empty;
+      ] );
+    ( "core.probes",
+      [
+        tc "critical instance" test_probes_critical_instance;
+        tc "fes probes" test_probes_fes;
+        tc "tw profiles" test_probes_tw_profile_staircase_vs_elevator;
+        tc "finitely universal prefixes" test_finitely_universal_on_prefixes;
+      ] );
+    ("core.properties", qcheck_cases);
+  ]

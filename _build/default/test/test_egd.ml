@@ -1,0 +1,171 @@
+(* Tests for equality-generating dependencies: syntax, DLGP parsing, and
+   the TGD+EGD chase engine. *)
+
+open Syntax
+
+let atom p args = Atom.make p args
+let a = Term.const "a"
+let b = Term.const "b"
+let c = Term.const "c"
+
+(* FD: the second column of emp is functionally determined by the first. *)
+let fd_egd () =
+  let x = Term.fresh_var ~hint:"X" () and y = Term.fresh_var ~hint:"Y" ()
+  and z = Term.fresh_var ~hint:"Z" () in
+  Egd.make ~name:"fd" ~body:[ atom "emp" [ x; y ]; atom "emp" [ x; z ] ] y z
+
+(* ------------------------------------------------------------------ *)
+(* Egd module *)
+
+let test_egd_make_validates () =
+  let x = Term.fresh_var ~hint:"X" () and y = Term.fresh_var ~hint:"Y" () in
+  (match Egd.make ~body:[ atom "p" [ x ] ] x y with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "y not in body must be rejected");
+  match Egd.make ~body:[ atom "p" [ x; y ] ] x y with
+  | _ -> ()
+
+let test_egd_rename_apart () =
+  let e = fd_egd () in
+  let e' = Egd.rename_apart e in
+  let l, r = Egd.sides e' in
+  Alcotest.(check bool) "sides are body vars" true
+    (List.exists (Term.equal l) (Atomset.vars (Egd.body e'))
+    && List.exists (Term.equal r) (Atomset.vars (Egd.body e')));
+  let shared =
+    List.filter
+      (fun v -> List.exists (Term.equal v) (Atomset.vars (Egd.body e)))
+      (Atomset.vars (Egd.body e'))
+  in
+  Alcotest.(check int) "no shared vars" 0 (List.length shared)
+
+(* ------------------------------------------------------------------ *)
+(* Violations and unification *)
+
+let test_violations () =
+  let e = fd_egd () in
+  let inst =
+    Atomset.of_list [ atom "emp" [ a; b ]; atom "emp" [ a; c ]; atom "emp" [ b; b ] ]
+  in
+  let vs = Chase.Variants.Egds.violations [ e ] inst in
+  (* (b,c) and (c,b) both reported *)
+  Alcotest.(check bool) "violations found" true (List.length vs >= 1)
+
+let test_egd_chase_merges_nulls () =
+  (* emp(a, Y) ∧ emp(a, Z) with nulls: Y and Z unify *)
+  let y = Term.fresh_var ~hint:"Y" () and z = Term.fresh_var ~hint:"Z" () in
+  let kb =
+    Kb.with_egds [ fd_egd () ]
+      (Kb.of_lists
+         ~facts:[ atom "emp" [ a; y ]; atom "emp" [ a; z ]; atom "dept" [ y ] ]
+         ~rules:[])
+  in
+  let run = Chase.Variants.Egds.run kb in
+  Alcotest.(check bool) "terminated" true
+    (run.Chase.Variants.Egds.outcome = Chase.Variants.Egds.Terminated);
+  let final = List.nth run.Chase.Variants.Egds.trace
+      (List.length run.Chase.Variants.Egds.trace - 1) in
+  Alcotest.(check int) "one emp atom remains" 2 (Atomset.cardinal final);
+  (* the dept mark survived on the merged null *)
+  Alcotest.(check int) "one null" 1 (List.length (Atomset.vars final))
+
+let test_egd_chase_prefers_constants () =
+  let y = Term.fresh_var ~hint:"Y" () in
+  let kb =
+    Kb.with_egds [ fd_egd () ]
+      (Kb.of_lists ~facts:[ atom "emp" [ a; b ]; atom "emp" [ a; y ] ] ~rules:[])
+  in
+  let run = Chase.Variants.Egds.run kb in
+  let final = List.nth run.Chase.Variants.Egds.trace
+      (List.length run.Chase.Variants.Egds.trace - 1) in
+  Alcotest.(check bool) "null merged into the constant" true
+    (Atomset.mem (atom "emp" [ a; b ]) final
+    && List.length (Atomset.vars final) = 0)
+
+let test_egd_chase_hard_failure () =
+  let kb =
+    Kb.with_egds [ fd_egd () ]
+      (Kb.of_lists ~facts:[ atom "emp" [ a; b ]; atom "emp" [ a; c ] ] ~rules:[])
+  in
+  let run = Chase.Variants.Egds.run kb in
+  match run.Chase.Variants.Egds.outcome with
+  | Chase.Variants.Egds.Failed e ->
+      Alcotest.(check string) "failing EGD" "fd" (Egd.name e)
+  | _ -> Alcotest.fail "two distinct constants must fail"
+
+let test_egd_interacts_with_tgds () =
+  (* TGD invents a null office per employee; the FD on office merges them
+     per department:
+     emp(E, D) → ∃O office(D, O);  office(D,O) ∧ office(D,O') → O = O' *)
+  let e = Term.fresh_var ~hint:"E" () and d = Term.fresh_var ~hint:"D" ()
+  and o = Term.fresh_var ~hint:"O" () in
+  let tgd =
+    Rule.make ~name:"office"
+      ~body:[ atom "emp" [ e; d ] ]
+      ~head:[ atom "office" [ d; o ] ]
+      ()
+  in
+  let d2 = Term.fresh_var ~hint:"D" () and o1 = Term.fresh_var ~hint:"O" ()
+  and o2 = Term.fresh_var ~hint:"O'" () in
+  let egd =
+    Egd.make ~name:"unique-office"
+      ~body:[ atom "office" [ d2; o1 ]; atom "office" [ d2; o2 ] ]
+      o1 o2
+  in
+  let kb =
+    Kb.with_egds [ egd ]
+      (Kb.of_lists
+         ~facts:[ atom "emp" [ a; c ]; atom "emp" [ b; c ] ]
+         ~rules:[ tgd ])
+  in
+  let run = Chase.Variants.Egds.run kb in
+  Alcotest.(check bool) "terminated" true
+    (run.Chase.Variants.Egds.outcome = Chase.Variants.Egds.Terminated);
+  let final = List.nth run.Chase.Variants.Egds.trace
+      (List.length run.Chase.Variants.Egds.trace - 1) in
+  let offices =
+    Atomset.filter (fun at -> Atom.pred at = "office") final
+  in
+  Alcotest.(check int) "one office for the shared department" 1
+    (Atomset.cardinal offices)
+
+(* ------------------------------------------------------------------ *)
+(* DLGP *)
+
+let test_dlgp_egd () =
+  match Dlgp.parse_string "X = Y :- p(Z, X), p(Z, Y)." with
+  | Error e -> Alcotest.failf "%a" Dlgp.pp_error e
+  | Ok doc -> (
+      Alcotest.(check int) "one egd" 1 (List.length doc.Dlgp.egds);
+      let egd = List.hd doc.Dlgp.egds in
+      Alcotest.(check int) "binary body" 2 (Atomset.cardinal (Egd.body egd));
+      let kb = Dlgp.kb_of_document doc in
+      Alcotest.(check int) "kb carries it" 1 (List.length (Kb.egds kb));
+      (* roundtrip *)
+      let printed = Fmt.str "%a" Dlgp.print_document doc in
+      match Dlgp.parse_string printed with
+      | Ok doc' -> Alcotest.(check int) "roundtrip" 1 (List.length doc'.Dlgp.egds)
+      | Error e -> Alcotest.failf "roundtrip: %a" Dlgp.pp_error e)
+
+let test_dlgp_egd_rejects_constant_side () =
+  match Dlgp.parse_string "X = a :- p(X)." with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "constant on the right must be rejected"
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "egd",
+      [
+        tc "make validates" test_egd_make_validates;
+        tc "rename apart" test_egd_rename_apart;
+        tc "violations" test_violations;
+        tc "merges nulls" test_egd_chase_merges_nulls;
+        tc "prefers constants" test_egd_chase_prefers_constants;
+        tc "hard failure" test_egd_chase_hard_failure;
+        tc "TGD+EGD interaction" test_egd_interacts_with_tgds;
+        tc "DLGP syntax" test_dlgp_egd;
+        tc "DLGP rejects constants" test_dlgp_egd_rejects_constant_side;
+      ] );
+  ]

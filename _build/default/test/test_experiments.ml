@@ -1,0 +1,27 @@
+(* Smoke tests for the experiment drivers: the fast ones run at scale 1
+   inside the test suite; the full set runs in bench/main.exe. *)
+
+let null_ppf = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
+
+let test_t1 () =
+  Alcotest.(check bool) "T1 passes" true (Experiments.exp_t1 ~scale:1 null_ppf)
+
+let test_f3 () =
+  Alcotest.(check bool) "F3 passes" true (Experiments.exp_f3 ~scale:1 null_ppf)
+
+let test_all_registered () =
+  Alcotest.(check (list string)) "experiment ids"
+    [ "F1"; "F2"; "F3"; "F4"; "F5"; "T1" ]
+    (List.map fst Experiments.all)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "experiments.smoke",
+      [
+        tc "T1 (Table 1 replay)" test_t1;
+        tc "F3 (elevator KB)" test_f3;
+        tc "registry" test_all_registered;
+      ] );
+  ]

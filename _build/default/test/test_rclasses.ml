@@ -1,0 +1,294 @@
+(* Tests for lib/rclasses: position graphs, guardedness family, weak/joint
+   acyclicity, rule dependencies, and agreement between syntactic
+   certificates and chase behaviour. *)
+
+open Syntax
+
+let atom p args = Atom.make p args
+let v h = Term.fresh_var ~hint:h ()
+
+let rule ?name body head = Rule.make ?name ~body ~head ()
+
+(* r(X,Y) → ∃Z r(Y,Z): the classic WA violation. *)
+let chain_rule () =
+  let x = v "X" and y = v "Y" and z = v "Z" in
+  rule ~name:"chain" [ atom "r" [ x; y ] ] [ atom "r" [ y; z ] ]
+
+(* p(X,Y) → ∃Z q(Y,Z); q(X,Y) → p(Y,X): WA? q[1] special from p-rule;
+   q-rule moves q[0]→p[1], q[1]→p[0]; cycle p[1]→(special)q[1]→p[0]→?
+   p-rule: p[0]=X not in head... p[1]=Y→q[0]. So q[1]→p[0]: p[0] dead end.
+   No special cycle: weakly acyclic. *)
+let wa_pair () =
+  let x = v "X" and y = v "Y" and z = v "Z" in
+  let r1 = rule ~name:"r1" [ atom "p" [ x; y ] ] [ atom "q" [ y; z ] ] in
+  let x2 = v "X" and y2 = v "Y" in
+  let r2 = rule ~name:"r2" [ atom "q" [ x2; y2 ] ] [ atom "p" [ y2; x2 ] ] in
+  [ r1; r2 ]
+
+(* ------------------------------------------------------------------ *)
+(* Position utilities *)
+
+let test_positions_of_var () =
+  let x = v "X" and y = v "Y" in
+  let aset = Atomset.of_list [ atom "p" [ x; y ]; atom "q" [ x ] ] in
+  Alcotest.(check int) "x at two positions" 2
+    (List.length (Rclasses.Position.positions_of_var x aset));
+  Alcotest.(check int) "y at one" 1
+    (List.length (Rclasses.Position.positions_of_var y aset))
+
+let test_position_graph_edges () =
+  let g = Rclasses.Position.Graph.build [ chain_rule () ] in
+  (* frontier Y at r[1] moves to r[0]: ordinary edge; existential Z lands
+     at r[1]: special edges from every body position of Y *)
+  Alcotest.(check bool) "ordinary r[1]->r[0]" true
+    (List.mem (("r", 1), ("r", 0)) (Rclasses.Position.Graph.ordinary_edges g));
+  Alcotest.(check bool) "special r[1]=>r[1]" true
+    (List.mem (("r", 1), ("r", 1)) (Rclasses.Position.Graph.special_edges g))
+
+let test_affected_positions () =
+  let affected = Rclasses.Position.affected_positions [ chain_rule () ] in
+  (* Z lands at r[1]; then Y (occurring only at r[1] in the body... Y is at
+     r[1] in body) propagates to its head position r[0] *)
+  Alcotest.(check bool) "r[1] affected" true
+    (List.exists (fun p -> Rclasses.Position.compare p ("r", 1) = 0) affected);
+  Alcotest.(check bool) "r[0] affected via propagation" true
+    (List.exists (fun p -> Rclasses.Position.compare p ("r", 0) = 0) affected)
+
+let test_affected_positions_datalog_empty () =
+  let x = v "X" and y = v "Y" in
+  let r = rule [ atom "p" [ x; y ] ] [ atom "p" [ y; x ] ] in
+  Alcotest.(check (list (pair string int))) "no affected positions" []
+    (Rclasses.Position.affected_positions [ r ])
+
+(* ------------------------------------------------------------------ *)
+(* Guardedness family *)
+
+let test_guardedness_flags () =
+  let g = Rclasses.Guardedness.is_guarded in
+  Alcotest.(check bool) "chain rule guarded (single body atom)" true
+    (g (chain_rule ()));
+  let x = v "X" and y = v "Y" and z = v "Z" in
+  let two_atoms =
+    rule [ atom "p" [ x; y ]; atom "q" [ y; z ] ] [ atom "s" [ x; z ] ]
+  in
+  Alcotest.(check bool) "no atom guards {x,y,z}" false (g two_atoms);
+  Alcotest.(check bool) "not linear" false
+    (Rclasses.Guardedness.is_linear two_atoms);
+  Alcotest.(check bool) "frontier {x,z} unguarded" false
+    (Rclasses.Guardedness.is_frontier_guarded two_atoms);
+  let x2 = v "X" and y2 = v "Y" and w = v "W" in
+  let fg =
+    rule [ atom "p" [ x2; y2 ]; atom "q" [ y2; x2 ] ] [ atom "s" [ x2; y2; w ] ]
+  in
+  Alcotest.(check bool) "frontier-guarded" true
+    (Rclasses.Guardedness.is_frontier_guarded fg);
+  Alcotest.(check bool) "not frontier-one" false
+    (Rclasses.Guardedness.is_frontier_one fg)
+
+let test_weakly_guarded_datalog_trivially () =
+  (* with no affected positions, every rule is weakly guarded *)
+  let x = v "X" and y = v "Y" and z = v "Z" in
+  let r = rule [ atom "p" [ x; y ]; atom "q" [ y; z ] ] [ atom "p" [ x; z ] ] in
+  Alcotest.(check bool) "weakly guarded" true
+    (Rclasses.Guardedness.ruleset_weakly_guarded [ r ]);
+  Alcotest.(check bool) "but not guarded" false
+    (Rclasses.Guardedness.ruleset_guarded [ r ])
+
+let test_paper_rulesets_guardedness () =
+  (* staircase rules: R1 is guarded (single body atom h(X,X)); R2 has body
+     {h(X,X), v(X,X'), h(X',X'), h(X',Y')}: no guard for {X,X',Y'} *)
+  let rules = Kb.rules (Zoo.Staircase.kb ()) in
+  Alcotest.(check bool) "Σ_h not guarded" false
+    (Rclasses.Guardedness.ruleset_guarded rules);
+  let elevator = Kb.rules (Zoo.Elevator.kb ()) in
+  Alcotest.(check bool) "Σ_v not guarded" false
+    (Rclasses.Guardedness.ruleset_guarded elevator)
+
+(* ------------------------------------------------------------------ *)
+(* Weak / joint acyclicity *)
+
+let test_weak_acyclicity () =
+  Alcotest.(check bool) "chain not WA" false
+    (Rclasses.Acyclicity.weakly_acyclic [ chain_rule () ]);
+  Alcotest.(check bool) "pair WA" true
+    (Rclasses.Acyclicity.weakly_acyclic (wa_pair ()));
+  let x = v "X" and y = v "Y" in
+  let datalog = rule [ atom "p" [ x; y ] ] [ atom "p" [ y; x ] ] in
+  Alcotest.(check bool) "datalog WA" true
+    (Rclasses.Acyclicity.weakly_acyclic [ datalog ])
+
+let test_joint_acyclicity_subsumes_wa () =
+  Alcotest.(check bool) "WA pair is JA" true
+    (Rclasses.Acyclicity.jointly_acyclic (wa_pair ()));
+  Alcotest.(check bool) "chain not JA" false
+    (Rclasses.Acyclicity.jointly_acyclic [ chain_rule () ])
+
+let test_joint_acyclicity_strictly_more () =
+  (* classic JA-but-not-WA: r: p(X) → ∃Z q(X,Z); s: q(X,Y) ∧ q(Y,X) → p(Y)?
+     Build one where a special cycle exists at position level but the
+     Ω-propagation is blocked because a frontier var occurs at both an
+     affected and an unaffected position. *)
+  let x = v "X" and z = v "Z" in
+  let r1 = rule ~name:"r1" [ atom "p" [ x ] ] [ atom "q" [ x; z ] ] in
+  let x2 = v "X" and y2 = v "Y" in
+  (* body q(Y,X) ∧ base(Y): Y occurs at q[0] (where nulls can be) AND at
+     base[0] (never affected): Y cannot be a null, so no new p-null feed *)
+  let r2 =
+    rule ~name:"r2"
+      [ atom "q" [ y2; x2 ]; atom "base" [ y2 ] ]
+      [ atom "p" [ y2 ] ]
+  in
+  (* WA: q[1] special; q[1]→? r2: frontier Y at q[0],base[0] → p[0]; X2 at
+     q[1] → not in head.  p[0] → q[0] ordinary, q[1] special.  Cycle
+     q[1]⇒? q[1] reachable from p[0]... special edge p[0]⇒q[1]; from q[1]:
+     r2's X2 at q[1] has no head occurrence → no outgoing: acyclic!  Make
+     the WA-cycle real: let r2 use X2 in the head instead. *)
+  let x3 = v "X" and y3 = v "Y" in
+  let r2' =
+    rule ~name:"r2'"
+      [ atom "q" [ y3; x3 ]; atom "base" [ x3 ] ]
+      [ atom "p" [ x3 ] ]
+  in
+  ignore r2;
+  let rules = [ r1; r2' ] in
+  Alcotest.(check bool) "not weakly acyclic" false
+    (Rclasses.Acyclicity.weakly_acyclic rules);
+  Alcotest.(check bool) "jointly acyclic" true
+    (Rclasses.Acyclicity.jointly_acyclic rules)
+
+let test_omega () =
+  let r1 = chain_rule () in
+  let z =
+    List.hd (Rule.existential_vars r1)
+  in
+  let om = Rclasses.Acyclicity.omega [ r1 ] z in
+  (* z lands at r[1], propagates through Y (only body position r[1]) to
+     r[0]: Ω(z) = {r[0], r[1]} *)
+  Alcotest.(check int) "Ω(z) has both positions" 2 (List.length om)
+
+(* ------------------------------------------------------------------ *)
+(* Dependencies *)
+
+let test_dependency_pred_level () =
+  let r1 = chain_rule () in
+  Alcotest.(check bool) "chain self-depends (pred)" true
+    (Rclasses.Dependency.may_depend_pred r1 ~on:r1);
+  let x = v "X" in
+  let other = rule [ atom "s" [ x ] ] [ atom "t" [ x ] ] in
+  Alcotest.(check bool) "disjoint preds don't depend" false
+    (Rclasses.Dependency.may_depend_pred other ~on:r1)
+
+let test_dependency_frozen () =
+  let r1 = chain_rule () in
+  Alcotest.(check bool) "chain self-depends (frozen)" true
+    (Rclasses.Dependency.depends_frozen r1 ~on:r1);
+  (* r: p(X,Y) → p(Y,X) twice does NOT re-trigger itself (the second
+     application is satisfied by symmetry) *)
+  let x = v "X" and y = v "Y" in
+  let sym = rule ~name:"sym" [ atom "p" [ x; y ] ] [ atom "p" [ y; x ] ] in
+  Alcotest.(check bool) "sym does not usefully self-depend" false
+    (Rclasses.Dependency.depends_frozen sym ~on:sym)
+
+let test_agrd () =
+  let x = v "X" and y = v "Y" and z = v "Z" in
+  let r1 = rule ~name:"a" [ atom "p" [ x ] ] [ atom "q" [ x; y ] ] in
+  let r2 = rule ~name:"b" [ atom "q" [ x; z ] ] [ atom "s" [ z ] ] in
+  Alcotest.(check bool) "p→q→s pipeline acyclic" true
+    (Rclasses.Dependency.agrd_sound [ r1; r2 ]);
+  Alcotest.(check bool) "chain cyclic" false
+    (Rclasses.Dependency.agrd_sound [ chain_rule () ])
+
+let test_dependency_graphs_consistent () =
+  (* frozen graph edges ⊆ predicate graph edges *)
+  let rules = Kb.rules (Zoo.Elevator.kb ()) in
+  let pg = Rclasses.Dependency.pred_graph rules in
+  let fg = Rclasses.Dependency.frozen_graph rules in
+  Alcotest.(check bool) "frozen ⊆ pred" true
+    (List.for_all (fun e -> List.mem e pg) fg)
+
+(* ------------------------------------------------------------------ *)
+(* Facade & agreement with chase behaviour *)
+
+let test_analyze_transitive_closure () =
+  let r = Rclasses.analyze (Kb.rules (Zoo.Classic.transitive_closure ())) in
+  Alcotest.(check bool) "datalog" true r.Rclasses.datalog;
+  Alcotest.(check bool) "fes certificate" true (Rclasses.implies_fes r);
+  Alcotest.(check bool) "core-bts certificate" true (Rclasses.implies_core_bts r)
+
+let test_analyze_bts_not_fes () =
+  let r = Rclasses.analyze (Kb.rules (Zoo.Classic.bts_not_fes ())) in
+  Alcotest.(check bool) "guarded" true r.Rclasses.guarded;
+  Alcotest.(check bool) "bts certificate" true (Rclasses.implies_bts r);
+  Alcotest.(check bool) "no fes certificate" false (Rclasses.implies_fes r)
+
+let test_analyze_guarded_ancestor () =
+  let r = Rclasses.analyze (Kb.rules (Zoo.Classic.guarded_ancestor ())) in
+  Alcotest.(check bool) "guarded" true r.Rclasses.guarded;
+  Alcotest.(check bool) "not weakly acyclic" false r.Rclasses.weakly_acyclic
+
+let test_syntactic_fes_matches_chase () =
+  (* every ruleset certified fes must have a terminating core chase on the
+     critical instance *)
+  List.iter
+    (fun (name, kb) ->
+      let report = Rclasses.analyze (Kb.rules kb) in
+      if Rclasses.implies_fes report then
+        match
+          Corechase.Probes.fes_probe
+            ~budget:{ Chase.Variants.max_steps = 500; max_atoms = 5000 }
+            (Kb.rules kb)
+        with
+        | Corechase.Probes.Terminates _ -> ()
+        | Corechase.Probes.No_verdict ->
+            Alcotest.failf "%s: fes certificate but chase did not terminate"
+              name)
+    (Zoo.Classic.all_named ())
+
+let test_paper_kbs_have_no_syntactic_certificate () =
+  (* the whole point of the paper: K_h and K_v escape the standard
+     syntactic classes *)
+  let rh = Rclasses.analyze (Kb.rules (Zoo.Staircase.kb ())) in
+  let rv = Rclasses.analyze (Kb.rules (Zoo.Elevator.kb ())) in
+  Alcotest.(check bool) "K_h: no fes certificate" false (Rclasses.implies_fes rh);
+  Alcotest.(check bool) "K_v: no fes certificate" false (Rclasses.implies_fes rv)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "rclasses.position",
+      [
+        tc "positions of var" test_positions_of_var;
+        tc "position graph edges" test_position_graph_edges;
+        tc "affected positions" test_affected_positions;
+        tc "datalog has none" test_affected_positions_datalog_empty;
+      ] );
+    ( "rclasses.guardedness",
+      [
+        tc "flags" test_guardedness_flags;
+        tc "weakly guarded datalog" test_weakly_guarded_datalog_trivially;
+        tc "paper rulesets" test_paper_rulesets_guardedness;
+      ] );
+    ( "rclasses.acyclicity",
+      [
+        tc "weak acyclicity" test_weak_acyclicity;
+        tc "JA subsumes WA" test_joint_acyclicity_subsumes_wa;
+        tc "JA strictly more" test_joint_acyclicity_strictly_more;
+        tc "omega" test_omega;
+      ] );
+    ( "rclasses.dependency",
+      [
+        tc "pred-level" test_dependency_pred_level;
+        tc "frozen" test_dependency_frozen;
+        tc "aGRD" test_agrd;
+        tc "graphs consistent" test_dependency_graphs_consistent;
+      ] );
+    ( "rclasses.facade",
+      [
+        tc "transitive closure" test_analyze_transitive_closure;
+        tc "bts-not-fes" test_analyze_bts_not_fes;
+        tc "guarded ancestor" test_analyze_guarded_ancestor;
+        tc "fes certificates terminate" test_syntactic_fes_matches_chase;
+        tc "paper KBs uncertified" test_paper_kbs_have_no_syntactic_certificate;
+      ] );
+  ]

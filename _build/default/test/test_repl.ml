@@ -1,0 +1,82 @@
+(* Tests for the interactive shell's command interpreter. *)
+
+let run script =
+  List.fold_left
+    (fun (st, outs) line ->
+      let st', out = Repl.exec st line in
+      (st', out :: outs))
+    (Repl.initial, []) script
+  |> fun (st, outs) -> (st, List.rev outs)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else if String.sub hay i nn = needle then true
+    else go (i + 1)
+  in
+  nn = 0 || go 0
+
+let kb_line = "kb p(a). [spawn] e(X,Y), p(Y) :- p(X). [loop] e(X,X) :- p(X)."
+
+let test_load_and_step () =
+  let _, outs = run [ kb_line; "step 2"; "show" ] in
+  Alcotest.(check bool) "load reports" true
+    (contains (List.nth outs 0) "1 facts, 2 rules");
+  Alcotest.(check bool) "step reports size" true
+    (contains (List.nth outs 1) "|F| = 2");
+  Alcotest.(check bool) "show prints atoms" true
+    (contains (List.nth outs 2) "p(a")
+
+let test_run_to_fixpoint () =
+  let _, outs = run [ kb_line; "run" ] in
+  Alcotest.(check bool) "fixpoint" true
+    (contains (List.nth outs 1) "fixpoint reached")
+
+let test_variant_switch_resets () =
+  let _, outs = run [ kb_line; "step 2"; "variant restricted"; "summary" ] in
+  Alcotest.(check bool) "reset noted" true
+    (contains (List.nth outs 2) "run reset");
+  Alcotest.(check bool) "summary shows only the init row" true
+    (contains (List.nth outs 3) "(init)")
+
+let test_query () =
+  let _, outs = run [ kb_line; "run"; "query e(U,U)" ] in
+  Alcotest.(check bool) "entailed" true
+    (contains (List.nth outs 2) "entailed")
+
+let test_errors_are_messages () =
+  let _, outs = run [ "step"; "kb this is ( not dlgp"; "frobnicate" ] in
+  Alcotest.(check bool) "no kb message" true
+    (contains (List.nth outs 0) "no knowledge base");
+  Alcotest.(check bool) "parse error reported" true
+    (contains (List.nth outs 1) "parse error");
+  Alcotest.(check bool) "unknown command help" true
+    (contains (List.nth outs 2) "unknown command")
+
+let test_quit () =
+  let st, _ = run [ "quit" ] in
+  Alcotest.(check bool) "exit flag" true (Repl.wants_exit st)
+
+let test_classify_and_robust () =
+  let _, outs = run [ kb_line; "run"; "classify"; "robust" ] in
+  Alcotest.(check bool) "classify prints flags" true
+    (contains (List.nth outs 2) "guarded");
+  Alcotest.(check bool) "robust invariants ok" true
+    (contains (List.nth outs 3) "invariants: ok")
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "repl",
+      [
+        tc "load & step & show" test_load_and_step;
+        tc "run to fixpoint" test_run_to_fixpoint;
+        tc "variant switch resets" test_variant_switch_resets;
+        tc "query" test_query;
+        tc "errors are messages" test_errors_are_messages;
+        tc "quit" test_quit;
+        tc "classify & robust" test_classify_and_robust;
+      ] );
+  ]

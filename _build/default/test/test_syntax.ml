@@ -1,0 +1,607 @@
+(* Tests for lib/syntax: terms, atoms, atomsets, substitutions, rules, KBs,
+   schema inference and the DLGP parser. *)
+
+open Syntax
+
+let x = Term.fresh_var ~hint:"X" ()
+let y = Term.fresh_var ~hint:"Y" ()
+let z = Term.fresh_var ~hint:"Z" ()
+let a = Term.const "a"
+let b = Term.const "b"
+
+let atom p args = Atom.make p args
+
+(* tiny substring helper (no external deps) *)
+module Astring_contains = struct
+  let contains haystack needle =
+    let nh = String.length haystack and nn = String.length needle in
+    let rec go i =
+      if i + nn > nh then false
+      else if String.sub haystack i nn = needle then true
+      else go (i + 1)
+    in
+    nn = 0 || go 0
+end
+
+let term : Term.t Alcotest.testable = Alcotest.testable Term.pp_debug Term.equal
+let atom_t : Atom.t Alcotest.testable = Alcotest.testable Atom.pp_debug Atom.equal
+let aset_t : Atomset.t Alcotest.testable =
+  Alcotest.testable Atomset.pp_verbose Atomset.equal
+let subst_t : Subst.t Alcotest.testable = Alcotest.testable Subst.pp_debug Subst.equal
+
+(* ------------------------------------------------------------------ *)
+(* Term tests *)
+
+let test_fresh_ranks_increase () =
+  let v1 = Term.fresh_var () and v2 = Term.fresh_var () in
+  Alcotest.(check bool) "strictly increasing ranks" true
+    (Term.rank v1 < Term.rank v2)
+
+let test_var_of_id_bumps_counter () =
+  let v = Term.var_of_id 1_000_000 in
+  let w = Term.fresh_var () in
+  Alcotest.(check bool) "fresh after var_of_id stays fresh" true
+    (Term.rank w > Term.rank v)
+
+let test_term_order_consts_before_vars () =
+  Alcotest.(check bool) "const < var" true (Term.compare a x < 0);
+  Alcotest.(check bool) "var > const" true (Term.compare x a > 0);
+  Alcotest.(check bool) "const order by name" true (Term.compare a b < 0)
+
+let test_rank_of_const_raises () =
+  Alcotest.check_raises "rank of const" (Invalid_argument "Term.rank: constant a")
+    (fun () -> ignore (Term.rank a))
+
+let test_var_identity_by_rank () =
+  let id = Term.rank x in
+  let x' = Term.var_of_id ~hint:"Other" id in
+  Alcotest.(check bool) "same rank, equal terms" true (Term.equal x x')
+
+(* ------------------------------------------------------------------ *)
+(* Atom tests *)
+
+let test_atom_accessors () =
+  let at = atom "p" [ x; a; x ] in
+  Alcotest.(check string) "pred" "p" (Atom.pred at);
+  Alcotest.(check int) "arity" 3 (Atom.arity at);
+  Alcotest.(check (list term)) "term_set dedups" [ a; x ] (Atom.term_set at);
+  Alcotest.(check (list term)) "vars" [ x ] (Atom.vars at);
+  Alcotest.(check (list term)) "consts" [ a ] (Atom.consts at)
+
+let test_atom_ground () =
+  Alcotest.(check bool) "ground" true (Atom.is_ground (atom "p" [ a; b ]));
+  Alcotest.(check bool) "nonground" false (Atom.is_ground (atom "p" [ a; x ]))
+
+let test_atom_compare_distinguishes () =
+  Alcotest.(check bool) "pred differs" true
+    (Atom.compare (atom "p" [ a ]) (atom "q" [ a ]) <> 0);
+  Alcotest.(check bool) "args differ" true
+    (Atom.compare (atom "p" [ a ]) (atom "p" [ b ]) <> 0);
+  Alcotest.(check atom_t) "equal atoms" (atom "p" [ a; x ]) (atom "p" [ a; x ])
+
+let test_nullary_atom () =
+  let at = atom "alive" [] in
+  Alcotest.(check int) "arity 0" 0 (Atom.arity at);
+  Alcotest.(check bool) "ground" true (Atom.is_ground at)
+
+(* ------------------------------------------------------------------ *)
+(* Atomset tests *)
+
+let test_atomset_set_semantics () =
+  let s = Atomset.of_list [ atom "p" [ a ]; atom "p" [ a ]; atom "q" [ b ] ] in
+  Alcotest.(check int) "duplicates collapse" 2 (Atomset.cardinal s)
+
+let test_atomset_terms_vars () =
+  let s = Atomset.of_list [ atom "p" [ x; a ]; atom "q" [ y; a ] ] in
+  Alcotest.(check (list term)) "terms" [ a; x; y ] (Atomset.terms s);
+  Alcotest.(check (list term)) "vars" [ x; y ] (Atomset.vars s);
+  Alcotest.(check (list term)) "consts" [ a ] (Atomset.consts s)
+
+let test_atomset_induced () =
+  let s =
+    Atomset.of_list [ atom "p" [ x; y ]; atom "p" [ y; z ]; atom "r" [ x ] ]
+  in
+  let sub = Atomset.induced [ x; y ] s in
+  Alcotest.(check aset_t) "induced keeps covered atoms"
+    (Atomset.of_list [ atom "p" [ x; y ]; atom "r" [ x ] ])
+    sub
+
+let test_atomset_without_term () =
+  let s = Atomset.of_list [ atom "p" [ x; y ]; atom "r" [ y ] ] in
+  Alcotest.(check aset_t) "drop atoms containing x"
+    (Atomset.of_list [ atom "r" [ y ] ])
+    (Atomset.without_term x s)
+
+let test_atomset_preds () =
+  let s = Atomset.of_list [ atom "p" [ x; y ]; atom "p" [ y; z ]; atom "r" [ x ] ] in
+  Alcotest.(check (list (pair string int))) "preds" [ ("p", 2); ("r", 1) ]
+    (Atomset.preds s)
+
+let test_atoms_with_term () =
+  let s = Atomset.of_list [ atom "p" [ x; y ]; atom "r" [ y ]; atom "r" [ a ] ] in
+  Alcotest.(check int) "two atoms with y" 2
+    (List.length (Atomset.atoms_with_term y s))
+
+(* ------------------------------------------------------------------ *)
+(* Substitution tests *)
+
+let test_subst_apply () =
+  let s = Subst.of_list [ (x, a); (y, z) ] in
+  Alcotest.(check term) "x->a" a (Subst.apply_term s x);
+  Alcotest.(check term) "y->z" z (Subst.apply_term s y);
+  Alcotest.(check term) "z unbound" z (Subst.apply_term s z);
+  Alcotest.(check term) "const fixed" b (Subst.apply_term s b);
+  Alcotest.(check atom_t) "atom image" (atom "p" [ a; z ])
+    (Subst.apply_atom s (atom "p" [ x; y ]))
+
+let test_subst_compose_paper_def () =
+  (* σ' • σ maps Y ↦ σ'⁺(σ⁺(Y)) on dom σ ∪ dom σ'. *)
+  let s = Subst.of_list [ (x, y) ] in
+  let s' = Subst.of_list [ (y, a); (z, b) ] in
+  let c = Subst.compose s' s in
+  Alcotest.(check term) "x through both" a (Subst.apply_term c x);
+  Alcotest.(check term) "y via s'" a (Subst.apply_term c y);
+  Alcotest.(check term) "z via s'" b (Subst.apply_term c z)
+
+let test_subst_compose_priority () =
+  (* If x ∈ dom σ, the composite must use σ'⁺(σ⁺(x)), not σ'(x). *)
+  let s = Subst.of_list [ (x, a) ] in
+  let s' = Subst.of_list [ (x, b) ] in
+  let c = Subst.compose s' s in
+  Alcotest.(check term) "x goes through s first" a (Subst.apply_term c x)
+
+let test_subst_compatible () =
+  let s1 = Subst.of_list [ (x, a); (y, b) ] in
+  let s2 = Subst.of_list [ (y, b); (z, a) ] in
+  let s3 = Subst.of_list [ (y, a) ] in
+  Alcotest.(check bool) "compatible" true (Subst.compatible s1 s2);
+  Alcotest.(check bool) "incompatible" false (Subst.compatible s1 s3);
+  Alcotest.(check bool) "merge works" true
+    (match Subst.merge s1 s2 with Some _ -> true | None -> false);
+  Alcotest.(check (option subst_t)) "merge fails" None (Subst.merge s1 s3)
+
+let test_subst_retraction_predicate () =
+  (* σ : x ↦ y on {p(x,y), p(y,y)} is a retraction: image is {p(y,y)} and σ
+     is the identity on y. *)
+  let s = Subst.of_list [ (x, y) ] in
+  let aset = Atomset.of_list [ atom "p" [ x; y ]; atom "p" [ y; y ] ] in
+  Alcotest.(check bool) "endo" true (Subst.is_endomorphism_of aset s);
+  Alcotest.(check bool) "retraction" true (Subst.is_retraction_of aset s);
+  (* σ' : x ↦ y, y ↦ x is an endomorphism (automorphism) but not a
+     retraction on a symmetric instance. *)
+  let sym = Atomset.of_list [ atom "p" [ x; y ]; atom "p" [ y; x ] ] in
+  let swap = Subst.of_list [ (x, y); (y, x) ] in
+  Alcotest.(check bool) "swap endo" true (Subst.is_endomorphism_of sym swap);
+  Alcotest.(check bool) "swap not retraction" false
+    (Subst.is_retraction_of sym swap)
+
+let test_subst_inverse () =
+  let swap = Subst.of_list [ (x, y); (y, x) ] in
+  match Subst.inverse_on [ x; y ] swap with
+  | None -> Alcotest.fail "swap must be invertible"
+  | Some inv ->
+      Alcotest.(check term) "inv y = x" x (Subst.apply_term inv y);
+      Alcotest.(check term) "inv x = y" y (Subst.apply_term inv x)
+
+let test_subst_inverse_fails_on_collapse () =
+  let s = Subst.of_list [ (x, a); (y, a) ] in
+  Alcotest.(check (option subst_t)) "not injective" None
+    (Subst.inverse_on [ x; y ] s)
+
+let test_subst_restrict () =
+  let s = Subst.of_list [ (x, a); (y, b) ] in
+  let r = Subst.restrict [ x ] s in
+  Alcotest.(check (list term)) "domain" [ x ] (Subst.domain r)
+
+let test_subst_of_list_conflict () =
+  Alcotest.check_raises "conflicting bindings"
+    (Invalid_argument "Subst.of_list: conflicting bindings") (fun () ->
+      ignore (Subst.of_list [ (x, a); (x, b) ]))
+
+(* ------------------------------------------------------------------ *)
+(* Rule tests *)
+
+let test_rule_var_classification () =
+  (* p(x,y) -> q(y,z): universal {x,y}, frontier {y}, existential {z}. *)
+  let r = Rule.make ~body:[ atom "p" [ x; y ] ] ~head:[ atom "q" [ y; z ] ] () in
+  Alcotest.(check (list term)) "universal" [ x; y ] (Rule.universal_vars r);
+  Alcotest.(check (list term)) "frontier" [ y ] (Rule.frontier r);
+  Alcotest.(check (list term)) "existential" [ z ] (Rule.existential_vars r);
+  Alcotest.(check (list term)) "body-only" [ x ]
+    (Rule.nonfrontier_universal_vars r);
+  Alcotest.(check bool) "not datalog" false (Rule.is_datalog r)
+
+let test_rule_datalog () =
+  let r = Rule.make ~body:[ atom "p" [ x; y ] ] ~head:[ atom "p" [ y; x ] ] () in
+  Alcotest.(check bool) "datalog" true (Rule.is_datalog r);
+  Alcotest.(check (list term)) "no existentials" [] (Rule.existential_vars r)
+
+let test_rule_empty_rejected () =
+  Alcotest.check_raises "empty body" (Invalid_argument "Rule.make: empty body")
+    (fun () -> ignore (Rule.make ~body:[] ~head:[ atom "p" [ a ] ] ()))
+
+let test_rule_rename_apart () =
+  let r = Rule.make ~name:"r" ~body:[ atom "p" [ x; y ] ] ~head:[ atom "q" [ y; z ] ] () in
+  let r' = Rule.rename_apart r in
+  Alcotest.(check string) "name kept" "r" (Rule.name r');
+  let shared =
+    List.filter (fun v -> List.exists (Term.equal v) (Rule.vars r)) (Rule.vars r')
+  in
+  Alcotest.(check (list term)) "no shared variables" [] shared;
+  Alcotest.(check int) "same frontier size" 1 (List.length (Rule.frontier r'))
+
+(* ------------------------------------------------------------------ *)
+(* KB and schema tests *)
+
+let test_kb_preds_consts () =
+  let kb =
+    Kb.of_lists
+      ~facts:[ atom "p" [ a; b ] ]
+      ~rules:[ Rule.make ~body:[ atom "p" [ x; y ] ] ~head:[ atom "q" [ y ] ] () ]
+  in
+  Alcotest.(check (list (pair string int))) "preds" [ ("p", 2); ("q", 1) ]
+    (Kb.preds kb);
+  Alcotest.(check (list term)) "consts" [ a; b ] (Kb.consts kb)
+
+let test_schema_inference_ok () =
+  let s = Atomset.of_list [ atom "p" [ a; b ]; atom "q" [ a ] ] in
+  match Schema.of_atomset s with
+  | Error m -> Alcotest.fail m
+  | Ok sch ->
+      Alcotest.(check (option int)) "arity p" (Some 2) (Schema.arity "p" sch);
+      Alcotest.(check (option int)) "arity q" (Some 1) (Schema.arity "q" sch)
+
+let test_schema_inference_conflict () =
+  let s = Atomset.of_list [ atom "p" [ a; b ]; atom "p" [ a ] ] in
+  match Schema.of_atomset s with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "arity conflict must be detected"
+
+let test_schema_check_rule () =
+  let sch = Schema.(declare "p" 2 (declare "q" 1 empty)) in
+  let good = Rule.make ~body:[ atom "p" [ x; y ] ] ~head:[ atom "q" [ y ] ] () in
+  let bad = Rule.make ~body:[ atom "p" [ x ] ] ~head:[ atom "q" [ x ] ] () in
+  Alcotest.(check bool) "good rule" true
+    (Result.is_ok (Schema.check_rule sch good));
+  Alcotest.(check bool) "bad rule" false
+    (Result.is_ok (Schema.check_rule sch bad))
+
+let test_query_well_formed () =
+  let kb = Kb.of_lists ~facts:[ atom "p" [ a; b ] ] ~rules:[] in
+  let q_ok = Kb.Query.make [ atom "p" [ x; y ] ] in
+  let q_bad = Kb.Query.make [ atom "p" [ x ] ] in
+  Alcotest.(check bool) "ok" true (Kb.Query.well_formed kb q_ok);
+  Alcotest.(check bool) "bad" false (Kb.Query.well_formed kb q_bad)
+
+(* ------------------------------------------------------------------ *)
+(* DLGP parser tests *)
+
+let parse_ok src =
+  match Dlgp.parse_string src with
+  | Ok d -> d
+  | Error e -> Alcotest.failf "unexpected %a" Dlgp.pp_error e
+
+let test_dlgp_facts () =
+  let d = parse_ok "p(a,b). q(b)." in
+  Alcotest.(check int) "two facts" 2 (Atomset.cardinal d.Dlgp.facts);
+  Alcotest.(check bool) "p(a,b) present" true
+    (Atomset.mem (atom "p" [ a; b ]) d.Dlgp.facts)
+
+let test_dlgp_fact_conjunction () =
+  let d = parse_ok "p(a,b), q(b)." in
+  Alcotest.(check int) "conjunction splits" 2 (Atomset.cardinal d.Dlgp.facts)
+
+let test_dlgp_rule () =
+  let d = parse_ok "[r1] q(Y,Z) :- p(X,Y)." in
+  match d.Dlgp.rules with
+  | [ r ] ->
+      Alcotest.(check string) "label" "r1" (Rule.name r);
+      Alcotest.(check int) "one body atom" 1 (Atomset.cardinal (Rule.body r));
+      Alcotest.(check int) "1 existential" 1
+        (List.length (Rule.existential_vars r));
+      Alcotest.(check int) "1 frontier" 1 (List.length (Rule.frontier r))
+  | _ -> Alcotest.fail "expected one rule"
+
+let test_dlgp_variable_scope_per_statement () =
+  let d = parse_ok "[r1] q(X) :- p(X). [r2] p(X) :- q(X)." in
+  match d.Dlgp.rules with
+  | [ r1; r2 ] ->
+      let v1 = Atomset.vars (Rule.body r1) and v2 = Atomset.vars (Rule.body r2) in
+      let shared = List.filter (fun v -> List.exists (Term.equal v) v2) v1 in
+      Alcotest.(check (list term)) "X not shared across statements" [] shared
+  | _ -> Alcotest.fail "expected two rules"
+
+let test_dlgp_query () =
+  let d = parse_ok "?(X) :- p(X,Y), q(Y)." in
+  match d.Dlgp.queries with
+  | [ q ] ->
+      Alcotest.(check int) "two atoms" 2 (Atomset.cardinal (Kb.Query.atoms q));
+      Alcotest.(check int) "one answer variable" 1
+        (List.length (Kb.Query.answer_vars q));
+      Alcotest.(check bool) "answer var occurs in atoms" true
+        (let av = List.hd (Kb.Query.answer_vars q) in
+         List.exists (Term.equal av) (Kb.Query.vars q))
+  | _ -> Alcotest.fail "expected one query"
+
+let test_dlgp_constraint () =
+  let d = parse_ok "! :- p(X,X)." in
+  Alcotest.(check int) "one constraint" 1 (List.length d.Dlgp.constraints);
+  Alcotest.(check int) "no queries" 0 (List.length d.Dlgp.queries)
+
+let test_dlgp_answer_constants_ignored () =
+  let d = parse_ok "?(X, a) :- p(X, a)." in
+  match d.Dlgp.queries with
+  | [ q ] ->
+      Alcotest.(check int) "only the variable is distinguished" 1
+        (List.length (Kb.Query.answer_vars q))
+  | _ -> Alcotest.fail "expected one query"
+
+let test_dlgp_boolean_query () =
+  let d = parse_ok "? :- p(X,X)." in
+  Alcotest.(check int) "one query" 1 (List.length d.Dlgp.queries)
+
+let test_dlgp_comments_sections () =
+  let d =
+    parse_ok "% a comment\n@facts\np(a). % trailing\n@rules\n[r] q(X) :- p(X)."
+  in
+  Alcotest.(check int) "fact" 1 (Atomset.cardinal d.Dlgp.facts);
+  Alcotest.(check int) "rule" 1 (List.length d.Dlgp.rules)
+
+let test_dlgp_quoted_and_iri_constants () =
+  let d = parse_ok "p(\"hello world\", <http://ex.org/a>)." in
+  Alcotest.(check bool) "quoted const" true
+    (Atomset.mem
+       (atom "p" [ Term.const "hello world"; Term.const "http://ex.org/a" ])
+       d.Dlgp.facts)
+
+let test_dlgp_propositional_atom () =
+  let d = parse_ok "alive. [r] dead :- alive." in
+  Alcotest.(check bool) "nullary fact" true
+    (Atomset.mem (atom "alive" []) d.Dlgp.facts)
+
+let test_dlgp_error_position () =
+  match Dlgp.parse_string "p(a,\n  ;b)." with
+  | Ok _ -> Alcotest.fail "must fail"
+  | Error e ->
+      Alcotest.(check int) "line" 2 e.Dlgp.line;
+      Alcotest.(check bool) "col sane" true (e.Dlgp.col >= 1)
+
+let test_dlgp_unterminated () =
+  match Dlgp.parse_string "p(a" with
+  | Ok _ -> Alcotest.fail "must fail"
+  | Error _ -> ()
+
+let test_dlgp_roundtrip () =
+  let src = "p(a,b). [r1] q(Y,Z) :- p(X,Y). ? :- q(X,Y)." in
+  let d = parse_ok src in
+  let printed = Fmt.str "%a" Dlgp.print_document d in
+  let d' = parse_ok printed in
+  Alcotest.(check aset_t) "facts roundtrip" d.Dlgp.facts d'.Dlgp.facts;
+  Alcotest.(check int) "rules roundtrip" (List.length d.Dlgp.rules)
+    (List.length d'.Dlgp.rules);
+  Alcotest.(check int) "queries roundtrip" (List.length d.Dlgp.queries)
+    (List.length d'.Dlgp.queries)
+
+(* ------------------------------------------------------------------ *)
+(* FOL / TPTP tests *)
+
+let test_fol_rule_structure () =
+  let r = Rule.make ~body:[ atom "p" [ x; y ] ] ~head:[ atom "q" [ y; z ] ] () in
+  match Fol.of_rule r with
+  | Fol.Forall (univ, Fol.Implies (_, Fol.Exists (ex, _))) ->
+      Alcotest.(check int) "2 universal" 2 (List.length univ);
+      Alcotest.(check int) "1 existential" 1 (List.length ex)
+  | _ -> Alcotest.fail "unexpected formula shape"
+
+let test_fol_sentences_closed () =
+  let r = Rule.make ~body:[ atom "p" [ x; y ] ] ~head:[ atom "q" [ y; z ] ] () in
+  Alcotest.(check bool) "rule sentence closed" true (Fol.is_sentence (Fol.of_rule r));
+  let aset = Atomset.of_list [ atom "p" [ x; a ] ] in
+  Alcotest.(check bool) "atomset closure closed" true
+    (Fol.is_sentence (Fol.of_atomset aset));
+  Alcotest.(check bool) "bare atom open" false (Fol.is_sentence (Fol.Atom (atom "p" [ x ])))
+
+let test_fol_free_vars () =
+  let f = Fol.And [ Fol.Atom (atom "p" [ x; y ]); Fol.Exists ([ y ], Fol.Atom (atom "q" [ y; z ])) ] in
+  Alcotest.(check (list term)) "free = {x,y,z} minus bound y in 2nd conjunct"
+    [ x; y; z ] (Fol.free_vars f)
+
+let test_fol_pp () =
+  let r = Rule.make ~body:[ atom "p" [ x ] ] ~head:[ atom "q" [ x; z ] ] () in
+  let s = Fmt.str "%a" Fol.pp (Fol.of_rule r) in
+  Alcotest.(check bool) "has ∀" true (String.length s > 0 && Astring_contains.contains s "\xe2\x88\x80");
+  Alcotest.(check bool) "has →" true (Astring_contains.contains s "\xe2\x86\x92")
+
+let test_fol_tptp_problem () =
+  let kb =
+    Kb.of_lists
+      ~facts:[ atom "p" [ Term.const "A-strange name" ] ]
+      ~rules:[ Rule.make ~name:"r" ~body:[ atom "p" [ x ] ] ~head:[ atom "q" [ x; z ] ] () ]
+  in
+  let q = Kb.Query.make [ atom "q" [ y; z ] ] in
+  let s = Fol.tptp_problem kb q in
+  Alcotest.(check bool) "has axioms" true (Astring_contains.contains s "axiom");
+  Alcotest.(check bool) "has conjecture" true (Astring_contains.contains s "conjecture");
+  Alcotest.(check bool) "constant sanitised" true
+    (Astring_contains.contains s "a_strange_name");
+  Alcotest.(check bool) "fof wrappers" true (Astring_contains.contains s "fof(");
+  Alcotest.(check bool) "no raw spaces in constants" false
+    (Astring_contains.contains s "A-strange")
+
+let test_fol_empty_connectives () =
+  Alcotest.(check string) "⊤" "⊤" (Fmt.str "%a" Fol.pp (Fol.And []));
+  Alcotest.(check string) "$true" "$true" (Fmt.str "%a" Fol.pp_tptp (Fol.And []));
+  Alcotest.(check string) "$false" "$false" (Fmt.str "%a" Fol.pp_tptp (Fol.Or []))
+
+(* ------------------------------------------------------------------ *)
+(* Property-based tests *)
+
+let gen_term : Term.t QCheck.arbitrary =
+  QCheck.make ~print:(Fmt.to_to_string Term.pp_debug)
+    QCheck.Gen.(
+      oneof
+        [
+          map (fun i -> Term.const ("c" ^ string_of_int i)) (int_bound 5);
+          map (fun i -> Term.var_of_id ~hint:"Q" (i + 500)) (int_bound 8);
+        ])
+
+let gen_atom : Atom.t QCheck.arbitrary =
+  QCheck.make ~print:(Fmt.to_to_string Atom.pp_debug)
+    QCheck.Gen.(
+      let* p = oneofl [ "p"; "q"; "r" ] in
+      let* n = int_range 1 3 in
+      let* args = list_size (return n) (QCheck.gen gen_term) in
+      return (Atom.make p args))
+
+let gen_atomset : Atomset.t QCheck.arbitrary =
+  QCheck.make ~print:(Fmt.to_to_string Atomset.pp_verbose)
+    QCheck.Gen.(
+      map Atomset.of_list (list_size (int_bound 12) (QCheck.gen gen_atom)))
+
+let gen_subst : Subst.t QCheck.arbitrary =
+  QCheck.make ~print:(Fmt.to_to_string Subst.pp_debug)
+    QCheck.Gen.(
+      let* pairs =
+        list_size (int_bound 6)
+          (pair (map (fun i -> Term.var_of_id ~hint:"Q" (i + 500)) (int_bound 8))
+             (QCheck.gen gen_term))
+      in
+      return
+        (List.fold_left (fun s (v, t) -> Subst.add v t s) Subst.empty pairs))
+
+let prop_compose_is_sequential_application =
+  QCheck.Test.make ~name:"(s' • s)(t) = s'(s(t))" ~count:300
+    (QCheck.triple gen_subst gen_subst gen_term)
+    (fun (s', s, t) ->
+      Term.equal
+        (Subst.apply_term (Subst.compose s' s) t)
+        (Subst.apply_term s' (Subst.apply_term s t)))
+
+let prop_apply_distributes_over_union =
+  QCheck.Test.make ~name:"σ(A ∪ B) = σ(A) ∪ σ(B)" ~count:200
+    (QCheck.triple gen_subst gen_atomset gen_atomset)
+    (fun (s, a1, a2) ->
+      Atomset.equal
+        (Subst.apply s (Atomset.union a1 a2))
+        (Atomset.union (Subst.apply s a1) (Subst.apply s a2)))
+
+let prop_induced_is_subset =
+  QCheck.Test.make ~name:"induced substructure ⊆ original" ~count:200
+    gen_atomset (fun s ->
+      let ts = Atomset.terms s in
+      let half = List.filteri (fun i _ -> i mod 2 = 0) ts in
+      Atomset.subset (Atomset.induced half s) s)
+
+let prop_identity_subst_is_retraction =
+  QCheck.Test.make ~name:"empty substitution is a retraction of any atomset"
+    ~count:100 gen_atomset (fun s -> Subst.is_retraction_of s Subst.empty)
+
+let prop_atomset_cardinal_union =
+  QCheck.Test.make ~name:"|A ∪ B| ≤ |A| + |B|" ~count:200
+    (QCheck.pair gen_atomset gen_atomset) (fun (a, b) ->
+      Atomset.cardinal (Atomset.union a b)
+      <= Atomset.cardinal a + Atomset.cardinal b)
+
+let prop_subst_restrict_domain =
+  QCheck.Test.make ~name:"restrict shrinks domain" ~count:200 gen_subst
+    (fun s ->
+      match Subst.domain s with
+      | [] -> true
+      | v :: _ ->
+          let r = Subst.restrict [ v ] s in
+          Subst.cardinal r <= 1 && Subst.mem v r)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_compose_is_sequential_application;
+      prop_apply_distributes_over_union;
+      prop_induced_is_subset;
+      prop_identity_subst_is_retraction;
+      prop_atomset_cardinal_union;
+      prop_subst_restrict_domain;
+    ]
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "syntax.term",
+      [
+        tc "fresh ranks increase" test_fresh_ranks_increase;
+        tc "var_of_id bumps counter" test_var_of_id_bumps_counter;
+        tc "consts before vars" test_term_order_consts_before_vars;
+        tc "rank of const raises" test_rank_of_const_raises;
+        tc "var identity by rank" test_var_identity_by_rank;
+      ] );
+    ( "syntax.atom",
+      [
+        tc "accessors" test_atom_accessors;
+        tc "groundness" test_atom_ground;
+        tc "compare" test_atom_compare_distinguishes;
+        tc "nullary" test_nullary_atom;
+      ] );
+    ( "syntax.atomset",
+      [
+        tc "set semantics" test_atomset_set_semantics;
+        tc "terms/vars/consts" test_atomset_terms_vars;
+        tc "induced substructure" test_atomset_induced;
+        tc "without_term" test_atomset_without_term;
+        tc "preds" test_atomset_preds;
+        tc "atoms_with_term" test_atoms_with_term;
+      ] );
+    ( "syntax.subst",
+      [
+        tc "apply" test_subst_apply;
+        tc "compose per Definition" test_subst_compose_paper_def;
+        tc "compose priority" test_subst_compose_priority;
+        tc "compatibility & merge" test_subst_compatible;
+        tc "retraction predicate" test_subst_retraction_predicate;
+        tc "inverse of automorphism" test_subst_inverse;
+        tc "inverse fails on collapse" test_subst_inverse_fails_on_collapse;
+        tc "restrict" test_subst_restrict;
+        tc "of_list conflict" test_subst_of_list_conflict;
+      ] );
+    ( "syntax.rule",
+      [
+        tc "variable classification" test_rule_var_classification;
+        tc "datalog" test_rule_datalog;
+        tc "empty body rejected" test_rule_empty_rejected;
+        tc "rename_apart" test_rule_rename_apart;
+      ] );
+    ( "syntax.kb",
+      [
+        tc "preds & consts" test_kb_preds_consts;
+        tc "schema inference ok" test_schema_inference_ok;
+        tc "schema arity conflict" test_schema_inference_conflict;
+        tc "schema rule check" test_schema_check_rule;
+        tc "query well-formedness" test_query_well_formed;
+      ] );
+    ( "syntax.dlgp",
+      [
+        tc "facts" test_dlgp_facts;
+        tc "fact conjunction" test_dlgp_fact_conjunction;
+        tc "labelled rule" test_dlgp_rule;
+        tc "per-statement scope" test_dlgp_variable_scope_per_statement;
+        tc "query with answer vars" test_dlgp_query;
+        tc "negative constraint" test_dlgp_constraint;
+        tc "answer constants ignored" test_dlgp_answer_constants_ignored;
+        tc "boolean query" test_dlgp_boolean_query;
+        tc "comments & sections" test_dlgp_comments_sections;
+        tc "quoted & IRI constants" test_dlgp_quoted_and_iri_constants;
+        tc "propositional atoms" test_dlgp_propositional_atom;
+        tc "error position" test_dlgp_error_position;
+        tc "unterminated input" test_dlgp_unterminated;
+        tc "roundtrip" test_dlgp_roundtrip;
+      ] );
+    ( "syntax.fol",
+      [
+        tc "rule quantifier structure" test_fol_rule_structure;
+        tc "sentences closed" test_fol_sentences_closed;
+        tc "free variables" test_fol_free_vars;
+        tc "pretty printing" test_fol_pp;
+        tc "tptp problem" test_fol_tptp_problem;
+        tc "empty connectives" test_fol_empty_connectives;
+      ] );
+    ("syntax.properties", qcheck_cases);
+  ]

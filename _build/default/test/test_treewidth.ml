@@ -1,0 +1,589 @@
+(* Tests for lib/treewidth: graphs, decompositions, elimination orders,
+   exact treewidth, lower bounds, grid detection (Definition 5 / Fact 2). *)
+
+open Syntax
+module TW = Treewidth
+
+let atom p args = Atom.make p args
+let aset = Atomset.of_list
+
+(* graph builders *)
+let path_graph n = TW.Graph.of_edges n (List.init (n - 1) (fun i -> (i, i + 1)))
+
+let cycle_graph n =
+  TW.Graph.of_edges n ((n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)))
+
+let complete_graph n =
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      edges := (i, j) :: !edges
+    done
+  done;
+  TW.Graph.of_edges n !edges
+
+let grid_graph n =
+  (* n×n grid, vertex (i,j) = i*n+j *)
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i + 1 < n then edges := ((i * n) + j, ((i + 1) * n) + j) :: !edges;
+      if j + 1 < n then edges := ((i * n) + j, (i * n) + j + 1) :: !edges
+    done
+  done;
+  TW.Graph.of_edges (n * n) !edges
+
+(* atomset builders *)
+let path_atomset n =
+  let v = Array.init (n + 1) (fun i -> Term.fresh_var ~hint:(Printf.sprintf "P%d" i) ()) in
+  aset (List.init n (fun i -> atom "e" [ v.(i); v.(i + 1) ]))
+
+let grid_atomset n =
+  let v =
+    Array.init n (fun i ->
+        Array.init n (fun j ->
+            Term.fresh_var ~hint:(Printf.sprintf "G%d_%d" i j) ()))
+  in
+  let atoms = ref [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i + 1 < n then atoms := atom "h" [ v.(i).(j); v.(i + 1).(j) ] :: !atoms;
+      if j + 1 < n then atoms := atom "v" [ v.(i).(j); v.(i).(j + 1) ] :: !atoms
+    done
+  done;
+  (v, aset !atoms)
+
+(* ------------------------------------------------------------------ *)
+(* Graph tests *)
+
+let test_graph_basics () =
+  let g = TW.Graph.create 3 in
+  TW.Graph.add_edge g 0 1;
+  TW.Graph.add_edge g 1 0;
+  (* idempotent *)
+  TW.Graph.add_edge g 1 1;
+  (* self-loop ignored *)
+  Alcotest.(check int) "edge count" 1 (TW.Graph.edge_count g);
+  Alcotest.(check bool) "has edge" true (TW.Graph.has_edge g 0 1);
+  Alcotest.(check bool) "symmetric" true (TW.Graph.has_edge g 1 0);
+  Alcotest.(check (list int)) "neighbors" [ 1 ] (TW.Graph.neighbors g 0);
+  Alcotest.(check int) "degree isolated" 0 (TW.Graph.degree g 2)
+
+let test_graph_out_of_range () =
+  let g = TW.Graph.create 2 in
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Graph: vertex out of range") (fun () ->
+      TW.Graph.add_edge g 0 5)
+
+let test_graph_components () =
+  let g = TW.Graph.of_edges 5 [ (0, 1); (1, 2); (3, 4) ] in
+  Alcotest.(check int) "two components" 2
+    (List.length (TW.Graph.connected_components g))
+
+let test_graph_is_clique () =
+  let g = complete_graph 4 in
+  Alcotest.(check bool) "K4 clique" true (TW.Graph.is_clique g [ 0; 1; 2; 3 ]);
+  let p = path_graph 4 in
+  Alcotest.(check bool) "path not clique" false (TW.Graph.is_clique p [ 0; 1; 2 ])
+
+(* ------------------------------------------------------------------ *)
+(* Primal graph tests *)
+
+let test_primal_of_atomset () =
+  let x = Term.fresh_var ~hint:"X" () and y = Term.fresh_var ~hint:"Y" ()
+  and z = Term.fresh_var ~hint:"Z" () in
+  let p = TW.Primal.of_atomset (aset [ atom "t" [ x; y; z ] ]) in
+  Alcotest.(check int) "3 vertices" 3 (TW.Graph.vertex_count p.TW.Primal.graph);
+  Alcotest.(check int) "triangle" 3 (TW.Graph.edge_count p.TW.Primal.graph)
+
+let test_primal_term_roundtrip () =
+  let x = Term.fresh_var ~hint:"X" () and y = Term.fresh_var ~hint:"Y" () in
+  let p = TW.Primal.of_atomset (aset [ atom "e" [ x; y ] ]) in
+  (match TW.Primal.vertex_of_term p x with
+  | Some v ->
+      Alcotest.(check bool) "roundtrip" true
+        (Term.equal (TW.Primal.term_of_vertex p v) x)
+  | None -> Alcotest.fail "x must be a vertex");
+  Alcotest.(check bool) "missing term" true
+    (TW.Primal.vertex_of_term p (Term.const "zz") = None)
+
+(* ------------------------------------------------------------------ *)
+(* Decomposition tests *)
+
+let test_decomposition_trivial_valid () =
+  let a = path_atomset 4 in
+  let d = TW.Decomposition.trivial a in
+  Alcotest.(check bool) "trivial is valid" true (TW.Decomposition.is_valid a d);
+  Alcotest.(check int) "width = n_terms - 1" 4 (TW.Decomposition.width d)
+
+let test_decomposition_width_empty () =
+  let d = { TW.Decomposition.bags = [||]; edges = [] } in
+  Alcotest.(check int) "empty width" (-1) (TW.Decomposition.width d)
+
+let test_decomposition_invalid_cycle () =
+  let a = path_atomset 2 in
+  let ts = Atomset.terms a in
+  let d =
+    { TW.Decomposition.bags = [| ts; ts; ts |]; edges = [ (0, 1); (1, 2); (2, 0) ] }
+  in
+  Alcotest.(check bool) "cyclic edges rejected" false (TW.Decomposition.is_tree d)
+
+let test_decomposition_connectivity_violation () =
+  (* term x in bags 0 and 2, not in bag 1, path 0-1-2: violates (ii). *)
+  let x = Term.fresh_var ~hint:"X" () and y = Term.fresh_var ~hint:"Y" ()
+  and z = Term.fresh_var ~hint:"Z" () in
+  let d =
+    {
+      TW.Decomposition.bags = [| [ x; y ]; [ y; z ]; [ x; z ] |];
+      edges = [ (0, 1); (1, 2) ];
+    }
+  in
+  Alcotest.(check bool) "disconnected occurrence" false (TW.Decomposition.connected d)
+
+let test_decomposition_cover_violation () =
+  let x = Term.fresh_var ~hint:"X" () and y = Term.fresh_var ~hint:"Y" () in
+  let a = aset [ atom "e" [ x; y ] ] in
+  let d = { TW.Decomposition.bags = [| [ x ]; [ y ] |]; edges = [ (0, 1) ] } in
+  Alcotest.(check bool) "atom not covered" false (TW.Decomposition.covers a d)
+
+(* ------------------------------------------------------------------ *)
+(* Elimination tests *)
+
+let test_width_of_order_path () =
+  let g = path_graph 5 in
+  let order = [| 0; 1; 2; 3; 4 |] in
+  Alcotest.(check int) "path order width 1" 1
+    (TW.Elimination.width_of_order g order)
+
+let test_width_of_order_bad_order_on_path () =
+  (* eliminating the middle of a 3-path first costs 2 *)
+  let g = path_graph 3 in
+  Alcotest.(check int) "bad order" 2
+    (TW.Elimination.width_of_order g [| 1; 0; 2 |])
+
+let test_min_degree_on_cycle () =
+  let g = cycle_graph 6 in
+  let order = TW.Elimination.min_degree_order g in
+  Alcotest.(check int) "cycle width 2" 2 (TW.Elimination.width_of_order g order)
+
+let test_min_fill_on_clique () =
+  let g = complete_graph 4 in
+  let order = TW.Elimination.min_fill_order g in
+  Alcotest.(check int) "K4 width 3" 3 (TW.Elimination.width_of_order g order)
+
+let test_decomposition_of_order_valid () =
+  let a = snd (grid_atomset 3) in
+  let p = TW.Primal.of_atomset a in
+  let order = TW.Elimination.min_fill_order p.TW.Primal.graph in
+  let d = TW.Elimination.decomposition_of_order p order in
+  Alcotest.(check bool) "induced decomposition valid" true
+    (TW.Decomposition.is_valid a d);
+  Alcotest.(check int) "width matches simulation"
+    (TW.Elimination.width_of_order p.TW.Primal.graph order)
+    (TW.Decomposition.width d)
+
+(* ------------------------------------------------------------------ *)
+(* Exact treewidth tests *)
+
+let test_exact_known_values () =
+  Alcotest.(check int) "empty" (-1) (TW.Exact.treewidth (TW.Graph.create 0));
+  Alcotest.(check int) "isolated vertices" 0
+    (TW.Exact.treewidth (TW.Graph.create 4));
+  Alcotest.(check int) "path" 1 (TW.Exact.treewidth (path_graph 6));
+  Alcotest.(check int) "cycle" 2 (TW.Exact.treewidth (cycle_graph 7));
+  Alcotest.(check int) "K5" 4 (TW.Exact.treewidth (complete_graph 5));
+  Alcotest.(check int) "3x3 grid" 3 (TW.Exact.treewidth (grid_graph 3));
+  Alcotest.(check int) "4x4 grid" 4 (TW.Exact.treewidth (grid_graph 4))
+
+let test_exact_tree_is_1 () =
+  (* a star K1,5 is a tree: tw 1 *)
+  let g = TW.Graph.of_edges 6 [ (0, 1); (0, 2); (0, 3); (0, 4); (0, 5) ] in
+  Alcotest.(check int) "star" 1 (TW.Exact.treewidth g)
+
+let test_exact_disconnected () =
+  (* triangle + isolated edge: tw 2 *)
+  let g = TW.Graph.of_edges 5 [ (0, 1); (1, 2); (2, 0); (3, 4) ] in
+  Alcotest.(check int) "max over components" 2 (TW.Exact.treewidth g)
+
+let test_exact_too_large_raises () =
+  Alcotest.check_raises "63 vertices"
+    (Invalid_argument "Exact.treewidth: more than 62 vertices") (fun () ->
+      ignore (TW.Exact.treewidth (TW.Graph.create 63)))
+
+(* ------------------------------------------------------------------ *)
+(* Lower bound tests *)
+
+let test_mmd_bounds () =
+  Alcotest.(check int) "path mmd" 1 (TW.Lowerbound.mmd (path_graph 5));
+  Alcotest.(check int) "cycle mmd" 2 (TW.Lowerbound.mmd (cycle_graph 5));
+  Alcotest.(check int) "K4 mmd" 3 (TW.Lowerbound.mmd (complete_graph 4))
+
+let test_clique_bound () =
+  Alcotest.(check int) "K4 clique bound" 3 (TW.Lowerbound.clique (complete_graph 4));
+  Alcotest.(check bool) "grid clique ≤ mmd sound" true
+    (TW.Lowerbound.best (grid_graph 3) <= TW.Exact.treewidth (grid_graph 3))
+
+(* ------------------------------------------------------------------ *)
+(* Facade tests *)
+
+let test_facade_path_atomset () =
+  let a = path_atomset 6 in
+  Alcotest.(check (option int)) "exact" (Some 1) (TW.exact a);
+  Alcotest.(check bool) "at_most 1" true (TW.at_most a 1);
+  Alcotest.(check bool) "not at_most 0" false (TW.at_most a 0)
+
+let test_facade_bounds_sandwich () =
+  let _, a = grid_atomset 3 in
+  let lb = TW.lower_bound a in
+  let ub = TW.upper_bound a in
+  (match TW.exact a with
+  | Some w ->
+      Alcotest.(check bool) "lb ≤ exact" true (lb <= w);
+      Alcotest.(check bool) "exact ≤ ub" true (w <= ub);
+      Alcotest.(check int) "grid-3 tw" 3 w
+  | None -> Alcotest.fail "small instance must be exact");
+  let d = TW.decomposition a in
+  Alcotest.(check bool) "decomposition valid" true (TW.Decomposition.is_valid a d)
+
+let test_facade_heuristics_disagree_but_sound () =
+  let _, a = grid_atomset 4 in
+  let ub_fill = TW.upper_bound ~heuristic:TW.Min_fill a in
+  let ub_deg = TW.upper_bound ~heuristic:TW.Min_degree a in
+  let w = Option.get (TW.exact a) in
+  Alcotest.(check bool) "min-fill sound" true (w <= ub_fill);
+  Alcotest.(check bool) "min-degree sound" true (w <= ub_deg)
+
+let test_ternary_atom_makes_clique () =
+  (* t(x,y,z) alone has treewidth 2 (a triangle). *)
+  let x = Term.fresh_var () and y = Term.fresh_var () and z = Term.fresh_var () in
+  let a = aset [ atom "t" [ x; y; z ] ] in
+  Alcotest.(check (option int)) "triangle" (Some 2) (TW.exact a)
+
+(* ------------------------------------------------------------------ *)
+(* Grid detection tests (Definition 5 / Fact 2) *)
+
+let test_grid_check_explicit () =
+  let v, a = grid_atomset 3 in
+  Alcotest.(check bool) "explicit naming is a grid" true
+    (TW.Grid.check (fun i j -> v.(i - 1).(j - 1)) 3 a);
+  (* swapping two cells breaks it *)
+  let bad i j = if (i, j) = (1, 1) then v.(2).(2) else v.(i - 1).(j - 1) in
+  Alcotest.(check bool) "distinctness enforced" false (TW.Grid.check bad 3 a)
+
+let test_grid_find_in_grid () =
+  let _, a = grid_atomset 3 in
+  Alcotest.(check bool) "finds 2x2" true (TW.Grid.contains ~n:2 a);
+  Alcotest.(check bool) "finds 3x3" true (TW.Grid.contains ~n:3 a)
+
+let test_grid_not_in_path () =
+  let a = path_atomset 8 in
+  Alcotest.(check bool) "no 2x2 in a path" false (TW.Grid.contains ~n:2 a)
+
+let test_grid_lower_bound () =
+  let _, a = grid_atomset 3 in
+  Alcotest.(check int) "lower bound 3" 3 (TW.Grid.lower_bound_via_grids ~max_n:3 a);
+  let p = path_atomset 4 in
+  Alcotest.(check int) "path bound 1" 1 (TW.Grid.lower_bound_via_grids p)
+
+let test_grid_found_witness_is_grid () =
+  let _, a = grid_atomset 3 in
+  match TW.Grid.find ~n:2 a with
+  | None -> Alcotest.fail "2x2 grid must be found"
+  | Some cells ->
+      Alcotest.(check bool) "witness validates" true
+        (TW.Grid.check (fun i j -> cells.(i - 1).(j - 1)) 2 a)
+
+(* ------------------------------------------------------------------ *)
+(* Pathwidth tests *)
+
+let test_pathwidth_known_values () =
+  Alcotest.(check int) "empty" (-1) (TW.Pathwidth.exact (TW.Graph.create 0));
+  Alcotest.(check int) "isolated" 0 (TW.Pathwidth.exact (TW.Graph.create 3));
+  Alcotest.(check int) "path" 1 (TW.Pathwidth.exact (path_graph 6));
+  Alcotest.(check int) "cycle" 2 (TW.Pathwidth.exact (cycle_graph 6));
+  Alcotest.(check int) "K4" 3 (TW.Pathwidth.exact (complete_graph 4));
+  Alcotest.(check int) "star K1,4" 1
+    (TW.Pathwidth.exact (TW.Graph.of_edges 5 [ (0, 1); (0, 2); (0, 3); (0, 4) ]));
+  Alcotest.(check int) "3x3 grid" 3 (TW.Pathwidth.exact (grid_graph 3))
+
+let test_pathwidth_exceeds_treewidth_on_trees () =
+  (* complete binary tree of depth 3: treewidth 1, pathwidth 2 *)
+  let g =
+    TW.Graph.of_edges 15
+      (List.concat (List.init 7 (fun i -> [ (i, (2 * i) + 1); (i, (2 * i) + 2) ])))
+  in
+  Alcotest.(check int) "tw" 1 (TW.Exact.treewidth g);
+  Alcotest.(check int) "pw" 2 (TW.Pathwidth.exact g)
+
+let test_pathwidth_bounds () =
+  let g = grid_graph 3 in
+  Alcotest.(check bool) "greedy ≥ exact" true
+    (TW.Pathwidth.upper_bound g >= TW.Pathwidth.exact g);
+  Alcotest.(check bool) "pw ≥ tw" true
+    (TW.Pathwidth.exact g >= TW.Exact.treewidth g)
+
+let test_pathwidth_of_atomset () =
+  let a = path_atomset 5 in
+  let w, exact = TW.Pathwidth.of_atomset a in
+  Alcotest.(check bool) "exact on small" true exact;
+  Alcotest.(check int) "path atomset pw 1" 1 w
+
+let test_pathwidth_too_large () =
+  match TW.Pathwidth.exact (TW.Graph.create 26) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "26 vertices must be rejected"
+
+let prop_pathwidth_at_least_treewidth =
+  QCheck.Test.make ~name:"pw ≥ tw on random graphs" ~count:80
+    QCheck.(
+      make
+        ~print:(fun g -> Fmt.str "%a" TW.Graph.pp g)
+        Gen.(
+          let* n = int_range 1 8 in
+          let* edges =
+            list_size (int_bound 12) (pair (int_bound (n - 1)) (int_bound (n - 1)))
+          in
+          return (TW.Graph.of_edges n (List.filter (fun (u, v) -> u <> v) edges))))
+    (fun g -> TW.Pathwidth.exact g >= TW.Exact.treewidth g)
+
+(* ------------------------------------------------------------------ *)
+(* Hypergraph / generalized hypertree width tests *)
+
+let test_hypergraph_basics () =
+  let x = Term.fresh_var () and y = Term.fresh_var () and z = Term.fresh_var () in
+  let a = aset [ atom "t" [ x; y; z ]; atom "e" [ x; y ]; atom "e" [ x; y ] ] in
+  let h = TW.Hypergraph.of_atomset a in
+  Alcotest.(check int) "3 vertices" 3 (TW.Hypergraph.vertex_count h);
+  Alcotest.(check int) "2 distinct edges" 2 (TW.Hypergraph.edge_count h)
+
+let test_cover_number () =
+  let x = Term.fresh_var () and y = Term.fresh_var () and z = Term.fresh_var ()
+  and w = Term.fresh_var () in
+  let a = aset [ atom "e" [ x; y ]; atom "e" [ y; z ]; atom "e" [ z; w ] ] in
+  let h = TW.Hypergraph.of_atomset a in
+  Alcotest.(check int) "single edge" 1 (TW.Hypergraph.cover_number h [ x; y ]);
+  Alcotest.(check int) "two edges for {x,z}" 2 (TW.Hypergraph.cover_number h [ x; z ]);
+  Alcotest.(check int) "empty set" 0 (TW.Hypergraph.cover_number h []);
+  match TW.Hypergraph.cover_number h [ Term.const "nope" ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "uncoverable term must raise"
+
+let test_ghw_acyclic_is_1 () =
+  (* a single ternary atom plus unary decorations: ghw 1 *)
+  let x = Term.fresh_var () and y = Term.fresh_var () and z = Term.fresh_var () in
+  let a = aset [ atom "t" [ x; y; z ]; atom "u" [ x ]; atom "u" [ z ] ] in
+  Alcotest.(check int) "ghw 1" 1 (TW.Hypergraph.ghw_upper a);
+  Alcotest.(check bool) "acyclicity evidence" true
+    (TW.Hypergraph.is_acyclic_evidence a);
+  let p = path_atomset 5 in
+  Alcotest.(check int) "path ghw 1" 1 (TW.Hypergraph.ghw_upper p)
+
+let test_ghw_grid_small () =
+  let _, g = grid_atomset 3 in
+  let ghw = TW.Hypergraph.ghw_upper g in
+  (* tw(grid3)=3, binary edges: each bag of size k needs ≥ ⌈k/2⌉ edges *)
+  Alcotest.(check bool) "grid ghw ≥ 2" true (ghw >= 2);
+  Alcotest.(check bool) "grid ghw sound vs tw" true
+    (ghw <= TW.Exact.treewidth (grid_graph 3) + 1)
+
+let test_ghw_vs_tw_relation () =
+  (* ghw ≤ tw+1 whenever every vertex lies in some edge: binary-edge
+     atomsets make each bag coverable pairwise *)
+  let _, g = grid_atomset 2 in
+  Alcotest.(check bool) "ghw ≤ tw+1 on 2x2 grid" true
+    (TW.Hypergraph.ghw_upper g <= TW.Exact.treewidth (grid_graph 2) + 1)
+
+(* ------------------------------------------------------------------ *)
+(* DOT export tests *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else if String.sub hay i nn = needle then true
+    else go (i + 1)
+  in
+  nn = 0 || go 0
+
+let test_dot_atomset () =
+  let x = Term.fresh_var ~hint:"X" () and y = Term.fresh_var ~hint:"Y" () in
+  let a =
+    aset [ atom "e" [ x; y ]; atom "mark" [ x ]; atom "t3" [ x; y; y ] ]
+  in
+  let dot = TW.Dot.atomset ~name:"g" a in
+  Alcotest.(check bool) "graph header" true (contains dot "graph \"g\"");
+  Alcotest.(check bool) "edge label" true (contains dot "label=\"e\"");
+  Alcotest.(check bool) "unary annotation" true (contains dot "mark");
+  Alcotest.(check bool) "hyperedge box" true (contains dot "shape=box")
+
+let test_dot_decomposition () =
+  let a = path_atomset 4 in
+  let d = TW.decomposition a in
+  let dot = TW.Dot.decomposition d in
+  Alcotest.(check bool) "header" true (contains dot "graph \"decomposition\"");
+  Alcotest.(check bool) "bags listed" true (contains dot "{");
+  Alcotest.(check bool) "tree edges" true (contains dot "--")
+
+let test_dot_escaping () =
+  let a = aset [ atom "p" [ Term.const "we\"ird" ] ] in
+  let dot = TW.Dot.atomset a in
+  Alcotest.(check bool) "quote escaped" true (contains dot "\\\"")
+
+(* ------------------------------------------------------------------ *)
+(* Property-based tests *)
+
+let gen_graph : TW.Graph.t QCheck.arbitrary =
+  QCheck.make
+    ~print:(fun g -> Fmt.str "%a" TW.Graph.pp g)
+    QCheck.Gen.(
+      let* n = int_range 1 9 in
+      let* edges =
+        list_size (int_bound 14) (pair (int_bound (n - 1)) (int_bound (n - 1)))
+      in
+      return (TW.Graph.of_edges n (List.filter (fun (u, v) -> u <> v) edges)))
+
+let prop_exact_between_bounds =
+  QCheck.Test.make ~name:"lb ≤ exact tw ≤ heuristic ub" ~count:120 gen_graph
+    (fun g ->
+      let w = TW.Exact.treewidth g in
+      let lb = TW.Lowerbound.best g in
+      let ub =
+        TW.Elimination.width_of_order g (TW.Elimination.min_fill_order g)
+      in
+      lb <= w && w <= ub)
+
+let prop_width_monotone_under_edge_removal =
+  QCheck.Test.make ~name:"removing edges cannot raise exact tw (Fact 1)"
+    ~count:80 gen_graph (fun g ->
+      let n = TW.Graph.vertex_count g in
+      let w = TW.Exact.treewidth g in
+      (* drop edges incident to vertex 0 *)
+      let g' = TW.Graph.create n in
+      TW.Graph.fold_vertices
+        (fun v () ->
+          List.iter
+            (fun u -> if u <> 0 && v <> 0 && u > v then TW.Graph.add_edge g' v u)
+            (TW.Graph.neighbors g v))
+        g ();
+      TW.Exact.treewidth g' <= w)
+
+let prop_decomposition_of_order_valid =
+  QCheck.Test.make ~name:"induced decompositions are valid (Def 4)" ~count:80
+    QCheck.(
+      make
+        ~print:(fun a -> Fmt.str "%a" Atomset.pp_verbose a)
+        Gen.(
+          let term_gen =
+            map (fun i -> Term.var_of_id ~hint:"T" (i + 2000)) (int_bound 7)
+          in
+          let atom_gen =
+            let* p = oneofl [ "e2"; "t3" ] in
+            let* args =
+              list_size (return (if p = "e2" then 2 else 3)) term_gen
+            in
+            return (Atom.make p args)
+          in
+          map Atomset.of_list (list_size (int_range 1 8) atom_gen)))
+    (fun a ->
+      let p = TW.Primal.of_atomset a in
+      let order = TW.Elimination.min_fill_order p.TW.Primal.graph in
+      let d = TW.Elimination.decomposition_of_order p order in
+      TW.Decomposition.is_valid a d
+      && TW.Decomposition.width d
+         = TW.Elimination.width_of_order p.TW.Primal.graph order)
+
+let prop_min_degree_ub_sound =
+  QCheck.Test.make ~name:"min-degree order is an upper bound" ~count:100
+    gen_graph (fun g ->
+      TW.Exact.treewidth g
+      <= TW.Elimination.width_of_order g (TW.Elimination.min_degree_order g))
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_exact_between_bounds;
+      prop_width_monotone_under_edge_removal;
+      prop_decomposition_of_order_valid;
+      prop_min_degree_ub_sound;
+    ]
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "treewidth.graph",
+      [
+        tc "basics" test_graph_basics;
+        tc "range check" test_graph_out_of_range;
+        tc "components" test_graph_components;
+        tc "is_clique" test_graph_is_clique;
+      ] );
+    ( "treewidth.primal",
+      [
+        tc "ternary atom" test_primal_of_atomset;
+        tc "term/vertex roundtrip" test_primal_term_roundtrip;
+      ] );
+    ( "treewidth.decomposition",
+      [
+        tc "trivial valid" test_decomposition_trivial_valid;
+        tc "empty width" test_decomposition_width_empty;
+        tc "cycle rejected" test_decomposition_invalid_cycle;
+        tc "connectivity violation" test_decomposition_connectivity_violation;
+        tc "cover violation" test_decomposition_cover_violation;
+      ] );
+    ( "treewidth.elimination",
+      [
+        tc "path order" test_width_of_order_path;
+        tc "suboptimal order" test_width_of_order_bad_order_on_path;
+        tc "min-degree on cycle" test_min_degree_on_cycle;
+        tc "min-fill on clique" test_min_fill_on_clique;
+        tc "induced decomposition" test_decomposition_of_order_valid;
+      ] );
+    ( "treewidth.exact",
+      [
+        tc "known values" test_exact_known_values;
+        tc "tree" test_exact_tree_is_1;
+        tc "disconnected" test_exact_disconnected;
+        tc "too large" test_exact_too_large_raises;
+      ] );
+    ( "treewidth.lowerbound",
+      [ tc "mmd" test_mmd_bounds; tc "clique" test_clique_bound ] );
+    ( "treewidth.facade",
+      [
+        tc "path atomset" test_facade_path_atomset;
+        tc "bounds sandwich" test_facade_bounds_sandwich;
+        tc "heuristics sound" test_facade_heuristics_disagree_but_sound;
+        tc "ternary atom clique" test_ternary_atom_makes_clique;
+      ] );
+    ( "treewidth.grid",
+      [
+        tc "explicit check" test_grid_check_explicit;
+        tc "find in grid" test_grid_find_in_grid;
+        tc "absent in path" test_grid_not_in_path;
+        tc "grid lower bound" test_grid_lower_bound;
+        tc "witness validates" test_grid_found_witness_is_grid;
+      ] );
+    ( "treewidth.hypergraph",
+      [
+        tc "basics" test_hypergraph_basics;
+        tc "cover number" test_cover_number;
+        tc "acyclic ghw 1" test_ghw_acyclic_is_1;
+        tc "grid ghw" test_ghw_grid_small;
+        tc "ghw ≤ tw+1" test_ghw_vs_tw_relation;
+      ] );
+    ( "treewidth.dot",
+      [
+        tc "atomset export" test_dot_atomset;
+        tc "decomposition export" test_dot_decomposition;
+        tc "escaping" test_dot_escaping;
+      ] );
+    ( "treewidth.pathwidth",
+      [
+        tc "known values" test_pathwidth_known_values;
+        tc "tree pw > tw" test_pathwidth_exceeds_treewidth_on_trees;
+        tc "bounds" test_pathwidth_bounds;
+        tc "of_atomset" test_pathwidth_of_atomset;
+        tc "too large" test_pathwidth_too_large;
+      ] );
+    ("treewidth.properties", QCheck_alcotest.to_alcotest prop_pathwidth_at_least_treewidth :: qcheck_cases);
+  ]

@@ -1,0 +1,466 @@
+(* Tests for lib/zoo: the steepening staircase (Section 6) and the
+   inflating elevator (Section 7), checking the paper's propositions on
+   finite prefixes. *)
+
+open Syntax
+module TW = Treewidth
+
+let atom p args = Atom.make p args
+
+(* The 1-element collapse model of K_h: f,c,h-loop,v-loop on one node. *)
+let tiny_staircase_model () =
+  let u = Term.const "u" in
+  Atomset.of_list
+    [ atom "f" [ u ]; atom "c" [ u ]; atom "h" [ u; u ]; atom "v" [ u; u ] ]
+
+(* The 1-element collapse model of K_v. *)
+let tiny_elevator_model () =
+  let u = Term.const "u" in
+  Atomset.of_list
+    [
+      atom "c" [ u ]; atom "d" [ u ]; atom "f" [ u ]; atom "h" [ u; u ];
+      atom "v" [ u; u ];
+    ]
+
+(* Unsatisfied triggers whose body image touches only the given frontier
+   terms are expected on truncated prefixes of infinite models. *)
+let unsatisfied_confined_to kb inst frontier =
+  let module TS = Set.Make (Term) in
+  let fr = TS.of_list frontier in
+  List.for_all
+    (fun tr ->
+      let image =
+        Subst.apply (Chase.Trigger.mapping tr)
+          (Rule.body (Chase.Trigger.rule tr))
+      in
+      List.exists (fun t -> TS.mem t fr) (Atomset.terms image))
+    (Chase.Trigger.unsatisfied_triggers (Kb.rules kb) inst)
+
+(* ------------------------------------------------------------------ *)
+(* Staircase: structure sanity *)
+
+let test_staircase_kb_schema () =
+  let kb = Zoo.Staircase.kb () in
+  (match Schema.of_kb kb with
+  | Ok s ->
+      Alcotest.(check (option int)) "h binary" (Some 2) (Schema.arity "h" s);
+      Alcotest.(check (option int)) "f unary" (Some 1) (Schema.arity "f" s)
+  | Error m -> Alcotest.fail m);
+  Alcotest.(check int) "4 rules" 4 (List.length (Kb.rules kb));
+  Alcotest.(check int) "2 facts" 2 (Atomset.cardinal (Kb.facts kb))
+
+let test_staircase_prefix_shape () =
+  let s = Zoo.Staircase.universal_model_prefix ~cols:3 in
+  (* cells: column i has i+2 cells: 2+3+4+5 = 14 terms *)
+  Alcotest.(check int) "term count" 14 (List.length (Atomset.terms s.Zoo.Staircase.atoms));
+  Alcotest.(check bool) "cell (3,4) exists" true (s.Zoo.Staircase.term 3 4 <> None);
+  Alcotest.(check bool) "cell (3,5) absent" true (s.Zoo.Staircase.term 3 5 = None)
+
+let test_staircase_facts_embed () =
+  let kb = Zoo.Staircase.kb () in
+  let s = Zoo.Staircase.universal_model_prefix ~cols:2 in
+  Alcotest.(check bool) "F_h ↪ P^h_2" true
+    (Homo.Hom.maps_to (Kb.facts kb) s.Zoo.Staircase.atoms)
+
+let test_staircase_tiny_model_is_model () =
+  let kb = Zoo.Staircase.kb () in
+  Alcotest.(check bool) "collapse model satisfies K_h" true
+    (Chase.is_model kb (tiny_staircase_model ()))
+
+let test_staircase_prefix_frontier_only () =
+  (* the prefix is a model except at its frontier (last column) *)
+  let kb = Zoo.Staircase.kb () in
+  let s = Zoo.Staircase.universal_model_prefix ~cols:3 in
+  let frontier =
+    List.filter_map (fun j -> s.Zoo.Staircase.term 3 j) [ 0; 1; 2; 3; 4 ]
+  in
+  Alcotest.(check bool) "unsatisfied triggers touch last column" true
+    (unsatisfied_confined_to kb s.Zoo.Staircase.atoms frontier)
+
+let test_staircase_column_is_core () =
+  let s = Zoo.Staircase.universal_model_prefix ~cols:4 in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Printf.sprintf "C^h_%d is a core" k)
+        true
+        (Homo.Core.is_core (Zoo.Staircase.column s k)))
+    [ 1; 2; 3 ]
+
+let test_staircase_step_retracts_to_next_column () =
+  let s = Zoo.Staircase.universal_model_prefix ~cols:4 in
+  let k = 2 in
+  let step = Zoo.Staircase.step_atomset s k in
+  let core, retr = Homo.Core.core_with_retraction step in
+  Alcotest.(check bool) "retraction valid" true (Subst.is_retraction_of step retr);
+  (* The paper: S^h_k retracts to a core isomorphic to C^h_{k+1} with its
+     top cell, i.e. the (k+1)-column part of the step. *)
+  let expected =
+    Atomset.induced
+      (List.filter_map (fun j -> s.Zoo.Staircase.term (k + 1) j)
+         (List.init (k + 2) Fun.id))
+      s.Zoo.Staircase.atoms
+  in
+  Alcotest.(check bool) "core ≅ next column" true
+    (Homo.Morphism.isomorphic core expected)
+
+let test_staircase_step_treewidth_2 () =
+  let s = Zoo.Staircase.universal_model_prefix ~cols:4 in
+  List.iter
+    (fun k ->
+      match TW.exact (Zoo.Staircase.step_atomset s k) with
+      | Some w ->
+          Alcotest.(check bool)
+            (Printf.sprintf "tw(S^h_%d) ≤ 2" k)
+            true (w <= 2)
+      | None -> Alcotest.fail "exact treewidth must be available")
+    [ 0; 1; 2; 3 ]
+
+let test_staircase_column_treewidth_1 () =
+  let s = Zoo.Staircase.universal_model_prefix ~cols:4 in
+  Alcotest.(check (option int)) "tw(C^h_3) = 1" (Some 1)
+    (TW.exact (Zoo.Staircase.column s 3))
+
+let test_staircase_prefix_contains_grids () =
+  (* Proposition 5's grid witness: P^h_{2n} contains an n×n grid *)
+  let s = Zoo.Staircase.universal_model_prefix ~cols:6 in
+  (match Zoo.Staircase.grid_naming s ~n:3 with
+  | None -> Alcotest.fail "naming must exist for cols=6, n=3"
+  | Some naming ->
+      Alcotest.(check bool) "3x3 grid by naming" true
+        (TW.Grid.check naming 3 s.Zoo.Staircase.atoms));
+  Alcotest.(check bool) "2x2 grid found by search" true
+    (TW.Grid.contains ~n:2 s.Zoo.Staircase.atoms)
+
+let test_staircase_prefix_treewidth_grows () =
+  let s = Zoo.Staircase.universal_model_prefix ~cols:6 in
+  match TW.exact s.Zoo.Staircase.atoms with
+  | Some w -> Alcotest.(check bool) "tw(P^h_6) ≥ 3" true (w >= 3)
+  | None -> Alcotest.fail "exact must be available (35 terms)"
+
+let test_staircase_infinite_column_prefix () =
+  let kb = Zoo.Staircase.kb () in
+  let c = Zoo.Staircase.infinite_column_prefix ~height:5 in
+  (* treewidth 1 (a path with loops) *)
+  Alcotest.(check (option int)) "tw(Ĩ^h prefix) = 1" (Some 1)
+    (TW.exact c.Zoo.Staircase.atoms);
+  (* truncated only at the top cell *)
+  let frontier = [ Option.get (c.Zoo.Staircase.term 0 5) ] in
+  Alcotest.(check bool) "model except at the top" true
+    (unsatisfied_confined_to kb c.Zoo.Staircase.atoms frontier)
+
+let test_staircase_column_prefix_finitely_universal_evidence () =
+  (* Ĩ^h's finite prefixes map into the staircase prefix (they are
+     universal: here we check against the two models we have) *)
+  let c = Zoo.Staircase.infinite_column_prefix ~height:3 in
+  let p = Zoo.Staircase.universal_model_prefix ~cols:5 in
+  Alcotest.(check bool) "column prefix ↪ P^h_5" true
+    (Homo.Hom.maps_to c.Zoo.Staircase.atoms p.Zoo.Staircase.atoms);
+  Alcotest.(check bool) "column prefix ↪ tiny model" true
+    (Homo.Hom.maps_to c.Zoo.Staircase.atoms (tiny_staircase_model ()))
+
+let test_staircase_no_backward_hom () =
+  (* P^h_4 contains a 2x2 grid, the column does not: no hom can exist from
+     the grid-bearing prefix into the loop-free-in-v column?  (It can:
+     h-loops absorb grids!)  The real separation is via v-paths: the
+     staircase prefix maps into a sufficiently TALL column, but a SHORT
+     column cannot host its longest v-path. *)
+  let p = Zoo.Staircase.universal_model_prefix ~cols:4 in
+  let short = Zoo.Staircase.infinite_column_prefix ~height:2 in
+  Alcotest.(check bool) "P^h_4 does not map into a height-2 column" false
+    (Homo.Hom.maps_to p.Zoo.Staircase.atoms short.Zoo.Staircase.atoms);
+  let tall = Zoo.Staircase.infinite_column_prefix ~height:6 in
+  Alcotest.(check bool) "P^h_4 maps into a height-6 column" true
+    (Homo.Hom.maps_to p.Zoo.Staircase.atoms tall.Zoo.Staircase.atoms)
+
+(* ------------------------------------------------------------------ *)
+(* Staircase: chase behaviour (Propositions 3 and 4) *)
+
+let test_staircase_restricted_chase_builds_staircase () =
+  let kb = Zoo.Staircase.kb () in
+  let run =
+    Chase.Variants.restricted
+      ~budget:{ Chase.Variants.max_steps = 30; max_atoms = 2000 }
+      kb
+  in
+  let d = run.Chase.Variants.derivation in
+  Alcotest.(check bool) "does not terminate" true
+    (run.Chase.Variants.outcome = Chase.Variants.Budget_exhausted);
+  (* every F_i maps into a sufficiently large staircase prefix *)
+  let p = Zoo.Staircase.universal_model_prefix ~cols:12 in
+  let final = (Chase.Derivation.last d).Chase.Derivation.instance in
+  Alcotest.(check bool) "F_last ↪ P^h_12" true
+    (Homo.Hom.maps_to final p.Zoo.Staircase.atoms)
+
+let test_staircase_core_chase_bounded_treewidth () =
+  (* Proposition 4: a core chase sequence uniformly treewidth-bounded by 2 *)
+  let kb = Zoo.Staircase.kb () in
+  let run =
+    Chase.Variants.core
+      ~budget:{ Chase.Variants.max_steps = 40; max_atoms = 2000 }
+      kb
+  in
+  let d = run.Chase.Variants.derivation in
+  List.iter
+    (fun st ->
+      let w, exact = TW.best_effort st.Chase.Derivation.instance in
+      Alcotest.(check bool)
+        (Printf.sprintf "tw(F_%d) ≤ 2 (exact=%b)" st.Chase.Derivation.index
+           exact)
+        true (w <= 2))
+    (Chase.Derivation.steps d)
+
+let test_staircase_core_chase_stays_small () =
+  (* the core chase keeps instances column-sized while the restricted chase
+     accumulates the whole staircase *)
+  let kb = Zoo.Staircase.kb () in
+  let budget = { Chase.Variants.max_steps = 30; max_atoms = 2000 } in
+  let cc = Chase.Variants.core ~budget kb in
+  let rc = Chase.Variants.restricted ~budget kb in
+  let last r =
+    Atomset.cardinal
+      (Chase.Derivation.last r.Chase.Variants.derivation).Chase.Derivation.instance
+  in
+  Alcotest.(check bool) "core stays leaner" true (last cc < last rc)
+
+let test_staircase_natural_aggregation_of_core_chase_has_grid () =
+  (* the futility of core computation for the natural aggregation:
+     D*_c = I^h accumulates grids even though every F_i is thin *)
+  let kb = Zoo.Staircase.kb () in
+  let run =
+    Chase.Variants.core
+      ~budget:{ Chase.Variants.max_steps = 45; max_atoms = 2000 }
+      kb
+  in
+  let agg = Chase.Derivation.natural_aggregation run.Chase.Variants.derivation in
+  Alcotest.(check bool) "2x2 grid inside D*" true (TW.Grid.contains ~n:2 agg)
+
+(* ------------------------------------------------------------------ *)
+(* Elevator: structure sanity *)
+
+let test_elevator_kb_schema () =
+  let kb = Zoo.Elevator.kb () in
+  Alcotest.(check int) "7 rules" 7 (List.length (Kb.rules kb));
+  Alcotest.(check int) "4 facts" 4 (Atomset.cardinal (Kb.facts kb));
+  match Schema.of_kb kb with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m
+
+let test_elevator_prefix_shape () =
+  let s = Zoo.Elevator.universal_model_prefix ~cols:3 in
+  (* column 0: 1 cell; column i≥1: i+2 cells: 1+3+4+5 = 13 *)
+  Alcotest.(check int) "term count" 13
+    (List.length (Atomset.terms s.Zoo.Elevator.atoms));
+  Alcotest.(check bool) "top (3,6)" true (s.Zoo.Elevator.term 3 6 <> None);
+  Alcotest.(check bool) "(3,1) absent" true (s.Zoo.Elevator.term 3 1 = None)
+
+let test_elevator_facts_embed () =
+  let kb = Zoo.Elevator.kb () in
+  let s = Zoo.Elevator.universal_model_prefix ~cols:2 in
+  Alcotest.(check bool) "F_v ↪ I^v prefix" true
+    (Homo.Hom.maps_to (Kb.facts kb) s.Zoo.Elevator.atoms);
+  let sp = Zoo.Elevator.spine_prefix ~cols:2 in
+  Alcotest.(check bool) "F_v ↪ I^v* prefix" true
+    (Homo.Hom.maps_to (Kb.facts kb) sp.Zoo.Elevator.atoms)
+
+let test_elevator_tiny_model () =
+  let kb = Zoo.Elevator.kb () in
+  Alcotest.(check bool) "collapse model satisfies K_v" true
+    (Chase.is_model kb (tiny_elevator_model ()))
+
+let test_elevator_spine_is_treewidth_1 () =
+  let sp = Zoo.Elevator.spine_prefix ~cols:6 in
+  Alcotest.(check (option int)) "tw(I^v* prefix) = 1" (Some 1)
+    (TW.exact sp.Zoo.Elevator.atoms)
+
+let test_elevator_spine_frontier_only () =
+  let kb = Zoo.Elevator.kb () in
+  let sp = Zoo.Elevator.spine_prefix ~cols:4 in
+  let frontier = [ Option.get (sp.Zoo.Elevator.term 4 0) ] in
+  Alcotest.(check bool) "model except at last top" true
+    (unsatisfied_confined_to kb sp.Zoo.Elevator.atoms frontier)
+
+let test_elevator_prefix_frontier_only () =
+  let kb = Zoo.Elevator.kb () in
+  let s = Zoo.Elevator.universal_model_prefix ~cols:3 in
+  let frontier =
+    List.filter_map (fun j -> s.Zoo.Elevator.term 3 j) (List.init 7 Fun.id)
+  in
+  Alcotest.(check bool) "unsatisfied triggers touch last column" true
+    (unsatisfied_confined_to kb s.Zoo.Elevator.atoms frontier)
+
+let test_elevator_hom_equivalence_spine_vs_full () =
+  let s = Zoo.Elevator.universal_model_prefix ~cols:4 in
+  let sp = Zoo.Elevator.spine_prefix ~cols:4 in
+  Alcotest.(check bool) "spine ↪ full" true
+    (Homo.Hom.maps_to sp.Zoo.Elevator.atoms s.Zoo.Elevator.atoms);
+  Alcotest.(check bool) "full ↪ spine (columns collapse onto tops)" true
+    (Homo.Hom.maps_to s.Zoo.Elevator.atoms sp.Zoo.Elevator.atoms)
+
+let test_elevator_prefix_treewidth_grows () =
+  let tw_at n =
+    let s = Zoo.Elevator.universal_model_prefix ~cols:n in
+    fst (TW.best_effort s.Zoo.Elevator.atoms)
+  in
+  let w3 = tw_at 3 and w6 = tw_at 6 in
+  Alcotest.(check bool) "tw grows with columns" true (w6 > w3);
+  Alcotest.(check bool) "tw(I^v prefix 6) ≥ 3" true (w6 >= 3)
+
+let test_elevator_frontier_core_is_core () =
+  List.iter
+    (fun n ->
+      let fc = Zoo.Elevator.frontier_core ~cols:n in
+      Alcotest.(check bool)
+        (Printf.sprintf "I^v_%d is a core" n)
+        true
+        (Homo.Core.is_core fc.Zoo.Elevator.atoms))
+    [ 0; 1; 2; 3 ]
+
+let test_elevator_frontier_core_grid () =
+  (* Proposition 8.2: I^v_n contains a (⌊n/3⌋+1)-grid; n = 3 → 2x2 *)
+  let fc = Zoo.Elevator.frontier_core ~cols:3 in
+  Alcotest.(check bool) "2x2 grid in I^v_3" true
+    (TW.Grid.contains ~n:2 fc.Zoo.Elevator.atoms)
+
+let test_elevator_frontier_core_treewidth_grows () =
+  let tw n =
+    fst (TW.best_effort (Zoo.Elevator.frontier_core ~cols:n).Zoo.Elevator.atoms)
+  in
+  Alcotest.(check bool) "tw(I^v_4) > tw(I^v_1)" true (tw 4 > tw 1)
+
+(* ------------------------------------------------------------------ *)
+(* Elevator: chase behaviour (Proposition 8.4 / Corollary 1 prefix view) *)
+
+let test_elevator_core_chase_treewidth_grows () =
+  let kb = Zoo.Elevator.kb () in
+  let run =
+    Chase.Variants.core
+      ~budget:{ Chase.Variants.max_steps = 60; max_atoms = 3000 }
+      kb
+  in
+  let series =
+    List.map
+      (fun st -> fst (TW.best_effort st.Chase.Derivation.instance))
+      (Chase.Derivation.steps run.Chase.Variants.derivation)
+  in
+  let max_tw = List.fold_left max 0 series in
+  Alcotest.(check bool) "core-chase treewidth reaches ≥ 2" true (max_tw >= 2);
+  (* and the tail stays high: the last elements are at the max region *)
+  let tail = List.filteri (fun i _ -> i >= List.length series - 5) series in
+  Alcotest.(check bool) "treewidth does not fall back to 1 at the end" true
+    (List.for_all (fun w -> w >= max_tw - 1) tail)
+
+let test_elevator_restricted_chase_consistent_with_generator () =
+  let kb = Zoo.Elevator.kb () in
+  let run =
+    Chase.Variants.restricted
+      ~budget:{ Chase.Variants.max_steps = 40; max_atoms = 3000 }
+      kb
+  in
+  let final =
+    (Chase.Derivation.last run.Chase.Variants.derivation).Chase.Derivation.instance
+  in
+  (* every chase prefix maps into the collapse model and into a long spine *)
+  Alcotest.(check bool) "F_last ↪ tiny model" true
+    (Homo.Hom.maps_to final (tiny_elevator_model ()));
+  let sp = Zoo.Elevator.spine_prefix ~cols:25 in
+  Alcotest.(check bool) "F_last ↪ spine prefix" true
+    (Homo.Hom.maps_to final sp.Zoo.Elevator.atoms)
+
+(* ------------------------------------------------------------------ *)
+(* Classic rulesets *)
+
+let test_classic_bts_not_fes () =
+  let kb = Zoo.Classic.bts_not_fes () in
+  let run =
+    Chase.Variants.core
+      ~budget:{ Chase.Variants.max_steps = 25; max_atoms = 500 }
+      kb
+  in
+  Alcotest.(check bool) "core chase diverges" true
+    (run.Chase.Variants.outcome = Chase.Variants.Budget_exhausted);
+  (* but treewidth stays 1: it is bts *)
+  List.iter
+    (fun st ->
+      Alcotest.(check bool) "tw ≤ 1" true
+        (fst (TW.best_effort st.Chase.Derivation.instance) <= 1))
+    (Chase.Derivation.steps run.Chase.Variants.derivation)
+
+let test_classic_fes_not_bts () =
+  let kb = Zoo.Classic.fes_not_bts () in
+  let run =
+    Chase.Variants.core
+      ~budget:{ Chase.Variants.max_steps = 400; max_atoms = 4000 }
+      kb
+  in
+  Alcotest.(check bool) "core chase terminates (fes)" true
+    (run.Chase.Variants.outcome = Chase.Variants.Terminated)
+
+let test_classic_all_named_well_formed () =
+  List.iter
+    (fun (name, kb) ->
+      match Schema.of_kb kb with
+      | Ok _ -> ()
+      | Error m -> Alcotest.failf "%s: %s" name m)
+    (Zoo.Classic.all_named ())
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "zoo.staircase.structure",
+      [
+        tc "kb schema" test_staircase_kb_schema;
+        tc "prefix shape" test_staircase_prefix_shape;
+        tc "facts embed" test_staircase_facts_embed;
+        tc "tiny model is model" test_staircase_tiny_model_is_model;
+        tc "prefix model except frontier" test_staircase_prefix_frontier_only;
+        tc "columns are cores" test_staircase_column_is_core;
+        tc "step retracts to next column" test_staircase_step_retracts_to_next_column;
+        tc "tw(step) ≤ 2" test_staircase_step_treewidth_2;
+        tc "tw(column) = 1" test_staircase_column_treewidth_1;
+        tc "prefix contains grids (Prop 5)" test_staircase_prefix_contains_grids;
+        tc "prefix treewidth grows" test_staircase_prefix_treewidth_grows;
+        tc "infinite column prefix" test_staircase_infinite_column_prefix;
+        tc "column finitely universal evidence"
+          test_staircase_column_prefix_finitely_universal_evidence;
+        tc "v-path forces column height" test_staircase_no_backward_hom;
+      ] );
+    ( "zoo.staircase.chase",
+      [
+        tc "restricted builds staircase (Prop 3)"
+          test_staircase_restricted_chase_builds_staircase;
+        tc "core chase tw ≤ 2 (Prop 4)" test_staircase_core_chase_bounded_treewidth;
+        tc "core chase stays lean" test_staircase_core_chase_stays_small;
+        tc "natural aggregation grows grids"
+          test_staircase_natural_aggregation_of_core_chase_has_grid;
+      ] );
+    ( "zoo.elevator.structure",
+      [
+        tc "kb schema" test_elevator_kb_schema;
+        tc "prefix shape" test_elevator_prefix_shape;
+        tc "facts embed" test_elevator_facts_embed;
+        tc "tiny model is model" test_elevator_tiny_model;
+        tc "tw(I^v*) = 1 (Prop 7)" test_elevator_spine_is_treewidth_1;
+        tc "spine model except frontier" test_elevator_spine_frontier_only;
+        tc "prefix model except frontier" test_elevator_prefix_frontier_only;
+        tc "spine ≡hom full prefix" test_elevator_hom_equivalence_spine_vs_full;
+        tc "I^v prefix treewidth grows" test_elevator_prefix_treewidth_grows;
+        tc "I^v_n are cores (Prop 8.1)" test_elevator_frontier_core_is_core;
+        tc "I^v_n contains grids (Prop 8.2)" test_elevator_frontier_core_grid;
+        tc "tw(I^v_n) grows" test_elevator_frontier_core_treewidth_grows;
+      ] );
+    ( "zoo.elevator.chase",
+      [
+        tc "core chase treewidth grows (Cor 1)"
+          test_elevator_core_chase_treewidth_grows;
+        tc "restricted consistent with generator"
+          test_elevator_restricted_chase_consistent_with_generator;
+      ] );
+    ( "zoo.classic",
+      [
+        tc "bts-not-fes behaviour" test_classic_bts_not_fes;
+        tc "fes-not-bts behaviour" test_classic_fes_not_bts;
+        tc "all well-formed" test_classic_all_named_well_formed;
+      ] );
+  ]
