@@ -60,6 +60,8 @@ let tc_chain_kb =
                ~body:[ atom "e" [ x; y ]; atom "e" [ y; z ] ]
                ~head:[ atom "e" [ x; z ] ] () ]
 
+let staircase_atoms_list = Atomset.to_list staircase_prefix.Zoo.Staircase.atoms
+
 let staircase_derivation_20 =
   (Chase.Variants.core ~budget:(budget 20) (Zoo.Staircase.kb ())).Chase.Variants.derivation
 
@@ -120,6 +122,32 @@ let micro_tests =
     Test.make ~name:"abl:cadence:every-round" (Staged.stage (fun () ->
         ignore (Chase.Variants.core ~cadence:Chase.Variants.Every_round
                   ~budget:(budget 15) (Zoo.Staircase.kb ()))));
+    (* trigger discovery: full per-round re-enumeration vs semi-naive delta.
+       The restricted chase isolates discovery cost (no core retractions);
+       the instance grows to ~200 atoms so re-enumeration has real work. *)
+    Test.make ~name:"abl:triggers:snapshot" (Staged.stage (fun () ->
+        Chase.Trigger.discovery := Chase.Trigger.Snapshot;
+        ignore
+          (Chase.Variants.restricted ~budget:(budget 60) (Zoo.Staircase.kb ()));
+        Chase.Trigger.discovery := Chase.Trigger.Delta));
+    Test.make ~name:"abl:triggers:delta" (Staged.stage (fun () ->
+        Chase.Trigger.discovery := Chase.Trigger.Delta;
+        ignore
+          (Chase.Variants.restricted ~budget:(budget 60) (Zoo.Staircase.kb ()))));
+    (* instance maintenance: of_atomset per step vs incremental add_atoms *)
+    Test.make ~name:"abl:index:rebuild" (Staged.stage (fun () ->
+        ignore
+          (List.fold_left
+             (fun aset a ->
+               let aset = Atomset.add a aset in
+               ignore (Homo.Instance.of_atomset aset);
+               aset)
+             Atomset.empty staircase_atoms_list)));
+    Test.make ~name:"abl:index:incremental" (Staged.stage (fun () ->
+        ignore
+          (List.fold_left
+             (fun idx a -> Homo.Instance.add_atoms idx [ a ])
+             Homo.Instance.empty staircase_atoms_list)));
   ]
 
 let run_micro () =
@@ -140,7 +168,27 @@ let run_micro () =
       match Analyze.OLS.estimates r with
       | Some [ est ] -> Format.printf "  %-44s %14.1f ns/run@." name est
       | _ -> Format.printf "  %-44s (no estimate)@." name)
-    rows
+    rows;
+  (* machine-readable mirror of the table, for CI artifacts / regression
+     tracking: { "<bench name>": <ns/run>, ... } *)
+  let oc = open_out "BENCH_RESULTS.json" in
+  let estimates =
+    List.filter_map
+      (fun (name, r) ->
+        match Analyze.OLS.estimates r with
+        | Some [ est ] -> Some (name, est)
+        | _ -> None)
+      rows
+  in
+  output_string oc "{\n";
+  List.iteri
+    (fun i (name, est) ->
+      Printf.fprintf oc "  %S: %.1f%s\n" name est
+        (if i = List.length estimates - 1 then "" else ","))
+    estimates;
+  output_string oc "}\n";
+  close_out oc;
+  Format.printf "  (written to BENCH_RESULTS.json)@."
 
 let () =
   Format.printf "corechase bench harness (scale=%d)@." scale;

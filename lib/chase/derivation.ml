@@ -169,29 +169,31 @@ let natural_aggregation d =
     Atomset.empty d.rev_steps
 
 let terminated d =
-  Trigger.unsatisfied_triggers (Kb.rules d.kb) (last d).instance = []
+  Trigger.unsatisfied_triggers_in (Kb.rules d.kb)
+    (Homo.Instance.of_atomset (last d).instance)
+  = []
 
 let result d = if terminated d then Some (last d).instance else None
 
 let fairness_debt d =
-  let all = steps d in
+  (* index every element once up front; the check below revisits each
+     F_j for every unsatisfied trigger of every F_i *)
+  let all = List.map (fun st -> (st, Homo.Instance.of_atomset st.instance)) (steps d) in
   List.concat_map
-    (fun st ->
+    (fun (st, st_idx) ->
       let i = st.index in
-      let triggers =
-        Trigger.unsatisfied_triggers (Kb.rules d.kb) st.instance
-      in
+      let triggers = Trigger.unsatisfied_triggers_in (Kb.rules d.kb) st_idx in
       (* a trigger satisfied in F_i itself is no debt; unsatisfied ones must
          have their trace satisfied in some later F_j *)
       List.filter_map
         (fun tr ->
           let settled =
             List.exists
-              (fun st_j ->
+              (fun (st_j, idx_j) ->
                 st_j.index > i
                 &&
                 let trace = sigma_trace d ~from_:i ~to_:st_j.index in
-                Trigger.satisfied (Trigger.rename trace tr) st_j.instance)
+                Trigger.satisfied_in (Trigger.rename trace tr) idx_j)
               all
           in
           if settled then None else Some (i, tr))

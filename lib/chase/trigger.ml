@@ -23,6 +23,11 @@ let equal tr1 tr2 =
 let is_trigger_for tr inst =
   Atomset.subset (Subst.apply tr.mapping (Rule.body tr.rule)) inst
 
+let is_trigger_for_in tr indexed =
+  Atomset.for_all
+    (Homo.Instance.mem indexed)
+    (Subst.apply tr.mapping (Rule.body tr.rule))
+
 let satisfied_in tr indexed =
   (* π extends to a homomorphism from B ∪ H into the instance. *)
   let src = Atomset.union (Rule.body tr.rule) (Rule.head tr.rule) in
@@ -61,6 +66,18 @@ let apply tr inst =
   let pi_safe, fresh = pi_safe_of tr in
   apply_with tr pi_safe fresh inst
 
+let apply_in tr indexed =
+  if not (is_trigger_for_in tr indexed) then
+    invalid_arg "Trigger.apply_in: not a trigger for the instance";
+  let pi_safe, fresh = pi_safe_of tr in
+  let produced = Subst.apply pi_safe (Rule.head tr.rule) in
+  {
+    result = Atomset.union (Homo.Instance.atomset indexed) produced;
+    pi_safe;
+    produced;
+    fresh;
+  }
+
 let apply_with_pi_safe tr pi_safe inst =
   let fresh =
     List.filter_map
@@ -75,12 +92,107 @@ let apply_with_pi_safe tr pi_safe inst =
 let triggers_of r indexed =
   List.map (fun h -> make r h) (Homo.Hom.all (Rule.body r) indexed)
 
-let unsatisfied_triggers rules inst =
-  let indexed = Homo.Instance.of_atomset inst in
+(* Semi-naive discovery: every trigger for the current instance that was
+   not a trigger at the previous snapshot must map some body atom onto an
+   atom of [delta] (the atoms added or rewritten since), so it suffices to
+   enumerate the body homomorphisms anchored on a delta atom.  The same
+   homomorphism can be reached through several anchors; mappings are
+   deduplicated per rule. *)
+let triggers_of_delta r indexed ~delta =
+  if Atomset.is_empty delta then []
+  else
+    let body = Rule.body r in
+    let seen = Hashtbl.create 16 in
+    let collect acc h =
+      let tr = make r h in
+      let key = Fmt.str "%a" Subst.pp_debug tr.mapping in
+      if Hashtbl.mem seen key then acc
+      else begin
+        Hashtbl.replace seen key ();
+        tr :: acc
+      end
+    in
+    Atomset.fold
+      (fun anchor acc ->
+        Atomset.fold
+          (fun datom acc ->
+            if
+              String.equal (Atom.pred anchor) (Atom.pred datom)
+              && Atom.arity anchor = Atom.arity datom
+            then
+              match Homo.Hom.extend_via_atom Subst.empty anchor datom with
+              | None -> acc
+              | Some seed ->
+                  List.fold_left collect acc (Homo.Hom.all ~seed body indexed)
+            else acc)
+          delta acc)
+      body []
+    |> List.rev
+
+let unsatisfied_triggers_in ?delta rules indexed =
+  let rule_triggers r =
+    match delta with
+    | None -> triggers_of r indexed
+    | Some delta -> triggers_of_delta r indexed ~delta
+  in
   List.concat_map
     (fun r ->
-      List.filter (fun tr -> not (satisfied_in tr indexed)) (triggers_of r indexed))
+      List.filter (fun tr -> not (satisfied_in tr indexed)) (rule_triggers r))
     rules
+
+let unsatisfied_triggers rules inst =
+  unsatisfied_triggers_in rules (Homo.Instance.of_atomset inst)
+
+type discovery = Delta | Snapshot | Audit
+
+let discovery = ref Delta
+
+let same_set trs1 trs2 =
+  List.length trs1 = List.length trs2
+  && List.for_all (fun t1 -> List.exists (equal t1) trs2) trs1
+
+let audit_failure ~what snap del =
+  failwith
+    (Fmt.str
+       "Trigger.%s: delta discovery disagrees with the snapshot oracle (%d \
+        delta vs %d snapshot triggers)"
+       what (List.length del) (List.length snap))
+
+let discover ?delta rules indexed =
+  match (!discovery, delta) with
+  | Snapshot, _ | _, None -> unsatisfied_triggers_in rules indexed
+  | Delta, Some delta -> unsatisfied_triggers_in ~delta rules indexed
+  | Audit, Some delta ->
+      let snap = unsatisfied_triggers_in rules indexed in
+      let del = unsatisfied_triggers_in ~delta rules indexed in
+      if not (same_set snap del) then audit_failure ~what:"discover" snap del;
+      snap
+
+let discover_all ?delta rules indexed =
+  let snapshot () = List.concat_map (fun r -> triggers_of r indexed) rules in
+  match (!discovery, delta) with
+  | Snapshot, _ | _, None -> snapshot ()
+  | Delta, Some delta ->
+      List.concat_map (fun r -> triggers_of_delta r indexed ~delta) rules
+  | Audit, Some delta ->
+      let snap = snapshot () in
+      let del =
+        List.concat_map (fun r -> triggers_of_delta r indexed ~delta) rules
+      in
+      (* the delta set must be exactly the snapshot triggers whose body
+         image touches the delta *)
+      let touches tr =
+        not
+          (Atomset.is_empty
+             (Atomset.inter delta
+                (Subst.apply tr.mapping (Rule.body tr.rule))))
+      in
+      let expected = List.filter touches snap in
+      if not (same_set expected del) then
+        audit_failure ~what:"discover_all" expected del;
+      (* monotone engines deduplicate by trigger key themselves, so the
+         snapshot order can be returned unchanged *)
+      snap
 
 let pp ppf tr =
   Fmt.pf ppf "(%s, %a)"

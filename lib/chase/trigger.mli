@@ -28,6 +28,10 @@ val equal : t -> t -> bool
 val is_trigger_for : t -> Atomset.t -> bool
 (** [π(body R) ⊆ I]. *)
 
+val is_trigger_for_in : t -> Homo.Instance.t -> bool
+(** As {!is_trigger_for} on a pre-indexed instance (membership checks
+    against the index, no subset materialisation). *)
+
 val satisfied : t -> Atomset.t -> bool
 (** Satisfaction in an arbitrary instance: [π] maps the body into it and
     extends to the head. *)
@@ -45,6 +49,10 @@ type application = {
 val apply : t -> Atomset.t -> application
 (** @raise Invalid_argument if the trigger does not hold in the instance. *)
 
+val apply_in : t -> Homo.Instance.t -> application
+(** As {!apply} on a pre-indexed instance; [result] is
+    [atomset indexed ∪ produced]. *)
+
 val apply_with_pi_safe : t -> Subst.t -> Atomset.t -> application
 (** Replay an application with a {e given} safe extension (used by the
     robust-sequence construction, which must reuse "the same fresh
@@ -54,8 +62,46 @@ val triggers_of : Rule.t -> Homo.Instance.t -> t list
 (** All triggers of a rule for an instance (one per body homomorphism),
     in deterministic search order. *)
 
+val triggers_of_delta :
+  Rule.t -> Homo.Instance.t -> delta:Atomset.t -> t list
+(** Semi-naive discovery: the triggers of the rule whose body image
+    contains at least one atom of [delta], found by enumerating body
+    homomorphisms anchored on a delta atom (one seeded search per
+    (body atom, delta atom) pair with matching predicate), deduplicated.
+    Sound for engines because a trigger for the current instance that was
+    not a trigger at the previous snapshot must use an atom added or
+    rewritten since — i.e. an atom of [current \ snapshot]. *)
+
 val unsatisfied_triggers : Rule.t list -> Atomset.t -> t list
 (** All triggers of the rules that are {e not} satisfied — the restricted
     chase's active triggers. *)
+
+val unsatisfied_triggers_in : ?delta:Atomset.t -> Rule.t list -> Homo.Instance.t -> t list
+(** As {!unsatisfied_triggers} on a pre-indexed instance.  With [?delta],
+    discovery is restricted to delta-anchored triggers
+    ({!triggers_of_delta}). *)
+
+(** Trigger-discovery mode of the chase engines (the [abl:triggers]
+    ablation).  [Delta] (default) discovers per round only the triggers
+    anchored in the atoms added or rewritten since the previous round's
+    snapshot; [Snapshot] is the original full re-enumeration; [Audit]
+    computes both, raises [Failure] if they disagree (the correctness
+    oracle used by the differential tests), and proceeds with the
+    snapshot's deterministic order. *)
+type discovery = Delta | Snapshot | Audit
+
+val discovery : discovery ref
+
+val discover : ?delta:Atomset.t -> Rule.t list -> Homo.Instance.t -> t list
+(** The engine entry point for active-trigger (unsatisfied) discovery,
+    honouring {!discovery}.  [?delta] is the atoms added or rewritten
+    since the caller's previous discovery; omitted on the first round
+    (full enumeration regardless of mode). *)
+
+val discover_all : ?delta:Atomset.t -> Rule.t list -> Homo.Instance.t -> t list
+(** As {!discover} but without the satisfaction filter — all triggers, for
+    the oblivious/skolem baselines (which deduplicate by trigger key
+    themselves).  In [Audit] mode the delta result is checked against the
+    snapshot triggers whose body image touches [delta]. *)
 
 val pp : t Fmt.t

@@ -10,19 +10,38 @@ type run = { derivation : Derivation.t; outcome : outcome; rounds : int }
 
 type cadence = Every_application | Every_round
 
+(* The engines maintain ONE indexed instance per run, kept in lockstep
+   with the last derivation element: rule applications patch it with
+   [Instance.add_atoms] and simplifications with [Instance.apply_subst]
+   — it is never rebuilt inside the loop.  Trigger discovery is
+   delta-driven (semi-naive): each round only looks for triggers anchored
+   in the atoms added or rewritten since the previous round's snapshot
+   (see Trigger.discover; the full re-enumeration survives as the
+   [Trigger.Snapshot]/[Trigger.Audit] oracle modes). *)
+
 (* Round-based engine: [simplify] computes σ_i for a freshly produced
-   pre-instance; [round_end] post-processes the derivation when a round
-   (one sweep over the snapshot of active triggers) completes. *)
-let run_engine ?(round_end = Fun.id) ~budget ~simplify ~start_simplification
-    kb =
+   pre-instance (receiving it also in indexed form); [round_end]
+   post-processes the derivation when a round (one sweep over the
+   snapshot of active triggers) completes, returning the substitution it
+   applied to the last instance so the engine can patch its index. *)
+let run_engine ?(round_end = fun d -> (d, Subst.empty)) ~budget ~simplify
+    ~start_simplification kb =
   let d = ref (Derivation.start ?simplification:start_simplification kb) in
+  let idx =
+    ref (Homo.Instance.of_atomset (Derivation.last !d).Derivation.instance)
+  in
+  let prev_snapshot = ref None in
   let steps_done = ref 0 in
   let rounds = ref 0 in
   let outcome = ref None in
   let rules = Kb.rules kb in
   while !outcome = None do
-    let current = (Derivation.last !d).Derivation.instance in
-    let active = Trigger.unsatisfied_triggers rules current in
+    let current = Homo.Instance.atomset !idx in
+    let delta =
+      Option.map (fun old -> Atomset.diff current old) !prev_snapshot
+    in
+    let active = Trigger.discover ?delta rules !idx in
+    prev_snapshot := Some current;
     if active = [] then outcome := Some Terminated
     else begin
       incr rounds;
@@ -44,26 +63,33 @@ let run_engine ?(round_end = Fun.id) ~budget ~simplify ~start_simplification
                 in
                 let tr' = Trigger.rename trace tr in
                 if
-                  Trigger.is_trigger_for tr' last.Derivation.instance
-                  && not (Trigger.satisfied tr' last.Derivation.instance)
+                  Trigger.is_trigger_for_in tr' !idx
+                  && not (Trigger.satisfied_in tr' !idx)
                 then begin
-                  let app = Trigger.apply tr' last.Derivation.instance in
-                  let sigma = simplify app in
+                  let app = Trigger.apply_in tr' !idx in
+                  let pre_idx =
+                    Homo.Instance.add_atoms !idx
+                      (Atomset.to_list app.Trigger.produced)
+                  in
+                  let sigma = simplify pre_idx app in
                   d :=
                     Derivation.extend_applied ~validate:false !d tr' app
                       ~simplification:sigma;
+                  idx := Homo.Instance.apply_subst sigma pre_idx;
                   incr steps_done;
-                  if
-                    Atomset.cardinal
-                      (Derivation.last !d).Derivation.instance
-                    > budget.max_atoms
-                  then outcome := Some Budget_exhausted
+                  if Homo.Instance.cardinal !idx > budget.max_atoms then
+                    outcome := Some Budget_exhausted
                 end
               end)
         active;
       (* round completed: let the variant post-process (e.g. retract the
          round's last application to a core) *)
-      if Derivation.length !d - 1 > base_index then d := round_end !d
+      if Derivation.length !d - 1 > base_index then begin
+        let d', extra = round_end !d in
+        d := d';
+        if not (Subst.is_empty extra) then
+          idx := Homo.Instance.apply_subst extra !idx
+      end
     end
   done;
   {
@@ -74,7 +100,7 @@ let run_engine ?(round_end = Fun.id) ~budget ~simplify ~start_simplification
 
 let restricted ?(budget = default_budget) kb =
   run_engine ~budget
-    ~simplify:(fun _ -> Subst.empty)
+    ~simplify:(fun _ _ -> Subst.empty)
     ~start_simplification:None kb
 
 let core ?(budget = default_budget) ?(cadence = Every_application)
@@ -86,27 +112,32 @@ let core ?(budget = default_budget) ?(cadence = Every_application)
   match cadence with
   | Every_application ->
       run_engine ~budget
-        ~simplify:(fun app ->
+        ~simplify:(fun _ app ->
           Homo.Core.retraction_to_core app.Trigger.result)
         ~start_simplification kb
   | Every_round ->
       (* Restricted steps within a round; the round's last application is
          re-simplified by a retraction-to-core once the round has ended
          (Deutsch–Nash–Remmel's parallel core chase, viewed as a
-         Definition-1 derivation). *)
+         Definition-1 derivation).  Within the round σ_i is the identity,
+         so the closing retraction is exactly the substitution the
+         engine's index needs to absorb. *)
       run_engine ~budget
-        ~simplify:(fun _ -> Subst.empty)
+        ~simplify:(fun _ _ -> Subst.empty)
         ~round_end:(fun d ->
           let pre = (Derivation.last d).Derivation.pre_instance in
-          Derivation.replace_last_simplification ~validate:false d
-            (Homo.Core.retraction_to_core pre))
+          let r = Homo.Core.retraction_to_core pre in
+          (Derivation.replace_last_simplification ~validate:false d r, r))
         ~start_simplification kb
 
 (* Frugal simplification: fold the freshly created nulls of [app] back
    into the rest of the pre-instance when an endomorphism fixing every
    older term allows it.  The search seeds the homomorphism with the
-   identity on all non-fresh terms, so only the fresh nulls may move. *)
-let frugal_simplification (app : Trigger.application) =
+   identity on all non-fresh terms, so only the fresh nulls may move.
+   The engine's pre-application index is reused: each candidate target
+   (the instance without one null's atoms) is derived by incremental
+   removal, and folds patch the index instead of rebuilding it. *)
+let frugal_simplification pre_idx (app : Trigger.application) =
   match app.Trigger.fresh with
   | [] -> Subst.empty
   | fresh ->
@@ -121,15 +152,19 @@ let frugal_simplification (app : Trigger.application) =
           (fun s t -> if Term.is_var t then Subst.add t t s else s)
           Subst.empty older
       in
-      let rec fold_nulls sigma current remaining =
+      let rec fold_nulls sigma current_idx remaining =
         match remaining with
         | [] -> sigma
         | z :: rest ->
             let z' = Subst.apply_term sigma z in
             if not (Term.is_var z') || not (TS.mem z' fresh_set) then
-              fold_nulls sigma current rest
+              fold_nulls sigma current_idx rest
             else
-              let target = Atomset.without_term z' current in
+              let current = Homo.Instance.atomset current_idx in
+              let target =
+                Homo.Instance.remove_atoms current_idx
+                  (Homo.Instance.atoms_with_term current_idx z')
+              in
               let seed =
                 (* identity on everything but the fresh nulls still alive *)
                 List.fold_left
@@ -139,13 +174,15 @@ let frugal_simplification (app : Trigger.application) =
                     else s)
                   identity_seed (Atomset.terms current)
               in
-              (match Homo.Hom.find ~seed current (Homo.Instance.of_atomset target) with
+              (match Homo.Hom.find ~seed current target with
               | Some h ->
                   let h = Subst.restrict (Atomset.vars current) h in
-                  fold_nulls (Subst.compose h sigma) (Subst.apply h current) rest
-              | None -> fold_nulls sigma current rest)
+                  fold_nulls (Subst.compose h sigma)
+                    (Homo.Instance.apply_subst h current_idx)
+                    rest
+              | None -> fold_nulls sigma current_idx rest)
       in
-      let sigma = fold_nulls Subst.empty pre fresh in
+      let sigma = fold_nulls Subst.empty pre_idx fresh in
       (* the composite folds only fresh nulls and fixes its image: a
          retraction of the pre-instance *)
       sigma
@@ -157,14 +194,16 @@ let frugal ?(budget = default_budget) kb =
 let stream ~variant kb =
   let simplify =
     match variant with
-    | `Restricted -> fun _ -> Subst.empty
-    | `Core -> fun (app : Trigger.application) ->
-        Homo.Core.retraction_to_core app.Trigger.result
+    | `Restricted -> fun _ _ -> Subst.empty
+    | `Core ->
+        fun _ (app : Trigger.application) ->
+          Homo.Core.retraction_to_core app.Trigger.result
     | `Frugal -> frugal_simplification
   in
-  (* state: current derivation + the queue of (traced-from, trigger) pairs
-     left over from the current round's snapshot *)
-  let rec next (d, queue) () =
+  (* state: current derivation + its incrementally maintained index + the
+     atomset at the last trigger discovery + the queue of (traced-from,
+     trigger) pairs left over from the current round's snapshot *)
+  let rec next (d, idx, prev_snapshot, queue) () =
     match queue with
     | (base_index, tr) :: rest -> (
         let last = Derivation.last d in
@@ -173,25 +212,35 @@ let stream ~variant kb =
         in
         let tr' = Trigger.rename trace tr in
         if
-          Trigger.is_trigger_for tr' last.Derivation.instance
-          && not (Trigger.satisfied tr' last.Derivation.instance)
+          Trigger.is_trigger_for_in tr' idx
+          && not (Trigger.satisfied_in tr' idx)
         then begin
-          let app = Trigger.apply tr' last.Derivation.instance in
+          let app = Trigger.apply_in tr' idx in
+          let pre_idx =
+            Homo.Instance.add_atoms idx (Atomset.to_list app.Trigger.produced)
+          in
+          let sigma = simplify pre_idx app in
           let d' =
             Derivation.extend_applied ~validate:false d tr' app
-              ~simplification:(simplify app)
+              ~simplification:sigma
           in
-          Seq.Cons (d', next (d', rest))
+          let idx' = Homo.Instance.apply_subst sigma pre_idx in
+          Seq.Cons (d', next (d', idx', prev_snapshot, rest))
         end
-        else next (d, rest) ())
+        else next (d, idx, prev_snapshot, rest) ())
     | [] ->
         (* start a new round *)
-        let current = (Derivation.last d).Derivation.instance in
-        let active = Trigger.unsatisfied_triggers (Kb.rules kb) current in
+        let current = Homo.Instance.atomset idx in
+        let delta =
+          Option.map (fun old -> Atomset.diff current old) prev_snapshot
+        in
+        let active = Trigger.discover ?delta (Kb.rules kb) idx in
         if active = [] then Seq.Nil
         else
           let base = Derivation.length d - 1 in
-          next (d, List.map (fun tr -> (base, tr)) active) ()
+          next
+            (d, idx, Some current, List.map (fun tr -> (base, tr)) active)
+            ()
   in
   let d0 =
     Derivation.start
@@ -201,15 +250,17 @@ let stream ~variant kb =
         | _ -> None)
       kb
   in
-  fun () -> Seq.Cons (d0, next (d0, []))
+  let idx0 =
+    Homo.Instance.of_atomset (Derivation.last d0).Derivation.instance
+  in
+  fun () -> Seq.Cons (d0, next (d0, idx0, None, []))
 
 module Egds = struct
   type outcome = Terminated | Budget_exhausted | Failed of Egd.t
 
   type run = { trace : Atomset.t list; outcome : outcome; steps : int }
 
-  let violations egds inst =
-    let indexed = Homo.Instance.of_atomset inst in
+  let violations_in egds indexed =
     List.concat_map
       (fun egd0 ->
         let egd = Egd.rename_apart egd0 in
@@ -220,6 +271,8 @@ module Egds = struct
             if Term.equal u v then None else Some (egd0, u, v))
           (Homo.Hom.all (Egd.body egd) indexed))
       egds
+
+  let violations egds inst = violations_in egds (Homo.Instance.of_atomset inst)
 
   (* the unifier for one violation: constants are preferred as
      representatives; between variables, the <_X-smaller one survives *)
@@ -236,58 +289,72 @@ module Egds = struct
     let egds = Kb.egds kb in
     let trace = ref [] in
     let steps = ref 0 in
-    let record inst = trace := inst :: !trace in
+    let record idx = trace := Homo.Instance.atomset idx :: !trace in
     let exception Fail of Egd.t in
     let exception Out_of_budget in
-    (* saturate the EGDs on an instance *)
-    let rec egd_saturate inst =
-      match violations egds inst with
-      | [] -> inst
+    (* saturate the EGDs on an (indexed) instance; each unification
+       rewrites only the buckets of the merged term *)
+    let rec egd_saturate idx =
+      match violations_in egds idx with
+      | [] -> idx
       | (egd, u, v) :: _ -> (
           if !steps >= budget.max_steps then raise Out_of_budget;
           incr steps;
           match unifier u v with
           | None -> raise (Fail egd)
-          | Some s -> egd_saturate (Subst.apply s inst))
+          | Some s -> egd_saturate (Homo.Instance.apply_subst s idx))
     in
-    (* one TGD round on an instance (restricted-style; core retracts) *)
-    let tgd_round inst =
-      let active = Trigger.unsatisfied_triggers (Kb.rules kb) inst in
+    (* one TGD round on an instance (restricted-style; core retracts);
+       trigger discovery is delta-driven against the previous round *)
+    let prev_snapshot = ref None in
+    let tgd_round idx =
+      let current = Homo.Instance.atomset idx in
+      let delta =
+        Option.map (fun old -> Atomset.diff current old) !prev_snapshot
+      in
+      let active = Trigger.discover ?delta (Kb.rules kb) idx in
+      prev_snapshot := Some current;
       if active = [] then None
       else
         Some
           (List.fold_left
-             (fun inst tr ->
+             (fun idx tr ->
                if !steps >= budget.max_steps then raise Out_of_budget;
                if
-                 Trigger.is_trigger_for tr inst
-                 && not (Trigger.satisfied tr inst)
+                 Trigger.is_trigger_for_in tr idx
+                 && not (Trigger.satisfied_in tr idx)
                then begin
                  incr steps;
-                 let app = Trigger.apply tr inst in
+                 let app = Trigger.apply_in tr idx in
                  if Atomset.cardinal app.Trigger.result > budget.max_atoms
                  then raise Out_of_budget;
+                 let idx =
+                   Homo.Instance.add_atoms idx
+                     (Atomset.to_list app.Trigger.produced)
+                 in
                  match variant with
-                 | `Restricted -> app.Trigger.result
+                 | `Restricted -> idx
                  | `Core ->
-                     Subst.apply
+                     Homo.Instance.apply_subst
                        (Homo.Core.retraction_to_core app.Trigger.result)
-                       app.Trigger.result
+                       idx
                end
-               else inst)
-             inst active)
+               else idx)
+             idx active)
     in
     let outcome = ref Terminated in
     (try
-       let inst = ref (egd_saturate (Kb.facts kb)) in
-       record !inst;
+       let idx =
+         ref (egd_saturate (Homo.Instance.of_atomset (Kb.facts kb)))
+       in
+       record !idx;
        let continue = ref true in
        while !continue do
-         match tgd_round !inst with
+         match tgd_round !idx with
          | None -> continue := false
-         | Some inst' ->
-             inst := egd_saturate inst';
-             record !inst
+         | Some idx' ->
+             idx := egd_saturate idx';
+             record !idx
        done
      with
     | Fail egd -> outcome := Failed egd
@@ -310,19 +377,20 @@ module Baseline = struct
   let run_keyed ~key ?(budget = default_budget) kb =
     let seen = Hashtbl.create 64 in
     let instances = ref [ Kb.facts kb ] in
+    let idx = ref (Homo.Instance.of_atomset (Kb.facts kb)) in
+    let prev_snapshot = ref None in
     let steps = ref 0 in
     let terminated = ref false in
     let finished = ref false in
     while not !finished do
-      let current = List.hd !instances in
-      let indexed = Homo.Instance.of_atomset current in
+      let current = Homo.Instance.atomset !idx in
+      let delta =
+        Option.map (fun old -> Atomset.diff current old) !prev_snapshot
+      in
+      let candidates = Trigger.discover_all ?delta (Kb.rules kb) !idx in
+      prev_snapshot := Some current;
       let fresh_triggers =
-        List.concat_map
-          (fun r ->
-            List.filter
-              (fun tr -> not (Hashtbl.mem seen (key tr)))
-              (Trigger.triggers_of r indexed))
-          (Kb.rules kb)
+        List.filter (fun tr -> not (Hashtbl.mem seen (key tr))) candidates
       in
       if fresh_triggers = [] then begin
         terminated := true;
@@ -334,12 +402,15 @@ module Baseline = struct
             if not !finished then
               if
                 !steps >= budget.max_steps
-                || Atomset.cardinal (List.hd !instances) > budget.max_atoms
+                || Homo.Instance.cardinal !idx > budget.max_atoms
               then finished := true
               else if not (Hashtbl.mem seen (key tr)) then begin
                 Hashtbl.replace seen (key tr) ();
-                let app = Trigger.apply tr (List.hd !instances) in
-                instances := app.Trigger.result :: !instances;
+                let app = Trigger.apply_in tr !idx in
+                idx :=
+                  Homo.Instance.add_atoms !idx
+                    (Atomset.to_list app.Trigger.produced);
+                instances := Homo.Instance.atomset !idx :: !instances;
                 incr steps
               end)
           fresh_triggers

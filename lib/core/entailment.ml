@@ -9,6 +9,17 @@ let pp_verdict ppf = function
 
 let holds_in q inst = Homo.Hom.maps_to (Kb.Query.atoms q) inst
 
+let holds_in_indexed q indexed = Homo.Hom.exists (Kb.Query.atoms q) indexed
+
+(* Scan a derivation's elements against a per-element check, indexing each
+   instance exactly once (the indexed form is shared by every query /
+   disjunct probed against that element). *)
+let exists_step d check =
+  List.exists
+    (fun st ->
+      check (Homo.Instance.of_atomset st.Chase.Derivation.instance))
+    (Chase.Derivation.steps d)
+
 let via_chase ?(variant = `Core) ?budget kb q =
   let run =
     match variant with
@@ -16,11 +27,7 @@ let via_chase ?(variant = `Core) ?budget kb q =
     | `Core -> Chase.Variants.core ?budget kb
   in
   let d = run.Chase.Variants.derivation in
-  let hit =
-    List.exists
-      (fun st -> holds_in q st.Chase.Derivation.instance)
-      (Chase.Derivation.steps d)
-  in
+  let hit = exists_step d (holds_in_indexed q) in
   if hit then Entailed
   else if run.Chase.Variants.outcome = Chase.Variants.Terminated then
     Not_entailed
@@ -78,15 +85,15 @@ let inconsistent ?budget ?(max_domain = 4) ~constraints kb =
   else Unknown "some constraint checks exhausted their budget"
 
 let ucq_holds_in u inst =
-  List.exists (fun q -> holds_in q inst) (Ucq.disjuncts u)
+  let indexed = Homo.Instance.of_atomset inst in
+  List.exists (fun q -> holds_in_indexed q indexed) (Ucq.disjuncts u)
 
 let decide_ucq ?budget ?(max_domain = 4) kb u =
   let run = Chase.Variants.core ?budget kb in
   let d = run.Chase.Variants.derivation in
   let hit =
-    List.exists
-      (fun st -> ucq_holds_in u st.Chase.Derivation.instance)
-      (Chase.Derivation.steps d)
+    exists_step d (fun indexed ->
+        List.exists (fun q -> holds_in_indexed q indexed) (Ucq.disjuncts u))
   in
   if hit then Entailed
   else if run.Chase.Variants.outcome = Chase.Variants.Terminated then

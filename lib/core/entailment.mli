@@ -25,6 +25,10 @@ val pp_verdict : verdict Fmt.t
 val holds_in : Kb.Query.t -> Atomset.t -> bool
 (** [Q] maps homomorphically into the instance. *)
 
+val holds_in_indexed : Kb.Query.t -> Homo.Instance.t -> bool
+(** As {!holds_in} on a pre-indexed instance — index a chase element once
+    and probe many queries/disjuncts against it. *)
+
 val via_chase :
   ?variant:[ `Restricted | `Core ] -> ?budget:Chase.Variants.budget ->
   Kb.t -> Kb.Query.t -> verdict

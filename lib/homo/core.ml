@@ -4,32 +4,34 @@ type strategy = By_variable | By_atom
 
 let strategy = ref By_variable
 
-let find_fold_by_variable a =
-  List.find_map
-    (fun x ->
-      let target = Atomset.without_term x a in
-      Morphism.find_endomorphism_into a target)
-    (Atomset.vars a)
-
-let find_fold_by_atom a =
-  List.find_map
-    (fun at ->
-      if Atom.is_ground at then None
-      else Morphism.find_endomorphism_into a (Atomset.remove at a))
-    (Atomset.to_list a)
-
-let find_fold a =
+(* The fold search works on one index of the current instance; candidate
+   targets (the instance minus the atoms carrying one variable / minus one
+   atom) are derived from it by incremental removal rather than rebuilt. *)
+let find_fold_indexed idx =
+  let a = Instance.atomset idx in
   match !strategy with
-  | By_variable -> find_fold_by_variable a
-  | By_atom -> find_fold_by_atom a
+  | By_variable ->
+      List.find_map
+        (fun x ->
+          let target = Instance.remove_atoms idx (Instance.atoms_with_term idx x) in
+          Hom.find a target)
+        (Atomset.vars a)
+  | By_atom ->
+      List.find_map
+        (fun at ->
+          if Atom.is_ground at then None
+          else Hom.find a (Instance.remove_atoms idx [ at ]))
+        (Atomset.to_list a)
 
-let rec fold_loop sigma current =
-  match find_fold current with
-  | None -> (sigma, current)
-  | Some h -> fold_loop (Subst.compose h sigma) (Subst.apply h current)
+let find_fold a = find_fold_indexed (Instance.of_atomset a)
+
+let rec fold_loop sigma idx =
+  match find_fold_indexed idx with
+  | None -> (sigma, Instance.atomset idx)
+  | Some h -> fold_loop (Subst.compose h sigma) (Instance.apply_subst h idx)
 
 let retraction_to_core a =
-  let sigma_star, c = fold_loop Subst.empty a in
+  let sigma_star, c = fold_loop Subst.empty (Instance.of_atomset a) in
   if Subst.is_empty sigma_star then Subst.empty
   else begin
     (* σ* : A → C is a homomorphism onto the core C; its restriction to C

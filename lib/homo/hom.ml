@@ -51,27 +51,37 @@ let solve ?(seed = Subst.empty) ?(injective = false) ~(k : Subst.t -> unit)
         (TS.of_list (Atomset.consts src))
         (Atomset.vars src)
   in
+  (* remove the i-th element, returning it and the remainder in order *)
+  let rec extract_nth i = function
+    | [] -> invalid_arg "Hom.solve: extract_nth"
+    | x :: rest ->
+        if i = 0 then (x, rest)
+        else
+          let y, rest' = extract_nth (i - 1) rest in
+          (y, x :: rest')
+  in
   let rec go sigma used remaining =
     match remaining with
     | [] -> k sigma
+    | [ a ] -> match_next sigma used a []
     | _ ->
         let next, rest =
           if !naive_order then (List.hd remaining, List.tl remaining)
           else
-            (* most-constrained-first: smallest candidate bucket *)
-            let scored =
-              List.map
-                (fun a -> (Instance.candidate_count tgt a sigma, a))
-                remaining
-            in
-            let best =
+            (* most-constrained-first: smallest candidate bucket.  One
+               pass per level; each count is read off the cached bucket
+               cardinalities, and the winner is removed by index. *)
+            let best_i, _, _ =
               List.fold_left
-                (fun (bc, ba) (c, a) ->
-                  if c < bc then (c, a) else (bc, ba))
-                (List.hd scored) (List.tl scored)
+                (fun (bi, bc, i) a ->
+                  let c = Instance.candidate_count tgt a sigma in
+                  if c < bc then (i, c, i + 1) else (bi, bc, i + 1))
+                (-1, max_int, 0) remaining
             in
-            (snd best, List.filter (fun a -> a != snd best) remaining)
+            extract_nth best_i remaining
         in
+        match_next sigma used next rest
+  and match_next sigma used next rest =
         let try_candidate target_atom =
           match extend_via_atom_full sigma next target_atom with
           | None -> ()

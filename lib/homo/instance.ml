@@ -1,6 +1,7 @@
 open Syntax
 
 module SMap = Map.Make (String)
+module TMap = Map.Make (Term)
 
 module PTKey = struct
   type t = string * int * Term.t
@@ -15,80 +16,180 @@ end
 
 module PTMap = Map.Make (PTKey)
 
+(* A bucket caches its cardinality: selectivity comparisons in
+   [best_bucket] and candidate counting in the hom search read [n]
+   instead of walking [items]. *)
+type bucket = { n : int; items : Atom.t list }
+
+let bucket_empty = { n = 0; items = [] }
+
+let bucket_add a b = { n = b.n + 1; items = a :: b.items }
+
+(* Every bucket holds an atom at most once (keys are per position), so a
+   successful removal decrements the cached cardinality by exactly one. *)
+let bucket_remove a b =
+  let rec rm acc = function
+    | [] -> None
+    | x :: rest ->
+        if Atom.equal x a then Some (List.rev_append acc rest)
+        else rm (x :: acc) rest
+  in
+  match rm [] b.items with
+  | None -> b
+  | Some items -> { n = b.n - 1; items }
+
 type t = {
   atoms : Atomset.t;
-  by_pred : Atom.t list SMap.t;
-  by_ppt : Atom.t list PTMap.t;
+  by_pred : bucket SMap.t;
+  by_ppt : bucket PTMap.t;
+  by_term : bucket TMap.t;  (** atoms containing a given term (anywhere) *)
 }
 
-let of_atomset atoms =
-  let by_pred, by_ppt =
+let empty =
+  {
+    atoms = Atomset.empty;
+    by_pred = SMap.empty;
+    by_ppt = PTMap.empty;
+    by_term = TMap.empty;
+  }
+
+let bump a = function
+  | None -> Some (bucket_add a bucket_empty)
+  | Some b -> Some (bucket_add a b)
+
+let drop a = function
+  | None -> None
+  | Some b ->
+      let b = bucket_remove a b in
+      if b.n = 0 then None else Some b
+
+let add_atom ins a =
+  if Atomset.mem a ins.atoms then ins
+  else
+    let by_pred = SMap.update (Atom.pred a) (bump a) ins.by_pred in
+    let by_ppt, _ =
+      List.fold_left
+        (fun (bt, i) arg ->
+          (PTMap.update (Atom.pred a, i, arg) (bump a) bt, i + 1))
+        (ins.by_ppt, 0) (Atom.args a)
+    in
+    let by_term =
+      List.fold_left
+        (fun bt t -> TMap.update t (bump a) bt)
+        ins.by_term (Atom.term_set a)
+    in
+    { atoms = Atomset.add a ins.atoms; by_pred; by_ppt; by_term }
+
+let remove_atom ins a =
+  if not (Atomset.mem a ins.atoms) then ins
+  else
+    let by_pred = SMap.update (Atom.pred a) (drop a) ins.by_pred in
+    let by_ppt, _ =
+      List.fold_left
+        (fun (bt, i) arg ->
+          (PTMap.update (Atom.pred a, i, arg) (drop a) bt, i + 1))
+        (ins.by_ppt, 0) (Atom.args a)
+    in
+    let by_term =
+      List.fold_left
+        (fun bt t -> TMap.update t (drop a) bt)
+        ins.by_term (Atom.term_set a)
+    in
+    { atoms = Atomset.remove a ins.atoms; by_pred; by_ppt; by_term }
+
+let add_atoms ins atoms = List.fold_left add_atom ins atoms
+
+let remove_atoms ins atoms = List.fold_left remove_atom ins atoms
+
+let of_atomset atoms = Atomset.fold (fun a ins -> add_atom ins a) atoms empty
+
+let apply_subst sigma ins =
+  if Subst.is_empty sigma then ins
+  else
+    (* only atoms containing a term of the substitution's domain can be
+       rewritten; the by-term buckets list exactly those *)
+    let affected =
+      List.fold_left
+        (fun acc x ->
+          match TMap.find_opt x ins.by_term with
+          | None -> acc
+          | Some b -> List.fold_left (fun acc a -> Atomset.add a acc) acc b.items)
+        Atomset.empty (Subst.domain sigma)
+    in
     Atomset.fold
-      (fun a (bp, bt) ->
-        let bp =
-          SMap.update (Atom.pred a)
-            (function None -> Some [ a ] | Some l -> Some (a :: l))
-            bp
-        in
-        let bt, _ =
-          List.fold_left
-            (fun (bt, i) arg ->
-              ( PTMap.update
-                  (Atom.pred a, i, arg)
-                  (function None -> Some [ a ] | Some l -> Some (a :: l))
-                  bt,
-                i + 1 ))
-            (bt, 0) (Atom.args a)
-        in
-        (bp, bt))
-      atoms (SMap.empty, PTMap.empty)
-  in
-  { atoms; by_pred; by_ppt }
+      (fun a ins ->
+        let a' = Subst.apply_atom sigma a in
+        if Atom.equal a a' then ins else add_atom (remove_atom ins a) a')
+      affected ins
 
 let atomset ins = ins.atoms
 
 let cardinal ins = Atomset.cardinal ins.atoms
 
+let mem ins a = Atomset.mem a ins.atoms
+
 let atoms_with_pred ins p =
-  match SMap.find_opt p ins.by_pred with Some l -> l | None -> []
+  match SMap.find_opt p ins.by_pred with Some b -> b.items | None -> []
 
 let atoms_with_pred_pos_term ins p i t =
-  match PTMap.find_opt (p, i, t) ins.by_ppt with Some l -> l | None -> []
+  match PTMap.find_opt (p, i, t) ins.by_ppt with Some b -> b.items | None -> []
+
+let atoms_with_term ins t =
+  match TMap.find_opt t ins.by_term with Some b -> b.items | None -> []
 
 (* The most selective index entry for a pattern atom: among argument
    positions whose pattern term is a constant or a σ-bound variable, the
    (pred, pos, term) bucket with the fewest atoms; otherwise the predicate
-   bucket. *)
+   bucket.  Comparisons use the cached cardinalities. *)
 let best_bucket ins pattern sigma =
   let p = Atom.pred pattern in
-  let bound_positions =
-    List.filteri
-      (fun _ _ -> true)
-      (List.mapi (fun i arg -> (i, arg)) (Atom.args pattern))
-    |> List.filter_map (fun (i, arg) ->
-           match arg with
-           | Term.Const _ -> Some (i, arg)
-           | Term.Var _ -> (
-               match Subst.find arg sigma with
-               | Some img -> Some (i, img)
-               | None -> None))
+  let pred_bucket =
+    match SMap.find_opt p ins.by_pred with
+    | Some b -> b
+    | None -> bucket_empty
   in
-  let pred_bucket = atoms_with_pred ins p in
-  List.fold_left
-    (fun best (i, img) ->
-      let bucket = atoms_with_pred_pos_term ins p i img in
-      if List.length bucket < List.length best then bucket else best)
-    pred_bucket bound_positions
+  let best, _ =
+    List.fold_left
+      (fun (best, i) arg ->
+        let img =
+          match arg with
+          | Term.Const _ -> Some arg
+          | Term.Var _ -> Subst.find arg sigma
+        in
+        let best =
+          match img with
+          | None -> best
+          | Some img -> (
+              match PTMap.find_opt (p, i, img) ins.by_ppt with
+              | None -> bucket_empty
+              | Some b -> if b.n < best.n then b else best)
+        in
+        (best, i + 1))
+      (pred_bucket, 0) (Atom.args pattern)
+  in
+  best
 
 let use_indexes = ref true
 
 let all_atoms ins = Atomset.to_list ins.atoms
 
 let candidates ins pattern sigma =
-  if !use_indexes then best_bucket ins pattern sigma else all_atoms ins
+  if !use_indexes then (best_bucket ins pattern sigma).items else all_atoms ins
 
 let candidate_count ins pattern sigma =
-  if !use_indexes then List.length (best_bucket ins pattern sigma)
+  if !use_indexes then (best_bucket ins pattern sigma).n
   else Atomset.cardinal ins.atoms
+
+let invariants_ok ins =
+  let fresh = of_atomset ins.atoms in
+  let norm b = List.sort Atom.compare b.items in
+  let bucket_eq b1 b2 =
+    b1.n = List.length b1.items
+    && b1.n = b2.n
+    && List.equal Atom.equal (norm b1) (norm b2)
+  in
+  SMap.equal bucket_eq ins.by_pred fresh.by_pred
+  && PTMap.equal bucket_eq ins.by_ppt fresh.by_ppt
+  && TMap.equal bucket_eq ins.by_term fresh.by_term
 
 let pp ppf ins = Atomset.pp ppf ins.atoms

@@ -1,30 +1,55 @@
 (** Indexed instances: an {!Syntax.Atomset.t} wrapped with access structures
     for conjunctive matching.
 
-    Two indexes are maintained:
+    Three indexes are maintained, with cached bucket cardinalities:
     - by predicate: all atoms with a given predicate symbol;
     - by (predicate, position, term): all atoms with a given term at a given
-      argument position.
+      argument position;
+    - by term: all atoms containing a given term at any position (used to
+      locate the atoms a substitution can rewrite).
 
-    Instances are immutable; chase engines rebuild them per round (the
-    rebuild is linear and dwarfed by the matching work it accelerates —
-    see the [abl:index] ablation bench). *)
+    Instances are immutable persistent values and {e incrementally
+    updatable}: chase engines build the index once per run and patch it
+    per step with {!add_atoms} / {!apply_subst} instead of rebuilding it
+    per satisfaction check (see DESIGN.md §7 and the [abl:index]
+    ablation bench). *)
 
 open Syntax
 
 type t
 
+val empty : t
+
 val of_atomset : Atomset.t -> t
+
+val add_atoms : t -> Atom.t list -> t
+(** Insert atoms, updating every index; atoms already present are
+    ignored.  [of_atomset s ≡ add_atoms empty (Atomset.to_list s)]. *)
+
+val remove_atoms : t -> Atom.t list -> t
+(** Remove atoms, updating every index; absent atoms are ignored. *)
+
+val apply_subst : Subst.t -> t -> t
+(** [apply_subst σ ins] is the instance of [σ(atomset ins)].  Only the
+    atoms containing a term of [σ]'s domain are touched (found through
+    the by-term buckets); all others keep their index entries, so a
+    simplification step costs time proportional to the rewritten part,
+    not to the whole instance. *)
 
 val atomset : t -> Atomset.t
 
 val cardinal : t -> int
+
+val mem : t -> Atom.t -> bool
 
 val atoms_with_pred : t -> string -> Atom.t list
 (** All atoms with the given predicate (empty list if none). *)
 
 val atoms_with_pred_pos_term : t -> string -> int -> Term.t -> Atom.t list
 (** All atoms with the given term at the given 0-based position. *)
+
+val atoms_with_term : t -> Term.t -> Atom.t list
+(** All atoms containing the given term at some position. *)
 
 val candidates : t -> Atom.t -> Subst.t -> Atom.t list
 (** [candidates ins pattern σ]: a superset of the atoms of [ins] that the
@@ -33,7 +58,13 @@ val candidates : t -> Atom.t -> Subst.t -> Atom.t list
     [σ]-bound variables; callers still verify full consistency. *)
 
 val candidate_count : t -> Atom.t -> Subst.t -> int
-(** Length of {!candidates} without materialising it beyond the index. *)
+(** Length of {!candidates}, read off the cached bucket cardinalities
+    without walking any atom list. *)
+
+val invariants_ok : t -> bool
+(** Every index bucket (membership {e and} cached cardinality) agrees
+    with a fresh rebuild from the atomset — the differential oracle for
+    the incremental-update property tests. *)
 
 val pp : t Fmt.t
 

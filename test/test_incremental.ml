@@ -1,0 +1,314 @@
+(* Differential tests for the incremental instance index and the
+   delta-driven (semi-naive) trigger discovery:
+
+   (a) an index grown by random add/simplify sequences equals a fresh
+       [of_atomset] rebuild, bucket for bucket (cached cardinalities
+       included);
+   (b) delta-driven discovery returns the same trigger set as the full
+       snapshot re-enumeration at every round of real chases
+       ([Trigger.Audit] mode raises on the first disagreement), and
+       whole runs under the two modes produce equivalent results;
+   (c) the [use_indexes] ablation does not change [Hom.all]. *)
+
+open Syntax
+
+let atom p args = Atom.make p args
+
+(* deterministic LCG so failures reproduce (same recipe as Zoo.Randomkb) *)
+let lcg seed =
+  let state = ref (seed land 0x3FFFFFFF) in
+  fun bound ->
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state mod bound
+
+(* ------------------------------------------------------------------ *)
+(* (a) incremental index ≡ rebuild *)
+
+let random_atom rand =
+  let preds = [| ("p", 2); ("q", 2); ("r", 1); ("s", 3) |] in
+  let p, ar = preds.(rand (Array.length preds)) in
+  let term () =
+    if rand 3 = 0 then Term.const (Printf.sprintf "c%d" (rand 5))
+    else Term.var_of_id ~hint:"x" (800_000 + rand 12)
+  in
+  atom p (List.init ar (fun _ -> term ()))
+
+(* a substitution folding one live variable onto another live term *)
+let random_fold rand aset =
+  match Atomset.vars aset with
+  | [] -> None
+  | vars ->
+      let v = List.nth vars (rand (List.length vars)) in
+      let terms = Atomset.terms aset in
+      let img = List.nth terms (rand (List.length terms)) in
+      if Term.equal v img then None else Some (Subst.singleton v img)
+
+let test_index_incremental_vs_rebuild () =
+  for seed = 1 to 25 do
+    let rand = lcg (seed * 7919) in
+    let idx = ref Homo.Instance.empty in
+    let reference = ref Atomset.empty in
+    for _step = 1 to 40 do
+      (match rand 4 with
+      | 0 | 1 ->
+          (* add a batch of atoms *)
+          let batch = List.init (1 + rand 3) (fun _ -> random_atom rand) in
+          idx := Homo.Instance.add_atoms !idx batch;
+          reference :=
+            List.fold_left (fun s a -> Atomset.add a s) !reference batch
+      | 2 ->
+          (* simplify: fold a variable onto another term *)
+          (match random_fold rand !reference with
+          | None -> ()
+          | Some s ->
+              idx := Homo.Instance.apply_subst s !idx;
+              reference := Subst.apply s !reference)
+      | _ ->
+          (* remove some atom *)
+          (match Atomset.to_list !reference with
+          | [] -> ()
+          | atoms ->
+              let a = List.nth atoms (rand (List.length atoms)) in
+              idx := Homo.Instance.remove_atoms !idx [ a ];
+              reference := Atomset.remove a !reference));
+      if not (Atomset.equal (Homo.Instance.atomset !idx) !reference) then
+        Alcotest.failf "seed %d: incremental atomset diverged from reference"
+          seed;
+      if not (Homo.Instance.invariants_ok !idx) then
+        Alcotest.failf "seed %d: index buckets diverged from a rebuild" seed
+    done
+  done
+
+let test_index_add_is_idempotent () =
+  let a1 = atom "p" [ Term.const "a"; Term.const "b" ] in
+  let idx = Homo.Instance.add_atoms Homo.Instance.empty [ a1; a1; a1 ] in
+  Alcotest.(check int) "one atom" 1 (Homo.Instance.cardinal idx);
+  Alcotest.(check int) "one candidate" 1
+    (Homo.Instance.candidate_count idx a1 Subst.empty);
+  Alcotest.(check bool) "invariants" true (Homo.Instance.invariants_ok idx)
+
+let test_candidate_count_matches_candidates () =
+  let rand = lcg 1234 in
+  let atoms = List.init 60 (fun _ -> random_atom rand) in
+  let idx = Homo.Instance.add_atoms Homo.Instance.empty atoms in
+  let x = Term.var_of_id ~hint:"x" 800_001 in
+  List.iter
+    (fun pattern ->
+      List.iter
+        (fun sigma ->
+          Alcotest.(check int)
+            (Fmt.str "count=|candidates| for %a" Atom.pp pattern)
+            (List.length (Homo.Instance.candidates idx pattern sigma))
+            (Homo.Instance.candidate_count idx pattern sigma))
+        [ Subst.empty; Subst.singleton x (Term.const "c1") ])
+    (List.map (fun _ -> random_atom rand) (List.init 20 Fun.id))
+
+let test_apply_subst_merges_collisions () =
+  (* p(x,b) and p(a,b): folding x↦a must collapse them to ONE atom *)
+  let x = Term.var_of_id ~hint:"x" 800_100 in
+  let a = Term.const "a" and b = Term.const "b" in
+  let idx =
+    Homo.Instance.add_atoms Homo.Instance.empty
+      [ atom "p" [ x; b ]; atom "p" [ a; b ] ]
+  in
+  let idx' = Homo.Instance.apply_subst (Subst.singleton x a) idx in
+  Alcotest.(check int) "collapsed" 1 (Homo.Instance.cardinal idx');
+  Alcotest.(check bool) "invariants" true (Homo.Instance.invariants_ok idx');
+  Alcotest.(check int) "x buckets gone" 0
+    (List.length (Homo.Instance.atoms_with_term idx' x))
+
+(* ------------------------------------------------------------------ *)
+(* (b) delta-driven discovery ≡ snapshot, audited at every round *)
+
+let with_discovery mode f =
+  let saved = !Chase.Trigger.discovery in
+  Chase.Trigger.discovery := mode;
+  Fun.protect ~finally:(fun () -> Chase.Trigger.discovery := saved) f
+
+let budget steps = { Chase.Variants.max_steps = steps; max_atoms = 5_000 }
+
+let test_audit_staircase () =
+  with_discovery Chase.Trigger.Audit (fun () ->
+      let kb = Zoo.Staircase.kb () in
+      ignore (Chase.Variants.restricted ~budget:(budget 25) kb);
+      ignore (Chase.Variants.core ~budget:(budget 20) kb);
+      ignore (Chase.Variants.frugal ~budget:(budget 20) kb);
+      ignore
+        (Chase.Variants.core ~cadence:Chase.Variants.Every_round
+           ~budget:(budget 15) kb))
+
+let test_audit_elevator () =
+  with_discovery Chase.Trigger.Audit (fun () ->
+      let kb = Zoo.Elevator.kb () in
+      ignore (Chase.Variants.restricted ~budget:(budget 25) kb);
+      ignore (Chase.Variants.core ~budget:(budget 20) kb))
+
+let test_audit_randomkb () =
+  with_discovery Chase.Trigger.Audit (fun () ->
+      List.iteri
+        (fun i kb ->
+          ignore (Chase.Variants.restricted ~budget:(budget 40) kb);
+          if i < 3 then ignore (Chase.Variants.core ~budget:(budget 25) kb))
+        (Zoo.Randomkb.generate_many ~seed:42 ~count:6 Zoo.Randomkb.default))
+
+let test_audit_stream_and_baselines () =
+  with_discovery Chase.Trigger.Audit (fun () ->
+      let kb = Zoo.Staircase.kb () in
+      ignore
+        (List.of_seq
+           (Seq.take 15 (Chase.Variants.stream ~variant:`Core kb)));
+      ignore (Chase.Variants.Baseline.oblivious ~budget:(budget 30) kb);
+      ignore (Chase.Variants.Baseline.skolem ~budget:(budget 30) kb);
+      List.iter
+        (fun kb ->
+          ignore (Chase.Variants.Baseline.oblivious ~budget:(budget 60) kb);
+          ignore (Chase.Variants.Baseline.skolem ~budget:(budget 60) kb))
+        (Zoo.Randomkb.generate_many ~seed:7 ~count:3 Zoo.Randomkb.datalog))
+
+let test_audit_egds () =
+  with_discovery Chase.Trigger.Audit (fun () ->
+      (* FD over emp + a TGD feeding it, so EGD unifications interleave
+         with delta-driven TGD rounds *)
+      let x = Term.fresh_var ~hint:"X" ()
+      and y = Term.fresh_var ~hint:"Y" ()
+      and z = Term.fresh_var ~hint:"Z" () in
+      let fd =
+        Egd.make ~name:"fd"
+          ~body:[ atom "emp" [ x; y ]; atom "emp" [ x; z ] ]
+          y z
+      in
+      let x2 = Term.fresh_var ~hint:"X" () and w = Term.fresh_var ~hint:"W" () in
+      let rule =
+        Rule.make ~name:"hire"
+          ~body:[ atom "dept" [ x2 ] ]
+          ~head:[ atom "emp" [ x2; w ]; atom "dept" [ w ] ]
+          ()
+      in
+      let kb =
+        Kb.with_egds [ fd ]
+          (Kb.of_lists
+             ~facts:
+               [
+                 atom "dept" [ Term.const "d0" ];
+                 atom "emp" [ Term.const "d0"; Term.const "e0" ];
+               ]
+             ~rules:[ rule ])
+      in
+      ignore (Chase.Variants.Egds.run ~budget:(budget 30) kb);
+      ignore (Chase.Variants.Egds.run ~variant:`Core ~budget:(budget 30) kb))
+
+(* whole-run comparison: Delta and Snapshot modes must reach equivalent
+   results (fresh nulls differ between runs, so equivalence is
+   termination + size + homomorphic equivalence) *)
+let equivalent_runs run_a run_b =
+  let open Chase.Variants in
+  run_a.outcome = run_b.outcome
+  && run_a.rounds = run_b.rounds
+  && Chase.Derivation.length run_a.derivation
+     = Chase.Derivation.length run_b.derivation
+  &&
+  let fin r = (Chase.Derivation.last r.derivation).Chase.Derivation.instance in
+  Atomset.cardinal (fin run_a) = Atomset.cardinal (fin run_b)
+  && Homo.Morphism.hom_equivalent (fin run_a) (fin run_b)
+
+let test_delta_vs_snapshot_runs () =
+  let compare_on kb name steps =
+    let delta_run =
+      with_discovery Chase.Trigger.Delta (fun () ->
+          Chase.Variants.core ~budget:(budget steps) kb)
+    in
+    let snap_run =
+      with_discovery Chase.Trigger.Snapshot (fun () ->
+          Chase.Variants.core ~budget:(budget steps) kb)
+    in
+    Alcotest.(check bool)
+      (name ^ ": delta and snapshot runs equivalent")
+      true
+      (equivalent_runs delta_run snap_run)
+  in
+  compare_on (Zoo.Staircase.kb ()) "staircase" 20;
+  compare_on (Zoo.Elevator.kb ()) "elevator" 15;
+  List.iteri
+    (fun i kb -> compare_on kb (Printf.sprintf "randomkb%d" i) 25)
+    (Zoo.Randomkb.generate_many ~seed:11 ~count:3 Zoo.Randomkb.default)
+
+let test_delta_vs_snapshot_restricted_termination () =
+  (* a terminating datalog KB: both modes must reach the same fixpoint *)
+  List.iter
+    (fun kb ->
+      let fin mode =
+        with_discovery mode (fun () ->
+            let r = Chase.Variants.restricted ~budget:(budget 500) kb in
+            Alcotest.(check bool) "terminated" true
+              (r.Chase.Variants.outcome = Chase.Variants.Terminated);
+            (Chase.Derivation.last r.Chase.Variants.derivation)
+              .Chase.Derivation.instance)
+      in
+      let f_delta = fin Chase.Trigger.Delta in
+      let f_snap = fin Chase.Trigger.Snapshot in
+      (* datalog: no fresh nulls, fixpoints are literally equal *)
+      Alcotest.(check bool) "same fixpoint" true (Atomset.equal f_delta f_snap))
+    (Zoo.Randomkb.generate_many ~seed:5 ~count:4 Zoo.Randomkb.datalog)
+
+(* ------------------------------------------------------------------ *)
+(* (c) use_indexes ablation does not change Hom.all *)
+
+let test_use_indexes_ablation () =
+  let rand = lcg 4242 in
+  for _case = 1 to 15 do
+    let tgt_atoms = List.init 30 (fun _ -> random_atom rand) in
+    let src =
+      Atomset.of_list (List.init 3 (fun _ -> random_atom rand))
+    in
+    let idx =
+      Homo.Instance.add_atoms Homo.Instance.empty tgt_atoms
+    in
+    let canon hs =
+      List.sort_uniq compare
+        (List.map (fun h -> Fmt.str "%a" Subst.pp_debug h) hs)
+    in
+    let on =
+      (Homo.Instance.use_indexes := true;
+       Homo.Hom.all src idx)
+    in
+    let off =
+      (Homo.Instance.use_indexes := false;
+       Fun.protect
+         ~finally:(fun () -> Homo.Instance.use_indexes := true)
+         (fun () -> Homo.Hom.all src idx))
+    in
+    Alcotest.(check (list string)) "same homomorphisms" (canon on) (canon off)
+  done
+
+let suites =
+  [
+    ( "incremental.index",
+      [
+        Alcotest.test_case "random ops ≡ rebuild" `Quick
+          test_index_incremental_vs_rebuild;
+        Alcotest.test_case "add is idempotent" `Quick
+          test_index_add_is_idempotent;
+        Alcotest.test_case "candidate_count = |candidates|" `Quick
+          test_candidate_count_matches_candidates;
+        Alcotest.test_case "apply_subst merges collisions" `Quick
+          test_apply_subst_merges_collisions;
+      ] );
+    ( "incremental.triggers",
+      [
+        Alcotest.test_case "audit: staircase" `Quick test_audit_staircase;
+        Alcotest.test_case "audit: elevator" `Quick test_audit_elevator;
+        Alcotest.test_case "audit: random KBs" `Quick test_audit_randomkb;
+        Alcotest.test_case "audit: stream & baselines" `Quick
+          test_audit_stream_and_baselines;
+        Alcotest.test_case "audit: egds" `Quick test_audit_egds;
+        Alcotest.test_case "delta ≡ snapshot core runs" `Quick
+          test_delta_vs_snapshot_runs;
+        Alcotest.test_case "delta ≡ snapshot fixpoints" `Quick
+          test_delta_vs_snapshot_restricted_termination;
+      ] );
+    ( "incremental.ablation",
+      [
+        Alcotest.test_case "use_indexes on/off agree" `Quick
+          test_use_indexes_ablation;
+      ] );
+  ]

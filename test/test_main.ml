@@ -1,2 +1,2 @@
 (* Umbrella test runner; suites are added per library as they land. *)
-let () = Alcotest.run "corechase" (Test_syntax.suites @ Test_homo.suites @ Test_treewidth.suites @ Test_chase.suites @ Test_zoo.suites @ Test_core.suites @ Test_rclasses.suites @ Test_integration.suites @ Test_experiments.suites @ Test_repl.suites @ Test_egd.suites @ Test_datalog.suites)
+let () = Alcotest.run "corechase" (Test_syntax.suites @ Test_homo.suites @ Test_treewidth.suites @ Test_chase.suites @ Test_zoo.suites @ Test_core.suites @ Test_rclasses.suites @ Test_integration.suites @ Test_experiments.suites @ Test_repl.suites @ Test_egd.suites @ Test_datalog.suites @ Test_incremental.suites)
