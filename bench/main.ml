@@ -150,6 +150,45 @@ let micro_tests =
              Homo.Instance.empty staircase_atoms_list)));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Per-workload counter snapshots (DESIGN.md §8).  Each workload runs
+   once with the metrics registry enabled; its counter columns (triggers
+   enumerated/applied, retractions, hom backtracks, ...) land next to the
+   timing estimates in BENCH_RESULTS.json.  The runs are deterministic,
+   so the columns double as a cheap cross-machine sanity check. *)
+
+let counter_workloads =
+  [
+    ("staircase:core-20", fun () ->
+        ignore (Chase.Variants.core ~budget:(budget 20) (Zoo.Staircase.kb ())));
+    ("staircase:restricted-60", fun () ->
+        ignore
+          (Chase.Variants.restricted ~budget:(budget 60) (Zoo.Staircase.kb ())));
+    ("elevator:core-25", fun () ->
+        ignore (Chase.Variants.core ~budget:(budget 25) (Zoo.Elevator.kb ())));
+    ("tc-chain:datalog", fun () ->
+        ignore
+          (Chase.Datalog.saturate ~strategy:`Seminaive (Kb.rules tc_chain_kb)
+             (Kb.facts tc_chain_kb)));
+    ("elevator:exact-tw", fun () -> ignore (Treewidth.exact elevator_prefix));
+  ]
+
+let collect_counters () =
+  List.map
+    (fun (name, f) ->
+      Corechase.Obs.Metrics.reset ();
+      Corechase.Obs.Metrics.enabled := true;
+      Fun.protect
+        ~finally:(fun () -> Corechase.Obs.Metrics.enabled := false)
+        f;
+      let counters =
+        List.filter
+          (fun (_, v) -> v > 0)
+          (Corechase.Obs.Metrics.counters ())
+      in
+      (name, counters))
+    counter_workloads
+
 let run_micro () =
   let test = Test.make_grouped ~name:"corechase" ~fmt:"%s %s" micro_tests in
   let cfg =
@@ -169,24 +208,64 @@ let run_micro () =
       | Some [ est ] -> Format.printf "  %-44s %14.1f ns/run@." name est
       | _ -> Format.printf "  %-44s (no estimate)@." name)
     rows;
-  (* machine-readable mirror of the table, for CI artifacts / regression
-     tracking: { "<bench name>": <ns/run>, ... } *)
+  List.filter_map
+    (fun (name, r) ->
+      match Analyze.OLS.estimates r with
+      | Some [ est ] -> Some (name, est)
+      | _ -> None)
+    rows
+
+(* machine-readable mirror of the tables, for CI artifacts / regression
+   tracking.  Timing keys stay flat ({ "<bench name>": <ns/run>, ... });
+   the per-workload counter columns sit under one "counters" key.  When
+   the microbenchmarks were skipped, the previous file's timing lines are
+   carried over so a quick run never erases regression baselines. *)
+let salvaged_estimates () =
+  match open_in "BENCH_RESULTS.json" with
+  | exception Sys_error _ -> []
+  | ic ->
+      let lines = ref [] in
+      (try
+         while true do
+           let l = input_line ic in
+           if
+             String.length l > 3
+             && String.sub l 0 3 = {|  "|}
+             && (not (String.length l >= 13 && String.sub l 0 13 = {|  "counters"|}))
+           then begin
+             (* normalise: every flat timing line ends with a comma *)
+             let l =
+               if l.[String.length l - 1] = ',' then l else l ^ ","
+             in
+             lines := l :: !lines
+           end
+         done
+       with End_of_file -> ());
+      close_in ic;
+      List.rev !lines
+
+let write_results ~estimates ~counters =
+  let salvaged = if estimates = [] then salvaged_estimates () else [] in
   let oc = open_out "BENCH_RESULTS.json" in
-  let estimates =
-    List.filter_map
-      (fun (name, r) ->
-        match Analyze.OLS.estimates r with
-        | Some [ est ] -> Some (name, est)
-        | _ -> None)
-      rows
-  in
   output_string oc "{\n";
-  List.iteri
-    (fun i (name, est) ->
-      Printf.fprintf oc "  %S: %.1f%s\n" name est
-        (if i = List.length estimates - 1 then "" else ","))
+  List.iter (fun l -> output_string oc (l ^ "\n")) salvaged;
+  List.iter
+    (fun (name, est) -> Printf.fprintf oc "  %S: %.1f,\n" name est)
     estimates;
-  output_string oc "}\n";
+  output_string oc "  \"counters\": {\n";
+  let n_work = List.length counters in
+  List.iteri
+    (fun i (workload, cols) ->
+      Printf.fprintf oc "    %S: {" workload;
+      List.iteri
+        (fun j (cname, v) ->
+          Printf.fprintf oc "%s%S: %d"
+            (if j = 0 then "" else ", ")
+            cname v)
+        cols;
+      Printf.fprintf oc "}%s\n" (if i = n_work - 1 then "" else ","))
+    counters;
+  output_string oc "  }\n}\n";
   close_out oc;
   Format.printf "  (written to BENCH_RESULTS.json)@."
 
@@ -195,7 +274,19 @@ let () =
   let ok = Experiments.run_all ~scale Format.std_formatter in
   Format.printf "@.experiment regeneration: %s@."
     (if ok then "ALL PASS" else "SOME FAILED");
-  (match Sys.getenv_opt "BENCH_SKIP_MICRO" with
-  | Some "1" -> Format.printf "(microbenchmarks skipped)@."
-  | _ -> run_micro ());
+  let counters = collect_counters () in
+  Format.printf "@.=== per-workload counters ===@.";
+  List.iter
+    (fun (workload, cols) ->
+      Format.printf "  %s:@." workload;
+      List.iter (fun (n, v) -> Format.printf "    %-32s %d@." n v) cols)
+    counters;
+  let estimates =
+    match Sys.getenv_opt "BENCH_SKIP_MICRO" with
+    | Some "1" ->
+        Format.printf "(microbenchmarks skipped)@.";
+        []
+    | _ -> run_micro ()
+  in
+  write_results ~estimates ~counters;
   if not ok then exit 1

@@ -31,6 +31,36 @@ let atoms_arg =
 
 let budget_of steps atoms = { Chase.Variants.max_steps = steps; max_atoms = atoms }
 
+(* observability (DESIGN.md §8) *)
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write a JSONL trace of chase events to $(docv).")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Collect metrics during the run and print the registry afterwards.")
+
+let with_obs ~trace ~metrics f =
+  if metrics then begin
+    Corechase.Obs.Metrics.reset ();
+    Corechase.Obs.Metrics.enabled := true
+  end;
+  Fun.protect
+    ~finally:(fun () ->
+      if metrics then begin
+        Corechase.Obs.Metrics.enabled := false;
+        Fmt.pr "@.metrics:@.%a" Corechase.Obs.Metrics.pp_table ()
+      end)
+    (fun () ->
+      match trace with
+      | None -> f ()
+      | Some path -> Corechase.Obs.Trace.with_jsonl_file path f)
+
 (* chase *)
 let variant_arg =
   let variant_conv =
@@ -44,23 +74,28 @@ let variant_arg =
   Arg.(value & opt variant_conv Chase.Core & info [ "variant"; "v" ] ~doc:"Chase variant: oblivious, skolem, restricted or core.")
 
 let chase_cmd =
-  let run file variant steps atoms verbose =
+  let run file variant steps atoms verbose trace metrics =
     let kb = load_kb file in
-    let report = Chase.run ~budget:(budget_of steps atoms) variant kb in
-    Fmt.pr "variant:    %s@." (Chase.variant_name report.Chase.variant);
-    Fmt.pr "outcome:    %s@."
-      (if report.Chase.terminated then "terminated (fixpoint reached)"
-       else "budget exhausted");
-    Fmt.pr "steps:      %d@." report.Chase.steps;
-    Fmt.pr "final size: %d atoms@." (Atomset.cardinal report.Chase.final);
-    if verbose then
-      Atomset.iter (fun a -> Fmt.pr "%s.@." (Dlgp.atom_to_string a)) report.Chase.final
+    with_obs ~trace ~metrics (fun () ->
+        let report = Chase.run ~budget:(budget_of steps atoms) variant kb in
+        Fmt.pr "variant:    %s@." (Chase.variant_name report.Chase.variant);
+        Fmt.pr "outcome:    %s@."
+          (if report.Chase.terminated then "terminated (fixpoint reached)"
+           else "budget exhausted");
+        Fmt.pr "steps:      %d@." report.Chase.steps;
+        Fmt.pr "final size: %d atoms@." (Atomset.cardinal report.Chase.final);
+        if verbose then
+          Atomset.iter
+            (fun a -> Fmt.pr "%s.@." (Dlgp.atom_to_string a))
+            report.Chase.final)
   in
   let verbose =
     Arg.(value & flag & info [ "print"; "p" ] ~doc:"Print the final instance.")
   in
   Cmd.v (Cmd.info "chase" ~doc:"Run a chase variant on a DLGP knowledge base.")
-    CTerm.(const run $ file_arg $ variant_arg $ steps_arg $ atoms_arg $ verbose)
+    CTerm.(
+      const run $ file_arg $ variant_arg $ steps_arg $ atoms_arg $ verbose
+      $ trace_arg $ metrics_arg)
 
 (* entail *)
 let entail_cmd =
@@ -155,7 +190,7 @@ let treewidth_cmd =
 
 (* repro *)
 let repro_cmd =
-  let run names scale =
+  let run names scale trace metrics =
     let selected =
       if names = [] then Experiments.all
       else
@@ -164,13 +199,14 @@ let repro_cmd =
           Experiments.all
     in
     let ok =
-      List.fold_left
-        (fun acc (name, f) ->
-          Fmt.pr "@.";
-          let ok = f ?scale:(Some scale) Format.std_formatter in
-          Fmt.pr "--- %s: %s ---@." name (if ok then "PASS" else "FAIL");
-          acc && ok)
-        true selected
+      with_obs ~trace ~metrics (fun () ->
+          List.fold_left
+            (fun acc (name, f) ->
+              Fmt.pr "@.";
+              let ok = f ?scale:(Some scale) Format.std_formatter in
+              Fmt.pr "--- %s: %s ---@." name (if ok then "PASS" else "FAIL");
+              acc && ok)
+            true selected)
     in
     if not ok then exit 1
   in
@@ -182,7 +218,7 @@ let repro_cmd =
   in
   Cmd.v
     (Cmd.info "repro" ~doc:"Regenerate the paper's figures and tables.")
-    CTerm.(const run $ names $ scale)
+    CTerm.(const run $ names $ scale $ trace_arg $ metrics_arg)
 
 (* dot *)
 let dot_cmd =

@@ -1,5 +1,12 @@
 open Syntax
 
+(* Observability (DESIGN.md §8): enumeration work is counted at the two
+   primitives every discovery mode funnels through, so [Snapshot], [Delta]
+   and [Audit] all report the body homomorphisms they actually enumerated. *)
+let m_enumerated = Obs.Metrics.counter "chase.triggers_enumerated"
+
+let m_discoveries = Obs.Metrics.counter "chase.discoveries"
+
 type t = { rule : Rule.t; mapping : Subst.t }
 
 let make rule mapping =
@@ -90,7 +97,9 @@ let apply_with_pi_safe tr pi_safe inst =
   apply_with tr pi_safe fresh inst
 
 let triggers_of r indexed =
-  List.map (fun h -> make r h) (Homo.Hom.all (Rule.body r) indexed)
+  let trs = List.map (fun h -> make r h) (Homo.Hom.all (Rule.body r) indexed) in
+  if !Obs.Metrics.enabled then Obs.Metrics.add m_enumerated (List.length trs);
+  trs
 
 (* Semi-naive discovery: every trigger for the current instance that was
    not a trigger at the previous snapshot must map some body atom onto an
@@ -112,22 +121,26 @@ let triggers_of_delta r indexed ~delta =
         tr :: acc
       end
     in
-    Atomset.fold
-      (fun anchor acc ->
-        Atomset.fold
-          (fun datom acc ->
-            if
-              String.equal (Atom.pred anchor) (Atom.pred datom)
-              && Atom.arity anchor = Atom.arity datom
-            then
-              match Homo.Hom.extend_via_atom Subst.empty anchor datom with
-              | None -> acc
-              | Some seed ->
-                  List.fold_left collect acc (Homo.Hom.all ~seed body indexed)
-            else acc)
-          delta acc)
-      body []
-    |> List.rev
+    let trs =
+      Atomset.fold
+        (fun anchor acc ->
+          Atomset.fold
+            (fun datom acc ->
+              if
+                String.equal (Atom.pred anchor) (Atom.pred datom)
+                && Atom.arity anchor = Atom.arity datom
+              then
+                match Homo.Hom.extend_via_atom Subst.empty anchor datom with
+                | None -> acc
+                | Some seed ->
+                    List.fold_left collect acc (Homo.Hom.all ~seed body indexed)
+              else acc)
+            delta acc)
+        body []
+      |> List.rev
+    in
+    if !Obs.Metrics.enabled then Obs.Metrics.add m_enumerated (List.length trs);
+    trs
 
 let unsatisfied_triggers_in ?delta rules indexed =
   let rule_triggers r =
@@ -158,18 +171,34 @@ let audit_failure ~what snap del =
         delta vs %d snapshot triggers)"
        what (List.length del) (List.length snap))
 
+let observe_discovery ~what trs indexed =
+  Obs.Metrics.incr m_discoveries;
+  if Obs.Trace.enabled () then
+    Obs.Trace.emit
+      (Obs.Trace.Trigger_found
+         {
+           engine = what;
+           found = List.length trs;
+           size = Homo.Instance.cardinal indexed;
+         });
+  trs
+
 let discover ?delta rules indexed =
-  match (!discovery, delta) with
-  | Snapshot, _ | _, None -> unsatisfied_triggers_in rules indexed
-  | Delta, Some delta -> unsatisfied_triggers_in ~delta rules indexed
-  | Audit, Some delta ->
-      let snap = unsatisfied_triggers_in rules indexed in
-      let del = unsatisfied_triggers_in ~delta rules indexed in
-      if not (same_set snap del) then audit_failure ~what:"discover" snap del;
-      snap
+  let trs =
+    match (!discovery, delta) with
+    | Snapshot, _ | _, None -> unsatisfied_triggers_in rules indexed
+    | Delta, Some delta -> unsatisfied_triggers_in ~delta rules indexed
+    | Audit, Some delta ->
+        let snap = unsatisfied_triggers_in rules indexed in
+        let del = unsatisfied_triggers_in ~delta rules indexed in
+        if not (same_set snap del) then audit_failure ~what:"discover" snap del;
+        snap
+  in
+  observe_discovery ~what:"discover" trs indexed
 
 let discover_all ?delta rules indexed =
   let snapshot () = List.concat_map (fun r -> triggers_of r indexed) rules in
+  let trs =
   match (!discovery, delta) with
   | Snapshot, _ | _, None -> snapshot ()
   | Delta, Some delta ->
@@ -193,6 +222,8 @@ let discover_all ?delta rules indexed =
       (* monotone engines deduplicate by trigger key themselves, so the
          snapshot order can be returned unchanged *)
       snap
+  in
+  observe_discovery ~what:"discover_all" trs indexed
 
 let pp ppf tr =
   Fmt.pf ppf "(%s, %a)"

@@ -1,5 +1,48 @@
 open Syntax
 
+(* Observability (DESIGN.md §8): every engine below reports through the
+   same counters and emits the same typed events, labelled with an engine
+   name, so the differential telemetry tests can reconcile event streams
+   against [Chase.report] for each variant. *)
+let m_rounds = Obs.Metrics.counter "chase.rounds"
+
+let m_applied = Obs.Metrics.counter "chase.triggers_applied"
+
+let m_retractions = Obs.Metrics.counter "chase.retractions"
+
+let m_egd_merges = Obs.Metrics.counter "chase.egd_merges"
+
+let g_size = Obs.Metrics.gauge "chase.instance_size"
+
+let obs_round_start ~engine ~round idx =
+  Obs.Metrics.incr m_rounds;
+  if Obs.Trace.enabled () then
+    Obs.Trace.emit
+      (Obs.Trace.Round_start
+         { engine; round; size = Homo.Instance.cardinal idx })
+
+let obs_applied ~engine ~step ~rule ~produced idx =
+  Obs.Metrics.incr m_applied;
+  Obs.Metrics.set g_size (Homo.Instance.cardinal idx);
+  if Obs.Trace.enabled () then
+    Obs.Trace.emit
+      (Obs.Trace.Trigger_applied
+         {
+           engine;
+           step;
+           rule = Rule.name rule;
+           produced;
+           size = Homo.Instance.cardinal idx;
+         })
+
+(* a nonempty simplification retracted [before - after] atoms at [step] *)
+let obs_retract ~engine ~step ~before idx =
+  Obs.Metrics.incr m_retractions;
+  if Obs.Trace.enabled () then
+    let after = Homo.Instance.cardinal idx in
+    Obs.Trace.emit
+      (Obs.Trace.Retract { engine; step; removed = before - after; size = after })
+
 type budget = { max_steps : int; max_atoms : int }
 
 let default_budget = { max_steps = 2000; max_atoms = 20_000 }
@@ -24,12 +67,16 @@ type cadence = Every_application | Every_round
    post-processes the derivation when a round (one sweep over the
    snapshot of active triggers) completes, returning the substitution it
    applied to the last instance so the engine can patch its index. *)
-let run_engine ?(round_end = fun d -> (d, Subst.empty)) ~budget ~simplify
-    ~start_simplification kb =
+let run_engine ?(engine = "chase") ?(round_end = fun d -> (d, Subst.empty))
+    ~budget ~simplify ~start_simplification kb =
   let d = ref (Derivation.start ?simplification:start_simplification kb) in
   let idx =
     ref (Homo.Instance.of_atomset (Derivation.last !d).Derivation.instance)
   in
+  (match start_simplification with
+  | Some s when (not (Subst.is_empty s)) && Obs.live () ->
+      obs_retract ~engine ~step:0 ~before:(Atomset.cardinal (Kb.facts kb)) !idx
+  | _ -> ());
   let prev_snapshot = ref None in
   let steps_done = ref 0 in
   let rounds = ref 0 in
@@ -45,6 +92,7 @@ let run_engine ?(round_end = fun d -> (d, Subst.empty)) ~budget ~simplify
     if active = [] then outcome := Some Terminated
     else begin
       incr rounds;
+      if Obs.live () then obs_round_start ~engine ~round:!rounds !idx;
       (* apply the snapshot, re-checking satisfaction before each firing
          (the trace of the trigger, for non-monotone simplifications) *)
       let base_index = Derivation.length !d - 1 in
@@ -77,6 +125,16 @@ let run_engine ?(round_end = fun d -> (d, Subst.empty)) ~budget ~simplify
                       ~simplification:sigma;
                   idx := Homo.Instance.apply_subst sigma pre_idx;
                   incr steps_done;
+                  if Obs.live () then begin
+                    let stepi = (Derivation.last !d).Derivation.index in
+                    obs_applied ~engine ~step:stepi ~rule:(Trigger.rule tr')
+                      ~produced:(Atomset.cardinal app.Trigger.produced)
+                      !idx;
+                    if not (Subst.is_empty sigma) then
+                      obs_retract ~engine ~step:stepi
+                        ~before:(Homo.Instance.cardinal pre_idx)
+                        !idx
+                  end;
                   if Homo.Instance.cardinal !idx > budget.max_atoms then
                     outcome := Some Budget_exhausted
                 end
@@ -87,8 +145,14 @@ let run_engine ?(round_end = fun d -> (d, Subst.empty)) ~budget ~simplify
       if Derivation.length !d - 1 > base_index then begin
         let d', extra = round_end !d in
         d := d';
-        if not (Subst.is_empty extra) then
-          idx := Homo.Instance.apply_subst extra !idx
+        if not (Subst.is_empty extra) then begin
+          let before = Homo.Instance.cardinal !idx in
+          idx := Homo.Instance.apply_subst extra !idx;
+          if Obs.live () then
+            obs_retract ~engine
+              ~step:(Derivation.last !d).Derivation.index
+              ~before !idx
+        end
       end
     end
   done;
@@ -99,7 +163,7 @@ let run_engine ?(round_end = fun d -> (d, Subst.empty)) ~budget ~simplify
   }
 
 let restricted ?(budget = default_budget) kb =
-  run_engine ~budget
+  run_engine ~engine:"restricted" ~budget
     ~simplify:(fun _ _ -> Subst.empty)
     ~start_simplification:None kb
 
@@ -111,7 +175,7 @@ let core ?(budget = default_budget) ?(cadence = Every_application)
   in
   match cadence with
   | Every_application ->
-      run_engine ~budget
+      run_engine ~engine:"core" ~budget
         ~simplify:(fun _ app ->
           Homo.Core.retraction_to_core app.Trigger.result)
         ~start_simplification kb
@@ -122,7 +186,7 @@ let core ?(budget = default_budget) ?(cadence = Every_application)
          Definition-1 derivation).  Within the round σ_i is the identity,
          so the closing retraction is exactly the substitution the
          engine's index needs to absorb. *)
-      run_engine ~budget
+      run_engine ~engine:"core-round" ~budget
         ~simplify:(fun _ _ -> Subst.empty)
         ~round_end:(fun d ->
           let pre = (Derivation.last d).Derivation.pre_instance in
@@ -188,7 +252,7 @@ let frugal_simplification pre_idx (app : Trigger.application) =
       sigma
 
 let frugal ?(budget = default_budget) kb =
-  run_engine ~budget ~simplify:frugal_simplification
+  run_engine ~engine:"frugal" ~budget ~simplify:frugal_simplification
     ~start_simplification:None kb
 
 let stream ~variant kb =
@@ -225,6 +289,16 @@ let stream ~variant kb =
               ~simplification:sigma
           in
           let idx' = Homo.Instance.apply_subst sigma pre_idx in
+          if Obs.live () then begin
+            let stepi = (Derivation.last d').Derivation.index in
+            obs_applied ~engine:"stream" ~step:stepi ~rule:(Trigger.rule tr')
+              ~produced:(Atomset.cardinal app.Trigger.produced)
+              idx';
+            if not (Subst.is_empty sigma) then
+              obs_retract ~engine:"stream" ~step:stepi
+                ~before:(Homo.Instance.cardinal pre_idx)
+                idx'
+          end;
           Seq.Cons (d', next (d', idx', prev_snapshot, rest))
         end
         else next (d, idx, prev_snapshot, rest) ())
@@ -236,11 +310,16 @@ let stream ~variant kb =
         in
         let active = Trigger.discover ?delta (Kb.rules kb) idx in
         if active = [] then Seq.Nil
-        else
+        else begin
+          if Obs.live () then
+            obs_round_start ~engine:"stream"
+              ~round:(1 + Derivation.length d - 1)
+              idx;
           let base = Derivation.length d - 1 in
           next
             (d, idx, Some current, List.map (fun tr -> (base, tr)) active)
             ()
+        end
   in
   let d0 =
     Derivation.start
@@ -302,11 +381,25 @@ module Egds = struct
           incr steps;
           match unifier u v with
           | None -> raise (Fail egd)
-          | Some s -> egd_saturate (Homo.Instance.apply_subst s idx))
+          | Some s ->
+              let idx' = Homo.Instance.apply_subst s idx in
+              if Obs.live () then begin
+                Obs.Metrics.incr m_egd_merges;
+                if Obs.Trace.enabled () then
+                  Obs.Trace.emit
+                    (Obs.Trace.Egd_merge
+                       {
+                         engine = "egd";
+                         step = !steps;
+                         size = Homo.Instance.cardinal idx';
+                       })
+              end;
+              egd_saturate idx')
     in
     (* one TGD round on an instance (restricted-style; core retracts);
        trigger discovery is delta-driven against the previous round *)
     let prev_snapshot = ref None in
+    let rounds = ref 0 in
     let tgd_round idx =
       let current = Homo.Instance.atomset idx in
       let delta =
@@ -315,7 +408,9 @@ module Egds = struct
       let active = Trigger.discover ?delta (Kb.rules kb) idx in
       prev_snapshot := Some current;
       if active = [] then None
-      else
+      else begin
+        incr rounds;
+        if Obs.live () then obs_round_start ~engine:"egd" ~round:!rounds idx;
         Some
           (List.fold_left
              (fun idx tr ->
@@ -328,19 +423,34 @@ module Egds = struct
                  let app = Trigger.apply_in tr idx in
                  if Atomset.cardinal app.Trigger.result > budget.max_atoms
                  then raise Out_of_budget;
-                 let idx =
+                 let pre_idx =
                    Homo.Instance.add_atoms idx
                      (Atomset.to_list app.Trigger.produced)
                  in
-                 match variant with
-                 | `Restricted -> idx
-                 | `Core ->
-                     Homo.Instance.apply_subst
-                       (Homo.Core.retraction_to_core app.Trigger.result)
-                       idx
+                 let idx' =
+                   match variant with
+                   | `Restricted -> pre_idx
+                   | `Core ->
+                       Homo.Instance.apply_subst
+                         (Homo.Core.retraction_to_core app.Trigger.result)
+                         pre_idx
+                 in
+                 if Obs.live () then begin
+                   obs_applied ~engine:"egd" ~step:!steps
+                     ~rule:(Trigger.rule tr)
+                     ~produced:(Atomset.cardinal app.Trigger.produced)
+                     idx';
+                   if Homo.Instance.cardinal idx' < Homo.Instance.cardinal pre_idx
+                   then
+                     obs_retract ~engine:"egd" ~step:!steps
+                       ~before:(Homo.Instance.cardinal pre_idx)
+                       idx'
+                 end;
+                 idx'
                end
                else idx)
              idx active)
+      end
     in
     let outcome = ref Terminated in
     (try
@@ -374,12 +484,13 @@ module Baseline = struct
         (fun v -> Fmt.str "%a" Term.pp_debug (Subst.apply_term pi v))
         (vars (Trigger.rule tr)) )
 
-  let run_keyed ~key ?(budget = default_budget) kb =
+  let run_keyed ~engine ~key ?(budget = default_budget) kb =
     let seen = Hashtbl.create 64 in
     let instances = ref [ Kb.facts kb ] in
     let idx = ref (Homo.Instance.of_atomset (Kb.facts kb)) in
     let prev_snapshot = ref None in
     let steps = ref 0 in
+    let rounds = ref 0 in
     let terminated = ref false in
     let finished = ref false in
     while not !finished do
@@ -396,7 +507,9 @@ module Baseline = struct
         terminated := true;
         finished := true
       end
-      else
+      else begin
+        incr rounds;
+        if Obs.live () then obs_round_start ~engine ~round:!rounds !idx;
         List.iter
           (fun tr ->
             if not !finished then
@@ -411,14 +524,21 @@ module Baseline = struct
                   Homo.Instance.add_atoms !idx
                     (Atomset.to_list app.Trigger.produced);
                 instances := Homo.Instance.atomset !idx :: !instances;
-                incr steps
+                incr steps;
+                if Obs.live () then
+                  obs_applied ~engine ~step:!steps ~rule:(Trigger.rule tr)
+                    ~produced:(Atomset.cardinal app.Trigger.produced)
+                    !idx
               end)
           fresh_triggers
+      end
     done;
     { instances = List.rev !instances; terminated = !terminated; steps = !steps }
 
   let oblivious ?budget kb =
-    run_keyed ~key:(trigger_key Rule.universal_vars) ?budget kb
+    run_keyed ~engine:"oblivious" ~key:(trigger_key Rule.universal_vars)
+      ?budget kb
 
-  let skolem ?budget kb = run_keyed ~key:(trigger_key Rule.frontier) ?budget kb
+  let skolem ?budget kb =
+    run_keyed ~engine:"skolem" ~key:(trigger_key Rule.frontier) ?budget kb
 end

@@ -21,6 +21,7 @@ module Robust = Robust
 module Entailment = Entailment
 module Probes = Probes
 module Certificate = Certificate
+module Obs = Obs
 
 open Syntax
 

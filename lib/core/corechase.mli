@@ -23,6 +23,10 @@ module Probes : module type of Probes
 
 module Certificate : module type of Certificate
 
+module Obs : module type of Obs
+(** Structured observability — metrics registry and trace-event stream
+    shared by every engine (DESIGN.md §8). *)
+
 open Syntax
 
 val finitely_universal_on_prefixes : Atomset.t list -> Atomset.t list -> bool

@@ -1,5 +1,12 @@
 open Syntax
 
+(* Observability (DESIGN.md §8): robust-form construction and aggregation
+   are counted so benchmarks can attribute core-chase post-processing
+   work. *)
+let m_steps_built = Obs.Metrics.counter "robust.steps_built"
+
+let m_aggregations = Obs.Metrics.counter "robust.aggregations"
+
 let robust_renaming a sigma =
   if not (Subst.is_retraction_of a sigma) then
     invalid_arg "Robust.robust_renaming: not a retraction";
@@ -103,7 +110,9 @@ let of_derivation d =
           ([ s0 ], d0.Chase.Derivation.instance)
           rest
       in
-      { derivation = d; rev_steps; len = List.length rev_steps }
+      let len = List.length rev_steps in
+      if !Obs.Metrics.enabled then Obs.Metrics.add m_steps_built len;
+      { derivation = d; rev_steps; len }
 
 let derivation r = r.derivation
 
@@ -125,6 +134,7 @@ let tau_trace r ~from_ ~to_ =
   go (from_ + 1) Subst.empty
 
 let aggregation r =
+  Obs.Metrics.incr m_aggregations;
   (* τ̄_i^k built from the top down: τ̄_i^k = τ̄_{i+1}^k • τ_{i+1} *)
   let rec go i trace acc =
     if i < 0 then acc
@@ -159,6 +169,7 @@ let fold_indices r =
     (Chase.Derivation.steps r.derivation)
 
 let stable_aggregation r =
+  Obs.Metrics.incr m_aggregations;
   (* Candidate truncation points are the simplification (fold) boundaries;
      the stable part of D⊛ surfaces at the boundaries where a whole step
      has been retracted away.  Pick the latest candidate of minimal atom

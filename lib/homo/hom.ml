@@ -2,6 +2,16 @@ open Syntax
 
 let naive_order = ref false
 
+(* Observability (DESIGN.md §8): one counter pair for the backtracking
+   search.  A "backtrack" is a candidate target atom that failed to extend
+   the current partial homomorphism (or violated injectivity); the count is
+   accumulated in a local ref — one increment per dead end — and flushed to
+   the registry / trace sink only when observability is live, so the
+   disabled path adds nothing to the search itself. *)
+let m_solve_calls = Obs.Metrics.counter "hom.solve_calls"
+
+let m_backtracks = Obs.Metrics.counter "hom.backtracks"
+
 module TS = Set.Make (Term)
 
 let extend_pair sigma pat_t tgt_t acc_new =
@@ -36,6 +46,7 @@ let extend_via_atom sigma pattern target =
    [k] aborts the search (used for early exit). *)
 let solve ?(seed = Subst.empty) ?(injective = false) ~(k : Subst.t -> unit)
     (src : Atomset.t) (tgt : Instance.t) : unit =
+  let bt = ref 0 in
   let atoms = Atomset.to_list src in
   (* Under injectivity, track the set of image terms already in use.  The
      initial set contains the seed's images and the source's constants
@@ -84,7 +95,7 @@ let solve ?(seed = Subst.empty) ?(injective = false) ~(k : Subst.t -> unit)
   and match_next sigma used next rest =
         let try_candidate target_atom =
           match extend_via_atom_full sigma next target_atom with
-          | None -> ()
+          | None -> incr bt
           | Some (sigma', new_bindings) ->
               if injective then begin
                 (* each fresh image must be unused, and fresh images must be
@@ -96,14 +107,34 @@ let solve ?(seed = Subst.empty) ?(injective = false) ~(k : Subst.t -> unit)
                       else check (TS.add img used) rest
                 in
                 match check used new_bindings with
-                | None -> ()
+                | None -> incr bt
                 | Some used' -> go sigma' used' rest
               end
               else go sigma' used rest
         in
         List.iter try_candidate (Instance.candidates tgt next sigma)
   in
-  go seed init_used atoms
+  let run () = go seed init_used atoms in
+  if not (Obs.live ()) then run ()
+  else begin
+    Obs.Metrics.incr m_solve_calls;
+    (* [k] may abort the search by raising (see [find]/[exists]); flush the
+       backtrack count on every exit path *)
+    Fun.protect
+      ~finally:(fun () ->
+        if !bt > 0 then begin
+          Obs.Metrics.add m_backtracks !bt;
+          if Obs.Trace.enabled () then
+            Obs.Trace.emit
+              (Obs.Trace.Hom_backtrack
+                 {
+                   backtracks = !bt;
+                   src_atoms = Atomset.cardinal src;
+                   tgt_atoms = Instance.cardinal tgt;
+                 })
+        end)
+      run
+  end
 
 exception Stop
 

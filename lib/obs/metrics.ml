@@ -1,0 +1,129 @@
+let enabled = ref false
+
+type counter = { c_name : string; mutable count : int }
+
+type gauge = { g_name : string; mutable value : int; mutable peak : int }
+
+type histogram = {
+  h_name : string;
+  mutable n : int;
+  mutable sum_ms : float;
+  mutable min_ms : float;
+  mutable max_ms : float;
+}
+
+let counters_tbl : (string, counter) Hashtbl.t = Hashtbl.create 32
+let gauges_tbl : (string, gauge) Hashtbl.t = Hashtbl.create 16
+let histograms_tbl : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let counter name =
+  match Hashtbl.find_opt counters_tbl name with
+  | Some c -> c
+  | None ->
+      let c = { c_name = name; count = 0 } in
+      Hashtbl.replace counters_tbl name c;
+      c
+
+let incr c = if !enabled then c.count <- c.count + 1
+
+let add c n = if !enabled then c.count <- c.count + n
+
+let gauge name =
+  match Hashtbl.find_opt gauges_tbl name with
+  | Some g -> g
+  | None ->
+      let g = { g_name = name; value = 0; peak = 0 } in
+      Hashtbl.replace gauges_tbl name g;
+      g
+
+let set g v =
+  if !enabled then begin
+    g.value <- v;
+    if v > g.peak then g.peak <- v
+  end
+
+let histogram name =
+  match Hashtbl.find_opt histograms_tbl name with
+  | Some h -> h
+  | None ->
+      let h =
+        { h_name = name; n = 0; sum_ms = 0.; min_ms = infinity; max_ms = 0. }
+      in
+      Hashtbl.replace histograms_tbl name h;
+      h
+
+let observe h ms =
+  if !enabled then begin
+    h.n <- h.n + 1;
+    h.sum_ms <- h.sum_ms +. ms;
+    if ms < h.min_ms then h.min_ms <- ms;
+    if ms > h.max_ms then h.max_ms <- ms
+  end
+
+let time h f =
+  if !enabled then begin
+    let t0 = Sys.time () in
+    Fun.protect ~finally:(fun () -> observe h ((Sys.time () -. t0) *. 1000.)) f
+  end
+  else f ()
+
+type value =
+  | Counter of int
+  | Gauge of { value : int; peak : int }
+  | Histogram of { n : int; sum_ms : float; min_ms : float; max_ms : float }
+
+let snapshot () =
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name c -> rows := (name, Counter c.count) :: !rows)
+    counters_tbl;
+  Hashtbl.iter
+    (fun name g -> rows := (name, Gauge { value = g.value; peak = g.peak }) :: !rows)
+    gauges_tbl;
+  Hashtbl.iter
+    (fun name h ->
+      rows :=
+        ( name,
+          Histogram
+            {
+              n = h.n;
+              sum_ms = h.sum_ms;
+              min_ms = (if h.n = 0 then 0. else h.min_ms);
+              max_ms = h.max_ms;
+            } )
+        :: !rows)
+    histograms_tbl;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !rows
+
+let counters () =
+  Hashtbl.fold (fun name c acc -> (name, c.count) :: acc) counters_tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counter_value name =
+  match Hashtbl.find_opt counters_tbl name with Some c -> c.count | None -> 0
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.count <- 0) counters_tbl;
+  Hashtbl.iter
+    (fun _ g ->
+      g.value <- 0;
+      g.peak <- 0)
+    gauges_tbl;
+  Hashtbl.iter
+    (fun _ h ->
+      h.n <- 0;
+      h.sum_ms <- 0.;
+      h.min_ms <- infinity;
+      h.max_ms <- 0.)
+    histograms_tbl
+
+let pp_table ppf () =
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Counter n -> Format.fprintf ppf "  %-32s %d@." name n
+      | Gauge { value; peak } ->
+          Format.fprintf ppf "  %-32s %d (peak %d)@." name value peak
+      | Histogram { n; sum_ms; _ } ->
+          Format.fprintf ppf "  %-32s n=%d sum=%.2fms@." name n sum_ms)
+    (snapshot ())

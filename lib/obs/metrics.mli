@@ -1,0 +1,75 @@
+(** Named metrics with a cheap disabled path (DESIGN.md §8).
+
+    A process-wide registry of monotonic counters, gauges and timing
+    histograms.  Instruments register their metrics once, at module
+    initialisation; every mutation is guarded by {!enabled}, so with the
+    registry disabled (the default) an instrumented hot path pays one
+    [ref] dereference and a branch — nothing is allocated and nothing is
+    written.
+
+    Metric names are dot-separated, [<subsystem>.<metric>]:
+    [chase.triggers_applied], [hom.backtracks], [tw.computations], …  The
+    registry is keyed by name, so calling a constructor twice with the
+    same name returns the same metric. *)
+
+val enabled : bool ref
+(** Master switch, default [false].  Mutations are no-ops while [false];
+    reads ({!snapshot}, {!counter_value}, …) always work. *)
+
+(** {1 Counters} — monotonic event counts *)
+
+type counter
+
+val counter : string -> counter
+(** Find-or-create the named counter (initially 0). *)
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+
+(** {1 Gauges} — last-seen and peak values of a level *)
+
+type gauge
+
+val gauge : string -> gauge
+
+val set : gauge -> int -> unit
+(** Record the current level; the gauge also remembers the peak. *)
+
+(** {1 Histograms} — duration summaries in milliseconds *)
+
+type histogram
+
+val histogram : string -> histogram
+
+val observe : histogram -> float -> unit
+(** Record one duration (ms): count, sum, min and max are maintained. *)
+
+val time : histogram -> (unit -> 'a) -> 'a
+(** Run the thunk, observing its wall-clock duration when {!enabled};
+    when disabled the thunk is called directly (no clock read). *)
+
+(** {1 Reading the registry} *)
+
+type value =
+  | Counter of int
+  | Gauge of { value : int; peak : int }
+  | Histogram of { n : int; sum_ms : float; min_ms : float; max_ms : float }
+
+val snapshot : unit -> (string * value) list
+(** Every registered metric, sorted by name. *)
+
+val counters : unit -> (string * int) list
+(** Only the counters, sorted by name (the machine-readable columns the
+    bench harness writes to BENCH_RESULTS.json). *)
+
+val counter_value : string -> int
+(** Current value of the named counter; 0 if never registered. *)
+
+val reset : unit -> unit
+(** Zero every registered metric (registrations survive). *)
+
+val pp_table : Format.formatter -> unit -> unit
+(** Human-readable table of the whole registry, one metric per line.
+    Counter and gauge rows are deterministic for a deterministic run;
+    histogram rows include timings and are not. *)

@@ -1,0 +1,4 @@
+module Metrics = Metrics
+module Trace = Trace
+
+let live () = !Metrics.enabled || Trace.enabled ()

@@ -1,0 +1,16 @@
+(** Structured observability for the chase engines (DESIGN.md §8).
+
+    Entry module of [corechase.obs]: {!Metrics} (named monotonic counters,
+    gauges and timing histograms behind one [enabled] switch) and {!Trace}
+    (a typed event stream with pluggable sinks).  The library sits below
+    [syntax] in the dependency order — events carry only strings and
+    integers — so every layer (homo, chase, treewidth, core) can emit
+    without cycles. *)
+
+module Metrics : module type of Metrics
+
+module Trace : module type of Trace
+
+val live : unit -> bool
+(** [true] when either subsystem is on — the one-branch guard for
+    instrumentation sites that need to precompute event payloads. *)

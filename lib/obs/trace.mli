@@ -1,0 +1,83 @@
+(** Typed trace-event stream for the chase engines (DESIGN.md §8).
+
+    Instrumented code emits {!event} values into the current {!sink}.
+    The default sink is {!Null}, and every emission site is written as
+
+    {[ if Trace.enabled () then Trace.emit (Trigger_applied { ... }) ]}
+
+    so with the null sink no event value is ever constructed — the
+    overhead discipline is a branch per site, no allocation.
+
+    If the environment variable [CORECHASE_TRACE] is set at startup, the
+    initial sink is a JSONL sink appending to that file (used by CI to
+    smoke-test the sink under the whole test suite). *)
+
+(** The event taxonomy.  [engine] identifies the emitting engine
+    ([restricted], [core], [core-round], [frugal], [stream], [egd],
+    [oblivious], [skolem], or [chase] for engine-agnostic sites); [step]
+    is the derivation step index; [size] the instance cardinality after
+    the event. *)
+type event =
+  | Round_start of { engine : string; round : int; size : int }
+      (** a saturation round begins on an instance of [size] atoms *)
+  | Trigger_found of { engine : string; found : int; size : int }
+      (** one discovery sweep returned [found] active triggers *)
+  | Trigger_applied of {
+      engine : string;
+      step : int;
+      rule : string;
+      produced : int;
+      size : int;
+    }  (** a trigger fired: [produced] head atoms added *)
+  | Retract of { engine : string; step : int; removed : int; size : int }
+      (** a core/frugal simplification retracted [removed] atoms *)
+  | Egd_merge of { engine : string; step : int; size : int }
+      (** an EGD unified two terms *)
+  | Hom_backtrack of { backtracks : int; src_atoms : int; tgt_atoms : int }
+      (** one homomorphism search that dead-ended [backtracks] times *)
+  | Tw_decomposed of { vertices : int; width : int; exact : bool }
+      (** a tree decomposition / width bound was computed *)
+
+type sink =
+  | Null  (** drop everything; {!enabled} is [false] *)
+  | Console of Format.formatter  (** one pretty line per event *)
+  | Jsonl of out_channel  (** one JSON object per line *)
+  | Custom of (event -> unit)  (** callback (tests, custom collectors) *)
+
+val set_sink : sink -> unit
+
+val sink : unit -> sink
+
+val enabled : unit -> bool
+(** [true] iff the current sink is not {!Null}.  Emission sites must
+    check this before constructing an event. *)
+
+val emit : event -> unit
+(** Deliver the event to the current sink (drops it on {!Null}). *)
+
+val with_sink : sink -> (unit -> 'a) -> 'a
+(** Run the thunk with the given sink, restoring the previous sink
+    afterwards (also on exceptions). *)
+
+val with_jsonl_file : string -> (unit -> 'a) -> 'a
+(** {!with_sink} on a JSONL sink writing (truncating) the named file;
+    the channel is flushed and closed afterwards. *)
+
+val events_emitted : unit -> int
+(** Number of events delivered to non-null sinks since startup (or the
+    last {!reset_emitted}).  The null-sink discipline is testable as:
+    run under {!Null} and observe this stays 0. *)
+
+val reset_emitted : unit -> unit
+
+(** {1 Serialisation} *)
+
+val pp_event : Format.formatter -> event -> unit
+
+val to_json : event -> string
+(** One-line JSON object, e.g.
+    [{"ev":"trigger_applied","engine":"core","step":3,"rule":"Rh1","produced":4,"size":12}]. *)
+
+val of_json_line : string -> event option
+(** Parse a line produced by {!to_json}; [None] on anything else.
+    Round-trip law: [of_json_line (to_json e) = Some e]. *)

@@ -18,16 +18,34 @@ open Syntax
 
 type heuristic = Min_fill | Min_degree
 
+(* Observability (DESIGN.md §8): every width computation on an atomset is
+   counted and timed; the entry points additionally announce the result as
+   a [Tw_decomposed] event (vertex count of the primal graph, width,
+   whether the value is exact). *)
+let m_tw = Obs.Metrics.counter "tw.computations"
+
+let h_tw = Obs.Metrics.histogram "tw.ms"
+
+let obs_tw ~vertices ~width ~exact =
+  Obs.Metrics.incr m_tw;
+  if Obs.Trace.enabled () then
+    Obs.Trace.emit (Obs.Trace.Tw_decomposed { vertices; width; exact })
+
 (** Heuristic upper bound on [tw(a)] via a greedy elimination order.
     [-1] on atomsets without terms. *)
 let upper_bound ?(heuristic = Min_fill) (a : Atomset.t) : int =
-  let p = Primal.of_atomset a in
-  let order =
-    match heuristic with
-    | Min_fill -> Elimination.min_fill_order p.Primal.graph
-    | Min_degree -> Elimination.min_degree_order p.Primal.graph
-  in
-  Elimination.width_of_order p.Primal.graph order
+  Obs.Metrics.time h_tw (fun () ->
+      let p = Primal.of_atomset a in
+      let order =
+        match heuristic with
+        | Min_fill -> Elimination.min_fill_order p.Primal.graph
+        | Min_degree -> Elimination.min_degree_order p.Primal.graph
+      in
+      let w = Elimination.width_of_order p.Primal.graph order in
+      if Obs.live () then
+        obs_tw ~vertices:(Graph.vertex_count p.Primal.graph) ~width:w
+          ~exact:false;
+      w)
 
 (** Sound lower bound on [tw(a)] (degeneracy/clique based). *)
 let lower_bound (a : Atomset.t) : int =
@@ -37,9 +55,16 @@ let lower_bound (a : Atomset.t) : int =
     {!Exact.max_vertices} (callers then combine {!upper_bound} and
     {!lower_bound}). *)
 let exact (a : Atomset.t) : int option =
-  let p = Primal.of_atomset a in
-  if Graph.vertex_count p.Primal.graph > Exact.max_vertices then None
-  else Some (Exact.treewidth p.Primal.graph)
+  Obs.Metrics.time h_tw (fun () ->
+      let p = Primal.of_atomset a in
+      if Graph.vertex_count p.Primal.graph > Exact.max_vertices then None
+      else begin
+        let w = Exact.treewidth p.Primal.graph in
+        if Obs.live () then
+          obs_tw ~vertices:(Graph.vertex_count p.Primal.graph) ~width:w
+            ~exact:true;
+        Some w
+      end)
 
 (** Exact when feasible, otherwise the min-fill upper bound.  The boolean
     is [true] when the value is exact. *)
@@ -50,13 +75,18 @@ let best_effort (a : Atomset.t) : int * bool =
 
 (** A valid tree decomposition witnessing [upper_bound ~heuristic a]. *)
 let decomposition ?(heuristic = Min_fill) (a : Atomset.t) : Decomposition.t =
-  let p = Primal.of_atomset a in
-  let order =
-    match heuristic with
-    | Min_fill -> Elimination.min_fill_order p.Primal.graph
-    | Min_degree -> Elimination.min_degree_order p.Primal.graph
-  in
-  Elimination.decomposition_of_order p order
+  Obs.Metrics.time h_tw (fun () ->
+      let p = Primal.of_atomset a in
+      let order =
+        match heuristic with
+        | Min_fill -> Elimination.min_fill_order p.Primal.graph
+        | Min_degree -> Elimination.min_degree_order p.Primal.graph
+      in
+      let d = Elimination.decomposition_of_order p order in
+      if Obs.live () then
+        obs_tw ~vertices:(Graph.vertex_count p.Primal.graph)
+          ~width:(Decomposition.width d) ~exact:false;
+      d)
 
 (** [at_most a k]: is [tw(a) ≤ k]?  Uses cheap bounds before the exact
     computation. *)

@@ -1,0 +1,53 @@
+Exercise the observability flags: --metrics prints the registry table
+after the run, --trace FILE writes a JSONL event stream.  Counter and
+gauge rows are deterministic for a fixed KB; histogram rows carry
+timings, so only the counter rows are pinned here.
+
+  $ cat > family.dlgp <<'KB'
+  > parent(alice, bob).
+  > parent(bob, carol).
+  > [anc-base] ancestor(X, Y) :- parent(X, Y).
+  > [anc-rec]  ancestor(X, Z) :- parent(X, Y), ancestor(Y, Z).
+  > KB
+
+  $ corechase chase family.dlgp --variant core --trace out.jsonl --metrics | grep -v "tw.ms"
+  variant:    core
+  outcome:    terminated (fixpoint reached)
+  steps:      3
+  final size: 5 atoms
+  
+  metrics:
+    chase.discoveries                3
+    chase.egd_merges                 0
+    chase.instance_size              5 (peak 5)
+    chase.retractions                0
+    chase.rounds                     2
+    chase.triggers_applied           3
+    chase.triggers_enumerated        3
+    hom.backtracks                   2
+    hom.solve_calls                  11
+    robust.aggregations              0
+    robust.steps_built               0
+    tw.computations                  0
+
+
+The trace is one JSON object per line; the prefix is stable for this KB
+(discovery sweeps, round starts, trigger firings with rule labels):
+
+  $ grep -v hom_backtrack out.jsonl
+  {"ev":"trigger_found","engine":"discover","found":2,"size":2}
+  {"ev":"round_start","engine":"core","round":1,"size":2}
+  {"ev":"trigger_applied","engine":"core","step":1,"rule":"anc-base","produced":1,"size":3}
+  {"ev":"trigger_applied","engine":"core","step":2,"rule":"anc-base","produced":1,"size":4}
+  {"ev":"trigger_found","engine":"discover","found":1,"size":4}
+  {"ev":"round_start","engine":"core","round":2,"size":4}
+  {"ev":"trigger_applied","engine":"core","step":3,"rule":"anc-rec","produced":1,"size":5}
+  {"ev":"trigger_found","engine":"discover","found":0,"size":5}
+
+Without the flags nothing extra is printed and no file is written:
+
+  $ corechase chase family.dlgp --variant core
+  variant:    core
+  outcome:    terminated (fixpoint reached)
+  steps:      3
+  final size: 5 atoms

@@ -1,13 +1,121 @@
-(* Smoke tests for the experiment drivers: the fast ones run at scale 1
-   inside the test suite; the full set runs in bench/main.exe. *)
+(* Tests for the experiment drivers: every figure/table driver (F1..F5,
+   T1) runs at scale 1 inside the suite, its return value must be true,
+   its printed output must contain no "[FAIL]" line, and the numeric
+   series it prints (the shapes the paper's artwork depicts) are
+   re-checked here from the captured text.  The full set also runs in
+   bench/main.exe. *)
 
 let null_ppf = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
 
-let test_t1 () =
-  Alcotest.(check bool) "T1 passes" true (Experiments.exp_t1 ~scale:1 null_ppf)
+(* run a driver, capturing both its verdict and everything it printed *)
+let capture (f : ?scale:int -> Format.formatter -> bool) =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  let ok = f ~scale:1 ppf in
+  Format.pp_print_flush ppf ();
+  (ok, Buffer.contents buf)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else if String.sub haystack i nn = needle then true
+    else go (i + 1)
+  in
+  nn = 0 || go 0
+
+(* the whitespace-separated integer tokens of the line carrying [label]
+   (series lines print "  <label>  v1 v2 v3 ..."; non-numeric tokens,
+   including the label itself, are skipped) *)
+let series_after output label =
+  let lines = String.split_on_char '\n' output in
+  match List.find_opt (fun l -> contains l label) lines with
+  | None -> []
+  | Some line ->
+      List.filter_map int_of_string_opt (String.split_on_char ' ' line)
+
+let check_driver name ok output =
+  Alcotest.(check bool) (name ^ " passes") true ok;
+  Alcotest.(check bool) (name ^ " prints no [FAIL]") false
+    (contains output "FAIL")
+
+let rec nondecreasing = function
+  | a :: (b :: _ as rest) -> a <= b && nondecreasing rest
+  | _ -> true
+
+let rec strictly_increasing = function
+  | a :: (b :: _ as rest) -> a < b && strictly_increasing rest
+  | _ -> true
+
+let test_f1 () =
+  let ok, out = capture Experiments.exp_f1 in
+  check_driver "F1" ok out;
+  (* the landscape table visits the whole KB zoo *)
+  List.iter
+    (fun kb_name ->
+      Alcotest.(check bool) ("F1 covers " ^ kb_name) true (contains out kb_name))
+    [ "transitive-closure"; "bts-not-fes"; "fes-not-bts";
+      "steepening-staircase"; "inflating-elevator" ]
+
+let test_f2 () =
+  let ok, out = capture Experiments.exp_f2 in
+  check_driver "F2" ok out;
+  let tw = series_after out "core-chase treewidth" in
+  Alcotest.(check bool) "F2: nonempty tw series" true (tw <> []);
+  Alcotest.(check bool) "F2: core-chase tw uniformly ≤ 2 (Prop 4)" true
+    (List.for_all (fun w -> w <= 2) tw);
+  let core = series_after out "core-chase |F_i|" in
+  let restr = series_after out "restricted |F_i|" in
+  Alcotest.(check int) "F2: size series align" (List.length core)
+    (List.length restr);
+  Alcotest.(check bool) "F2: core sizes ≤ restricted sizes" true
+    (List.for_all2 (fun c r -> c <= r) core restr);
+  let gen_tw = series_after out "tw(P^h_n)" in
+  Alcotest.(check bool) "F2: tw(P^h_n) strictly grows (Prop 5)" true
+    (List.length gen_tw >= 2 && strictly_increasing gen_tw)
 
 let test_f3 () =
-  Alcotest.(check bool) "F3 passes" true (Experiments.exp_f3 ~scale:1 null_ppf)
+  let ok, out = capture Experiments.exp_f3 in
+  check_driver "F3" ok out;
+  Alcotest.(check bool) "F3: prints the I^v prefix profile" true
+    (contains out "I^v prefix")
+
+let test_f4 () =
+  let ok, out = capture Experiments.exp_f4 in
+  check_driver "F4" ok out;
+  let spine = series_after out "tw(I^v* prefix)" in
+  Alcotest.(check bool) "F4: spine is uniformly treewidth 1 (Prop 7)" true
+    (spine <> [] && List.for_all (fun w -> w = 1) spine);
+  let models = series_after out "tw(I^v_n)" in
+  Alcotest.(check bool) "F4: tw(I^v_n) grows past 2 (Prop 8.2)" true
+    (nondecreasing models && List.exists (fun w -> w >= 3) models);
+  let cc = series_after out "core-chase treewidth" in
+  Alcotest.(check bool) "F4: core-chase tw climbs without recurring (Cor 1)"
+    true
+    (nondecreasing cc && List.exists (fun w -> w >= 2) cc)
+
+let test_f5 () =
+  let ok, out = capture Experiments.exp_f5 in
+  check_driver "F5" ok out;
+  Alcotest.(check bool) "F5: Definition-15 invariants checked" true
+    (contains out "all Definition-15 invariants hold");
+  Alcotest.(check bool) "F5: aggregation sizes reported" true
+    (contains out "|D*|=")
+
+let test_t1 () =
+  let ok, out = capture Experiments.exp_t1 in
+  check_driver "T1" ok out;
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Printf.sprintf "T1: schedule replayed for k=%d" k)
+        true
+        (contains out (Printf.sprintf "k=%d" k)))
+    [ 1; 2 ]
+
+let test_run_all_quiet () =
+  Alcotest.(check bool) "run_all at scale 1" true
+    (Experiments.run_all ~scale:1 null_ppf)
 
 let test_all_registered () =
   Alcotest.(check (list string)) "experiment ids"
@@ -18,10 +126,15 @@ let tc name f = Alcotest.test_case name `Quick f
 
 let suites =
   [
-    ( "experiments.smoke",
+    ( "experiments.drivers",
       [
-        tc "T1 (Table 1 replay)" test_t1;
+        tc "F1 (Figure 1 landscape)" test_f1;
+        tc "F2 (staircase series)" test_f2;
         tc "F3 (elevator KB)" test_f3;
+        tc "F4 (elevator models & core growth)" test_f4;
+        tc "F5 (robust aggregation)" test_f5;
+        tc "T1 (Table 1 replay)" test_t1;
+        tc "run_all" test_run_all_quiet;
         tc "registry" test_all_registered;
       ] );
   ]
