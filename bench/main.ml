@@ -148,7 +148,50 @@ let micro_tests =
           (List.fold_left
              (fun idx a -> Homo.Instance.add_atoms idx [ a ])
              Homo.Instance.empty staircase_atoms_list)));
+    (* incremental core maintenance (DESIGN.md §9): delta-scoped first
+       fold vs the exhaustive oracle, over the same core-chase workloads *)
+    Test.make ~name:"abl:core:scoped" (Staged.stage (fun () ->
+        Homo.Core.scoping := Homo.Core.Scoped;
+        ignore (Chase.Variants.core ~budget:(budget 60) (Zoo.Staircase.kb ()));
+        ignore (Chase.Variants.core ~budget:(budget 35) (Zoo.Elevator.kb ()))));
+    Test.make ~name:"abl:core:full" (Staged.stage (fun () ->
+        Homo.Core.scoping := Homo.Core.Exhaustive;
+        ignore (Chase.Variants.core ~budget:(budget 60) (Zoo.Staircase.kb ()));
+        ignore (Chase.Variants.core ~budget:(budget 35) (Zoo.Elevator.kb ()));
+        Homo.Core.scoping := Homo.Core.Scoped));
+    (* hom failure memo: scoped fold searches and trigger-satisfaction
+       re-checks of a core run both consult it *)
+    Test.make ~name:"abl:hom:memo:on" (Staged.stage (fun () ->
+        Homo.Hom.memo_enabled := true;
+        ignore
+          (Chase.Variants.core ~budget:(budget 60) (Zoo.Staircase.kb ()))));
+    Test.make ~name:"abl:hom:memo:off" (Staged.stage (fun () ->
+        Homo.Hom.memo_enabled := false;
+        ignore
+          (Chase.Variants.core ~budget:(budget 60) (Zoo.Staircase.kb ()));
+        Homo.Hom.memo_enabled := true));
   ]
+
+(* BENCH_ONLY=prefix[,prefix...] restricts the microbenchmarks to tests
+   whose name starts with one of the prefixes (the CI perf-regression job
+   reruns only the abl:* families it compares).  The grouped names are
+   "corechase <name>", so prefixes match against the bare name. *)
+let micro_tests =
+  match Sys.getenv_opt "BENCH_ONLY" with
+  | None | Some "" -> micro_tests
+  | Some pats ->
+      let pats = String.split_on_char ',' pats in
+      List.filter
+        (fun t ->
+          let name = Test.name t in
+          List.exists
+            (fun p ->
+              let p = String.trim p in
+              String.length p > 0
+              && String.length name >= String.length p
+              && String.equal (String.sub name 0 (String.length p)) p)
+            pats)
+        micro_tests
 
 (* ------------------------------------------------------------------ *)
 (* Per-workload counter snapshots (DESIGN.md §8).  Each workload runs
@@ -216,42 +259,59 @@ let run_micro () =
     rows
 
 (* machine-readable mirror of the tables, for CI artifacts / regression
-   tracking.  Timing keys stay flat ({ "<bench name>": <ns/run>, ... });
+   tracking.  Timing rows are nested under one "benchmarks" key
+   ({ "benchmarks": { "<bench name>": <ns/run>, ... }, "counters": ... });
    the per-workload counter columns sit under one "counters" key.  When
    the microbenchmarks were skipped, the previous file's timing lines are
-   carried over so a quick run never erases regression baselines. *)
+   carried over so a quick run never erases regression baselines.
+   BENCH_OUT overrides the output path (the CI perf job writes a scratch
+   file and diffs it against the committed baseline). *)
+let out_path =
+  match Sys.getenv_opt "BENCH_OUT" with
+  | Some p when p <> "" -> p
+  | _ -> "BENCH_RESULTS.json"
+
 let salvaged_estimates () =
   match open_in "BENCH_RESULTS.json" with
   | exception Sys_error _ -> []
   | ic ->
       let lines = ref [] in
+      let inside = ref false in
       (try
          while true do
-           let l = input_line ic in
-           if
-             String.length l > 3
-             && String.sub l 0 3 = {|  "|}
-             && (not (String.length l >= 13 && String.sub l 0 13 = {|  "counters"|}))
-           then begin
-             (* normalise: every flat timing line ends with a comma *)
-             let l =
-               if l.[String.length l - 1] = ',' then l else l ^ ","
-             in
-             lines := l :: !lines
-           end
+           let l = String.trim (input_line ic) in
+           if !inside then
+             if String.equal l "}" || String.equal l "}," then inside := false
+             else begin
+               (* a `"name": <ns>,` row; the trailing comma is re-normalised
+                  by the writer *)
+               let l =
+                 if l <> "" && l.[String.length l - 1] = ',' then
+                   String.sub l 0 (String.length l - 1)
+                 else l
+               in
+               lines := l :: !lines
+             end
+           else if String.equal l {|"benchmarks": {|} then inside := true
          done
        with End_of_file -> ());
       close_in ic;
       List.rev !lines
 
 let write_results ~estimates ~counters =
-  let salvaged = if estimates = [] then salvaged_estimates () else [] in
-  let oc = open_out "BENCH_RESULTS.json" in
-  output_string oc "{\n";
-  List.iter (fun l -> output_string oc (l ^ "\n")) salvaged;
-  List.iter
-    (fun (name, est) -> Printf.fprintf oc "  %S: %.1f,\n" name est)
-    estimates;
+  let rows =
+    match estimates with
+    | [] -> salvaged_estimates ()
+    | _ -> List.map (fun (name, est) -> Printf.sprintf "%S: %.1f" name est) estimates
+  in
+  let oc = open_out out_path in
+  output_string oc "{\n  \"benchmarks\": {\n";
+  let n_rows = List.length rows in
+  List.iteri
+    (fun i row ->
+      Printf.fprintf oc "    %s%s\n" row (if i = n_rows - 1 then "" else ","))
+    rows;
+  output_string oc "  },\n";
   output_string oc "  \"counters\": {\n";
   let n_work = List.length counters in
   List.iteri
@@ -267,11 +327,19 @@ let write_results ~estimates ~counters =
     counters;
   output_string oc "  }\n}\n";
   close_out oc;
-  Format.printf "  (written to BENCH_RESULTS.json)@."
+  Format.printf "  (written to %s)@." out_path
 
 let () =
   Format.printf "corechase bench harness (scale=%d)@." scale;
-  let ok = Experiments.run_all ~scale Format.std_formatter in
+  (* the perf-regression job (BENCH_ONLY) only needs the timed families —
+     skip the figure regeneration in that mode *)
+  let ok =
+    match Sys.getenv_opt "BENCH_ONLY" with
+    | Some p when p <> "" ->
+        Format.printf "(experiments skipped: BENCH_ONLY=%s)@." p;
+        true
+    | _ -> Experiments.run_all ~scale Format.std_formatter
+  in
   Format.printf "@.experiment regeneration: %s@."
     (if ok then "ALL PASS" else "SOME FAILED");
   let counters = collect_counters () in

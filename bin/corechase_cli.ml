@@ -45,6 +45,26 @@ let metrics_arg =
     & info [ "metrics" ]
         ~doc:"Collect metrics during the run and print the registry afterwards.")
 
+(* incremental-core scoping (DESIGN.md §9) *)
+let core_scope_arg =
+  let scope_conv =
+    Arg.enum
+      [
+        ("delta", Homo.Core.Scoped);
+        ("full", Homo.Core.Exhaustive);
+        ("audit", Homo.Core.Audit);
+      ]
+  in
+  Arg.(
+    value
+    & opt scope_conv Homo.Core.Scoped
+    & info [ "core-scope" ] ~docv:"POLICY"
+        ~doc:
+          "Core-maintenance fold scoping: $(b,delta) restricts each step's \
+           first fold search to the delta's candidate set, $(b,full) always \
+           searches exhaustively, $(b,audit) runs both and fails on \
+           disagreement.")
+
 let with_obs ~trace ~metrics f =
   if metrics then begin
     Corechase.Obs.Metrics.reset ();
@@ -74,8 +94,9 @@ let variant_arg =
   Arg.(value & opt variant_conv Chase.Core & info [ "variant"; "v" ] ~doc:"Chase variant: oblivious, skolem, restricted or core.")
 
 let chase_cmd =
-  let run file variant steps atoms verbose trace metrics =
+  let run file variant steps atoms verbose trace metrics core_scope =
     let kb = load_kb file in
+    Homo.Core.scoping := core_scope;
     with_obs ~trace ~metrics (fun () ->
         let report = Chase.run ~budget:(budget_of steps atoms) variant kb in
         Fmt.pr "variant:    %s@." (Chase.variant_name report.Chase.variant);
@@ -95,7 +116,7 @@ let chase_cmd =
   Cmd.v (Cmd.info "chase" ~doc:"Run a chase variant on a DLGP knowledge base.")
     CTerm.(
       const run $ file_arg $ variant_arg $ steps_arg $ atoms_arg $ verbose
-      $ trace_arg $ metrics_arg)
+      $ trace_arg $ metrics_arg $ core_scope_arg)
 
 (* entail *)
 let entail_cmd =
@@ -190,7 +211,8 @@ let treewidth_cmd =
 
 (* repro *)
 let repro_cmd =
-  let run names scale trace metrics =
+  let run names scale trace metrics core_scope =
+    Homo.Core.scoping := core_scope;
     let selected =
       if names = [] then Experiments.all
       else
@@ -218,7 +240,7 @@ let repro_cmd =
   in
   Cmd.v
     (Cmd.info "repro" ~doc:"Regenerate the paper's figures and tables.")
-    CTerm.(const run $ names $ scale $ trace_arg $ metrics_arg)
+    CTerm.(const run $ names $ scale $ trace_arg $ metrics_arg $ core_scope_arg)
 
 (* dot *)
 let dot_cmd =

@@ -36,9 +36,18 @@ let is_trigger_for_in tr indexed =
     (Subst.apply tr.mapping (Rule.body tr.rule))
 
 let satisfied_in tr indexed =
-  (* π extends to a homomorphism from B ∪ H into the instance. *)
+  (* π extends to a homomorphism from B ∪ H into the instance.  Failed
+     checks are memoised under the instance's generation: the rule id and
+     the debug-printed mapping pin the question, the epoch pins the
+     target content, so re-checking the same trigger against an unchanged
+     instance (engine re-check before the round's first firing, audit
+     double discovery) costs a table lookup. *)
   let src = Atomset.union (Rule.body tr.rule) (Rule.head tr.rule) in
-  Homo.Hom.exists ~seed:tr.mapping src indexed
+  let memo =
+    ( Fmt.str "sat:%d:%a" (Rule.id tr.rule) Subst.pp_debug tr.mapping,
+      Homo.Instance.generation indexed )
+  in
+  Homo.Hom.exists ~memo ~seed:tr.mapping src indexed
 
 let satisfied tr inst = satisfied_in tr (Homo.Instance.of_atomset inst)
 

@@ -63,12 +63,16 @@ type cadence = Every_application | Every_round
    [Trigger.Snapshot]/[Trigger.Audit] oracle modes). *)
 
 (* Round-based engine: [simplify] computes σ_i for a freshly produced
-   pre-instance (receiving it also in indexed form); [round_end]
-   post-processes the derivation when a round (one sweep over the
-   snapshot of active triggers) completes, returning the substitution it
-   applied to the last instance so the engine can patch its index. *)
-let run_engine ?(engine = "chase") ?(round_end = fun d -> (d, Subst.empty))
-    ~budget ~simplify ~start_simplification kb =
+   pre-instance (receiving it also in indexed form, plus [added] — the
+   produced atoms genuinely new in the instance — so core simplifiers can
+   fold delta-scoped, see Homo.Core.scope); [round_end] post-processes
+   the derivation when a round (one sweep over the snapshot of active
+   triggers) completes, receiving the engine's index and the round's
+   accumulated delta, and returning the substitution it applied to the
+   last instance so the engine can patch its index. *)
+let run_engine ?(engine = "chase")
+    ?(round_end = fun d ~idx:_ ~fresh:_ ~added:_ -> (d, Subst.empty)) ~budget
+    ~simplify ~start_simplification kb =
   let d = ref (Derivation.start ?simplification:start_simplification kb) in
   let idx =
     ref (Homo.Instance.of_atomset (Derivation.last !d).Derivation.instance)
@@ -96,6 +100,9 @@ let run_engine ?(engine = "chase") ?(round_end = fun d -> (d, Subst.empty))
       (* apply the snapshot, re-checking satisfaction before each firing
          (the trace of the trigger, for non-monotone simplifications) *)
       let base_index = Derivation.length !d - 1 in
+      (* the round's accumulated delta, handed to [round_end] *)
+      let round_fresh = ref [] in
+      let round_added = ref [] in
       List.iter
         (fun tr ->
           match !outcome with
@@ -115,11 +122,17 @@ let run_engine ?(engine = "chase") ?(round_end = fun d -> (d, Subst.empty))
                   && not (Trigger.satisfied_in tr' !idx)
                 then begin
                   let app = Trigger.apply_in tr' !idx in
-                  let pre_idx =
-                    Homo.Instance.add_atoms !idx
+                  (* the genuinely new atoms of this firing (produced may
+                     re-derive existing ones): the step's delta *)
+                  let added =
+                    List.filter
+                      (fun a -> not (Homo.Instance.mem !idx a))
                       (Atomset.to_list app.Trigger.produced)
                   in
-                  let sigma = simplify pre_idx app in
+                  let pre_idx = Homo.Instance.add_atoms !idx added in
+                  round_fresh := app.Trigger.fresh :: !round_fresh;
+                  round_added := added :: !round_added;
+                  let sigma = simplify pre_idx ~added app in
                   d :=
                     Derivation.extend_applied ~validate:false !d tr' app
                       ~simplification:sigma;
@@ -143,7 +156,11 @@ let run_engine ?(engine = "chase") ?(round_end = fun d -> (d, Subst.empty))
       (* round completed: let the variant post-process (e.g. retract the
          round's last application to a core) *)
       if Derivation.length !d - 1 > base_index then begin
-        let d', extra = round_end !d in
+        let d', extra =
+          round_end !d ~idx:!idx
+            ~fresh:(List.concat (List.rev !round_fresh))
+            ~added:(List.concat (List.rev !round_added))
+        in
         d := d';
         if not (Subst.is_empty extra) then begin
           let before = Homo.Instance.cardinal !idx in
@@ -164,7 +181,7 @@ let run_engine ?(engine = "chase") ?(round_end = fun d -> (d, Subst.empty))
 
 let restricted ?(budget = default_budget) kb =
   run_engine ~engine:"restricted" ~budget
-    ~simplify:(fun _ _ -> Subst.empty)
+    ~simplify:(fun _ ~added:_ _ -> Subst.empty)
     ~start_simplification:None kb
 
 let core ?(budget = default_budget) ?(cadence = Every_application)
@@ -173,11 +190,23 @@ let core ?(budget = default_budget) ?(cadence = Every_application)
     if simplify_start then Some (Homo.Core.retraction_to_core (Kb.facts kb))
     else None
   in
+  (* Incremental-core invariant (DESIGN.md §9): once a retraction to a
+     core has run, every later pre-instance is "last core + one delta",
+     so the fold search may be delta-scoped.  Before the first retraction
+     (simplify_start = false) the precondition does not hold and the
+     first simplification folds with Full scope. *)
+  let invariant = ref simplify_start in
   match cadence with
   | Every_application ->
       run_engine ~engine:"core" ~budget
-        ~simplify:(fun _ app ->
-          Homo.Core.retraction_to_core app.Trigger.result)
+        ~simplify:(fun pre_idx ~added app ->
+          let scope =
+            if !invariant then
+              Homo.Core.Delta { fresh = app.Trigger.fresh; added }
+            else Homo.Core.Full
+          in
+          invariant := true;
+          Homo.Core.retraction_to_core_indexed ~scope pre_idx)
         ~start_simplification kb
   | Every_round ->
       (* Restricted steps within a round; the round's last application is
@@ -185,12 +214,18 @@ let core ?(budget = default_budget) ?(cadence = Every_application)
          (Deutsch–Nash–Remmel's parallel core chase, viewed as a
          Definition-1 derivation).  Within the round σ_i is the identity,
          so the closing retraction is exactly the substitution the
-         engine's index needs to absorb. *)
+         engine's index needs to absorb — and the engine's index {e is}
+         the round-end pre-instance, so it is folded in place with the
+         round's whole delta as scope. *)
       run_engine ~engine:"core-round" ~budget
-        ~simplify:(fun _ _ -> Subst.empty)
-        ~round_end:(fun d ->
-          let pre = (Derivation.last d).Derivation.pre_instance in
-          let r = Homo.Core.retraction_to_core pre in
+        ~simplify:(fun _ ~added:_ _ -> Subst.empty)
+        ~round_end:(fun d ~idx ~fresh ~added ->
+          let scope =
+            if !invariant then Homo.Core.Delta { fresh; added }
+            else Homo.Core.Full
+          in
+          invariant := true;
+          let r = Homo.Core.retraction_to_core_indexed ~scope idx in
           (Derivation.replace_last_simplification ~validate:false d r, r))
         ~start_simplification kb
 
@@ -201,7 +236,7 @@ let core ?(budget = default_budget) ?(cadence = Every_application)
    The engine's pre-application index is reused: each candidate target
    (the instance without one null's atoms) is derived by incremental
    removal, and folds patch the index instead of rebuilding it. *)
-let frugal_simplification pre_idx (app : Trigger.application) =
+let frugal_simplification pre_idx ~added:_ (app : Trigger.application) =
   match app.Trigger.fresh with
   | [] -> Subst.empty
   | fresh ->
@@ -258,10 +293,15 @@ let frugal ?(budget = default_budget) kb =
 let stream ~variant kb =
   let simplify =
     match variant with
-    | `Restricted -> fun _ _ -> Subst.empty
+    | `Restricted -> fun _ ~added:_ _ -> Subst.empty
     | `Core ->
-        fun _ (app : Trigger.application) ->
-          Homo.Core.retraction_to_core app.Trigger.result
+        (* the stream's start instance is always simplified to a core
+           (see [d0] below), so the delta precondition holds from the
+           first application on *)
+        fun pre_idx ~added (app : Trigger.application) ->
+          Homo.Core.retraction_to_core_indexed
+            ~scope:(Homo.Core.Delta { fresh = app.Trigger.fresh; added })
+            pre_idx
     | `Frugal -> frugal_simplification
   in
   (* state: current derivation + its incrementally maintained index + the
@@ -280,10 +320,13 @@ let stream ~variant kb =
           && not (Trigger.satisfied_in tr' idx)
         then begin
           let app = Trigger.apply_in tr' idx in
-          let pre_idx =
-            Homo.Instance.add_atoms idx (Atomset.to_list app.Trigger.produced)
+          let added =
+            List.filter
+              (fun a -> not (Homo.Instance.mem idx a))
+              (Atomset.to_list app.Trigger.produced)
           in
-          let sigma = simplify pre_idx app in
+          let pre_idx = Homo.Instance.add_atoms idx added in
+          let sigma = simplify pre_idx ~added app in
           let d' =
             Derivation.extend_applied ~validate:false d tr' app
               ~simplification:sigma
@@ -371,6 +414,11 @@ module Egds = struct
     let record idx = trace := Homo.Instance.atomset idx :: !trace in
     let exception Fail of Egd.t in
     let exception Out_of_budget in
+    (* Incremental-core invariant for the [`Core] variant: true exactly
+       when the current instance is known to be a core.  EGD merges can
+       create foldable redundancy, so every unification clears it; each
+       core retraction re-establishes it. *)
+    let core_inv = ref false in
     (* saturate the EGDs on an (indexed) instance; each unification
        rewrites only the buckets of the merged term *)
     let rec egd_saturate idx =
@@ -382,6 +430,7 @@ module Egds = struct
           match unifier u v with
           | None -> raise (Fail egd)
           | Some s ->
+              core_inv := false;
               let idx' = Homo.Instance.apply_subst s idx in
               if Obs.live () then begin
                 Obs.Metrics.incr m_egd_merges;
@@ -423,16 +472,25 @@ module Egds = struct
                  let app = Trigger.apply_in tr idx in
                  if Atomset.cardinal app.Trigger.result > budget.max_atoms
                  then raise Out_of_budget;
-                 let pre_idx =
-                   Homo.Instance.add_atoms idx
+                 let added =
+                   List.filter
+                     (fun a -> not (Homo.Instance.mem idx a))
                      (Atomset.to_list app.Trigger.produced)
                  in
+                 let pre_idx = Homo.Instance.add_atoms idx added in
                  let idx' =
                    match variant with
                    | `Restricted -> pre_idx
                    | `Core ->
+                       let scope =
+                         if !core_inv then
+                           Homo.Core.Delta
+                             { fresh = app.Trigger.fresh; added }
+                         else Homo.Core.Full
+                       in
+                       core_inv := true;
                        Homo.Instance.apply_subst
-                         (Homo.Core.retraction_to_core app.Trigger.result)
+                         (Homo.Core.retraction_to_core_indexed ~scope pre_idx)
                          pre_idx
                  in
                  if Obs.live () then begin

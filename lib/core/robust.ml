@@ -7,27 +7,41 @@ let m_steps_built = Obs.Metrics.counter "robust.steps_built"
 
 let m_aggregations = Obs.Metrics.counter "robust.aggregations"
 
+module TM = Map.Make (Term)
+
+(* The renaming of Definition 14, for a [sigma] KNOWN to be a retraction
+   of [a] — chase engines certify their simplifications (the retraction
+   property is asserted where they are built, see Homo.Core), so the
+   robust-sequence construction reuses them as-is instead of re-proving
+   the property per step.  One pass over vars(a) groups every variable
+   under its image and keeps the [<_X]-smallest representative; each
+   image variable x is its own preimage (retractions fix their image's
+   terms), so x seeds its own group. *)
+let renaming_of_retraction a sigma =
+  let image = Subst.apply sigma a in
+  let best =
+    List.fold_left
+      (fun best x -> TM.add x x best)
+      TM.empty (Atomset.vars image)
+  in
+  let best =
+    List.fold_left
+      (fun best y ->
+        let x = Subst.apply_term sigma y in
+        match TM.find_opt x best with
+        | None -> best
+        | Some cur ->
+            if Term.compare_by_rank y cur < 0 then TM.add x y best else best)
+      best (Atomset.vars a)
+  in
+  TM.fold
+    (fun x y acc -> if Term.equal x y then acc else Subst.add x y acc)
+    best Subst.empty
+
 let robust_renaming a sigma =
   if not (Subst.is_retraction_of a sigma) then
     invalid_arg "Robust.robust_renaming: not a retraction";
-  let image = Subst.apply sigma a in
-  let all_vars = Atomset.vars a in
-  List.fold_left
-    (fun acc x ->
-      (* the preimage σ⁻¹(x) inside vars(a); x belongs to it since a
-         retraction is the identity on its image's terms *)
-      let smallest =
-        List.fold_left
-          (fun m y ->
-            if
-              Term.equal (Subst.apply_term sigma y) x
-              && Term.compare_by_rank y m < 0
-            then y
-            else m)
-          x all_vars
-      in
-      if Term.equal smallest x then acc else Subst.add x smallest acc)
-    Subst.empty (Atomset.vars image)
+  renaming_of_retraction a sigma
 
 let tau_of a sigma = Subst.compose (robust_renaming a sigma) sigma
 
@@ -42,13 +56,16 @@ type step = {
   tau : Subst.t;
 }
 
-type t = { derivation : Chase.Derivation.t; rev_steps : step list; len : int }
+(* Steps are stored in an array: [aggregation]/[tau_trace] walk the
+   sequence index by index, and O(1) [step] access keeps those walks
+   linear instead of quadratic. *)
+type t = { derivation : Chase.Derivation.t; steps_arr : step array; len : int }
 
 let build_step0 (dstep : Chase.Derivation.step) =
   let f = dstep.Chase.Derivation.pre_instance in
   let sigma0 = dstep.Chase.Derivation.simplification in
   let f0 = dstep.Chase.Derivation.instance in
-  let renaming = robust_renaming f sigma0 in
+  let renaming = renaming_of_retraction f sigma0 in
   let g = Subst.apply renaming f0 in
   {
     index = 0;
@@ -82,7 +99,10 @@ let build_step (prev : step) (prev_f : Atomset.t) (dstep : Chase.Derivation.step
       Subst.empty (Atomset.vars a_prime)
   in
   let f_prime = Subst.apply sigma_prime a_prime in
-  let renaming = robust_renaming a_prime sigma_prime in
+  (* σ'_i is a conjugate of the derivation's retraction σ_i by the
+     isomorphism ρ_{i-1}, hence itself a retraction — reused, not
+     re-validated ([check_invariants] still verifies it on demand) *)
+  let renaming = renaming_of_retraction a_prime sigma_prime in
   let g = Subst.apply renaming f_prime in
   {
     index = dstep.Chase.Derivation.index;
@@ -112,7 +132,7 @@ let of_derivation d =
       in
       let len = List.length rev_steps in
       if !Obs.Metrics.enabled then Obs.Metrics.add m_steps_built len;
-      { derivation = d; rev_steps; len }
+      { derivation = d; steps_arr = Array.of_list (List.rev rev_steps); len }
 
 let derivation r = r.derivation
 
@@ -120,9 +140,9 @@ let length r = r.len
 
 let step r i =
   if i < 0 || i >= r.len then invalid_arg "Robust.step: out of range";
-  List.nth r.rev_steps (r.len - 1 - i)
+  r.steps_arr.(i)
 
-let steps r = List.rev r.rev_steps
+let steps r = Array.to_list r.steps_arr
 
 let g_at r i = (step r i).g
 
@@ -202,7 +222,7 @@ let check_invariants r =
   let ( let* ) = Result.bind in
   let check b msg = if b then Ok () else Error msg in
   let dsteps = Array.of_list (Chase.Derivation.steps r.derivation) in
-  let rsteps = Array.of_list (steps r) in
+  let rsteps = r.steps_arr in
   let n = Array.length rsteps in
   let rec loop i =
     if i >= n then Ok ()
@@ -239,10 +259,7 @@ let check_invariants r =
   let* () = loop 0 in
   (* Lemma 1(i) on prefixes: pushing the length-j prefix aggregation through
      τ_{j+1} lands inside the length-(j+1) prefix aggregation *)
-  let prefix_of j =
-    let rec drop k l = if k = 0 then l else drop (k - 1) (List.tl l) in
-    { r with rev_steps = drop (r.len - j) r.rev_steps; len = j }
-  in
+  let prefix_of j = { r with steps_arr = Array.sub r.steps_arr 0 j; len = j } in
   let rec mono j =
     if j >= r.len then Ok ()
     else

@@ -4,34 +4,196 @@ type strategy = By_variable | By_atom
 
 let strategy = ref By_variable
 
+(* Delta-scoped folding (DESIGN.md §9).  [Full] searches every variable
+   (resp. non-ground atom); [Delta] restricts the *first* fold search to
+   the candidate set derived from the step's delta, which is complete as
+   long as the pre-delta instance was a core.  Once one fold fires that
+   invariant is consumed and the loop falls back to the full search. *)
+type scope = Full | Delta of { fresh : Term.t list; added : Atom.t list }
+
+(* Scoping policy, mirroring [Trigger.discovery]'s trichotomy: [Scoped]
+   trusts the caller's [Delta] scopes, [Exhaustive] ignores them and
+   always folds fully (the oracle), [Audit] runs both and fails loudly on
+   disagreement (cores are compared up to isomorphism — they are only
+   unique up to iso once a fold has fired). *)
+type scoping = Scoped | Exhaustive | Audit
+
+let scoping = ref Scoped
+
+let m_scoped = Obs.Metrics.counter "core.scoped_searches"
+
+let m_certified = Obs.Metrics.counter "core.scoped_certified"
+
+let m_fallbacks = Obs.Metrics.counter "core.full_fallbacks"
+
+module TSet = Set.Make (Term)
+
 (* The fold search works on one index of the current instance; candidate
    targets (the instance minus the atoms carrying one variable / minus one
-   atom) are derived from it by incremental removal rather than rebuilt. *)
+   atom) are derived from it by incremental removal rather than rebuilt.
+   Failed per-candidate searches are memoised under the base instance's
+   generation: within one epoch (notably when [Audit] re-runs the full
+   search after the scoped one) each candidate is searched at most once. *)
+let fold_via_var idx a epoch x =
+  let target = Instance.remove_atoms idx (Instance.atoms_with_term idx x) in
+  Hom.find ~memo:(Fmt.str "fold:v:%a" Term.pp_debug x, epoch) a target
+
+let fold_via_atom idx a epoch at =
+  if Atom.is_ground at then None
+  else
+    Hom.find
+      ~memo:(Fmt.str "fold:a:%a" Atom.pp_debug at, epoch)
+      a
+      (Instance.remove_atoms idx [ at ])
+
 let find_fold_indexed idx =
   let a = Instance.atomset idx in
+  let epoch = Instance.generation idx in
   match !strategy with
-  | By_variable ->
-      List.find_map
-        (fun x ->
-          let target = Instance.remove_atoms idx (Instance.atoms_with_term idx x) in
-          Hom.find a target)
-        (Atomset.vars a)
-  | By_atom ->
-      List.find_map
-        (fun at ->
-          if Atom.is_ground at then None
-          else Hom.find a (Instance.remove_atoms idx [ at ]))
-        (Atomset.to_list a)
+  | By_variable -> List.find_map (fold_via_var idx a epoch) (Atomset.vars a)
+  | By_atom -> List.find_map (fold_via_atom idx a epoch) (Atomset.to_list a)
 
 let find_fold a = find_fold_indexed (Instance.of_atomset a)
+
+(* The scoped first-fold search after one delta (DESIGN.md §9).  Writing
+   the instance as [I = A ∪ D] with [A] a core and [D] the step's delta,
+   any proper retraction [r] of [I] falls in exactly one of two cases:
+
+   (a) [r] is the identity on [A] (an idempotent automorphism of a core
+       is the identity), so it moves only the delta's fresh nulls — and
+       in fact fixes every non-fresh variable of [I];
+
+   (b) [r] moves a variable of [A]; then [r(A) ⊄ A], so some atom [b]
+       maps onto a genuinely-new delta atom [d ∈ D ∖ A] with [b ≠ d].
+       Atoms are flat, so [r]'s restriction to [vars b] is exactly the
+       per-position unifier [h = extend_via_atom ∅ b d]; moreover [r],
+       being idempotent, fixes [d]'s variables, and omits every atom
+       containing an [h]-moved variable.
+
+   Each case yields a finished search: (a) per alive fresh null [z], a
+   search for an endomorphism fixing all non-fresh variables into
+   [I ∖ atoms z]; (b) per unifiable pair [(b, d)] whose moved variables
+   avoid [vars d], a single [h]-seeded search into [I] minus the atoms
+   of all [h]-moved variables.  A [None] over all of them certifies that
+   [I] is still a core — the dominant case on long chase prefixes, and
+   the reason per-step cost tracks the delta.  [added] must list exactly
+   the atoms of [D ∖ A] (new in the instance, not re-derived
+   duplicates). *)
+let moved_vars h b =
+  List.filter
+    (fun x ->
+      match Subst.find x h with Some t -> not (Term.equal t x) | None -> false)
+    (Atom.vars b)
+
+let find_fold_scoped idx ~fresh ~added =
+  let a = Instance.atomset idx in
+  let epoch = Instance.generation idx in
+  let searches = ref 0 in
+  (* case (a): a fold eliminating a fresh null, identity elsewhere *)
+  let freshset = List.fold_left (fun s z -> TSet.add z s) TSet.empty fresh in
+  let keep_seed =
+    lazy
+      (List.fold_left
+         (fun s x -> if TSet.mem x freshset then s else Subst.add x x s)
+         Subst.empty (Atomset.vars a))
+  in
+  let via_fresh z =
+    if Instance.atoms_with_term idx z = [] then None
+    else begin
+      incr searches;
+      Hom.find
+        ~memo:(Fmt.str "fold:f:%a" Term.pp_debug z, epoch)
+        ~seed:(Lazy.force keep_seed) a
+        (Instance.remove_atoms idx (Instance.atoms_with_term idx z))
+    end
+  in
+  (* case (b): an old atom maps onto a new delta atom *)
+  let via_pair d =
+    List.find_map
+      (fun b ->
+        if Atom.equal b d then None
+        else
+          match Hom.extend_via_atom Subst.empty b d with
+          | None -> None
+          | Some h -> (
+              match moved_vars h b with
+              | [] -> None
+              | moved
+                when List.exists
+                       (fun x -> List.exists (Term.equal x) (Atom.vars d))
+                       moved ->
+                  (* an idempotent retraction fixes the variables of its
+                     image atom [d]; a pair moving one cannot witness (b) *)
+                  None
+              | moved ->
+                  incr searches;
+                  let dropped =
+                    List.concat_map (Instance.atoms_with_term idx) moved
+                  in
+                  Hom.find
+                    ~memo:
+                      ( Fmt.str "fold:p:%a>%a" Atom.pp_debug b Atom.pp_debug d,
+                        epoch )
+                    ~seed:h a
+                    (Instance.remove_atoms idx dropped)))
+      (Instance.atoms_with_pred idx (Atom.pred d))
+  in
+  let r =
+    match List.find_map via_fresh fresh with
+    | Some h -> Some h
+    | None -> List.find_map via_pair added
+  in
+  if !Obs.Metrics.enabled then begin
+    Obs.Metrics.incr m_scoped;
+    Obs.Metrics.incr (if r = None then m_certified else m_fallbacks)
+  end;
+  if Obs.Trace.enabled () then
+    Obs.Trace.emit
+      (Obs.Trace.Core_scoped_fold
+         {
+           candidates = !searches;
+           folded = r <> None;
+           size = Instance.cardinal idx;
+         });
+  r
 
 let rec fold_loop sigma idx =
   match find_fold_indexed idx with
   | None -> (sigma, Instance.atomset idx)
   | Some h -> fold_loop (Subst.compose h sigma) (Instance.apply_subst h idx)
 
-let retraction_to_core a =
-  let sigma_star, c = fold_loop Subst.empty (Instance.of_atomset a) in
+let fold_to_core scope idx =
+  match scope with
+  | Delta { fresh; added } when !scoping <> Exhaustive -> (
+      let scoped () =
+        match find_fold_scoped idx ~fresh ~added with
+        | None -> (Subst.empty, Instance.atomset idx)
+        | Some h ->
+            (* the core invariant is consumed by the first fold; finish
+               with the unconditional search *)
+            fold_loop (Subst.compose h Subst.empty) (Instance.apply_subst h idx)
+      in
+      match !scoping with
+      | Audit ->
+          let _, s_core = scoped () in
+          let f_sigma, f_core = fold_loop Subst.empty idx in
+          if
+            not
+              (Atomset.cardinal s_core = Atomset.cardinal f_core
+              && Morphism.isomorphic s_core f_core)
+          then
+            failwith
+              (Fmt.str
+                 "Core: delta-scoped fold disagrees with the full fold (%d \
+                  vs %d atoms)"
+                 (Atomset.cardinal s_core) (Atomset.cardinal f_core));
+          (f_sigma, f_core)
+      | _ -> scoped ())
+  | _ -> fold_loop Subst.empty idx
+
+let retraction_to_core_indexed ?(scope = Full) idx =
+  let a = Instance.atomset idx in
+  let sigma_star, c = fold_to_core scope idx in
   if Subst.is_empty sigma_star then Subst.empty
   else begin
     (* σ* : A → C is a homomorphism onto the core C; its restriction to C
@@ -47,6 +209,9 @@ let retraction_to_core a =
     assert (Subst.is_retraction_of a r);
     r
   end
+
+let retraction_to_core ?scope a =
+  retraction_to_core_indexed ?scope (Instance.of_atomset a)
 
 let core_with_retraction a =
   let r = retraction_to_core a in

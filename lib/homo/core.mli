@@ -29,9 +29,44 @@ type strategy = By_variable | By_atom
 val strategy : strategy ref
 (** Default [Whole_image]. *)
 
-val retraction_to_core : Atomset.t -> Subst.t
+type scope =
+  | Full  (** no precondition: search every variable / atom *)
+  | Delta of { fresh : Term.t list; added : Atom.t list }
+      (** incremental-core precondition (DESIGN.md §9): the instance is
+          [A ∪ D] where [A] was a core and [D] is one step's delta.
+          [fresh] are the step's freshly invented nulls, [added] the
+          atoms of [D] genuinely new in the instance (not re-derived
+          duplicates).  The {e first} fold search is then delta-scoped —
+          one identity-seeded search per alive fresh null plus one
+          unifier-seeded search per (old atom → new delta atom) pair — a
+          failure of all of them certifies the instance is still a core;
+          once a fold fires the remaining loop reverts to the full
+          search. *)
+
+type scoping = Scoped | Exhaustive | Audit
+
+val scoping : scoping ref
+(** Policy for honouring [Delta] scopes, mirroring
+    [Trigger.discovery]'s trichotomy ([--core-scope delta|full|audit]):
+    [Scoped] (default) trusts them; [Exhaustive] ignores them and always
+    folds fully (the oracle); [Audit] runs both and raises [Failure] if
+    the resulting cores are not isomorphic (returning the full-search
+    result).  Counted by [core.scoped_searches] /
+    [core.scoped_certified] / [core.full_fallbacks] and traced as
+    [Core_scoped_fold] events. *)
+
+val retraction_to_core : ?scope:scope -> Atomset.t -> Subst.t
 (** A retraction [σ] of the atomset with [σ(A)] a core.  The identity
-    substitution (empty) when the atomset is already a core. *)
+    substitution (empty) when the atomset is already a core.  [?scope]
+    (default [Full]) may assert the incremental-core precondition; with
+    a [Delta] scope whose precondition actually holds the result is a
+    retraction onto a core exactly as with [Full], at delta-sized cost
+    in the (dominant) no-fold case. *)
+
+val retraction_to_core_indexed : ?scope:scope -> Instance.t -> Subst.t
+(** Like {!retraction_to_core} on an already-indexed instance — chase
+    engines maintain the index incrementally and pass it here instead of
+    paying an [of_atomset] rebuild per simplification. *)
 
 val of_atomset : Atomset.t -> Atomset.t
 (** The core itself: [σ(A)] for [σ = retraction_to_core A]. *)

@@ -47,7 +47,17 @@ let extend_via_atom sigma pattern target =
 let solve ?(seed = Subst.empty) ?(injective = false) ~(k : Subst.t -> unit)
     (src : Atomset.t) (tgt : Instance.t) : unit =
   let bt = ref 0 in
-  let atoms = Atomset.to_list src in
+  (* The not-yet-matched source atoms live in the prefix [0, live) of a
+     worklist array; each entry keeps its original rank so ties in the
+     most-constrained-first selection break exactly as they did when the
+     worklist was an ordered list.  Removal is an O(1) swap with the last
+     live slot.  Deeper recursion may permute the live prefix (swaps are
+     never undone on backtrack), which is harmless: the prefix always holds
+     the same *set* of atoms, and selection below is a function of
+     (candidate count, original rank), not of array order. *)
+  let arr =
+    Array.of_list (List.mapi (fun i a -> (i, a)) (Atomset.to_list src))
+  in
   (* Under injectivity, track the set of image terms already in use.  The
      initial set contains the seed's images and the source's constants
      (which are their own images). *)
@@ -62,59 +72,58 @@ let solve ?(seed = Subst.empty) ?(injective = false) ~(k : Subst.t -> unit)
         (TS.of_list (Atomset.consts src))
         (Atomset.vars src)
   in
-  (* remove the i-th element, returning it and the remainder in order *)
-  let rec extract_nth i = function
-    | [] -> invalid_arg "Hom.solve: extract_nth"
-    | x :: rest ->
-        if i = 0 then (x, rest)
-        else
-          let y, rest' = extract_nth (i - 1) rest in
-          (y, x :: rest')
-  in
-  let rec go sigma used remaining =
-    match remaining with
-    | [] -> k sigma
-    | [ a ] -> match_next sigma used a []
-    | _ ->
-        let next, rest =
-          if !naive_order then (List.hd remaining, List.tl remaining)
-          else
-            (* most-constrained-first: smallest candidate bucket.  One
-               pass per level; each count is read off the cached bucket
-               cardinalities, and the winner is removed by index. *)
-            let best_i, _, _ =
-              List.fold_left
-                (fun (bi, bc, i) a ->
-                  let c = Instance.candidate_count tgt a sigma in
-                  if c < bc then (i, c, i + 1) else (bi, bc, i + 1))
-                (-1, max_int, 0) remaining
+  let rec go sigma used live =
+    if live = 0 then k sigma
+    else begin
+      let best = ref 0 in
+      if live > 1 then
+        if !naive_order then
+          (* fixed textual order: the live atom of smallest original rank *)
+          for i = 1 to live - 1 do
+            if fst arr.(i) < fst arr.(!best) then best := i
+          done
+        else begin
+          (* most-constrained-first: smallest candidate bucket.  One pass
+             per level; each count is read off the cached bucket
+             cardinalities.  Ties go to the smallest original rank — the
+             same atom the ordered-list version selected first. *)
+          let bc = ref (Instance.candidate_count tgt (snd arr.(0)) sigma) in
+          for i = 1 to live - 1 do
+            let c = Instance.candidate_count tgt (snd arr.(i)) sigma in
+            if c < !bc || (c = !bc && fst arr.(i) < fst arr.(!best)) then begin
+              best := i;
+              bc := c
+            end
+          done
+        end;
+      let chosen = arr.(!best) in
+      arr.(!best) <- arr.(live - 1);
+      arr.(live - 1) <- chosen;
+      match_next sigma used (snd chosen) (live - 1)
+    end
+  and match_next sigma used next live =
+    let try_candidate target_atom =
+      match extend_via_atom_full sigma next target_atom with
+      | None -> incr bt
+      | Some (sigma', new_bindings) ->
+          if injective then begin
+            (* each fresh image must be unused, and fresh images must be
+               pairwise distinct (checked by sequential insertion) *)
+            let rec check used = function
+              | [] -> Some used
+              | (_, img) :: rest ->
+                  if TS.mem img used then None
+                  else check (TS.add img used) rest
             in
-            extract_nth best_i remaining
-        in
-        match_next sigma used next rest
-  and match_next sigma used next rest =
-        let try_candidate target_atom =
-          match extend_via_atom_full sigma next target_atom with
-          | None -> incr bt
-          | Some (sigma', new_bindings) ->
-              if injective then begin
-                (* each fresh image must be unused, and fresh images must be
-                   pairwise distinct (checked by sequential insertion) *)
-                let rec check used = function
-                  | [] -> Some used
-                  | (_, img) :: rest ->
-                      if TS.mem img used then None
-                      else check (TS.add img used) rest
-                in
-                match check used new_bindings with
-                | None -> incr bt
-                | Some used' -> go sigma' used' rest
-              end
-              else go sigma' used rest
-        in
-        List.iter try_candidate (Instance.candidates tgt next sigma)
+            match check used new_bindings with
+            | None -> incr bt
+            | Some used' -> go sigma' used' live
+          end
+          else go sigma' used live
+    in
+    List.iter try_candidate (Instance.candidates tgt next sigma)
   in
-  let run () = go seed init_used atoms in
+  let run () = go seed init_used (Array.length arr) in
   if not (Obs.live ()) then run ()
   else begin
     Obs.Metrics.incr m_solve_calls;
@@ -138,7 +147,29 @@ let solve ?(seed = Subst.empty) ?(injective = false) ~(k : Subst.t -> unit)
 
 exception Stop
 
-let find ?seed ?injective src tgt =
+(* Failure memo (DESIGN.md §9).  Negative [find] results are cached under a
+   caller-supplied (key, epoch) pair: the key names the check (pattern,
+   seed, flags) stably, the epoch is an {!Instance.generation} that pins
+   the target content the failure was observed against.  A stored entry is
+   valid only while its epoch matches the query's — generation advance is
+   the invalidation, no explicit flush needed.  Only failures are cached:
+   a success carries a witness substitution that callers use, while a
+   failure is a bare fact that stays true as long as the target does not
+   change.  The table is bounded: at [memo_max] entries it is reset
+   wholesale (entries for dead epochs dominate by then anyway). *)
+let memo_enabled = ref true
+
+let memo_max = 1 lsl 14
+
+let memo_tbl : (string, int) Hashtbl.t = Hashtbl.create 256
+
+let memo_clear () = Hashtbl.reset memo_tbl
+
+let m_memo_hits = Obs.Metrics.counter "hom.memo_hits"
+
+let m_memo_misses = Obs.Metrics.counter "hom.memo_misses"
+
+let find_uncached ?seed ?injective src tgt =
   let result = ref None in
   (try
      solve ?seed ?injective
@@ -149,8 +180,25 @@ let find ?seed ?injective src tgt =
    with Stop -> ());
   !result
 
-let exists ?seed ?injective src tgt =
-  match find ?seed ?injective src tgt with Some _ -> true | None -> false
+let find ?seed ?injective ?memo src tgt =
+  match memo with
+  | Some (key, epoch) when !memo_enabled -> (
+      match Hashtbl.find_opt memo_tbl key with
+      | Some e when e = epoch ->
+          if !Obs.Metrics.enabled then Obs.Metrics.incr m_memo_hits;
+          None
+      | _ ->
+          if !Obs.Metrics.enabled then Obs.Metrics.incr m_memo_misses;
+          let r = find_uncached ?seed ?injective src tgt in
+          if r = None then begin
+            if Hashtbl.length memo_tbl >= memo_max then Hashtbl.reset memo_tbl;
+            Hashtbl.replace memo_tbl key epoch
+          end;
+          r)
+  | _ -> find_uncached ?seed ?injective src tgt
+
+let exists ?seed ?injective ?memo src tgt =
+  match find ?seed ?injective ?memo src tgt with Some _ -> true | None -> false
 
 let all ?seed ?injective ?limit src tgt =
   let acc = ref [] in

@@ -16,15 +16,44 @@ val extend_via_atom : Subst.t -> Atom.t -> Atom.t -> Subst.t option
     single-atom matching in dependency analysis. *)
 
 val find :
-  ?seed:Subst.t -> ?injective:bool -> Atomset.t -> Instance.t -> Subst.t option
+  ?seed:Subst.t ->
+  ?injective:bool ->
+  ?memo:string * int ->
+  Atomset.t ->
+  Instance.t ->
+  Subst.t option
 (** [find src tgt] is a homomorphism from [src] into [tgt] extending
     [seed] (default: empty), restricted to the variables of [src] not bound
     by the seed plus the seed itself.  With [~injective:true] the returned
     substitution is injective on [terms src] (constants included: a variable
-    may not map onto a term that is already an image). *)
+    may not map onto a term that is already an image).
+
+    [~memo:(key, epoch)] enables the failure memo: if a previous call with
+    the same [key] failed at the same [epoch], [None] is returned without
+    searching, and a fresh failure is recorded under [(key, epoch)].
+    Correctness contract (caller's responsibility): for a fixed [key], all
+    calls at a given [epoch] must pose the same question — same [src],
+    [seed], [injective] and same target {e content}.  Pass
+    [Instance.generation tgt] as the epoch (equal generations imply equal
+    content) or, for searches against instances derived from a common base,
+    the base's generation.  Successes are never cached.  Counted by the
+    [hom.memo_hits] / [hom.memo_misses] metrics. *)
 
 val exists :
-  ?seed:Subst.t -> ?injective:bool -> Atomset.t -> Instance.t -> bool
+  ?seed:Subst.t ->
+  ?injective:bool ->
+  ?memo:string * int ->
+  Atomset.t ->
+  Instance.t ->
+  bool
+
+val memo_enabled : bool ref
+(** Ablation switch ([abl:hom:memo]): when [false], [~memo] arguments are
+    ignored and every {!find}/{!exists} searches.  Default [true]. *)
+
+val memo_clear : unit -> unit
+(** Drop every cached failure.  Never required for correctness (epoch
+    mismatch already invalidates); useful to isolate benchmark runs. *)
 
 val all :
   ?seed:Subst.t -> ?injective:bool -> ?limit:int -> Atomset.t -> Instance.t ->

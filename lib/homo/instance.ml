@@ -15,6 +15,19 @@ module PTKey = struct
 end
 
 module PTMap = Map.Make (PTKey)
+module AMap = Map.Make (Atom)
+
+(* Generation epochs.  A single process-wide counter hands out a fresh
+   epoch to every instance value whose content differs from its parent's,
+   so equal generations imply equal atom sets — the property memo tables
+   key on.  The converse does not hold (two independently built instances
+   with the same atoms get different generations); caches keyed on
+   generations can therefore only lose hits, never correctness. *)
+let gen_counter = ref 0
+
+let next_gen () =
+  incr gen_counter;
+  !gen_counter
 
 (* A bucket caches its cardinality: selectivity comparisons in
    [best_bucket] and candidate counting in the hom search read [n]
@@ -43,6 +56,8 @@ type t = {
   by_pred : bucket SMap.t;
   by_ppt : bucket PTMap.t;
   by_term : bucket TMap.t;  (** atoms containing a given term (anywhere) *)
+  generation : int;  (** cache epoch; equal generations ⇒ equal content *)
+  born : int AMap.t;  (** per-atom birth stamp: the epoch that added it *)
 }
 
 let empty =
@@ -51,6 +66,8 @@ let empty =
     by_pred = SMap.empty;
     by_ppt = PTMap.empty;
     by_term = TMap.empty;
+    generation = 0;
+    born = AMap.empty;
   }
 
 let bump a = function
@@ -78,7 +95,15 @@ let add_atom ins a =
         (fun bt t -> TMap.update t (bump a) bt)
         ins.by_term (Atom.term_set a)
     in
-    { atoms = Atomset.add a ins.atoms; by_pred; by_ppt; by_term }
+    let g = next_gen () in
+    {
+      atoms = Atomset.add a ins.atoms;
+      by_pred;
+      by_ppt;
+      by_term;
+      generation = g;
+      born = AMap.add a g ins.born;
+    }
 
 let remove_atom ins a =
   if not (Atomset.mem a ins.atoms) then ins
@@ -95,7 +120,14 @@ let remove_atom ins a =
         (fun bt t -> TMap.update t (drop a) bt)
         ins.by_term (Atom.term_set a)
     in
-    { atoms = Atomset.remove a ins.atoms; by_pred; by_ppt; by_term }
+    {
+      atoms = Atomset.remove a ins.atoms;
+      by_pred;
+      by_ppt;
+      by_term;
+      generation = next_gen ();
+      born = AMap.remove a ins.born;
+    }
 
 let add_atoms ins atoms = List.fold_left add_atom ins atoms
 
@@ -116,13 +148,27 @@ let apply_subst sigma ins =
           | Some b -> List.fold_left (fun acc a -> Atomset.add a acc) acc b.items)
         Atomset.empty (Subst.domain sigma)
     in
-    Atomset.fold
-      (fun a ins ->
-        let a' = Subst.apply_atom sigma a in
-        if Atom.equal a a' then ins else add_atom (remove_atom ins a) a')
-      affected ins
+    (* two phases: remove every rewritten atom, then add every image.  A
+       non-idempotent σ (a fold step swapping x and y, say) can map one
+       rewritten atom onto another — interleaving removal with insertion
+       would silently drop the latter when its own rewrite runs next. *)
+    let changed =
+      Atomset.filter
+        (fun a -> not (Atom.equal a (Subst.apply_atom sigma a)))
+        affected
+    in
+    let ins = Atomset.fold (fun a ins -> remove_atom ins a) changed ins in
+    Atomset.fold (fun a ins -> add_atom ins (Subst.apply_atom sigma a)) changed ins
 
 let atomset ins = ins.atoms
+
+let generation ins = ins.generation
+
+let born ins a = AMap.find_opt a ins.born
+
+let atoms_since ins g =
+  AMap.fold (fun a stamp acc -> if stamp > g then a :: acc else acc) ins.born []
+  |> List.sort Atom.compare
 
 let cardinal ins = Atomset.cardinal ins.atoms
 
@@ -191,5 +237,11 @@ let invariants_ok ins =
   SMap.equal bucket_eq ins.by_pred fresh.by_pred
   && PTMap.equal bucket_eq ins.by_ppt fresh.by_ppt
   && TMap.equal bucket_eq ins.by_term fresh.by_term
+  && (* birth stamps cover exactly the live atoms and never postdate the
+        instance's own epoch *)
+  AMap.cardinal ins.born = Atomset.cardinal ins.atoms
+  && AMap.for_all
+       (fun a stamp -> Atomset.mem a ins.atoms && stamp <= ins.generation)
+       ins.born
 
 let pp ppf ins = Atomset.pp ppf ins.atoms

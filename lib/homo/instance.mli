@@ -38,6 +38,29 @@ val apply_subst : Subst.t -> t -> t
 
 val atomset : t -> Atomset.t
 
+val generation : t -> int
+(** Cache epoch of this instance value.  Epochs are handed out by a
+    process-wide counter: every content-changing operation
+    ({!add_atoms}, {!remove_atoms}, {!apply_subst}) returns an instance
+    with a fresh, strictly larger generation, while no-op updates keep
+    the old one.  Consequently equal generations imply equal atom sets,
+    which makes the generation a sound invalidation key for memo tables
+    over instances (see {!Hom.find}'s failure memo).  The converse does
+    not hold — equal content rebuilt independently gets a different
+    epoch — so generation-keyed caches can lose hits but never give
+    stale answers.  [empty] has generation [0]. *)
+
+val born : t -> Atom.t -> int option
+(** [born ins a] is the generation stamp at which [a]'s current entry was
+    added to [ins] ([None] if [a ∉ ins]).  An atom removed and later
+    re-added carries the stamp of the re-addition. *)
+
+val atoms_since : t -> int -> Atom.t list
+(** [atoms_since ins g]: the atoms whose birth stamp postdates epoch [g],
+    sorted.  With [g] a previously observed {!generation} of an ancestor
+    of [ins], this is the delta of atoms added (or rewritten by
+    {!apply_subst}) since that ancestor. *)
+
 val cardinal : t -> int
 
 val mem : t -> Atom.t -> bool

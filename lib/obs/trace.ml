@@ -11,6 +11,7 @@ type event =
   | Retract of { engine : string; step : int; removed : int; size : int }
   | Egd_merge of { engine : string; step : int; size : int }
   | Hom_backtrack of { backtracks : int; src_atoms : int; tgt_atoms : int }
+  | Core_scoped_fold of { candidates : int; folded : bool; size : int }
   | Tw_decomposed of { vertices : int; width : int; exact : bool }
 
 type sink =
@@ -52,6 +53,10 @@ let pp_event ppf = function
   | Hom_backtrack { backtracks; src_atoms; tgt_atoms } ->
       Format.fprintf ppf "[hom] %d backtrack(s) mapping %d atoms into %d"
         backtracks src_atoms tgt_atoms
+  | Core_scoped_fold { candidates; folded; size } ->
+      Format.fprintf ppf "[core] scoped fold: %d candidate(s) on %d atoms (%s)"
+        candidates size
+        (if folded then "folded" else "certified core")
   | Tw_decomposed { vertices; width; exact } ->
       Format.fprintf ppf "[tw] decomposed %d vertices: width %d (%s)" vertices
         width
@@ -102,6 +107,11 @@ let to_json ev =
         [
           s "ev" "hom_backtrack"; i "backtracks" backtracks;
           i "src_atoms" src_atoms; i "tgt_atoms" tgt_atoms;
+        ]
+    | Core_scoped_fold { candidates; folded; size } ->
+        [
+          s "ev" "core_scoped_fold"; i "candidates" candidates;
+          b "folded" folded; i "size" size;
         ]
     | Tw_decomposed { vertices; width; exact } ->
         [
@@ -264,6 +274,13 @@ let of_json_line line =
                 backtracks = int "backtracks";
                 src_atoms = int "src_atoms";
                 tgt_atoms = int "tgt_atoms";
+              }
+        | "core_scoped_fold" ->
+            Core_scoped_fold
+              {
+                candidates = int "candidates";
+                folded = bool "folded";
+                size = int "size";
               }
         | "tw_decomposed" ->
             Tw_decomposed

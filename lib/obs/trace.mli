@@ -35,6 +35,11 @@ type event =
       (** an EGD unified two terms *)
   | Hom_backtrack of { backtracks : int; src_atoms : int; tgt_atoms : int }
       (** one homomorphism search that dead-ended [backtracks] times *)
+  | Core_scoped_fold of { candidates : int; folded : bool; size : int }
+      (** one delta-scoped fold search over [candidates] candidate
+          variables on an instance of [size] atoms; [folded] tells
+          whether a fold fired (else the instance was certified a core
+          without a full search — see DESIGN.md §9) *)
   | Tw_decomposed of { vertices : int; width : int; exact : bool }
       (** a tree decomposition / width bound was computed *)
 

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Compare a fresh benchmark run against the committed baseline.
+
+Usage: bench_compare.py BASELINE.json CURRENT.json [TOLERANCE]
+
+Both files use the BENCH_RESULTS.json schema: timing rows (ns/run) nested
+under a top-level "benchmarks" key.  Every benchmark present in CURRENT is
+compared against the same key in BASELINE; a row slower than TOLERANCE x
+baseline (default 1.5) is flagged.  Exit status 1 when anything is flagged
+— the CI job is warn-only, so this marks the job without failing the
+workflow.  Stdlib only.
+"""
+
+import json
+import sys
+
+
+def main():
+    if len(sys.argv) < 3:
+        print(__doc__)
+        return 2
+    baseline_path, current_path = sys.argv[1], sys.argv[2]
+    tolerance = float(sys.argv[3]) if len(sys.argv) > 3 else 1.5
+    with open(baseline_path) as f:
+        baseline = json.load(f).get("benchmarks", {})
+    with open(current_path) as f:
+        current = json.load(f).get("benchmarks", {})
+    if not current:
+        print("no benchmark rows in %s" % current_path)
+        return 2
+    regressions = []
+    width = max(len(name) for name in current)
+    print("tolerance: %.2fx baseline (%s)" % (tolerance, baseline_path))
+    for name in sorted(current):
+        cur = current[name]
+        base = baseline.get(name)
+        if not isinstance(base, (int, float)) or base <= 0:
+            print("  %-*s %14s -> %14.1f ns/run  (no baseline)" % (width, name, "-", cur))
+            continue
+        ratio = cur / base
+        flag = "REGRESSION" if ratio > tolerance else "ok"
+        print(
+            "  %-*s %14.1f -> %14.1f ns/run  %5.2fx %s"
+            % (width, name, base, cur, ratio, flag)
+        )
+        if ratio > tolerance:
+            regressions.append((name, ratio))
+    if regressions:
+        print()
+        print("%d benchmark(s) slower than %.2fx baseline (warn-only):" % (len(regressions), tolerance))
+        for name, ratio in regressions:
+            print("  %s: %.2fx" % (name, ratio))
+        return 1
+    print()
+    print("all compared benchmarks within %.2fx of baseline" % tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

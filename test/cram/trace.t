@@ -24,25 +24,51 @@ timings, so only the counter rows are pinned here.
     chase.rounds                     2
     chase.triggers_applied           3
     chase.triggers_enumerated        3
-    hom.backtracks                   2
-    hom.solve_calls                  11
+    core.full_fallbacks              0
+    core.scoped_certified            3
+    core.scoped_searches             3
+    hom.backtracks                   1
+    hom.memo_hits                    2
+    hom.memo_misses                  4
+    hom.solve_calls                  9
     robust.aggregations              0
     robust.steps_built               0
     tw.computations                  0
 
 
+The core.* rows come from incremental core maintenance (DESIGN.md §9):
+each step's delta-scoped fold search is counted, and on this datalog KB
+every delta is certified outright — no seeded search, no fallback to
+the exhaustive fold.  The hom.memo_* rows count the failed-hom memo
+that both the scoped searches and trigger-satisfaction re-checks
+consult.
+
 The trace is one JSON object per line; the prefix is stable for this KB
-(discovery sweeps, round starts, trigger firings with rule labels):
+(discovery sweeps, round starts, core_scoped_fold certifications with
+their seeded-search counts, trigger firings with rule labels):
 
   $ grep -v hom_backtrack out.jsonl
   {"ev":"trigger_found","engine":"discover","found":2,"size":2}
   {"ev":"round_start","engine":"core","round":1,"size":2}
+  {"ev":"core_scoped_fold","candidates":0,"folded":false,"size":3}
   {"ev":"trigger_applied","engine":"core","step":1,"rule":"anc-base","produced":1,"size":3}
+  {"ev":"core_scoped_fold","candidates":0,"folded":false,"size":4}
   {"ev":"trigger_applied","engine":"core","step":2,"rule":"anc-base","produced":1,"size":4}
   {"ev":"trigger_found","engine":"discover","found":1,"size":4}
   {"ev":"round_start","engine":"core","round":2,"size":4}
+  {"ev":"core_scoped_fold","candidates":0,"folded":false,"size":5}
   {"ev":"trigger_applied","engine":"core","step":3,"rule":"anc-rec","produced":1,"size":5}
   {"ev":"trigger_found","engine":"discover","found":0,"size":5}
+
+Forcing the exhaustive oracle with --core-scope full disables the
+scoped search entirely — the core.* counters stay at zero (the final
+instance is identical either way; the scoped ≡ full law is tested
+property-style in test_props.ml):
+
+  $ corechase chase family.dlgp --variant core --core-scope full --metrics | grep "core\."
+    core.full_fallbacks              0
+    core.scoped_certified            0
+    core.scoped_searches             0
 
 Without the flags nothing extra is printed and no file is written:
 

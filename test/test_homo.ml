@@ -164,6 +164,32 @@ let test_hom_naive_order_same_answers () =
   Homo.Hom.naive_order := false;
   Alcotest.(check int) "same solution count" n_smart n_naive
 
+let test_hom_all_enumeration_order () =
+  (* pins the solver's deterministic enumeration order.  The worklist's
+     swap-removal must keep selecting the most-constrained live atom with
+     ties broken by original rank, so on the "diamond" target the two
+     homs of {p(x,y), q(y,z)} enumerate with y ↦ c strictly before
+     y ↦ b (the index bucket yields p(a,c) first) — under the smart
+     ordering and under the naive textual one alike. *)
+  let d = Term.const "d" in
+  let src = aset [ atom "p" [ x; y ]; atom "q" [ y; z ] ] in
+  let tgt =
+    Homo.Instance.of_atomset
+      (aset
+         [ atom "p" [ a; b ]; atom "p" [ a; c ]; atom "q" [ b; d ];
+           atom "q" [ c; d ] ])
+  in
+  let y_images () =
+    List.map
+      (fun h -> Fmt.str "%a" Term.pp (Subst.apply_term h y))
+      (Homo.Hom.all src tgt)
+  in
+  Alcotest.(check (list string)) "smart order" [ "c"; "b" ] (y_images ());
+  Homo.Hom.naive_order := true;
+  let naive = y_images () in
+  Homo.Hom.naive_order := false;
+  Alcotest.(check (list string)) "naive order" [ "c"; "b" ] naive
+
 let test_extend_via_atom () =
   match Homo.Hom.extend_via_atom Subst.empty (atom "p" [ x; x ]) (atom "p" [ a; b ]) with
   | Some _ -> Alcotest.fail "repeated variable must force equal images"
@@ -424,6 +450,7 @@ let suites =
         tc "injective mode" test_hom_injective;
         tc "injective respects constants" test_hom_injective_respects_constants;
         tc "naive order ablation agrees" test_hom_naive_order_same_answers;
+        tc "enumeration order pinned" test_hom_all_enumeration_order;
         tc "extend_via_atom repeated var" test_extend_via_atom;
         tc "extend_via_atom pred mismatch" test_extend_via_atom_pred_mismatch;
       ] );

@@ -11,6 +11,9 @@
        and the core stays hom-equivalent to F;
      - the restricted chase on datalog KBs is invariant under renaming
        the rules apart (unique least fixpoint);
+     - delta-scoped core maintenance agrees with the exhaustive fold
+       search: the core chase run in Audit scoping (which raises on any
+       non-isomorphic pair of cores) never raises on random KBs;
      - trace events survive the JSONL round trip (Obs.Trace.of_json_line
        ∘ to_json = Some). *)
 
@@ -207,7 +210,39 @@ let chase_renaming_invariant seed =
     Atomset.equal r1.Chase.final r2.Chase.final
 
 (* ------------------------------------------------------------------ *)
-(* Law 5: trace events survive the JSONL round trip *)
+(* Law 5: delta-scoped core maintenance never diverges from the full
+   search.  Audit scoping re-folds exhaustively alongside every scoped
+   fold and raises [Failure] when the two cores are not isomorphic, so
+   "the audited core chase completes without raising" is exactly the
+   scoped ≡ full law (DESIGN.md §9). *)
+
+type scoped_case = { cseed : int; csteps : int }
+
+let scoped_case : scoped_case arbitrary =
+  {
+    gen =
+      (fun rng ->
+        { cseed = Random.State.int rng 1_000_000; csteps = int_in rng 4 14 });
+    shrink =
+      (fun c ->
+        (if c.csteps > 1 then [ { c with csteps = c.csteps - 1 } ] else [])
+        @ if c.cseed > 0 then [ { c with cseed = c.cseed / 2 } ] else []);
+    print = (fun c -> Fmt.str "seed=%d steps=%d" c.cseed c.csteps);
+  }
+
+let scoped_core_agrees c =
+  let kb = Zoo.Randomkb.generate ~seed:c.cseed Zoo.Randomkb.default in
+  let budget = { Chase.Variants.max_steps = c.csteps; max_atoms = 2_000 } in
+  let saved = !Homo.Core.scoping in
+  Homo.Core.scoping := Homo.Core.Audit;
+  Fun.protect
+    ~finally:(fun () -> Homo.Core.scoping := saved)
+    (fun () ->
+      ignore (Chase.Variants.core ~budget kb);
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Law 6: trace events survive the JSONL round trip *)
 
 let strings =
   [ ""; "core"; "Rh1"; "a b"; "quo\"te"; "back\\slash"; "uni_x"; "r:1" ]
@@ -215,7 +250,7 @@ let strings =
 let gen_small rng = int_in rng 0 50
 
 let gen_event rng : Obs.Trace.event =
-  match int_in rng 0 6 with
+  match int_in rng 0 7 with
   | 0 ->
       Round_start
         { engine = pick rng strings; round = gen_small rng; size = gen_small rng }
@@ -248,6 +283,13 @@ let gen_event rng : Obs.Trace.event =
           backtracks = gen_small rng;
           src_atoms = gen_small rng;
           tgt_atoms = gen_small rng;
+        }
+  | 6 ->
+      Core_scoped_fold
+        {
+          candidates = gen_small rng;
+          folded = Random.State.bool rng;
+          size = gen_small rng;
         }
   | _ ->
       Tw_decomposed
@@ -282,6 +324,10 @@ let shrink_event (e : Obs.Trace.event) : Obs.Trace.event list =
   | Hom_backtrack f ->
       List.map (fun backtracks -> Obs.Trace.Hom_backtrack { f with backtracks })
         (half f.backtracks)
+  | Core_scoped_fold f ->
+      List.map (fun candidates -> Obs.Trace.Core_scoped_fold { f with candidates })
+        (half f.candidates)
+      @ List.map (fun size -> Obs.Trace.Core_scoped_fold { f with size }) (half f.size)
   | Tw_decomposed f ->
       List.map (fun vertices -> Obs.Trace.Tw_decomposed { f with vertices })
         (half f.vertices)
@@ -310,6 +356,8 @@ let suites =
         check ~count:200 "core idempotent" atom_list core_idempotent;
         check ~count:200 "chase invariant under renaming" seed_arb
           chase_renaming_invariant;
+        check ~count:200 "scoped core agrees with full (audit)" scoped_case
+          scoped_core_agrees;
         check ~count:400 "trace json round trip" event_arb json_roundtrip;
       ] );
   ]
