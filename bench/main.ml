@@ -62,6 +62,32 @@ let tc_chain_kb =
 
 let staircase_atoms_list = Atomset.to_list staircase_prefix.Zoo.Staircase.atoms
 
+(* a connected random graph whose exact-treewidth branch-and-bound is the
+   heavy, embarrassingly-branching part of the abl:par workload (the two
+   chase prefixes contribute the fan-out-per-round pattern) *)
+let par_tw_graph =
+  let n = 22 in
+  let state = ref 0x5eed1 in
+  let rand bound =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state mod bound
+  in
+  let v = Array.init n (fun i -> Term.var_of_id ~hint:"tw" (920_000 + i)) in
+  let atoms = ref [] in
+  for i = 0 to n - 2 do
+    atoms := Atom.make "e" [ v.(i); v.(i + 1) ] :: !atoms
+  done;
+  for _ = 1 to 2 * n do
+    let i = rand n and j = rand n in
+    if i <> j then atoms := Atom.make "e" [ v.(i); v.(j) ] :: !atoms
+  done;
+  Atomset.of_list !atoms
+
+let par_workload () =
+  ignore (Chase.Variants.core ~budget:(budget 60) (Zoo.Staircase.kb ()));
+  ignore (Chase.Variants.core ~budget:(budget 35) (Zoo.Elevator.kb ()));
+  ignore (Treewidth.exact par_tw_graph)
+
 let staircase_derivation_20 =
   (Chase.Variants.core ~budget:(budget 20) (Zoo.Staircase.kb ())).Chase.Variants.derivation
 
@@ -170,6 +196,17 @@ let micro_tests =
         ignore
           (Chase.Variants.core ~budget:(budget 60) (Zoo.Staircase.kb ()));
         Homo.Hom.memo_enabled := true));
+    (* domain-pool fan-out (DESIGN.md §10): the same mixed workload —
+       core-chase prefixes + exact treewidth B&B — under one job and
+       four.  set_jobs is a no-op when the width is unchanged, so the
+       pool persists across iterations of the same test; keep these two
+       last so the widened pool never leaks into other rows. *)
+    Test.make ~name:"abl:par:jobs1" (Staged.stage (fun () ->
+        Corechase.Par.set_jobs 1;
+        par_workload ()));
+    Test.make ~name:"abl:par:jobs4" (Staged.stage (fun () ->
+        Corechase.Par.set_jobs 4;
+        par_workload ()));
   ]
 
 (* BENCH_ONLY=prefix[,prefix...] restricts the microbenchmarks to tests

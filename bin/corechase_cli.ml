@@ -65,6 +65,28 @@ let core_scope_arg =
            searches exhaustively, $(b,audit) runs both and fails on \
            disagreement.")
 
+(* parallelism (DESIGN.md §10) *)
+let jobs_arg =
+  let jobs_conv =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Ok n
+      | Some _ -> Error (`Msg "jobs must be >= 1")
+      | None -> Error (`Msg "expected a positive integer")
+    in
+    Arg.conv (parse, Fmt.int)
+  in
+  Arg.(
+    value
+    (* default: the pool CORECHASE_JOBS sized at startup *)
+    & opt jobs_conv (Corechase.Par.jobs ())
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Size of the domain pool the chase's hom searches and the \
+           treewidth branch-and-bound fan out over (1 = sequential; \
+           results are identical for every $(docv)).  Defaults to \
+           $(b,CORECHASE_JOBS) or 1.")
+
 let with_obs ~trace ~metrics f =
   if metrics then begin
     Corechase.Obs.Metrics.reset ();
@@ -74,7 +96,10 @@ let with_obs ~trace ~metrics f =
     ~finally:(fun () ->
       if metrics then begin
         Corechase.Obs.Metrics.enabled := false;
-        Fmt.pr "@.metrics:@.%a" Corechase.Obs.Metrics.pp_table ()
+        Fmt.pr "@.metrics:@.%a" Corechase.Obs.Metrics.pp_table ();
+        if Corechase.Par.jobs () > 1 then
+          Fmt.pr "@.metrics by domain:@.%a"
+            Corechase.Obs.Metrics.pp_domain_table ()
       end)
     (fun () ->
       match trace with
@@ -94,9 +119,10 @@ let variant_arg =
   Arg.(value & opt variant_conv Chase.Core & info [ "variant"; "v" ] ~doc:"Chase variant: oblivious, skolem, restricted or core.")
 
 let chase_cmd =
-  let run file variant steps atoms verbose trace metrics core_scope =
+  let run file variant steps atoms verbose trace metrics core_scope jobs =
     let kb = load_kb file in
     Homo.Core.scoping := core_scope;
+    Corechase.Par.set_jobs jobs;
     with_obs ~trace ~metrics (fun () ->
         let report = Chase.run ~budget:(budget_of steps atoms) variant kb in
         Fmt.pr "variant:    %s@." (Chase.variant_name report.Chase.variant);
@@ -116,7 +142,7 @@ let chase_cmd =
   Cmd.v (Cmd.info "chase" ~doc:"Run a chase variant on a DLGP knowledge base.")
     CTerm.(
       const run $ file_arg $ variant_arg $ steps_arg $ atoms_arg $ verbose
-      $ trace_arg $ metrics_arg $ core_scope_arg)
+      $ trace_arg $ metrics_arg $ core_scope_arg $ jobs_arg)
 
 (* entail *)
 let entail_cmd =
@@ -211,8 +237,9 @@ let treewidth_cmd =
 
 (* repro *)
 let repro_cmd =
-  let run names scale trace metrics core_scope =
+  let run names scale trace metrics core_scope jobs =
     Homo.Core.scoping := core_scope;
+    Corechase.Par.set_jobs jobs;
     let selected =
       if names = [] then Experiments.all
       else
@@ -240,7 +267,9 @@ let repro_cmd =
   in
   Cmd.v
     (Cmd.info "repro" ~doc:"Regenerate the paper's figures and tables.")
-    CTerm.(const run $ names $ scale $ trace_arg $ metrics_arg $ core_scope_arg)
+    CTerm.(
+      const run $ names $ scale $ trace_arg $ metrics_arg $ core_scope_arg
+      $ jobs_arg)
 
 (* dot *)
 let dot_cmd =

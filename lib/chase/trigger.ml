@@ -151,16 +151,31 @@ let triggers_of_delta r indexed ~delta =
     if !Obs.Metrics.enabled then Obs.Metrics.add m_enumerated (List.length trs);
     trs
 
+(* Discovery fans out over the pool in two order-preserving stages
+   (DESIGN.md §10): body-hom enumeration per rule, then the satisfaction
+   re-check per candidate trigger.  Merging is positional — the per-rule
+   lists are concatenated in rule order and the filter keeps the
+   candidates' order — and enumeration never consults the failure memo
+   (the checks do, under per-trigger keys), so the trigger list, the
+   enumeration counters and the memo totals are identical to the
+   sequential nesting for every jobs count. *)
 let unsatisfied_triggers_in ?delta rules indexed =
   let rule_triggers r =
     match delta with
     | None -> triggers_of r indexed
     | Some delta -> triggers_of_delta r indexed ~delta
   in
-  List.concat_map
-    (fun r ->
-      List.filter (fun tr -> not (satisfied_in tr indexed)) (rule_triggers r))
-    rules
+  let candidates =
+    List.concat (Par.map ~site:"trigger.enumerate" rule_triggers rules)
+  in
+  let satisfied =
+    Par.map ~site:"trigger.satcheck"
+      (fun tr -> satisfied_in tr indexed)
+      candidates
+  in
+  List.filter_map
+    (fun (tr, sat) -> if sat then None else Some tr)
+    (List.combine candidates satisfied)
 
 let unsatisfied_triggers rules inst =
   unsatisfied_triggers_in rules (Homo.Instance.of_atomset inst)
@@ -206,12 +221,18 @@ let discover ?delta rules indexed =
   observe_discovery ~what:"discover" trs indexed
 
 let discover_all ?delta rules indexed =
-  let snapshot () = List.concat_map (fun r -> triggers_of r indexed) rules in
+  let snapshot () =
+    List.concat
+      (Par.map ~site:"trigger.enumerate" (fun r -> triggers_of r indexed) rules)
+  in
   let trs =
   match (!discovery, delta) with
   | Snapshot, _ | _, None -> snapshot ()
   | Delta, Some delta ->
-      List.concat_map (fun r -> triggers_of_delta r indexed ~delta) rules
+      List.concat
+        (Par.map ~site:"trigger.enumerate"
+           (fun r -> triggers_of_delta r indexed ~delta)
+           rules)
   | Audit, Some delta ->
       let snap = snapshot () in
       let del =

@@ -22,6 +22,7 @@ module Entailment = Entailment
 module Probes = Probes
 module Certificate = Certificate
 module Obs = Obs
+module Par = Par
 
 open Syntax
 

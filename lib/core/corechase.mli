@@ -27,6 +27,10 @@ module Obs : module type of Obs
 (** Structured observability — metrics registry and trace-event stream
     shared by every engine (DESIGN.md §8). *)
 
+module Par : module type of Par
+(** The domain pool and its deterministic fan-out combinators
+    (DESIGN.md §10); sized by [CORECHASE_JOBS] / [--jobs]. *)
+
 open Syntax
 
 val finitely_universal_on_prefixes : Atomset.t list -> Atomset.t list -> bool

@@ -46,12 +46,20 @@ let fold_via_atom idx a epoch at =
       a
       (Instance.remove_atoms idx [ at ])
 
+(* [Par.find_first_map] is [List.find_map] with jobs = 1; with a pool it
+   evaluates the candidates in waves and keeps the lowest-index success,
+   so the fold found (and hence the whole retraction chain) is the one
+   the sequential search finds. *)
 let find_fold_indexed idx =
   let a = Instance.atomset idx in
   let epoch = Instance.generation idx in
   match !strategy with
-  | By_variable -> List.find_map (fold_via_var idx a epoch) (Atomset.vars a)
-  | By_atom -> List.find_map (fold_via_atom idx a epoch) (Atomset.to_list a)
+  | By_variable ->
+      Par.find_first_map ~site:"core.fold" (fold_via_var idx a epoch)
+        (Atomset.vars a)
+  | By_atom ->
+      Par.find_first_map ~site:"core.fold" (fold_via_atom idx a epoch)
+        (Atomset.to_list a)
 
 let find_fold a = find_fold_indexed (Instance.of_atomset a)
 
@@ -88,60 +96,69 @@ let moved_vars h b =
 let find_fold_scoped idx ~fresh ~added =
   let a = Instance.atomset idx in
   let epoch = Instance.generation idx in
-  let searches = ref 0 in
+  (* Both candidate families are enumerated (cheaply) up front on the
+     calling domain, in the order the sequential search visits them; the
+     seeded hom searches — the expensive part — then fan out over the
+     pool, first-fired-fold resolution going to the lowest seed index
+     (= the fold the sequential search fires).  [candidates] in the
+     trace event counts the prefiltered seeded searches, whether or not
+     an early success makes some of them moot. *)
   (* case (a): a fold eliminating a fresh null, identity elsewhere *)
   let freshset = List.fold_left (fun s z -> TSet.add z s) TSet.empty fresh in
+  let alive_fresh =
+    List.filter (fun z -> Instance.atoms_with_term idx z <> []) fresh
+  in
   let keep_seed =
-    lazy
-      (List.fold_left
-         (fun s x -> if TSet.mem x freshset then s else Subst.add x x s)
-         Subst.empty (Atomset.vars a))
+    (* forced on the calling domain: a shared [lazy] would race *)
+    if alive_fresh = [] then Subst.empty
+    else
+      List.fold_left
+        (fun s x -> if TSet.mem x freshset then s else Subst.add x x s)
+        Subst.empty (Atomset.vars a)
   in
   let via_fresh z =
-    if Instance.atoms_with_term idx z = [] then None
-    else begin
-      incr searches;
-      Hom.find
-        ~memo:(Fmt.str "fold:f:%a" Term.pp_debug z, epoch)
-        ~seed:(Lazy.force keep_seed) a
-        (Instance.remove_atoms idx (Instance.atoms_with_term idx z))
-    end
+    Hom.find
+      ~memo:(Fmt.str "fold:f:%a" Term.pp_debug z, epoch)
+      ~seed:keep_seed a
+      (Instance.remove_atoms idx (Instance.atoms_with_term idx z))
   in
   (* case (b): an old atom maps onto a new delta atom *)
-  let via_pair d =
-    List.find_map
-      (fun b ->
-        if Atom.equal b d then None
-        else
-          match Hom.extend_via_atom Subst.empty b d with
-          | None -> None
-          | Some h -> (
-              match moved_vars h b with
-              | [] -> None
-              | moved
-                when List.exists
-                       (fun x -> List.exists (Term.equal x) (Atom.vars d))
-                       moved ->
-                  (* an idempotent retraction fixes the variables of its
-                     image atom [d]; a pair moving one cannot witness (b) *)
-                  None
-              | moved ->
-                  incr searches;
-                  let dropped =
-                    List.concat_map (Instance.atoms_with_term idx) moved
-                  in
-                  Hom.find
-                    ~memo:
-                      ( Fmt.str "fold:p:%a>%a" Atom.pp_debug b Atom.pp_debug d,
-                        epoch )
-                    ~seed:h a
-                    (Instance.remove_atoms idx dropped)))
-      (Instance.atoms_with_pred idx (Atom.pred d))
+  let pair_candidates =
+    List.concat_map
+      (fun d ->
+        List.filter_map
+          (fun b ->
+            if Atom.equal b d then None
+            else
+              match Hom.extend_via_atom Subst.empty b d with
+              | None -> None
+              | Some h -> (
+                  match moved_vars h b with
+                  | [] -> None
+                  | moved
+                    when List.exists
+                           (fun x -> List.exists (Term.equal x) (Atom.vars d))
+                           moved ->
+                      (* an idempotent retraction fixes the variables of
+                         its image atom [d]; a pair moving one cannot
+                         witness (b) *)
+                      None
+                  | moved -> Some (b, d, h, moved)))
+          (Instance.atoms_with_pred idx (Atom.pred d)))
+      added
   in
+  let via_pair (b, d, h, moved) =
+    let dropped = List.concat_map (Instance.atoms_with_term idx) moved in
+    Hom.find
+      ~memo:(Fmt.str "fold:p:%a>%a" Atom.pp_debug b Atom.pp_debug d, epoch)
+      ~seed:h a
+      (Instance.remove_atoms idx dropped)
+  in
+  let searches = List.length alive_fresh + List.length pair_candidates in
   let r =
-    match List.find_map via_fresh fresh with
+    match Par.find_first_map ~site:"core.scoped" via_fresh alive_fresh with
     | Some h -> Some h
-    | None -> List.find_map via_pair added
+    | None -> Par.find_first_map ~site:"core.scoped" via_pair pair_candidates
   in
   if !Obs.Metrics.enabled then begin
     Obs.Metrics.incr m_scoped;
@@ -151,7 +168,7 @@ let find_fold_scoped idx ~fresh ~added =
     Obs.Trace.emit
       (Obs.Trace.Core_scoped_fold
          {
-           candidates = !searches;
+           candidates = searches;
            folded = r <> None;
            size = Instance.cardinal idx;
          });

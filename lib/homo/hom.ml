@@ -161,9 +161,18 @@ let memo_enabled = ref true
 
 let memo_max = 1 lsl 14
 
-let memo_tbl : (string, int) Hashtbl.t = Hashtbl.create 256
+(* One table per domain (domain-local storage): pool workers run
+   independent searches whose negative results are valid process-wide,
+   but sharing one [Hashtbl] across domains is unsound (concurrent
+   resize) and a mutex on the hot path costs more than the occasional
+   re-derivation of a failure.  Tables are never merged — a worker's
+   entry simply stays invisible to the others, which only loses hits
+   (DESIGN.md §10 weighs this against the rejected alternatives). *)
+let memo_key = Domain.DLS.new_key (fun () -> Hashtbl.create 256)
 
-let memo_clear () = Hashtbl.reset memo_tbl
+let memo_tbl () : (string, int) Hashtbl.t = Domain.DLS.get memo_key
+
+let memo_clear () = Hashtbl.reset (memo_tbl ())
 
 let m_memo_hits = Obs.Metrics.counter "hom.memo_hits"
 
@@ -183,7 +192,8 @@ let find_uncached ?seed ?injective src tgt =
 let find ?seed ?injective ?memo src tgt =
   match memo with
   | Some (key, epoch) when !memo_enabled -> (
-      match Hashtbl.find_opt memo_tbl key with
+      let tbl = memo_tbl () in
+      match Hashtbl.find_opt tbl key with
       | Some e when e = epoch ->
           if !Obs.Metrics.enabled then Obs.Metrics.incr m_memo_hits;
           None
@@ -191,8 +201,8 @@ let find ?seed ?injective ?memo src tgt =
           if !Obs.Metrics.enabled then Obs.Metrics.incr m_memo_misses;
           let r = find_uncached ?seed ?injective src tgt in
           if r = None then begin
-            if Hashtbl.length memo_tbl >= memo_max then Hashtbl.reset memo_tbl;
-            Hashtbl.replace memo_tbl key epoch
+            if Hashtbl.length tbl >= memo_max then Hashtbl.reset tbl;
+            Hashtbl.replace tbl key epoch
           end;
           r)
   | _ -> find_uncached ?seed ?injective src tgt

@@ -23,11 +23,13 @@ module AMap = Map.Make (Atom)
    key on.  The converse does not hold (two independently built instances
    with the same atoms get different generations); caches keyed on
    generations can therefore only lose hits, never correctness. *)
-let gen_counter = ref 0
+(* Atomic: instances are built from worker domains too (scoped fold
+   searches, tests hammering allocation from raw domains), and a
+   duplicated epoch would alias two different contents in the hom memo —
+   a correctness bug, not just a lost hit. *)
+let gen_counter = Atomic.make 0
 
-let next_gen () =
-  incr gen_counter;
-  !gen_counter
+let next_gen () = Atomic.fetch_and_add gen_counter 1 + 1
 
 (* A bucket caches its cardinality: selectivity comparisons in
    [best_bucket] and candidate counting in the hom search read [n]

@@ -1,6 +1,24 @@
 let enabled = ref false
 
-type counter = { c_name : string; mutable count : int }
+(* Domain slots (DESIGN.md §10).  Counters keep one atomic cell per pool
+   slot: slot 0 is the main domain, slots 1.. are `Par` workers (each
+   worker pins its slot once via [set_slot], stored in domain-local
+   state).  A mutation touches only the calling domain's cell, so
+   counting is race-free without a lock; a read sums the cells.  The
+   per-slot split is preserved (see [counters_by_slot]) because with the
+   pool's static task assignment it is deterministic — the cram tests pin
+   it. *)
+let max_slots = 65
+
+let slot_key = Domain.DLS.new_key (fun () -> 0)
+
+let slot () = Domain.DLS.get slot_key
+
+let set_slot s =
+  if s < 0 || s >= max_slots then invalid_arg "Metrics.set_slot";
+  Domain.DLS.set slot_key s
+
+type counter = { c_name : string; cells : int Atomic.t array }
 
 type gauge = { g_name : string; mutable value : int; mutable peak : int }
 
@@ -20,13 +38,21 @@ let counter name =
   match Hashtbl.find_opt counters_tbl name with
   | Some c -> c
   | None ->
-      let c = { c_name = name; count = 0 } in
+      let c =
+        { c_name = name; cells = Array.init max_slots (fun _ -> Atomic.make 0) }
+      in
       Hashtbl.replace counters_tbl name c;
       c
 
-let incr c = if !enabled then c.count <- c.count + 1
+let incr c =
+  if !enabled then
+    Atomic.incr c.cells.(Domain.DLS.get slot_key)
 
-let add c n = if !enabled then c.count <- c.count + n
+let add c n =
+  if !enabled then
+    ignore (Atomic.fetch_and_add c.cells.(Domain.DLS.get slot_key) n)
+
+let total c = Array.fold_left (fun acc cell -> acc + Atomic.get cell) 0 c.cells
 
 let gauge name =
   match Hashtbl.find_opt gauges_tbl name with
@@ -75,7 +101,7 @@ type value =
 let snapshot () =
   let rows = ref [] in
   Hashtbl.iter
-    (fun name c -> rows := (name, Counter c.count) :: !rows)
+    (fun name c -> rows := (name, Counter (total c)) :: !rows)
     counters_tbl;
   Hashtbl.iter
     (fun name g -> rows := (name, Gauge { value = g.value; peak = g.peak }) :: !rows)
@@ -96,14 +122,24 @@ let snapshot () =
   List.sort (fun (a, _) (b, _) -> String.compare a b) !rows
 
 let counters () =
-  Hashtbl.fold (fun name c acc -> (name, c.count) :: acc) counters_tbl []
+  Hashtbl.fold (fun name c acc -> (name, total c) :: acc) counters_tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters_by_slot () =
+  Hashtbl.fold
+    (fun name c acc -> (name, Array.map Atomic.get c.cells) :: acc)
+    counters_tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let counter_value name =
-  match Hashtbl.find_opt counters_tbl name with Some c -> c.count | None -> 0
+  match Hashtbl.find_opt counters_tbl name with
+  | Some c -> total c
+  | None -> 0
 
 let reset () =
-  Hashtbl.iter (fun _ c -> c.count <- 0) counters_tbl;
+  Hashtbl.iter
+    (fun _ c -> Array.iter (fun cell -> Atomic.set cell 0) c.cells)
+    counters_tbl;
   Hashtbl.iter
     (fun _ g ->
       g.value <- 0;
@@ -127,3 +163,28 @@ let pp_table ppf () =
       | Histogram { n; sum_ms; _ } ->
           Format.fprintf ppf "  %-32s n=%d sum=%.2fms@." name n sum_ms)
     (snapshot ())
+
+let pp_domain_table ppf () =
+  (* one row per counter with a nonzero total: total, then the per-slot
+     split over slots 0..max live slot (the main domain plus every worker
+     that counted anything in any counter) *)
+  let rows = counters_by_slot () in
+  let top =
+    List.fold_left
+      (fun acc (_, cells) ->
+        let m = ref acc in
+        Array.iteri (fun i v -> if v <> 0 && i > !m then m := i) cells;
+        !m)
+      0 rows
+  in
+  List.iter
+    (fun (name, cells) ->
+      let tot = Array.fold_left ( + ) 0 cells in
+      if tot > 0 then begin
+        let parts =
+          String.concat "+"
+            (List.init (top + 1) (fun i -> string_of_int cells.(i)))
+        in
+        Format.fprintf ppf "  %-32s %d = %s@." name tot parts
+      end)
+    rows

@@ -16,6 +16,23 @@ val enabled : bool ref
 (** Master switch, default [false].  Mutations are no-ops while [false];
     reads ({!snapshot}, {!counter_value}, …) always work. *)
 
+(** {1 Domain slots} — per-domain counter cells (DESIGN.md §10)
+
+    Every counter keeps one atomic cell per {e slot}; a mutation touches
+    only the calling domain's cell (slot 0 = the main domain, slots 1..
+    = [Par] pool workers), so counting from worker domains is race-free
+    without locks.  Totals are summed on read. *)
+
+val max_slots : int
+(** Number of per-counter cells (main domain + up to 64 workers). *)
+
+val slot : unit -> int
+(** The calling domain's slot (domain-local; defaults to 0). *)
+
+val set_slot : int -> unit
+(** Pin the calling domain's slot.  Called once per pool worker at
+    spawn.  @raise Invalid_argument outside [0, max_slots). *)
+
 (** {1 Counters} — monotonic event counts *)
 
 type counter
@@ -63,6 +80,11 @@ val counters : unit -> (string * int) list
 (** Only the counters, sorted by name (the machine-readable columns the
     bench harness writes to BENCH_RESULTS.json). *)
 
+val counters_by_slot : unit -> (string * int array) list
+(** The counters with their per-slot cells (length {!max_slots}), sorted
+    by name.  With the pool's static task assignment the split is
+    deterministic for a deterministic run. *)
+
 val counter_value : string -> int
 (** Current value of the named counter; 0 if never registered. *)
 
@@ -73,3 +95,8 @@ val pp_table : Format.formatter -> unit -> unit
 (** Human-readable table of the whole registry, one metric per line.
     Counter and gauge rows are deterministic for a deterministic run;
     histogram rows include timings and are not. *)
+
+val pp_domain_table : Format.formatter -> unit -> unit
+(** Per-domain counter breakdown: one row per counter with a nonzero
+    total, as [total = slot0+slot1+…] over the live slots.  The split
+    sums to the {!pp_table} totals by construction. *)

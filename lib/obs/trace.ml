@@ -13,6 +13,7 @@ type event =
   | Hom_backtrack of { backtracks : int; src_atoms : int; tgt_atoms : int }
   | Core_scoped_fold of { candidates : int; folded : bool; size : int }
   | Tw_decomposed of { vertices : int; width : int; exact : bool }
+  | Par_fanout of { site : string; tasks : int; jobs : int }
 
 type sink =
   | Null
@@ -28,7 +29,13 @@ let set_sink s = current := s
 
 let sink () = !current
 
-let enabled () = match !current with Null -> false | _ -> true
+(* Events are only emitted from the main domain (slot 0).  Pool workers
+   run deterministic sub-searches whose interleaving is schedule-dependent;
+   suppressing their emissions keeps the JSONL stream byte-reproducible
+   (DESIGN.md §10).  Sink channels are also not synchronised, so this
+   doubles as the thread-safety discipline. *)
+let enabled () =
+  (match !current with Null -> false | _ -> true) && Metrics.slot () = 0
 
 let events_emitted () = !emitted
 
@@ -61,6 +68,9 @@ let pp_event ppf = function
       Format.fprintf ppf "[tw] decomposed %d vertices: width %d (%s)" vertices
         width
         (if exact then "exact" else "bound")
+  | Par_fanout { site; tasks; jobs } ->
+      Format.fprintf ppf "[par] %s: %d task(s) over %d domain(s)" site tasks
+        jobs
 
 (* ------------------------------------------------------------------ *)
 (* JSON encoding: flat objects with string / int / bool fields only.   *)
@@ -118,6 +128,8 @@ let to_json ev =
           s "ev" "tw_decomposed"; i "vertices" vertices; i "width" width;
           b "exact" exact;
         ]
+    | Par_fanout { site; tasks; jobs } ->
+        [ s "ev" "par_fanout"; s "site" site; i "tasks" tasks; i "jobs" jobs ]
   in
   "{" ^ String.concat "," fields ^ "}"
 
@@ -289,6 +301,9 @@ let of_json_line line =
                 width = int "width";
                 exact = bool "exact";
               }
+        | "par_fanout" ->
+            Par_fanout
+              { site = str "site"; tasks = int "tasks"; jobs = int "jobs" }
         | _ -> raise Parse_error
       with
       | ev -> Some ev
@@ -297,6 +312,8 @@ let of_json_line line =
 (* ------------------------------------------------------------------ *)
 
 let emit ev =
+  if Metrics.slot () <> 0 then ()
+  else
   match !current with
   | Null -> ()
   | Console ppf ->

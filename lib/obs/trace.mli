@@ -42,6 +42,11 @@ type event =
           without a full search — see DESIGN.md §9) *)
   | Tw_decomposed of { vertices : int; width : int; exact : bool }
       (** a tree decomposition / width bound was computed *)
+  | Par_fanout of { site : string; tasks : int; jobs : int }
+      (** the [Par] pool fanned [tasks] tasks out across [jobs] domains
+          at the named fan-out site (DESIGN.md §10); emitted only when a
+          batch actually runs in parallel, so [--jobs 1] streams are
+          byte-identical to pre-pool runs *)
 
 type sink =
   | Null  (** drop everything; {!enabled} is [false] *)
@@ -54,11 +59,15 @@ val set_sink : sink -> unit
 val sink : unit -> sink
 
 val enabled : unit -> bool
-(** [true] iff the current sink is not {!Null}.  Emission sites must
-    check this before constructing an event. *)
+(** [true] iff the current sink is not {!Null} {e and} the caller is the
+    main domain ([Metrics.slot () = 0]).  Emission sites must check this
+    before constructing an event.  Pool workers always read [false]:
+    their emissions would interleave schedule-dependently, so the trace
+    stream stays a main-domain artefact (DESIGN.md §10). *)
 
 val emit : event -> unit
-(** Deliver the event to the current sink (drops it on {!Null}). *)
+(** Deliver the event to the current sink (drops it on {!Null} and on
+    worker domains). *)
 
 val with_sink : sink -> (unit -> 'a) -> 'a
 (** Run the thunk with the given sink, restoring the previous sink

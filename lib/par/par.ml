@@ -1,0 +1,232 @@
+(* Domain pool with deterministic fan-out (DESIGN.md §10).
+
+   One mutex/condition pair carries batches from the caller to the
+   workers.  A batch is an array of chunks; assignment is static — chunk
+   [i] belongs to slot [i mod jobs], the caller runs slot 0's share
+   itself — so which domain executes which task is a function of the
+   batch alone, never of timing.  That staticness is what makes the
+   per-domain counter split of [Obs.Metrics] reproducible; the price
+   (no work stealing) is irrelevant at the chunk sizes the chase
+   produces.
+
+   Determinism of results is the combinators' business: they write each
+   task's result into its own slot of a caller-allocated array and merge
+   by index after the barrier, so the merge order is the input order no
+   matter which domain finished first. *)
+
+let max_jobs = 64
+
+let m_fanouts = Obs.Metrics.counter "par.fanouts"
+
+let m_tasks = Obs.Metrics.counter "par.tasks"
+
+module Pool = struct
+  type t = {
+    jobs : int;
+    m : Mutex.t;
+    work : Condition.t;  (** caller -> workers: a batch is ready *)
+    done_ : Condition.t;  (** workers -> caller: batch complete *)
+    mutable batch : (unit -> unit) array;
+    mutable seq : int;  (** batch sequence number, workers run each once *)
+    mutable pending : int;  (** workers still working on the current batch *)
+    mutable stop : bool;
+    mutable domains : unit Domain.t array;
+  }
+
+  let jobs p = p.jobs
+
+  let worker p slot () =
+    Obs.Metrics.set_slot slot;
+    let last = ref 0 in
+    let running = ref true in
+    while !running do
+      Mutex.lock p.m;
+      while (not p.stop) && p.seq = !last do
+        Condition.wait p.work p.m
+      done;
+      if p.stop then begin
+        Mutex.unlock p.m;
+        running := false
+      end
+      else begin
+        let chunks = p.batch in
+        last := p.seq;
+        Mutex.unlock p.m;
+        let n = Array.length chunks in
+        let i = ref slot in
+        while !i < n do
+          chunks.(!i) ();
+          i := !i + p.jobs
+        done;
+        Mutex.lock p.m;
+        p.pending <- p.pending - 1;
+        if p.pending = 0 then Condition.broadcast p.done_;
+        Mutex.unlock p.m
+      end
+    done
+
+  let create ~jobs =
+    if jobs < 2 then invalid_arg "Par.Pool.create: jobs must be >= 2";
+    let p =
+      {
+        jobs;
+        m = Mutex.create ();
+        work = Condition.create ();
+        done_ = Condition.create ();
+        batch = [||];
+        seq = 0;
+        pending = 0;
+        stop = false;
+        domains = [||];
+      }
+    in
+    p.domains <- Array.init (jobs - 1) (fun k -> Domain.spawn (worker p (k + 1)));
+    p
+
+  let run p chunks =
+    Mutex.lock p.m;
+    p.batch <- chunks;
+    p.seq <- p.seq + 1;
+    p.pending <- p.jobs - 1;
+    Condition.broadcast p.work;
+    Mutex.unlock p.m;
+    (* the caller is slot 0 *)
+    let n = Array.length chunks in
+    let i = ref 0 in
+    while !i < n do
+      chunks.(!i) ();
+      i := !i + p.jobs
+    done;
+    Mutex.lock p.m;
+    while p.pending > 0 do
+      Condition.wait p.done_ p.m
+    done;
+    p.batch <- [||];
+    Mutex.unlock p.m
+
+  let shutdown p =
+    Mutex.lock p.m;
+    p.stop <- true;
+    Condition.broadcast p.work;
+    Mutex.unlock p.m;
+    Array.iter Domain.join p.domains;
+    p.domains <- [||]
+end
+
+(* ------------------------------------------------------------------ *)
+(* The process-wide pool, sized by CORECHASE_JOBS / set_jobs / --jobs. *)
+
+let current : Pool.t option ref = ref None
+
+(* true while a batch is in flight on the caller; nested combinator
+   calls (from a chunk the caller runs itself) degrade to sequential *)
+let busy = ref false
+
+let jobs () = match !current with None -> 1 | Some p -> Pool.jobs p
+
+let set_jobs n =
+  if n < 1 then invalid_arg "Par.set_jobs: jobs must be >= 1";
+  let n = min n max_jobs in
+  if n <> jobs () then begin
+    (match !current with
+    | Some p ->
+        current := None;
+        Pool.shutdown p
+    | None -> ());
+    if n > 1 then current := Some (Pool.create ~jobs:n)
+  end
+
+let with_jobs n f =
+  let saved = jobs () in
+  set_jobs n;
+  Fun.protect ~finally:(fun () -> set_jobs saved) f
+
+let sequential () =
+  match !current with
+  | None -> true
+  | Some _ -> !busy || Obs.Metrics.slot () <> 0
+
+(* Run [tasks] as one batch on [p], returning results by index.  Each
+   chunk writes its own slot of [out]/[exns]; the pool barrier orders
+   those writes before the reads below.  The lowest-index exception is
+   re-raised — the one the sequential run would have hit first. *)
+let run_all p ~site (tasks : (unit -> 'a) array) : 'a array =
+  let n = Array.length tasks in
+  let out : 'a option array = Array.make n None in
+  let exns : exn option array = Array.make n None in
+  let chunks =
+    Array.init n (fun i () ->
+        match tasks.(i) () with
+        | y -> out.(i) <- Some y
+        | exception e -> exns.(i) <- Some e)
+  in
+  if !Obs.Metrics.enabled then begin
+    Obs.Metrics.incr m_fanouts;
+    Obs.Metrics.add m_tasks n
+  end;
+  if Obs.Trace.enabled () then
+    Obs.Trace.emit (Obs.Trace.Par_fanout { site; tasks = n; jobs = Pool.jobs p });
+  busy := true;
+  Fun.protect ~finally:(fun () -> busy := false) (fun () -> Pool.run p chunks);
+  Array.iter (function Some e -> raise e | None -> ()) exns;
+  Array.map (function Some y -> y | None -> assert false) out
+
+let pool_for n =
+  (* worth fanning out? (n >= 2 and an idle pool on the main domain) *)
+  if n < 2 || !busy || Obs.Metrics.slot () <> 0 then None else !current
+
+let map ?(site = "par.map") f xs =
+  match pool_for (List.length xs) with
+  | None -> List.map f xs
+  | Some p ->
+      let arr = Array.of_list xs in
+      Array.to_list (run_all p ~site (Array.map (fun x () -> f x) arr))
+
+let iter ?(site = "par.iter") f xs =
+  match pool_for (List.length xs) with
+  | None -> List.iter f xs
+  | Some p ->
+      let arr = Array.of_list xs in
+      ignore (run_all p ~site (Array.map (fun x () -> f x) arr))
+
+let rec take_wave k acc = function
+  | rest when k = 0 -> (List.rev acc, rest)
+  | [] -> (List.rev acc, [])
+  | x :: rest -> take_wave (k - 1) (x :: acc) rest
+
+let find_first_map ?(site = "par.find") f xs =
+  match pool_for (List.length xs) with
+  | None -> List.find_map f xs
+  | Some p ->
+      let wave = 2 * Pool.jobs p in
+      let rec go = function
+        | [] -> None
+        | xs -> (
+            let items, rest = take_wave wave [] xs in
+            let results =
+              match items with
+              | [ x ] -> [| f x |]
+              | _ ->
+                  run_all p ~site
+                    (Array.map (fun x () -> f x) (Array.of_list items))
+            in
+            match Array.find_map Fun.id results with
+            | Some _ as r -> r
+            | None -> go rest)
+      in
+      go xs
+
+let map_reduce ?(site = "par.map_reduce") ~map:f ~reduce ~init xs =
+  List.fold_left reduce init (map ~site f xs)
+
+(* CORECHASE_JOBS sizes the pool at startup; --jobs can override later.
+   Malformed values fall back to 1 (sequential) rather than failing the
+   whole process. *)
+let () =
+  (match Sys.getenv_opt "CORECHASE_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> set_jobs n
+      | _ -> ())
+  | None -> ());
+  at_exit (fun () -> try set_jobs 1 with _ -> ())

@@ -1,0 +1,97 @@
+(** Deterministic domain-pool parallelism (DESIGN.md §10).
+
+    A process-wide pool of OCaml 5 domains plus fan-out combinators whose
+    results are {e independent of the schedule}: [map]/[map_reduce] merge
+    in input order, [find_first_map] returns the first-by-index success
+    (exactly what the sequential [List.find_map] returns), and task
+    [i] of a batch always runs on slot [i mod jobs] (static round-robin,
+    the caller participating as slot 0) so even the per-domain metric
+    split of {!Obs.Metrics} is reproducible.
+
+    With [jobs = 1] (the default) no pool exists and every combinator is
+    {e definitionally} its sequential counterpart — no extra allocation,
+    no trace events, no counters — so single-job runs are byte-identical
+    to pre-pool builds.
+
+    Sizing: [CORECHASE_JOBS] in the environment at startup, or
+    {!set_jobs} / the CLI's [--jobs N] at runtime.
+
+    Reentrancy: a combinator called from inside a running batch (from a
+    worker, or from the caller's own slice) degrades to the sequential
+    path rather than deadlocking on the single batch slot. *)
+
+val max_jobs : int
+(** Hard cap on the pool width (64 workers + the caller). *)
+
+val jobs : unit -> int
+(** Current pool width; [1] when no pool is running. *)
+
+val set_jobs : int -> unit
+(** Resize the pool: tears the running pool down (joining its domains)
+    and spawns [n - 1] workers; [set_jobs 1] just tears down.  A no-op
+    when [n] already is the current width.  Values above {!max_jobs} are
+    clamped.  @raise Invalid_argument when [n < 1]. *)
+
+val with_jobs : int -> (unit -> 'a) -> 'a
+(** Run the thunk under [set_jobs n], restoring the previous width
+    afterwards (also on exceptions).  Test harness convenience. *)
+
+val sequential : unit -> bool
+(** [true] when a combinator called here and now would run its
+    sequential path: no pool, a worker domain, or a batch in flight. *)
+
+(** {1 Deterministic fan-out combinators}
+
+    [site] names the fan-out point in [Par_fanout] trace events and is
+    free-form ("trigger.satcheck", "tw.branch", …).  Exceptions raised
+    by tasks are re-raised in the caller — the lowest-index failing
+    task wins, again matching sequential order. *)
+
+val map : ?site:string -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel [List.map]. *)
+
+val iter : ?site:string -> ('a -> unit) -> 'a list -> unit
+(** Parallel [List.iter]; all tasks complete before it returns. *)
+
+val find_first_map : ?site:string -> ('a -> 'b option) -> 'a list -> 'b option
+(** Parallel [List.find_map] with sequential-first-success semantics:
+    items are evaluated in waves of [2 × jobs]; within each wave all
+    items run, and the lowest-index [Some] wins.  Later waves are not
+    started once a wave succeeds, so early successes still prune —
+    at the price of (at most one wave of) extra evaluations relative
+    to the sequential early exit. *)
+
+val map_reduce :
+  ?site:string ->
+  map:('a -> 'b) ->
+  reduce:('c -> 'b -> 'c) ->
+  init:'c ->
+  'a list ->
+  'c
+(** [map] in parallel, then fold the results {e in input order} on the
+    caller: [map_reduce ~map ~reduce ~init [x1; …; xn]] equals
+    [reduce (… (reduce init (map x1)) …) (map xn)] exactly. *)
+
+(** {1 The pool itself}
+
+    Exposed for callers that want to drive raw batches; the combinators
+    above are the intended interface. *)
+module Pool : sig
+  type t
+
+  val create : jobs:int -> t
+  (** Spawn [jobs - 1] worker domains (slot [k] pinned via
+      [Obs.Metrics.set_slot k]).  @raise Invalid_argument when
+      [jobs < 2]. *)
+
+  val jobs : t -> int
+
+  val run : t -> (unit -> unit) array -> unit
+  (** Execute one batch: chunk [i] runs on slot [i mod jobs], the caller
+      executing slot 0's chunks itself; returns when every chunk has.
+      Chunks must not raise (the combinators wrap payloads).  Batches
+      must not be nested. *)
+
+  val shutdown : t -> unit
+  (** Stop and join the workers.  The pool must not be used after. *)
+end

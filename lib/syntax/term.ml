@@ -3,17 +3,23 @@ type var = { id : int; hint : string }
 type t = Const of string | Var of var
 
 (* Global rank counter: next rank to issue.  [var_of_id] bumps it past any
-   explicitly requested rank so that freshness is preserved process-wide. *)
-let counter = ref 0
+   explicitly requested rank so that freshness is preserved process-wide.
+   Atomic so that terms may be built from any domain (the [Par] pool, raw
+   [Domain.spawn] in tests) without ever re-issuing a rank. *)
+let counter = Atomic.make 0
 
 let fresh_var ?(hint = "") () =
-  let id = !counter in
-  incr counter;
+  let id = Atomic.fetch_and_add counter 1 in
   Var { id; hint }
 
 let var_of_id ?(hint = "") id =
   if id < 0 then invalid_arg "Term.var_of_id: negative rank";
-  if id >= !counter then counter := id + 1;
+  let rec bump () =
+    let cur = Atomic.get counter in
+    if id >= cur && not (Atomic.compare_and_set counter cur (id + 1)) then
+      bump ()
+  in
+  bump ();
   Var { id; hint }
 
 let const c = Const c
@@ -58,4 +64,4 @@ let pp_debug ppf = function
   | Var { id; hint } ->
       if hint = "" then Fmt.pf ppf "?%d" id else Fmt.pf ppf "%s#%d" hint id
 
-let reset_counter_for_tests () = counter := 0
+let reset_counter_for_tests () = Atomic.set counter 0

@@ -82,61 +82,175 @@ let mmd_lb st alive0 =
   done;
   !best
 
+(* A simplicial vertex of the alive subgraph (-1 if none): its live
+   neighbourhood is a clique, so it can be eliminated first without
+   loss. *)
+let find_simplicial st alive =
+  let simplicial = ref (-1) in
+  iter_bits alive (fun v ->
+      if !simplicial < 0 then begin
+        let nb = st.adj.(v) land alive land lnot (1 lsl v) in
+        let is_clique = ref true in
+        iter_bits nb (fun u ->
+            if nb land lnot st.adj.(u) land lnot (1 lsl u) <> 0 then
+              is_clique := false);
+        if !is_clique then simplicial := v
+      end);
+  !simplicial
+
+(* The B&B is exact under any schedule: the incumbent [best] is a shared
+   [Atomic] that only ever decreases (CAS min), and a node is pruned only
+   when [current_max >= best] — every completion of that node has width
+   >= current_max >= the incumbent at prune time >= the final answer, so
+   no strictly better solution is ever discarded.  With a pool active
+   the root branches (one per root vertex, after peeling simplicial
+   vertices) are explored as independent tasks sharing one striped,
+   mutex-guarded memo table: an eliminated-set reached by two orderings
+   is the same subproblem, so cross-branch sharing is what makes the
+   fan-out profitable at all (private per-branch tables re-explore the
+   overlap exponentially).  Sharing stays exact even though an entry is
+   written at node *entry*, before its subtree completes: an entry
+   [E -> m] means some task is exploring E with current_max [m]; a task
+   arriving at E with current_max >= m can only reach completions of
+   width >= those of the recorded exploration, which prunes strictly
+   less and finishes (folding its completions into [best] via the
+   monotone [improve]) before the fan-out returns.  The answer is read
+   only after every task has joined. *)
+
+(* [visit eliminated cmax] returns whether the node must be explored,
+   recording the visit.  One mutex per stripe: the critical section is a
+   single hash-table probe, so contention is negligible next to the
+   per-node lower-bound work. *)
+let stripes = 64
+
+type shared_memo = {
+  locks : Mutex.t array;
+  tables : (int, int) Hashtbl.t array;
+}
+
+let shared_memo_create () =
+  {
+    locks = Array.init stripes (fun _ -> Mutex.create ());
+    tables = Array.init stripes (fun _ -> Hashtbl.create 1024);
+  }
+
+let shared_visit sm key cmax =
+  (* cheap avalanche on the mask itself; the polymorphic [Hashtbl.hash]
+     measured ~2us/call here, dominating the whole node *)
+  let i = (key lxor (key lsr 17)) land (stripes - 1) in
+  Mutex.lock sm.locks.(i);
+  let explore =
+    match Hashtbl.find_opt sm.tables.(i) key with
+    | Some m when m <= cmax -> false
+    | _ ->
+        Hashtbl.replace sm.tables.(i) key cmax;
+        true
+  in
+  Mutex.unlock sm.locks.(i);
+  explore
+
+let seq_visit memo key cmax =
+  match Hashtbl.find_opt memo key with
+  | Some m when m <= cmax -> false
+  | _ ->
+      Hashtbl.replace memo key cmax;
+      true
+
 let treewidth g =
   let st0 = state_of_graph g in
   let n = st0.n in
   if n = 0 then -1
   else begin
     let all = full_mask n in
-    let best = ref (minfill_ub { st0 with adj = Array.copy st0.adj } all) in
-    (* memo: eliminated-set mask -> smallest current_max explored with *)
-    let memo : (int, int) Hashtbl.t = Hashtbl.create 4096 in
-    let rec go st alive current_max =
-      if current_max >= !best then ()
-      else if alive = 0 then best := current_max
+    let best = Atomic.make (minfill_ub { st0 with adj = Array.copy st0.adj } all) in
+    let improve w =
+      let rec cas () =
+        let cur = Atomic.get best in
+        if w < cur && not (Atomic.compare_and_set best cur w) then cas ()
+      in
+      cas ()
+    in
+    (* memo (via [visit]): eliminated-set mask -> smallest current_max
+       explored with.  [scratch] holds one preallocated adjacency buffer
+       per DFS depth (a child at depth d blits into scratch.(d); deeper
+       levels only touch scratch.(>= d), so the parent's buffer survives
+       its whole iteration) — the hot loop allocates nothing, which also
+       keeps multi-domain minor-GC barriers off the critical path. *)
+    let mk_scratch () = Array.init (n + 1) (fun _ -> Array.make n 0) in
+    let rec go visit scratch depth st alive current_max =
+      if current_max >= Atomic.get best then ()
+      else if alive = 0 then improve current_max
       else if popcount alive <= current_max + 1 then
         (* any order on the rest keeps all bags within current_max *)
-        best := current_max
+        improve current_max
       else begin
         let eliminated = all land lnot alive in
-        (match Hashtbl.find_opt memo eliminated with
-        | Some m when m <= current_max -> ()
-        | _ ->
-            Hashtbl.replace memo eliminated current_max;
-            let lb = mmd_lb st alive in
-            if max lb current_max >= !best then ()
-            else begin
-              (* simplicial rule: eliminate a simplicial vertex for free *)
-              let simplicial = ref (-1) in
+        if visit eliminated current_max then begin
+          let lb = mmd_lb st alive in
+          if max lb current_max >= Atomic.get best then ()
+          else begin
+            let child v =
+              let adj' = scratch.(depth) in
+              Array.blit st.adj 0 adj' 0 n;
+              let st' = { st with adj = adj' } in
+              let d = eliminate st' alive v in
+              go visit scratch (depth + 1) st'
+                (alive land lnot (1 lsl v))
+                (max current_max d)
+            in
+            (* simplicial rule: eliminate a simplicial vertex for free *)
+            let simplicial = find_simplicial st alive in
+            if simplicial >= 0 then child simplicial
+            else
               iter_bits alive (fun v ->
-                  if !simplicial < 0 then begin
-                    let nb = st.adj.(v) land alive land lnot (1 lsl v) in
-                    let is_clique = ref true in
-                    iter_bits nb (fun u ->
-                        if
-                          nb land lnot st.adj.(u) land lnot (1 lsl u) <> 0
-                        then is_clique := false);
-                    if !is_clique then simplicial := v
-                  end);
-              if !simplicial >= 0 then begin
-                let v = !simplicial in
-                let st' = { st with adj = Array.copy st.adj } in
-                let d = eliminate st' alive v in
-                go st' (alive land lnot (1 lsl v)) (max current_max d)
-              end
-              else
-                iter_bits alive (fun v ->
-                    let d0 =
-                      popcount (st.adj.(v) land alive land lnot (1 lsl v))
-                    in
-                    if max current_max d0 < !best then begin
-                      let st' = { st with adj = Array.copy st.adj } in
-                      let d = eliminate st' alive v in
-                      go st' (alive land lnot (1 lsl v)) (max current_max d)
-                    end)
-            end)
+                  let d0 =
+                    popcount (st.adj.(v) land alive land lnot (1 lsl v))
+                  in
+                  if max current_max d0 < Atomic.get best then child v)
+          end
+        end
       end
     in
-    go st0 all (-1);
-    !best
+    if Par.sequential () || n < 8 then
+      go (seq_visit (Hashtbl.create 4096)) (mk_scratch ()) 0 st0 all (-1)
+    else begin
+      (* peel simplicial vertices at the root (they are forced moves and
+         would serialise the fan-out), then branch in parallel *)
+      let st = { st0 with adj = Array.copy st0.adj } in
+      let alive = ref all and cmax = ref (-1) in
+      let peeling = ref true in
+      while !peeling && popcount !alive > !cmax + 1 do
+        let s = find_simplicial st !alive in
+        if s >= 0 then begin
+          let d = eliminate st !alive s in
+          cmax := max !cmax d;
+          alive := !alive land lnot (1 lsl s)
+        end
+        else peeling := false
+      done;
+      if popcount !alive <= !cmax + 1 then improve !cmax
+      else begin
+        let branches = ref [] in
+        iter_bits !alive (fun v -> branches := v :: !branches);
+        let sm = shared_memo_create () in
+        Par.iter ~site:"tw.branch"
+          (fun v ->
+            let d0 = popcount (st.adj.(v) land !alive land lnot (1 lsl v)) in
+            if max !cmax d0 < Atomic.get best then begin
+              (* per-task scratch: tasks on the same slot run one after
+                 another, so a fresh stack per task is the simple safe
+                 choice (26 small arrays; dwarfed by the subtree work) *)
+              let scratch = mk_scratch () in
+              let adj' = scratch.(0) in
+              Array.blit st.adj 0 adj' 0 n;
+              let st' = { st with adj = adj' } in
+              let d = eliminate st' !alive v in
+              go (shared_visit sm) scratch 1 st'
+                (!alive land lnot (1 lsl v))
+                (max !cmax d)
+            end)
+          (List.rev !branches)
+      end
+    end;
+    Atomic.get best
   end

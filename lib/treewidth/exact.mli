@@ -6,7 +6,12 @@
     bound at every node, the simplicial-vertex rule (a vertex whose live
     neighbourhood is a clique can always be eliminated first without loss),
     and memoisation on the set of eliminated vertices (the eliminated graph
-    is independent of the elimination order inside the set). *)
+    is independent of the elimination order inside the set).
+
+    When the {!Par} pool is active, the root branches are explored as
+    independent tasks sharing only an [Atomic] incumbent (DESIGN.md §10);
+    the branch-and-bound argument makes the returned width exact — and
+    hence equal to the sequential answer — under any schedule. *)
 
 val treewidth : Graph.t -> int
 (** Exact treewidth ([-1] for the empty graph).
@@ -14,3 +19,4 @@ val treewidth : Graph.t -> int
 
 val max_vertices : int
 (** The 62-vertex limit. *)
+

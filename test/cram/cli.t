@@ -28,3 +28,11 @@ Smoke-test the command-line interface on a bundled knowledge base.
   bts-not-fes
   fes-not-bts
   core-terminating
+
+A non-positive --jobs is refused up front:
+
+  $ corechase chase family.dlgp --jobs 0
+  corechase: option '--jobs': jobs must be >= 1
+  Usage: corechase chase [OPTION]… FILE
+  Try 'corechase chase --help' or 'corechase --help' for more information.
+  [124]

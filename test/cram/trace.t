@@ -10,7 +10,11 @@ timings, so only the counter rows are pinned here.
   > [anc-rec]  ancestor(X, Z) :- parent(X, Y), ancestor(Y, Z).
   > KB
 
-  $ corechase chase family.dlgp --variant core --trace out.jsonl --metrics | grep -v "tw.ms"
+The runs pin --jobs 1 so the rows stay byte-identical even when the
+suite itself is exercised under CORECHASE_JOBS=4 (the par.* rows then
+read 0: with one job no fan-out ever happens).
+
+  $ corechase chase family.dlgp --variant core --jobs 1 --trace out.jsonl --metrics | grep -v "tw.ms"
   variant:    core
   outcome:    terminated (fixpoint reached)
   steps:      3
@@ -31,6 +35,8 @@ timings, so only the counter rows are pinned here.
     hom.memo_hits                    2
     hom.memo_misses                  4
     hom.solve_calls                  9
+    par.fanouts                      0
+    par.tasks                        0
     robust.aggregations              0
     robust.steps_built               0
     tw.computations                  0
@@ -65,14 +71,14 @@ scoped search entirely — the core.* counters stay at zero (the final
 instance is identical either way; the scoped ≡ full law is tested
 property-style in test_props.ml):
 
-  $ corechase chase family.dlgp --variant core --core-scope full --metrics | grep "core\."
+  $ corechase chase family.dlgp --variant core --core-scope full --jobs 1 --metrics | grep "core\."
     core.full_fallbacks              0
     core.scoped_certified            0
     core.scoped_searches             0
 
 Without the flags nothing extra is printed and no file is written:
 
-  $ corechase chase family.dlgp --variant core
+  $ corechase chase family.dlgp --variant core --jobs 1
   variant:    core
   outcome:    terminated (fixpoint reached)
   steps:      3

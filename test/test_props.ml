@@ -250,7 +250,7 @@ let strings =
 let gen_small rng = int_in rng 0 50
 
 let gen_event rng : Obs.Trace.event =
-  match int_in rng 0 7 with
+  match int_in rng 0 8 with
   | 0 ->
       Round_start
         { engine = pick rng strings; round = gen_small rng; size = gen_small rng }
@@ -291,12 +291,19 @@ let gen_event rng : Obs.Trace.event =
           folded = Random.State.bool rng;
           size = gen_small rng;
         }
-  | _ ->
+  | 7 ->
       Tw_decomposed
         {
           vertices = gen_small rng;
           width = gen_small rng - 1;
           exact = Random.State.bool rng;
+        }
+  | _ ->
+      Par_fanout
+        {
+          site = pick rng strings;
+          tasks = gen_small rng;
+          jobs = 1 + int_in rng 0 7;
         }
 
 let shrink_event (e : Obs.Trace.event) : Obs.Trace.event list =
@@ -331,6 +338,10 @@ let shrink_event (e : Obs.Trace.event) : Obs.Trace.event list =
   | Tw_decomposed f ->
       List.map (fun vertices -> Obs.Trace.Tw_decomposed { f with vertices })
         (half f.vertices)
+  | Par_fanout f ->
+      List.map (fun site -> Obs.Trace.Par_fanout { f with site }) (str f.site)
+      @ List.map (fun tasks -> Obs.Trace.Par_fanout { f with tasks })
+          (half f.tasks)
 
 let event_arb : Obs.Trace.event arbitrary =
   {
@@ -343,6 +354,62 @@ let json_roundtrip e =
   match Obs.Trace.of_json_line (Obs.Trace.to_json e) with
   | Some e' -> e' = e
   | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* Law 7: parallel exact treewidth ≡ sequential exact treewidth.  The
+   parallel branch-and-bound shares only an Atomic incumbent between the
+   root-branch tasks, so it must land on the very same exact minimum the
+   single-domain search finds — on every graph (DESIGN.md §10). *)
+
+type tw_case = { gseed : int; g_n : int; g_edges : int }
+
+let tw_case : tw_case arbitrary =
+  {
+    gen =
+      (fun rng ->
+        let n = int_in rng 2 11 in
+        {
+          gseed = Random.State.int rng 1_000_000;
+          g_n = n;
+          g_edges = int_in rng 1 (n * (n - 1) / 2);
+        });
+    shrink =
+      (fun c ->
+        (if c.g_n > 2 then [ { c with g_n = c.g_n - 1 } ] else [])
+        @ (if c.g_edges > 1 then [ { c with g_edges = c.g_edges - 1 } ] else [])
+        @ if c.gseed > 0 then [ { c with gseed = c.gseed / 2 } ] else []);
+    print = (fun c -> Fmt.str "seed=%d n=%d edges=%d" c.gseed c.g_n c.g_edges);
+  }
+
+let random_graph_atoms c =
+  (* [g_edges] random edges over [g_n] named vertices, as binary atoms;
+     the primal graph of the atomset is exactly that graph *)
+  let rng = Random.State.make [| 0x97a4; c.gseed |] in
+  let v i = Term.const (Printf.sprintf "tv%d" i) in
+  let atoms =
+    List.init c.g_edges (fun _ ->
+        let i = Random.State.int rng c.g_n in
+        let j = Random.State.int rng c.g_n in
+        if i = j then None else Some (Atom.make "e" [ v i; v j ]))
+  in
+  Atomset.of_list (List.filter_map Fun.id atoms)
+
+let parallel_tw_agrees c =
+  let atoms = random_graph_atoms c in
+  if Atomset.is_empty atoms then true
+  else
+    let seq = Par.with_jobs 1 (fun () -> Treewidth.exact atoms) in
+    let par = Par.with_jobs 4 (fun () -> Treewidth.exact atoms) in
+    seq = par
+
+(* Law 8: the audited parallel core chase never diverges and never
+   raises — law 5 extended to jobs > 1.  Audit scoping re-folds
+   exhaustively alongside every scoped fold (both now fanning their
+   seeded searches out over the pool) and raises on any non-isomorphic
+   pair of cores, so completion is the scoped ≡ full law under a live
+   pool. *)
+let scoped_core_agrees_parallel c =
+  Par.with_jobs 4 (fun () -> scoped_core_agrees c)
 
 (* ------------------------------------------------------------------ *)
 
@@ -359,5 +426,9 @@ let suites =
         check ~count:200 "scoped core agrees with full (audit)" scoped_case
           scoped_core_agrees;
         check ~count:400 "trace json round trip" event_arb json_roundtrip;
+        check ~count:200 "parallel exact treewidth = sequential" tw_case
+          parallel_tw_agrees;
+        check ~count:120 "audited core chase never diverges (jobs=4)"
+          scoped_case scoped_core_agrees_parallel;
       ] );
   ]
