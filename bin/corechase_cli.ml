@@ -2,20 +2,44 @@
 
    Subcommands:
      chase      run a chase variant on a DLGP file
+     resume     continue a chase from an on-disk checkpoint
      entail     decide the file's queries (Theorem-1 skeleton)
      classify   syntactic class analysis + behavioural probes
      treewidth  treewidth of the facts of a DLGP file
      repro      regenerate the paper's figures/tables (F1..F5, T1)
-     zoo        print a built-in KB in DLGP syntax *)
+     zoo        print a built-in KB in DLGP syntax
+
+   Exit codes (see README "Exit codes"):
+     0  success / everything entailed / fixpoint reached
+     1  a query was not entailed
+     2  a budget or the deadline stopped the run before a verdict
+     3  usage or input error (bad file, bad checkpoint, bad combination)
+     124/125  command-line parse errors (cmdliner's own codes) *)
 
 open Cmdliner
 module CTerm = Cmdliner.Term
 open Syntax
 
+let exit_ok = 0
+
+let exit_not_entailed = 1
+
+let exit_stopped = 2
+
+let exit_input = 3
+
+(* structured aborts: print to stderr, exit with a documented code *)
+let die code fmt =
+  Fmt.kstr
+    (fun msg ->
+      Fmt.epr "corechase: %s@." msg;
+      exit code)
+    fmt
+
 let load_document path =
   match Dlgp.parse_file path with
   | Ok d -> d
-  | Error e -> Fmt.failwith "%s: %a" path Dlgp.pp_error e
+  | Error e -> die exit_input "%s: %a" path Dlgp.pp_error e
 
 let load_kb path = Dlgp.kb_of_document (load_document path)
 
@@ -30,6 +54,38 @@ let atoms_arg =
   Arg.(value & opt int 20000 & info [ "max-atoms" ] ~doc:"Instance size budget.")
 
 let budget_of steps atoms = { Chase.Variants.max_steps = steps; max_atoms = atoms }
+
+(* resilience (DESIGN.md §11) *)
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECONDS"
+        ~doc:
+          "Wall-clock budget for the run.  When it passes, the engines \
+           stop cooperatively at the next poll point and report the \
+           $(b,deadline exceeded) outcome (exit code 2) with the last \
+           consistent instance.")
+
+let token_of_deadline deadline =
+  Option.map (fun s -> Resilience.Token.create ~deadline_s:s ()) deadline
+
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "Write a resumable checkpoint of the engine state to $(docv) \
+           (atomically, last one wins) at round boundaries.  Derivation \
+           engines only (restricted, frugal, core); resume with \
+           $(b,corechase resume).")
+
+let checkpoint_every_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "checkpoint-every" ] ~docv:"N"
+        ~doc:"Write every $(docv)-th round-boundary checkpoint (default 1).")
 
 (* observability (DESIGN.md §8) *)
 let trace_arg =
@@ -118,73 +174,241 @@ let variant_arg =
   in
   Arg.(value & opt variant_conv Chase.Core & info [ "variant"; "v" ] ~doc:"Chase variant: oblivious, skolem, restricted or core.")
 
+let outcome_line o =
+  match o with
+  | Resilience.Fixpoint -> "terminated (fixpoint reached)"
+  | o -> Fmt.str "%a" Resilience.pp_outcome o
+
+let print_report ~verbose (report : Chase.report) =
+  Fmt.pr "variant:    %s@." (Chase.variant_name report.Chase.variant);
+  Fmt.pr "outcome:    %s@." (outcome_line report.Chase.outcome);
+  Fmt.pr "steps:      %d@." report.Chase.steps;
+  Fmt.pr "final size: %d atoms@." (Atomset.cardinal report.Chase.final);
+  if verbose then
+    Atomset.iter
+      (fun a -> Fmt.pr "%s.@." (Dlgp.atom_to_string a))
+      report.Chase.final
+
+let exit_of_outcome = function
+  | Resilience.Fixpoint -> exit_ok
+  | _ -> exit_stopped
+
+let checkpoint_hook ~engine ~kb_path ~budget = function
+  | None -> None
+  | Some path ->
+      Some
+        (fun state ->
+          Chase.Checkpoint.save ~path ~engine ~kb_path
+            ?kb_digest:(Chase.Checkpoint.digest_of_file kb_path) ~budget state)
+
+(* write every Nth round-boundary state (N = 1: every round) *)
+let hook_with_cadence every hook =
+  match hook with
+  | None -> None
+  | Some save ->
+      let calls = ref 0 in
+      Some
+        (fun state ->
+          incr calls;
+          if !calls mod max 1 every = 0 then save state)
+
 let chase_cmd =
-  let run file variant steps atoms verbose trace metrics core_scope jobs =
+  let run file variant steps atoms deadline ckpt every verbose trace metrics
+      core_scope jobs =
     let kb = load_kb file in
+    (match (variant, ckpt) with
+    | (Chase.Oblivious | Chase.Skolem), Some _ ->
+        die exit_input
+          "--checkpoint requires a derivation engine (restricted, frugal or \
+           core)"
+    | _ -> ());
     Homo.Core.scoping := core_scope;
     Corechase.Par.set_jobs jobs;
+    let budget = budget_of steps atoms in
+    let token = token_of_deadline deadline in
+    let checkpoint =
+      hook_with_cadence every
+        (checkpoint_hook ~engine:(Chase.variant_name variant) ~kb_path:file
+           ~budget ckpt)
+    in
     with_obs ~trace ~metrics (fun () ->
-        let report = Chase.run ~budget:(budget_of steps atoms) variant kb in
-        Fmt.pr "variant:    %s@." (Chase.variant_name report.Chase.variant);
-        Fmt.pr "outcome:    %s@."
-          (if report.Chase.terminated then "terminated (fixpoint reached)"
-           else "budget exhausted");
-        Fmt.pr "steps:      %d@." report.Chase.steps;
-        Fmt.pr "final size: %d atoms@." (Atomset.cardinal report.Chase.final);
-        if verbose then
-          Atomset.iter
-            (fun a -> Fmt.pr "%s.@." (Dlgp.atom_to_string a))
-            report.Chase.final)
+        let report = Chase.run ~budget ?token ?checkpoint variant kb in
+        print_report ~verbose report;
+        exit_of_outcome report.Chase.outcome)
   in
   let verbose =
     Arg.(value & flag & info [ "print"; "p" ] ~doc:"Print the final instance.")
   in
   Cmd.v (Cmd.info "chase" ~doc:"Run a chase variant on a DLGP knowledge base.")
     CTerm.(
-      const run $ file_arg $ variant_arg $ steps_arg $ atoms_arg $ verbose
+      const run $ file_arg $ variant_arg $ steps_arg $ atoms_arg $ deadline_arg
+      $ checkpoint_arg $ checkpoint_every_arg $ verbose $ trace_arg
+      $ metrics_arg $ core_scope_arg $ jobs_arg)
+
+(* resume *)
+let resume_cmd =
+  let run ckpt file_override steps atoms deadline ckpt_out every verbose trace
+      metrics core_scope jobs =
+    let header =
+      match Chase.Checkpoint.read_header ckpt with
+      | Ok h -> h
+      | Error msg -> die exit_input "%s" msg
+    in
+    let variant =
+      match header.Chase.Checkpoint.engine with
+      | "restricted" -> Chase.Restricted
+      | "frugal" -> Chase.Frugal
+      | "core" -> Chase.Core
+      | e -> die exit_input "%s: unknown engine %S" ckpt e
+    in
+    let kb_file =
+      match (file_override, header.Chase.Checkpoint.kb_path) with
+      | Some f, _ -> f
+      | None, Some f -> f
+      | None, None ->
+          die exit_input "%s records no KB path; pass --file" ckpt
+    in
+    (match
+       (header.Chase.Checkpoint.kb_digest, Chase.Checkpoint.digest_of_file kb_file)
+     with
+    | Some d, Some d' when d <> d' ->
+        die exit_input
+          "%s: %s changed since the checkpoint was written (digest mismatch); \
+           resuming against a different KB would not be exact"
+          ckpt kb_file
+    | Some _, None ->
+        die exit_input "%s: cannot read %s to verify the checkpoint digest"
+          ckpt kb_file
+    | _ -> ());
+    (* KB first (deterministic variable ids), checkpoint second: load
+       pins the freshness counter to the checkpointed value *)
+    let kb = load_kb kb_file in
+    let _, saved_budget, state =
+      match Chase.Checkpoint.load kb ckpt with
+      | Ok v -> v
+      | Error msg -> die exit_input "%s" msg
+    in
+    let budget =
+      {
+        Chase.Variants.max_steps =
+          Option.value steps ~default:saved_budget.Chase.Variants.max_steps;
+        max_atoms =
+          Option.value atoms ~default:saved_budget.Chase.Variants.max_atoms;
+      }
+    in
+    Homo.Core.scoping := core_scope;
+    Corechase.Par.set_jobs jobs;
+    let token = token_of_deadline deadline in
+    let checkpoint =
+      hook_with_cadence every
+        (checkpoint_hook ~engine:(Chase.variant_name variant) ~kb_path:kb_file
+           ~budget ckpt_out)
+    in
+    with_obs ~trace ~metrics (fun () ->
+        let report =
+          Chase.run ~budget ?token ~resume:state ?checkpoint variant kb
+        in
+        print_report ~verbose report;
+        exit_of_outcome report.Chase.outcome)
+  in
+  let ckpt_pos =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"CHECKPOINT"
+          ~doc:"Checkpoint file written by $(b,corechase chase --checkpoint).")
+  in
+  let file_override =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "file" ] ~docv:"FILE"
+          ~doc:
+            "DLGP file to resume against (default: the path recorded in the \
+             checkpoint).")
+  in
+  let steps_override =
+    Arg.(
+      value & opt (some int) None
+      & info [ "steps" ]
+          ~doc:"Override the recorded rule-application budget.")
+  in
+  let atoms_override =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-atoms" ] ~doc:"Override the recorded instance size budget.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "print"; "p" ] ~doc:"Print the final instance.")
+  in
+  Cmd.v
+    (Cmd.info "resume"
+       ~doc:
+         "Continue a chase from an on-disk checkpoint.  The resumed run \
+          agrees step for step with the uninterrupted one (same KB, same \
+          budget).")
+    CTerm.(
+      const run $ ckpt_pos $ file_override $ steps_override $ atoms_override
+      $ deadline_arg $ checkpoint_arg $ checkpoint_every_arg $ verbose
       $ trace_arg $ metrics_arg $ core_scope_arg $ jobs_arg)
 
 (* entail *)
 let entail_cmd =
-  let run file steps atoms max_domain =
+  let run file steps atoms max_domain deadline =
     let doc = load_document file in
     let kb = Dlgp.kb_of_document doc in
     let budget = budget_of steps atoms in
-    (match doc.Dlgp.constraints with
-    | [] -> ()
-    | constraints -> (
-        match Corechase.Entailment.inconsistent ~budget ~constraints kb with
-        | Corechase.Entailment.Entailed ->
-            Fmt.pr "KB is INCONSISTENT (a constraint body is entailed)@."
-        | Corechase.Entailment.Not_entailed -> Fmt.pr "constraints: consistent@."
-        | Corechase.Entailment.Unknown m -> Fmt.pr "constraints: unknown (%s)@." m));
-    if doc.Dlgp.queries = [] then Fmt.pr "no queries in %s@." file
-    else
-      List.iter
-        (fun q ->
-          if Kb.Query.is_boolean q then
-            let verdict = Corechase.Entailment.decide ~budget ~max_domain kb q in
-            Fmt.pr "%a  ⟶  %a@." Kb.Query.pp q Corechase.Entailment.pp_verdict
-              verdict
-          else
-            let tuples_str tuples =
-              String.concat " "
-                (List.map
-                   (fun t ->
-                     "("
-                     ^ String.concat ", "
-                         (List.map (fun x -> Fmt.str "%a" Term.pp x) t)
-                     ^ ")")
-                   tuples)
-            in
-            match Corechase.Entailment.certain_answers ~budget kb q with
-            | Corechase.Entailment.Complete tuples ->
-                Fmt.pr "%a  ⟶  %d certain answer(s): %s@." Kb.Query.pp q
-                  (List.length tuples) (tuples_str tuples)
-            | Corechase.Entailment.Sound tuples ->
-                Fmt.pr "%a  ⟶  ≥%d certain answer(s) (budget hit): %s@."
-                  Kb.Query.pp q (List.length tuples) (tuples_str tuples))
-        doc.Dlgp.queries
+    let token = token_of_deadline deadline in
+    let code = ref exit_ok in
+    let worsen c = if c > !code then code := c in
+    Resilience.with_token token (fun () ->
+        (match doc.Dlgp.constraints with
+        | [] -> ()
+        | constraints -> (
+            match Corechase.Entailment.inconsistent ~budget ~constraints kb with
+            | Corechase.Entailment.Entailed ->
+                Fmt.pr "KB is INCONSISTENT (a constraint body is entailed)@."
+            | Corechase.Entailment.Not_entailed ->
+                Fmt.pr "constraints: consistent@."
+            | Corechase.Entailment.Unknown m ->
+                worsen exit_stopped;
+                Fmt.pr "constraints: unknown (%s)@." m));
+        if doc.Dlgp.queries = [] then Fmt.pr "no queries in %s@." file
+        else
+          List.iter
+            (fun q ->
+              if Kb.Query.is_boolean q then begin
+                let verdict =
+                  Corechase.Entailment.decide ~budget ~max_domain kb q
+                in
+                (match verdict with
+                | Corechase.Entailment.Entailed -> ()
+                | Corechase.Entailment.Not_entailed -> worsen exit_not_entailed
+                | Corechase.Entailment.Unknown _ -> worsen exit_stopped);
+                Fmt.pr "%a  ⟶  %a@." Kb.Query.pp q
+                  Corechase.Entailment.pp_verdict verdict
+              end
+              else
+                let tuples_str tuples =
+                  String.concat " "
+                    (List.map
+                       (fun t ->
+                         "("
+                         ^ String.concat ", "
+                             (List.map (fun x -> Fmt.str "%a" Term.pp x) t)
+                         ^ ")")
+                       tuples)
+                in
+                match Corechase.Entailment.certain_answers ~budget kb q with
+                | Corechase.Entailment.Complete tuples ->
+                    Fmt.pr "%a  ⟶  %d certain answer(s): %s@." Kb.Query.pp q
+                      (List.length tuples) (tuples_str tuples)
+                | Corechase.Entailment.Sound tuples ->
+                    worsen exit_stopped;
+                    Fmt.pr "%a  ⟶  ≥%d certain answer(s) (budget hit): %s@."
+                      Kb.Query.pp q (List.length tuples) (tuples_str tuples))
+            doc.Dlgp.queries);
+    !code
   in
   let max_domain =
     Arg.(value & opt int 4 & info [ "max-domain" ] ~doc:"Countermodel domain budget.")
@@ -192,7 +416,8 @@ let entail_cmd =
   Cmd.v
     (Cmd.info "entail"
        ~doc:"Decide the file's Boolean CQs with the chase + countermodel pair of semi-procedures.")
-    CTerm.(const run $ file_arg $ steps_arg $ atoms_arg $ max_domain)
+    CTerm.(
+      const run $ file_arg $ steps_arg $ atoms_arg $ max_domain $ deadline_arg)
 
 (* classify *)
 let classify_cmd =
@@ -203,15 +428,19 @@ let classify_cmd =
     (match
        Corechase.Probes.core_chase_terminates ~budget:(budget_of steps atoms) kb
      with
-    | Corechase.Probes.Terminates n -> Fmt.pr "core chase: terminates after %d steps@." n
-    | Corechase.Probes.No_verdict -> Fmt.pr "core chase: no fixpoint within budget@.");
+    | Corechase.Probes.Terminates n ->
+        Fmt.pr "core chase: terminates after %d steps@." n
+    | Corechase.Probes.No_verdict o ->
+        Fmt.pr "core chase: no fixpoint (%s)@."
+          (Fmt.str "%a" Resilience.pp_outcome o));
     let profile =
       Corechase.Probes.tw_profile ~budget:(budget_of (min steps 80) atoms)
         ~variant:`Core kb
     in
     Fmt.pr "core-chase treewidth series: %a@."
       Fmt.(list ~sep:sp int)
-      profile.Corechase.Probes.series
+      profile.Corechase.Probes.series;
+    exit_ok
   in
   Cmd.v
     (Cmd.info "classify"
@@ -230,7 +459,8 @@ let treewidth_cmd =
     Fmt.pr "lower bound: %d@." (Treewidth.lower_bound facts);
     let d = Treewidth.decomposition facts in
     Fmt.pr "witnessing decomposition (width %d):@.%a@."
-      (Treewidth.Decomposition.width d) Treewidth.Decomposition.pp d
+      (Treewidth.Decomposition.width d) Treewidth.Decomposition.pp d;
+    exit_ok
   in
   Cmd.v (Cmd.info "treewidth" ~doc:"Treewidth of the facts of a DLGP file.")
     CTerm.(const run $ file_arg)
@@ -257,7 +487,7 @@ let repro_cmd =
               acc && ok)
             true selected)
     in
-    if not ok then exit 1
+    if ok then exit_ok else 1
   in
   let names =
     Arg.(value & pos_all string [] & info [] ~docv:"EXP" ~doc:"Experiment ids (F1..F5, T1); all when omitted.")
@@ -276,11 +506,12 @@ let dot_cmd =
   let run file what =
     let kb = load_kb file in
     let facts = Kb.facts kb in
-    match what with
+    (match what with
     | `Instance -> print_string (Treewidth.Dot.atomset ~name:file facts)
     | `Decomposition ->
         print_string
-          (Treewidth.Dot.decomposition ~name:file (Treewidth.decomposition facts))
+          (Treewidth.Dot.decomposition ~name:file (Treewidth.decomposition facts)));
+    exit_ok
   in
   let what =
     let w =
@@ -297,14 +528,15 @@ let tptp_cmd =
   let run file =
     let doc = load_document file in
     let kb = Dlgp.kb_of_document doc in
-    match doc.Dlgp.queries with
+    (match doc.Dlgp.queries with
     | [] -> Fmt.pr "no queries in %s@." file
     | qs ->
         List.iteri
           (fun i q ->
             Fmt.pr "%s@."
               (Fol.tptp_problem ~name:(Printf.sprintf "q%d" i) kb q))
-          qs
+          qs);
+    exit_ok
   in
   Cmd.v
     (Cmd.info "tptp"
@@ -321,15 +553,18 @@ let zoo_cmd =
   let run name =
     match name with
     | None ->
-        List.iter (fun (n, _) -> Fmt.pr "%s@." n) (kbs ())
+        List.iter (fun (n, _) -> Fmt.pr "%s@." n) (kbs ());
+        exit_ok
     | Some n -> (
         match List.assoc_opt n (kbs ()) with
-        | None -> Fmt.failwith "unknown KB %s (try `corechase zoo' to list)" n
+        | None ->
+            die exit_input "unknown KB %s (try `corechase zoo' to list)" n
         | Some kb ->
             let doc =
               { Dlgp.facts = Kb.facts kb; rules = Kb.rules kb; egds = Kb.egds kb; queries = []; constraints = [] }
             in
-            Fmt.pr "%a@." Dlgp.print_document doc)
+            Fmt.pr "%a@." Dlgp.print_document doc;
+            exit_ok)
   in
   let name_arg = Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME") in
   Cmd.v
@@ -342,6 +577,9 @@ let () =
       ~doc:"Existential-rule reasoning: chase variants, treewidth, robust aggregation (PODS'23 reproduction)."
   in
   exit
-    (Cmd.eval
+    (Cmd.eval'
        (Cmd.group info
-          [ chase_cmd; entail_cmd; classify_cmd; treewidth_cmd; repro_cmd; tptp_cmd; dot_cmd; zoo_cmd ]))
+          [
+            chase_cmd; resume_cmd; entail_cmd; classify_cmd; treewidth_cmd;
+            repro_cmd; tptp_cmd; dot_cmd; zoo_cmd;
+          ]))

@@ -15,8 +15,9 @@ let audit name kb =
   (match Corechase.Probes.core_chase_terminates ~budget kb with
   | Corechase.Probes.Terminates n ->
       Fmt.pr "  core chase:               terminates after %d steps@." n
-  | Corechase.Probes.No_verdict ->
-      Fmt.pr "  core chase:               no fixpoint within budget@.");
+  | Corechase.Probes.No_verdict o ->
+      Fmt.pr "  core chase:               no fixpoint (%s)@."
+        (Resilience.outcome_name o));
   let profile = Corechase.Probes.tw_profile ~budget ~variant:`Core kb in
   Fmt.pr "  core-chase treewidth:      max %d%s@." profile.Corechase.Probes.max_seen
     (if profile.Corechase.Probes.monotone_growing then ", monotone growing"

@@ -53,8 +53,8 @@ let () =
   in
   Fmt.pr "restricted chase: %s after %d steps (t5 invents mentors forever)@."
     (match run.Chase.Variants.outcome with
-    | Chase.Variants.Terminated -> "terminated"
-    | Chase.Variants.Budget_exhausted -> "budget exhausted")
+    | Chase.Variants.Fixpoint -> "terminated"
+    | _ -> "budget exhausted")
     (Chase.Derivation.length run.Chase.Variants.derivation - 1);
   (* ... but with bounded treewidth, as guardedness promises *)
   let profile =

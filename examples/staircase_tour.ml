@@ -20,8 +20,8 @@ let () =
   Fmt.pr "Core chase (%d steps, %s):@."
     (Chase.Derivation.length d - 1)
     (match cc.Chase.Variants.outcome with
-    | Chase.Variants.Terminated -> "terminated"
-    | Chase.Variants.Budget_exhausted -> "budget exhausted — it never terminates");
+    | Chase.Variants.Fixpoint -> "terminated"
+    | _ -> "budget exhausted — it never terminates");
   List.iter
     (fun st ->
       if st.Chase.Derivation.index mod 5 = 0 then

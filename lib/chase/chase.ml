@@ -7,6 +7,7 @@ module Trigger = Trigger
 module Derivation = Derivation
 module Datalog = Datalog
 module Variants = Variants
+module Checkpoint = Checkpoint
 
 open Syntax
 
@@ -21,7 +22,8 @@ let variant_name = function
 
 type report = {
   variant : variant;
-  terminated : bool;
+  terminated : bool;  (** [outcome = Fixpoint]; kept for existing callers *)
+  outcome : Resilience.outcome;  (** why the run stopped (DESIGN.md §11) *)
   steps : int;  (** rule applications performed *)
   final : Atomset.t;  (** last instance computed *)
   sizes : int list;  (** instance sizes along the run, [F_0 …] *)
@@ -29,59 +31,52 @@ type report = {
 
 (** Run any variant under a budget and report uniformly.  For [Restricted]
     and [Core] the run is a Definition-1 derivation; use
-    {!Variants.restricted} / {!Variants.core} directly to inspect it. *)
-let run ?budget variant kb =
+    {!Variants.restricted} / {!Variants.core} directly to inspect it.
+    [token] bounds the run in wall-clock time / supports cancellation;
+    [resume]/[checkpoint] (derivation engines only — [Oblivious] and
+    [Skolem] reject them) thread the round-boundary checkpoint states of
+    {!Variants.engine_state} through. *)
+let run ?budget ?token ?resume ?checkpoint variant kb =
+  let of_baseline (t : Variants.Baseline.trace) =
+    {
+      variant;
+      terminated = t.Variants.Baseline.terminated;
+      outcome = t.Variants.Baseline.outcome;
+      steps = t.Variants.Baseline.steps;
+      final =
+        List.nth t.Variants.Baseline.instances
+          (List.length t.Variants.Baseline.instances - 1);
+      sizes = List.map Atomset.cardinal t.Variants.Baseline.instances;
+    }
+  in
+  let of_run (r : Variants.run) =
+    let d = r.Variants.derivation in
+    {
+      variant;
+      terminated = r.Variants.outcome = Variants.Fixpoint;
+      outcome = r.Variants.outcome;
+      steps = Derivation.length d - 1;
+      final = (Derivation.last d).Derivation.instance;
+      sizes =
+        List.map
+          (fun st -> Atomset.cardinal st.Derivation.instance)
+          (Derivation.steps d);
+    }
+  in
   match variant with
-  | Oblivious ->
-      let t = Variants.Baseline.oblivious ?budget kb in
-      {
-        variant;
-        terminated = t.Variants.Baseline.terminated;
-        steps = t.Variants.Baseline.steps;
-        final = List.nth t.Variants.Baseline.instances
-            (List.length t.Variants.Baseline.instances - 1);
-        sizes = List.map Atomset.cardinal t.Variants.Baseline.instances;
-      }
-  | Skolem ->
-      let t = Variants.Baseline.skolem ?budget kb in
-      {
-        variant;
-        terminated = t.Variants.Baseline.terminated;
-        steps = t.Variants.Baseline.steps;
-        final = List.nth t.Variants.Baseline.instances
-            (List.length t.Variants.Baseline.instances - 1);
-        sizes = List.map Atomset.cardinal t.Variants.Baseline.instances;
-      }
-  | Restricted | Frugal ->
-      let r =
+  | Oblivious | Skolem ->
+      if resume <> None || checkpoint <> None then
+        invalid_arg
+          "Chase.run: checkpoint/resume requires a derivation engine \
+           (restricted, frugal or core)";
+      of_baseline
         (match variant with
-        | Frugal -> Variants.frugal ?budget kb
-        | _ -> Variants.restricted ?budget kb)
-      in
-      let d = r.Variants.derivation in
-      {
-        variant;
-        terminated = r.Variants.outcome = Variants.Terminated;
-        steps = Derivation.length d - 1;
-        final = (Derivation.last d).Derivation.instance;
-        sizes =
-          List.map
-            (fun st -> Atomset.cardinal st.Derivation.instance)
-            (Derivation.steps d);
-      }
-  | Core ->
-      let r = Variants.core ?budget kb in
-      let d = r.Variants.derivation in
-      {
-        variant;
-        terminated = r.Variants.outcome = Variants.Terminated;
-        steps = Derivation.length d - 1;
-        final = (Derivation.last d).Derivation.instance;
-        sizes =
-          List.map
-            (fun st -> Atomset.cardinal st.Derivation.instance)
-            (Derivation.steps d);
-      }
+        | Oblivious -> Variants.Baseline.oblivious ?budget ?token kb
+        | _ -> Variants.Baseline.skolem ?budget ?token kb)
+  | Restricted ->
+      of_run (Variants.restricted ?budget ?token ?resume ?checkpoint kb)
+  | Frugal -> of_run (Variants.frugal ?budget ?token ?resume ?checkpoint kb)
+  | Core -> of_run (Variants.core ?budget ?token ?resume ?checkpoint kb)
 
 (** Does the instance satisfy every rule (i.e. is it a model of the
     ruleset)?  An instance is a model of a rule iff every trigger for it is

@@ -14,6 +14,8 @@ module Datalog : module type of Datalog
 
 module Variants : module type of Variants
 
+module Checkpoint : module type of Checkpoint
+
 open Syntax
 
 type variant = Oblivious | Skolem | Restricted | Frugal | Core
@@ -22,16 +24,32 @@ val variant_name : variant -> string
 
 type report = {
   variant : variant;
-  terminated : bool;
+  terminated : bool;  (** [outcome = Fixpoint]; kept for existing callers *)
+  outcome : Resilience.outcome;
+      (** why the run stopped: fixpoint, a specific budget, the
+          wall-clock deadline, caught resource exhaustion, or
+          cancellation (DESIGN.md §11) *)
   steps : int;  (** rule applications performed *)
   final : Atomset.t;  (** last instance computed *)
   sizes : int list;  (** instance sizes along the run, [F_0 …] *)
 }
 
-val run : ?budget:Variants.budget -> variant -> Kb.t -> report
+val run :
+  ?budget:Variants.budget ->
+  ?token:Resilience.Token.t ->
+  ?resume:Variants.engine_state ->
+  ?checkpoint:(Variants.engine_state -> unit) ->
+  variant ->
+  Kb.t ->
+  report
 (** Run any variant under a budget and report uniformly.  For
     [Restricted], [Frugal] and [Core] the run is a Definition-1
-    derivation; use {!Variants} directly to inspect it. *)
+    derivation; use {!Variants} directly to inspect it.  [token] arms a
+    wall-clock deadline / cancellation; [resume]/[checkpoint] thread
+    round-boundary {!Variants.engine_state} values through the
+    derivation engines.
+    @raise Invalid_argument when [resume]/[checkpoint] is passed with
+    [Oblivious] or [Skolem] (no derivation to checkpoint). *)
 
 val is_model_of_rules : Rule.t list -> Atomset.t -> bool
 (** Every trigger of every rule is satisfied in the instance. *)

@@ -1,0 +1,327 @@
+(** On-disk chase checkpoints (DESIGN.md §11).
+
+    A checkpoint serializes a {!Variants.engine_state} — captured at a
+    completed round boundary — together with everything needed to resume
+    the run {e exactly}: the engine name, the budget, the [Term]
+    freshness counter and the instance generation counter.  The format
+    is a versioned, line-oriented text file; terms are percent-encoded
+    tokens so atom and substitution lines split on spaces. *)
+
+open Syntax
+
+let version = 1
+
+let magic = "CORECHASE-CHECKPOINT"
+
+let m_written = Obs.Metrics.counter "resilience.checkpoints"
+
+type header = {
+  engine : string;
+  kb_path : string option;
+  kb_digest : string option;  (** hex MD5 of the KB document *)
+  max_steps : int;
+  max_atoms : int;
+  term_counter : int;
+  generation_counter : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* token encoding                                                      *)
+
+let enc_buf = Buffer.create 64
+
+let encode s =
+  Buffer.clear enc_buf;
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' ->
+          Buffer.add_char enc_buf c
+      | c -> Buffer.add_string enc_buf (Printf.sprintf "%%%02X" (Char.code c)))
+    s;
+  Buffer.contents enc_buf
+
+let decode s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i < n then
+      if s.[i] = '%' then begin
+        if i + 2 >= n then failwith "truncated %-escape";
+        Buffer.add_char b
+          (Char.chr (int_of_string ("0x" ^ String.sub s (i + 1) 2)));
+        go (i + 3)
+      end
+      else begin
+        Buffer.add_char b s.[i];
+        go (i + 1)
+      end
+  in
+  go 0;
+  Buffer.contents b
+
+(* term tokens: [c%<enc-name>] for constants, [v%<id>%<enc-hint>] for
+   variables ('%' cannot start an encoded fragment's first char set, so
+   the leading tag is unambiguous) *)
+let term_token t =
+  if Term.is_const t then "c%" ^ encode (Term.hint t)
+  else Printf.sprintf "v%%%d%%%s" (Term.rank t) (encode (Term.hint t))
+
+let term_of_token tok =
+  match String.split_on_char '%' tok with
+  | "c" :: rest -> Term.const (decode (String.concat "%" rest))
+  | "v" :: id :: rest ->
+      let hint = decode (String.concat "%" rest) in
+      let hint = if hint = "" then None else Some hint in
+      Term.var_of_id ?hint (int_of_string id)
+  | _ -> failwith ("bad term token: " ^ tok)
+
+let atom_line at =
+  String.concat " "
+    (encode (Atom.pred at) :: List.map term_token (Atom.args at))
+
+let atom_of_line line =
+  match String.split_on_char ' ' line with
+  | [] | [ "" ] -> failwith "empty atom line"
+  | p :: args -> Atom.make (decode p) (List.map term_of_token args)
+
+let subst_tokens s =
+  List.concat_map
+    (fun (x, t) -> [ term_token x; term_token t ])
+    (Subst.to_list s)
+
+let subst_of_tokens toks =
+  let rec pairs = function
+    | [] -> []
+    | x :: t :: rest -> (term_of_token x, term_of_token t) :: pairs rest
+    | [ _ ] -> failwith "odd substitution token count"
+  in
+  Subst.of_list (pairs toks)
+
+(* ------------------------------------------------------------------ *)
+(* writing                                                             *)
+
+let write_atomset oc tag a =
+  let atoms = Atomset.to_list a in
+  Printf.fprintf oc "%s %d\n" tag (List.length atoms);
+  List.iter (fun at -> Printf.fprintf oc "%s\n" (atom_line at)) atoms
+
+let save ~path ~engine ?kb_path ?kb_digest ~(budget : Variants.budget)
+    (state : Variants.engine_state) =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Printf.fprintf oc "%s %d\n" magic version;
+      Printf.fprintf oc "engine %s\n" (encode engine);
+      Printf.fprintf oc "kb-path %s\n"
+        (match kb_path with Some p -> encode p | None -> "-");
+      Printf.fprintf oc "kb-digest %s\n"
+        (match kb_digest with Some d -> d | None -> "-");
+      Printf.fprintf oc "max-steps %d\n" budget.Variants.max_steps;
+      Printf.fprintf oc "max-atoms %d\n" budget.Variants.max_atoms;
+      Printf.fprintf oc "steps-done %d\n" state.Variants.state_steps;
+      Printf.fprintf oc "rounds-done %d\n" state.Variants.state_rounds;
+      Printf.fprintf oc "term-counter %d\n" (Term.counter_value ());
+      Printf.fprintf oc "generation-counter %d\n"
+        (Homo.Instance.generation_counter_value ());
+      (match state.Variants.state_snapshot with
+      | None -> Printf.fprintf oc "snapshot -\n"
+      | Some snap -> write_atomset oc "snapshot" snap);
+      let steps = Derivation.steps state.Variants.state_derivation in
+      Printf.fprintf oc "steps %d\n" (List.length steps);
+      List.iter
+        (fun (st : Derivation.step) ->
+          Printf.fprintf oc "step %d\n" st.Derivation.index;
+          Printf.fprintf oc "pi-safe %s\n"
+            (String.concat " " (subst_tokens st.Derivation.pi_safe));
+          Printf.fprintf oc "sigma %s\n"
+            (String.concat " " (subst_tokens st.Derivation.simplification));
+          write_atomset oc "pre" st.Derivation.pre_instance;
+          write_atomset oc "inst" st.Derivation.instance)
+        steps;
+      Printf.fprintf oc "end\n");
+  Sys.rename tmp path;
+  if !Obs.Metrics.enabled then Obs.Metrics.incr m_written;
+  if Obs.Trace.enabled () then
+    Obs.Trace.emit
+      (Obs.Trace.Checkpoint_written
+         {
+           engine;
+           step = state.Variants.state_steps;
+           path;
+         })
+
+(* ------------------------------------------------------------------ *)
+(* reading                                                             *)
+
+type reader = { mutable lines : string list; mutable lineno : int }
+
+let next r =
+  match r.lines with
+  | [] -> failwith "unexpected end of file"
+  | l :: rest ->
+      r.lines <- rest;
+      r.lineno <- r.lineno + 1;
+      l
+
+let field r key =
+  let l = next r in
+  match String.index_opt l ' ' with
+  | Some i when String.sub l 0 i = key ->
+      String.sub l (i + 1) (String.length l - i - 1)
+  | _ ->
+      failwith
+        (Printf.sprintf "line %d: expected field %S, got %S" r.lineno key l)
+
+let int_field r key =
+  let v = field r key in
+  match int_of_string_opt v with
+  | Some n -> n
+  | None -> failwith (Printf.sprintf "field %s: not an integer: %S" key v)
+
+let read_atomset r tag =
+  match field r tag with
+  | "-" -> None
+  | v -> (
+      match int_of_string_opt v with
+      | None -> failwith (Printf.sprintf "field %s: bad count %S" tag v)
+      | Some n ->
+          let rec go k acc =
+            if k = 0 then Some (Atomset.of_list (List.rev acc))
+            else go (k - 1) (atom_of_line (next r) :: acc)
+          in
+          go n [])
+
+let subst_field r key =
+  match field r key with
+  | "" -> Subst.empty
+  | v -> subst_of_tokens (String.split_on_char ' ' v)
+
+let parse_header_exn r =
+  (match String.split_on_char ' ' (next r) with
+  | [ m; v ] when m = magic ->
+      if int_of_string_opt v <> Some version then
+        failwith
+          (Printf.sprintf "unsupported checkpoint version %s (expected %d)" v
+             version)
+  | _ -> failwith "not a corechase checkpoint (bad magic line)");
+  let engine = decode (field r "engine") in
+  let kb_path =
+    match field r "kb-path" with "-" -> None | p -> Some (decode p)
+  in
+  let kb_digest = match field r "kb-digest" with "-" -> None | d -> Some d in
+  let max_steps = int_field r "max-steps" in
+  let max_atoms = int_field r "max-atoms" in
+  let steps_done = int_field r "steps-done" in
+  let rounds_done = int_field r "rounds-done" in
+  let term_counter = int_field r "term-counter" in
+  let generation_counter = int_field r "generation-counter" in
+  ( {
+      engine;
+      kb_path;
+      kb_digest;
+      max_steps;
+      max_atoms;
+      term_counter;
+      generation_counter;
+    },
+    steps_done,
+    rounds_done )
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | l -> go (l :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+(** [read_header path] parses only the leading header fields — no terms
+    are built and no counters touched, so it is safe to call before the
+    KB re-parse (the CLI uses it to learn which KB and engine to set up
+    before the full {!load}). *)
+let read_header path : (header, string) result =
+  match
+    let r = { lines = read_lines path; lineno = 0 } in
+    let h, _, _ = parse_header_exn r in
+    h
+  with
+  | h -> Ok h
+  | exception Failure msg -> Error (path ^ ": " ^ msg)
+  | exception Sys_error msg -> Error msg
+
+(** [load path] parses the checkpoint and rebuilds the engine state.
+
+    Call this {e after} re-parsing the KB (so the KB's deterministic
+    variable ids are allocated first) and {e before} building any new
+    term: on success it restores the [Term] freshness counter to the
+    checkpointed value and bumps the instance generation counter to at
+    least the checkpointed one, which is what makes the resumed run
+    agree with the uninterrupted one step for step (DESIGN.md §11). *)
+let load kb path :
+    (header * Variants.budget * Variants.engine_state, string) result =
+  match
+    let r = { lines = read_lines path; lineno = 0 } in
+    let header, steps_done, rounds_done = parse_header_exn r in
+    let snapshot = read_atomset r "snapshot" in
+    let n_steps = int_field r "steps" in
+    let steps =
+      List.init n_steps (fun _ ->
+          let index = int_field r "step" in
+          let pi_safe = subst_field r "pi-safe" in
+          let sigma = subst_field r "sigma" in
+          let pre =
+            match read_atomset r "pre" with
+            | Some a -> a
+            | None -> failwith "step without a pre-instance"
+          in
+          let inst =
+            match read_atomset r "inst" with
+            | Some a -> a
+            | None -> failwith "step without an instance"
+          in
+          {
+            Derivation.index;
+            trigger = None;
+            pi_safe;
+            pre_instance = pre;
+            simplification = sigma;
+            instance = inst;
+          })
+    in
+    (match next r with
+    | "end" -> ()
+    | l -> failwith (Printf.sprintf "expected end marker, got %S" l));
+    let state =
+      {
+        Variants.state_derivation = Derivation.of_steps kb steps;
+        state_steps = steps_done;
+        state_rounds = rounds_done;
+        state_snapshot = snapshot;
+      }
+    in
+    (* exact-resume counter restoration: reconstruction above has only
+       bumped the counters monotonically via [var_of_id]; pin them to the
+       checkpointed values now (any terms the aborted run built past the
+       checkpoint are discarded, so re-issuing their ids is sound — and
+       required for the differential to hold) *)
+    Term.restore_counter_for_resume header.term_counter;
+    Homo.Instance.ensure_generation_counter_at_least header.generation_counter;
+    let budget =
+      { Variants.max_steps = header.max_steps; max_atoms = header.max_atoms }
+    in
+    (header, budget, state)
+  with
+  | v -> Ok v
+  | exception Failure msg -> Error (path ^ ": " ^ msg)
+  | exception Sys_error msg -> Error msg
+  | exception Invalid_argument msg -> Error (path ^ ": " ^ msg)
+
+let digest_of_file path =
+  try Some (Digest.to_hex (Digest.file path)) with Sys_error _ -> None

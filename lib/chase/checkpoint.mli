@@ -1,0 +1,71 @@
+(** On-disk chase checkpoints (DESIGN.md §11).
+
+    Serializes the round-boundary {!Variants.engine_state} offered by
+    the derivation engines' [?checkpoint] hook to a versioned,
+    line-oriented text file, and restores it for [?resume].  The file
+    records, besides the derivation itself: the engine name, the
+    original budget, the [Term] freshness-counter value and the instance
+    generation counter — everything needed for the resumed run to agree
+    with the uninterrupted one step for step.
+
+    Format sketch (version 1; one field per line, terms as
+    percent-encoded tokens [c%<name>] / [v%<id>%<hint>]):
+    {v
+    CORECHASE-CHECKPOINT 1
+    engine <name>            kb-path <enc|->   kb-digest <hex|->
+    max-steps N  max-atoms N  steps-done N  rounds-done N
+    term-counter N  generation-counter N
+    snapshot <n|->  (n atom lines)
+    steps N  then per step: step i / pi-safe ... / sigma ... /
+                            pre n + atoms / inst n + atoms
+    end
+    v} *)
+
+open Syntax
+
+val version : int
+(** Current format version (the integer after the magic word). *)
+
+type header = {
+  engine : string;  (** e.g. ["restricted"], ["core:round"] *)
+  kb_path : string option;  (** KB document path as given at save time *)
+  kb_digest : string option;  (** hex MD5 of the KB document *)
+  max_steps : int;  (** the {e original} budget, not the remainder *)
+  max_atoms : int;
+  term_counter : int;  (** freshness counter at checkpoint time *)
+  generation_counter : int;  (** instance generation counter *)
+}
+
+val save :
+  path:string ->
+  engine:string ->
+  ?kb_path:string ->
+  ?kb_digest:string ->
+  budget:Variants.budget ->
+  Variants.engine_state ->
+  unit
+(** Write atomically (temp file + rename), bump the
+    [resilience.checkpoints] counter and emit
+    {!Obs.Trace.Checkpoint_written}.
+    @raise Sys_error on I/O failure. *)
+
+val read_header : string -> (header, string) result
+(** Parse only the leading header fields.  Builds no terms and touches
+    no counters, so it is safe before the KB re-parse — use it to learn
+    which KB document and engine to set up, then call {!load}. *)
+
+val load :
+  Kb.t ->
+  string ->
+  (header * Variants.budget * Variants.engine_state, string) result
+(** Parse a checkpoint and rebuild the engine state against the
+    given KB.  {b Order matters for exact resume}: re-parse the KB
+    first (its deterministic variable ids must be allocated before the
+    checkpoint's), call [load] second, and build no new terms in
+    between — on success the [Term] freshness counter is pinned to the
+    checkpointed value and the generation counter bumped at least to
+    its.  The KB digest is {e not} verified here; compare
+    [header.kb_digest] against {!digest_of_file} at the call site. *)
+
+val digest_of_file : string -> string option
+(** Hex MD5 of a file's contents; [None] if unreadable. *)

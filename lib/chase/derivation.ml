@@ -27,6 +27,32 @@ let start ?(simplification = Subst.empty) kb =
   in
   { kb; rev_steps = [ step0 ]; len = 1 }
 
+(* Rebuild a derivation from previously recorded steps (checkpoint
+   resume).  Structural checks only — indices consecutive from 0, each
+   instance = σ(pre-instance) — since the triggers themselves are not
+   serialized ([trigger = None] on reloaded steps); full Definition-1
+   replay is what [validate] is for and is impossible without them. *)
+let of_steps kb steps =
+  (match steps with
+  | [] -> invalid_arg "Derivation.of_steps: empty step list"
+  | st0 :: _ ->
+      if st0.index <> 0 then
+        invalid_arg "Derivation.of_steps: first step must have index 0");
+  List.iteri
+    (fun i st ->
+      if st.index <> i then
+        invalid_arg
+          (Printf.sprintf
+             "Derivation.of_steps: step %d carries index %d (must be \
+              consecutive from 0)"
+             i st.index);
+      if not (Atomset.equal st.instance (Subst.apply st.simplification st.pre_instance))
+      then
+        invalid_arg
+          (Printf.sprintf "Derivation.of_steps: step %d: F ≠ σ(A)" i))
+    steps;
+  { kb; rev_steps = List.rev steps; len = List.length steps }
+
 let kb d = d.kb
 
 let length d = d.len

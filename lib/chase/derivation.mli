@@ -27,6 +27,15 @@ val start : ?simplification:Subst.t -> Kb.t -> t
 (** The length-1 prefix [F_0 = σ_0(F)] (default [σ_0] = identity).
     @raise Invalid_argument if [σ_0] is not a retraction of [F]. *)
 
+val of_steps : Kb.t -> step list -> t
+(** Rebuild a derivation from recorded steps (checkpoint resume,
+    {!Chase.Variants.engine_state}).  Checks that indices run
+    consecutively from 0 and that each [instance = σ(pre_instance)];
+    triggers are typically [None] on reloaded steps, so Definition-1
+    side conditions are {e not} replayed (use {!validate} on a
+    derivation that still carries its triggers).
+    @raise Invalid_argument on an empty list or a structural violation. *)
+
 val kb : t -> Kb.t
 
 val length : t -> int

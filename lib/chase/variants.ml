@@ -47,11 +47,36 @@ type budget = { max_steps : int; max_atoms : int }
 
 let default_budget = { max_steps = 2000; max_atoms = 20_000 }
 
-type outcome = Terminated | Budget_exhausted
+(* The structured outcome is owned by [Resilience] (the engines, the EGD
+   chase and the baselines all stop for the same reasons); the equation
+   keeps [Variants.Fixpoint] etc. usable without opening that library. *)
+type outcome = Resilience.outcome =
+  | Fixpoint
+  | Step_budget
+  | Atom_budget
+  | Deadline
+  | Resource of Resilience.resource
+  | Cancelled
 
 type run = { derivation : Derivation.t; outcome : outcome; rounds : int }
 
 type cadence = Every_application | Every_round
+
+(* A resumable engine state: everything the round loop reads at its top.
+   Captured only at {e completed-round boundaries} — mid-round the active
+   trigger snapshot and its σ-traces are live, and serializing them would
+   break the resumed ≡ uninterrupted invariant (DESIGN.md §11).  The
+   instance index is not part of the state: it is rebuilt from the
+   derivation's last element, and trigger discovery keys on the
+   [snapshot] {e atomset} delta, not on index generations. *)
+type engine_state = {
+  state_derivation : Derivation.t;
+  state_steps : int;  (** rule applications performed so far *)
+  state_rounds : int;  (** completed rounds *)
+  state_snapshot : Atomset.t option;
+      (** the pre-round discovery snapshot, i.e. the atomset the next
+          round's delta is computed against *)
+}
 
 (* The engines maintain ONE indexed instance per run, kept in lockstep
    with the last derivation element: rule applications patch it with
@@ -71,134 +96,199 @@ type cadence = Every_application | Every_round
    accumulated delta, and returning the substitution it applied to the
    last instance so the engine can patch its index. *)
 let run_engine ?(engine = "chase")
-    ?(round_end = fun d ~idx:_ ~fresh:_ ~added:_ -> (d, Subst.empty)) ~budget
-    ~simplify ~start_simplification kb =
-  let d = ref (Derivation.start ?simplification:start_simplification kb) in
+    ?(round_end = fun d ~idx:_ ~fresh:_ ~added:_ -> (d, Subst.empty)) ?token
+    ?resume ?checkpoint ~budget ~simplify ~start_simplification kb =
+  let d, steps_done, rounds, prev_snapshot =
+    match resume with
+    | Some st ->
+        ( ref st.state_derivation,
+          ref st.state_steps,
+          ref st.state_rounds,
+          ref st.state_snapshot )
+    | None ->
+        ( ref (Derivation.start ?simplification:start_simplification kb),
+          ref 0,
+          ref 0,
+          ref None )
+  in
   let idx =
     ref (Homo.Instance.of_atomset (Derivation.last !d).Derivation.instance)
   in
-  (match start_simplification with
-  | Some s when (not (Subst.is_empty s)) && Obs.live () ->
+  (match (resume, start_simplification) with
+  | None, Some s when (not (Subst.is_empty s)) && Obs.live () ->
       obs_retract ~engine ~step:0 ~before:(Atomset.cardinal (Kb.facts kb)) !idx
   | _ -> ());
-  let prev_snapshot = ref None in
-  let steps_done = ref 0 in
-  let rounds = ref 0 in
   let outcome = ref None in
   let rules = Kb.rules kb in
-  while !outcome = None do
-    let current = Homo.Instance.atomset !idx in
-    let delta =
-      Option.map (fun old -> Atomset.diff current old) !prev_snapshot
-    in
-    let active = Trigger.discover ?delta rules !idx in
-    prev_snapshot := Some current;
-    if active = [] then outcome := Some Terminated
-    else begin
-      incr rounds;
-      if Obs.live () then obs_round_start ~engine ~round:!rounds !idx;
-      (* apply the snapshot, re-checking satisfaction before each firing
-         (the trace of the trigger, for non-monotone simplifications) *)
-      let base_index = Derivation.length !d - 1 in
-      (* the round's accumulated delta, handed to [round_end] *)
-      let round_fresh = ref [] in
-      let round_added = ref [] in
-      List.iter
-        (fun tr ->
-          match !outcome with
-          | Some _ -> ()
-          | None ->
-              if !steps_done >= budget.max_steps then
-                outcome := Some Budget_exhausted
-              else begin
-                let last = Derivation.last !d in
-                let trace =
-                  Derivation.sigma_trace !d ~from_:base_index
-                    ~to_:last.Derivation.index
-                in
-                let tr' = Trigger.rename trace tr in
-                if
-                  Trigger.is_trigger_for_in tr' !idx
-                  && not (Trigger.satisfied_in tr' !idx)
-                then begin
-                  let app = Trigger.apply_in tr' !idx in
-                  (* the genuinely new atoms of this firing (produced may
-                     re-derive existing ones): the step's delta *)
-                  let added =
-                    List.filter
-                      (fun a -> not (Homo.Instance.mem !idx a))
-                      (Atomset.to_list app.Trigger.produced)
-                  in
-                  let pre_idx = Homo.Instance.add_atoms !idx added in
-                  round_fresh := app.Trigger.fresh :: !round_fresh;
-                  round_added := added :: !round_added;
-                  let sigma = simplify pre_idx ~added app in
-                  d :=
-                    Derivation.extend_applied ~validate:false !d tr' app
-                      ~simplification:sigma;
-                  idx := Homo.Instance.apply_subst sigma pre_idx;
-                  incr steps_done;
-                  if Obs.live () then begin
-                    let stepi = (Derivation.last !d).Derivation.index in
-                    obs_applied ~engine ~step:stepi ~rule:(Trigger.rule tr')
-                      ~produced:(Atomset.cardinal app.Trigger.produced)
-                      !idx;
-                    if not (Subst.is_empty sigma) then
-                      obs_retract ~engine ~step:stepi
-                        ~before:(Homo.Instance.cardinal pre_idx)
-                        !idx
-                  end;
-                  if Homo.Instance.cardinal !idx > budget.max_atoms then
-                    outcome := Some Budget_exhausted
-                end
-              end)
-        active;
-      (* round completed: let the variant post-process (e.g. retract the
-         round's last application to a core) *)
-      if Derivation.length !d - 1 > base_index then begin
-        let d', extra =
-          round_end !d ~idx:!idx
-            ~fresh:(List.concat (List.rev !round_fresh))
-            ~added:(List.concat (List.rev !round_added))
-        in
-        d := d';
-        if not (Subst.is_empty extra) then begin
-          let before = Homo.Instance.cardinal !idx in
-          idx := Homo.Instance.apply_subst extra !idx;
-          if Obs.live () then
-            obs_retract ~engine
-              ~step:(Derivation.last !d).Derivation.index
-              ~before !idx
-        end
-      end
-    end
-  done;
+  (* The loop body commits [d]/[idx] pairwise only after both successor
+     values exist, so an exception anywhere leaves the pair consistent:
+     the boundary handler below then reports the last consistent instance
+     instead of crashing (DESIGN.md §11). *)
+  (try
+     Resilience.with_token token @@ fun () ->
+     while !outcome = None do
+       Resilience.poll ();
+       Resilience.Fault.hit "round";
+       if Homo.Instance.cardinal !idx > budget.max_atoms then
+         outcome := Some Atom_budget
+       else begin
+         let current = Homo.Instance.atomset !idx in
+         let delta =
+           Option.map (fun old -> Atomset.diff current old) !prev_snapshot
+         in
+         let active = Trigger.discover ?delta rules !idx in
+         prev_snapshot := Some current;
+         if active = [] then outcome := Some Fixpoint
+         else begin
+           incr rounds;
+           if Obs.live () then obs_round_start ~engine ~round:!rounds !idx;
+           (* apply the snapshot, re-checking satisfaction before each
+              firing (the trace of the trigger, for non-monotone
+              simplifications) *)
+           let base_index = Derivation.length !d - 1 in
+           (* the round's accumulated delta, handed to [round_end] *)
+           let round_fresh = ref [] in
+           let round_added = ref [] in
+           List.iter
+             (fun tr ->
+               match !outcome with
+               | Some _ -> ()
+               | None ->
+                   if !steps_done >= budget.max_steps then
+                     outcome := Some Step_budget
+                   else begin
+                     let last = Derivation.last !d in
+                     let trace =
+                       Derivation.sigma_trace !d ~from_:base_index
+                         ~to_:last.Derivation.index
+                     in
+                     let tr' = Trigger.rename trace tr in
+                     if
+                       Trigger.is_trigger_for_in tr' !idx
+                       && not (Trigger.satisfied_in tr' !idx)
+                     then begin
+                       Resilience.poll ();
+                       Resilience.Fault.hit "step";
+                       let app = Trigger.apply_in tr' !idx in
+                       (* the genuinely new atoms of this firing (produced
+                          may re-derive existing ones): the step's delta *)
+                       let added =
+                         List.filter
+                           (fun a -> not (Homo.Instance.mem !idx a))
+                           (Atomset.to_list app.Trigger.produced)
+                       in
+                       let pre_idx = Homo.Instance.add_atoms !idx added in
+                       let sigma = simplify pre_idx ~added app in
+                       let d' =
+                         Derivation.extend_applied ~validate:false !d tr' app
+                           ~simplification:sigma
+                       in
+                       let idx2 = Homo.Instance.apply_subst sigma pre_idx in
+                       d := d';
+                       idx := idx2;
+                       round_fresh := app.Trigger.fresh :: !round_fresh;
+                       round_added := added :: !round_added;
+                       incr steps_done;
+                       if Obs.live () then begin
+                         let stepi = (Derivation.last !d).Derivation.index in
+                         obs_applied ~engine ~step:stepi
+                           ~rule:(Trigger.rule tr')
+                           ~produced:(Atomset.cardinal app.Trigger.produced)
+                           !idx;
+                         if not (Subst.is_empty sigma) then
+                           obs_retract ~engine ~step:stepi
+                             ~before:(Homo.Instance.cardinal pre_idx)
+                             !idx
+                       end;
+                       if Homo.Instance.cardinal !idx > budget.max_atoms then
+                         outcome := Some Atom_budget
+                     end
+                   end)
+             active;
+           (* round completed: let the variant post-process (e.g. retract
+              the round's last application to a core) *)
+           if Derivation.length !d - 1 > base_index then begin
+             let d', extra =
+               round_end !d ~idx:!idx
+                 ~fresh:(List.concat (List.rev !round_fresh))
+                 ~added:(List.concat (List.rev !round_added))
+             in
+             if Subst.is_empty extra then d := d'
+             else begin
+               let before = Homo.Instance.cardinal !idx in
+               let idx2 = Homo.Instance.apply_subst extra !idx in
+               d := d';
+               idx := idx2;
+               if Obs.live () then
+                 obs_retract ~engine
+                   ~step:(Derivation.last !d).Derivation.index
+                   ~before !idx
+             end
+           end;
+           (* A completed round is the only consistent cut this loop
+              offers: every σ-trace is sealed inside [d], so the state
+              below resumes exactly (DESIGN.md §11).  Partial rounds
+              (budget fired above) are never checkpointed. *)
+           match checkpoint with
+           | Some hook when !outcome = None ->
+               hook
+                 {
+                   state_derivation = !d;
+                   state_steps = !steps_done;
+                   state_rounds = !rounds;
+                   state_snapshot = !prev_snapshot;
+                 }
+           | _ -> ()
+         end
+       end
+     done
+   with e -> (
+     match Resilience.outcome_of_exn e with
+     | Some o ->
+         outcome := Some o;
+         Resilience.record ~engine ~step:(Derivation.length !d - 1) o
+     | None -> raise e));
   {
     derivation = !d;
     outcome = (match !outcome with Some o -> o | None -> assert false);
     rounds = !rounds;
   }
 
-let restricted ?(budget = default_budget) kb =
-  run_engine ~engine:"restricted" ~budget
+let restricted ?(budget = default_budget) ?token ?resume ?checkpoint kb =
+  run_engine ~engine:"restricted" ~budget ?token ?resume ?checkpoint
     ~simplify:(fun _ ~added:_ _ -> Subst.empty)
     ~start_simplification:None kb
 
 let core ?(budget = default_budget) ?(cadence = Every_application)
-    ?(simplify_start = true) kb =
-  let start_simplification =
-    if simplify_start then Some (Homo.Core.retraction_to_core (Kb.facts kb))
+    ?(simplify_start = true) ?token ?resume ?checkpoint kb =
+  match
+    (* σ_0 = retraction-to-core of the facts runs before the engine loop,
+       so it needs the same token/boundary discipline: computed under the
+       token, interruption classified here rather than escaping *)
+    Resilience.with_token token @@ fun () ->
+    (* on resume the start step is already inside the derivation *)
+    if simplify_start && resume = None then
+      Some (Homo.Core.retraction_to_core (Kb.facts kb))
     else None
-  in
+  with
+  | exception e -> (
+      match Resilience.outcome_of_exn e with
+      | Some o ->
+          Resilience.record ~engine:"core" ~step:0 o;
+          { derivation = Derivation.start kb; outcome = o; rounds = 0 }
+      | None -> raise e)
+  | start_simplification ->(
   (* Incremental-core invariant (DESIGN.md §9): once a retraction to a
      core has run, every later pre-instance is "last core + one delta",
      so the fold search may be delta-scoped.  Before the first retraction
      (simplify_start = false) the precondition does not hold and the
-     first simplification folds with Full scope. *)
-  let invariant = ref simplify_start in
+     first simplification folds with Full scope.  A resumed state was
+     checkpointed at a round boundary, where both cadences leave the
+     instance a core. *)
+  let invariant = ref (simplify_start || resume <> None) in
   match cadence with
   | Every_application ->
-      run_engine ~engine:"core" ~budget
+      run_engine ~engine:"core" ~budget ?token ?resume ?checkpoint
         ~simplify:(fun pre_idx ~added app ->
           let scope =
             if !invariant then
@@ -217,7 +307,7 @@ let core ?(budget = default_budget) ?(cadence = Every_application)
          engine's index needs to absorb — and the engine's index {e is}
          the round-end pre-instance, so it is folded in place with the
          round's whole delta as scope. *)
-      run_engine ~engine:"core-round" ~budget
+      run_engine ~engine:"core-round" ~budget ?token ?resume ?checkpoint
         ~simplify:(fun _ ~added:_ _ -> Subst.empty)
         ~round_end:(fun d ~idx ~fresh ~added ->
           let scope =
@@ -227,7 +317,7 @@ let core ?(budget = default_budget) ?(cadence = Every_application)
           invariant := true;
           let r = Homo.Core.retraction_to_core_indexed ~scope idx in
           (Derivation.replace_last_simplification ~validate:false d r, r))
-        ~start_simplification kb
+        ~start_simplification kb)
 
 (* Frugal simplification: fold the freshly created nulls of [app] back
    into the rest of the pre-instance when an endomorphism fixing every
@@ -286,9 +376,9 @@ let frugal_simplification pre_idx ~added:_ (app : Trigger.application) =
          retraction of the pre-instance *)
       sigma
 
-let frugal ?(budget = default_budget) kb =
-  run_engine ~engine:"frugal" ~budget ~simplify:frugal_simplification
-    ~start_simplification:None kb
+let frugal ?(budget = default_budget) ?token ?resume ?checkpoint kb =
+  run_engine ~engine:"frugal" ~budget ?token ?resume ?checkpoint
+    ~simplify:frugal_simplification ~start_simplification:None kb
 
 let stream ~variant kb =
   let simplify =
@@ -308,6 +398,7 @@ let stream ~variant kb =
      atomset at the last trigger discovery + the queue of (traced-from,
      trigger) pairs left over from the current round's snapshot *)
   let rec next (d, idx, prev_snapshot, queue) () =
+    Resilience.poll ();
     match queue with
     | (base_index, tr) :: rest -> (
         let last = Derivation.last d in
@@ -378,7 +469,10 @@ let stream ~variant kb =
   fun () -> Seq.Cons (d0, next (d0, idx0, None, []))
 
 module Egds = struct
-  type outcome = Terminated | Budget_exhausted | Failed of Egd.t
+  type outcome =
+    | Terminated
+    | Stopped of Resilience.outcome
+    | Failed of Egd.t
 
   type run = { trace : Atomset.t list; outcome : outcome; steps : int }
 
@@ -407,31 +501,45 @@ module Egds = struct
         if Term.compare_by_rank u v <= 0 then Some (Subst.singleton v u)
         else Some (Subst.singleton u v)
 
-  let run ?(budget = default_budget) ?(variant = `Restricted) kb =
+  let run ?(budget = default_budget) ?(variant = `Restricted) ?token kb =
     let egds = Kb.egds kb in
     let trace = ref [] in
     let steps = ref 0 in
-    let record idx = trace := Homo.Instance.atomset idx :: !trace in
+    (* [idx] is committed after every merge / application, so however the
+       run stops, [!idx] is the last consistent instance (DESIGN.md §11) *)
+    let idx = ref (Homo.Instance.of_atomset (Kb.facts kb)) in
+    let record () = trace := Homo.Instance.atomset !idx :: !trace in
+    (* on an abort, expose the mid-phase instance — unless it equals the
+       last recorded phase (abort before any progress) *)
+    let record_if_new () =
+      let cur = Homo.Instance.atomset !idx in
+      match !trace with
+      | last :: _ when Atomset.equal last cur -> ()
+      | _ -> trace := cur :: !trace
+    in
     let exception Fail of Egd.t in
-    let exception Out_of_budget in
+    let exception Stop_run of Resilience.outcome in
     (* Incremental-core invariant for the [`Core] variant: true exactly
        when the current instance is known to be a core.  EGD merges can
        create foldable redundancy, so every unification clears it; each
        core retraction re-establishes it. *)
     let core_inv = ref false in
-    (* saturate the EGDs on an (indexed) instance; each unification
-       rewrites only the buckets of the merged term *)
-    let rec egd_saturate idx =
-      match violations_in egds idx with
-      | [] -> idx
+    (* saturate the EGDs in place; each unification rewrites only the
+       buckets of the merged term *)
+    let rec egd_saturate () =
+      match violations_in egds !idx with
+      | [] -> ()
       | (egd, u, v) :: _ -> (
-          if !steps >= budget.max_steps then raise Out_of_budget;
+          Resilience.poll ();
+          Resilience.Fault.hit "egd";
+          if !steps >= budget.max_steps then raise (Stop_run Step_budget);
           incr steps;
           match unifier u v with
           | None -> raise (Fail egd)
           | Some s ->
               core_inv := false;
-              let idx' = Homo.Instance.apply_subst s idx in
+              let idx' = Homo.Instance.apply_subst s !idx in
+              idx := idx';
               if Obs.live () then begin
                 Obs.Metrics.incr m_egd_merges;
                 if Obs.Trace.enabled () then
@@ -443,95 +551,109 @@ module Egds = struct
                          size = Homo.Instance.cardinal idx';
                        })
               end;
-              egd_saturate idx')
+              egd_saturate ())
     in
-    (* one TGD round on an instance (restricted-style; core retracts);
+    (* one TGD round on the instance (restricted-style; core retracts);
        trigger discovery is delta-driven against the previous round *)
     let prev_snapshot = ref None in
     let rounds = ref 0 in
-    let tgd_round idx =
-      let current = Homo.Instance.atomset idx in
+    let tgd_round () =
+      Resilience.poll ();
+      let current = Homo.Instance.atomset !idx in
       let delta =
         Option.map (fun old -> Atomset.diff current old) !prev_snapshot
       in
-      let active = Trigger.discover ?delta (Kb.rules kb) idx in
+      let active = Trigger.discover ?delta (Kb.rules kb) !idx in
       prev_snapshot := Some current;
-      if active = [] then None
+      if active = [] then false
       else begin
         incr rounds;
-        if Obs.live () then obs_round_start ~engine:"egd" ~round:!rounds idx;
-        Some
-          (List.fold_left
-             (fun idx tr ->
-               if !steps >= budget.max_steps then raise Out_of_budget;
-               if
-                 Trigger.is_trigger_for_in tr idx
-                 && not (Trigger.satisfied_in tr idx)
-               then begin
-                 incr steps;
-                 let app = Trigger.apply_in tr idx in
-                 if Atomset.cardinal app.Trigger.result > budget.max_atoms
-                 then raise Out_of_budget;
-                 let added =
-                   List.filter
-                     (fun a -> not (Homo.Instance.mem idx a))
-                     (Atomset.to_list app.Trigger.produced)
-                 in
-                 let pre_idx = Homo.Instance.add_atoms idx added in
-                 let idx' =
-                   match variant with
-                   | `Restricted -> pre_idx
-                   | `Core ->
-                       let scope =
-                         if !core_inv then
-                           Homo.Core.Delta
-                             { fresh = app.Trigger.fresh; added }
-                         else Homo.Core.Full
-                       in
-                       core_inv := true;
-                       Homo.Instance.apply_subst
-                         (Homo.Core.retraction_to_core_indexed ~scope pre_idx)
-                         pre_idx
-                 in
-                 if Obs.live () then begin
-                   obs_applied ~engine:"egd" ~step:!steps
-                     ~rule:(Trigger.rule tr)
-                     ~produced:(Atomset.cardinal app.Trigger.produced)
-                     idx';
-                   if Homo.Instance.cardinal idx' < Homo.Instance.cardinal pre_idx
-                   then
-                     obs_retract ~engine:"egd" ~step:!steps
-                       ~before:(Homo.Instance.cardinal pre_idx)
-                       idx'
-                 end;
-                 idx'
-               end
-               else idx)
-             idx active)
+        if Obs.live () then obs_round_start ~engine:"egd" ~round:!rounds !idx;
+        List.iter
+          (fun tr ->
+            if !steps >= budget.max_steps then raise (Stop_run Step_budget);
+            if
+              Trigger.is_trigger_for_in tr !idx
+              && not (Trigger.satisfied_in tr !idx)
+            then begin
+              Resilience.poll ();
+              Resilience.Fault.hit "step";
+              incr steps;
+              let app = Trigger.apply_in tr !idx in
+              if Atomset.cardinal app.Trigger.result > budget.max_atoms then
+                raise (Stop_run Atom_budget);
+              let added =
+                List.filter
+                  (fun a -> not (Homo.Instance.mem !idx a))
+                  (Atomset.to_list app.Trigger.produced)
+              in
+              let pre_idx = Homo.Instance.add_atoms !idx added in
+              let idx' =
+                match variant with
+                | `Restricted -> pre_idx
+                | `Core ->
+                    let scope =
+                      if !core_inv then
+                        Homo.Core.Delta { fresh = app.Trigger.fresh; added }
+                      else Homo.Core.Full
+                    in
+                    core_inv := true;
+                    Homo.Instance.apply_subst
+                      (Homo.Core.retraction_to_core_indexed ~scope pre_idx)
+                      pre_idx
+              in
+              idx := idx';
+              if Obs.live () then begin
+                obs_applied ~engine:"egd" ~step:!steps ~rule:(Trigger.rule tr)
+                  ~produced:(Atomset.cardinal app.Trigger.produced)
+                  idx';
+                if Homo.Instance.cardinal idx' < Homo.Instance.cardinal pre_idx
+                then
+                  obs_retract ~engine:"egd" ~step:!steps
+                    ~before:(Homo.Instance.cardinal pre_idx)
+                    idx'
+              end
+            end)
+          active;
+        true
       end
     in
     let outcome = ref Terminated in
     (try
-       let idx =
-         ref (egd_saturate (Homo.Instance.of_atomset (Kb.facts kb)))
-       in
-       record !idx;
+       Resilience.with_token token @@ fun () ->
+       egd_saturate ();
+       record ();
        let continue = ref true in
        while !continue do
-         match tgd_round !idx with
-         | None -> continue := false
-         | Some idx' ->
-             idx := egd_saturate idx';
-             record !idx
+         if tgd_round () then begin
+           egd_saturate ();
+           record ()
+         end
+         else continue := false
        done
      with
     | Fail egd -> outcome := Failed egd
-    | Out_of_budget -> outcome := Budget_exhausted);
+    | Stop_run o ->
+        Resilience.record ~engine:"egd" ~step:!steps o;
+        record_if_new ();
+        outcome := Stopped o
+    | e -> (
+        match Resilience.outcome_of_exn e with
+        | Some o ->
+            Resilience.record ~engine:"egd" ~step:!steps o;
+            record_if_new ();
+            outcome := Stopped o
+        | None -> raise e));
     { trace = List.rev !trace; outcome = !outcome; steps = !steps }
 end
 
 module Baseline = struct
-  type trace = { instances : Atomset.t list; terminated : bool; steps : int }
+  type trace = {
+    instances : Atomset.t list;
+    terminated : bool;  (** [outcome = Fixpoint]; kept for existing callers *)
+    outcome : Resilience.outcome;
+    steps : int;
+  }
 
   (* Key identifying a trigger for the oblivious chase: rule name + images
      of all universal variables; for skolem: rule name + frontier images. *)
@@ -542,61 +664,80 @@ module Baseline = struct
         (fun v -> Fmt.str "%a" Term.pp_debug (Subst.apply_term pi v))
         (vars (Trigger.rule tr)) )
 
-  let run_keyed ~engine ~key ?(budget = default_budget) kb =
+  let run_keyed ~engine ~key ?(budget = default_budget) ?token kb =
     let seen = Hashtbl.create 64 in
     let instances = ref [ Kb.facts kb ] in
     let idx = ref (Homo.Instance.of_atomset (Kb.facts kb)) in
     let prev_snapshot = ref None in
     let steps = ref 0 in
     let rounds = ref 0 in
-    let terminated = ref false in
-    let finished = ref false in
-    while not !finished do
-      let current = Homo.Instance.atomset !idx in
-      let delta =
-        Option.map (fun old -> Atomset.diff current old) !prev_snapshot
-      in
-      let candidates = Trigger.discover_all ?delta (Kb.rules kb) !idx in
-      prev_snapshot := Some current;
-      let fresh_triggers =
-        List.filter (fun tr -> not (Hashtbl.mem seen (key tr))) candidates
-      in
-      if fresh_triggers = [] then begin
-        terminated := true;
-        finished := true
-      end
-      else begin
-        incr rounds;
-        if Obs.live () then obs_round_start ~engine ~round:!rounds !idx;
-        List.iter
-          (fun tr ->
-            if not !finished then
-              if
-                !steps >= budget.max_steps
-                || Homo.Instance.cardinal !idx > budget.max_atoms
-              then finished := true
-              else if not (Hashtbl.mem seen (key tr)) then begin
-                Hashtbl.replace seen (key tr) ();
-                let app = Trigger.apply_in tr !idx in
-                idx :=
-                  Homo.Instance.add_atoms !idx
-                    (Atomset.to_list app.Trigger.produced);
-                instances := Homo.Instance.atomset !idx :: !instances;
-                incr steps;
-                if Obs.live () then
-                  obs_applied ~engine ~step:!steps ~rule:(Trigger.rule tr)
-                    ~produced:(Atomset.cardinal app.Trigger.produced)
-                    !idx
-              end)
-          fresh_triggers
-      end
-    done;
-    { instances = List.rev !instances; terminated = !terminated; steps = !steps }
+    let outcome = ref None in
+    (try
+       Resilience.with_token token @@ fun () ->
+       while !outcome = None do
+         Resilience.poll ();
+         Resilience.Fault.hit "round";
+         let current = Homo.Instance.atomset !idx in
+         let delta =
+           Option.map (fun old -> Atomset.diff current old) !prev_snapshot
+         in
+         let candidates = Trigger.discover_all ?delta (Kb.rules kb) !idx in
+         prev_snapshot := Some current;
+         let fresh_triggers =
+           List.filter (fun tr -> not (Hashtbl.mem seen (key tr))) candidates
+         in
+         if fresh_triggers = [] then outcome := Some Resilience.Fixpoint
+         else begin
+           incr rounds;
+           if Obs.live () then obs_round_start ~engine ~round:!rounds !idx;
+           List.iter
+             (fun tr ->
+               if !outcome = None then
+                 if !steps >= budget.max_steps then
+                   outcome := Some Resilience.Step_budget
+                 else if Homo.Instance.cardinal !idx > budget.max_atoms then
+                   outcome := Some Resilience.Atom_budget
+                 else if not (Hashtbl.mem seen (key tr)) then begin
+                   Resilience.poll ();
+                   Resilience.Fault.hit "step";
+                   Hashtbl.replace seen (key tr) ();
+                   let app = Trigger.apply_in tr !idx in
+                   let idx' =
+                     Homo.Instance.add_atoms !idx
+                       (Atomset.to_list app.Trigger.produced)
+                   in
+                   idx := idx';
+                   instances := Homo.Instance.atomset !idx :: !instances;
+                   incr steps;
+                   if Obs.live () then
+                     obs_applied ~engine ~step:!steps ~rule:(Trigger.rule tr)
+                       ~produced:(Atomset.cardinal app.Trigger.produced)
+                       !idx
+                 end)
+             fresh_triggers
+         end
+       done
+     with e -> (
+       match Resilience.outcome_of_exn e with
+       | Some o ->
+           outcome := Some o;
+           Resilience.record ~engine ~step:!steps o
+       | None -> raise e));
+    let outcome =
+      match !outcome with Some o -> o | None -> assert false
+    in
+    {
+      instances = List.rev !instances;
+      terminated = Resilience.terminated outcome;
+      outcome;
+      steps = !steps;
+    }
 
-  let oblivious ?budget kb =
+  let oblivious ?budget ?token kb =
     run_keyed ~engine:"oblivious" ~key:(trigger_key Rule.universal_vars)
-      ?budget kb
+      ?budget ?token kb
 
-  let skolem ?budget kb =
-    run_keyed ~engine:"skolem" ~key:(trigger_key Rule.frontier) ?budget kb
+  let skolem ?budget ?token kb =
+    run_keyed ~engine:"skolem" ~key:(trigger_key Rule.frontier) ?budget ?token
+      kb
 end

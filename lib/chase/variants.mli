@@ -30,23 +30,65 @@ type budget = {
 
 val default_budget : budget
 
-type outcome =
-  | Terminated  (** fixpoint: no unsatisfied trigger remains *)
-  | Budget_exhausted
+(** Why a run stopped — the structured {!Resilience.outcome}, re-exported
+    so [Variants.Fixpoint] etc. remain usable without opening that
+    library (DESIGN.md §11).  Every engine catches [Stack_overflow],
+    [Out_of_memory] and {!Resilience.Interrupted} at its loop boundary
+    and reports them here, returning the last consistent instance. *)
+type outcome = Resilience.outcome =
+  | Fixpoint  (** fixpoint: no unsatisfied trigger remains *)
+  | Step_budget  (** [max_steps] rule applications were performed *)
+  | Atom_budget  (** the instance outgrew [max_atoms] *)
+  | Deadline  (** the run's wall-clock deadline passed *)
+  | Resource of Resilience.resource
+      (** resource exhaustion caught at the engine boundary *)
+  | Cancelled  (** the run's token was cancelled *)
 
 type run = { derivation : Derivation.t; outcome : outcome; rounds : int }
 
-val restricted : ?budget:budget -> Kb.t -> run
-(** Run the restricted chase from [K]. *)
-
 type cadence = Every_application | Every_round
 
-val core : ?budget:budget -> ?cadence:cadence -> ?simplify_start:bool ->
-  Kb.t -> run
-(** Run the core chase.  [simplify_start] (default [true]) applies [σ_0] =
-    retraction-to-core to the initial facts, matching [F_0 = σ_0(F)]. *)
+(** A resumable engine state, captured by the [?checkpoint] hook after
+    every {e completed} round (mid-round states are never offered: the
+    active-trigger snapshot and its σ-traces would not survive
+    serialization, see DESIGN.md §11) and accepted back via [?resume].
+    Resuming an engine from a state it checkpointed — with the same KB,
+    the same [Term] freshness-counter value, and the remaining budget —
+    continues the run {e exactly}: derivation steps and final instance
+    equal the uninterrupted run's. *)
+type engine_state = {
+  state_derivation : Derivation.t;
+  state_steps : int;  (** rule applications performed so far *)
+  state_rounds : int;  (** completed rounds *)
+  state_snapshot : Atomset.t option;
+      (** the pre-round discovery snapshot, i.e. the atomset the next
+          round's delta is computed against *)
+}
 
-val frugal : ?budget:budget -> Kb.t -> run
+val restricted :
+  ?budget:budget ->
+  ?token:Resilience.Token.t ->
+  ?resume:engine_state ->
+  ?checkpoint:(engine_state -> unit) ->
+  Kb.t ->
+  run
+(** Run the restricted chase from [K].  [token] arms a wall-clock
+    deadline / cancellation for the run (polled at every round and step,
+    inside homomorphism search, and on pool workers); [checkpoint]
+    receives the engine state after each completed round; [resume]
+    continues from such a state instead of starting at [F_0]. *)
+
+val core :
+  ?budget:budget -> ?cadence:cadence -> ?simplify_start:bool ->
+  ?token:Resilience.Token.t -> ?resume:engine_state ->
+  ?checkpoint:(engine_state -> unit) -> Kb.t -> run
+(** Run the core chase.  [simplify_start] (default [true]) applies [σ_0] =
+    retraction-to-core to the initial facts, matching [F_0 = σ_0(F)].
+    [token]/[resume]/[checkpoint] as in {!restricted}. *)
+
+val frugal :
+  ?budget:budget -> ?token:Resilience.Token.t -> ?resume:engine_state ->
+  ?checkpoint:(engine_state -> unit) -> Kb.t -> run
 (** The frugal chase (Konstantinidis–Ambite; the paper's Section 3 notes
     that Definition 1 covers it): after each rule application, the
     simplification [σ_i] folds {e only the freshly created nulls} back
@@ -71,7 +113,10 @@ val stream :
 module Egds : sig
   type outcome =
     | Terminated  (** fixpoint, all TGDs and EGDs satisfied *)
-    | Budget_exhausted
+    | Stopped of Resilience.outcome
+        (** the run stopped early — budget, deadline, cancellation or
+            caught resource exhaustion; the trace ends with the last
+            consistent instance *)
     | Failed of Egd.t
         (** hard failure: the EGD forced two distinct constants equal —
             the KB has no model *)
@@ -83,7 +128,8 @@ module Egds : sig
   }
 
   val run :
-    ?budget:budget -> ?variant:[ `Restricted | `Core ] -> Kb.t -> run
+    ?budget:budget -> ?variant:[ `Restricted | `Core ] ->
+    ?token:Resilience.Token.t -> Kb.t -> run
   (** Alternate EGD saturation (unifying violated equalities, preferring
       constants and [<_X]-smaller variables as representatives) with TGD
       rounds of the chosen variant (default [`Restricted]). *)
@@ -95,13 +141,19 @@ end
 
 (** Monotone baselines outside Definition 1. *)
 module Baseline : sig
-  type trace = { instances : Atomset.t list; terminated : bool; steps : int }
+  type trace = {
+    instances : Atomset.t list;
+    terminated : bool;
+        (** [outcome = Fixpoint]; kept for existing callers *)
+    outcome : Resilience.outcome;
+    steps : int;
+  }
 
-  val oblivious : ?budget:budget -> Kb.t -> trace
+  val oblivious : ?budget:budget -> ?token:Resilience.Token.t -> Kb.t -> trace
   (** Fires every trigger exactly once (per (rule, body-homomorphism)
       pair), regardless of satisfaction. *)
 
-  val skolem : ?budget:budget -> Kb.t -> trace
+  val skolem : ?budget:budget -> ?token:Resilience.Token.t -> Kb.t -> trace
   (** Semi-oblivious: fires at most one trigger per (rule, frontier
       restriction) pair — equivalent to skolemisation. *)
 end

@@ -20,7 +20,23 @@ let exists_step d check =
       check (Homo.Instance.of_atomset st.Chase.Derivation.instance))
     (Chase.Derivation.steps d)
 
+(* The engines catch deadline/cancellation at their own boundary, but the
+   hom searches probing the derivation elements afterwards run outside it
+   and re-raise [Resilience.Interrupted]; fold that into the verdict so
+   no entailment entry point lets an armed token crash the caller. *)
+let guard_verdict f =
+  try f ()
+  with e -> (
+    match Resilience.outcome_of_exn e with
+    | Some o -> Unknown (Resilience.outcome_name o)
+    | None -> raise e)
+
+let stopped_why outcome =
+  Fmt.str "chase stopped (%s) without finding the query"
+    (Resilience.outcome_name outcome)
+
 let via_chase ?(variant = `Core) ?budget kb q =
+  guard_verdict @@ fun () ->
   let run =
     match variant with
     | `Restricted -> Chase.Variants.restricted ?budget kb
@@ -29,9 +45,9 @@ let via_chase ?(variant = `Core) ?budget kb q =
   let d = run.Chase.Variants.derivation in
   let hit = exists_step d (holds_in_indexed q) in
   if hit then Entailed
-  else if run.Chase.Variants.outcome = Chase.Variants.Terminated then
+  else if run.Chase.Variants.outcome = Chase.Variants.Fixpoint then
     Not_entailed
-  else Unknown "chase budget exhausted without finding the query"
+  else Unknown (stopped_why run.Chase.Variants.outcome)
 
 let via_countermodel ~max_domain kb q =
   match Modelfinder.find_model_upto ~max_domain ~forbid:q kb with
@@ -53,7 +69,7 @@ let certain_answers ?(variant = `Core) ?budget kb q =
   (* collect over every derivation element: each is universal for K, so a
      constant tuple found anywhere is certain; a tuple can be present early
      and collapsed later, so the union over elements is still sound *)
-  let tuples =
+  match
     List.fold_left
       (fun acc st ->
         List.fold_left
@@ -64,12 +80,20 @@ let certain_answers ?(variant = `Core) ?budget kb q =
       []
       (Chase.Derivation.steps d)
     |> List.sort_uniq (List.compare Term.compare)
-  in
-  if run.Chase.Variants.outcome = Chase.Variants.Terminated then
-    Complete tuples
-  else Sound tuples
+  with
+  | tuples ->
+      if run.Chase.Variants.outcome = Chase.Variants.Fixpoint then
+        Complete tuples
+      else Sound tuples
+  | exception e -> (
+      (* interrupted while scanning: the tuples found so far are still
+         certain, but completeness is off the table *)
+      match Resilience.outcome_of_exn e with
+      | Some _ -> Sound []
+      | None -> raise e)
 
 let decide ?budget ?(max_domain = 4) kb q =
+  guard_verdict @@ fun () ->
   match via_chase ?budget kb q with
   | (Entailed | Not_entailed) as v -> v
   | Unknown why1 -> (
@@ -89,6 +113,7 @@ let ucq_holds_in u inst =
   List.exists (fun q -> holds_in_indexed q indexed) (Ucq.disjuncts u)
 
 let decide_ucq ?budget ?(max_domain = 4) kb u =
+  guard_verdict @@ fun () ->
   let run = Chase.Variants.core ?budget kb in
   let d = run.Chase.Variants.derivation in
   let hit =
@@ -96,7 +121,7 @@ let decide_ucq ?budget ?(max_domain = 4) kb u =
         List.exists (fun q -> holds_in_indexed q indexed) (Ucq.disjuncts u))
   in
   if hit then Entailed
-  else if run.Chase.Variants.outcome = Chase.Variants.Terminated then
+  else if run.Chase.Variants.outcome = Chase.Variants.Fixpoint then
     Not_entailed
   else
     match

@@ -25,14 +25,14 @@ let critical_instance rules =
     preds
   |> Atomset.of_list
 
-type termination = Terminates of int | No_verdict
+type termination = Terminates of int | No_verdict of Chase.Variants.outcome
 
 let core_chase_terminates ?budget kb =
   let run = Chase.Variants.core ?budget kb in
   match run.Chase.Variants.outcome with
-  | Chase.Variants.Terminated ->
+  | Chase.Variants.Fixpoint ->
       Terminates (Chase.Derivation.length run.Chase.Variants.derivation - 1)
-  | Chase.Variants.Budget_exhausted -> No_verdict
+  | o -> No_verdict o
 
 let fes_probe ?budget rules =
   core_chase_terminates ?budget

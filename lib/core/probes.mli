@@ -24,7 +24,11 @@ val critical_instance : Rule.t list -> Atomset.t
 (** All atoms [p(★,…,★)] over the rules' predicates and the single constant
     [★] (plus every constant mentioned by the rules). *)
 
-type termination = Terminates of int  (** steps used *) | No_verdict
+type termination =
+  | Terminates of int  (** steps used *)
+  | No_verdict of Chase.Variants.outcome
+      (** why the probe stopped short of a fixpoint (budget, deadline,
+          resource exhaustion or cancellation) *)
 
 val core_chase_terminates : ?budget:Chase.Variants.budget -> Kb.t -> termination
 

@@ -42,7 +42,8 @@ let exp_f1 ?(scale = 1) ppf =
     let termination =
       match Corechase.Probes.core_chase_terminates ~budget:(budget steps) kb with
       | Corechase.Probes.Terminates n -> Printf.sprintf "terminates(%d)" n
-      | Corechase.Probes.No_verdict -> "diverges(budget)"
+      | Corechase.Probes.No_verdict o ->
+          Printf.sprintf "diverges(%s)" (Resilience.outcome_name o)
     in
     let profile =
       Corechase.Probes.tw_profile ~budget:(budget (40 * scale)) ~variant:`Core kb
@@ -81,7 +82,7 @@ let exp_f1 ?(scale = 1) ppf =
         (Zoo.Classic.fes_not_bts ())
     with
     | Corechase.Probes.Terminates _ -> true
-    | Corechase.Probes.No_verdict -> false
+    | Corechase.Probes.No_verdict _ -> false
   in
   ok :=
     check ppf
@@ -94,7 +95,7 @@ let exp_f1 ?(scale = 1) ppf =
         (Zoo.Classic.bts_not_fes ())
     with
     | Corechase.Probes.Terminates _ -> false
-    | Corechase.Probes.No_verdict -> true
+    | Corechase.Probes.No_verdict _ -> true
   in
   ok :=
     check ppf

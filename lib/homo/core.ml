@@ -94,6 +94,8 @@ let moved_vars h b =
     (Atom.vars b)
 
 let find_fold_scoped idx ~fresh ~added =
+  Resilience.Fault.hit "fold";
+  Resilience.poll ();
   let a = Instance.atomset idx in
   let epoch = Instance.generation idx in
   (* Both candidate families are enumerated (cheaply) up front on the
@@ -175,6 +177,8 @@ let find_fold_scoped idx ~fresh ~added =
   r
 
 let rec fold_loop sigma idx =
+  Resilience.Fault.hit "fold";
+  Resilience.poll ();
   match find_fold_indexed idx with
   | None -> (sigma, Instance.atomset idx)
   | Some h -> fold_loop (Subst.compose h sigma) (Instance.apply_subst h idx)

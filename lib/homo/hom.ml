@@ -12,6 +12,23 @@ let m_solve_calls = Obs.Metrics.counter "hom.solve_calls"
 
 let m_backtracks = Obs.Metrics.counter "hom.backtracks"
 
+(* Resilience (DESIGN.md §11): the search recurses once per source atom,
+   so an adversarially deep pattern (e.g. a folded chain) can exhaust the
+   system stack from inside a chase step.  An explicit bound raises the
+   same [Stack_overflow] the engine boundary already classifies as
+   [Resource `Stack_overflow] — but deterministically, long before the
+   runtime guard page.  [CORECHASE_HOM_DEPTH] overrides the default. *)
+let default_max_depth = 50_000
+
+let max_depth =
+  ref
+    (match Sys.getenv_opt "CORECHASE_HOM_DEPTH" with
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some n when n > 0 -> n
+        | _ -> default_max_depth)
+    | None -> default_max_depth)
+
 module TS = Set.Make (Term)
 
 let extend_pair sigma pat_t tgt_t acc_new =
@@ -46,7 +63,13 @@ let extend_via_atom sigma pattern target =
    [k] aborts the search (used for early exit). *)
 let solve ?(seed = Subst.empty) ?(injective = false) ~(k : Subst.t -> unit)
     (src : Atomset.t) (tgt : Instance.t) : unit =
+  Resilience.Fault.hit "hom";
+  if Atomset.cardinal src > !max_depth then raise Stdlib.Stack_overflow;
   let bt = ref 0 in
+  (* Deadline polls are decimated: one ambient-token check every 256
+     search nodes keeps the no-token path to an atomic read amortised
+     over the hot recursion (DESIGN.md §11). *)
+  let nodes = ref 0 in
   (* The not-yet-matched source atoms live in the prefix [0, live) of a
      worklist array; each entry keeps its original rank so ties in the
      most-constrained-first selection break exactly as they did when the
@@ -73,6 +96,8 @@ let solve ?(seed = Subst.empty) ?(injective = false) ~(k : Subst.t -> unit)
         (Atomset.vars src)
   in
   let rec go sigma used live =
+    incr nodes;
+    if !nodes land 255 = 0 then Resilience.poll ();
     if live = 0 then k sigma
     else begin
       let best = ref 0 in

@@ -80,3 +80,13 @@ val find_into : Atomset.t -> Atomset.t -> Subst.t option
 val naive_order : bool ref
 (** Ablation switch: when set, the solver matches source atoms in fixed
     textual order instead of most-constrained-first.  Default [false]. *)
+
+val max_depth : int ref
+(** Stack-overflow guard (DESIGN.md §11): the search recurses once per
+    source atom, so {!find}/{!solve}-family entry points raise
+    [Stack_overflow] {e deterministically} when the source has more than
+    [!max_depth] atoms, instead of hitting the runtime guard page at an
+    unpredictable depth.  The chase engines classify it as
+    [Resource `Stack_overflow] and return their last consistent
+    instance.  Default 50_000; [CORECHASE_HOM_DEPTH] overrides at
+    startup; tests lower it to force the path on small inputs. *)

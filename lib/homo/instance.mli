@@ -50,6 +50,16 @@ val generation : t -> int
     epoch — so generation-keyed caches can lose hits but never give
     stale answers.  [empty] has generation [0]. *)
 
+val generation_counter_value : unit -> int
+(** Current value of the process-wide epoch counter.  Persisted by chase
+    checkpoints (DESIGN.md §11). *)
+
+val ensure_generation_counter_at_least : int -> unit
+(** Raise the epoch counter to at least the given value (monotone: a
+    smaller value is a no-op).  Checkpoint resume calls this so no
+    post-resume instance can re-issue a checkpoint-era epoch and alias a
+    stale memo entry. *)
+
 val born : t -> Atom.t -> int option
 (** [born ins a] is the generation stamp at which [a]'s current entry was
     added to [ins] ([None] if [a ∉ ins]).  An atom removed and later

@@ -14,6 +14,8 @@ type event =
   | Core_scoped_fold of { candidates : int; folded : bool; size : int }
   | Tw_decomposed of { vertices : int; width : int; exact : bool }
   | Par_fanout of { site : string; tasks : int; jobs : int }
+  | Deadline_hit of { engine : string; step : int }
+  | Checkpoint_written of { engine : string; step : int; path : string }
 
 type sink =
   | Null
@@ -71,6 +73,11 @@ let pp_event ppf = function
   | Par_fanout { site; tasks; jobs } ->
       Format.fprintf ppf "[par] %s: %d task(s) over %d domain(s)" site tasks
         jobs
+  | Deadline_hit { engine; step } ->
+      Format.fprintf ppf "[%s] step %d: deadline hit, stopping" engine step
+  | Checkpoint_written { engine; step; path } ->
+      Format.fprintf ppf "[%s] step %d: checkpoint written to %s" engine step
+        path
 
 (* ------------------------------------------------------------------ *)
 (* JSON encoding: flat objects with string / int / bool fields only.   *)
@@ -130,6 +137,13 @@ let to_json ev =
         ]
     | Par_fanout { site; tasks; jobs } ->
         [ s "ev" "par_fanout"; s "site" site; i "tasks" tasks; i "jobs" jobs ]
+    | Deadline_hit { engine; step } ->
+        [ s "ev" "deadline_hit"; s "engine" engine; i "step" step ]
+    | Checkpoint_written { engine; step; path } ->
+        [
+          s "ev" "checkpoint_written"; s "engine" engine; i "step" step;
+          s "path" path;
+        ]
   in
   "{" ^ String.concat "," fields ^ "}"
 
@@ -304,6 +318,11 @@ let of_json_line line =
         | "par_fanout" ->
             Par_fanout
               { site = str "site"; tasks = int "tasks"; jobs = int "jobs" }
+        | "deadline_hit" ->
+            Deadline_hit { engine = str "engine"; step = int "step" }
+        | "checkpoint_written" ->
+            Checkpoint_written
+              { engine = str "engine"; step = int "step"; path = str "path" }
         | _ -> raise Parse_error
       with
       | ev -> Some ev

@@ -47,6 +47,13 @@ type event =
           at the named fan-out site (DESIGN.md §10); emitted only when a
           batch actually runs in parallel, so [--jobs 1] streams are
           byte-identical to pre-pool runs *)
+  | Deadline_hit of { engine : string; step : int }
+      (** the run's wall-clock deadline fired at derivation step [step];
+          the engine stopped cooperatively and returned its last
+          consistent instance (DESIGN.md §11) *)
+  | Checkpoint_written of { engine : string; step : int; path : string }
+      (** a resumable checkpoint covering the first [step] derivation
+          steps was persisted to [path] (DESIGN.md §11) *)
 
 type sink =
   | Null  (** drop everything; {!enabled} is [false] *)

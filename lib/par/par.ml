@@ -151,12 +151,20 @@ let sequential () =
    those writes before the reads below.  The lowest-index exception is
    re-raised — the one the sequential run would have hit first. *)
 let run_all p ~site (tasks : (unit -> 'a) array) : 'a array =
+  Resilience.Fault.hit "par";
   let n = Array.length tasks in
   let out : 'a option array = Array.make n None in
   let exns : exn option array = Array.make n None in
+  (* Each chunk polls the ambient resilience token on its own domain
+     before running: a tripped deadline/cancellation is captured like any
+     other task exception and re-raised after the barrier, so a [--jobs N]
+     run stops within one fan-out wave of the deadline (DESIGN.md §11). *)
   let chunks =
     Array.init n (fun i () ->
-        match tasks.(i) () with
+        match
+          Resilience.poll ();
+          tasks.(i) ()
+        with
         | y -> out.(i) <- Some y
         | exception e -> exns.(i) <- Some e)
   in
@@ -202,6 +210,7 @@ let find_first_map ?(site = "par.find") f xs =
       let rec go = function
         | [] -> None
         | xs -> (
+            Resilience.poll ();
             let items, rest = take_wave wave [] xs in
             let results =
               match items with

@@ -1,0 +1,225 @@
+(* Resilient execution layer (DESIGN.md §11): structured outcomes, the
+   deadline/cancellation token, and deterministic fault injection. *)
+
+type resource = [ `Stack_overflow | `Out_of_memory ]
+
+type outcome =
+  | Fixpoint
+  | Step_budget
+  | Atom_budget
+  | Deadline
+  | Resource of resource
+  | Cancelled
+
+let terminated = function Fixpoint -> true | _ -> false
+
+let outcome_name = function
+  | Fixpoint -> "fixpoint"
+  | Step_budget -> "steps"
+  | Atom_budget -> "atoms"
+  | Deadline -> "deadline"
+  | Resource `Stack_overflow -> "stack_overflow"
+  | Resource `Out_of_memory -> "out_of_memory"
+  | Cancelled -> "cancelled"
+
+let outcome_of_name = function
+  | "fixpoint" -> Some Fixpoint
+  | "steps" -> Some Step_budget
+  | "atoms" -> Some Atom_budget
+  | "deadline" -> Some Deadline
+  | "stack_overflow" -> Some (Resource `Stack_overflow)
+  | "out_of_memory" -> Some (Resource `Out_of_memory)
+  | "cancelled" -> Some Cancelled
+  | _ -> None
+
+let pp_outcome ppf o =
+  Format.pp_print_string ppf
+    (match o with
+    | Fixpoint -> "terminated (fixpoint reached)"
+    | Step_budget -> "step budget exhausted"
+    | Atom_budget -> "atom budget exhausted"
+    | Deadline -> "deadline exceeded"
+    | Resource `Stack_overflow -> "stack overflow (resource limit)"
+    | Resource `Out_of_memory -> "out of memory (resource limit)"
+    | Cancelled -> "cancelled")
+
+exception Interrupted of outcome
+
+(* ------------------------------------------------------------------ *)
+(* Token: wall-clock deadline + cooperative cancellation.  Immutable
+   apart from the cancellation cell, so sharing one token across the
+   [Par] pool's domains is race-free by construction. *)
+
+module Token = struct
+  type t = { deadline : float; (* absolute; infinity = none *)
+             cancelled : bool Atomic.t }
+
+  let create ?deadline_s () =
+    let deadline =
+      match deadline_s with
+      | None -> infinity
+      | Some s -> Unix.gettimeofday () +. s
+    in
+    { deadline; cancelled = Atomic.make false }
+
+  let cancel t = Atomic.set t.cancelled true
+
+  let cancelled t = Atomic.get t.cancelled
+
+  let expired t = t.deadline < infinity && Unix.gettimeofday () >= t.deadline
+
+  let check t =
+    if Atomic.get t.cancelled then raise (Interrupted Cancelled);
+    if expired t then raise (Interrupted Deadline)
+end
+
+(* The ambient token: one cell for the whole process, read by every
+   poll site (pool workers included — that is how a deadline stops a
+   [--jobs N] run within one wave).  Engines install/restore around
+   their run; nesting restores correctly because [with_token] saves the
+   previous value. *)
+let ambient_cell : Token.t option Atomic.t = Atomic.make None
+
+let install t = Atomic.set ambient_cell t
+
+let ambient () = Atomic.get ambient_cell
+
+let with_token t f =
+  match t with
+  | None -> f ()
+  | Some _ ->
+      let saved = Atomic.get ambient_cell in
+      Atomic.set ambient_cell t;
+      Fun.protect ~finally:(fun () -> Atomic.set ambient_cell saved) f
+
+let poll () =
+  match Atomic.get ambient_cell with None -> () | Some t -> Token.check t
+
+let outcome_of_exn = function
+  | Interrupted o -> Some o
+  | Stdlib.Stack_overflow -> Some (Resource `Stack_overflow)
+  | Stdlib.Out_of_memory -> Some (Resource `Out_of_memory)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* resilience.* counters + the engine-boundary observability hook. *)
+
+let m_deadline_hits = Obs.Metrics.counter "resilience.deadline_hits"
+
+let m_cancellations = Obs.Metrics.counter "resilience.cancellations"
+
+let m_resource_caught = Obs.Metrics.counter "resilience.resource_caught"
+
+let m_faults = Obs.Metrics.counter "resilience.faults_injected"
+
+let record ~engine ~step o =
+  match o with
+  | Deadline ->
+      Obs.Metrics.incr m_deadline_hits;
+      if Obs.Trace.enabled () then
+        Obs.Trace.emit (Obs.Trace.Deadline_hit { engine; step })
+  | Cancelled -> Obs.Metrics.incr m_cancellations
+  | Resource _ -> Obs.Metrics.incr m_resource_caught
+  | Fixpoint | Step_budget | Atom_budget -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection.  The spec list is tiny (a handful of triples), so a
+   hit scans it linearly; per-fault hit counters are atomic because
+   sites like [hom]/[par] are exercised from pool workers. *)
+
+module Fault = struct
+  type kind = K_stack | K_heap | K_deadline | K_cancel
+
+  type fault = {
+    site : string;
+    step : int;  (** raise at the [step]-th hit, 1-based *)
+    kind : kind;
+    count : int Atomic.t;
+  }
+
+  (* Active faults plus a process-wide per-site hit census (kept even
+     for sites no fault targets, so tests can assert on coverage). *)
+  let faults : fault list Atomic.t = Atomic.make []
+
+  let census : (string, int Atomic.t) Hashtbl.t = Hashtbl.create 8
+
+  let census_mu = Mutex.create ()
+
+  let kind_of_string = function
+    | "stack_overflow" -> Some K_stack
+    | "out_of_memory" -> Some K_heap
+    | "deadline" -> Some K_deadline
+    | "cancel" -> Some K_cancel
+    | _ -> None
+
+  let parse spec =
+    String.split_on_char ',' spec
+    |> List.filter (fun s -> String.trim s <> "")
+    |> List.map (fun triple ->
+           match String.split_on_char ':' (String.trim triple) with
+           | [ site; step; kind ] -> (
+               match (int_of_string_opt step, kind_of_string kind) with
+               | Some n, Some k when n >= 1 ->
+                   { site; step = n; kind = k; count = Atomic.make 0 }
+               | _ ->
+                   invalid_arg
+                     (Printf.sprintf "Resilience.Fault: bad triple %S" triple))
+           | _ ->
+               invalid_arg
+                 (Printf.sprintf "Resilience.Fault: bad triple %S" triple))
+
+  let set_spec spec = Atomic.set faults (parse spec)
+
+  let clear () = Atomic.set faults []
+
+  let active () = Atomic.get faults <> []
+
+  let census_cell site =
+    Mutex.lock census_mu;
+    let cell =
+      match Hashtbl.find_opt census site with
+      | Some c -> c
+      | None ->
+          let c = Atomic.make 0 in
+          Hashtbl.add census site c;
+          c
+    in
+    Mutex.unlock census_mu;
+    cell
+
+  let raise_kind = function
+    | K_stack -> raise Stdlib.Stack_overflow
+    | K_heap -> raise Stdlib.Out_of_memory
+    | K_deadline -> raise (Interrupted Deadline)
+    | K_cancel -> raise (Interrupted Cancelled)
+
+  let hit site =
+    match Atomic.get faults with
+    | [] -> ()
+    | fs ->
+        ignore (Atomic.fetch_and_add (census_cell site) 1);
+        List.iter
+          (fun f ->
+            if String.equal f.site site then
+              let n = Atomic.fetch_and_add f.count 1 + 1 in
+              if n = f.step then begin
+                Obs.Metrics.incr m_faults;
+                raise_kind f.kind
+              end)
+          fs
+
+  let hits site =
+    match Hashtbl.find_opt census site with
+    | Some c -> Atomic.get c
+    | None -> 0
+
+  (* CORECHASE_FAULTS installs a spec at startup; a malformed value is
+     reported and ignored — the harness must never be the crash. *)
+  let () =
+    match Sys.getenv_opt "CORECHASE_FAULTS" with
+    | None -> ()
+    | Some spec -> (
+        try set_spec spec
+        with Invalid_argument msg ->
+          Printf.eprintf "corechase: ignoring CORECHASE_FAULTS: %s\n%!" msg)
+end

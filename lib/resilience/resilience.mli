@@ -1,0 +1,135 @@
+(** Resilient chase execution (DESIGN.md §11).
+
+    The paper's core chase can run forever, and chase termination is
+    undecidable even for very restricted rulesets — so a long run can
+    never be {e predicted}, only {e bounded}.  This library is the
+    bounding layer every engine threads through:
+
+    - a structured {!outcome} replacing the old terminated/budget
+      dichotomy, so a report always says {e which} limit stopped a run;
+    - a wall-clock {!Token} (deadline + cooperative cancellation),
+      installed ambiently for the duration of a run and polled at the
+      same instrumented sites that emit trace events — including inside
+      [Hom.solve] and on the [Par] pool's workers, so a [--jobs N] run
+      stops within one fan-out wave of the deadline;
+    - a seeded, deterministic fault-injection harness
+      ([CORECHASE_FAULTS=site:step:kind]) that raises at instrumented
+      sites, driving the kill-anywhere/resume differential tests.
+
+    The engines catch {!Interrupted}, [Stack_overflow] and
+    [Out_of_memory] at their loop boundary and return the last
+    consistent instance instead of crashing ({!outcome_of_exn} is that
+    boundary's classifier). *)
+
+type resource = [ `Stack_overflow | `Out_of_memory ]
+
+(** Why a chase run stopped. *)
+type outcome =
+  | Fixpoint  (** no unsatisfied trigger remains: the chase terminated *)
+  | Step_budget  (** [max_steps] rule applications were performed *)
+  | Atom_budget  (** the instance outgrew [max_atoms] *)
+  | Deadline  (** the wall-clock deadline of the run's {!Token.t} passed *)
+  | Resource of resource
+      (** the engine caught resource exhaustion and preserved the last
+          consistent instance *)
+  | Cancelled  (** the run's {!Token.t} was cancelled cooperatively *)
+
+val terminated : outcome -> bool
+(** [terminated o] iff [o = Fixpoint]. *)
+
+val outcome_name : outcome -> string
+(** Stable machine-readable id: [fixpoint], [steps], [atoms], [deadline],
+    [stack_overflow], [out_of_memory], [cancelled]. *)
+
+val outcome_of_name : string -> outcome option
+(** Inverse of {!outcome_name}. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+(** Human phrase, e.g. ["step budget exhausted"]. *)
+
+exception Interrupted of outcome
+(** Raised by {!poll} / {!Token.check} (with [Deadline] or [Cancelled])
+    and by injected [deadline]/[cancel] faults.  Never carries
+    [Fixpoint] or a budget outcome. *)
+
+(** Deadline + cooperative-cancellation token for one run. *)
+module Token : sig
+  type t
+
+  val create : ?deadline_s:float -> unit -> t
+  (** [create ~deadline_s ()] arms a wall-clock deadline [deadline_s]
+      seconds from now ([deadline_s <= 0.] is already expired); without
+      [deadline_s] the token only supports cancellation. *)
+
+  val cancel : t -> unit
+  (** Thread/domain-safe; takes effect at the next poll site. *)
+
+  val cancelled : t -> bool
+
+  val expired : t -> bool
+  (** The deadline (if any) has passed. *)
+
+  val check : t -> unit
+  (** @raise Interrupted with [Cancelled] or [Deadline] when tripped. *)
+end
+
+val install : Token.t option -> unit
+(** Set the ambient token read by {!poll}.  Engines install their token
+    for the duration of a run ({!with_token}); pool workers read the
+    same ambient cell, which is how a deadline reaches every domain. *)
+
+val ambient : unit -> Token.t option
+
+val with_token : Token.t option -> (unit -> 'a) -> 'a
+(** [with_token t f] installs [t] (a [None] leaves the current token in
+    place), runs [f], and restores the previous ambient token — also on
+    exceptions. *)
+
+val poll : unit -> unit
+(** Check the ambient token, if any.  The no-token path is one atomic
+    read and a branch — cheap enough for trace-event sites; very hot
+    loops ([Hom.solve]'s search nodes) decimate their polls locally.
+    @raise Interrupted when the ambient token is tripped. *)
+
+val outcome_of_exn : exn -> outcome option
+(** The engine-boundary classifier: [Interrupted o ↦ Some o],
+    [Stack_overflow ↦ Some (Resource `Stack_overflow)],
+    [Out_of_memory ↦ Some (Resource `Out_of_memory)], anything else
+    [None] (re-raise it). *)
+
+val record : engine:string -> step:int -> outcome -> unit
+(** Observability hook called once by an engine when a run stops for a
+    non-fixpoint, non-budget reason: bumps the [resilience.*] counters
+    and emits a [Deadline_hit] trace event for [Deadline]. *)
+
+(** Deterministic fault injection (DESIGN.md §11).
+
+    A spec is a comma-separated list of [site:step:kind] triples: raise
+    the [kind] fault at the [step]-th hit (1-based, counted process-wide
+    and atomically) of the named instrumented site.  Sites: [round]
+    (engine round start), [step] (before a trigger application), [hom]
+    ([Hom.solve] entry), [fold] (core fold search), [par] (pool
+    fan-out), [egd] (EGD saturation step).  Kinds: [stack_overflow],
+    [out_of_memory] (raise the real stdlib exceptions, exercising the
+    same catch path as genuine exhaustion), [deadline], [cancel] (raise
+    {!Interrupted}).
+
+    [CORECHASE_FAULTS] installs a spec at startup; malformed values are
+    reported on stderr and ignored (a fault harness must never take the
+    process down by itself). *)
+module Fault : sig
+  val set_spec : string -> unit
+  (** Replace the active spec; [""] clears it.
+      @raise Invalid_argument on a malformed spec. *)
+
+  val clear : unit -> unit
+
+  val active : unit -> bool
+
+  val hit : string -> unit
+  (** Count one hit of the named site and raise if a spec matches.
+      O(1) bail-out when no spec is active. *)
+
+  val hits : string -> int
+  (** Hits counted so far for the site (for tests). *)
+end

@@ -65,3 +65,9 @@ let pp_debug ppf = function
       if hint = "" then Fmt.pf ppf "?%d" id else Fmt.pf ppf "%s#%d" hint id
 
 let reset_counter_for_tests () = Atomic.set counter 0
+
+let counter_value () = Atomic.get counter
+
+let restore_counter_for_resume n =
+  if n < 0 then invalid_arg "Term.restore_counter_for_resume: negative";
+  Atomic.set counter n

@@ -64,3 +64,16 @@ val pp_debug : t Fmt.t
 
 val reset_counter_for_tests : unit -> unit
 (** Resets the global freshness counter.  Only for test isolation. *)
+
+val counter_value : unit -> int
+(** Current value of the global freshness counter: the next rank
+    {!fresh_var} would issue.  Persisted by chase checkpoints so a
+    resumed run mints exactly the variables the uninterrupted run would
+    have (DESIGN.md §11). *)
+
+val restore_counter_for_resume : int -> unit
+(** Set the freshness counter to an exact value, {e downward included}.
+    Only sound when every term minted above the new value is being
+    discarded — i.e. from checkpoint resume (the aborted run's data is
+    dropped wholesale) before any new term is built.  Everywhere else,
+    use {!Term.var_of_id}'s monotone bump. *)

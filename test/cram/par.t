@@ -40,6 +40,11 @@ always runs on slot i mod jobs, never on whichever domain is free.
     hom.solve_calls                  9
     par.fanouts                      4
     par.tasks                        8
+    resilience.cancellations         0
+    resilience.checkpoints           0
+    resilience.deadline_hits         0
+    resilience.faults_injected       0
+    resilience.resource_caught       0
     robust.aggregations              0
     robust.steps_built               0
     tw.computations                  0

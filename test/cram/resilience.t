@@ -1,0 +1,67 @@
+Resilient execution from the CLI: budget-aware exit codes, deadlines,
+checkpoint/resume, and the fault-injection harness (DESIGN.md §11).
+
+  $ cat > family.dlgp <<'KB'
+  > parent(alice, bob).
+  > parent(bob, carol).
+  > [anc-base] ancestor(X, Y) :- parent(X, Y).
+  > [anc-rec]  ancestor(X, Z) :- parent(X, Y), ancestor(Y, Z).
+  > ?(X) :- ancestor(alice, X).
+  > KB
+
+  $ cat > diverge.dlgp <<'KB'
+  > r(a, b).
+  > [chain] r(Y, Z) :- r(X, Y).
+  > KB
+
+A budget-stopped chase reports which budget fired and exits 2,
+writing a checkpoint at the last completed round:
+
+  $ corechase chase family.dlgp --variant restricted --steps 2 --checkpoint fam.ckpt
+  variant:    restricted
+  outcome:    step budget exhausted
+  steps:      2
+  final size: 4 atoms
+  [2]
+
+Resuming with a larger budget continues the run exactly — same steps,
+same fixpoint as an uninterrupted run, exit 0:
+
+  $ corechase resume fam.ckpt --steps 100
+  variant:    restricted
+  outcome:    terminated (fixpoint reached)
+  steps:      3
+  final size: 5 atoms
+
+A pre-expired deadline stops before the first application, exit 2:
+
+  $ corechase chase diverge.dlgp --variant restricted --deadline 0
+  variant:    restricted
+  outcome:    deadline exceeded
+  steps:      0
+  final size: 1 atoms
+  [2]
+
+Injected faults are caught at the engine boundary; the run reports the
+last consistent instance instead of crashing:
+
+  $ CORECHASE_FAULTS=step:2:out_of_memory corechase chase family.dlgp --variant restricted
+  variant:    restricted
+  outcome:    out of memory (resource limit)
+  steps:      1
+  final size: 3 atoms
+  [2]
+
+Entailment under an insufficient budget is reported as unknown, exit 2:
+
+  $ corechase entail family.dlgp --steps 1
+  ?(X) :- ancestor(alice, X)  ⟶  ≥0 certain answer(s) (budget hit): 
+  [2]
+
+Resuming against a KB that changed since the checkpoint was written is
+refused (digest mismatch), exit 3:
+
+  $ echo "parent(x, y)." >> family.dlgp
+  $ corechase resume fam.ckpt --steps 100
+  corechase: fam.ckpt: family.dlgp changed since the checkpoint was written (digest mismatch); resuming against a different KB would not be exact
+  [3]

@@ -37,6 +37,11 @@ read 0: with one job no fan-out ever happens).
     hom.solve_calls                  9
     par.fanouts                      0
     par.tasks                        0
+    resilience.cancellations         0
+    resilience.checkpoints           0
+    resilience.deadline_hits         0
+    resilience.faults_injected       0
+    resilience.resource_caught       0
     robust.aggregations              0
     robust.steps_built               0
     tw.computations                  0

@@ -602,13 +602,13 @@ let test_probes_critical_instance () =
 let test_probes_fes () =
   (match CC.Probes.fes_probe (Kb.rules (Zoo.Classic.transitive_closure ())) with
   | CC.Probes.Terminates _ -> ()
-  | CC.Probes.No_verdict -> Alcotest.fail "datalog is fes");
+  | CC.Probes.No_verdict _ -> Alcotest.fail "datalog is fes");
   match
     CC.Probes.fes_probe
       ~budget:{ Chase.Variants.max_steps = 30; max_atoms = 300 }
       (Kb.rules (Zoo.Classic.bts_not_fes ()))
   with
-  | CC.Probes.No_verdict -> ()
+  | CC.Probes.No_verdict _ -> ()
   | CC.Probes.Terminates _ ->
       (* on the critical instance r(star,star) the chase terminates at
          once (the loop satisfies everything): the probe is only a

@@ -62,8 +62,8 @@ let test_applied_equals_steps () =
 
 let def1_engines =
   [
-    ("restricted", Chase.Variants.restricted ~budget);
-    ("frugal", Chase.Variants.frugal ~budget);
+    ("restricted", fun kb -> Chase.Variants.restricted ~budget kb);
+    ("frugal", fun kb -> Chase.Variants.frugal ~budget kb);
     ("core", fun kb -> Chase.Variants.core ~budget kb);
     ( "core-round",
       fun kb -> Chase.Variants.core ~budget ~cadence:Chase.Variants.Every_round kb );

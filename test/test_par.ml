@@ -208,7 +208,7 @@ let run_fingerprint engine ~jobs mk_kb steps =
                   | _ -> Chase.Variants.Baseline.skolem)
                     ~budget:(budget steps) kb
                 in
-                let { Chase.Variants.Baseline.instances; terminated; steps } =
+                let { Chase.Variants.Baseline.instances; terminated; steps; _ } =
                   run
                 in
                 {
@@ -238,8 +238,8 @@ let run_fingerprint engine ~jobs mk_kb steps =
                   fp_tail =
                     Printf.sprintf "outcome=%s rounds=%d"
                       (match run.Chase.Variants.outcome with
-                      | Chase.Variants.Terminated -> "T"
-                      | Chase.Variants.Budget_exhausted -> "B")
+                      | Chase.Variants.Fixpoint -> "T"
+                      | _ -> "B")
                       run.Chase.Variants.rounds;
                   fp_counters = [];
                 }

@@ -250,7 +250,7 @@ let strings =
 let gen_small rng = int_in rng 0 50
 
 let gen_event rng : Obs.Trace.event =
-  match int_in rng 0 8 with
+  match int_in rng 0 10 with
   | 0 ->
       Round_start
         { engine = pick rng strings; round = gen_small rng; size = gen_small rng }
@@ -298,13 +298,17 @@ let gen_event rng : Obs.Trace.event =
           width = gen_small rng - 1;
           exact = Random.State.bool rng;
         }
-  | _ ->
+  | 8 ->
       Par_fanout
         {
           site = pick rng strings;
           tasks = gen_small rng;
           jobs = 1 + int_in rng 0 7;
         }
+  | 9 -> Deadline_hit { engine = pick rng strings; step = gen_small rng }
+  | _ ->
+      Checkpoint_written
+        { engine = pick rng strings; step = gen_small rng; path = pick rng strings }
 
 let shrink_event (e : Obs.Trace.event) : Obs.Trace.event list =
   (* shrink every integer field toward 0 and every string to "" *)
@@ -342,6 +346,17 @@ let shrink_event (e : Obs.Trace.event) : Obs.Trace.event list =
       List.map (fun site -> Obs.Trace.Par_fanout { f with site }) (str f.site)
       @ List.map (fun tasks -> Obs.Trace.Par_fanout { f with tasks })
           (half f.tasks)
+  | Deadline_hit f ->
+      List.map (fun engine -> Obs.Trace.Deadline_hit { f with engine }) (str f.engine)
+      @ List.map (fun step -> Obs.Trace.Deadline_hit { f with step }) (half f.step)
+  | Checkpoint_written f ->
+      List.map
+        (fun engine -> Obs.Trace.Checkpoint_written { f with engine })
+        (str f.engine)
+      @ List.map (fun path -> Obs.Trace.Checkpoint_written { f with path })
+          (str f.path)
+      @ List.map (fun step -> Obs.Trace.Checkpoint_written { f with step })
+          (half f.step)
 
 let event_arb : Obs.Trace.event arbitrary =
   {

@@ -239,7 +239,7 @@ let test_syntactic_fes_matches_chase () =
             (Kb.rules kb)
         with
         | Corechase.Probes.Terminates _ -> ()
-        | Corechase.Probes.No_verdict ->
+        | Corechase.Probes.No_verdict _ ->
             Alcotest.failf "%s: fes certificate but chase did not terminate"
               name)
     (Zoo.Classic.all_named ())

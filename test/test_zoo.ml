@@ -185,7 +185,9 @@ let test_staircase_restricted_chase_builds_staircase () =
   in
   let d = run.Chase.Variants.derivation in
   Alcotest.(check bool) "does not terminate" true
-    (run.Chase.Variants.outcome = Chase.Variants.Budget_exhausted);
+    (match run.Chase.Variants.outcome with
+     | Chase.Variants.Step_budget | Chase.Variants.Atom_budget -> true
+     | _ -> false);
   (* every F_i maps into a sufficiently large staircase prefix *)
   let p = Zoo.Staircase.universal_model_prefix ~cols:12 in
   let final = (Chase.Derivation.last d).Chase.Derivation.instance in
@@ -378,7 +380,9 @@ let test_classic_bts_not_fes () =
       kb
   in
   Alcotest.(check bool) "core chase diverges" true
-    (run.Chase.Variants.outcome = Chase.Variants.Budget_exhausted);
+    (match run.Chase.Variants.outcome with
+     | Chase.Variants.Step_budget | Chase.Variants.Atom_budget -> true
+     | _ -> false);
   (* but treewidth stays 1: it is bts *)
   List.iter
     (fun st ->
@@ -394,7 +398,7 @@ let test_classic_fes_not_bts () =
       kb
   in
   Alcotest.(check bool) "core chase terminates (fes)" true
-    (run.Chase.Variants.outcome = Chase.Variants.Terminated)
+    (run.Chase.Variants.outcome = Chase.Variants.Fixpoint)
 
 let test_classic_all_named_well_formed () =
   List.iter
