@@ -7,6 +7,30 @@ let m_enumerated = Obs.Metrics.counter "chase.triggers_enumerated"
 
 let m_discoveries = Obs.Metrics.counter "chase.discoveries"
 
+(* Allocation accounting (DESIGN.md §12): discovery is the second hot
+   consumer of the flat representation after the hom search itself, so
+   its minor-heap footprint is sampled the same way as [hom.minor_words]
+   — a [Gc.minor_words] delta around each discovery call, main domain
+   only (pool workers' shares are part of their own samples). *)
+let m_minor_words = Obs.Metrics.counter "trigger.minor_words"
+
+(* Mapping keys (DESIGN.md §12): a substitution flattened to interned
+   codes, [(rank, code)] pairs in rank order ([Subst.to_list] is sorted),
+   prefixed with a kind tag and the rule id where the key names a
+   per-rule question.  Injective per (rule, mapping), so the memo and the
+   dedup table below partition exactly as the PR-3 formatted-string keys
+   did — at a hash cost of a few ints instead of a [Fmt.str] render. *)
+let mapping_key ~tag ~rid mapping =
+  let bindings = Subst.to_list mapping in
+  let key = Array.make (2 + (2 * List.length bindings)) tag in
+  key.(1) <- rid;
+  List.iteri
+    (fun i (x, t) ->
+      key.((2 * i) + 2) <- Flat.code_of_term x;
+      key.((2 * i) + 3) <- Flat.code_of_term t)
+    bindings;
+  key
+
 type t = { rule : Rule.t; mapping : Subst.t }
 
 let make rule mapping =
@@ -38,13 +62,13 @@ let is_trigger_for_in tr indexed =
 let satisfied_in tr indexed =
   (* π extends to a homomorphism from B ∪ H into the instance.  Failed
      checks are memoised under the instance's generation: the rule id and
-     the debug-printed mapping pin the question, the epoch pins the
-     target content, so re-checking the same trigger against an unchanged
+     the flattened mapping pin the question, the epoch pins the target
+     content, so re-checking the same trigger against an unchanged
      instance (engine re-check before the round's first firing, audit
      double discovery) costs a table lookup. *)
   let src = Atomset.union (Rule.body tr.rule) (Rule.head tr.rule) in
   let memo =
-    ( Fmt.str "sat:%d:%a" (Rule.id tr.rule) Subst.pp_debug tr.mapping,
+    ( mapping_key ~tag:0 ~rid:(Rule.id tr.rule) tr.mapping,
       Homo.Instance.generation indexed )
   in
   Homo.Hom.exists ~memo ~seed:tr.mapping src indexed
@@ -123,7 +147,7 @@ let triggers_of_delta r indexed ~delta =
     let seen = Hashtbl.create 16 in
     let collect acc h =
       let tr = make r h in
-      let key = Fmt.str "%a" Subst.pp_debug tr.mapping in
+      let key = mapping_key ~tag:0 ~rid:(Rule.id r) tr.mapping in
       if Hashtbl.mem seen key then acc
       else begin
         Hashtbl.replace seen key ();
@@ -209,14 +233,16 @@ let observe_discovery ~what trs indexed =
 
 let discover ?delta rules indexed =
   let trs =
-    match (!discovery, delta) with
-    | Snapshot, _ | _, None -> unsatisfied_triggers_in rules indexed
-    | Delta, Some delta -> unsatisfied_triggers_in ~delta rules indexed
-    | Audit, Some delta ->
-        let snap = unsatisfied_triggers_in rules indexed in
-        let del = unsatisfied_triggers_in ~delta rules indexed in
-        if not (same_set snap del) then audit_failure ~what:"discover" snap del;
-        snap
+    Obs.Metrics.count_minor_words m_minor_words (fun () ->
+        match (!discovery, delta) with
+        | Snapshot, _ | _, None -> unsatisfied_triggers_in rules indexed
+        | Delta, Some delta -> unsatisfied_triggers_in ~delta rules indexed
+        | Audit, Some delta ->
+            let snap = unsatisfied_triggers_in rules indexed in
+            let del = unsatisfied_triggers_in ~delta rules indexed in
+            if not (same_set snap del) then
+              audit_failure ~what:"discover" snap del;
+            snap)
   in
   observe_discovery ~what:"discover" trs indexed
 
@@ -226,32 +252,35 @@ let discover_all ?delta rules indexed =
       (Par.map ~site:"trigger.enumerate" (fun r -> triggers_of r indexed) rules)
   in
   let trs =
-  match (!discovery, delta) with
-  | Snapshot, _ | _, None -> snapshot ()
-  | Delta, Some delta ->
-      List.concat
-        (Par.map ~site:"trigger.enumerate"
-           (fun r -> triggers_of_delta r indexed ~delta)
-           rules)
-  | Audit, Some delta ->
-      let snap = snapshot () in
-      let del =
-        List.concat_map (fun r -> triggers_of_delta r indexed ~delta) rules
-      in
-      (* the delta set must be exactly the snapshot triggers whose body
-         image touches the delta *)
-      let touches tr =
-        not
-          (Atomset.is_empty
-             (Atomset.inter delta
-                (Subst.apply tr.mapping (Rule.body tr.rule))))
-      in
-      let expected = List.filter touches snap in
-      if not (same_set expected del) then
-        audit_failure ~what:"discover_all" expected del;
-      (* monotone engines deduplicate by trigger key themselves, so the
-         snapshot order can be returned unchanged *)
-      snap
+    Obs.Metrics.count_minor_words m_minor_words (fun () ->
+        match (!discovery, delta) with
+        | Snapshot, _ | _, None -> snapshot ()
+        | Delta, Some delta ->
+            List.concat
+              (Par.map ~site:"trigger.enumerate"
+                 (fun r -> triggers_of_delta r indexed ~delta)
+                 rules)
+        | Audit, Some delta ->
+            let snap = snapshot () in
+            let del =
+              List.concat_map
+                (fun r -> triggers_of_delta r indexed ~delta)
+                rules
+            in
+            (* the delta set must be exactly the snapshot triggers whose
+               body image touches the delta *)
+            let touches tr =
+              not
+                (Atomset.is_empty
+                   (Atomset.inter delta
+                      (Subst.apply tr.mapping (Rule.body tr.rule))))
+            in
+            let expected = List.filter touches snap in
+            if not (same_set expected del) then
+              audit_failure ~what:"discover_all" expected del;
+            (* monotone engines deduplicate by trigger key themselves, so
+               the snapshot order can be returned unchanged *)
+            snap)
   in
   observe_discovery ~what:"discover_all" trs indexed
 

@@ -28,6 +28,30 @@ let m_fallbacks = Obs.Metrics.counter "core.full_fallbacks"
 
 module TSet = Set.Make (Term)
 
+(* Memo keys (DESIGN.md §12): small int arrays over interned codes, one
+   kind tag per fold-candidate family so keys of different families can
+   never collide.  Tag 0 is [Trigger]'s satisfaction key; within a
+   family the remaining elements determine the candidate uniquely
+   ([key_pair] prefixes the first atom's arity so the two flattened
+   atoms cannot be re-bracketed into each other). *)
+let key_var x = [| 1; Flat.code_of_term x |]
+
+let key_atom at =
+  let f = Flat.encode at in
+  Array.concat [ [| 2; Flat.pred f |]; Flat.args f ]
+
+let key_fresh z = [| 3; Flat.code_of_term z |]
+
+let key_pair b d =
+  let fb = Flat.encode b and fd = Flat.encode d in
+  Array.concat
+    [
+      [| 4; Flat.arity fb; Flat.pred fb |];
+      Flat.args fb;
+      [| Flat.pred fd |];
+      Flat.args fd;
+    ]
+
 (* The fold search works on one index of the current instance; candidate
    targets (the instance minus the atoms carrying one variable / minus one
    atom) are derived from it by incremental removal rather than rebuilt.
@@ -36,15 +60,12 @@ module TSet = Set.Make (Term)
    search after the scoped one) each candidate is searched at most once. *)
 let fold_via_var idx a epoch x =
   let target = Instance.remove_atoms idx (Instance.atoms_with_term idx x) in
-  Hom.find ~memo:(Fmt.str "fold:v:%a" Term.pp_debug x, epoch) a target
+  Hom.find ~memo:(key_var x, epoch) a target
 
 let fold_via_atom idx a epoch at =
   if Atom.is_ground at then None
   else
-    Hom.find
-      ~memo:(Fmt.str "fold:a:%a" Atom.pp_debug at, epoch)
-      a
-      (Instance.remove_atoms idx [ at ])
+    Hom.find ~memo:(key_atom at, epoch) a (Instance.remove_atoms idx [ at ])
 
 (* [Par.find_first_map] is [List.find_map] with jobs = 1; with a pool it
    evaluates the candidates in waves and keeps the lowest-index success,
@@ -119,9 +140,7 @@ let find_fold_scoped idx ~fresh ~added =
         Subst.empty (Atomset.vars a)
   in
   let via_fresh z =
-    Hom.find
-      ~memo:(Fmt.str "fold:f:%a" Term.pp_debug z, epoch)
-      ~seed:keep_seed a
+    Hom.find ~memo:(key_fresh z, epoch) ~seed:keep_seed a
       (Instance.remove_atoms idx (Instance.atoms_with_term idx z))
   in
   (* case (b): an old atom maps onto a new delta atom *)
@@ -151,9 +170,7 @@ let find_fold_scoped idx ~fresh ~added =
   in
   let via_pair (b, d, h, moved) =
     let dropped = List.concat_map (Instance.atoms_with_term idx) moved in
-    Hom.find
-      ~memo:(Fmt.str "fold:p:%a>%a" Atom.pp_debug b Atom.pp_debug d, epoch)
-      ~seed:h a
+    Hom.find ~memo:(key_pair b d, epoch) ~seed:h a
       (Instance.remove_atoms idx dropped)
   in
   let searches = List.length alive_fresh + List.length pair_candidates in

@@ -2,15 +2,29 @@ open Syntax
 
 let naive_order = ref false
 
+(* Representation switch (DESIGN.md §12): the production solver runs on
+   the flat interned codes ([solve_flat]); the boxed tree-walking solver
+   is kept as the executable specification — the [abl:hom:repr] bench
+   row measures the gap and the property tests diff the two on random
+   inputs.  Both implement the same search (same atom selection, same
+   candidate order, same backtrack accounting), so flipping the switch
+   changes nothing observable but speed. *)
+let flat_enabled = ref true
+
 (* Observability (DESIGN.md §8): one counter pair for the backtracking
    search.  A "backtrack" is a candidate target atom that failed to extend
    the current partial homomorphism (or violated injectivity); the count is
    accumulated in a local ref — one increment per dead end — and flushed to
    the registry / trace sink only when observability is live, so the
-   disabled path adds nothing to the search itself. *)
+   disabled path adds nothing to the search itself.  [hom.minor_words]
+   accumulates the solver's own minor-heap allocation (a [Gc.minor_words]
+   delta per call), making the flat path's allocation-free matching
+   measurable rather than asserted. *)
 let m_solve_calls = Obs.Metrics.counter "hom.solve_calls"
 
 let m_backtracks = Obs.Metrics.counter "hom.backtracks"
+
+let m_minor_words = Obs.Metrics.counter "hom.minor_words"
 
 (* Resilience (DESIGN.md §11): the search recurses once per source atom,
    so an adversarially deep pattern (e.g. a folded chain) can exhaust the
@@ -59,17 +73,11 @@ let extend_via_atom_full sigma pattern target =
 let extend_via_atom sigma pattern target =
   Option.map fst (extend_via_atom_full sigma pattern target)
 
-(* Core backtracking engine.  [k] is called on every solution; raising from
-   [k] aborts the search (used for early exit). *)
-let solve ?(seed = Subst.empty) ?(injective = false) ~(k : Subst.t -> unit)
-    (src : Atomset.t) (tgt : Instance.t) : unit =
-  Resilience.Fault.hit "hom";
-  if Atomset.cardinal src > !max_depth then raise Stdlib.Stack_overflow;
-  let bt = ref 0 in
-  (* Deadline polls are decimated: one ambient-token check every 256
-     search nodes keeps the no-token path to an atomic read amortised
-     over the hot recursion (DESIGN.md §11). *)
-  let nodes = ref 0 in
+(* Boxed reference solver.  [k] is called on every solution; raising from
+   [k] aborts the search (used for early exit).  [bt]/[nodes] are owned
+   by the wrapper below. *)
+let solve_boxed ~bt ~nodes ~seed ~injective ~k (src : Atomset.t)
+    (tgt : Instance.t) : unit =
   (* The not-yet-matched source atoms live in the prefix [0, live) of a
      worklist array; each entry keeps its original rank so ties in the
      most-constrained-first selection break exactly as they did when the
@@ -97,6 +105,9 @@ let solve ?(seed = Subst.empty) ?(injective = false) ~(k : Subst.t -> unit)
   in
   let rec go sigma used live =
     incr nodes;
+    (* Deadline polls are decimated: one ambient-token check every 256
+       search nodes keeps the no-token path to an atomic read amortised
+       over the hot recursion (DESIGN.md §11). *)
     if !nodes land 255 = 0 then Resilience.poll ();
     if live = 0 then k sigma
     else begin
@@ -148,7 +159,209 @@ let solve ?(seed = Subst.empty) ?(injective = false) ~(k : Subst.t -> unit)
     in
     List.iter try_candidate (Instance.candidates tgt next sigma)
   in
-  let run () = go seed init_used (Array.length arr) in
+  go seed init_used (Array.length arr)
+
+(* Flat solver: the same search over interned codes.  The source is
+   encoded once per call — its variables get dense slots, each pattern
+   atom becomes an [fpat] (original rank, pred id, codes with
+   [lnot slot] for the variables, and the predicate's index handle,
+   resolved here rather than at every node) — and the inner loop then
+   touches only int arrays: the partial homomorphism is [bind]
+   (slot -> code, [Flat.no_code] when unbound), candidate matching
+   compares codes positionally, and undo pops a slot trail.  No
+   [Subst.t], no [Term.t] and no list is built until a full solution is
+   emitted. *)
+type fpat = {
+  rank : int;
+  fpred : int;
+  fargs : int array;
+  fidx : Instance.findex;
+}
+
+let solve_flat ~bt ~nodes ~seed ~injective ~k (src : Atomset.t)
+    (tgt : Instance.t) : unit =
+  let slot_of : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let rev_vars = ref [] in
+  let nslots = ref 0 in
+  let enc_term t =
+    match t with
+    | Term.Const _ ->
+        (* interning (not [code_of_term_opt]): a never-seen constant gets
+           a real id that no target atom carries, so it fails to match
+           exactly as boxed [Term.equal] does *)
+        Flat.code_of_term t
+    | Term.Var v -> (
+        match Hashtbl.find_opt slot_of v.Term.id with
+        | Some s -> lnot s
+        | None ->
+            let s = !nslots in
+            incr nslots;
+            Hashtbl.add slot_of v.Term.id s;
+            rev_vars := t :: !rev_vars;
+            lnot s)
+  in
+  let pats =
+    Array.of_list
+      (List.mapi
+         (fun i a ->
+           let pid = Flat.Symtab.intern (Atom.pred a) in
+           {
+             rank = i;
+             fpred = pid;
+             fargs = Array.of_list (List.map enc_term (Atom.args a));
+             fidx = Instance.findex tgt ~pred:pid;
+           })
+         (Atomset.to_list src))
+  in
+  let n = !nslots in
+  let vars = Array.of_list (List.rev !rev_vars) in
+  let bind = Array.make (max n 1) Flat.no_code in
+  let seeded = Array.make (max n 1) false in
+  let trail = Array.make (max n 1) 0 in
+  let tp = ref 0 in
+  for s = 0 to n - 1 do
+    match Subst.find vars.(s) seed with
+    | Some img ->
+        bind.(s) <- Flat.code_of_term img;
+        seeded.(s) <- true
+    | None -> ()
+  done;
+  (* Injectivity: the codes already used as images — the source's
+     constants (their own images) and the seed's images.  Entries from
+     this initialisation are permanent; only trail-recorded additions are
+     undone. *)
+  let used : (int, unit) Hashtbl.t =
+    Hashtbl.create (if injective then 32 else 1)
+  in
+  if injective then begin
+    List.iter
+      (fun c -> Hashtbl.replace used (Flat.code_of_term c) ())
+      (Atomset.consts src);
+    for s = 0 to n - 1 do
+      if seeded.(s) then Hashtbl.replace used bind.(s) ()
+    done
+  end;
+  (* Decode a full assignment back to a boxed substitution.  Images are
+     decoded through the instance's witness terms, so variable hints (and
+     hence printed output) are the ones the target atoms carry — bit-
+     identical to what the boxed solver binds.  Every bound code comes
+     from a target atom, so the witness exists; the [Flat.term_of_code]
+     fallback is belt and braces. *)
+  let emit () =
+    let sigma = ref seed in
+    for s = 0 to n - 1 do
+      if not seeded.(s) then begin
+        let img =
+          match Instance.term_of_code tgt bind.(s) with
+          | Some t -> t
+          | None -> Flat.term_of_code bind.(s)
+        in
+        sigma := Subst.add vars.(s) img !sigma
+      end
+    done;
+    !sigma
+  in
+  let undo mark =
+    while !tp > mark do
+      decr tp;
+      let s = trail.(!tp) in
+      if injective then Hashtbl.remove used bind.(s);
+      bind.(s) <- Flat.no_code
+    done
+  in
+  (* positional match, binding fresh slots onto the trail; the
+     injectivity check interleaves (a conjunction — same accepted
+     candidates as the boxed check-after-match) *)
+  let rec match_args fargs ta plen i =
+    i >= plen
+    ||
+    let p = fargs.(i) in
+    let t = ta.(i) in
+    if p >= 0 then p = t && match_args fargs ta plen (i + 1)
+    else
+      let b = bind.(lnot p) in
+      if b <> Flat.no_code then b = t && match_args fargs ta plen (i + 1)
+      else if injective && Hashtbl.mem used t then false
+      else begin
+        bind.(lnot p) <- t;
+        if injective then Hashtbl.replace used t ();
+        trail.(!tp) <- lnot p;
+        incr tp;
+        match_args fargs ta plen (i + 1)
+      end
+  in
+  let rec go live =
+    incr nodes;
+    if !nodes land 255 = 0 then Resilience.poll ();
+    if live = 0 then k (emit ())
+    else begin
+      let best = ref 0 in
+      if live > 1 then
+        if !naive_order then
+          for i = 1 to live - 1 do
+            if pats.(i).rank < pats.(!best).rank then best := i
+          done
+        else begin
+          (* most-constrained-first over the cached bucket cardinalities;
+             identical bucket choice and tie-breaking to [solve_boxed].
+             A zero-cardinality count stops the scan: the node is a dead
+             end whichever zero-bucket pattern is charged with it, so
+             skipping the remaining counts changes nothing observable. *)
+          let p0 = pats.(0) in
+          let bc = ref (Instance.findex_count p0.fidx ~fargs:p0.fargs ~bind) in
+          let i = ref 1 in
+          while !bc > 0 && !i < live do
+            let p = pats.(!i) in
+            let c = Instance.findex_count p.fidx ~fargs:p.fargs ~bind in
+            if c < !bc || (c = !bc && p.rank < pats.(!best).rank) then begin
+              best := !i;
+              bc := c
+            end;
+            incr i
+          done
+        end;
+      let chosen = pats.(!best) in
+      pats.(!best) <- pats.(live - 1);
+      pats.(live - 1) <- chosen;
+      candidates chosen (live - 1)
+        (Instance.findex_items chosen.fidx ~fargs:chosen.fargs ~bind)
+    end
+  and candidates chosen live = function
+    | [] -> ()
+    | (e : Instance.fentry) :: rest ->
+        let fa = e.Instance.flat in
+        let ta = Flat.args fa in
+        let fargs = chosen.fargs in
+        let plen = Array.length fargs in
+        let mark = !tp in
+        if
+          Flat.pred fa = chosen.fpred
+          && Array.length ta = plen
+          && match_args fargs ta plen 0
+        then begin
+          go live;
+          undo mark
+        end
+        else begin
+          undo mark;
+          incr bt
+        end;
+        candidates chosen live rest
+  in
+  go (Array.length pats)
+
+(* Core backtracking engine.  [k] is called on every solution; raising from
+   [k] aborts the search (used for early exit). *)
+let solve ?(seed = Subst.empty) ?(injective = false) ~(k : Subst.t -> unit)
+    (src : Atomset.t) (tgt : Instance.t) : unit =
+  Resilience.Fault.hit "hom";
+  if Atomset.cardinal src > !max_depth then raise Stdlib.Stack_overflow;
+  let bt = ref 0 in
+  let nodes = ref 0 in
+  let run () =
+    if !flat_enabled then solve_flat ~bt ~nodes ~seed ~injective ~k src tgt
+    else solve_boxed ~bt ~nodes ~seed ~injective ~k src tgt
+  in
   if not (Obs.live ()) then run ()
   else begin
     Obs.Metrics.incr m_solve_calls;
@@ -167,21 +380,30 @@ let solve ?(seed = Subst.empty) ?(injective = false) ~(k : Subst.t -> unit)
                    tgt_atoms = Instance.cardinal tgt;
                  })
         end)
-      run
+      (fun () -> Obs.Metrics.count_minor_words m_minor_words run)
   end
 
 exception Stop
 
-(* Failure memo (DESIGN.md §9).  Negative [find] results are cached under a
+(* Result memo (DESIGN.md §9, §12).  [find] results are cached under a
    caller-supplied (key, epoch) pair: the key names the check (pattern,
    seed, flags) stably, the epoch is an {!Instance.generation} that pins
-   the target content the failure was observed against.  A stored entry is
+   the target content the result was observed against.  A stored entry is
    valid only while its epoch matches the query's — generation advance is
-   the invalidation, no explicit flush needed.  Only failures are cached:
-   a success carries a witness substitution that callers use, while a
-   failure is a bare fact that stays true as long as the target does not
-   change.  The table is bounded: at [memo_max] entries it is reset
-   wholesale (entries for dead epochs dominate by then anyway). *)
+   the invalidation, no explicit flush needed.  Both outcomes are cached:
+   epochs are handed out per instance *value*, so an epoch match means
+   the search would run against the very same target (same atoms, same
+   bucket order) and — the solver being deterministic — return the very
+   same witness; replaying a stored success is as sound as replaying a
+   stored failure.  (PR-3 cached failures only, which starved the memo
+   exactly where it is needed: audit-mode discovery re-asks every
+   satisfaction question at an unchanged epoch, and most of those
+   succeed.)  Keys are small int arrays over interned codes: hashing one
+   is a few machine words, where the PR-3 string keys paid a
+   format-and-hash of whole term trees per probe — the reason the memo
+   used to lose to the searches it saved.  The table is bounded: at
+   [memo_max] entries it is reset wholesale (entries for dead epochs
+   dominate by then anyway). *)
 let memo_enabled = ref true
 
 let memo_max = 1 lsl 14
@@ -193,9 +415,13 @@ let memo_max = 1 lsl 14
    re-derivation of a failure.  Tables are never merged — a worker's
    entry simply stays invisible to the others, which only loses hits
    (DESIGN.md §10 weighs this against the rejected alternatives). *)
-let memo_key = Domain.DLS.new_key (fun () -> Hashtbl.create 256)
+(* Created at full capacity: the table is bounded by [memo_max] anyway,
+   so pre-sizing means no growth rehash ever happens and [Hashtbl.reset]
+   (which restores the creation capacity) keeps the bucket array. *)
+let memo_key = Domain.DLS.new_key (fun () -> Hashtbl.create memo_max)
 
-let memo_tbl () : (string, int) Hashtbl.t = Domain.DLS.get memo_key
+let memo_tbl () : (int array, int * Subst.t option) Hashtbl.t =
+  Domain.DLS.get memo_key
 
 let memo_clear () = Hashtbl.reset (memo_tbl ())
 
@@ -214,26 +440,53 @@ let find_uncached ?seed ?injective src tgt =
    with Stop -> ());
   !result
 
-let find ?seed ?injective ?memo src tgt =
+(* Stale-witness revalidation, the cross-epoch path of the memo: a
+   cached success [σ] from an older epoch is still a correct answer for
+   the {e current} target iff [σ(src) ⊆ tgt] — checked directly, in
+   O(|src|) index lookups, no search.  The resulting boolean is exact no
+   matter what the epochs did in between, so [exists]-style consumers
+   (trigger satisfaction, asked again and again about the same trigger
+   as the instance grows) may take it.  [find] consumers may not: a
+   revalidated witness need not be the witness a fresh search would
+   return, and the fold search's chosen witness steers the chase — so
+   witness-returning calls only replay exact-epoch entries, keeping
+   their results independent of cache state (jobs=1 ≡ jobs=4 holds for
+   outputs, not just for truth values). *)
+let witness_ok sigma src tgt =
+  Atomset.for_all (fun a -> Instance.mem tgt (Subst.apply_atom sigma a)) src
+
+let find_memo ~allow_stale ?seed ?injective ?memo src tgt =
   match memo with
   | Some (key, epoch) when !memo_enabled -> (
       let tbl = memo_tbl () in
+      let search_and_store () =
+        if !Obs.Metrics.enabled then Obs.Metrics.incr m_memo_misses;
+        let r = find_uncached ?seed ?injective src tgt in
+        if Hashtbl.length tbl >= memo_max then Hashtbl.reset tbl;
+        Hashtbl.replace tbl key (epoch, r);
+        r
+      in
       match Hashtbl.find_opt tbl key with
-      | Some e when e = epoch ->
+      | Some (e, r) when e = epoch ->
           if !Obs.Metrics.enabled then Obs.Metrics.incr m_memo_hits;
-          None
-      | _ ->
-          if !Obs.Metrics.enabled then Obs.Metrics.incr m_memo_misses;
-          let r = find_uncached ?seed ?injective src tgt in
-          if r = None then begin
-            if Hashtbl.length tbl >= memo_max then Hashtbl.reset tbl;
-            Hashtbl.replace tbl key epoch
-          end;
-          r)
+          r
+      | Some (_, (Some sigma as r))
+        when allow_stale && injective <> Some true && witness_ok sigma src tgt
+        ->
+          if !Obs.Metrics.enabled then Obs.Metrics.incr m_memo_hits;
+          (* refresh: the witness was just proven valid at this epoch *)
+          Hashtbl.replace tbl key (epoch, r);
+          r
+      | _ -> search_and_store ())
   | _ -> find_uncached ?seed ?injective src tgt
 
+let find ?seed ?injective ?memo src tgt =
+  find_memo ~allow_stale:false ?seed ?injective ?memo src tgt
+
 let exists ?seed ?injective ?memo src tgt =
-  match find ?seed ?injective ?memo src tgt with Some _ -> true | None -> false
+  match find_memo ~allow_stale:true ?seed ?injective ?memo src tgt with
+  | Some _ -> true
+  | None -> false
 
 let all ?seed ?injective ?limit src tgt =
   let acc = ref [] in

@@ -18,7 +18,7 @@ val extend_via_atom : Subst.t -> Atom.t -> Atom.t -> Subst.t option
 val find :
   ?seed:Subst.t ->
   ?injective:bool ->
-  ?memo:string * int ->
+  ?memo:int array * int ->
   Atomset.t ->
   Instance.t ->
   Subst.t option
@@ -28,21 +28,28 @@ val find :
     substitution is injective on [terms src] (constants included: a variable
     may not map onto a term that is already an image).
 
-    [~memo:(key, epoch)] enables the failure memo: if a previous call with
-    the same [key] failed at the same [epoch], [None] is returned without
-    searching, and a fresh failure is recorded under [(key, epoch)].
-    Correctness contract (caller's responsibility): for a fixed [key], all
-    calls at a given [epoch] must pose the same question — same [src],
-    [seed], [injective] and same target {e content}.  Pass
-    [Instance.generation tgt] as the epoch (equal generations imply equal
-    content) or, for searches against instances derived from a common base,
-    the base's generation.  Successes are never cached.  Counted by the
-    [hom.memo_hits] / [hom.memo_misses] metrics. *)
+    [~memo:(key, epoch)] enables the result memo: if a previous call with
+    the same [key] ran at the same [epoch], its result — [None] or the
+    witness substitution — is returned without searching; otherwise the
+    search runs and its result is recorded under [(key, epoch)].  A
+    key is a small int array: a kind tag followed by interned
+    {!Syntax.Flat} codes of whatever identifies the check — cheap to
+    build, cheap to hash, compared structurally (callers must not mutate
+    a key after passing it).  Correctness contract (caller's
+    responsibility): for a fixed [key], all calls at a given [epoch] must
+    pose the same question — same [src], [seed], [injective] and a target
+    constructed the same way from the same instance values.  Pass
+    [Instance.generation tgt] as the epoch (epochs are per instance
+    value, so an epoch match replays a search against the very same
+    target and the deterministic solver's very same answer) or, for
+    searches against instances derived from a common base, the base's
+    generation.  Counted by the [hom.memo_hits] / [hom.memo_misses]
+    metrics. *)
 
 val exists :
   ?seed:Subst.t ->
   ?injective:bool ->
-  ?memo:string * int ->
+  ?memo:int array * int ->
   Atomset.t ->
   Instance.t ->
   bool
@@ -80,6 +87,16 @@ val find_into : Atomset.t -> Atomset.t -> Subst.t option
 val naive_order : bool ref
 (** Ablation switch: when set, the solver matches source atoms in fixed
     textual order instead of most-constrained-first.  Default [false]. *)
+
+val flat_enabled : bool ref
+(** Representation switch ([abl:hom:repr], DESIGN.md §12): when [true]
+    (the default) the solver backtracks over interned {!Syntax.Flat}
+    codes — int compares, a slot trail for undo, no intermediate
+    [Term.t] or [Subst.t] values; when [false] it runs the boxed
+    tree-walking reference implementation.  Both perform the same
+    search (same selection, candidate order, backtrack counts,
+    solutions), differing only in speed — the property suite diffs
+    them on random inputs. *)
 
 val max_depth : int ref
 (** Stack-overflow guard (DESIGN.md §11): the search recurses once per

@@ -1,20 +1,6 @@
 open Syntax
 
-module SMap = Map.Make (String)
-module TMap = Map.Make (Term)
-
-module PTKey = struct
-  type t = string * int * Term.t
-
-  let compare (p1, i1, t1) (p2, i2, t2) =
-    let c = String.compare p1 p2 in
-    if c <> 0 then c
-    else
-      let c = Int.compare i1 i2 in
-      if c <> 0 then c else Term.compare t1 t2
-end
-
-module PTMap = Map.Make (PTKey)
+module IMap = Map.Make (Int)
 module AMap = Map.Make (Atom)
 
 (* Generation epochs.  A single process-wide counter hands out a fresh
@@ -45,105 +31,174 @@ let ensure_generation_counter_at_least n =
   in
   bump ()
 
+(* Every atom is stored once, in both representations: the flat mirror
+   drives matching and index keys, the boxed original is what every
+   public accessor hands back — so hints survive and printing never goes
+   through a lossy decode. *)
+type fentry = { flat : Flat.t; boxed : Atom.t }
+
 (* A bucket caches its cardinality: selectivity comparisons in
-   [best_bucket] and candidate counting in the hom search read [n]
+   [fselect_*] and candidate counting in the hom search read [n]
    instead of walking [items]. *)
-type bucket = { n : int; items : Atom.t list }
+type bucket = { n : int; items : fentry list }
 
 let bucket_empty = { n = 0; items = [] }
 
-let bucket_add a b = { n = b.n + 1; items = a :: b.items }
+let bucket_add e b = { n = b.n + 1; items = e :: b.items }
 
 (* Every bucket holds an atom at most once (keys are per position), so a
-   successful removal decrements the cached cardinality by exactly one. *)
-let bucket_remove a b =
+   successful removal decrements the cached cardinality by exactly one.
+   Membership is decided on the flat mirror: integer compares, and
+   [Flat.equal (encode a) (encode b) = Atom.equal a b]. *)
+let bucket_remove fa b =
   let rec rm acc = function
     | [] -> None
     | x :: rest ->
-        if Atom.equal x a then Some (List.rev_append acc rest)
+        if Flat.equal x.flat fa then Some (List.rev_append acc rest)
         else rm (x :: acc) rest
   in
   match rm [] b.items with
   | None -> b
   | Some items -> { n = b.n - 1; items }
 
+(* Per-atom bookkeeping: the epoch that added the atom (delta scoping)
+   and its encoded entry (so removal and rewriting never re-encode). *)
+type info = { stamp : int; entry : fentry }
+
+(* The whole per-predicate index: the predicate's bucket plus, per
+   argument position, a map from term code to the bucket of atoms
+   carrying that code there.  Hanging the position maps off the
+   predicate entry keeps every hot-path lookup an int-keyed [IMap]
+   probe — no tuple key is built, and the solver resolves the
+   predicate part once per pattern, not once per search node
+   (DESIGN.md §12).  The [pos] array is copied on every update
+   (it is small — one slot per argument position ever seen for the
+   predicate), so sharing across derived instance values stays
+   persistent. *)
+type pindex = { all : bucket; pos : bucket IMap.t array }
+
+let pindex_empty = { all = bucket_empty; pos = [||] }
+
 type t = {
   atoms : Atomset.t;
-  by_pred : bucket SMap.t;
-  by_ppt : bucket PTMap.t;
-  by_term : bucket TMap.t;  (** atoms containing a given term (anywhere) *)
+  info : info AMap.t;
+  by_pred : pindex IMap.t;  (** predicate id -> that predicate's indexes *)
+  by_code : (Term.t * bucket) IMap.t;
+      (** term code -> (a boxed witness of the code, atoms containing it
+          anywhere).  The witness makes decoding solver-found images
+          hint-exact: codes drop hints, the witness kept them. *)
   generation : int;  (** cache epoch; equal generations ⇒ equal content *)
-  born : int AMap.t;  (** per-atom birth stamp: the epoch that added it *)
 }
 
 let empty =
   {
     atoms = Atomset.empty;
-    by_pred = SMap.empty;
-    by_ppt = PTMap.empty;
-    by_term = TMap.empty;
+    info = AMap.empty;
+    by_pred = IMap.empty;
+    by_code = IMap.empty;
     generation = 0;
-    born = AMap.empty;
   }
 
-let bump a = function
-  | None -> Some (bucket_add a bucket_empty)
-  | Some b -> Some (bucket_add a b)
+let bump e = function
+  | None -> Some (bucket_add e bucket_empty)
+  | Some b -> Some (bucket_add e b)
 
-let drop a = function
+let bump_coded e witness = function
+  | None -> Some (witness, bucket_add e bucket_empty)
+  | Some (w, b) -> Some (w, bucket_add e b)
+
+let drop fa = function
   | None -> None
   | Some b ->
-      let b = bucket_remove a b in
+      let b = bucket_remove fa b in
       if b.n = 0 then None else Some b
+
+let drop_coded fa = function
+  | None -> None
+  | Some (w, b) ->
+      let b = bucket_remove fa b in
+      if b.n = 0 then None else Some (w, b)
+
+(* (code, boxed witness) per distinct code of the atom, first occurrence
+   first — the by-code index must list each atom once per code, not once
+   per position. *)
+let distinct_coded_args e =
+  let codes = e.flat.Flat.args in
+  let rec go i terms acc =
+    match terms with
+    | [] -> List.rev acc
+    | t :: rest ->
+        let c = codes.(i) in
+        if List.exists (fun (c', _) -> c' = c) acc then go (i + 1) rest acc
+        else go (i + 1) rest ((c, t) :: acc)
+  in
+  go 0 (Atom.args e.boxed) []
 
 let add_atom ins a =
   if Atomset.mem a ins.atoms then ins
   else
-    let by_pred = SMap.update (Atom.pred a) (bump a) ins.by_pred in
-    let by_ppt, _ =
-      List.fold_left
-        (fun (bt, i) arg ->
-          (PTMap.update (Atom.pred a, i, arg) (bump a) bt, i + 1))
-        (ins.by_ppt, 0) (Atom.args a)
+    let e = { flat = Flat.encode a; boxed = a } in
+    let pid = e.flat.Flat.pred in
+    let codes = e.flat.Flat.args in
+    let arity = Array.length codes in
+    let pi =
+      match IMap.find_opt pid ins.by_pred with
+      | Some pi -> pi
+      | None -> pindex_empty
     in
-    let by_term =
+    let plen = Array.length pi.pos in
+    let pos =
+      Array.init (max arity plen) (fun i ->
+          if i < plen then pi.pos.(i) else IMap.empty)
+    in
+    Array.iteri (fun i c -> pos.(i) <- IMap.update c (bump e) pos.(i)) codes;
+    let by_pred = IMap.add pid { all = bucket_add e pi.all; pos } ins.by_pred in
+    let by_code =
       List.fold_left
-        (fun bt t -> TMap.update t (bump a) bt)
-        ins.by_term (Atom.term_set a)
+        (fun bc (c, w) -> IMap.update c (bump_coded e w) bc)
+        ins.by_code (distinct_coded_args e)
     in
     let g = next_gen () in
     {
       atoms = Atomset.add a ins.atoms;
+      info = AMap.add a { stamp = g; entry = e } ins.info;
       by_pred;
-      by_ppt;
-      by_term;
+      by_code;
       generation = g;
-      born = AMap.add a g ins.born;
     }
 
 let remove_atom ins a =
-  if not (Atomset.mem a ins.atoms) then ins
-  else
-    let by_pred = SMap.update (Atom.pred a) (drop a) ins.by_pred in
-    let by_ppt, _ =
-      List.fold_left
-        (fun (bt, i) arg ->
-          (PTMap.update (Atom.pred a, i, arg) (drop a) bt, i + 1))
-        (ins.by_ppt, 0) (Atom.args a)
-    in
-    let by_term =
-      List.fold_left
-        (fun bt t -> TMap.update t (drop a) bt)
-        ins.by_term (Atom.term_set a)
-    in
-    {
-      atoms = Atomset.remove a ins.atoms;
-      by_pred;
-      by_ppt;
-      by_term;
-      generation = next_gen ();
-      born = AMap.remove a ins.born;
-    }
+  match AMap.find_opt a ins.info with
+  | None -> ins
+  | Some { entry = e; _ } ->
+      let fa = e.flat in
+      let pid = fa.Flat.pred in
+      let by_pred =
+        match IMap.find_opt pid ins.by_pred with
+        | None -> ins.by_pred
+        | Some pi ->
+            let all = bucket_remove fa pi.all in
+            if all.n = 0 then IMap.remove pid ins.by_pred
+            else begin
+              let pos = Array.copy pi.pos in
+              Array.iteri
+                (fun i c -> pos.(i) <- IMap.update c (drop fa) pos.(i))
+                fa.Flat.args;
+              IMap.add pid { all; pos } ins.by_pred
+            end
+      in
+      let by_code =
+        List.fold_left
+          (fun bc (c, _) -> IMap.update c (drop_coded fa) bc)
+          ins.by_code (distinct_coded_args e)
+      in
+      {
+        atoms = Atomset.remove a ins.atoms;
+        info = AMap.remove a ins.info;
+        by_pred;
+        by_code;
+        generation = next_gen ();
+      }
 
 let add_atoms ins atoms = List.fold_left add_atom ins atoms
 
@@ -151,92 +206,194 @@ let remove_atoms ins atoms = List.fold_left remove_atom ins atoms
 
 let of_atomset atoms = Atomset.fold (fun a ins -> add_atom ins a) atoms empty
 
+(* One scratch buffer per domain for the allocation-free "does σ move
+   this atom?" checks below; instances are immutable and shared across
+   domains, so the buffer cannot live inside the instance value. *)
+let scratch_key = Domain.DLS.new_key (fun () -> ref (Array.make 8 0))
+
+let scratch n =
+  let r = Domain.DLS.get scratch_key in
+  if Array.length !r < n then r := Array.make (max n (2 * Array.length !r)) 0;
+  !r
+
 let apply_subst sigma ins =
   if Subst.is_empty sigma then ins
   else
+    let fsigma = Flat.Subst.of_subst sigma in
     (* only atoms containing a term of the substitution's domain can be
-       rewritten; the by-term buckets list exactly those *)
+       rewritten; the by-code buckets list exactly those *)
     let affected =
       List.fold_left
         (fun acc x ->
-          match TMap.find_opt x ins.by_term with
+          match Flat.code_of_term_opt x with
           | None -> acc
-          | Some b -> List.fold_left (fun acc a -> Atomset.add a acc) acc b.items)
-        Atomset.empty (Subst.domain sigma)
+          | Some code -> (
+              match IMap.find_opt code ins.by_code with
+              | None -> acc
+              | Some (_, b) ->
+                  List.fold_left
+                    (fun acc e -> AMap.add e.boxed e acc)
+                    acc b.items))
+        AMap.empty (Subst.domain sigma)
+    in
+    (* flat change detection: σ is applied into the reusable scratch
+       array, so deciding which affected atoms actually move allocates
+       nothing (DESIGN.md §12) *)
+    let changed =
+      AMap.filter
+        (fun _ e ->
+          Flat.Subst.apply_into fsigma ~args:e.flat.Flat.args
+            ~scratch:(scratch (Flat.arity e.flat)))
+        affected
     in
     (* two phases: remove every rewritten atom, then add every image.  A
        non-idempotent σ (a fold step swapping x and y, say) can map one
        rewritten atom onto another — interleaving removal with insertion
        would silently drop the latter when its own rewrite runs next. *)
-    let changed =
-      Atomset.filter
-        (fun a -> not (Atom.equal a (Subst.apply_atom sigma a)))
-        affected
-    in
-    let ins = Atomset.fold (fun a ins -> remove_atom ins a) changed ins in
-    Atomset.fold (fun a ins -> add_atom ins (Subst.apply_atom sigma a)) changed ins
+    let ins = AMap.fold (fun a _ ins -> remove_atom ins a) changed ins in
+    AMap.fold
+      (fun a _ ins -> add_atom ins (Subst.apply_atom sigma a))
+      changed ins
 
 let atomset ins = ins.atoms
 
 let generation ins = ins.generation
 
-let born ins a = AMap.find_opt a ins.born
+let born ins a =
+  match AMap.find_opt a ins.info with
+  | Some { stamp; _ } -> Some stamp
+  | None -> None
 
 let atoms_since ins g =
-  AMap.fold (fun a stamp acc -> if stamp > g then a :: acc else acc) ins.born []
+  AMap.fold
+    (fun a { stamp; _ } acc -> if stamp > g then a :: acc else acc)
+    ins.info []
   |> List.sort Atom.compare
 
 let cardinal ins = Atomset.cardinal ins.atoms
 
 let mem ins a = Atomset.mem a ins.atoms
 
+let boxed_items b = List.map (fun e -> e.boxed) b.items
+
+let pred_index ins pid =
+  match IMap.find_opt pid ins.by_pred with
+  | Some pi -> pi
+  | None -> pindex_empty
+
+(* Position lookup on a [pindex]: [Not_found] is caught rather than
+   probed with [find_opt] — the handler costs nothing on the hit path
+   and the miss path allocates no option, keeping candidate selection
+   allocation-free (DESIGN.md §12). *)
+let pos_bucket pi i code =
+  if i < Array.length pi.pos then
+    try IMap.find code pi.pos.(i) with Not_found -> bucket_empty
+  else bucket_empty
+
 let atoms_with_pred ins p =
-  match SMap.find_opt p ins.by_pred with Some b -> b.items | None -> []
+  match Flat.Symtab.find p with
+  | None -> []
+  | Some pid -> boxed_items (pred_index ins pid).all
 
 let atoms_with_pred_pos_term ins p i t =
-  match PTMap.find_opt (p, i, t) ins.by_ppt with Some b -> b.items | None -> []
+  match (Flat.Symtab.find p, Flat.code_of_term_opt t) with
+  | Some pid, Some c -> boxed_items (pos_bucket (pred_index ins pid) i c)
+  | _ -> []
 
 let atoms_with_term ins t =
-  match TMap.find_opt t ins.by_term with Some b -> b.items | None -> []
+  match Flat.code_of_term_opt t with
+  | None -> []
+  | Some c -> (
+      match IMap.find_opt c ins.by_code with
+      | Some (_, b) -> boxed_items b
+      | None -> [])
 
-(* The most selective index entry for a pattern atom: among argument
-   positions whose pattern term is a constant or a σ-bound variable, the
-   (pred, pos, term) bucket with the fewest atoms; otherwise the predicate
-   bucket.  Comparisons use the cached cardinalities. *)
-let best_bucket ins pattern sigma =
-  let p = Atom.pred pattern in
-  let pred_bucket =
-    match SMap.find_opt p ins.by_pred with
-    | Some b -> b
-    | None -> bucket_empty
-  in
-  let best, _ =
-    List.fold_left
-      (fun (best, i) arg ->
-        let img =
-          match arg with
-          | Term.Const _ -> Some arg
-          | Term.Var _ -> Subst.find arg sigma
-        in
-        let best =
-          match img with
-          | None -> best
-          | Some img -> (
-              match PTMap.find_opt (p, i, img) ins.by_ppt with
-              | None -> bucket_empty
-              | Some b -> if b.n < best.n then b else best)
-        in
-        (best, i + 1))
-      (pred_bucket, 0) (Atom.args pattern)
-  in
-  best
+let term_of_code ins c =
+  match IMap.find_opt c ins.by_code with
+  | Some (w, _) -> Some w
+  | None -> None
 
 let use_indexes = ref true
 
 let all_atoms ins = Atomset.to_list ins.atoms
 
+let fall_entries ins =
+  List.rev (AMap.fold (fun _ { entry; _ } acc -> entry :: acc) ins.info [])
+
+(* A pattern's selection handle: the instance (for the index-free
+   fallback) plus its predicate's [pindex], resolved once per pattern
+   per solve call — the per-node selection below never touches
+   [by_pred] again. *)
+type findex = { f_ins : t; f_pi : pindex }
+
+let findex ins ~pred = { f_ins = ins; f_pi = pred_index ins pred }
+
+(* The most selective index entry for a flat pattern: among argument
+   positions whose pattern code is concrete — a constant, or a search
+   variable the [bind] array has already fixed — the position bucket
+   with the fewest atoms; otherwise the predicate bucket.  The pattern
+   encodes its search variables as [lnot slot] (negative), so a
+   negative arg reads its current code from [bind] and [Flat.no_code]
+   marks "still unconstrained".  Comparisons use the cached
+   cardinalities, nothing is allocated, and a zero-cardinality bucket
+   short-circuits: nothing beats it, and every empty bucket has the
+   same (empty) item list, so the early exit is invisible to the
+   search. *)
+let findex_select fi ~fargs ~bind =
+  let n = Array.length fargs in
+  let pi = fi.f_pi in
+  let rec go i best =
+    if i >= n || best.n = 0 then best
+    else
+      let a = fargs.(i) in
+      let code = if a >= 0 then a else bind.(lnot a) in
+      if code = Flat.no_code then go (i + 1) best
+      else
+        let b = pos_bucket pi i code in
+        go (i + 1) (if b.n < best.n then b else best)
+  in
+  go 0 pi.all
+
+let findex_count fi ~fargs ~bind =
+  if !use_indexes then (findex_select fi ~fargs ~bind).n
+  else Atomset.cardinal fi.f_ins.atoms
+
+let findex_items fi ~fargs ~bind =
+  if !use_indexes then (findex_select fi ~fargs ~bind).items
+  else fall_entries fi.f_ins
+
+(* Boxed front-end to the same selection, for the reference solver and
+   direct index queries: the pattern is encoded per call (constants that
+   were never interned select the empty bucket — nothing can match
+   them). *)
+let best_bucket ins pattern sigma =
+  match Flat.Symtab.find (Atom.pred pattern) with
+  | None -> bucket_empty
+  | Some pid ->
+      let pi = pred_index ins pid in
+      let best = ref pi.all in
+      List.iteri
+        (fun i arg ->
+          let img =
+            match arg with
+            | Term.Const _ -> Some arg
+            | Term.Var _ -> Subst.find arg sigma
+          in
+          match img with
+          | None -> ()
+          | Some img ->
+              let b =
+                match Flat.code_of_term_opt img with
+                | None -> bucket_empty
+                | Some c -> pos_bucket pi i c
+              in
+              if b.n < !best.n then best := b)
+        (Atom.args pattern);
+      !best
+
 let candidates ins pattern sigma =
-  if !use_indexes then (best_bucket ins pattern sigma).items else all_atoms ins
+  if !use_indexes then boxed_items (best_bucket ins pattern sigma)
+  else all_atoms ins
 
 let candidate_count ins pattern sigma =
   if !use_indexes then (best_bucket ins pattern sigma).n
@@ -244,20 +401,43 @@ let candidate_count ins pattern sigma =
 
 let invariants_ok ins =
   let fresh = of_atomset ins.atoms in
-  let norm b = List.sort Atom.compare b.items in
+  let norm b = List.sort (fun e1 e2 -> Atom.compare e1.boxed e2.boxed) b.items in
   let bucket_eq b1 b2 =
     b1.n = List.length b1.items
     && b1.n = b2.n
-    && List.equal Atom.equal (norm b1) (norm b2)
+    && List.equal (fun e1 e2 -> Flat.equal e1.flat e2.flat) (norm b1) (norm b2)
   in
-  SMap.equal bucket_eq ins.by_pred fresh.by_pred
-  && PTMap.equal bucket_eq ins.by_ppt fresh.by_ppt
-  && TMap.equal bucket_eq ins.by_term fresh.by_term
-  && (* birth stamps cover exactly the live atoms and never postdate the
-        instance's own epoch *)
-  AMap.cardinal ins.born = Atomset.cardinal ins.atoms
+  let pindex_eq p1 p2 =
+    (* position arrays may carry trailing empty maps (removals never
+       shrink them); compare up to the longer length with empty maps
+       padding the shorter *)
+    let l1 = Array.length p1.pos and l2 = Array.length p2.pos in
+    let get p i = if i < Array.length p.pos then p.pos.(i) else IMap.empty in
+    bucket_eq p1.all p2.all
+    && List.for_all
+         (fun i -> IMap.equal bucket_eq (get p1 i) (get p2 i))
+         (List.init (max l1 l2) Fun.id)
+  in
+  IMap.equal pindex_eq ins.by_pred fresh.by_pred
+  && IMap.equal
+       (fun (w1, b1) (_, b2) ->
+         (* witnesses may legitimately differ between builds (first atom
+            to carry the code wins); they must still decode to the keyed
+            code *)
+         bucket_eq b1 b2
+         && IMap.for_all
+              (fun c (w, _) -> Flat.code_of_term w = c)
+              (IMap.singleton (Flat.code_of_term w1) (w1, b1)))
+       ins.by_code fresh.by_code
+  && (* entries cover exactly the live atoms, agree with a fresh encode,
+        and never postdate the instance's own epoch *)
+  AMap.cardinal ins.info = Atomset.cardinal ins.atoms
   && AMap.for_all
-       (fun a stamp -> Atomset.mem a ins.atoms && stamp <= ins.generation)
-       ins.born
+       (fun a { stamp; entry } ->
+         Atomset.mem a ins.atoms
+         && stamp <= ins.generation
+         && Atom.equal entry.boxed a
+         && Flat.equal entry.flat (Flat.encode a))
+       ins.info
 
 let pp ppf ins = Atomset.pp ppf ins.atoms

@@ -12,7 +12,16 @@
     updatable}: chase engines build the index once per run and patch it
     per step with {!add_atoms} / {!apply_subst} instead of rebuilding it
     per satisfaction check (see DESIGN.md §7 and the [abl:index]
-    ablation bench). *)
+    ablation bench).
+
+    Since the flat-representation refactor (DESIGN.md §12) the indexes
+    are keyed on interned {!Syntax.Flat} codes — bucket selection
+    compares ints, not strings or term trees — while every public
+    accessor still takes and returns boxed atoms.  The solver-facing
+    flat view ({!fentry}, {!findex}, {!findex_count}, {!findex_items},
+    {!term_of_code}) exposes both representations of each stored atom so
+    {!Hom.solve} can match on codes and still emit hint-exact boxed
+    substitutions. *)
 
 open Syntax
 
@@ -93,6 +102,41 @@ val candidates : t -> Atom.t -> Subst.t -> Atom.t list
 val candidate_count : t -> Atom.t -> Subst.t -> int
 (** Length of {!candidates}, read off the cached bucket cardinalities
     without walking any atom list. *)
+
+type fentry = private { flat : Flat.t; boxed : Atom.t }
+(** One stored atom, in both representations: [flat] drives matching,
+    [boxed] is the original (hints intact) that solutions are built
+    from.  [Flat.equal e.flat (Flat.encode e.boxed)] always holds. *)
+
+type findex
+(** A pattern's selection handle: the per-predicate index resolved once
+    (per pattern, per solve call), so per-node bucket selection touches
+    only int-keyed position maps — never the predicate table. *)
+
+val findex : t -> pred:int -> findex
+(** The handle for the interned predicate id [pred] (valid for this
+    instance value only; an unknown id yields a handle whose buckets are
+    all empty). *)
+
+val findex_count : findex -> fargs:int array -> bind:int array -> int
+(** Cardinality of the most selective bucket for a flat pattern:
+    [fargs] is the pattern's argument codes with search variables
+    encoded as [lnot slot], and [bind.(slot)] the code currently bound
+    to that slot ([Flat.no_code] when unbound).  Integer map lookups
+    only — no allocation, no atom list walked.  Honours {!use_indexes}
+    (off: instance cardinality). *)
+
+val findex_items : findex -> fargs:int array -> bind:int array -> fentry list
+(** The entries of the bucket {!findex_count} measured, newest first —
+    the same atoms, in the same order, as the boxed {!candidates} on the
+    equivalent pattern.  Honours {!use_indexes} (off: all entries,
+    sorted by {!Syntax.Atom.compare}). *)
+
+val term_of_code : t -> int -> Term.t option
+(** A boxed witness of the given code among the instance's atoms:
+    decoding through it preserves variable hints, which
+    {!Syntax.Flat.term_of_code} cannot.  [None] if no stored atom
+    contains the code. *)
 
 val invariants_ok : t -> bool
 (** Every index bucket (membership {e and} cached cardinality) agrees

@@ -86,6 +86,23 @@ let observe h ms =
     if ms > h.max_ms then h.max_ms <- ms
   end
 
+(* Allocation sampling (DESIGN.md §12): [Gc.minor_words] is a per-domain
+   monotone count of words allocated on the minor heap, so a delta around
+   a thunk measures exactly the thunk's own minor allocations — provided
+   the thunk does not migrate domains, which none of the instrumented
+   sites do (pool workers run their tasks to completion in place).  The
+   float-to-int conversion is exact until a domain has allocated 2^62
+   words; the counters overflow the benchmark horizon long before the
+   conversion does. *)
+let count_minor_words c f =
+  if not !enabled then f ()
+  else begin
+    let w0 = Gc.minor_words () in
+    Fun.protect
+      ~finally:(fun () -> add c (int_of_float (Gc.minor_words () -. w0)))
+      f
+  end
+
 let time h f =
   if !enabled then begin
     let t0 = Sys.time () in

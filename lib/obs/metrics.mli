@@ -44,6 +44,14 @@ val incr : counter -> unit
 
 val add : counter -> int -> unit
 
+val count_minor_words : counter -> (unit -> 'a) -> 'a
+(** Run the thunk, adding the minor-heap words it allocated (a
+    [Gc.minor_words] delta, exact and per-domain) to the counter when
+    {!enabled}; when disabled the thunk is called directly — no clock,
+    no [Gc] read.  The thunk must run to completion on the calling
+    domain.  Backs the [hom.minor_words] / [trigger.minor_words]
+    allocation accounting (DESIGN.md §12). *)
+
 (** {1 Gauges} — last-seen and peak values of a level *)
 
 type gauge

@@ -1,0 +1,192 @@
+(* Flat interned atoms (DESIGN.md §12).
+
+   The boxed [Term.t]/[Atom.t] trees are the parse/print boundary; the
+   hom/instance hot path runs on a flat mirror: every predicate name and
+   constant string is interned into a dense non-negative id by a
+   process-wide symbol table, variables keep their monotone [Term] ranks
+   encoded as negative ints ([lnot rank]), and an atom is a predicate id
+   plus an [int array] of term codes.  Hash/equal are O(arity) over
+   ints, substitution application writes into a caller-provided scratch
+   array, and the two sign classes can never collide: interned ids are
+   ≥ 0, variable codes are ≤ -1. *)
+
+module Symtab = struct
+  (* One table for predicates and constants alike: the chase never needs
+     to know whether id 7 is a predicate or a constant (atoms keep them
+     in different slots), and one namespace keeps codes comparable
+     everywhere.  All three operations take the mutex: interning happens
+     once per atom construction — never inside the backtracking search,
+     which only compares codes — so a lock here is off the hot path, and
+     it makes the table safely shared across [Par] worker domains. *)
+  let mu = Mutex.create ()
+
+  let ids : (string, int) Hashtbl.t = Hashtbl.create 256
+
+  let names = ref (Array.make 256 "")
+
+  let count = ref 0
+
+  let locked f =
+    Mutex.lock mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+  let intern s =
+    locked (fun () ->
+        match Hashtbl.find_opt ids s with
+        | Some id -> id
+        | None ->
+            let id = !count in
+            if id >= Array.length !names then begin
+              let bigger = Array.make (2 * Array.length !names) "" in
+              Array.blit !names 0 bigger 0 id;
+              names := bigger
+            end;
+            !names.(id) <- s;
+            Hashtbl.replace ids s id;
+            incr count;
+            id)
+
+  let find s = locked (fun () -> Hashtbl.find_opt ids s)
+
+  let name id =
+    locked (fun () ->
+        if id < 0 || id >= !count then
+          invalid_arg (Printf.sprintf "Flat.Symtab.name: unknown id %d" id);
+        !names.(id))
+
+  let size () = locked (fun () -> !count)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Term codes *)
+
+let no_code = min_int
+
+let code_of_var_rank r = lnot r
+
+let is_var_code c = c < 0
+
+let rank_of_code c = lnot c
+
+let code_of_term = function
+  | Term.Const c -> Symtab.intern c
+  | Term.Var v -> lnot v.Term.id
+
+(* Query-side encoding: never allocates a fresh symbol id, so probing an
+   index for a constant the instance has never seen stays a no-hit
+   instead of growing the table. *)
+let code_of_term_opt = function
+  | Term.Const c -> Symtab.find c
+  | Term.Var v -> Some (lnot v.Term.id)
+
+let term_of_code c =
+  if c = no_code then invalid_arg "Flat.term_of_code: no_code"
+  else if c < 0 then Term.var_of_id (lnot c)
+  else Term.const (Symtab.name c)
+
+(* ------------------------------------------------------------------ *)
+(* Flat atoms *)
+
+type t = { pred : int; args : int array }
+
+let make pred args = { pred; args }
+
+let pred a = a.pred
+
+let args a = a.args
+
+let arity a = Array.length a.args
+
+let is_ground a = Array.for_all (fun c -> c >= 0) a.args
+
+let encode (a : Atom.t) =
+  {
+    pred = Symtab.intern (Atom.pred a);
+    args = Array.of_list (List.map code_of_term (Atom.args a));
+  }
+
+let decode fa =
+  Atom.make (Symtab.name fa.pred) (List.map term_of_code (Array.to_list fa.args))
+
+let equal a b =
+  a.pred = b.pred
+  && Array.length a.args = Array.length b.args
+  &&
+  let rec eq i = i < 0 || (a.args.(i) = b.args.(i) && eq (i - 1)) in
+  eq (Array.length a.args - 1)
+
+let compare a b =
+  let c = Int.compare a.pred b.pred in
+  if c <> 0 then c
+  else
+    let la = Array.length a.args and lb = Array.length b.args in
+    let c = Int.compare la lb in
+    if c <> 0 then c
+    else
+      let rec go i =
+        if i >= la then 0
+        else
+          let c = Int.compare a.args.(i) b.args.(i) in
+          if c <> 0 then c else go (i + 1)
+      in
+      go 0
+
+(* FNV-style mixing over raw ints: no boxing and none of the
+   polymorphic hash's traversal bookkeeping — a multiply and a xor per
+   argument. *)
+let hash a =
+  let h = ref (a.pred * 0x01000193) in
+  for i = 0 to Array.length a.args - 1 do
+    h := ((!h lxor a.args.(i)) * 0x01000193) land max_int
+  done;
+  !h
+
+let pp ppf a =
+  if Array.length a.args = 0 then Fmt.pf ppf "#%d" a.pred
+  else
+    Fmt.pf ppf "#%d(%a)" a.pred
+      Fmt.(array ~sep:comma int)
+      a.args
+
+(* ------------------------------------------------------------------ *)
+(* Flat substitutions: variable code -> term code *)
+
+module Subst = struct
+  type nonrec t = (int, int) Hashtbl.t
+
+  let of_subst (s : Subst.t) : t =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (x, t) -> Hashtbl.replace tbl (code_of_term x) (code_of_term t))
+      (Subst.to_list s);
+    tbl
+
+  let apply_code s c =
+    if c >= 0 then c
+    else match Hashtbl.find_opt s c with Some c' -> c' | None -> c
+
+  (* The allocation-free application: writes σ(args) into the prefix of
+     [scratch] (which must be at least as long as [args]) and reports
+     whether anything moved.  Callers keep one scratch array per domain
+     and reuse it across every atom of a rewrite, so deciding "is this
+     atom touched by σ?" costs zero allocations (the [abl:index] and
+     fold-heavy workloads ask that question for every affected atom of
+     every simplification step). *)
+  let apply_into s ~args ~scratch =
+    let n = Array.length args in
+    if Array.length scratch < n then
+      invalid_arg "Flat.Subst.apply_into: scratch too short";
+    let changed = ref false in
+    for i = 0 to n - 1 do
+      let c = args.(i) in
+      let c' = apply_code s c in
+      scratch.(i) <- c';
+      if c' <> c then changed := true
+    done;
+    !changed
+
+  let apply s fa =
+    let scratch = Array.make (Array.length fa.args) 0 in
+    if apply_into s ~args:fa.args ~scratch then { fa with args = scratch }
+    else fa
+end

@@ -2,29 +2,98 @@
 """Compare a fresh benchmark run against the committed baseline.
 
 Usage: bench_compare.py BASELINE.json CURRENT.json [TOLERANCE]
+       bench_compare.py --memo-gate CURRENT.json
 
 Both files use the BENCH_RESULTS.json schema: timing rows (ns/run) nested
-under a top-level "benchmarks" key.  Every benchmark present in CURRENT is
-compared against the same key in BASELINE; a row slower than TOLERANCE x
-baseline (default 1.5) is flagged.  Exit status 1 when anything is flagged
-— the CI job is warn-only, so this marks the job without failing the
-workflow.  Stdlib only.
+under a top-level "benchmarks" key and per-workload counter columns under
+"counters".  Every benchmark present in CURRENT is compared against the
+same key in BASELINE; a row slower than TOLERANCE x baseline (default 1.5)
+is flagged.  Allocation counters (*.minor_words) are reported per workload
+so the artifact records allocation drift alongside timing drift.
+
+Exit status:
+  0  all checks pass
+  1  tolerance regressions only (warn-only — marks the job, not the
+     workflow)
+  2  usage / malformed input
+  3  memo gate violation: the "abl:hom:memo:on" row is slower than
+     "abl:hom:memo:off" in CURRENT.  This one is a hard failure — a memo
+     that loses to its own ablation is a correctness-of-purpose bug, not
+     runner noise — so CI runs it as a non-warn step (--memo-gate).
+
+Stdlib only.
 """
 
 import json
 import sys
 
+MEMO_ON = "corechase abl:hom:memo:on"
+MEMO_OFF = "corechase abl:hom:memo:off"
+
+# Shared runners are noisy even between two rows of the same run; allow
+# the memo row a small pad before calling it a regression.
+MEMO_PAD = 1.10
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def memo_gate(current):
+    """0 if memo:on beats (or ties, within the pad) memo:off, else 3."""
+    bench = current.get("benchmarks", {})
+    on, off = bench.get(MEMO_ON), bench.get(MEMO_OFF)
+    if not isinstance(on, (int, float)) or not isinstance(off, (int, float)):
+        print("memo gate: rows missing (%s / %s) — skipped" % (MEMO_ON, MEMO_OFF))
+        return 0
+    verdict = "PASS" if on <= off * MEMO_PAD else "FAIL"
+    print(
+        "memo gate: on %.1f ns/run vs off %.1f ns/run (pad %.2fx) -> %s"
+        % (on, off, MEMO_PAD, verdict)
+    )
+    if verdict == "FAIL":
+        print("memo gate: abl:hom:memo:on regressed past abl:hom:memo:off")
+        return 3
+    return 0
+
+
+def alloc_report(baseline, current):
+    """Per-workload *.minor_words columns, current vs baseline."""
+    cur = current.get("counters", {})
+    base = baseline.get("counters", {})
+    rows = []
+    for workload in sorted(cur):
+        for counter, value in sorted(cur[workload].items()):
+            if not counter.endswith("minor_words"):
+                continue
+            prev = base.get(workload, {}).get(counter)
+            rows.append((workload, counter, prev, value))
+    if not rows:
+        return
+    print()
+    print("allocation counters (minor words per workload):")
+    width = max(len("%s %s" % (w, c)) for w, c, _, _ in rows)
+    for workload, counter, prev, value in rows:
+        label = "%s %s" % (workload, counter)
+        if isinstance(prev, (int, float)):
+            print("  %-*s %14d -> %14d" % (width, label, prev, value))
+        else:
+            print("  %-*s %14s -> %14d  (no baseline)" % (width, label, "-", value))
+
 
 def main():
+    if len(sys.argv) == 3 and sys.argv[1] == "--memo-gate":
+        return memo_gate(load(sys.argv[2]))
     if len(sys.argv) < 3:
         print(__doc__)
         return 2
     baseline_path, current_path = sys.argv[1], sys.argv[2]
     tolerance = float(sys.argv[3]) if len(sys.argv) > 3 else 1.5
-    with open(baseline_path) as f:
-        baseline = json.load(f).get("benchmarks", {})
-    with open(current_path) as f:
-        current = json.load(f).get("benchmarks", {})
+    baseline_doc = load(baseline_path)
+    current_doc = load(current_path)
+    baseline = baseline_doc.get("benchmarks", {})
+    current = current_doc.get("benchmarks", {})
     if not current:
         print("no benchmark rows in %s" % current_path)
         return 2
@@ -45,6 +114,11 @@ def main():
         )
         if ratio > tolerance:
             regressions.append((name, ratio))
+    alloc_report(baseline_doc, current_doc)
+    print()
+    gate = memo_gate(current_doc)
+    if gate:
+        return gate
     if regressions:
         print()
         print("%d benchmark(s) slower than %.2fx baseline (warn-only):" % (len(regressions), tolerance))

@@ -17,7 +17,7 @@ with more than one job — the per-domain split (each row reads
 total = slot0+slot1+…).  The split itself is reproducible: batch task i
 always runs on slot i mod jobs, never on whichever domain is free.
 
-  $ corechase chase family.dlgp --variant core --jobs 4 --trace out.jsonl --metrics | grep -v "tw.ms"
+  $ corechase chase family.dlgp --variant core --jobs 4 --trace out.jsonl --metrics | grep -vE "tw.ms|minor_words"
   variant:    core
   outcome:    terminated (fixpoint reached)
   steps:      3

@@ -14,7 +14,7 @@ The runs pin --jobs 1 so the rows stay byte-identical even when the
 suite itself is exercised under CORECHASE_JOBS=4 (the par.* rows then
 read 0: with one job no fan-out ever happens).
 
-  $ corechase chase family.dlgp --variant core --jobs 1 --trace out.jsonl --metrics | grep -v "tw.ms"
+  $ corechase chase family.dlgp --variant core --jobs 1 --trace out.jsonl --metrics | grep -vE "tw.ms|minor_words"
   variant:    core
   outcome:    terminated (fixpoint reached)
   steps:      3

@@ -88,6 +88,30 @@ let test_exceptions_lowest_index () =
       | exception Failure m ->
           Alcotest.(check string) "first failing task re-raised" "2" m)
 
+let test_chunked_map_large () =
+  (* 5_000 tasks exceed the [chunk_factor × jobs] chunk budget, so
+     multi-item strided chunks carry the batch (DESIGN.md §12): the
+     combinator laws — order, coverage, lowest-index exception — must
+     hold exactly as on the one-task-per-chunk path *)
+  let n = 5_000 in
+  let xs = List.init n Fun.id in
+  let f x = (7 * x) + (x mod 13) in
+  Par.with_jobs 4 (fun () ->
+      Alcotest.(check (list int)) "chunked map matches List.map" (List.map f xs)
+        (Par.map f xs);
+      let hits = Array.make n 0 in
+      Par.iter (fun i -> hits.(i) <- hits.(i) + 1) xs;
+      Alcotest.(check bool) "chunked iter visits each task exactly once" true
+        (Array.for_all (fun c -> c = 1) hits);
+      match
+        Par.map
+          (fun x -> if x >= 100 && x mod 97 = 0 then failwith (string_of_int x) else x)
+          xs
+      with
+      | _ -> Alcotest.fail "expected Failure"
+      | exception Failure m ->
+          Alcotest.(check string) "lowest failing task re-raised" "194" m)
+
 let test_set_jobs_rejects_nonpositive () =
   Alcotest.check_raises "set_jobs 0 refused"
     (Invalid_argument "Par.set_jobs: jobs must be >= 1") (fun () ->
@@ -326,6 +350,8 @@ let suites =
           test_find_first_map_sequential_semantics;
         Alcotest.test_case "map_reduce folds in input order" `Quick
           test_map_reduce_input_order;
+        Alcotest.test_case "chunked large fan-out laws" `Quick
+          test_chunked_map_large;
         Alcotest.test_case "lowest-index exception re-raised" `Quick
           test_exceptions_lowest_index;
         Alcotest.test_case "set_jobs rejects n < 1" `Quick

@@ -15,7 +15,12 @@
        search: the core chase run in Audit scoping (which raises on any
        non-isomorphic pair of cores) never raises on random KBs;
      - trace events survive the JSONL round trip (Obs.Trace.of_json_line
-       ∘ to_json = Some). *)
+       ∘ to_json = Some);
+     - flat interned codes (DESIGN.md §12): decode ∘ encode = id up to
+       Atom.equal, flat equal/compare/hash agree with the boxed ones,
+       flat substitution application agrees with Subst.apply_atom, and
+       the flat solver — and through it every chase engine — is
+       observationally identical to the boxed reference. *)
 
 open Syntax
 
@@ -427,6 +432,140 @@ let scoped_core_agrees_parallel c =
   Par.with_jobs 4 (fun () -> scoped_core_agrees c)
 
 (* ------------------------------------------------------------------ *)
+(* Law 9: flat codes round-trip and agree with boxed equality/hash
+   (DESIGN.md §12).  [decode ∘ encode] is the identity up to
+   [Atom.equal] (variable hints are not stored flat, and equality
+   ignores them), and through [encode] the flat [equal]/[compare]/[hash]
+   are exactly [Atom.equal] plus a lawful hash for it. *)
+
+let gen_flat_atom rng =
+  (* mixed arities over the shared var/const pools, nullary included so
+     zero-length args arrays are exercised *)
+  match int_in rng 0 3 with
+  | 0 -> Atom.make "fz" []
+  | 1 -> Atom.make "fu" [ pick rng term_pool ]
+  | 2 -> Atom.make "fp" [ pick rng term_pool; pick rng term_pool ]
+  | _ ->
+      Atom.make "ft"
+        [ pick rng term_pool; pick rng term_pool; pick rng term_pool ]
+
+let atom_pair : (Atom.t * Atom.t) arbitrary =
+  {
+    gen = (fun rng -> (gen_flat_atom rng, gen_flat_atom rng));
+    shrink = (fun _ -> []);
+    print = (fun (a, b) -> Fmt.str "a=%a b=%a" Atom.pp a Atom.pp b);
+  }
+
+let flat_codes_lawful (a, b) =
+  let fa = Flat.encode a and fb = Flat.encode b in
+  Atom.equal (Flat.decode fa) a
+  && Flat.equal fa (Flat.encode a)
+  && Flat.equal fa (Flat.encode (Flat.decode fa))
+  && Flat.equal fa fb = Atom.equal a b
+  && (Flat.compare fa fb = 0) = Flat.equal fa fb
+  && ((not (Flat.equal fa fb)) || Flat.hash fa = Flat.hash fb)
+
+(* ------------------------------------------------------------------ *)
+(* Law 10: flat substitution application agrees with the boxed one
+   through [encode], and [apply_into]'s changed flag is exact: it
+   reports true iff some code moved, i.e. iff σ(a) ≠ a. *)
+
+type fsub_case = { fs_atom : Atom.t; fs_bindings : (Term.t * Term.t) list }
+
+let fsub_case : fsub_case arbitrary =
+  {
+    gen =
+      (fun rng ->
+        { fs_atom = gen_flat_atom rng; fs_bindings = gen_bindings rng });
+    shrink =
+      (fun c ->
+        List.map
+          (fun b -> { c with fs_bindings = b })
+          (without_each c.fs_bindings));
+    print =
+      (fun c ->
+        Fmt.str "atom=%a σ=%s" Atom.pp c.fs_atom (pp_bindings c.fs_bindings));
+  }
+
+let flat_subst_agrees c =
+  let sigma = subst_of c.fs_bindings in
+  let fs = Flat.Subst.of_subst sigma in
+  let fa = Flat.encode c.fs_atom in
+  let boxed = Subst.apply_atom sigma c.fs_atom in
+  let applied = Flat.Subst.apply fs fa in
+  (* over-long scratch: only the arity-length prefix is meaningful *)
+  let scratch = Array.make (Flat.arity fa + 2) Flat.no_code in
+  let changed = Flat.Subst.apply_into fs ~args:(Flat.args fa) ~scratch in
+  let prefix_agrees =
+    let aargs = Flat.args applied in
+    let ok = ref true in
+    Array.iteri (fun i v -> if scratch.(i) <> v then ok := false) aargs;
+    !ok
+  in
+  Flat.equal applied (Flat.encode boxed)
+  && changed = not (Flat.equal applied fa)
+  && prefix_agrees
+
+(* ------------------------------------------------------------------ *)
+(* Law 11: the flat solver is observationally the boxed solver.  Both
+   representations perform the same search (same selection, same
+   candidate order), so [Hom.all] must return the same witnesses in the
+   same order — injective mode included — on every random src/tgt
+   pair. *)
+
+type hom_case = { h_src : Atom.t list; h_tgt : Atom.t list; h_inj : bool }
+
+let hom_case : hom_case arbitrary =
+  {
+    gen =
+      (fun rng ->
+        {
+          h_src = List.init (int_in rng 1 5) (fun _ -> gen_atom rng);
+          h_tgt = List.init (int_in rng 1 12) (fun _ -> gen_atom rng);
+          h_inj = Random.State.bool rng;
+        });
+    shrink =
+      (fun c ->
+        List.map (fun s -> { c with h_src = s }) (without_each c.h_src)
+        @ List.map (fun t -> { c with h_tgt = t }) (without_each c.h_tgt));
+    print =
+      (fun c ->
+        Fmt.str "inj=%b src=%a tgt=%a" c.h_inj Atomset.pp_verbose
+          (Atomset.of_list c.h_src) Atomset.pp_verbose
+          (Atomset.of_list c.h_tgt));
+  }
+
+let with_repr flat f =
+  let saved = !Homo.Hom.flat_enabled in
+  Homo.Hom.flat_enabled := flat;
+  Fun.protect ~finally:(fun () -> Homo.Hom.flat_enabled := saved) f
+
+let flat_solver_agrees c =
+  let src = Atomset.of_list c.h_src in
+  let tgt = Homo.Instance.of_atomset (Atomset.of_list c.h_tgt) in
+  let run () = Homo.Hom.all ~injective:c.h_inj src tgt in
+  let flat = with_repr true run and boxed = with_repr false run in
+  List.length flat = List.length boxed && List.for_all2 Subst.equal flat boxed
+
+(* ------------------------------------------------------------------ *)
+(* Law 12: every chase engine lands on the same final instance whether
+   its hom searches run on the flat or the boxed representation —
+   the end-to-end differential for the representation switch.  Fresh
+   nulls draw ranks from the process-wide freshness counter, so two
+   runs agree up to isomorphism, not syntactic equality. *)
+
+let engine_repr_invariant seed =
+  let kb = Zoo.Randomkb.generate ~seed Zoo.Randomkb.default in
+  let budget = { Chase.Variants.max_steps = 12; max_atoms = 2_000 } in
+  List.for_all
+    (fun engine ->
+      let run () = Chase.run ~budget engine kb in
+      let rf = with_repr true run and rb = with_repr false run in
+      rf.Chase.terminated = rb.Chase.terminated
+      && Homo.Morphism.isomorphic rf.Chase.final rb.Chase.final)
+    Chase.[ Oblivious; Skolem; Restricted; Frugal; Core ]
+
+(* ------------------------------------------------------------------ *)
 
 let suites =
   [
@@ -445,5 +584,13 @@ let suites =
           parallel_tw_agrees;
         check ~count:120 "audited core chase never diverges (jobs=4)"
           scoped_case scoped_core_agrees_parallel;
+        check ~count:400 "flat codes round trip, equal/hash lawful" atom_pair
+          flat_codes_lawful;
+        check ~count:400 "flat substitution agrees with boxed" fsub_case
+          flat_subst_agrees;
+        check ~count:150 "flat solver = boxed solver (Hom.all)" hom_case
+          flat_solver_agrees;
+        check ~count:50 "chase engines invariant under hom repr" seed_arb
+          engine_repr_invariant;
       ] );
   ]

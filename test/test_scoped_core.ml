@@ -191,18 +191,18 @@ let test_memo_caches_failures () =
   let tgt = Homo.Instance.of_atomset (Atomset.of_list [ atom "q" [ Term.const "a" ] ]) in
   let epoch = Homo.Instance.generation tgt in
   with_metrics (fun () ->
-      let r1 = Homo.Hom.find ~memo:("test:p-into-q", epoch) src tgt in
+      let r1 = Homo.Hom.find ~memo:([| 99; 1 |], epoch) src tgt in
       Alcotest.(check bool) "first check fails" true (r1 = None);
       Alcotest.(check int) "one miss" 1 (counter_value "hom.memo_misses");
       Alcotest.(check int) "no hit yet" 0 (counter_value "hom.memo_hits");
-      let r2 = Homo.Hom.find ~memo:("test:p-into-q", epoch) src tgt in
+      let r2 = Homo.Hom.find ~memo:([| 99; 1 |], epoch) src tgt in
       Alcotest.(check bool) "second check fails" true (r2 = None);
       Alcotest.(check int) "second check hits" 1 (counter_value "hom.memo_hits");
       (* growing the target bumps its generation: stale entry must miss *)
       let tgt' = Homo.Instance.add_atoms tgt [ atom "p" [ Term.const "a" ] ] in
       let epoch' = Homo.Instance.generation tgt' in
       Alcotest.(check bool) "epoch advanced" true (epoch' > epoch);
-      let r3 = Homo.Hom.find ~memo:("test:p-into-q", epoch') src tgt' in
+      let r3 = Homo.Hom.find ~memo:([| 99; 1 |], epoch') src tgt' in
       Alcotest.(check bool) "now finds a hom" true (r3 <> None);
       Alcotest.(check int) "stale entry missed" 2
         (counter_value "hom.memo_misses"))
@@ -217,25 +217,46 @@ let test_memo_disabled_bypasses () =
     ~finally:(fun () -> Homo.Hom.memo_enabled := true)
     (fun () ->
       with_metrics (fun () ->
-          ignore (Homo.Hom.find ~memo:("test:off", epoch) src tgt);
-          ignore (Homo.Hom.find ~memo:("test:off", epoch) src tgt);
+          ignore (Homo.Hom.find ~memo:([| 99; 2 |], epoch) src tgt);
+          ignore (Homo.Hom.find ~memo:([| 99; 2 |], epoch) src tgt);
           Alcotest.(check int) "no hits when disabled" 0
             (counter_value "hom.memo_hits");
           Alcotest.(check int) "no misses counted either" 0
             (counter_value "hom.memo_misses")))
 
-let test_memo_successes_not_cached () =
+let test_memo_successes_cached () =
   Homo.Hom.memo_clear ();
   let src = Atomset.of_list [ atom "p" [ Term.const "a" ] ] in
   let tgt = Homo.Instance.of_atomset (Atomset.of_list [ atom "p" [ Term.const "a" ] ]) in
   let epoch = Homo.Instance.generation tgt in
   with_metrics (fun () ->
-      let r1 = Homo.Hom.find ~memo:("test:success", epoch) src tgt in
+      let r1 = Homo.Hom.find ~memo:([| 99; 3 |], epoch) src tgt in
       Alcotest.(check bool) "finds a hom" true (r1 <> None);
-      let r2 = Homo.Hom.find ~memo:("test:success", epoch) src tgt in
-      Alcotest.(check bool) "finds it again" true (r2 <> None);
-      Alcotest.(check int) "successes never hit the memo" 0
-        (counter_value "hom.memo_hits"))
+      let r2 = Homo.Hom.find ~memo:([| 99; 3 |], epoch) src tgt in
+      Alcotest.(check bool) "replays the cached witness" true
+        (match (r1, r2) with
+        | Some s1, Some s2 -> Subst.equal s1 s2
+        | _ -> false);
+      Alcotest.(check int) "same-epoch success hits" 1
+        (counter_value "hom.memo_hits");
+      (* witness-returning calls never reuse a stale-epoch success: a new
+         epoch means a fresh search (and a second miss) *)
+      let tgt' = Homo.Instance.add_atoms tgt [ atom "q" [ Term.const "b" ] ] in
+      let epoch' = Homo.Instance.generation tgt' in
+      let r3 = Homo.Hom.find ~memo:([| 99; 3 |], epoch') src tgt' in
+      Alcotest.(check bool) "searches again at the new epoch" true (r3 <> None);
+      Alcotest.(check int) "find misses across epochs" 2
+        (counter_value "hom.memo_misses");
+      (* [exists] may revalidate the stale witness instead: σ(src) still
+         lands inside the grown target, so no search runs *)
+      let tgt'' = Homo.Instance.add_atoms tgt' [ atom "q" [ Term.const "c" ] ] in
+      let epoch'' = Homo.Instance.generation tgt'' in
+      Alcotest.(check bool) "exists via the stale witness" true
+        (Homo.Hom.exists ~memo:([| 99; 3 |], epoch'') src tgt'');
+      Alcotest.(check int) "stale-witness reuse is a hit" 2
+        (counter_value "hom.memo_hits");
+      Alcotest.(check int) "and not a miss" 2
+        (counter_value "hom.memo_misses"))
 
 (* ------------------------------------------------------------------ *)
 (* (d) differential runs: Scoped ≡ Exhaustive, Audit everywhere *)
@@ -350,8 +371,8 @@ let suites =
           test_memo_caches_failures;
         Alcotest.test_case "disabled memo bypasses" `Quick
           test_memo_disabled_bypasses;
-        Alcotest.test_case "successes not cached" `Quick
-          test_memo_successes_not_cached;
+        Alcotest.test_case "successes cached and revalidated" `Quick
+          test_memo_successes_cached;
       ] );
     ( "scoped_core.differential",
       [
