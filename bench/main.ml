@@ -14,6 +14,9 @@
    Environment: BENCH_SCALE (default 1) lengthens the prefixes;
    BENCH_SKIP_MICRO=1 skips part 2 (used by quick CI runs). *)
 
+(* aliased before [open Bechamel], which has an [Analyze] of its own *)
+module Router = Analyze
+
 open Bechamel
 open Bechamel.Toolkit
 open Syntax
@@ -90,6 +93,38 @@ let par_workload () =
 
 let staircase_derivation_20 =
   (Chase.Variants.core ~budget:(budget 20) (Zoo.Staircase.kb ())).Chase.Variants.derivation
+
+(* Engine routing (DESIGN.md §13): the analyzer's own cost and the
+   routed run next to each fixed engine, on certified-terminating
+   families — one per certificate source: acyclicity (wa-ladder),
+   instance-rank fixpoint (linear-twist, where the skolem probe
+   diverges), existential-free (datalog-clique).  The routing decision
+   is precomputed at setup so the auto row times only the engine the
+   router picked; the analysis cost has its own row, and
+   scripts/bench_compare.py --route-gate bounds auto against the best
+   fixed engine. *)
+let route_cases =
+  List.filter
+    (fun (name, _) ->
+      List.mem name [ "wa-ladder-3"; "linear-twist-3"; "datalog-clique-3" ])
+    (Zoo.Families.named ())
+
+let route_tests =
+  List.concat_map
+    (fun (name, kb) ->
+      let choice = Router.route kb in
+      let b = budget 200 in
+      [
+        Test.make ~name:(Printf.sprintf "abl:route:analyze:%s" name)
+          (Staged.stage (fun () -> ignore (Router.analyze kb)));
+        Test.make ~name:(Printf.sprintf "abl:route:auto:%s" name)
+          (Staged.stage (fun () -> ignore (Chase.run_engine ~budget:b choice kb)));
+        Test.make ~name:(Printf.sprintf "abl:route:restricted:%s" name)
+          (Staged.stage (fun () -> ignore (Chase.run ~budget:b Chase.Restricted kb)));
+        Test.make ~name:(Printf.sprintf "abl:route:core:%s" name)
+          (Staged.stage (fun () -> ignore (Chase.run ~budget:b Chase.Core kb)));
+      ])
+    route_cases
 
 let micro_tests =
   [
@@ -215,6 +250,9 @@ let micro_tests =
         Homo.Hom.flat_enabled := false;
         ignore (Homo.Hom.count staircase_query staircase_instance);
         Homo.Hom.flat_enabled := true));
+  ]
+  @ route_tests
+  @ [
     (* domain-pool fan-out (DESIGN.md §10): the same mixed workload —
        core-chase prefixes + exact treewidth B&B — under one job and
        four.  set_jobs is a no-op when the width is unchanged, so the

@@ -4,6 +4,7 @@
      chase      run a chase variant on a DLGP file
      resume     continue a chase from an on-disk checkpoint
      entail     decide the file's queries (Theorem-1 skeleton)
+     analyze    termination analysis + engine routing (DESIGN.md §13)
      classify   syntactic class analysis + behavioural probes
      treewidth  treewidth of the facts of a DLGP file
      repro      regenerate the paper's figures/tables (F1..F5, T1)
@@ -13,7 +14,8 @@
      0  success / everything entailed / fixpoint reached
      1  a query was not entailed
      2  a budget or the deadline stopped the run before a verdict
-     3  usage or input error (bad file, bad checkpoint, bad combination)
+     3  usage or input error (bad file, bad checkpoint, bad combination);
+        also analyze/classify --strict with an `unknown' verdict
      124/125  command-line parse errors (cmdliner's own codes) *)
 
 open Cmdliner
@@ -162,6 +164,41 @@ let with_obs ~trace ~metrics f =
       | None -> f ()
       | Some path -> Corechase.Obs.Trace.with_jsonl_file path f)
 
+(* engine routing (DESIGN.md §13) *)
+let engine_arg =
+  let engine_conv =
+    Arg.enum
+      [
+        ("auto", `Auto);
+        ("datalog", `Datalog);
+        ("restricted", `Restricted);
+        ("core", `Core);
+      ]
+  in
+  Arg.(
+    value
+    & opt (some engine_conv) None
+    & info [ "engine" ]
+        ~doc:
+          "Engine selection: $(b,auto) runs the termination analyzer and \
+           routes to the cheapest sound engine (semi-naive datalog for \
+           existential-free rules, restricted chase when termination is \
+           certified, core chase otherwise); $(b,datalog), \
+           $(b,restricted) and $(b,core) force that engine.  Overrides \
+           $(b,--variant).")
+
+(* resolve --engine against the analyzer; prints the routing line so the
+   decision is part of the command's visible, pinned output *)
+let resolve_engine ~budget kb = function
+  | `Datalog -> Chase.Engine_datalog
+  | `Restricted -> Chase.Engine_restricted
+  | `Core -> Chase.Engine_core
+  | `Auto ->
+      let report = Analyze.analyze ~budget kb in
+      let choice, reason = Analyze.route_of_report kb report in
+      Fmt.pr "engine:     %s (%s)@." (Chase.engine_name choice) reason;
+      choice
+
 (* chase *)
 let variant_arg =
   let variant_conv =
@@ -213,14 +250,18 @@ let hook_with_cadence every hook =
           if !calls mod max 1 every = 0 then save state)
 
 let chase_cmd =
-  let run file variant steps atoms deadline ckpt every verbose trace metrics
-      core_scope jobs =
+  let run file variant engine steps atoms deadline ckpt every verbose trace
+      metrics core_scope jobs =
     let kb = load_kb file in
     (match (variant, ckpt) with
     | (Chase.Oblivious | Chase.Skolem), Some _ ->
         die exit_input
           "--checkpoint requires a derivation engine (restricted, frugal or \
            core)"
+    | _ -> ());
+    (match (engine, ckpt) with
+    | Some _, Some _ ->
+        die exit_input "--checkpoint cannot be combined with --engine"
     | _ -> ());
     Homo.Core.scoping := core_scope;
     Corechase.Par.set_jobs jobs;
@@ -232,7 +273,13 @@ let chase_cmd =
            ~budget ckpt)
     in
     with_obs ~trace ~metrics (fun () ->
-        let report = Chase.run ~budget ?token ?checkpoint variant kb in
+        let report =
+          match engine with
+          | None -> Chase.run ~budget ?token ?checkpoint variant kb
+          | Some e ->
+              let choice = resolve_engine ~budget kb e in
+              Chase.run_engine ~budget ?token choice kb
+        in
         print_report ~verbose report;
         exit_of_outcome report.Chase.outcome)
   in
@@ -241,9 +288,9 @@ let chase_cmd =
   in
   Cmd.v (Cmd.info "chase" ~doc:"Run a chase variant on a DLGP knowledge base.")
     CTerm.(
-      const run $ file_arg $ variant_arg $ steps_arg $ atoms_arg $ deadline_arg
-      $ checkpoint_arg $ checkpoint_every_arg $ verbose $ trace_arg
-      $ metrics_arg $ core_scope_arg $ jobs_arg)
+      const run $ file_arg $ variant_arg $ engine_arg $ steps_arg $ atoms_arg
+      $ deadline_arg $ checkpoint_arg $ checkpoint_every_arg $ verbose
+      $ trace_arg $ metrics_arg $ core_scope_arg $ jobs_arg)
 
 (* resume *)
 let resume_cmd =
@@ -354,11 +401,21 @@ let resume_cmd =
 
 (* entail *)
 let entail_cmd =
-  let run file steps atoms max_domain deadline =
+  let run file steps atoms max_domain deadline engine =
     let doc = load_document file in
     let kb = Dlgp.kb_of_document doc in
     let budget = budget_of steps atoms in
     let token = token_of_deadline deadline in
+    (* the datalog choice saturates; the restricted derivation engine is
+       the same fixpoint on full rules, so both map to [`Restricted] *)
+    let variant =
+      match engine with
+      | None -> `Core
+      | Some e -> (
+          match resolve_engine ~budget kb e with
+          | Chase.Engine_core -> `Core
+          | Chase.Engine_datalog | Chase.Engine_restricted -> `Restricted)
+    in
     let code = ref exit_ok in
     let worsen c = if c > !code then code := c in
     Resilience.with_token token (fun () ->
@@ -379,7 +436,7 @@ let entail_cmd =
             (fun q ->
               if Kb.Query.is_boolean q then begin
                 let verdict =
-                  Corechase.Entailment.decide ~budget ~max_domain kb q
+                  Corechase.Entailment.decide ~variant ~budget ~max_domain kb q
                 in
                 (match verdict with
                 | Corechase.Entailment.Entailed -> ()
@@ -399,7 +456,9 @@ let entail_cmd =
                          ^ ")")
                        tuples)
                 in
-                match Corechase.Entailment.certain_answers ~budget kb q with
+                match
+                  Corechase.Entailment.certain_answers ~variant ~budget kb q
+                with
                 | Corechase.Entailment.Complete tuples ->
                     Fmt.pr "%a  ⟶  %d certain answer(s): %s@." Kb.Query.pp q
                       (List.length tuples) (tuples_str tuples)
@@ -417,11 +476,53 @@ let entail_cmd =
     (Cmd.info "entail"
        ~doc:"Decide the file's Boolean CQs with the chase + countermodel pair of semi-procedures.")
     CTerm.(
-      const run $ file_arg $ steps_arg $ atoms_arg $ max_domain $ deadline_arg)
+      const run $ file_arg $ steps_arg $ atoms_arg $ max_domain $ deadline_arg
+      $ engine_arg)
 
-(* classify *)
+(* analyze / classify *)
+let strict_arg =
+  Arg.(
+    value & flag
+    & info [ "strict" ]
+        ~doc:
+          "Exit with code 3 when the analyzer verdict is $(b,unknown) \
+           (without this flag an unknown verdict still exits 0).")
+
+let strict_exit ~strict (report : Analyze.report) =
+  if strict && report.Analyze.verdict = Analyze.Unknown then exit_input
+  else exit_ok
+
+let analyze_cmd =
+  let run file steps atoms strict json trace metrics =
+    let kb = load_kb file in
+    let budget = budget_of steps atoms in
+    with_obs ~trace ~metrics (fun () ->
+        let report = Analyze.analyze ~budget kb in
+        if json then print_endline (Analyze.to_json kb report)
+        else begin
+          Fmt.pr "%a@." Analyze.pp_report report;
+          let choice, reason = Analyze.route_of_report kb report in
+          Fmt.pr "route: %s (%s)@." (Chase.engine_name choice) reason
+        end;
+        strict_exit ~strict report)
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Print the machine-readable justification trail as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Termination analysis with a justification trail, and the engine \
+          the router would pick (DESIGN.md §13).")
+    CTerm.(
+      const run $ file_arg $ steps_arg $ atoms_arg $ strict_arg $ json
+      $ trace_arg $ metrics_arg)
+
 let classify_cmd =
-  let run file steps atoms =
+  let run file steps atoms strict =
     let kb = load_kb file in
     let report = Rclasses.analyze (Kb.rules kb) in
     Fmt.pr "%a@." Rclasses.pp_report report;
@@ -440,12 +541,14 @@ let classify_cmd =
     Fmt.pr "core-chase treewidth series: %a@."
       Fmt.(list ~sep:sp int)
       profile.Corechase.Probes.series;
-    exit_ok
+    let analysis = Analyze.analyze ~budget:(budget_of steps atoms) kb in
+    Fmt.pr "analyzer verdict: %s@." (Analyze.verdict_name analysis.Analyze.verdict);
+    strict_exit ~strict analysis
   in
   Cmd.v
     (Cmd.info "classify"
        ~doc:"Syntactic decidability-class analysis plus behavioural probes.")
-    CTerm.(const run $ file_arg $ steps_arg $ atoms_arg)
+    CTerm.(const run $ file_arg $ steps_arg $ atoms_arg $ strict_arg)
 
 (* treewidth *)
 let treewidth_cmd =
@@ -549,6 +652,7 @@ let zoo_cmd =
     Zoo.Classic.all_named ()
     @ [ ("steepening-staircase", Zoo.Staircase.kb ());
         ("inflating-elevator", Zoo.Elevator.kb ()) ]
+    @ Zoo.Families.named ()
   in
   let run name =
     match name with
@@ -580,6 +684,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            chase_cmd; resume_cmd; entail_cmd; classify_cmd; treewidth_cmd;
-            repro_cmd; tptp_cmd; dot_cmd; zoo_cmd;
+            chase_cmd; resume_cmd; entail_cmd; analyze_cmd; classify_cmd;
+            treewidth_cmd; repro_cmd; tptp_cmd; dot_cmd; zoo_cmd;
           ]))

@@ -1,0 +1,84 @@
+(** Static termination analysis and engine routing (DESIGN.md §13).
+
+    Entry module of [corechase.analyze]: re-exports the semantic probes
+    — {!Ranks} (k-boundedness estimation by bounded restricted-chase
+    runs), {!Linearcheck} (Leclère-style one-atom-at-a-time probing for
+    linear rules) and {!Grdcycles} (SCC refinement of the graph of rule
+    dependencies) — and combines them with the syntactic
+    {!Rclasses.analyze} report into a {!verdict} on the chase
+    behaviour of a KB plus a machine-readable justification trail.
+
+    The verdict lattice, least certain first:
+
+    {v Unknown  ⊑  Bts  ⊑  Terminates_restricted  ⊑  Terminates_all v}
+
+    - [Terminates_all]: every chase variant terminates on every
+      instance over these rules (acyclicity classes, datalog-only GRD
+      cycles, or a skolem fixpoint on the critical instance).
+    - [Terminates_restricted]: the restricted chase of {e this} KB
+      reaches a fixpoint — certified by actually running it to
+      fixpoint within budget ({!Ranks}), with the {!Linearcheck}
+      atomic probes as universal supporting evidence on linear rules.
+    - [Bts]: the ruleset is in a treewidth-bounded class (guardedness
+      family) — querying is decidable but the chase may diverge.
+    - [Unknown]: no criterion fired (or EGDs are present, which the
+      termination criteria do not cover).
+
+    Every criterion records its {!scope}: [Universal] facts hold for
+    all instances over the ruleset, [Instance] facts only for the
+    analysed KB. *)
+
+module Ranks = Ranks
+module Linearcheck = Linearcheck
+module Grdcycles = Grdcycles
+
+open Syntax
+
+type verdict = Unknown | Bts | Terminates_restricted | Terminates_all
+
+val verdict_name : verdict -> string
+(** ["unknown" | "bts" | "terminates-restricted" | "terminates-all"]. *)
+
+val verdict_rank : verdict -> int
+(** Position in the lattice: [Unknown] is 0, [Terminates_all] is 3.
+    Verdicts only ever compare along this chain. *)
+
+type scope = Universal | Instance
+
+type criterion = {
+  name : string;  (** stable identifier, e.g. ["classes:acyclicity"] *)
+  holds : bool;
+  scope : scope;
+  detail : string;  (** deterministic human-readable justification *)
+}
+
+type report = {
+  classes : Rclasses.report;  (** the syntactic class landscape *)
+  criteria : criterion list;  (** the justification trail, fixed order *)
+  verdict : verdict;
+}
+
+val default_budget : Chase.Variants.budget
+(** Budget for the semantic probes (smaller than the engine default:
+    the analyzer must stay cheap relative to the chase it routes). *)
+
+val analyze : ?budget:Chase.Variants.budget -> Kb.t -> report
+(** Run every applicable criterion and fold the verdict.  With EGDs
+    present the semantic probes are skipped and the verdict is capped
+    at [Unknown] (the certificates only cover TGD chases). *)
+
+val route_of_report : Kb.t -> report -> Chase.engine_choice * string
+(** The routing policy, as (decision, reason): semi-naive datalog for
+    existential-free EGD-free KBs, the restricted engine when the
+    verdict certifies termination, the core engine (robust default)
+    otherwise. *)
+
+val route : ?budget:Chase.Variants.budget -> Kb.t -> Chase.engine_choice
+(** [route kb = fst (route_of_report kb (analyze kb))]. *)
+
+val pp_report : report Fmt.t
+(** The pinned rendering used by [corechase analyze]: the class flags,
+    one line per criterion, the verdict. *)
+
+val to_json : Kb.t -> report -> string
+(** Machine-readable justification trail (criteria, verdict, route). *)

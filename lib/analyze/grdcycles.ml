@@ -1,0 +1,30 @@
+open Syntax
+
+type diagnosis = {
+  rules : int;
+  cyclic : string list list;
+  frozen_cyclic : string list list;
+  datalog_cycles_only : bool;
+  existential_frozen_cycle : bool;
+}
+
+let diagnose rules =
+  let arr = Array.of_list rules in
+  let n = Array.length arr in
+  let names comp = List.map (fun i -> Rule.name arr.(i)) comp in
+  let sorted sccs = List.sort compare (List.map (List.sort compare) sccs) in
+  let cyclic_idx =
+    sorted (Rclasses.Dependency.cyclic_sccs ~n (Rclasses.Dependency.pred_graph rules))
+  in
+  let frozen_idx =
+    sorted (Rclasses.Dependency.cyclic_sccs ~n (Rclasses.Dependency.frozen_graph rules))
+  in
+  {
+    rules = n;
+    cyclic = List.map names cyclic_idx;
+    frozen_cyclic = List.map names frozen_idx;
+    datalog_cycles_only =
+      List.for_all (List.for_all (fun i -> Rule.is_datalog arr.(i))) cyclic_idx;
+    existential_frozen_cycle =
+      List.exists (List.exists (fun i -> not (Rule.is_datalog arr.(i)))) frozen_idx;
+  }

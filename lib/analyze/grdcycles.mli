@@ -1,0 +1,38 @@
+(** Cycle analysis of the graph of rule dependencies, refining
+    {!Rclasses.Dependency.agrd_sound}.
+
+    The predicate-level dependency graph is a {e complete}
+    overapproximation (it never misses a dependency), so its strongly
+    connected components soundly over-cover every real dependency
+    cycle.  Two refinements over the plain acyclicity bit:
+
+    - {b datalog-cycles certificate}: if every cyclic SCC consists of
+      datalog rules only, all chase variants terminate on every
+      instance.  Topologically order the SCC condensation: datalog
+      SCCs create no terms, and an existential rule outside every
+      cycle draws its body from upstream components only, so by
+      induction each component saturates finitely.  (This certificate
+      is subsumed by weak acyclicity in expressive power but names the
+      {e rules} responsible, which the justification trail wants.)
+    - {b cycle diagnosis}: the cyclic SCCs of the complete graph, and
+      of the sound (frozen-body) graph, as rule-name lists.  A frozen
+      cycle through an existential rule is a genuine dependency cycle
+      that can create terms — evidence (not proof) of divergence. *)
+
+open Syntax
+
+type diagnosis = {
+  rules : int;  (** number of rules analysed *)
+  cyclic : string list list;
+      (** cyclic SCCs of the complete predicate-level graph, rule names
+          in index order *)
+  frozen_cyclic : string list list;
+      (** cyclic SCCs of the sound frozen-body graph *)
+  datalog_cycles_only : bool;
+      (** every rule inside a cyclic (complete-graph) SCC is datalog —
+          a universal termination certificate *)
+  existential_frozen_cycle : bool;
+      (** some sound-graph cycle contains an existential rule *)
+}
+
+val diagnose : Rule.t list -> diagnosis

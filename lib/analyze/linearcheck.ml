@@ -1,0 +1,82 @@
+open Syntax
+
+let max_arity = 4
+
+type result = {
+  applicable : bool;
+  certified : bool;
+  probes : int;
+  failures : string list;
+  why_not : string option;
+}
+
+let rec partitions = function
+  | [] -> [ [] ]
+  | x :: rest ->
+      List.concat_map
+        (fun p ->
+          ([ x ] :: p)
+          :: List.mapi
+               (fun i _ ->
+                 List.mapi (fun j blk -> if i = j then x :: blk else blk) p)
+               p)
+        (partitions rest)
+
+(* One atomic instance per equality partition of the argument positions:
+   positions in the same block share a constant. *)
+let atomic_instance pred arity partition =
+  let args = Array.make arity (Term.const "lin0") in
+  List.iteri
+    (fun bi block ->
+      let c = Term.const (Printf.sprintf "lin%d" bi) in
+      List.iter (fun pos -> args.(pos) <- c) block)
+    partition;
+  Atom.make pred (Array.to_list args)
+
+let partition_label partition =
+  let block b = String.concat "" (List.map string_of_int (List.sort compare b)) in
+  "{"
+  ^ String.concat "|"
+      (List.map block
+         (List.sort (fun a b -> compare (List.sort compare a) (List.sort compare b)) partition))
+  ^ "}"
+
+let body_preds rules =
+  List.sort_uniq compare
+    (List.concat_map (fun r -> Atomset.preds (Rule.body r)) rules)
+
+let not_applicable why = { applicable = false; certified = false; probes = 0; failures = []; why_not = Some why }
+
+let check ?(budget = Chase.Variants.default_budget) kb =
+  let rules = Kb.rules kb in
+  if Kb.egds kb <> [] then not_applicable "EGDs present"
+  else if not (Rclasses.Guardedness.ruleset_linear rules) then
+    not_applicable "not a linear ruleset"
+  else
+    let preds = body_preds rules in
+    match List.find_opt (fun (_, ar) -> ar > max_arity) preds with
+    | Some (p, ar) ->
+        not_applicable (Printf.sprintf "body predicate %s/%d exceeds arity cap %d" p ar max_arity)
+    | None ->
+        let probes = ref 0 and failures = ref [] in
+        List.iter
+          (fun (p, ar) ->
+            List.iter
+              (fun partition ->
+                incr probes;
+                let atom = atomic_instance p ar partition in
+                let kb = Kb.make ~facts:(Atomset.singleton atom) ~rules in
+                let run = Chase.Variants.restricted ~budget kb in
+                if run.Chase.Variants.outcome <> Chase.Variants.Fixpoint then
+                  failures :=
+                    Printf.sprintf "%s/%d%s" p ar (partition_label partition)
+                    :: !failures)
+              (partitions (List.init ar Fun.id)))
+          preds;
+        {
+          applicable = true;
+          certified = !failures = [];
+          probes = !probes;
+          failures = List.rev !failures;
+          why_not = None;
+        }

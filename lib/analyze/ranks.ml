@@ -1,0 +1,77 @@
+open Syntax
+
+type profile = {
+  outcome : Chase.Variants.outcome;
+  max_rank : int;
+  frontier : (int * int) list;
+  steps : int;
+  fixpoint : bool;
+}
+
+module AH = Hashtbl.Make (struct
+  type t = Atom.t
+
+  let equal = Atom.equal
+  let hash = Atom.hash
+end)
+
+(* The restricted chase is monotone with identity simplifications, so the
+   atoms produced by step i are exactly [instance_i \ instance_{i-1}] and
+   every body-image atom of the trigger already carries a rank. *)
+let probe ?(budget = Chase.Variants.default_budget) kb =
+  let run = Chase.Variants.restricted ~budget kb in
+  let d = run.Chase.Variants.derivation in
+  let ranks = AH.create 256 in
+  let assign atom rank = if not (AH.mem ranks atom) then AH.add ranks atom rank in
+  let steps = Chase.Derivation.steps d in
+  (match steps with
+  | s0 :: _ -> Atomset.iter (fun atom -> assign atom 0) s0.Chase.Derivation.instance
+  | [] -> ());
+  let prev = ref (match steps with s0 :: _ -> s0.Chase.Derivation.instance | [] -> Atomset.empty) in
+  List.iteri
+    (fun i st ->
+      if i > 0 then begin
+        let produced = Atomset.diff st.Chase.Derivation.instance !prev in
+        let body_rank =
+          match st.Chase.Derivation.trigger with
+          | None -> 0
+          | Some tr ->
+              let image =
+                Subst.apply (Chase.Trigger.mapping tr)
+                  (Rule.body (Chase.Trigger.rule tr))
+              in
+              Atomset.fold
+                (fun atom acc ->
+                  match AH.find_opt ranks atom with
+                  | Some r -> max r acc
+                  | None -> acc)
+                image 0
+        in
+        Atomset.iter (fun atom -> assign atom (body_rank + 1)) produced;
+        prev := st.Chase.Derivation.instance
+      end)
+    steps;
+  let per_rank = Hashtbl.create 16 in
+  let max_rank = ref 0 in
+  AH.iter
+    (fun _ r ->
+      max_rank := max !max_rank r;
+      Hashtbl.replace per_rank r (1 + Option.value ~default:0 (Hashtbl.find_opt per_rank r)))
+    ranks;
+  let frontier =
+    List.filter_map
+      (fun r -> Option.map (fun n -> (r, n)) (Hashtbl.find_opt per_rank r))
+      (List.init (!max_rank + 1) Fun.id)
+  in
+  {
+    outcome = run.Chase.Variants.outcome;
+    max_rank = !max_rank;
+    frontier;
+    steps = Chase.Derivation.length d - 1;
+    fixpoint = run.Chase.Variants.outcome = Chase.Variants.Fixpoint;
+  }
+
+let pp_frontier ppf frontier =
+  Fmt.pf ppf "%a"
+    (Fmt.list ~sep:(Fmt.any " ") (fun ppf (r, n) -> Fmt.pf ppf "r%d:%d" r n))
+    frontier

@@ -1,0 +1,33 @@
+(** k-boundedness estimation by bounded restricted-chase runs
+    (Delivorias et al., "On the k-Boundedness of the Chase").
+
+    The rank of an atom in a restricted-chase derivation is its
+    derivation depth: facts have rank 0, and an atom produced by a
+    trigger has rank [1 + max] over the ranks of the trigger's body
+    image.  A ruleset is k-bounded when every restricted chase
+    terminates within rank k on every instance; that is undecidable to
+    certify in general, so this probe runs a budgeted restricted chase
+    on the {e given} KB and reports the observed rank profile.  A
+    [Fixpoint] outcome is an instance-scoped termination certificate:
+    the engine's fair strategy reached a universal model of this KB at
+    depth [max_rank]. *)
+
+open Syntax
+
+type profile = {
+  outcome : Chase.Variants.outcome;  (** why the probe run stopped *)
+  max_rank : int;  (** deepest rank assigned *)
+  frontier : (int * int) list;
+      (** [(rank, atoms first derived at that rank)], ascending; rank 0
+          counts the initial facts *)
+  steps : int;  (** rule applications performed by the probe *)
+  fixpoint : bool;  (** [outcome = Fixpoint] *)
+}
+
+val probe : ?budget:Chase.Variants.budget -> Kb.t -> profile
+(** Run the restricted chase under [budget] (default
+    {!Chase.Variants.default_budget}) and rank every derived atom. *)
+
+val pp_frontier : (int * int) list Fmt.t
+(** ["r0:4 r1:2 …"] — the pinned, single-line rendering used by the
+    justification trail. *)

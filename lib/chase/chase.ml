@@ -78,6 +78,41 @@ let run ?budget ?token ?resume ?checkpoint variant kb =
   | Frugal -> of_run (Variants.frugal ?budget ?token ?resume ?checkpoint kb)
   | Core -> of_run (Variants.core ?budget ?token ?resume ?checkpoint kb)
 
+(* ------------------------------------------------------------------ *)
+(* Engine routing targets (DESIGN.md §13).                             *)
+(* ------------------------------------------------------------------ *)
+
+type engine_choice = Engine_datalog | Engine_restricted | Engine_core
+
+let engine_name = function
+  | Engine_datalog -> "datalog"
+  | Engine_restricted -> "restricted"
+  | Engine_core -> "core"
+
+(** Run the routed engine and report uniformly.  [Engine_datalog] is
+    semi-naive saturation: on a full (existential-free) program it {e is}
+    the restricted chase — every trigger is satisfied exactly when its
+    head atoms are present — so the report carries [variant = Restricted];
+    saturation always terminates, so the budget only applies to the other
+    engines.  [Engine_core] is the full core chase. *)
+let run_engine ?budget ?token choice kb =
+  match choice with
+  | Engine_restricted -> run ?budget ?token Restricted kb
+  | Engine_core -> run ?budget ?token Core kb
+  | Engine_datalog ->
+      if Kb.egds kb <> [] then
+        invalid_arg "Chase.run_engine: datalog engine does not handle EGDs";
+      let facts = Kb.facts kb in
+      let final = Datalog.saturate (Kb.rules kb) facts in
+      {
+        variant = Restricted;
+        terminated = true;
+        outcome = Resilience.Fixpoint;
+        steps = Atomset.cardinal final - Atomset.cardinal facts;
+        final;
+        sizes = [ Atomset.cardinal facts; Atomset.cardinal final ];
+      }
+
 (** Does the instance satisfy every rule (i.e. is it a model of the
     ruleset)?  An instance is a model of a rule iff every trigger for it is
     satisfied in it. *)

@@ -51,6 +51,26 @@ val run :
     @raise Invalid_argument when [resume]/[checkpoint] is passed with
     [Oblivious] or [Skolem] (no derivation to checkpoint). *)
 
+type engine_choice = Engine_datalog | Engine_restricted | Engine_core
+(** Routing targets for the static analyzer (DESIGN.md §13): semi-naive
+    datalog saturation for full rules, the restricted chase when
+    termination is certified, the core chase otherwise. *)
+
+val engine_name : engine_choice -> string
+
+val run_engine :
+  ?budget:Variants.budget ->
+  ?token:Resilience.Token.t ->
+  engine_choice ->
+  Kb.t ->
+  report
+(** Run the routed engine.  [Engine_datalog] performs semi-naive
+    saturation — on an existential-free program this {e is} the restricted
+    chase, so the report carries [variant = Restricted] and always ends in
+    [Fixpoint]; the budget applies to the other two engines.
+    @raise Invalid_argument if [Engine_datalog] is chosen for a KB with
+    existential rules or EGDs. *)
+
 val is_model_of_rules : Rule.t list -> Atomset.t -> bool
 (** Every trigger of every rule is satisfied in the instance. *)
 

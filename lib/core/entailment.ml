@@ -92,9 +92,9 @@ let certain_answers ?(variant = `Core) ?budget kb q =
       | Some _ -> Sound []
       | None -> raise e)
 
-let decide ?budget ?(max_domain = 4) kb q =
+let decide ?(variant = `Core) ?budget ?(max_domain = 4) kb q =
   guard_verdict @@ fun () ->
-  match via_chase ?budget kb q with
+  match via_chase ~variant ?budget kb q with
   | (Entailed | Not_entailed) as v -> v
   | Unknown why1 -> (
       match via_countermodel ~max_domain kb q with

@@ -40,10 +40,13 @@ val via_countermodel : max_domain:int -> Kb.t -> Kb.Query.t -> verdict
     exists; [Unknown] otherwise (never [Entailed]). *)
 
 val decide :
-  ?budget:Chase.Variants.budget -> ?max_domain:int -> Kb.t -> Kb.Query.t ->
-  verdict
-(** Runs {!via_chase} then, if inconclusive, {!via_countermodel}
-    (defaults: the chase default budget; domains up to 4). *)
+  ?variant:[ `Restricted | `Core ] -> ?budget:Chase.Variants.budget ->
+  ?max_domain:int -> Kb.t -> Kb.Query.t -> verdict
+(** Runs {!via_chase} (with the chosen chase variant, default [`Core])
+    then, if inconclusive, {!via_countermodel} (defaults: the chase
+    default budget; domains up to 4).  [`Restricted] is the engine the
+    analyzer routes to when it certifies termination: on such KBs both
+    variants reach a universal model, so the verdict is unchanged. *)
 
 type answers =
   | Complete of Term.t list list

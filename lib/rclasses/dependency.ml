@@ -46,6 +46,59 @@ let pred_graph rules = graph_with may_depend_pred rules
 
 let frozen_graph rules = graph_with depends_frozen rules
 
+(* Tarjan's strongly connected components over an edge list on [0, n).
+   Components come back in reverse topological order (consumers first);
+   callers that care re-sort, the analyzer only inspects each SCC alone. *)
+let sccs ~n edges =
+  let adj = Array.make n [] in
+  List.iter (fun (i, j) -> adj.(i) <- j :: adj.(i)) edges;
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let out = ref [] in
+  let rec strongconnect v =
+    index.(v) <- !counter;
+    lowlink.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) < 0 then begin
+          strongconnect w;
+          lowlink.(v) <- min lowlink.(v) lowlink.(w)
+        end
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      adj.(v);
+    if lowlink.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            if w = v then w :: acc else pop (w :: acc)
+        | [] -> acc
+      in
+      out := pop [] :: !out
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) < 0 then strongconnect v
+  done;
+  !out
+
+let cyclic_sccs ~n edges =
+  let self = List.filter (fun (i, j) -> i = j) edges in
+  List.filter
+    (fun comp ->
+      match comp with
+      | [] -> false
+      | [ v ] -> List.mem (v, v) self
+      | _ -> true)
+    (sccs ~n edges)
+
 let agrd_sound rules =
   let n = List.length rules in
   let edges = pred_graph rules in

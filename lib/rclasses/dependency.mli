@@ -26,6 +26,16 @@ val pred_graph : Rule.t list -> (int * int) list
 
 val frozen_graph : Rule.t list -> (int * int) list
 
+val sccs : n:int -> (int * int) list -> int list list
+(** Strongly connected components of an edge list over vertices
+    [0 .. n-1] (Tarjan).  Each component lists its vertices in discovery
+    order; components arrive in reverse topological order. *)
+
+val cyclic_sccs : n:int -> (int * int) list -> int list list
+(** The components that actually contain a cycle: size ≥ 2, or a single
+    vertex with a self-loop.  Rules outside every cyclic SCC can fire
+    only finitely often regardless of the rest of the ruleset. *)
+
 val agrd_sound : Rule.t list -> bool
 (** The predicate-level graph is acyclic — a sound certificate for an
     acyclic GRD (hence termination of all chase variants, hence fes). *)

@@ -1,0 +1,384 @@
+open Syntax
+
+type klass =
+  | Datalog
+  | Weakly_acyclic
+  | Jointly_acyclic
+  | Acyclic_grd
+  | Linear
+  | Guarded
+  | Frontier_guarded
+
+let klass_name = function
+  | Datalog -> "datalog"
+  | Weakly_acyclic -> "weakly-acyclic"
+  | Jointly_acyclic -> "jointly-acyclic"
+  | Acyclic_grd -> "agrd"
+  | Linear -> "linear"
+  | Guarded -> "guarded"
+  | Frontier_guarded -> "frontier-guarded"
+
+type behaviour = Terminating | Nonterminating
+
+type case = {
+  name : string;
+  kb : Kb.t;
+  classes : klass list;
+  behaviour : behaviour;
+}
+
+let atom = Atom.make
+let cst fmt = Printf.ksprintf Term.const fmt
+let v hint = Term.fresh_var ~hint ()
+let pred fmt = Printf.ksprintf Fun.id fmt
+
+(* Weakly acyclic ladder: each level spawns one null and hands it to the
+   next level.  p0(a) climbs the whole ladder once. *)
+let wa_ladder n =
+  let rules =
+    List.concat
+      (List.init n (fun i ->
+           let x = v "X" and y = v "Y" in
+           let x' = v "X" in
+           [
+             Rule.make
+               ~name:(Printf.sprintf "grow%d" i)
+               ~body:[ atom (pred "p%d" i) [ x ] ]
+               ~head:[ atom (pred "e%d" i) [ x; y ] ]
+               ();
+             Rule.make
+               ~name:(Printf.sprintf "step%d" i)
+               ~body:[ atom (pred "e%d" i) [ v "U"; x' ] ]
+               ~head:[ atom (pred "p%d" (i + 1)) [ x' ] ]
+               ();
+           ]))
+  in
+  Kb.of_lists ~facts:[ atom "p0" [ cst "a" ] ] ~rules
+
+(* As wa_ladder, but the last step feeds level 0 again: the position
+   cycle now runs through a special edge, so weak acyclicity (and
+   termination) are gone in one edit. *)
+let wa_ladder_mut n =
+  let rules =
+    List.concat
+      (List.init n (fun i ->
+           let x = v "X" and y = v "Y" in
+           let x' = v "X" in
+           [
+             Rule.make
+               ~name:(Printf.sprintf "grow%d" i)
+               ~body:[ atom (pred "p%d" i) [ x ] ]
+               ~head:[ atom (pred "e%d" i) [ x; y ] ]
+               ();
+             Rule.make
+               ~name:(Printf.sprintf "step%d" i)
+               ~body:[ atom (pred "e%d" i) [ v "U"; x' ] ]
+               ~head:[ atom (pred "p%d" (if i = n - 1 then 0 else i + 1)) [ x' ] ]
+               ();
+           ]))
+  in
+  Kb.of_lists ~facts:[ atom "p0" [ cst "a" ] ] ~rules
+
+(* Jointly acyclic but not weakly acyclic: u spawns a null into r's
+   second position, v cycles r back into p — but only for values seen in
+   the unaffected predicate q, which blocks Ω-propagation. *)
+let ja_ladder_rules ~mutated n =
+  List.concat
+    (List.init n (fun i ->
+         let x = v "X" and y = v "Y" and z = v "Z" in
+         let x' = v "X" and y' = v "Y" in
+         let u_head =
+           atom (pred "r%d" i) [ y; z ]
+           :: (if mutated then [ atom (pred "q%d" i) [ z ] ] else [])
+         in
+         [
+           Rule.make
+             ~name:(Printf.sprintf "u%d" i)
+             ~body:[ atom (pred "p%d" i) [ x; y ] ]
+             ~head:u_head ();
+           Rule.make
+             ~name:(Printf.sprintf "v%d" i)
+             ~body:[ atom (pred "r%d" i) [ x'; y' ]; atom (pred "q%d" i) [ y' ] ]
+             ~head:[ atom (pred "p%d" i) [ x'; y' ] ]
+             ();
+         ]))
+
+let ja_ladder_facts n =
+  List.concat
+    (List.init n (fun i ->
+         [ atom (pred "p%d" i) [ cst "a"; cst "b" ]; atom (pred "q%d" i) [ cst "b" ] ]))
+
+let ja_ladder n =
+  Kb.of_lists ~facts:(ja_ladder_facts n) ~rules:(ja_ladder_rules ~mutated:false n)
+
+let ja_ladder_mut n =
+  Kb.of_lists ~facts:(ja_ladder_facts n) ~rules:(ja_ladder_rules ~mutated:true n)
+
+(* Linear chain of unary spawns: fixpoint at rank exactly n. *)
+let linear_chain n =
+  let rules =
+    List.init n (fun i ->
+        let x = v "X" and y = v "Y" in
+        Rule.make
+          ~name:(Printf.sprintf "hop%d" i)
+          ~body:[ atom (pred "s%d" i) [ x ] ]
+          ~head:[ atom (pred "s%d" (i + 1)) [ y ] ]
+          ())
+  in
+  Kb.of_lists ~facts:[ atom "s0" [ cst "a" ] ] ~rules
+
+(* One edit: the first hop gains a second body atom — no longer linear. *)
+let linear_chain_mut n =
+  let rules =
+    List.init n (fun i ->
+        let x = v "X" and y = v "Y" in
+        if i = 0 then
+          Rule.make ~name:"hop0"
+            ~body:[ atom "s0" [ x ]; atom "s0" [ v "X'" ] ]
+            ~head:[ atom "s1" [ y ] ]
+            ()
+        else
+          Rule.make
+            ~name:(Printf.sprintf "hop%d" i)
+            ~body:[ atom (pred "s%d" i) [ x ] ]
+            ~head:[ atom (pred "s%d" (i + 1)) [ y ] ]
+            ())
+  in
+  Kb.of_lists ~facts:[ atom "s0" [ cst "a" ] ] ~rules
+
+(* Linear, restricted-chase terminating, skolem-chase diverging: the
+   second head atom h(Z,Z) satisfies the trigger on h(Y,Z) at birth, so
+   the restricted chase stops after one application per seed while the
+   skolem chase runs forever.  Only the semantic probes certify this
+   family. *)
+let linear_twist_facts n =
+  List.init n (fun i -> atom "h" [ cst "a%d" i; cst "a%d" (i + 1) ])
+
+let linear_twist n =
+  let x = v "X" and y = v "Y" and z = v "Z" in
+  Kb.of_lists
+    ~facts:(linear_twist_facts n)
+    ~rules:
+      [
+        Rule.make ~name:"twist"
+          ~body:[ atom "h" [ x; y ] ]
+          ~head:[ atom "h" [ y; z ]; atom "h" [ z; z ] ]
+          ();
+      ]
+
+(* One edit: drop the self-satisfying atom — the family becomes the
+   paper's diverging bts-not-fes loop. *)
+let linear_twist_mut n =
+  let x = v "X" and y = v "Y" and z = v "Z" in
+  Kb.of_lists
+    ~facts:(linear_twist_facts n)
+    ~rules:
+      [
+        Rule.make ~name:"twist"
+          ~body:[ atom "h" [ x; y ] ]
+          ~head:[ atom "h" [ y; z ] ]
+          ();
+      ]
+
+(* Guarded but not linear (two body atoms, r(X,Y) guards both
+   variables); jointly acyclic because b blocks Ω-propagation. *)
+let guarded_pair_facts n =
+  List.concat
+    (List.init n (fun i ->
+         [
+           atom "a" [ cst "c%d" i; cst "c%d" (i + 1) ];
+           atom "b" [ cst "c%d" i; cst "c%d" (i + 1) ];
+         ]))
+
+let guarded_pair n =
+  let x = v "X" and y = v "Y" and z = v "Z" in
+  Kb.of_lists
+    ~facts:(guarded_pair_facts n)
+    ~rules:
+      [
+        Rule.make ~name:"pair"
+          ~body:[ atom "a" [ x; y ]; atom "b" [ x; y ] ]
+          ~head:[ atom "a" [ y; z ] ]
+          ();
+      ]
+
+(* One edit: unbind the second guard position — the rule keeps its
+   frontier guard a(X,Y) but no atom covers {X, Y, W} any more. *)
+let guarded_pair_mut n =
+  let x = v "X" and y = v "Y" and z = v "Z" and w = v "W" in
+  Kb.of_lists
+    ~facts:(guarded_pair_facts n)
+    ~rules:
+      [
+        Rule.make ~name:"pair"
+          ~body:[ atom "a" [ x; y ]; atom "b" [ x; w ] ]
+          ~head:[ atom "a" [ y; z ] ]
+          ();
+      ]
+
+(* No acyclicity class holds (walk and brake depend on each other and
+   walk is existential), but the skolem chase on the critical instance
+   reaches a fixpoint: brake atoms are never created, so the walk stops
+   one step past the braked region (Marnette's criterion certifies
+   universal termination). *)
+let braked_walk_rules ~mutated =
+  let x = v "X" and y = v "Y" in
+  let x' = v "X" and y' = v "Y" in
+  [
+    Rule.make ~name:"walk"
+      ~body:[ atom "s" [ x ] ]
+      ~head:[ atom "r" [ x; y ] ]
+      ();
+    Rule.make ~name:"brake"
+      ~body:
+        (atom "r" [ x'; y' ] :: (if mutated then [] else [ atom "brake" [ x' ] ]))
+      ~head:[ atom "s" [ y' ] ]
+      ();
+  ]
+
+let braked_walk_facts n =
+  List.concat
+    (List.init n (fun i -> [ atom "s" [ cst "a%d" i ]; atom "brake" [ cst "a%d" i ] ]))
+
+let braked_walk n =
+  Kb.of_lists ~facts:(braked_walk_facts n) ~rules:(braked_walk_rules ~mutated:false)
+
+(* One edit: lose the brake — every created null walks again, forever. *)
+let braked_walk_mut n =
+  Kb.of_lists ~facts:(braked_walk_facts n) ~rules:(braked_walk_rules ~mutated:true)
+
+(* Frontier-guarded but not guarded: the frontier {Z} is covered by
+   g(Y,Z) but no body atom covers {X,Y,Z}.  Diverges: every braid
+   extends the walk by a fresh tail. *)
+(* at least two chained edges: a single edge gives the two-atom body no
+   match at all and the "diverging" family would trivially terminate *)
+let fg_braid_facts n =
+  List.init (max 2 n) (fun i -> atom "g" [ cst "a%d" i; cst "a%d" (i + 1) ])
+
+let fg_braid n =
+  let x = v "X" and y = v "Y" and z = v "Z" and w = v "W" in
+  Kb.of_lists
+    ~facts:(fg_braid_facts n)
+    ~rules:
+      [
+        Rule.make ~name:"braid"
+          ~body:[ atom "g" [ x; y ]; atom "g" [ y; z ] ]
+          ~head:[ atom "g" [ z; w ] ]
+          ();
+      ]
+
+(* One edit: the head now needs both X and Z — the frontier {X, Z} has
+   no covering body atom, frontier-guardedness is gone. *)
+let fg_braid_mut n =
+  let x = v "X" and y = v "Y" and z = v "Z" and w = v "W" in
+  Kb.of_lists
+    ~facts:(fg_braid_facts n)
+    ~rules:
+      [
+        Rule.make ~name:"braid"
+          ~body:[ atom "g" [ x; y ]; atom "g" [ y; z ] ]
+          ~head:[ atom "g" [ x; w ]; atom "g" [ z; w ] ]
+          ();
+      ]
+
+(* The paper's bts-not-fes loop, n disconnected seeds: n tails diverge
+   under every chase variant. *)
+let nonterm_loop n =
+  let x = v "X" and y = v "Y" and z = v "Z" in
+  Kb.of_lists
+    ~facts:(List.init n (fun i -> atom "r" [ cst "a%d" i; cst "b%d" i ]))
+    ~rules:
+      [
+        Rule.make ~name:"grow"
+          ~body:[ atom "r" [ x; y ] ]
+          ~head:[ atom "r" [ y; z ] ]
+          ();
+      ]
+
+(* Existential-free transitive closure over an n-chain. *)
+let datalog_clique n =
+  let x = v "X" and y = v "Y" and z = v "Z" in
+  Kb.of_lists
+    ~facts:(List.init n (fun i -> atom "e" [ cst "c%d" i; cst "c%d" (i + 1) ]))
+    ~rules:
+      [
+        Rule.make ~name:"trans"
+          ~body:[ atom "e" [ x; y ]; atom "e" [ y; z ] ]
+          ~head:[ atom "e" [ x; z ] ]
+          ();
+      ]
+
+(* One edit: the head turns existential — no longer datalog (but still
+   weakly acyclic: the fresh W never flows back into a body). *)
+let datalog_clique_mut n =
+  let x = v "X" and y = v "Y" and z = v "Z" and w = v "W" in
+  Kb.of_lists
+    ~facts:(List.init n (fun i -> atom "e" [ cst "c%d" i; cst "c%d" (i + 1) ]))
+    ~rules:
+      [
+        Rule.make ~name:"trans"
+          ~body:[ atom "e" [ x; y ]; atom "e" [ y; z ] ]
+          ~head:[ atom "e" [ x; w ] ]
+          ();
+      ]
+
+let scale_of ?(scale = 3) () = max 1 scale
+
+let families ?scale () =
+  let n = scale_of ?scale () in
+  let case name kb classes behaviour =
+    { name = Printf.sprintf "%s-%d" name n; kb; classes; behaviour }
+  in
+  [
+    case "wa-ladder" (wa_ladder n)
+      [ Weakly_acyclic; Jointly_acyclic; Acyclic_grd; Linear; Guarded; Frontier_guarded ]
+      Terminating;
+    case "ja-ladder" (ja_ladder n) [ Jointly_acyclic; Guarded; Frontier_guarded ]
+      Terminating;
+    case "linear-chain" (linear_chain n)
+      [ Weakly_acyclic; Jointly_acyclic; Acyclic_grd; Linear; Guarded; Frontier_guarded ]
+      Terminating;
+    case "linear-twist" (linear_twist n) [ Linear; Guarded; Frontier_guarded ]
+      Terminating;
+    case "guarded-pair" (guarded_pair n) [ Jointly_acyclic; Guarded; Frontier_guarded ]
+      Terminating;
+    case "braked-walk" (braked_walk n) [ Guarded; Frontier_guarded ] Terminating;
+    case "fg-braid" (fg_braid n) [ Frontier_guarded ] Nonterminating;
+    case "nonterm-loop" (nonterm_loop n) [ Linear; Guarded; Frontier_guarded ]
+      Nonterminating;
+    case "datalog-clique" (datalog_clique n)
+      [ Datalog; Weakly_acyclic; Jointly_acyclic ]
+      Terminating;
+  ]
+
+type broken = Klass of klass | Termination
+
+type mutant = { parent : case; case : case; broken : broken }
+
+let mutants ?scale () =
+  let n = scale_of ?scale () in
+  let parents = families ~scale:n () in
+  let parent name = List.find (fun c -> c.name = Printf.sprintf "%s-%d" name n) parents in
+  let mut name kb broken behaviour =
+    let p = parent name in
+    {
+      parent = p;
+      case = { name = p.name ^ "-mut"; kb; classes = []; behaviour };
+      broken;
+    }
+  in
+  [
+    mut "wa-ladder" (wa_ladder_mut n) (Klass Weakly_acyclic) Nonterminating;
+    mut "ja-ladder" (ja_ladder_mut n) (Klass Jointly_acyclic) Nonterminating;
+    mut "linear-chain" (linear_chain_mut n) (Klass Linear) Terminating;
+    mut "linear-twist" (linear_twist_mut n) Termination Nonterminating;
+    mut "guarded-pair" (guarded_pair_mut n) (Klass Guarded) Terminating;
+    mut "braked-walk" (braked_walk_mut n) Termination Nonterminating;
+    mut "fg-braid" (fg_braid_mut n) (Klass Frontier_guarded) Nonterminating;
+    mut "datalog-clique" (datalog_clique_mut n) (Klass Datalog) Terminating;
+  ]
+
+let named ?scale () =
+  let fams = List.map (fun c -> (c.name, c.kb)) (families ?scale ()) in
+  let muts = List.map (fun m -> (m.case.name, m.case.kb)) (mutants ?scale ()) in
+  fams @ muts

@@ -1,0 +1,74 @@
+(** A parameterised rule zoo: named families per decidability class,
+    plus adversarial near-miss mutants (one edit away from class
+    membership).
+
+    Each family is generated at a [scale] (ladder height, chain length,
+    number of seed facts…) and records the syntactic classes its ruleset
+    provably belongs to and its chase behaviour, so the analyzer tests
+    can assert soundness over the whole corpus:
+
+    - [wa-ladder]: weakly acyclic ladder of spawn/step levels;
+    - [ja-ladder]: jointly acyclic but {e not} weakly acyclic (the
+      blocked-propagation pattern: the existential output cycles back
+      through a position guarded by an unaffected predicate);
+    - [linear-chain]: linear chain of unary spawns, fixpoint at rank
+      exactly [scale];
+    - [linear-twist]: linear and restricted-chase terminating but with
+      a diverging skolem chase (the head [h(Y,Z) ∧ h(Z,Z)] satisfies
+      every future trigger at birth) — only the semantic probes certify
+      it;
+    - [guarded-pair]: guarded but not linear, jointly acyclic;
+    - [braked-walk]: no acyclicity class holds, yet the skolem chase on
+      the critical instance reaches a fixpoint (Marnette certificate);
+    - [fg-braid]: frontier-guarded but not guarded, non-terminating;
+    - [nonterm-loop]: the paper's bts-not-fes loop, [scale] seeds;
+    - [datalog-clique]: transitive closure, existential-free. *)
+
+open Syntax
+
+type klass =
+  | Datalog
+  | Weakly_acyclic
+  | Jointly_acyclic
+  | Acyclic_grd
+  | Linear
+  | Guarded
+  | Frontier_guarded
+
+val klass_name : klass -> string
+
+type behaviour = Terminating | Nonterminating
+(** Whether the restricted chase of the generated KB reaches a
+    fixpoint (all [Terminating] families also have terminating core
+    chases). *)
+
+type case = {
+  name : string;  (** e.g. ["wa-ladder-3"] *)
+  kb : Kb.t;
+  classes : klass list;  (** classes the ruleset belongs to *)
+  behaviour : behaviour;
+}
+
+val families : ?scale:int -> unit -> case list
+(** All families at the given [scale] (default 3, min 1). *)
+
+type broken = Klass of klass | Termination
+(** What the one-edit mutation destroys: membership in a class the
+    parent belongs to, or chase termination itself. *)
+
+type mutant = { parent : case; case : case; broken : broken }
+
+val mutants : ?scale:int -> unit -> mutant list
+(** One near-miss mutant per mutable family: [wa-ladder] loops its last
+    step back to level 0 ([Weakly_acyclic], also diverges); [ja-ladder]
+    emits into the blocking predicate ([Jointly_acyclic], diverges);
+    [linear-chain] gains a second body atom ([Linear]); [linear-twist]
+    drops the trigger-satisfying head atom ([Termination]);
+    [guarded-pair] unbinds the guard ([Guarded]); [braked-walk] loses
+    its brake ([Termination]); [fg-braid] splits the frontier
+    ([Frontier_guarded]); [datalog-clique] turns existential
+    ([Datalog]). *)
+
+val named : ?scale:int -> unit -> (string * Kb.t) list
+(** Families and mutants (suffix ["-mut"]) as a name-indexed list for
+    the [corechase zoo] CLI. *)

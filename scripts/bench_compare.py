@@ -3,6 +3,7 @@
 
 Usage: bench_compare.py BASELINE.json CURRENT.json [TOLERANCE]
        bench_compare.py --memo-gate CURRENT.json
+       bench_compare.py --route-gate CURRENT.json
 
 Both files use the BENCH_RESULTS.json schema: timing rows (ns/run) nested
 under a top-level "benchmarks" key and per-workload counter columns under
@@ -20,6 +21,11 @@ Exit status:
      "abl:hom:memo:off" in CURRENT.  This one is a hard failure — a memo
      that loses to its own ablation is a correctness-of-purpose bug, not
      runner noise — so CI runs it as a non-warn step (--memo-gate).
+  4  route gate violation: some "abl:route:auto:<family>" row is slower
+     than ROUTE_PAD x the best fixed-engine row for that family.  The
+     router's whole point is picking an engine no worse than the best
+     fixed choice (its analysis cost has its own row and is not part of
+     the gate), so this too is a hard failure (--route-gate).
 
 Stdlib only.
 """
@@ -33,6 +39,11 @@ MEMO_OFF = "corechase abl:hom:memo:off"
 # Shared runners are noisy even between two rows of the same run; allow
 # the memo row a small pad before calling it a regression.
 MEMO_PAD = 1.10
+
+ROUTE_AUTO = "corechase abl:route:auto:"
+# Fixed-engine rows the routed run is compared against, per family.
+ROUTE_FIXED = ("restricted", "core")
+ROUTE_PAD = 1.20
 
 
 def load(path):
@@ -55,6 +66,45 @@ def memo_gate(current):
     if verdict == "FAIL":
         print("memo gate: abl:hom:memo:on regressed past abl:hom:memo:off")
         return 3
+    return 0
+
+
+def route_gate(current):
+    """0 if every routed run beats ROUTE_PAD x the best fixed engine, else 4."""
+    bench = current.get("benchmarks", {})
+    autos = {
+        name[len(ROUTE_AUTO):]: value
+        for name, value in bench.items()
+        if name.startswith(ROUTE_AUTO) and isinstance(value, (int, float))
+    }
+    if not autos:
+        print("route gate: no %s* rows — skipped" % ROUTE_AUTO)
+        return 0
+    failures = []
+    for family in sorted(autos):
+        fixed = {
+            engine: bench.get("corechase abl:route:%s:%s" % (engine, family))
+            for engine in ROUTE_FIXED
+        }
+        fixed = {e: v for e, v in fixed.items() if isinstance(v, (int, float))}
+        if not fixed:
+            print("route gate: %-18s no fixed-engine rows — skipped" % family)
+            continue
+        best_engine = min(fixed, key=fixed.get)
+        best = fixed[best_engine]
+        auto = autos[family]
+        ok = auto <= best * ROUTE_PAD
+        print(
+            "route gate: %-18s auto %.1f vs best fixed (%s) %.1f ns/run "
+            "(pad %.2fx) -> %s"
+            % (family, auto, best_engine, best, ROUTE_PAD, "PASS" if ok else "FAIL")
+        )
+        if not ok:
+            failures.append(family)
+    if failures:
+        print("route gate: routed engine slower than the best fixed engine on: %s"
+              % ", ".join(failures))
+        return 4
     return 0
 
 
@@ -85,6 +135,8 @@ def alloc_report(baseline, current):
 def main():
     if len(sys.argv) == 3 and sys.argv[1] == "--memo-gate":
         return memo_gate(load(sys.argv[2]))
+    if len(sys.argv) == 3 and sys.argv[1] == "--route-gate":
+        return route_gate(load(sys.argv[2]))
     if len(sys.argv) < 3:
         print(__doc__)
         return 2
@@ -117,8 +169,11 @@ def main():
     alloc_report(baseline_doc, current_doc)
     print()
     gate = memo_gate(current_doc)
+    rgate = route_gate(current_doc)
     if gate:
         return gate
+    if rgate:
+        return rgate
     if regressions:
         print()
         print("%d benchmark(s) slower than %.2fx baseline (warn-only):" % (len(regressions), tolerance))

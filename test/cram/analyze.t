@@ -1,0 +1,199 @@
+Static termination analysis and the engine router (DESIGN.md §13).
+
+The ancestor KB is existential-free: the syntactic criteria certify
+universal termination and the router picks semi-naive datalog
+saturation.
+
+  $ cat > family.dlgp <<'KB'
+  > parent(alice, bob).
+  > parent(bob, carol).
+  > [anc-base] ancestor(X, Y) :- parent(X, Y).
+  > [anc-rec]  ancestor(X, Z) :- parent(X, Y), ancestor(Y, Z).
+  > ?(X) :- ancestor(alice, X).
+  > ! :- parent(X, X).
+  > KB
+
+  $ corechase analyze family.dlgp
+    datalog                    yes
+    linear                     no
+    guarded                    no
+    frontier-guarded           no
+    frontier-one               no
+    weakly guarded             yes
+    weakly frontier-guarded    yes
+    weakly acyclic             yes
+    jointly acyclic            yes
+    aGRD (pred-level, sound)   no
+    ⟹ fes                    yes
+    ⟹ bts                    yes
+    ⟹ core-bts               yes
+  
+  criteria
+    yes classes:datalog          universal all rules are existential-free
+    yes classes:acyclicity       universal weakly-acyclic jointly-acyclic
+    yes grd:datalog-cycles       universal 1 cyclic scc(s), all datalog
+    yes classes:guardedness      universal weakly-guarded weakly-frontier-guarded
+    yes critical:skolem-fixpoint universal skolem chase fixpoint on the critical instance (2 steps)
+    no  linear:atomic-probes     universal not a linear ruleset
+    yes ranks:instance-fixpoint  instance  restricted fixpoint at rank 2 (r0:2 r1:2 r2:1)
+  verdict: terminates-all
+  route: datalog (existential-free ruleset: semi-naive saturation)
+
+One zoo family per verdict.  linear-twist terminates only because its
+twist head satisfies every future trigger at birth: the acyclicity
+classes and the skolem probe all fail, and the instance-level rank
+fixpoint is the certificate (verdict terminates-restricted, an
+instance-scope fact).
+
+  $ corechase zoo linear-twist-3 > twist.dlgp
+  $ corechase analyze twist.dlgp
+    datalog                    no
+    linear                     yes
+    guarded                    yes
+    frontier-guarded           yes
+    frontier-one               yes
+    weakly guarded             yes
+    weakly frontier-guarded    yes
+    weakly acyclic             no
+    jointly acyclic            no
+    aGRD (pred-level, sound)   no
+    ⟹ fes                    no
+    ⟹ bts                    yes
+    ⟹ core-bts               yes
+  
+  criteria
+    no  classes:datalog          universal some rule has existential variables
+    no  classes:acyclicity       universal no acyclicity class holds
+    no  grd:datalog-cycles       universal cyclic scc {twist} contains an existential rule
+    yes classes:guardedness      universal linear guarded frontier-guarded frontier-one weakly-guarded weakly-frontier-guarded
+    no  critical:skolem-fixpoint universal no fixpoint within budget (steps)
+    yes linear:atomic-probes     universal all 2 atomic instances reach fixpoint
+    yes ranks:instance-fixpoint  instance  restricted fixpoint at rank 1 (r0:3 r1:6)
+  verdict: terminates-restricted
+  route: restricted (termination certified (terminates-restricted): restricted chase suffices)
+
+fg-braid is frontier-guarded, so querying is decidable (bts) — but the
+chase diverges and the router keeps the robust core engine.
+
+  $ corechase zoo fg-braid-3 > braid.dlgp
+  $ corechase analyze braid.dlgp
+    datalog                    no
+    linear                     no
+    guarded                    no
+    frontier-guarded           yes
+    frontier-one               yes
+    weakly guarded             no
+    weakly frontier-guarded    yes
+    weakly acyclic             no
+    jointly acyclic            no
+    aGRD (pred-level, sound)   no
+    ⟹ fes                    no
+    ⟹ bts                    yes
+    ⟹ core-bts               yes
+  
+  criteria
+    no  classes:datalog          universal some rule has existential variables
+    no  classes:acyclicity       universal no acyclicity class holds
+    no  grd:datalog-cycles       universal cyclic scc {braid} contains an existential rule (also cyclic in the sound frozen graph)
+    yes classes:guardedness      universal frontier-guarded frontier-one weakly-frontier-guarded
+    no  critical:skolem-fixpoint universal no fixpoint within budget (steps)
+    no  linear:atomic-probes     universal not a linear ruleset
+    no  ranks:instance-fixpoint  instance  no fixpoint within budget (steps), rank reached 500
+  verdict: bts
+  route: core (no termination certificate (bts): core chase + robust aggregation)
+
+Its near-miss mutant splits the frontier across two head atoms: no
+class survives, verdict unknown, and --strict turns that into the
+distinguished exit code 3.
+
+  $ corechase zoo fg-braid-3-mut > braid-mut.dlgp
+  $ corechase analyze braid-mut.dlgp --strict
+    datalog                    no
+    linear                     no
+    guarded                    no
+    frontier-guarded           no
+    frontier-one               no
+    weakly guarded             no
+    weakly frontier-guarded    no
+    weakly acyclic             no
+    jointly acyclic            no
+    aGRD (pred-level, sound)   no
+    ⟹ fes                    no
+    ⟹ bts                    no
+    ⟹ core-bts               no
+  
+  criteria
+    no  classes:datalog          universal some rule has existential variables
+    no  classes:acyclicity       universal no acyclicity class holds
+    no  grd:datalog-cycles       universal cyclic scc {braid} contains an existential rule (also cyclic in the sound frozen graph)
+    no  classes:guardedness      universal no guardedness class holds
+    no  critical:skolem-fixpoint universal no fixpoint within budget (steps)
+    no  linear:atomic-probes     universal not a linear ruleset
+    no  ranks:instance-fixpoint  instance  no fixpoint within budget (steps), rank reached 8
+  verdict: unknown
+  route: core (no termination certificate (unknown): core chase + robust aggregation)
+  [3]
+
+classify carries the same verdict line and the same --strict contract
+(a small step budget keeps its treewidth-series probe off the dense
+instances this mutant braids together):
+
+  $ corechase classify braid-mut.dlgp --steps 10 --strict
+    datalog                    no
+    linear                     no
+    guarded                    no
+    frontier-guarded           no
+    frontier-one               no
+    weakly guarded             no
+    weakly frontier-guarded    no
+    weakly acyclic             no
+    jointly acyclic            no
+    aGRD (pred-level, sound)   no
+    ⟹ fes                    no
+    ⟹ bts                    no
+    ⟹ core-bts               no
+  
+  core chase: no fixpoint (step budget exhausted)
+  core-chase treewidth series: 1 2 2 3 3 3 3 3 3 3
+  4
+  analyzer verdict: unknown
+  [3]
+
+The machine-readable justification trail:
+
+  $ corechase analyze twist.dlgp --json | python3 -m json.tool | head -12
+  {
+      "verdict": "terminates-restricted",
+      "classes": {
+          "datalog": false,
+          "linear": true,
+          "guarded": true,
+          "frontier_guarded": true,
+          "frontier_one": true,
+          "weakly_guarded": true,
+          "weakly_frontier_guarded": true,
+          "weakly_acyclic": false,
+          "jointly_acyclic": false,
+
+--engine auto on the chase prints the routing decision before running
+the chosen engine:
+
+  $ corechase chase twist.dlgp --engine auto
+  engine:     restricted (termination certified (terminates-restricted): restricted chase suffices)
+  variant:    restricted
+  outcome:    terminated (fixpoint reached)
+  steps:      3
+  final size: 9 atoms
+
+  $ corechase entail family.dlgp --engine auto
+  engine:     datalog (existential-free ruleset: semi-naive saturation)
+  constraints: consistent
+  ?(X) :- ancestor(alice, X)  ⟶  2 certain answer(s): (bob) (carol)
+
+The analyzer meters its own work:
+
+  $ corechase analyze twist.dlgp --metrics | grep 'analyze\.'
+    analyze.certified                1
+    analyze.probes                   4
+    analyze.routed                   1
+    analyze.runs                     1

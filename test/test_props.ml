@@ -20,7 +20,12 @@
        Atom.equal, flat equal/compare/hash agree with the boxed ones,
        flat substitution application agrees with Subst.apply_atom, and
        the flat solver — and through it every chase engine — is
-       observationally identical to the boxed reference. *)
+       observationally identical to the boxed reference;
+     - the analyzer (DESIGN.md §13) respects the class-implication
+       lattice on random KBs, never certifies termination the
+       restricted chase does not deliver, and rejects every near-miss
+       zoo mutant from exactly the class its one-edit mutation
+       targets. *)
 
 open Syntax
 
@@ -566,6 +571,96 @@ let engine_repr_invariant seed =
     Chase.[ Oblivious; Skolem; Restricted; Frugal; Core ]
 
 (* ------------------------------------------------------------------ *)
+(* Law 13: the analyzer respects the class-implication lattice on random
+   KBs (DESIGN.md §13).  The syntactic inclusions — datalog ⟹ WA ⟹ JA,
+   linear ⟹ guarded ⟹ frontier-guarded, guarded ⟹ weakly guarded,
+   frontier-guarded ⟹ weakly frontier-guarded — must show up as flag
+   implications in every report, and the verdict must honour the
+   certificates: implies_fes ⟹ terminates-all, implies_bts ⟹ at least
+   bts (random KBs carry no EGDs, so the verdict is never capped). *)
+
+let analyze_budget = { Chase.Variants.max_steps = 60; max_atoms = 1_500 }
+
+let analyzer_lattice_respected seed =
+  let kb = Zoo.Randomkb.generate ~seed Zoo.Randomkb.default in
+  let c = Rclasses.analyze (Kb.rules kb) in
+  let r = Analyze.analyze ~budget:analyze_budget kb in
+  let implies a b = (not a) || b in
+  implies c.Rclasses.datalog c.Rclasses.weakly_acyclic
+  && implies c.Rclasses.weakly_acyclic c.Rclasses.jointly_acyclic
+  && implies c.Rclasses.linear c.Rclasses.guarded
+  && implies c.Rclasses.guarded c.Rclasses.frontier_guarded
+  && implies c.Rclasses.guarded c.Rclasses.weakly_guarded
+  && implies c.Rclasses.frontier_guarded c.Rclasses.weakly_frontier_guarded
+  && implies (Rclasses.implies_fes c)
+       (r.Analyze.verdict = Analyze.Terminates_all)
+  && implies (Rclasses.implies_bts c)
+       (Analyze.verdict_rank r.Analyze.verdict
+       >= Analyze.verdict_rank Analyze.Bts)
+
+(* Law 14: analyzer certificates are sound on random KBs — whenever the
+   verdict reaches terminates-restricted, re-running the restricted
+   chase under the very same budget must reach a fixpoint (the engines
+   are deterministic, so the certificate is a replayable witness). *)
+
+let analyzer_certificate_sound seed =
+  let kb = Zoo.Randomkb.generate ~seed Zoo.Randomkb.default in
+  let r = Analyze.analyze ~budget:analyze_budget kb in
+  if
+    Analyze.verdict_rank r.Analyze.verdict
+    >= Analyze.verdict_rank Analyze.Terminates_restricted
+  then
+    (Chase.run ~budget:analyze_budget Chase.Restricted kb).Chase.terminated
+  else true
+
+(* Law 15: every near-miss zoo mutant is rejected from exactly the class
+   its one-edit mutation targets, while its parent genuinely belongs to
+   it — at every scale the generator picks. *)
+
+type mutant_case = { m_scale : int; m_index : int }
+
+let mutant_case : mutant_case arbitrary =
+  {
+    gen =
+      (fun rng ->
+        let n = List.length (Zoo.Families.mutants ()) in
+        { m_scale = int_in rng 1 5; m_index = Random.State.int rng n });
+    shrink =
+      (fun c ->
+        (if c.m_scale > 1 then [ { c with m_scale = c.m_scale - 1 } ] else [])
+        @ if c.m_index > 0 then [ { c with m_index = c.m_index - 1 } ] else []);
+    print =
+      (fun c ->
+        let m = List.nth (Zoo.Families.mutants ~scale:c.m_scale ()) c.m_index in
+        m.Zoo.Families.case.Zoo.Families.name);
+  }
+
+let zoo_flag (report : Rclasses.report) = function
+  | Zoo.Families.Datalog -> report.Rclasses.datalog
+  | Zoo.Families.Weakly_acyclic -> report.Rclasses.weakly_acyclic
+  | Zoo.Families.Jointly_acyclic -> report.Rclasses.jointly_acyclic
+  | Zoo.Families.Acyclic_grd -> report.Rclasses.agrd_sound
+  | Zoo.Families.Linear -> report.Rclasses.linear
+  | Zoo.Families.Guarded -> report.Rclasses.guarded
+  | Zoo.Families.Frontier_guarded -> report.Rclasses.frontier_guarded
+
+let mutant_rejected c =
+  let m = List.nth (Zoo.Families.mutants ~scale:c.m_scale ()) c.m_index in
+  let classes_of (case : Zoo.Families.case) =
+    Rclasses.analyze (Kb.rules case.Zoo.Families.kb)
+  in
+  match m.Zoo.Families.broken with
+  | Zoo.Families.Klass k ->
+      zoo_flag (classes_of m.Zoo.Families.parent) k
+      && not (zoo_flag (classes_of m.Zoo.Families.case) k)
+  | Zoo.Families.Termination ->
+      (* termination mutants keep their parent's classes; the analyzer
+         side (never certified) is covered by test_analyze *)
+      List.for_all
+        (fun k -> zoo_flag (classes_of m.Zoo.Families.case) k)
+        m.Zoo.Families.case.Zoo.Families.classes
+
+(* ------------------------------------------------------------------ *)
 
 let suites =
   [
@@ -592,5 +687,11 @@ let suites =
           flat_solver_agrees;
         check ~count:50 "chase engines invariant under hom repr" seed_arb
           engine_repr_invariant;
+        check ~count:300 "analyzer respects the class lattice" seed_arb
+          analyzer_lattice_respected;
+        check ~count:200 "analyzer certificates are sound" seed_arb
+          analyzer_certificate_sound;
+        check ~count:100 "zoo mutants rejected from the broken class"
+          mutant_case mutant_rejected;
       ] );
   ]
