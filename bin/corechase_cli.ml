@@ -1,7 +1,8 @@
 (* corechase — command-line front end.
 
    Subcommands:
-     chase      run a chase variant on a DLGP file
+     chase      run a chase variant on a DLGP file (--batch: a manifest
+                of files, one independent chase per line via Par.Batch)
      resume     continue a chase from an on-disk checkpoint
      entail     decide the file's queries (Theorem-1 skeleton)
      analyze    termination analysis + engine routing (DESIGN.md §13)
@@ -9,6 +10,7 @@
      treewidth  treewidth of the facts of a DLGP file
      repro      regenerate the paper's figures/tables (F1..F5, T1)
      zoo        print a built-in KB in DLGP syntax
+     bench      batched-throughput speedup curves (DESIGN.md §14)
 
    Exit codes (see README "Exit codes"):
      0  success / everything entailed / fixpoint reached
@@ -249,9 +251,69 @@ let hook_with_cadence every hook =
           incr calls;
           if !calls mod max 1 every = 0 then save state)
 
+(* --batch: FILE is a manifest of DLGP paths, one per line; every KB is
+   chased independently through Par.Batch (DESIGN.md §14).  KBs are
+   parsed {e inside} the task so each file mints its variable ids under
+   the task's private freshness counter — the per-file report is then
+   identical at every --jobs width, and the printed lines follow
+   manifest order. *)
+let run_batch ~file ~variant ~budget ~token ~trace ~metrics ~jobs =
+  let manifest =
+    let ic = try open_in file with Sys_error m -> die exit_input "%s" m in
+    let lines = ref [] in
+    (try
+       while true do
+         let l = String.trim (input_line ic) in
+         if l <> "" && l.[0] <> '#' then lines := l :: !lines
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !lines
+  in
+  if manifest = [] then die exit_input "%s: empty batch manifest" file;
+  Corechase.Par.set_jobs jobs;
+  let task path () =
+    match Dlgp.parse_file path with
+    | Error e -> (Fmt.str "%s: error: %a" path Dlgp.pp_error e, exit_input)
+    | Ok doc ->
+        let kb = Dlgp.kb_of_document doc in
+        let report = Chase.run ~budget variant kb in
+        ( Throughput.summary_line (Throughput.summarize path report),
+          exit_of_outcome report.Chase.outcome )
+  in
+  with_obs ~trace ~metrics (fun () ->
+      Resilience.with_token token (fun () ->
+          let results =
+            Corechase.Par.Batch.run ~site:"cli.batch"
+              (Array.of_list (List.map task manifest))
+          in
+          let worst = ref exit_ok in
+          Array.iter
+            (fun r ->
+              let line, code =
+                match r with
+                | Ok (line, code) -> (line, code)
+                | Error e ->
+                    ( Fmt.str "error: %s" (Printexc.to_string e), exit_input )
+              in
+              if code > !worst then worst := code;
+              Fmt.pr "%s@." line)
+            results;
+          Fmt.pr "batch:      %d file(s), worst exit %d@."
+            (Array.length results) !worst;
+          !worst))
+
 let chase_cmd =
   let run file variant engine steps atoms deadline ckpt every verbose trace
-      metrics core_scope jobs =
+      metrics core_scope jobs batch =
+    if batch && (ckpt <> None || engine <> None) then
+      die exit_input "--batch cannot be combined with --checkpoint or --engine";
+    if batch then begin
+      Homo.Core.scoping := core_scope;
+      run_batch ~file ~variant ~budget:(budget_of steps atoms)
+        ~token:(token_of_deadline deadline) ~trace ~metrics ~jobs
+    end
+    else begin
     let kb = load_kb file in
     (match (variant, ckpt) with
     | (Chase.Oblivious | Chase.Skolem), Some _ ->
@@ -282,15 +344,27 @@ let chase_cmd =
         in
         print_report ~verbose report;
         exit_of_outcome report.Chase.outcome)
+    end
   in
   let verbose =
     Arg.(value & flag & info [ "print"; "p" ] ~doc:"Print the final instance.")
+  in
+  let batch =
+    Arg.(
+      value & flag
+      & info [ "batch" ]
+          ~doc:
+            "Treat $(i,FILE) as a batch manifest: one DLGP path per line \
+             (blank lines and $(b,#) comments skipped).  Every KB is chased \
+             independently across the domain pool ($(b,--jobs)); one result \
+             line per file, in manifest order, identical at every width.  \
+             The exit code is the worst per-file code.")
   in
   Cmd.v (Cmd.info "chase" ~doc:"Run a chase variant on a DLGP knowledge base.")
     CTerm.(
       const run $ file_arg $ variant_arg $ engine_arg $ steps_arg $ atoms_arg
       $ deadline_arg $ checkpoint_arg $ checkpoint_every_arg $ verbose
-      $ trace_arg $ metrics_arg $ core_scope_arg $ jobs_arg)
+      $ trace_arg $ metrics_arg $ core_scope_arg $ jobs_arg $ batch)
 
 (* resume *)
 let resume_cmd =
@@ -646,6 +720,66 @@ let tptp_cmd =
        ~doc:"Export the file's entailment problems in TPTP FOF syntax (one problem per query).")
     CTerm.(const run $ file_arg)
 
+(* bench *)
+let bench_cmd =
+  let run throughput tasks jobs_list reps scale =
+    if not throughput then
+      die exit_input
+        "only --throughput is available here; the full harness is `dune exec \
+         bench/main.exe'";
+    if tasks < 1 then die exit_input "--tasks must be >= 1";
+    if reps < 1 then die exit_input "--reps must be >= 1";
+    if jobs_list = [] || List.exists (fun j -> j < 1) jobs_list then
+      die exit_input "--jobs-list must be positive widths (e.g. 1,2,4)";
+    let mix = Throughput.mix ~scale ~count:tasks () in
+    let rows, identical = Throughput.curves ~reps ~jobs_list mix in
+    Fmt.pr "throughput: %d independent chase jobs, median of %d rep(s)@." tasks
+      reps;
+    Throughput.pp_rows Format.std_formatter rows;
+    Fmt.pr "results identical across widths/reps: %s@."
+      (if identical then "yes" else "NO (determinism violation)");
+    if identical then exit_ok else 1
+  in
+  let throughput =
+    Arg.(
+      value & flag
+      & info [ "throughput" ]
+          ~doc:
+            "Run the batched-throughput curves (DESIGN.md §14): the standard \
+             deterministic task mix through $(b,Par.Batch) at each width of \
+             $(b,--jobs-list), reporting wall-clock, tasks/s, speedup and \
+             efficiency, plus the cross-width determinism verdict.")
+  in
+  let tasks =
+    Arg.(
+      value
+      & opt int Throughput.default_count
+      & info [ "tasks" ] ~docv:"N" ~doc:"Batch size (independent chase jobs).")
+  in
+  let jobs_list =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2; 4 ]
+      & info [ "jobs-list" ] ~docv:"WIDTHS"
+          ~doc:"Comma-separated pool widths to measure (default 1,2,4).")
+  in
+  let reps =
+    Arg.(
+      value & opt int 3
+      & info [ "reps" ] ~docv:"R" ~doc:"Timed runs per width; the median is kept.")
+  in
+  let scale =
+    Arg.(
+      value & opt int 1
+      & info [ "scale" ] ~doc:"Step-budget scale factor for each job.")
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Measure batched chase throughput across domain-pool widths \
+          (speedup/efficiency curves).")
+    CTerm.(const run $ throughput $ tasks $ jobs_list $ reps $ scale)
+
 (* zoo *)
 let zoo_cmd =
   let kbs () =
@@ -685,5 +819,5 @@ let () =
        (Cmd.group info
           [
             chase_cmd; resume_cmd; entail_cmd; analyze_cmd; classify_cmd;
-            treewidth_cmd; repro_cmd; tptp_cmd; dot_cmd; zoo_cmd;
+            treewidth_cmd; repro_cmd; tptp_cmd; dot_cmd; zoo_cmd; bench_cmd;
           ]))

@@ -425,6 +425,13 @@ let memo_tbl () : (int array, int * Subst.t option) Hashtbl.t =
 
 let memo_clear () = Hashtbl.reset (memo_tbl ())
 
+(* Batch-task isolation (DESIGN.md §14): every [Par.Batch] task starts
+   with this domain's memo table empty, so a task never observes a
+   sibling's (or a previous tenant's) cached searches — the memo is
+   epoch-keyed and thus correctness-safe across tasks, but hit/miss
+   totals would depend on task-to-domain placement. *)
+let () = Par.Batch.add_reset_hook memo_clear
+
 let m_memo_hits = Obs.Metrics.counter "hom.memo_hits"
 
 let m_memo_misses = Obs.Metrics.counter "hom.memo_misses"

@@ -14,6 +14,7 @@ type event =
   | Core_scoped_fold of { candidates : int; folded : bool; size : int }
   | Tw_decomposed of { vertices : int; width : int; exact : bool }
   | Par_fanout of { site : string; tasks : int; jobs : int }
+  | Batch_task of { site : string; index : int; slot : int; ms : int }
   | Deadline_hit of { engine : string; step : int }
   | Checkpoint_written of { engine : string; step : int; path : string }
 
@@ -35,9 +36,26 @@ let sink () = !current
    run deterministic sub-searches whose interleaving is schedule-dependent;
    suppressing their emissions keeps the JSONL stream byte-reproducible
    (DESIGN.md §10).  Sink channels are also not synchronised, so this
-   doubles as the thread-safety discipline. *)
+   doubles as the thread-safety discipline.
+
+   [Par.Batch] tasks additionally mute emission for the task body — even
+   the task that happens to run on slot 0 — because which engine events
+   interleave with which depends on task-to-domain placement.  The batch
+   layer instead emits one deterministic [Batch_task] summary per task
+   after its barrier (DESIGN.md §14). *)
+let muted_key : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let muted () = Domain.DLS.get muted_key
+
+let with_muted f =
+  let saved = Domain.DLS.get muted_key in
+  Domain.DLS.set muted_key true;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set muted_key saved) f
+
 let enabled () =
-  (match !current with Null -> false | _ -> true) && Metrics.slot () = 0
+  (match !current with Null -> false | _ -> true)
+  && Metrics.slot () = 0
+  && not (muted ())
 
 let events_emitted () = !emitted
 
@@ -73,6 +91,9 @@ let pp_event ppf = function
   | Par_fanout { site; tasks; jobs } ->
       Format.fprintf ppf "[par] %s: %d task(s) over %d domain(s)" site tasks
         jobs
+  | Batch_task { site; index; slot; ms } ->
+      Format.fprintf ppf "[par] %s: task %d done on slot %d (%d ms)" site index
+        slot ms
   | Deadline_hit { engine; step } ->
       Format.fprintf ppf "[%s] step %d: deadline hit, stopping" engine step
   | Checkpoint_written { engine; step; path } ->
@@ -137,6 +158,11 @@ let to_json ev =
         ]
     | Par_fanout { site; tasks; jobs } ->
         [ s "ev" "par_fanout"; s "site" site; i "tasks" tasks; i "jobs" jobs ]
+    | Batch_task { site; index; slot; ms } ->
+        [
+          s "ev" "batch_task"; s "site" site; i "index" index; i "slot" slot;
+          i "ms" ms;
+        ]
     | Deadline_hit { engine; step } ->
         [ s "ev" "deadline_hit"; s "engine" engine; i "step" step ]
     | Checkpoint_written { engine; step; path } ->
@@ -318,6 +344,14 @@ let of_json_line line =
         | "par_fanout" ->
             Par_fanout
               { site = str "site"; tasks = int "tasks"; jobs = int "jobs" }
+        | "batch_task" ->
+            Batch_task
+              {
+                site = str "site";
+                index = int "index";
+                slot = int "slot";
+                ms = int "ms";
+              }
         | "deadline_hit" ->
             Deadline_hit { engine = str "engine"; step = int "step" }
         | "checkpoint_written" ->
@@ -331,7 +365,7 @@ let of_json_line line =
 (* ------------------------------------------------------------------ *)
 
 let emit ev =
-  if Metrics.slot () <> 0 then ()
+  if Metrics.slot () <> 0 || muted () then ()
   else
   match !current with
   | Null -> ()

@@ -47,6 +47,12 @@ type event =
           at the named fan-out site (DESIGN.md §10); emitted only when a
           batch actually runs in parallel, so [--jobs 1] streams are
           byte-identical to pre-pool runs *)
+  | Batch_task of { site : string; index : int; slot : int; ms : int }
+      (** a [Par.Batch] task finished: task [index] (submission order)
+          ran to completion on pool slot [slot] in [ms] milliseconds.
+          Emitted by the batch caller after the barrier, in submission
+          order, so the event {e stream} is deterministic even though
+          [slot]/[ms] record scheduling facts (DESIGN.md §14) *)
   | Deadline_hit of { engine : string; step : int }
       (** the run's wall-clock deadline fired at derivation step [step];
           the engine stopped cooperatively and returned its last
@@ -67,10 +73,22 @@ val sink : unit -> sink
 
 val enabled : unit -> bool
 (** [true] iff the current sink is not {!Null} {e and} the caller is the
-    main domain ([Metrics.slot () = 0]).  Emission sites must check this
-    before constructing an event.  Pool workers always read [false]:
-    their emissions would interleave schedule-dependently, so the trace
+    main domain ([Metrics.slot () = 0]) {e and} the calling domain is
+    not muted ({!with_muted}).  Emission sites must check this before
+    constructing an event.  Pool workers always read [false]: their
+    emissions would interleave schedule-dependently, so the trace
     stream stays a main-domain artefact (DESIGN.md §10). *)
+
+val with_muted : (unit -> 'a) -> 'a
+(** Run the thunk with emission muted on the calling domain.  Used by
+    [Par.Batch] around task bodies — even the task placed on slot 0 —
+    because which engine events a task would emit interleaves
+    schedule-dependently; the batch layer emits deterministic
+    {!event.Batch_task} summaries after its barrier instead
+    (DESIGN.md §14).  The previous mute state is restored on exit. *)
+
+val muted : unit -> bool
+(** Whether emission is muted on the calling domain. *)
 
 val emit : event -> unit
 (** Deliver the event to the current sink (drops it on {!Null} and on

@@ -1,18 +1,29 @@
-(* Domain pool with deterministic fan-out (DESIGN.md §10).
+(* Domain pool with deterministic fan-out (DESIGN.md §10, §14).
 
-   One mutex/condition pair carries batches from the caller to the
-   workers.  A batch is an array of chunks; assignment is static — chunk
-   [i] belongs to slot [i mod jobs], the caller runs slot 0's share
-   itself — so which domain executes which task is a function of the
-   batch alone, never of timing.  That staticness is what makes the
-   per-domain counter split of [Obs.Metrics] reproducible; the price
-   (no work stealing) is irrelevant at the chunk sizes the chase
-   produces.
+   Each worker owns a persistent worklist: a published chunk array plus
+   an [Atomic] sequence number.  Submitting a batch is, per active
+   worker, one plain store (the chunk array) and one atomic store (the
+   seq bump) — the message-passing publication idiom of the OCaml
+   memory model — plus a per-worker condition signal only when that
+   worker is parked.  The PR-4 design paid a process mutex and two
+   condition broadcasts per fan-out; the worklist path pays atomics,
+   and touches a mutex only to sleep or wake.
+
+   Assignment stays static — chunk [i] belongs to slot [i mod jobs],
+   the caller runs slot 0's share itself — so which domain executes
+   which task is a function of the batch alone, never of timing.  That
+   staticness is what makes the per-domain counter split of
+   [Obs.Metrics] reproducible; the price (no work stealing within a
+   fan-out) is irrelevant at the chunk sizes the chase produces.
 
    Determinism of results is the combinators' business: they write each
    task's result into its own slot of a caller-allocated array and merge
    by index after the barrier, so the merge order is the input order no
-   matter which domain finished first. *)
+   matter which domain finished first.
+
+   [Batch] (bottom of this file) is the throughput layer on top of the
+   same pool: N independent tasks (whole chases, entailment queries)
+   claimed dynamically, with per-task isolation of the ambient state. *)
 
 let max_jobs = 64
 
@@ -20,48 +31,110 @@ let m_fanouts = Obs.Metrics.counter "par.fanouts"
 
 let m_tasks = Obs.Metrics.counter "par.tasks"
 
+(* Spinning before parking is only profitable when every domain of the
+   pool can actually run at once; an oversubscribed pool (more jobs
+   than cores — the single-core CI containers, notably) parks
+   immediately, which both avoids burning the one core the caller
+   needs and reproduces the PR-4 sleep behaviour there. *)
+let cores = Domain.recommended_domain_count ()
+
+let spin_budget jobs = if jobs <= cores then 2_000 else 0
+
 module Pool = struct
+  type worklist = {
+    seq : int Atomic.t;  (** number of batches submitted to this worker *)
+    mutable chunks : (unit -> unit) array;
+        (** current batch; written (plain) before the [seq] bump that
+            publishes it, read by the worker only after observing the
+            bump — the release/acquire pair of the OCaml memory model *)
+    sleeping : bool Atomic.t;  (** worker parked on [wc]; set under [wm] *)
+    wm : Mutex.t;
+    wc : Condition.t;
+  }
+
   type t = {
     jobs : int;
-    m : Mutex.t;
-    work : Condition.t;  (** caller -> workers: a batch is ready *)
-    done_ : Condition.t;  (** workers -> caller: batch complete *)
-    mutable batch : (unit -> unit) array;
-    mutable seq : int;  (** batch sequence number, workers run each once *)
-    mutable pending : int;  (** workers still working on the current batch *)
-    mutable stop : bool;
+    lists : worklist array;  (** worker slot [k] owns [lists.(k - 1)] *)
+    remaining : int Atomic.t;  (** active workers still in the batch *)
+    waiting : bool Atomic.t;  (** caller parked on [done_] *)
+    dm : Mutex.t;
+    done_ : Condition.t;
+    abort : exn option Atomic.t;
+        (** first chunk/poll failure of the batch; first writer wins,
+            re-raised by [run] after the barrier *)
+    stop : bool Atomic.t;
     mutable domains : unit Domain.t array;
   }
 
   let jobs p = p.jobs
 
+  (* The one slice-execution loop both the caller and the workers run:
+     chunks [slot], [slot + jobs], [slot + 2·jobs], … of the batch.
+     The ambient cancellation token is polled between chunks, so a long
+     batch notices a deadline even when the chunk payloads themselves
+     do not poll (raw [Pool.run] users); [run_all]'s payloads
+     additionally poll per task. *)
+  let exec_slice ~jobs chunks slot =
+    let n = Array.length chunks in
+    let i = ref slot in
+    while !i < n do
+      chunks.(!i) ();
+      i := !i + jobs;
+      if !i < n then Resilience.poll ()
+    done
+
+  (* A raise (from the slice poll or from a chunk itself) is recorded in
+     [abort] and re-raised by [run] after the barrier, so a failure can
+     never leave caller and workers out of sync on the batch protocol. *)
+  let run_slice p chunks slot =
+    match exec_slice ~jobs:p.jobs chunks slot with
+    | () -> ()
+    | exception e -> ignore (Atomic.compare_and_set p.abort None (Some e))
+
   let worker p slot () =
     Obs.Metrics.set_slot slot;
+    let w = p.lists.(slot - 1) in
     let last = ref 0 in
+    let spin = spin_budget p.jobs in
     let running = ref true in
     while !running do
-      Mutex.lock p.m;
-      while (not p.stop) && p.seq = !last do
-        Condition.wait p.work p.m
+      (* fast path: the next batch usually arrives while we spin *)
+      let budget = ref spin in
+      while
+        (not (Atomic.get p.stop))
+        && Atomic.get w.seq = !last
+        && !budget > 0
+      do
+        Domain.cpu_relax ();
+        decr budget
       done;
-      if p.stop then begin
-        Mutex.unlock p.m;
-        running := false
-      end
-      else begin
-        let chunks = p.batch in
-        last := p.seq;
-        Mutex.unlock p.m;
-        let n = Array.length chunks in
-        let i = ref slot in
-        while !i < n do
-          chunks.(!i) ();
-          i := !i + p.jobs
+      if Atomic.get w.seq = !last && not (Atomic.get p.stop) then begin
+        (* slow path: park.  [sleeping] is set before the re-check of
+           [seq] under the mutex; the submitter bumps [seq] before it
+           reads [sleeping].  Under sequential consistency of atomics,
+           a submission that misses the flag (skips the signal) is one
+           whose bump the re-check is guaranteed to see. *)
+        Mutex.lock w.wm;
+        Atomic.set w.sleeping true;
+        while (not (Atomic.get p.stop)) && Atomic.get w.seq = !last do
+          Condition.wait w.wc w.wm
         done;
-        Mutex.lock p.m;
-        p.pending <- p.pending - 1;
-        if p.pending = 0 then Condition.broadcast p.done_;
-        Mutex.unlock p.m
+        Atomic.set w.sleeping false;
+        Mutex.unlock w.wm
+      end;
+      if Atomic.get p.stop then running := false
+      else begin
+        last := Atomic.get w.seq;
+        run_slice p w.chunks slot;
+        (* barrier: last worker out wakes the caller iff it parked *)
+        if
+          Atomic.fetch_and_add p.remaining (-1) = 1
+          && Atomic.get p.waiting
+        then begin
+          Mutex.lock p.dm;
+          Condition.broadcast p.done_;
+          Mutex.unlock p.dm
+        end
       end
     done
 
@@ -70,13 +143,21 @@ module Pool = struct
     let p =
       {
         jobs;
-        m = Mutex.create ();
-        work = Condition.create ();
+        lists =
+          Array.init (jobs - 1) (fun _ ->
+              {
+                seq = Atomic.make 0;
+                chunks = [||];
+                sleeping = Atomic.make false;
+                wm = Mutex.create ();
+                wc = Condition.create ();
+              });
+        remaining = Atomic.make 0;
+        waiting = Atomic.make false;
+        dm = Mutex.create ();
         done_ = Condition.create ();
-        batch = [||];
-        seq = 0;
-        pending = 0;
-        stop = false;
+        abort = Atomic.make None;
+        stop = Atomic.make false;
         domains = [||];
       }
     in
@@ -84,31 +165,64 @@ module Pool = struct
     p
 
   let run p chunks =
-    Mutex.lock p.m;
-    p.batch <- chunks;
-    p.seq <- p.seq + 1;
-    p.pending <- p.jobs - 1;
-    Condition.broadcast p.work;
-    Mutex.unlock p.m;
-    (* the caller is slot 0 *)
-    let n = Array.length chunks in
-    let i = ref 0 in
-    while !i < n do
-      chunks.(!i) ();
-      i := !i + p.jobs
-    done;
-    Mutex.lock p.m;
-    while p.pending > 0 do
-      Condition.wait p.done_ p.m
-    done;
-    p.batch <- [||];
-    Mutex.unlock p.m
+    let nchunks = Array.length chunks in
+    if nchunks = 0 then ()
+    else begin
+      (* only the workers that own a nonempty slice take part: a tiny
+         fan-out (n = 2, 3 — common at trigger sites with few rules)
+         publishes to and waits for [n - 1] workers, not [jobs - 1] *)
+      let active = min (nchunks - 1) (p.jobs - 1) in
+      Atomic.set p.abort None;
+      Atomic.set p.remaining active;
+      for k = 1 to active do
+        let w = p.lists.(k - 1) in
+        w.chunks <- chunks;
+        Atomic.incr w.seq;
+        if Atomic.get w.sleeping then begin
+          Mutex.lock w.wm;
+          Condition.signal w.wc;
+          Mutex.unlock w.wm
+        end
+      done;
+      (* the caller is slot 0 *)
+      run_slice p chunks 0;
+      if Atomic.get p.remaining > 0 then begin
+        let budget = ref (spin_budget p.jobs) in
+        while Atomic.get p.remaining > 0 && !budget > 0 do
+          Domain.cpu_relax ();
+          decr budget
+        done;
+        if Atomic.get p.remaining > 0 then begin
+          Mutex.lock p.dm;
+          Atomic.set p.waiting true;
+          while Atomic.get p.remaining > 0 do
+            Condition.wait p.done_ p.dm
+          done;
+          Atomic.set p.waiting false;
+          Mutex.unlock p.dm
+        end
+      end;
+      (* drop the chunk closures so finished batches don't pin their
+         captured state; workers only read [chunks] after the next seq
+         bump, which is ordered after the next batch's store *)
+      for k = 1 to active do
+        p.lists.(k - 1).chunks <- [||]
+      done;
+      match Atomic.get p.abort with
+      | None -> ()
+      | Some e ->
+          Atomic.set p.abort None;
+          raise e
+    end
 
   let shutdown p =
-    Mutex.lock p.m;
-    p.stop <- true;
-    Condition.broadcast p.work;
-    Mutex.unlock p.m;
+    Atomic.set p.stop true;
+    Array.iter
+      (fun w ->
+        Mutex.lock w.wm;
+        Condition.broadcast w.wc;
+        Mutex.unlock w.wm)
+      p.lists;
     Array.iter Domain.join p.domains;
     p.domains <- [||]
 end
@@ -122,19 +236,51 @@ let current : Pool.t option ref = ref None
    calls (from a chunk the caller runs itself) degrade to sequential *)
 let busy = ref false
 
-let jobs () = match !current with None -> 1 | Some p -> Pool.jobs p
+(* Oversubscription clamp: the pool is spawned at
+   [min requested cores] — with more domains than cores they would
+   time-share, so a fan-out still pays every worker wake-up (context
+   switches on the very core the caller needs) and can never finish
+   earlier than a narrower pool; worse, merely keeping surplus domains
+   alive taxes every minor collection with their stop-the-world
+   synchronisation (~12% on the abl:par workload on a 1-core machine,
+   with not a single fan-out run).  Results are pool-width-independent
+   (the jobs=4 ≡ jobs=1 differential law), so clamping changes no
+   output — on a 1-core machine [--jobs 4] simply runs sequentially,
+   with no pool at all.  Tests force the full requested width — their
+   differential pins must exercise real cross-domain execution even on
+   a 1-core machine, and the per-slot metric splits they pin are only
+   machine-independent at full width — via {!force_parallel} /
+   CORECHASE_FORCE_PAR=1. *)
+let requested = ref 1
 
-let set_jobs n =
-  if n < 1 then invalid_arg "Par.set_jobs: jobs must be >= 1";
-  let n = min n max_jobs in
-  if n <> jobs () then begin
+let forced = ref false
+
+let effective_width n = if !forced then n else min n (max 1 cores)
+
+let jobs () = !requested
+
+let oversubscribed () = effective_width !requested < !requested
+
+let apply_width () =
+  let w = effective_width !requested in
+  let cur = match !current with None -> 1 | Some p -> Pool.jobs p in
+  if w <> cur then begin
     (match !current with
     | Some p ->
         current := None;
         Pool.shutdown p
     | None -> ());
-    if n > 1 then current := Some (Pool.create ~jobs:n)
+    if w > 1 then current := Some (Pool.create ~jobs:w)
   end
+
+let set_jobs n =
+  if n < 1 then invalid_arg "Par.set_jobs: jobs must be >= 1";
+  requested := min n max_jobs;
+  apply_width ()
+
+let force_parallel b =
+  forced := b;
+  apply_width ()
 
 let with_jobs n f =
   let saved = jobs () in
@@ -202,8 +348,8 @@ let run_all p ~site (tasks : (unit -> 'a) array) : 'a array =
   Array.iter (function Some e -> raise e | None -> ()) exns;
   Array.map (function Some y -> y | None -> assert false) out
 
+(* worth fanning out? (n >= 2 and an idle pool on the main domain) *)
 let pool_for n =
-  (* worth fanning out? (n >= 2 and an idle pool on the main domain) *)
   if n < 2 || !busy || Obs.Metrics.slot () <> 0 then None else !current
 
 let map ?(site = "par.map") f xs =
@@ -251,10 +397,148 @@ let find_first_map ?(site = "par.find") f xs =
 let map_reduce ?(site = "par.map_reduce") ~map:f ~reduce ~init xs =
   List.fold_left reduce init (map ~site f xs)
 
+(* ------------------------------------------------------------------ *)
+(* Batch: the throughput layer (DESIGN.md §14).  N independent tasks
+   claimed dynamically across the pool, each run under per-task
+   isolation so the result array is byte-identical to a sequential
+   loop over the tasks — at any pool width, on any schedule. *)
+
+module Batch = struct
+  (* Instruments are registered lazily, on the first [run]: single-chase
+     processes keep their metrics tables (cram-pinned) unchanged. *)
+  let m_runs = lazy (Obs.Metrics.counter "par.batch.runs")
+
+  let m_batch_tasks = lazy (Obs.Metrics.counter "par.batch.tasks")
+
+  (* Dynamic claiming means these two record scheduling facts: they are
+     deterministic in total per run only on a 1-wide pool.  They are
+     throughput diagnostics, not determinism-pinned counters. *)
+  let m_steal = lazy (Obs.Metrics.counter "par.steal")
+
+  let g_queue_depth = lazy (Obs.Metrics.gauge "par.queue_depth")
+
+  let reset_hooks : (unit -> unit) list ref = ref []
+
+  let add_reset_hook f = reset_hooks := f :: !reset_hooks
+
+  (* Run one task under full isolation:
+     - registered reset hooks clear ambient per-domain caches (the hom
+       failure/success memo registers one) so a task never observes a
+       sibling's — or a previous tenant's — cache;
+     - [Term.with_local_counter] gives the task a private fresh-var
+       counter starting at 0, so it mints exactly the ranks a
+       sequential loop would;
+     - [Resilience.with_task_scope] gives it a private ambient-token
+       cell seeded with the process-wide token of the submission, so
+       engines inside install/poll their own deadlines without
+       clobbering sibling tasks;
+     - [Obs.Trace.with_muted] silences engine events for the task body
+       (placement-dependent interleaving); the batch emits
+       deterministic [Batch_task] summaries after the barrier instead.
+     A task failure is its own [Error] — sibling tasks are unaffected. *)
+  let isolated (f : unit -> 'a) : ('a, exn) result =
+    List.iter (fun h -> h ()) !reset_hooks;
+    Syntax.Term.with_local_counter (fun () ->
+        Resilience.with_task_scope ?token:(Resilience.ambient ()) (fun () ->
+            Obs.Trace.with_muted (fun () ->
+                match f () with v -> Ok v | exception e -> Error e)))
+
+  let run ?(site = "par.batch") (tasks : (unit -> 'a) array) :
+      ('a, exn) result array =
+    let n = Array.length tasks in
+    (* One injected-fault opportunity per submitted task, decided on the
+       caller in submission order — so a [par:k:kind] fault spec lands on
+       the same task at every pool width (the [Fault] hit counters are
+       process-wide; letting racing workers take the hits would make the
+       fault placement schedule-dependent). *)
+    let faults =
+      Array.map
+        (fun _ ->
+          match Resilience.Fault.hit "par" with
+          | () -> None
+          | exception e -> Some e)
+        tasks
+    in
+    let slots = Array.make n 0 in
+    let durs = Array.make n 0. in
+    let timed i task =
+      let t0 = Unix.gettimeofday () in
+      let r = match faults.(i) with Some e -> Error e | None -> isolated task in
+      durs.(i) <- Unix.gettimeofday () -. t0;
+      r
+    in
+    if !Obs.Metrics.enabled && n > 0 then begin
+      Obs.Metrics.incr (Lazy.force m_runs);
+      Obs.Metrics.add (Lazy.force m_batch_tasks) n
+    end;
+    let out =
+      match pool_for n with
+      | None -> Array.mapi timed tasks
+      | Some p ->
+          let jobs = Pool.jobs p in
+          (* forced on the caller before the fan-out: workers must never
+             race on forcing a lazy *)
+          let steal = Lazy.force m_steal in
+          let depth = Lazy.force g_queue_depth in
+          let results : ('a, exn) result option array = Array.make n None in
+          let next = Atomic.make 0 in
+          (* Unlike a fan-out, tasks are claimed dynamically: whole
+             chases have wildly uneven durations, and static striding
+             would leave domains idle behind the slowest stripe.
+             Isolation is what keeps the results placement-independent
+             anyway, so staticness buys nothing here. *)
+          let claim slot () =
+            let continue = ref true in
+            while !continue do
+              let i = Atomic.fetch_and_add next 1 in
+              if i >= n then continue := false
+              else begin
+                if !Obs.Metrics.enabled then begin
+                  Obs.Metrics.set depth (n - i - 1);
+                  if i mod jobs <> slot then Obs.Metrics.incr steal
+                end;
+                slots.(i) <- slot;
+                results.(i) <- Some (timed i tasks.(i))
+              end
+            done
+          in
+          let chunks = Array.init (min n jobs) claim in
+          if Obs.Trace.enabled () then
+            Obs.Trace.emit
+              (Obs.Trace.Par_fanout { site; tasks = n; jobs });
+          busy := true;
+          Fun.protect
+            ~finally:(fun () -> busy := false)
+            (fun () -> Pool.run p chunks);
+          Array.map
+            (function Some r -> r | None -> assert false)
+            results
+    in
+    if Obs.Trace.enabled () then
+      Array.iteri
+        (fun i _ ->
+          Obs.Trace.emit
+            (Obs.Trace.Batch_task
+               {
+                 site;
+                 index = i;
+                 slot = slots.(i);
+                 ms = int_of_float (durs.(i) *. 1000.);
+               }))
+        out;
+    out
+
+  let map ?site f xs =
+    Array.to_list (run ?site (Array.of_list (List.map (fun x () -> f x) xs)))
+end
+
 (* CORECHASE_JOBS sizes the pool at startup; --jobs can override later.
    Malformed values fall back to 1 (sequential) rather than failing the
    whole process. *)
 let () =
+  (match Sys.getenv_opt "CORECHASE_FORCE_PAR" with
+  | Some ("1" | "true" | "yes") -> forced := true
+  | _ -> ());
   (match Sys.getenv_opt "CORECHASE_JOBS" with
   | Some s -> (
       match int_of_string_opt (String.trim s) with

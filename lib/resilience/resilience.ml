@@ -80,20 +80,44 @@ end
    previous value. *)
 let ambient_cell : Token.t option Atomic.t = Atomic.make None
 
-let install t = Atomic.set ambient_cell t
+(* Per-task token scope (DESIGN.md §14): inside a [Par.Batch] task the
+   install/read sites below target a domain-local cell instead of the
+   process-wide one, so N concurrent tasks each run under their own
+   deadline without clobbering their siblings'.  Scoping by domain is
+   scoping by task: a batch task runs on one domain from start to
+   finish (nested fan-outs degrade to sequential).  Outside any scope
+   the behaviour is exactly the PR-5 single cell — in particular a
+   fan-out's pool workers still see the caller's token through it. *)
+type scope = { mutable tok : Token.t option }
 
-let ambient () = Atomic.get ambient_cell
+let scope_key : scope option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let with_task_scope ?token f =
+  let saved = Domain.DLS.get scope_key in
+  Domain.DLS.set scope_key (Some { tok = token });
+  Fun.protect ~finally:(fun () -> Domain.DLS.set scope_key saved) f
+
+let install t =
+  match Domain.DLS.get scope_key with
+  | Some s -> s.tok <- t
+  | None -> Atomic.set ambient_cell t
+
+let ambient () =
+  match Domain.DLS.get scope_key with
+  | Some s -> s.tok
+  | None -> Atomic.get ambient_cell
 
 let with_token t f =
   match t with
   | None -> f ()
   | Some _ ->
-      let saved = Atomic.get ambient_cell in
-      Atomic.set ambient_cell t;
-      Fun.protect ~finally:(fun () -> Atomic.set ambient_cell saved) f
+      let saved = ambient () in
+      install t;
+      Fun.protect ~finally:(fun () -> install saved) f
 
 let poll () =
-  match Atomic.get ambient_cell with None -> () | Some t -> Token.check t
+  match ambient () with None -> () | Some t -> Token.check t
 
 let outcome_of_exn = function
   | Interrupted o -> Some o

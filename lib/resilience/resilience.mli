@@ -73,10 +73,22 @@ module Token : sig
   (** @raise Interrupted with [Cancelled] or [Deadline] when tripped. *)
 end
 
+val with_task_scope : ?token:Token.t -> (unit -> 'a) -> 'a
+(** [with_task_scope f] runs [f] with a domain-local token scope seeded
+    with [token] (default none): within it, {!install}/{!with_token}
+    write and {!ambient}/{!poll} read the scope instead of the
+    process-wide cell, so concurrent {!Par.Batch} tasks each run under
+    their own deadline without clobbering their siblings' (DESIGN.md
+    §14).  The previous scope (usually none) is restored on exit.
+    Cancelling the seeded token still reaches the task — the scope
+    holds the same [Token.t] — but tokens installed process-wide
+    {e after} scope entry do not. *)
+
 val install : Token.t option -> unit
 (** Set the ambient token read by {!poll}.  Engines install their token
     for the duration of a run ({!with_token}); pool workers read the
-    same ambient cell, which is how a deadline reaches every domain. *)
+    same ambient cell, which is how a deadline reaches every domain.
+    Inside {!with_task_scope}, targets the domain-local scope instead. *)
 
 val ambient : unit -> Token.t option
 

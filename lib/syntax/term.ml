@@ -8,18 +8,44 @@ type t = Const of string | Var of var
    [Domain.spawn] in tests) without ever re-issuing a rank. *)
 let counter = Atomic.make 0
 
+(* Batch-task isolation (DESIGN.md §14): inside [with_local_counter] the
+   calling domain draws ranks from its own counter instead of the
+   process-wide one, so N independent tasks batched across the pool
+   allocate exactly the variable names a sequential loop over them
+   would — concurrent tasks no longer interleave draws.  Scoping by
+   domain is scoping by task because a [Par.Batch] task runs on one
+   domain from start to finish (nested fan-outs degrade). *)
+let local_key : int ref option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let with_local_counter ?(from = 0) f =
+  if from < 0 then invalid_arg "Term.with_local_counter: negative start";
+  let saved = Domain.DLS.get local_key in
+  Domain.DLS.set local_key (Some (ref from));
+  Fun.protect ~finally:(fun () -> Domain.DLS.set local_key saved) f
+
 let fresh_var ?(hint = "") () =
-  let id = Atomic.fetch_and_add counter 1 in
+  let id =
+    match Domain.DLS.get local_key with
+    | Some r ->
+        let id = !r in
+        r := id + 1;
+        id
+    | None -> Atomic.fetch_and_add counter 1
+  in
   Var { id; hint }
 
 let var_of_id ?(hint = "") id =
   if id < 0 then invalid_arg "Term.var_of_id: negative rank";
-  let rec bump () =
-    let cur = Atomic.get counter in
-    if id >= cur && not (Atomic.compare_and_set counter cur (id + 1)) then
-      bump ()
-  in
-  bump ();
+  (match Domain.DLS.get local_key with
+  | Some r -> if id >= !r then r := id + 1
+  | None ->
+      let rec bump () =
+        let cur = Atomic.get counter in
+        if id >= cur && not (Atomic.compare_and_set counter cur (id + 1)) then
+          bump ()
+      in
+      bump ());
   Var { id; hint }
 
 let const c = Const c
@@ -66,8 +92,13 @@ let pp_debug ppf = function
 
 let reset_counter_for_tests () = Atomic.set counter 0
 
-let counter_value () = Atomic.get counter
+let counter_value () =
+  match Domain.DLS.get local_key with
+  | Some r -> !r
+  | None -> Atomic.get counter
 
 let restore_counter_for_resume n =
   if n < 0 then invalid_arg "Term.restore_counter_for_resume: negative";
-  Atomic.set counter n
+  match Domain.DLS.get local_key with
+  | Some r -> r := n
+  | None -> Atomic.set counter n

@@ -62,6 +62,17 @@ val pp : t Fmt.t
 val pp_debug : t Fmt.t
 (** Like {!pp} but always shows variable ranks, e.g. [X#42]. *)
 
+val with_local_counter : ?from:int -> (unit -> 'a) -> 'a
+(** [with_local_counter f] runs [f] with the calling domain drawing ranks
+    from a private counter starting at [from] (default 0) instead of the
+    process-wide one; the previous counter (local or global) is restored
+    on exit.  This is the term-level half of {!Par.Batch} task isolation
+    (DESIGN.md §14): N independent tasks batched across the pool each
+    mint exactly the ranks a sequential loop over them would, instead of
+    interleaving draws from the shared counter.  Within the scope,
+    freshness is only guaranteed against terms minted in the same scope
+    — callers must not mix terms across isolation scopes. *)
+
 val reset_counter_for_tests : unit -> unit
 (** Resets the global freshness counter.  Only for test isolation. *)
 

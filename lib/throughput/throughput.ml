@@ -1,0 +1,156 @@
+(* Throughput benchmarking (DESIGN.md §14): N independent chase jobs
+   batched across the Par pool — the reasoning-server load of ROADMAP
+   item 1 (many unrelated KBs and queries in flight), as opposed to one
+   wide fan-out inside a single chase.  The driver is shared by
+   [bench/main.ml] (the thr:batch:* rows gated in CI) and the
+   [corechase bench --throughput] CLI. *)
+
+type summary = {
+  name : string;
+  variant : string;
+  outcome : string;
+  steps : int;
+  atoms : int;
+}
+
+let summary_line s =
+  Printf.sprintf "%s: %s %s steps=%d atoms=%d" s.name s.variant s.outcome
+    s.steps s.atoms
+
+let summarize name (r : Chase.report) =
+  {
+    name;
+    variant = Chase.variant_name r.Chase.variant;
+    outcome = Resilience.outcome_name r.Chase.outcome;
+    steps = r.Chase.steps;
+    atoms = Syntax.Atomset.cardinal r.Chase.final;
+  }
+
+(* The standard task mix: four job shapes interleaved by index, each
+   deterministic (seeded generators, fixed budgets) and sized to a few
+   milliseconds at [scale = 1] so a default batch exercises scheduling,
+   not one long task.  KBs are built {e inside} the task: under
+   [Par.Batch] isolation each job then mints the same variable ranks no
+   matter which domain builds it. *)
+let task ~scale i =
+  let budget steps =
+    { Chase.Variants.max_steps = steps * scale; max_atoms = 20_000 }
+  in
+  match i mod 4 with
+  | 0 ->
+      let name = Printf.sprintf "%03d:staircase-core" i in
+      ( name,
+        fun () ->
+          summarize name (Chase.run ~budget:(budget 18) Core (Zoo.Staircase.kb ())) )
+  | 1 ->
+      let name = Printf.sprintf "%03d:elevator-core" i in
+      ( name,
+        fun () ->
+          summarize name (Chase.run ~budget:(budget 20) Core (Zoo.Elevator.kb ())) )
+  | 2 ->
+      let name = Printf.sprintf "%03d:random-restricted" i in
+      ( name,
+        fun () ->
+          let config =
+            { Zoo.Randomkb.default with n_facts = 24; n_rules = 10 }
+          in
+          let kb = Zoo.Randomkb.generate ~seed:(1_000 + i) config in
+          summarize name (Chase.run ~budget:(budget 30) Restricted kb) )
+  | _ ->
+      let name = Printf.sprintf "%03d:datalog-restricted" i in
+      ( name,
+        fun () ->
+          let config =
+            { Zoo.Randomkb.datalog with n_facts = 24; n_rules = 10 }
+          in
+          let kb = Zoo.Randomkb.generate ~seed:(2_000 + i) config in
+          summarize name (Chase.run ~budget:(budget 40) Restricted kb) )
+
+let mix ?(scale = 1) ~count () = List.init count (task ~scale)
+
+let default_count = 32
+
+(* One timed batch at the given width.  Failures surface as their
+   exception name so a crashing task is visible in the comparison
+   rather than silently equal. *)
+let run_once ~jobs tasks =
+  Corechase.Par.with_jobs jobs (fun () ->
+      let t0 = Unix.gettimeofday () in
+      let results =
+        Corechase.Par.Batch.run ~site:"thr.batch"
+          (Array.of_list (List.map (fun (_, f) -> f) tasks))
+      in
+      let wall = Unix.gettimeofday () -. t0 in
+      let lines =
+        Array.to_list
+          (Array.map
+             (function
+               | Ok s -> summary_line s
+               | Error e -> "error: " ^ Printexc.to_string e)
+             results)
+      in
+      (wall, lines))
+
+let median xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+type row = {
+  jobs : int;
+  wall_s : float;  (** median over the reps *)
+  tasks_per_s : float;
+  speedup : float;  (** vs the [jobs = 1] row *)
+  efficiency : float;  (** speedup / jobs *)
+}
+
+(* Wall-clock curves over the given widths: [reps] timed runs per width
+   (median kept — single runs on shared CI machines are too noisy to
+   gate on), plus the cross-width determinism check: every width, every
+   rep must produce the same result lines, in submission order. *)
+let curves ?(reps = 3) ~jobs_list tasks =
+  let n = List.length tasks in
+  (* one untimed pass so allocation warm-up lands on no width's account *)
+  ignore (run_once ~jobs:1 tasks);
+  let reference = ref None in
+  let identical = ref true in
+  let measure jobs =
+    let walls =
+      List.init reps (fun _ ->
+          let wall, lines = run_once ~jobs tasks in
+          (match !reference with
+          | None -> reference := Some lines
+          | Some r -> if lines <> r then identical := false);
+          wall)
+    in
+    (jobs, median walls)
+  in
+  let walls = List.map measure jobs_list in
+  let base =
+    match List.assoc_opt 1 walls with
+    | Some w -> w
+    | None -> ( match walls with (_, w) :: _ -> w | [] -> 1.)
+  in
+  let rows =
+    List.map
+      (fun (jobs, wall_s) ->
+        let speedup = if wall_s > 0. then base /. wall_s else 0. in
+        {
+          jobs;
+          wall_s;
+          tasks_per_s = (if wall_s > 0. then float_of_int n /. wall_s else 0.);
+          speedup;
+          efficiency = speedup /. float_of_int jobs;
+        })
+      walls
+  in
+  (rows, !identical)
+
+let pp_rows ppf rows =
+  Format.fprintf ppf "  %5s  %9s  %8s  %8s  %10s@." "jobs" "wall(ms)"
+    "tasks/s" "speedup" "efficiency";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  %5d  %9.1f  %8.1f  %8.2f  %10.2f@." r.jobs
+        (r.wall_s *. 1000.) r.tasks_per_s r.speedup r.efficiency)
+    rows

@@ -1,0 +1,58 @@
+(** Throughput benchmarking over {!Par.Batch} (DESIGN.md §14).
+
+    Runs N independent chase jobs — the reasoning-server load of ROADMAP
+    item 1 — across the domain pool at several widths and reports
+    wall-clock / speedup / efficiency curves.  Shared by the bench
+    harness (the [thr:batch:{jobs1,jobs2,jobs4}] rows, gated by
+    [bench_compare.py --scaling-gate] in CI) and the
+    [corechase bench --throughput] CLI. *)
+
+type summary = {
+  name : string;
+  variant : string;
+  outcome : string;
+  steps : int;
+  atoms : int;
+}
+(** What one job reports: enough to compare runs across pool widths. *)
+
+val summary_line : summary -> string
+
+val summarize : string -> Chase.report -> summary
+(** Condense a chase report under the given job name. *)
+
+val mix :
+  ?scale:int -> count:int -> unit -> (string * (unit -> summary)) list
+(** The standard deterministic task mix ([count] named jobs): staircase
+    and elevator core chases, seeded random restricted chases, seeded
+    datalog saturations, interleaved by index.  [scale] multiplies the
+    step budgets (1 = a few ms per job). *)
+
+val default_count : int
+(** Default batch size (32 jobs). *)
+
+val run_once :
+  jobs:int -> (string * (unit -> summary)) list -> float * string list
+(** One timed batch at the given width: wall-clock seconds plus one
+    result line per job, in submission order (failures render as their
+    exception). *)
+
+type row = {
+  jobs : int;
+  wall_s : float;  (** median over the reps *)
+  tasks_per_s : float;
+  speedup : float;  (** vs the [jobs = 1] row *)
+  efficiency : float;  (** speedup / jobs *)
+}
+
+val curves :
+  ?reps:int ->
+  jobs_list:int list ->
+  (string * (unit -> summary)) list ->
+  row list * bool
+(** Measure every width ([reps] runs each, median kept), and check that
+    every width and every rep produced identical result lines — the
+    [bool] is that cross-width determinism verdict. *)
+
+val pp_rows : Format.formatter -> row list -> unit
+(** The curve table (wall ms, tasks/s, speedup, efficiency per width). *)

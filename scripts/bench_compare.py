@@ -4,6 +4,7 @@
 Usage: bench_compare.py BASELINE.json CURRENT.json [TOLERANCE]
        bench_compare.py --memo-gate CURRENT.json
        bench_compare.py --route-gate CURRENT.json
+       bench_compare.py --scaling-gate CURRENT.json
 
 Both files use the BENCH_RESULTS.json schema: timing rows (ns/run) nested
 under a top-level "benchmarks" key and per-workload counter columns under
@@ -26,19 +27,35 @@ Exit status:
      router's whole point is picking an engine no worse than the best
      fixed choice (its analysis cost has its own row and is not part of
      the gate), so this too is a hard failure (--route-gate).
+  5  scaling gate violation: the "thr:batch:jobs4" batch did not reach
+     SCALING_MIN_SPEEDUP x the "thr:batch:jobs1" throughput on a machine
+     with >= SCALING_MIN_CORES cores.  Parallelism that fails to pay on
+     real cores is the regression the thr:* family exists to catch
+     (--scaling-gate); on narrower machines the pool is clamped and the
+     gate degrades to a warning, since speedup ~ 1.0 is the correct
+     clamped behaviour there.
 
 Stdlib only.
 """
 
 import json
+import os
 import sys
 
 MEMO_ON = "corechase abl:hom:memo:on"
 MEMO_OFF = "corechase abl:hom:memo:off"
+# Per-rep rows behind the canonical medians; the gate recomputes the
+# median itself when these are present so a stale canonical row can't
+# mask (or fake) a regression.
+MEMO_REPS = (1, 2, 3)
 
 # Shared runners are noisy even between two rows of the same run; allow
 # the memo row a small pad before calling it a regression.
 MEMO_PAD = 1.10
+
+THR_ROW = "corechase thr:batch:jobs%d"
+SCALING_MIN_SPEEDUP = 1.5
+SCALING_MIN_CORES = 4
 
 ROUTE_AUTO = "corechase abl:route:auto:"
 # Fixed-engine rows the routed run is compared against, per family.
@@ -51,22 +68,84 @@ def load(path):
         return json.load(f)
 
 
+def median(values):
+    values = sorted(values)
+    return values[len(values) // 2]
+
+
+def memo_row(bench, canonical):
+    """The median of the :r1..:r3 rep rows when present, else the
+    canonical row itself; (value, label) or (None, label)."""
+    reps = [
+        bench.get("%s:r%d" % (canonical, r))
+        for r in MEMO_REPS
+    ]
+    reps = [v for v in reps if isinstance(v, (int, float))]
+    if reps:
+        return median(reps), "median of %d rep(s)" % len(reps)
+    value = bench.get(canonical)
+    if isinstance(value, (int, float)):
+        return value, "single row"
+    return None, "missing"
+
+
 def memo_gate(current):
-    """0 if memo:on beats (or ties, within the pad) memo:off, else 3."""
+    """0 if memo:on beats (or ties, within the pad) memo:off, else 3.
+
+    Both sides are medians of the interleaved :r1..:r3 rep rows —
+    single-run OLS estimates drift by more than the few-percent memo
+    effect on shared runners, so one noisy rep must not flip the gate.
+    """
     bench = current.get("benchmarks", {})
-    on, off = bench.get(MEMO_ON), bench.get(MEMO_OFF)
-    if not isinstance(on, (int, float)) or not isinstance(off, (int, float)):
+    on, on_how = memo_row(bench, MEMO_ON)
+    off, off_how = memo_row(bench, MEMO_OFF)
+    if on is None or off is None:
         print("memo gate: rows missing (%s / %s) — skipped" % (MEMO_ON, MEMO_OFF))
         return 0
     verdict = "PASS" if on <= off * MEMO_PAD else "FAIL"
     print(
-        "memo gate: on %.1f ns/run vs off %.1f ns/run (pad %.2fx) -> %s"
-        % (on, off, MEMO_PAD, verdict)
+        "memo gate: on %.1f ns/run (%s) vs off %.1f ns/run (%s) (pad %.2fx) -> %s"
+        % (on, on_how, off, off_how, MEMO_PAD, verdict)
     )
     if verdict == "FAIL":
         print("memo gate: abl:hom:memo:on regressed past abl:hom:memo:off")
         return 3
     return 0
+
+
+def scaling_gate(current):
+    """0 if the jobs=4 batch reaches SCALING_MIN_SPEEDUP x the jobs=1
+    throughput, else 5; warn-only on machines with < SCALING_MIN_CORES
+    cores (the pool is clamped there, so ~1.0x is correct)."""
+    bench = current.get("benchmarks", {})
+    j1, j4 = bench.get(THR_ROW % 1), bench.get(THR_ROW % 4)
+    cores = os.cpu_count() or 1
+    if not isinstance(j1, (int, float)) or not isinstance(j4, (int, float)) \
+            or j1 <= 0 or j4 <= 0:
+        print("scaling gate: rows missing (%s / %s) — skipped"
+              % (THR_ROW % 1, THR_ROW % 4))
+        return 0
+    # rows are wall-clock ns for the same batch, so the throughput ratio
+    # is the inverse wall-clock ratio
+    speedup = j1 / j4
+    enforced = cores >= SCALING_MIN_CORES
+    ok = speedup >= SCALING_MIN_SPEEDUP
+    print(
+        "scaling gate: %d core(s); jobs1 %.1f ms vs jobs4 %.1f ms -> "
+        "speedup %.2fx, efficiency %.2f (required %.2fx, %s)"
+        % (cores, j1 / 1e6, j4 / 1e6, speedup, speedup / 4.0,
+           SCALING_MIN_SPEEDUP, "enforced" if enforced else
+           "warn-only: fewer than %d cores" % SCALING_MIN_CORES)
+    )
+    if ok:
+        print("scaling gate: PASS")
+        return 0
+    if not enforced:
+        print("scaling gate: below target but the pool is clamped on this "
+              "machine — WARN only")
+        return 0
+    print("scaling gate: FAIL — parallelism is not paying on real cores")
+    return 5
 
 
 def route_gate(current):
@@ -137,6 +216,8 @@ def main():
         return memo_gate(load(sys.argv[2]))
     if len(sys.argv) == 3 and sys.argv[1] == "--route-gate":
         return route_gate(load(sys.argv[2]))
+    if len(sys.argv) == 3 and sys.argv[1] == "--scaling-gate":
+        return scaling_gate(load(sys.argv[2]))
     if len(sys.argv) < 3:
         print(__doc__)
         return 2

@@ -1,0 +1,82 @@
+Batched throughput mode (DESIGN.md §14): `chase --batch` runs one
+chase per manifest line through Par.Batch.  The per-file report lines
+are pinned and must be byte-identical at every --jobs width — tasks
+are claimed dynamically, but per-task isolation (private freshness
+counter, private token scope, cache resets) makes the results
+placement-independent, and the lines print in manifest order.
+
+  $ cat > left.dlgp <<'KB'
+  > parent(alice, bob).
+  > parent(bob, carol).
+  > [anc-base] ancestor(X, Y) :- parent(X, Y).
+  > [anc-rec]  ancestor(X, Z) :- parent(X, Y), ancestor(Y, Z).
+  > KB
+  $ cat > mid.dlgp <<'KB'
+  > e(a, b).
+  > e(b, c).
+  > e(c, d).
+  > [tc] e(X, Z) :- e(X, Y), e(Y, Z).
+  > KB
+  $ cat > right.dlgp <<'KB'
+  > p(a).
+  > [grow] q(X, Y), p(Y) :- p(X).
+  > KB
+  $ cat > manifest.txt <<'EOF'
+  > left.dlgp
+  > # comments and blank lines are skipped
+  > 
+  > mid.dlgp
+  > right.dlgp
+  > EOF
+
+  $ corechase chase --batch manifest.txt --variant core --steps 6 --jobs 1
+  left.dlgp: core fixpoint steps=3 atoms=5
+  mid.dlgp: core fixpoint steps=3 atoms=6
+  right.dlgp: core steps steps=6 atoms=13
+  batch:      3 file(s), worst exit 2
+  [2]
+
+The same manifest at --jobs 4 (forced past the core-count clamp so the
+pool really fans out even on a 1-core runner) prints the same bytes:
+
+  $ CORECHASE_FORCE_PAR=1 corechase chase --batch manifest.txt --variant core --steps 6 --jobs 4
+  left.dlgp: core fixpoint steps=3 atoms=5
+  mid.dlgp: core fixpoint steps=3 atoms=6
+  right.dlgp: core steps steps=6 atoms=13
+  batch:      3 file(s), worst exit 2
+  [2]
+
+With tracing on, worker-side events are muted; after the barrier the
+caller emits one batch_task summary per task, in submission order
+(slot/ms are scheduling facts, so only the count and order are pinned):
+
+  $ CORECHASE_FORCE_PAR=1 corechase chase --batch manifest.txt --variant core --steps 6 --jobs 4 --trace out.jsonl
+  left.dlgp: core fixpoint steps=3 atoms=5
+  mid.dlgp: core fixpoint steps=3 atoms=6
+  right.dlgp: core steps steps=6 atoms=13
+  batch:      3 file(s), worst exit 2
+  [2]
+  $ grep -c batch_task out.jsonl
+  3
+  $ grep -o '"ev":"batch_task","site":"cli.batch","index":[0-9]*' out.jsonl
+  "ev":"batch_task","site":"cli.batch","index":0
+  "ev":"batch_task","site":"cli.batch","index":1
+  "ev":"batch_task","site":"cli.batch","index":2
+
+A missing file fails its own task only; siblings are unaffected and
+the worst per-file exit code (3: input error) is the batch's:
+
+  $ printf 'left.dlgp\nnope.dlgp\n' > broken.txt
+  $ corechase chase --batch broken.txt --variant core --steps 6 --jobs 1
+  left.dlgp: core fixpoint steps=3 atoms=5
+  error: Sys_error("nope.dlgp: No such file or directory")
+  batch:      2 file(s), worst exit 3
+  [3]
+
+`corechase bench --throughput` prints the speedup-curve table; timings
+vary per machine, so only the structure is pinned:
+
+  $ corechase bench --throughput --tasks 4 --jobs-list 1,2 --reps 1 | grep -vE '^ +[0-9]'
+  throughput: 4 independent chase jobs, median of 1 rep(s)
+     jobs   wall(ms)   tasks/s   speedup  efficiency
+  results identical across widths/reps: yes

@@ -16,8 +16,11 @@ trace.t; the metrics table additionally shows live par.* counters and —
 with more than one job — the per-domain split (each row reads
 total = slot0+slot1+…).  The split itself is reproducible: batch task i
 always runs on slot i mod jobs, never on whichever domain is free.
+(CORECHASE_FORCE_PAR lifts the oversubscription clamp so the pinned
+output is machine-independent: fan-outs run for real even when this
+test executes on a 1-core runner.)
 
-  $ corechase chase family.dlgp --variant core --jobs 4 --trace out.jsonl --metrics | grep -vE "tw.ms|minor_words"
+  $ CORECHASE_FORCE_PAR=1 corechase chase family.dlgp --variant core --jobs 4 --trace out.jsonl --metrics | grep -vE "tw.ms|minor_words"
   variant:    core
   outcome:    terminated (fixpoint reached)
   steps:      3
@@ -79,5 +82,5 @@ excluded: each domain keeps its own failed-homomorphism memo, so memo
 hit/miss splits legitimately differ between widths.)
 
   $ corechase chase family.dlgp --variant core --jobs 1 --metrics | sed '/metrics by domain/,$d' | grep -E "(chase|core)\." > seq.txt
-  $ corechase chase family.dlgp --variant core --jobs 4 --metrics | sed '/metrics by domain/,$d' | grep -E "(chase|core)\." > par.txt
+  $ CORECHASE_FORCE_PAR=1 corechase chase family.dlgp --variant core --jobs 4 --metrics | sed '/metrics by domain/,$d' | grep -E "(chase|core)\." > par.txt
   $ diff seq.txt par.txt

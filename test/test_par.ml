@@ -340,6 +340,193 @@ let test_stress_repeated_parallel_runs () =
       true (fp_equal reference p)
   done
 
+(* ------------------------------------------------------------------ *)
+(* (e) batch laws (DESIGN.md §14): Par.Batch.run over N independent
+   jobs is byte-identical to the isolated sequential loop, in
+   submission order, at every width — including under fault injection
+   and with a seeded cancellation token. *)
+
+let result_line = function
+  | Ok s -> "ok:" ^ s
+  | Error e -> "err:" ^ Printexc.to_string e
+
+let test_batch_order_and_error_isolation () =
+  let tasks =
+    Array.init 17 (fun i () ->
+        if i = 5 then failwith "task5" else string_of_int (i * i))
+  in
+  let expected =
+    Array.to_list
+      (Array.init 17 (fun i ->
+           if i = 5 then "err:Failure(\"task5\")"
+           else "ok:" ^ string_of_int (i * i)))
+  in
+  List.iter
+    (fun jobs ->
+      Par.with_jobs jobs (fun () ->
+          Alcotest.(check (list string))
+            (Printf.sprintf
+               "jobs=%d: results in submission order, failure isolated" jobs)
+            expected
+            (Array.to_list (Array.map result_line (Par.Batch.run tasks)))))
+    [ 1; 4 ]
+
+(* one whole chase per task, KB built inside the task: the batch result
+   must equal the handwritten isolated sequential loop — same summary
+   strings AND Atomset-equal final instances (not merely isomorphic),
+   at jobs=1 and jobs=4 *)
+let batch_chase_jobs () =
+  [
+    (fun () ->
+      let r = Chase.Variants.core ~budget:(budget 12) (Zoo.Staircase.kb ()) in
+      ("stair", r.Chase.Variants.rounds, (Chase.Derivation.last r.Chase.Variants.derivation).Chase.Derivation.instance));
+    (fun () ->
+      let r = Chase.Variants.core ~budget:(budget 10) (Zoo.Elevator.kb ()) in
+      ("elev", r.Chase.Variants.rounds, (Chase.Derivation.last r.Chase.Variants.derivation).Chase.Derivation.instance));
+    (fun () ->
+      let kb = Zoo.Randomkb.generate ~seed:311 Zoo.Randomkb.default in
+      let r = Chase.Variants.restricted ~budget:(budget 20) kb in
+      ("rand", r.Chase.Variants.rounds, (Chase.Derivation.last r.Chase.Variants.derivation).Chase.Derivation.instance));
+    (fun () ->
+      let kb = Zoo.Randomkb.generate ~seed:312 Zoo.Randomkb.datalog in
+      let r = Chase.Variants.restricted ~budget:(budget 20) kb in
+      ("data", r.Chase.Variants.rounds, (Chase.Derivation.last r.Chase.Variants.derivation).Chase.Derivation.instance));
+  ]
+
+let test_batch_kb_differential () =
+  (* the reference: the same per-task isolation, spelled out by hand *)
+  let sequential_loop () =
+    List.map
+      (fun job ->
+        Term.reset_counter_for_tests ();
+        Homo.Hom.memo_clear ();
+        job ())
+      (batch_chase_jobs ())
+  in
+  let expected = sequential_loop () in
+  List.iter
+    (fun jobs ->
+      Par.with_jobs jobs (fun () ->
+          let got = Par.Batch.run (Array.of_list (batch_chase_jobs ())) in
+          List.iteri
+            (fun i (name, rounds, final) ->
+              match got.(i) with
+              | Error e -> Alcotest.fail (Printexc.to_string e)
+              | Ok (name', rounds', final') ->
+                  Alcotest.(check string)
+                    (Printf.sprintf "jobs=%d task %d name" jobs i)
+                    name name';
+                  Alcotest.(check int)
+                    (Printf.sprintf "jobs=%d task %d rounds" jobs i)
+                    rounds rounds';
+                  Alcotest.(check bool)
+                    (Printf.sprintf
+                       "jobs=%d task %d final instance Atomset-equal" jobs i)
+                    true
+                    (Atomset.equal final final'))
+            expected))
+    [ 1; 4 ]
+
+let test_batch_fault_same_task_at_every_width () =
+  (* par-site hits are decided on the caller in submission order, so
+     par:2:cancel must disable the {e second} task at every width *)
+  let run jobs =
+    Resilience.Fault.set_spec "par:2:cancel";
+    Fun.protect ~finally:Resilience.Fault.clear (fun () ->
+        Par.with_jobs jobs (fun () ->
+            Array.to_list
+              (Array.map result_line
+                 (Par.Batch.run
+                    (Array.init 6 (fun i () -> string_of_int (i + 100)))))))
+  in
+  let at1 = run 1 and at4 = run 4 in
+  Alcotest.(check (list string)) "same task faulted at jobs=1 and jobs=4" at1
+    at4;
+  Alcotest.(check bool) "task 1 is the faulted one" true
+    (String.length (List.nth at1 1) >= 4
+    && String.sub (List.nth at1 1) 0 4 = "err:");
+  List.iteri
+    (fun i line ->
+      if i <> 1 then
+        Alcotest.(check string)
+          (Printf.sprintf "task %d unaffected" i)
+          ("ok:" ^ string_of_int (i + 100))
+          line)
+    at1
+
+let test_batch_nested_degrades () =
+  Par.with_jobs 4 (fun () ->
+      let outer =
+        Par.Batch.run
+          (Array.init 3 (fun i () ->
+               Par.Batch.run (Array.init 3 (fun j () -> (10 * i) + j))))
+      in
+      Array.iteri
+        (fun i r ->
+          match r with
+          | Error e -> Alcotest.fail (Printexc.to_string e)
+          | Ok inner ->
+              Array.iteri
+                (fun j r' ->
+                  match r' with
+                  | Error e -> Alcotest.fail (Printexc.to_string e)
+                  | Ok v ->
+                      Alcotest.(check int)
+                        (Printf.sprintf "nested batch (%d,%d)" i j)
+                        ((10 * i) + j)
+                        v)
+                inner)
+        outer)
+
+let test_batch_seeded_token_reaches_tasks () =
+  (* a token tripped before submission cancels every task (each task's
+     private scope is seeded from the submission's ambient token) *)
+  let token = Resilience.Token.create () in
+  Resilience.Token.cancel token;
+  Par.with_jobs 4 (fun () ->
+      Resilience.with_token (Some token) (fun () ->
+          Array.iteri
+            (fun i r ->
+              match r with
+              | Error (Resilience.Interrupted _) -> ()
+              | Ok _ -> Alcotest.fail (Printf.sprintf "task %d not cancelled" i)
+              | Error e -> Alcotest.fail (Printexc.to_string e))
+            (Par.Batch.run
+               (Array.init 5 (fun _ () ->
+                    Resilience.poll ();
+                    ())))));
+  (* and without a token the same tasks all succeed *)
+  Par.with_jobs 4 (fun () ->
+      Array.iter
+        (fun r ->
+          match r with
+          | Ok () -> ()
+          | Error e -> Alcotest.fail (Printexc.to_string e))
+        (Par.Batch.run
+           (Array.init 5 (fun _ () ->
+                Resilience.poll ();
+                ()))))
+
+let test_batch_hot_submission () =
+  (* many consecutive small batches across width changes: the worklist
+     wake/park protocol must never lose a submission or a result *)
+  for round = 1 to 60 do
+    let jobs = if round land 1 = 0 then 4 else 1 in
+    Par.with_jobs jobs (fun () ->
+        let n = 1 + (round mod 7) in
+        let got = Par.Batch.run (Array.init n (fun i () -> (round * 100) + i)) in
+        Array.iteri
+          (fun i r ->
+            match r with
+            | Ok v ->
+                Alcotest.(check int)
+                  (Printf.sprintf "round %d task %d" round i)
+                  ((round * 100) + i)
+                  v
+            | Error e -> Alcotest.fail (Printexc.to_string e))
+          got)
+  done
+
 let suites =
   [
     ( "par.combinators",
@@ -380,6 +567,21 @@ let suites =
           (test_engine_differential Core);
         Alcotest.test_case "work lands on worker slots" `Quick
           test_parallel_work_lands_on_workers;
+      ] );
+    ( "par.batch",
+      [
+        Alcotest.test_case "submission order + error isolation" `Quick
+          test_batch_order_and_error_isolation;
+        Alcotest.test_case "N chases ≡ isolated sequential loop" `Quick
+          test_batch_kb_differential;
+        Alcotest.test_case "par fault hits the same task at every width"
+          `Quick test_batch_fault_same_task_at_every_width;
+        Alcotest.test_case "nested batch degrades" `Quick
+          test_batch_nested_degrades;
+        Alcotest.test_case "seeded token cancels every task" `Quick
+          test_batch_seeded_token_reaches_tasks;
+        Alcotest.test_case "hot submission across width changes" `Quick
+          test_batch_hot_submission;
       ] );
     ( "par.stress",
       [

@@ -260,7 +260,7 @@ let strings =
 let gen_small rng = int_in rng 0 50
 
 let gen_event rng : Obs.Trace.event =
-  match int_in rng 0 10 with
+  match int_in rng 0 11 with
   | 0 ->
       Round_start
         { engine = pick rng strings; round = gen_small rng; size = gen_small rng }
@@ -315,7 +315,15 @@ let gen_event rng : Obs.Trace.event =
           tasks = gen_small rng;
           jobs = 1 + int_in rng 0 7;
         }
-  | 9 -> Deadline_hit { engine = pick rng strings; step = gen_small rng }
+  | 9 ->
+      Batch_task
+        {
+          site = pick rng strings;
+          index = gen_small rng;
+          slot = int_in rng 0 7;
+          ms = gen_small rng;
+        }
+  | 10 -> Deadline_hit { engine = pick rng strings; step = gen_small rng }
   | _ ->
       Checkpoint_written
         { engine = pick rng strings; step = gen_small rng; path = pick rng strings }
@@ -356,6 +364,11 @@ let shrink_event (e : Obs.Trace.event) : Obs.Trace.event list =
       List.map (fun site -> Obs.Trace.Par_fanout { f with site }) (str f.site)
       @ List.map (fun tasks -> Obs.Trace.Par_fanout { f with tasks })
           (half f.tasks)
+  | Batch_task f ->
+      List.map (fun site -> Obs.Trace.Batch_task { f with site }) (str f.site)
+      @ List.map (fun index -> Obs.Trace.Batch_task { f with index })
+          (half f.index)
+      @ List.map (fun ms -> Obs.Trace.Batch_task { f with ms }) (half f.ms)
   | Deadline_hit f ->
       List.map (fun engine -> Obs.Trace.Deadline_hit { f with engine }) (str f.engine)
       @ List.map (fun step -> Obs.Trace.Deadline_hit { f with step }) (half f.step)
