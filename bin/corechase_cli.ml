@@ -26,8 +26,9 @@ open Syntax
 
 let exit_ok = 0
 
-let exit_not_entailed = 1
-
+(* exit code 1 ("a query was not entailed") is produced through
+   [Server.Queryeval.exit_code], the severity mapping shared with the
+   serving path *)
 let exit_stopped = 2
 
 let exit_input = 3
@@ -393,10 +394,13 @@ let resume_cmd =
        (header.Chase.Checkpoint.kb_digest, Chase.Checkpoint.digest_of_file kb_file)
      with
     | Some d, Some d' when d <> d' ->
+        (* name the digests, not just the fact of the mismatch: the
+           operator deciding whether to re-chase or repoint --file needs
+           to see which KB the checkpoint was cut against *)
         die exit_input
-          "%s: %s changed since the checkpoint was written (digest mismatch); \
-           resuming against a different KB would not be exact"
-          ckpt kb_file
+          "%s: %s changed since the checkpoint was written (expected digest \
+           %s, found %s); resuming against a different KB would not be exact"
+          ckpt kb_file d d'
     | Some _, None ->
         die exit_input "%s: cannot read %s to verify the checkpoint digest"
           ckpt kb_file
@@ -492,54 +496,34 @@ let entail_cmd =
     in
     let code = ref exit_ok in
     let worsen c = if c > !code then code := c in
+    (* rendering shared with the server's ENTAIL handler: the
+       differential law (serve ≡ batch CLI, byte for byte) holds
+       because both paths go through [Server.Queryeval] *)
+    let say (line, sev) =
+      worsen (Server.Queryeval.exit_code sev);
+      Fmt.pr "%s@." line
+    in
     Resilience.with_token token (fun () ->
         (match doc.Dlgp.constraints with
         | [] -> ()
-        | constraints -> (
-            match Corechase.Entailment.inconsistent ~budget ~constraints kb with
-            | Corechase.Entailment.Entailed ->
-                Fmt.pr "KB is INCONSISTENT (a constraint body is entailed)@."
-            | Corechase.Entailment.Not_entailed ->
-                Fmt.pr "constraints: consistent@."
-            | Corechase.Entailment.Unknown m ->
-                worsen exit_stopped;
-                Fmt.pr "constraints: unknown (%s)@." m));
+        | constraints ->
+            say
+              (Server.Queryeval.constraints_line
+                 (Corechase.Entailment.inconsistent ~budget ~constraints kb)));
         if doc.Dlgp.queries = [] then Fmt.pr "no queries in %s@." file
         else
           List.iter
             (fun q ->
-              if Kb.Query.is_boolean q then begin
-                let verdict =
-                  Corechase.Entailment.decide ~variant ~budget ~max_domain kb q
-                in
-                (match verdict with
-                | Corechase.Entailment.Entailed -> ()
-                | Corechase.Entailment.Not_entailed -> worsen exit_not_entailed
-                | Corechase.Entailment.Unknown _ -> worsen exit_stopped);
-                Fmt.pr "%a  ⟶  %a@." Kb.Query.pp q
-                  Corechase.Entailment.pp_verdict verdict
-              end
+              if Kb.Query.is_boolean q then
+                say
+                  (Server.Queryeval.verdict_line q
+                     (Corechase.Entailment.decide ~variant ~budget ~max_domain
+                        kb q))
               else
-                let tuples_str tuples =
-                  String.concat " "
-                    (List.map
-                       (fun t ->
-                         "("
-                         ^ String.concat ", "
-                             (List.map (fun x -> Fmt.str "%a" Term.pp x) t)
-                         ^ ")")
-                       tuples)
-                in
-                match
-                  Corechase.Entailment.certain_answers ~variant ~budget kb q
-                with
-                | Corechase.Entailment.Complete tuples ->
-                    Fmt.pr "%a  ⟶  %d certain answer(s): %s@." Kb.Query.pp q
-                      (List.length tuples) (tuples_str tuples)
-                | Corechase.Entailment.Sound tuples ->
-                    worsen exit_stopped;
-                    Fmt.pr "%a  ⟶  ≥%d certain answer(s) (budget hit): %s@."
-                      Kb.Query.pp q (List.length tuples) (tuples_str tuples))
+                say
+                  (Server.Queryeval.answers_line q
+                     (Corechase.Entailment.certain_answers ~variant ~budget kb
+                        q)))
             doc.Dlgp.queries);
     !code
   in
@@ -809,6 +793,106 @@ let zoo_cmd =
     (Cmd.info "zoo" ~doc:"List or print the built-in knowledge bases in DLGP syntax.")
     CTerm.(const run $ name_arg)
 
+(* serve / client (DESIGN.md §15) *)
+let serve_cmd =
+  let run listens drain ready_file quiet trace metrics jobs =
+    let endpoints =
+      List.map
+        (fun s ->
+          match Server.endpoint_of_string s with
+          | Ok e -> e
+          | Error m -> die exit_input "%s" m)
+        listens
+    in
+    Corechase.Par.set_jobs jobs;
+    with_obs ~trace ~metrics (fun () ->
+        match
+          Server.serve
+            { Server.endpoints; drain_timeout = drain; ready_file; quiet }
+        with
+        | Ok () -> exit_ok
+        | Error m -> die exit_input "%s" m)
+  in
+  let listen_arg =
+    Arg.(
+      non_empty & opt_all string []
+      & info [ "listen"; "l" ] ~docv:"ENDPOINT"
+          ~doc:
+            "Listen endpoint, $(b,unix:PATH) or $(b,tcp:HOST:PORT); repeat \
+             the flag to serve several endpoints at once.")
+  in
+  let drain_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "drain-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "After SIGTERM (or a SHUTDOWN request) stop accepting and wait \
+             this long for in-flight work before cancelling it through the \
+             per-connection tokens.")
+  in
+  let ready_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ready-file" ] ~docv:"FILE"
+          ~doc:
+            "Write $(docv) (one bound endpoint per line) once every listener \
+             is bound — scripts wait on the file instead of polling connect.")
+  in
+  let quiet_arg =
+    Arg.(
+      value & flag
+      & info [ "quiet"; "q" ] ~doc:"Suppress the stderr lifecycle notes.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve long-lived KB sessions over the corechase wire protocol: one \
+          chase writer per session, many concurrent snapshot readers \
+          (DESIGN.md §15).")
+    CTerm.(
+      const run $ listen_arg $ drain_arg $ ready_file_arg $ quiet_arg
+      $ trace_arg $ metrics_arg $ jobs_arg)
+
+let client_cmd =
+  let run connect wait reqs =
+    match Server.endpoint_of_string connect with
+    | Error m -> die exit_input "%s" m
+    | Ok ep -> (
+        match Server.Client.run ~wait_s:wait ep reqs with
+        | Ok code -> code
+        | Error m -> die exit_input "%s" m)
+  in
+  let connect_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "connect"; "c" ] ~docv:"ENDPOINT"
+          ~doc:"Server endpoint, $(b,unix:PATH) or $(b,tcp:HOST:PORT).")
+  in
+  let wait_arg =
+    Arg.(
+      value & opt float 5.0
+      & info [ "wait" ] ~docv:"SECONDS"
+          ~doc:
+            "Retry connecting for up to $(docv) seconds (the server may \
+             still be binding).")
+  in
+  let reqs_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"REQUEST"
+          ~doc:
+            "Request payloads, sent in order; $(b,\\\\n) escapes separate a \
+             payload's lines (e.g. 'ENTAIL s\\\\np(X)?').")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send requests to a running $(b,corechase serve) and print the \
+          response frames.")
+    CTerm.(const run $ connect_arg $ wait_arg $ reqs_arg)
+
 let () =
   let info =
     Cmd.info "corechase" ~version:"1.0.0"
@@ -820,4 +904,5 @@ let () =
           [
             chase_cmd; resume_cmd; entail_cmd; analyze_cmd; classify_cmd;
             treewidth_cmd; repro_cmd; tptp_cmd; dot_cmd; zoo_cmd; bench_cmd;
+            serve_cmd; client_cmd;
           ]))

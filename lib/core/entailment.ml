@@ -102,6 +102,43 @@ let decide ?(variant = `Core) ?budget ?(max_domain = 4) kb q =
       | Unknown why2 -> Unknown (why1 ^ "; " ^ why2)
       | Entailed -> assert false)
 
+(* Snapshot-based entailment (DESIGN.md §15): the server chases a KB
+   once and serves many queries from the stamped result.  Soundness of
+   the final-instance-only checks: every derivation element maps
+   homomorphically into the final one (monotone growth for restricted /
+   datalog, the fold endomorphisms for core and frugal), so [Q ↪ F_i]
+   for any [i] implies [Q ↪ F_final] — probing the final element alone
+   decides exactly what [via_chase]'s every-element scan decides, and a
+   constant answer tuple found anywhere persists into the final element
+   (homomorphisms fix constants).  The verdicts — including the Unknown
+   message strings — therefore match a fresh {!decide} on the same KB
+   and budget byte for byte, which the server differential suite pins. *)
+let decide_in_snapshot ?(max_domain = 4) ~outcome indexed kb q =
+  guard_verdict @@ fun () ->
+  if holds_in_indexed q indexed then Entailed
+  else if Resilience.terminated outcome then Not_entailed
+  else
+    let why1 = stopped_why outcome in
+    match via_countermodel ~max_domain kb q with
+    | Not_entailed -> Not_entailed
+    | Unknown why2 -> Unknown (why1 ^ "; " ^ why2)
+    | Entailed -> assert false
+
+let certain_answers_in_snapshot ~outcome final q =
+  let avars = Kb.Query.answer_vars q in
+  if avars = [] then
+    invalid_arg "Entailment.certain_answers_in_snapshot: Boolean query";
+  match
+    Homo.Cq.certain_answers ~answer_vars:avars q final
+    |> List.sort_uniq (List.compare Term.compare)
+  with
+  | tuples ->
+      if Resilience.terminated outcome then Complete tuples else Sound tuples
+  | exception e -> (
+      match Resilience.outcome_of_exn e with
+      | Some _ -> Sound []
+      | None -> raise e)
+
 let inconsistent ?budget ?(max_domain = 4) ~constraints kb =
   let verdicts = List.map (fun c -> decide ?budget ~max_domain kb c) constraints in
   if List.exists (fun v -> v = Entailed) verdicts then Entailed

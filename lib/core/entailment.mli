@@ -48,6 +48,23 @@ val decide :
     analyzer routes to when it certifies termination: on such KBs both
     variants reach a universal model, so the verdict is unchanged. *)
 
+val decide_in_snapshot :
+  ?max_domain:int ->
+  outcome:Resilience.outcome ->
+  Homo.Instance.t ->
+  Kb.t ->
+  Kb.Query.t ->
+  verdict
+(** [decide_in_snapshot ~outcome indexed kb q] decides [q] against a
+    chased snapshot: [indexed] is the (indexed) final chase element and
+    [outcome] the run's outcome.  Because every derivation element maps
+    homomorphically into the final one, probing the snapshot alone
+    yields exactly the verdict — including the [Unknown] message — that
+    {!decide} on the same KB and budget computes, without re-running
+    the chase.  The "no" side falls back to {!via_countermodel} when
+    the snapshot is not a fixpoint.  This is the server's read path:
+    one chase writer, many snapshot readers (DESIGN.md §15). *)
+
 type answers =
   | Complete of Term.t list list
       (** the chase terminated: exactly the certain answers *)
@@ -62,6 +79,13 @@ val certain_answers :
     termination comes from every derivation element being universal for
     [K] (Proposition 1(1)).
     @raise Invalid_argument on Boolean queries (use {!decide}). *)
+
+val certain_answers_in_snapshot :
+  outcome:Resilience.outcome -> Atomset.t -> Kb.Query.t -> answers
+(** Certain answers of a non-Boolean query over a chased snapshot;
+    agrees with {!certain_answers} on the same KB and budget (constant
+    tuples persist along the derivation's forward homomorphisms).
+    @raise Invalid_argument on Boolean queries. *)
 
 val ucq_holds_in : Ucq.t -> Atomset.t -> bool
 (** Some disjunct maps homomorphically into the instance. *)

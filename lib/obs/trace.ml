@@ -17,6 +17,8 @@ type event =
   | Batch_task of { site : string; index : int; slot : int; ms : int }
   | Deadline_hit of { engine : string; step : int }
   | Checkpoint_written of { engine : string; step : int; path : string }
+  | Session_event of { action : string; session : string; generation : int }
+  | Conn_event of { action : string; conn : int }
 
 type sink =
   | Null
@@ -99,6 +101,11 @@ let pp_event ppf = function
   | Checkpoint_written { engine; step; path } ->
       Format.fprintf ppf "[%s] step %d: checkpoint written to %s" engine step
         path
+  | Session_event { action; session; generation } ->
+      Format.fprintf ppf "[serve] session %s: %s (generation %d)" session
+        action generation
+  | Conn_event { action; conn } ->
+      Format.fprintf ppf "[serve] conn %d: %s" conn action
 
 (* ------------------------------------------------------------------ *)
 (* JSON encoding: flat objects with string / int / bool fields only.   *)
@@ -170,6 +177,13 @@ let to_json ev =
           s "ev" "checkpoint_written"; s "engine" engine; i "step" step;
           s "path" path;
         ]
+    | Session_event { action; session; generation } ->
+        [
+          s "ev" "session_event"; s "action" action; s "session" session;
+          i "generation" generation;
+        ]
+    | Conn_event { action; conn } ->
+        [ s "ev" "conn_event"; s "action" action; i "conn" conn ]
   in
   "{" ^ String.concat "," fields ^ "}"
 
@@ -357,6 +371,14 @@ let of_json_line line =
         | "checkpoint_written" ->
             Checkpoint_written
               { engine = str "engine"; step = int "step"; path = str "path" }
+        | "session_event" ->
+            Session_event
+              {
+                action = str "action";
+                session = str "session";
+                generation = int "generation";
+              }
+        | "conn_event" -> Conn_event { action = str "action"; conn = int "conn" }
         | _ -> raise Parse_error
       with
       | ev -> Some ev

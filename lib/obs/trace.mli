@@ -60,6 +60,16 @@ type event =
   | Checkpoint_written of { engine : string; step : int; path : string }
       (** a resumable checkpoint covering the first [step] derivation
           steps was persisted to [path] (DESIGN.md §11) *)
+  | Session_event of { action : string; session : string; generation : int }
+      (** a server KB session changed state (DESIGN.md §15): [action] is
+          [opened], [loaded], [chased], [analyzed] or [closed];
+          [generation] is the session's snapshot generation after the
+          event (0 until a first chase completes) *)
+  | Conn_event of { action : string; conn : int }
+      (** a server connection changed state (DESIGN.md §15): [action] is
+          [accepted], [closed], [protocol-error] or [accept-failed];
+          [conn] is the per-process connection id ([-1] for
+          [accept-failed], which has no connection yet) *)
 
 type sink =
   | Null  (** drop everything; {!enabled} is [false] *)

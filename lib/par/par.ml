@@ -436,16 +436,30 @@ module Batch = struct
        (placement-dependent interleaving); the batch emits
        deterministic [Batch_task] summaries after the barrier instead.
      A task failure is its own [Error] — sibling tasks are unaffected. *)
-  let isolated (f : unit -> 'a) : ('a, exn) result =
+  let isolated ?token (f : unit -> 'a) : ('a, exn) result =
     List.iter (fun h -> h ()) !reset_hooks;
+    let token =
+      match token with Some _ as t -> t | None -> Resilience.ambient ()
+    in
     Syntax.Term.with_local_counter (fun () ->
-        Resilience.with_task_scope ?token:(Resilience.ambient ()) (fun () ->
+        Resilience.with_task_scope ?token (fun () ->
             Obs.Trace.with_muted (fun () ->
                 match f () with v -> Ok v | exception e -> Error e)))
 
-  let run ?(site = "par.batch") (tasks : (unit -> 'a) array) :
+  let run ?(site = "par.batch") ?tokens (tasks : (unit -> 'a) array) :
       ('a, exn) result array =
     let n = Array.length tasks in
+    (match tokens with
+    | Some a when Array.length a <> n ->
+        invalid_arg "Par.Batch.run: tokens array length mismatch"
+    | _ -> ());
+    (* per-task token override (DESIGN.md §15): the server runs one
+       batch of entailment readers where each task belongs to a
+       different connection, so each runs under its own token scope;
+       a [None] entry falls back to the submission's ambient token *)
+    let token_of i =
+      match tokens with None -> None | Some a -> a.(i)
+    in
     (* One injected-fault opportunity per submitted task, decided on the
        caller in submission order — so a [par:k:kind] fault spec lands on
        the same task at every pool width (the [Fault] hit counters are
@@ -463,7 +477,11 @@ module Batch = struct
     let durs = Array.make n 0. in
     let timed i task =
       let t0 = Unix.gettimeofday () in
-      let r = match faults.(i) with Some e -> Error e | None -> isolated task in
+      let r =
+        match faults.(i) with
+        | Some e -> Error e
+        | None -> isolated ?token:(token_of i) task
+      in
       durs.(i) <- Unix.gettimeofday () -. t0;
       r
     in

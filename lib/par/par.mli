@@ -158,7 +158,10 @@ end
     is emitted after the barrier, in submission order. *)
 module Batch : sig
   val run :
-    ?site:string -> (unit -> 'a) array -> ('a, exn) result array
+    ?site:string ->
+    ?tokens:Resilience.Token.t option array ->
+    (unit -> 'a) array ->
+    ('a, exn) result array
   (** [run tasks] executes every task and returns per-task outcomes in
       submission order.  A task's exception is its own [Error] — sibling
       tasks are unaffected.  Nested calls (from inside a task, or from a
@@ -166,7 +169,14 @@ module Batch : sig
       [jobs = 1]; the observable results are identical by construction.
       Fault injection: one [par]-site hit opportunity per submitted
       task, decided on the caller in submission order, so a [par:k:kind]
-      spec disables the same task at every width. *)
+      spec disables the same task at every width.
+
+      [tokens] (same length as [tasks]) seeds task [i]'s private token
+      scope with [tokens.(i)] instead of the submission's ambient token
+      ([None] entries keep the ambient fallback) — the server uses this
+      to run one batch of entailment readers where every task answers a
+      different connection, each cancellable on its own (DESIGN.md §15).
+      @raise Invalid_argument on a length mismatch. *)
 
   val map : ?site:string -> ('a -> 'b) -> 'a list -> ('b, exn) result list
   (** List convenience over {!run}. *)

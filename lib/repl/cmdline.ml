@@ -1,0 +1,48 @@
+(* Shared command-line-ish parsing for the interactive surfaces: the
+   REPL's `cmd arg' lines and the server protocol's request payloads
+   (DESIGN.md §15) split words, first lines and key=value options the
+   same way, so the two front ends cannot drift apart. *)
+
+(* first word and the (untrimmed-tail) remainder of a trimmed line *)
+let split line =
+  let line = String.trim line in
+  match String.index_opt line ' ' with
+  | None -> (line, "")
+  | Some i ->
+      ( String.sub line 0 i,
+        String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+
+(* first line and the raw rest (no trimming: the rest may be a verbatim
+   multi-line body, e.g. inline DLGP text in a LOAD payload) *)
+let split_line s =
+  match String.index_opt s '\n' with
+  | None -> (s, "")
+  | Some i -> (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+let words s =
+  String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+(* positive integer with a fallback (the REPL's `step [N]' convention) *)
+let int_default s d =
+  match int_of_string_opt (String.trim s) with Some n when n > 0 -> n | _ -> d
+
+(* split [key=value] words from positional ones, keeping word order
+   within each class; repeated keys keep the last occurrence *)
+let keyvals ws =
+  let kvs, pos =
+    List.fold_left
+      (fun (kvs, pos) w ->
+        match String.index_opt w '=' with
+        | Some i when i > 0 ->
+            ( (String.sub w 0 i, String.sub w (i + 1) (String.length w - i - 1))
+              :: kvs,
+              pos )
+        | _ -> (kvs, w :: pos))
+      ([], []) ws
+  in
+  (List.rev kvs, List.rev pos)
+
+let lookup key kvs =
+  List.fold_left
+    (fun acc (k, v) -> if String.equal k key then Some v else acc)
+    None kvs

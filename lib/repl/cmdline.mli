@@ -1,0 +1,26 @@
+(** Shared command parsing for the interactive surfaces (REPL lines and
+    server request payloads, DESIGN.md §15).  Both front ends split
+    words, first lines and [key=value] options through these helpers so
+    their grammars cannot drift apart. *)
+
+val split : string -> string * string
+(** [split line] is the first word of the trimmed line and the trimmed
+    remainder (["" ] when absent): ["load  a.dlgp "] ↦
+    [("load", "a.dlgp")]. *)
+
+val split_line : string -> string * string
+(** First line and the {e raw} rest ("" when there is no newline) — the
+    rest may be a verbatim multi-line body, so it is not trimmed. *)
+
+val words : string -> string list
+(** Space-separated words, empty words dropped. *)
+
+val int_default : string -> int -> int
+(** Parse a positive integer, falling back to the default. *)
+
+val keyvals : string list -> (string * string) list * string list
+(** Split [key=value] words from positional words, preserving order
+    within each class; a repeated key keeps its last occurrence. *)
+
+val lookup : string -> (string * string) list -> string option
+(** Last binding of the key, if any. *)

@@ -1,4 +1,5 @@
 open Syntax
+module Cmdline = Cmdline
 
 type variant = [ `Restricted | `Core | `Frugal ]
 
@@ -66,8 +67,7 @@ let advance st n =
               (Atomset.cardinal last)
               (if finished then " — fixpoint reached" else "") ))
 
-let parse_int_default s d =
-  match int_of_string_opt (String.trim s) with Some n when n > 0 -> n | _ -> d
+let parse_int_default = Cmdline.int_default
 
 let cmd_load st arg =
   match Dlgp.parse_file (String.trim arg) with
@@ -165,14 +165,7 @@ let cmd_reset st =
   | Some kb -> (boot st kb, "reset to F_0")
 
 let exec st line =
-  let line = String.trim line in
-  let cmd, arg =
-    match String.index_opt line ' ' with
-    | None -> (line, "")
-    | Some i ->
-        ( String.sub line 0 i,
-          String.sub line (i + 1) (String.length line - i - 1) )
-  in
+  let cmd, arg = Cmdline.split line in
   match cmd with
   | "" -> (st, "")
   | "help" -> (st, help_text)

@@ -22,6 +22,10 @@
     quit                 leave
     v} *)
 
+module Cmdline : module type of Cmdline
+(** Shared command parsing, also used by the server protocol
+    (DESIGN.md §15). *)
+
 type state
 
 val initial : state

@@ -73,6 +73,38 @@ module Token = struct
     if expired t then raise (Interrupted Deadline)
 end
 
+(* Token groups (DESIGN.md §15): the server registers every in-flight
+   request's token in one group, so graceful shutdown is a single
+   [cancel_all] — from the drain-timeout alarm, possibly inside a
+   signal handler, hence no allocation on the cancel path beyond the
+   list walk and mutation only through [Token.cancel] (an atomic
+   store).  Registration prunes already-cancelled tokens so a
+   long-lived group does not leak one token per request served. *)
+module Group = struct
+  type t = { mutable toks : Token.t list; mu : Mutex.t }
+
+  let create () = { toks = []; mu = Mutex.create () }
+
+  let add g t =
+    Mutex.lock g.mu;
+    g.toks <- t :: List.filter (fun t -> not (Token.cancelled t)) g.toks;
+    Mutex.unlock g.mu
+
+  let token ?deadline_s g =
+    let t = Token.create ?deadline_s () in
+    add g t;
+    t
+
+  let cancel_all g = List.iter Token.cancel g.toks
+
+  let live g =
+    Mutex.lock g.mu;
+    g.toks <- List.filter (fun t -> not (Token.cancelled t)) g.toks;
+    let n = List.length g.toks in
+    Mutex.unlock g.mu;
+    n
+end
+
 (* The ambient token: one cell for the whole process, read by every
    poll site (pool workers included — that is how a deadline stops a
    [--jobs N] run within one wave).  Engines install/restore around

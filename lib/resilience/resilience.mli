@@ -73,6 +73,33 @@ module Token : sig
   (** @raise Interrupted with [Cancelled] or [Deadline] when tripped. *)
 end
 
+(** Token groups (DESIGN.md §15): a set of tokens cancellable together.
+    The server registers every in-flight request's token here, so a
+    drain-timeout shutdown is one {!Group.cancel_all} — safe to call
+    from a signal handler (it walks the list and performs atomic
+    stores, no locking, no allocation).  Registration prunes
+    already-cancelled tokens, so a long-lived group stays bounded by
+    the number of concurrently live requests. *)
+module Group : sig
+  type t
+
+  val create : unit -> t
+
+  val add : t -> Token.t -> unit
+
+  val token : ?deadline_s:float -> t -> Token.t
+  (** {!Token.create} + {!add} in one step. *)
+
+  val cancel_all : t -> unit
+  (** Cancel every registered token.  Lock-free: a token being
+      registered concurrently with the call may be missed — callers
+      that need certainty call it again once no more registrations can
+      race (the server does, after its accept loop has stopped). *)
+
+  val live : t -> int
+  (** Number of registered, not-yet-cancelled tokens. *)
+end
+
 val with_task_scope : ?token:Token.t -> (unit -> 'a) -> 'a
 (** [with_task_scope f] runs [f] with a domain-local token scope seeded
     with [token] (default none): within it, {!install}/{!with_token}

@@ -1,0 +1,382 @@
+(* The wire protocol (DESIGN.md §15) as a pure codec: frames in and out
+   of strings, requests in and out of payload text.  No I/O happens
+   here — the daemon and the in-process loopback client both sit on top
+   of exactly these functions, which is what lets the test harness prove
+   the protocol without opening a socket. *)
+
+let version = 1
+let magic = "corechase"
+let max_payload = 1 lsl 20
+
+type kind = K_hello | K_req | K_ok | K_err | K_data | K_event | K_bye
+
+let kind_name = function
+  | K_hello -> "hello"
+  | K_req -> "req"
+  | K_ok -> "ok"
+  | K_err -> "err"
+  | K_data -> "data"
+  | K_event -> "event"
+  | K_bye -> "bye"
+
+let kind_of_name = function
+  | "hello" -> Some K_hello
+  | "req" -> Some K_req
+  | "ok" -> Some K_ok
+  | "err" -> Some K_err
+  | "data" -> Some K_data
+  | "event" -> Some K_event
+  | "bye" -> Some K_bye
+  | _ -> None
+
+type frame = { kind : kind; payload : string }
+
+type error =
+  | Truncated
+  | Bad_magic of string
+  | Bad_version of string
+  | Bad_kind of string
+  | Bad_length of string
+  | Oversized of int
+  | Bad_terminator
+
+let error_code = function
+  | Truncated -> "truncated"
+  | Bad_magic _ -> "bad-magic"
+  | Bad_version _ -> "bad-version"
+  | Bad_kind _ -> "bad-kind"
+  | Bad_length _ -> "bad-length"
+  | Oversized _ -> "oversized"
+  | Bad_terminator -> "bad-terminator"
+
+let pp_error ppf = function
+  | Truncated -> Fmt.string ppf "truncated frame"
+  | Bad_magic s -> Fmt.pf ppf "bad magic %S" s
+  | Bad_version s -> Fmt.pf ppf "bad version %S" s
+  | Bad_kind s -> Fmt.pf ppf "bad frame kind %S" s
+  | Bad_length s -> Fmt.pf ppf "bad length prefix %S" s
+  | Oversized n -> Fmt.pf ppf "payload length %d exceeds %d" n max_payload
+  | Bad_terminator -> Fmt.string ppf "payload not newline-terminated"
+
+let encode { kind; payload } =
+  if String.length payload > max_payload then
+    invalid_arg "Protocol.encode: payload exceeds max_payload";
+  Fmt.str "%s/%d %s %d\n%s\n" magic version (kind_name kind)
+    (String.length payload) payload
+
+(* Incremental single-frame decoder.  The invariant the fuzz layer
+   leans on: [Truncated] if and only if the bytes so far are a strict
+   prefix of some well-formed frame — every other malformation gets its
+   own constructor, and no input raises. *)
+let decode ?(pos = 0) buf =
+  let len = String.length buf in
+  let prefix = magic ^ "/" in
+  let plen = String.length prefix in
+  (* magic: compare byte by byte so a short-but-consistent buffer is
+     Truncated while the first divergent byte is Bad_magic *)
+  let rec check_magic i =
+    if i = plen then Ok ()
+    else if pos + i >= len then Error Truncated
+    else if buf.[pos + i] <> prefix.[i] then
+      Error (Bad_magic (String.sub buf pos (min (i + 1) (len - pos))))
+    else check_magic (i + 1)
+  in
+  (* a token of [accept]able chars ending at [stop], at most [limit]
+     long; [mk] wraps the offending text into the right error *)
+  let token ~accept ~stop ~limit ~mk start =
+    let rec go i =
+      if i >= len then Error Truncated
+      else if buf.[i] = stop then
+        if i = start then Error (mk "") else Ok (String.sub buf start (i - start), i + 1)
+      else if accept buf.[i] && i - start < limit then go (i + 1)
+      else Error (mk (String.sub buf start (min (i - start + 1) limit)))
+    in
+    go start
+  in
+  let digit c = c >= '0' && c <= '9' in
+  let alpha c = c >= 'a' && c <= 'z' in
+  match check_magic 0 with
+  | Error e -> Error e
+  | Ok () -> (
+      let p = pos + plen in
+      match
+        token ~accept:digit ~stop:' ' ~limit:9 ~mk:(fun s -> Bad_version s) p
+      with
+      | Error e -> Error e
+      | Ok (v, _) when int_of_string_opt v <> Some version ->
+          Error (Bad_version v)
+      | Ok (_, p) -> (
+          match
+            token ~accept:alpha ~stop:' ' ~limit:8 ~mk:(fun s -> Bad_kind s) p
+          with
+          | Error e -> Error e
+          | Ok (k, p) -> (
+              match kind_of_name k with
+              | None -> Error (Bad_kind k)
+              | Some kind -> (
+                  match
+                    token ~accept:digit ~stop:'\n' ~limit:9
+                      ~mk:(fun s -> Bad_length s)
+                      p
+                  with
+                  | Error e -> Error e
+                  | Ok (l, p) -> (
+                      match int_of_string_opt l with
+                      | None -> Error (Bad_length l)
+                      | Some n when n > max_payload -> Error (Oversized n)
+                      | Some n ->
+                          if len - p < n + 1 then Error Truncated
+                          else if buf.[p + n] <> '\n' then Error Bad_terminator
+                          else
+                            Ok
+                              ( { kind; payload = String.sub buf p n },
+                                p + n + 1 - pos ))))))
+
+let decode_all buf =
+  let rec go acc pos =
+    if pos >= String.length buf then Ok (List.rev acc, pos)
+    else
+      match decode ~pos buf with
+      | Ok (f, consumed) -> go (f :: acc) (pos + consumed)
+      | Error Truncated -> Ok (List.rev acc, pos)
+      | Error e -> Error (e, pos)
+  in
+  go [] 0
+
+let hello_frame =
+  { kind = K_hello; payload = Fmt.str "%s %d ready" magic version }
+
+let data_frames text =
+  let n = String.length text in
+  if n <= max_payload then [ { kind = K_data; payload = text } ]
+  else
+    let rec chunks pos acc =
+      if pos >= n then List.rev acc
+      else
+        let l = min max_payload (n - pos) in
+        chunks (pos + l) ({ kind = K_data; payload = String.sub text pos l } :: acc)
+    in
+    chunks 0 []
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+
+type source = From_path of string | From_text of string
+
+type request =
+  | Open of string
+  | Load of { session : string; source : source }
+  | Chase of {
+      session : string;
+      variant : Chase.variant;
+      steps : int;
+      atoms : int;
+    }
+  | Entail of { session : string; query : string }
+  | Analyze of string
+  | Stats of string
+  | Close of string
+  | Ping
+  | Metrics
+  | Sessions
+  | Shutdown
+
+let session_name_ok name =
+  name <> ""
+  && String.for_all
+       (fun c ->
+         (c >= 'A' && c <= 'Z')
+         || (c >= 'a' && c <= 'z')
+         || (c >= '0' && c <= '9')
+         || c = '_' || c = '.' || c = '-')
+       name
+
+let default_steps = 500
+let default_atoms = 20_000
+
+let variant_of_name = function
+  | "oblivious" -> Some Chase.Oblivious
+  | "skolem" -> Some Chase.Skolem
+  | "restricted" -> Some Chase.Restricted
+  | "frugal" -> Some Chase.Frugal
+  | "core" -> Some Chase.Core
+  | _ -> None
+
+let ( let* ) = Result.bind
+
+let parse_session name =
+  if session_name_ok name then Ok name
+  else Error (Fmt.str "invalid session name %S" name)
+
+(* commands that take exactly one word: the session name *)
+let unary cmd body mk =
+  let line, rest = Repl.Cmdline.split_line body in
+  let _, arg = Repl.Cmdline.split line in
+  if rest <> "" then Error (Fmt.str "%s takes no body" cmd)
+  else
+    match Repl.Cmdline.words arg with
+    | [ name ] ->
+        let* name = parse_session name in
+        Ok (mk name)
+    | _ -> Error (Fmt.str "usage: %s <session>" cmd)
+
+let nullary cmd body mk =
+  let line, rest = Repl.Cmdline.split_line body in
+  let _, arg = Repl.Cmdline.split line in
+  if arg <> "" || rest <> "" then Error (Fmt.str "%s takes no arguments" cmd)
+  else Ok mk
+
+let parse_chase line =
+  let _, arg = Repl.Cmdline.split line in
+  match Repl.Cmdline.words arg with
+  | [] -> Error "usage: CHASE <session> [variant=core] [steps=N] [atoms=N]"
+  | name :: opts ->
+      let* session = parse_session name in
+      let kvs, pos = Repl.Cmdline.keyvals opts in
+      if pos <> [] then
+        Error (Fmt.str "CHASE: unexpected argument %S" (List.hd pos))
+      else
+        let* () =
+          match
+            List.find_opt
+              (fun (k, _) -> not (List.mem k [ "variant"; "steps"; "atoms" ]))
+              kvs
+          with
+          | Some (k, _) -> Error (Fmt.str "CHASE: unknown option %S" k)
+          | None -> Ok ()
+        in
+        let* variant =
+          match Repl.Cmdline.lookup "variant" kvs with
+          | None -> Ok Chase.Core
+          | Some v -> (
+              match variant_of_name v with
+              | Some v -> Ok v
+              | None -> Error (Fmt.str "CHASE: unknown variant %S" v))
+        in
+        let budget key default =
+          match Repl.Cmdline.lookup key kvs with
+          | None -> Ok default
+          | Some s -> (
+              match int_of_string_opt s with
+              | Some n when n > 0 -> Ok n
+              | _ -> Error (Fmt.str "CHASE: %s must be a positive integer" key))
+        in
+        let* steps = budget "steps" default_steps in
+        let* atoms = budget "atoms" default_atoms in
+        Ok (Chase { session; variant; steps; atoms })
+
+let parse_load body =
+  let line, rest = Repl.Cmdline.split_line body in
+  let _, arg = Repl.Cmdline.split line in
+  let name, arg = Repl.Cmdline.split arg in
+  let* session = parse_session name in
+  let mode, tail = Repl.Cmdline.split arg in
+  match mode with
+  | "path" ->
+      if rest <> "" then Error "LOAD … path takes no body"
+      else if tail = "" then Error "usage: LOAD <session> path <file>"
+      else Ok (Load { session; source = From_path tail })
+  | "inline" ->
+      if tail <> "" then Error "LOAD … inline takes its text on following lines"
+      else if String.trim rest = "" then Error "LOAD … inline: empty DLGP text"
+      else Ok (Load { session; source = From_text rest })
+  | _ -> Error "usage: LOAD <session> path <file> | LOAD <session> inline"
+
+let parse_entail body =
+  let line, rest = Repl.Cmdline.split_line body in
+  let _, arg = Repl.Cmdline.split line in
+  match Repl.Cmdline.words arg with
+  | [ name ] ->
+      let* session = parse_session name in
+      if String.trim rest = "" then Error "ENTAIL: empty query"
+      else Ok (Entail { session; query = rest })
+  | _ -> Error "usage: ENTAIL <session>\\n<dlgp query>"
+
+let parse_request payload =
+  let line, _ = Repl.Cmdline.split_line payload in
+  let cmd, _ = Repl.Cmdline.split line in
+  match String.uppercase_ascii cmd with
+  | "OPEN" -> unary "OPEN" payload (fun n -> Open n)
+  | "LOAD" -> parse_load payload
+  | "CHASE" ->
+      let line, rest = Repl.Cmdline.split_line payload in
+      if rest <> "" then Error "CHASE takes no body" else parse_chase line
+  | "ENTAIL" -> parse_entail payload
+  | "ANALYZE" -> unary "ANALYZE" payload (fun n -> Analyze n)
+  | "STATS" -> unary "STATS" payload (fun n -> Stats n)
+  | "CLOSE" -> unary "CLOSE" payload (fun n -> Close n)
+  | "PING" -> nullary "PING" payload Ping
+  | "METRICS" -> nullary "METRICS" payload Metrics
+  | "SESSIONS" -> nullary "SESSIONS" payload Sessions
+  | "SHUTDOWN" -> nullary "SHUTDOWN" payload Shutdown
+  | "" -> Error "empty request"
+  | c -> Error (Fmt.str "unknown command %S" c)
+
+let print_request = function
+  | Open n -> "OPEN " ^ n
+  | Load { session; source = From_path p } ->
+      Fmt.str "LOAD %s path %s" session p
+  | Load { session; source = From_text t } ->
+      Fmt.str "LOAD %s inline\n%s" session t
+  | Chase { session; variant; steps; atoms } ->
+      Fmt.str "CHASE %s variant=%s steps=%d atoms=%d" session
+        (Chase.variant_name variant) steps atoms
+  | Entail { session; query } -> Fmt.str "ENTAIL %s\n%s" session query
+  | Analyze n -> "ANALYZE " ^ n
+  | Stats n -> "STATS " ^ n
+  | Close n -> "CLOSE " ^ n
+  | Ping -> "PING"
+  | Metrics -> "METRICS"
+  | Sessions -> "SESSIONS"
+  | Shutdown -> "SHUTDOWN"
+
+(* ------------------------------------------------------------------ *)
+(* Error frames                                                        *)
+
+type err_code =
+  | Bad_request
+  | Unknown_session
+  | Session_exists
+  | No_kb
+  | Busy
+  | Chase_stopped
+  | Io_error
+  | Shutting_down
+  | Protocol_violation
+
+let err_code_name = function
+  | Bad_request -> "bad-request"
+  | Unknown_session -> "unknown-session"
+  | Session_exists -> "session-exists"
+  | No_kb -> "no-kb"
+  | Busy -> "busy"
+  | Chase_stopped -> "chase-stopped"
+  | Io_error -> "io-error"
+  | Shutting_down -> "shutting-down"
+  | Protocol_violation -> "protocol-error"
+
+let err_code_of_name = function
+  | "bad-request" -> Some Bad_request
+  | "unknown-session" -> Some Unknown_session
+  | "session-exists" -> Some Session_exists
+  | "no-kb" -> Some No_kb
+  | "busy" -> Some Busy
+  | "chase-stopped" -> Some Chase_stopped
+  | "io-error" -> Some Io_error
+  | "shutting-down" -> Some Shutting_down
+  | "protocol-error" -> Some Protocol_violation
+  | _ -> None
+
+let err_frame code msg =
+  { kind = K_err; payload = Fmt.str "%s: %s" (err_code_name code) msg }
+
+let parse_err payload =
+  match String.index_opt payload ':' with
+  | Some i
+    when i + 1 < String.length payload
+         && payload.[i + 1] = ' '
+         && err_code_of_name (String.sub payload 0 i) <> None ->
+      Some
+        ( Option.get (err_code_of_name (String.sub payload 0 i)),
+          String.sub payload (i + 2) (String.length payload - i - 2) )
+  | _ -> None

@@ -1,0 +1,170 @@
+(** The `corechase serve' wire protocol (DESIGN.md §15): a pure codec,
+    no I/O.  The protocol state machine is specified by this module's
+    tests (round-trip laws, typed rejection of malformed input), not by
+    the daemon that happens to speak it.
+
+    {2 Frames}
+
+    Every message is one frame:
+
+    {v corechase/<version> <kind> <len>\n<len payload bytes>\n v}
+
+    — a line-oriented versioned header followed by a length-prefixed
+    payload (binary-safe: the payload may contain anything, including
+    newlines) and a terminating newline.  The server greets with a
+    [hello] frame; the client sends [req] frames; each request is
+    answered by zero or more [data]/[event] frames followed by exactly
+    one [ok] or [err] frame; [bye] closes the conversation.
+
+    {2 Conversation grammar}
+
+    {v
+    server:  hello
+    repeat:  client: req        (payload: a request, see {!request})
+             server: (data | event)* (ok | err)
+    finally: server: bye        (after SHUTDOWN, QUIT-by-EOF, or drain)
+    v} *)
+
+val version : int
+(** Wire version spoken by this build (1). *)
+
+val magic : string
+(** The header magic, ["corechase"]. *)
+
+val max_payload : int
+(** Maximum payload bytes a frame may carry (1 MiB).  Longer payloads
+    must be split into multiple [data] frames ({!data_frames}). *)
+
+type kind =
+  | K_hello  (** server greeting, sent once per connection *)
+  | K_req  (** client request; payload parses with {!parse_request} *)
+  | K_ok  (** final success frame of a response *)
+  | K_err  (** final failure frame; payload parses with {!parse_err} *)
+  | K_data  (** response body line(s) *)
+  | K_event  (** streaming progress during a long chase *)
+  | K_bye  (** connection end *)
+
+val kind_name : kind -> string
+(** Wire token: [hello], [req], [ok], [err], [data], [event], [bye]. *)
+
+val kind_of_name : string -> kind option
+
+type frame = { kind : kind; payload : string }
+
+(** Typed decode errors.  {!Truncated} means the buffer holds a valid
+    but incomplete frame — a streaming reader waits for more bytes;
+    every other constructor is a protocol violation and the connection
+    answers with one [err] frame and closes. *)
+type error =
+  | Truncated  (** more bytes needed to complete the frame *)
+  | Bad_magic of string  (** header does not start with [corechase/] *)
+  | Bad_version of string  (** unparseable or unsupported version *)
+  | Bad_kind of string  (** unknown frame kind token *)
+  | Bad_length of string  (** unparseable length prefix *)
+  | Oversized of int  (** length prefix exceeds {!max_payload} *)
+  | Bad_terminator  (** payload not followed by the closing newline *)
+
+val pp_error : error Fmt.t
+
+val error_code : error -> string
+(** Stable kebab-case id ([truncated], [bad-magic], …) used in [err]
+    frame payloads and assertions. *)
+
+val encode : frame -> string
+(** Wire bytes of one frame.
+    @raise Invalid_argument when the payload exceeds {!max_payload}. *)
+
+val decode : ?pos:int -> string -> (frame * int, error) result
+(** [decode ~pos buf] parses one frame starting at [pos] (default 0),
+    returning the frame and the number of bytes consumed.  Total
+    round-trip law: [decode (encode f) = Ok (f, String.length (encode
+    f))], and every strict prefix of [encode f] decodes to [Error
+    Truncated].  Never raises, whatever the bytes. *)
+
+val decode_all : string -> (frame list * int, error * int) result
+(** Decode as many complete frames as the buffer holds, returning them
+    with the total bytes consumed; a trailing incomplete frame is left
+    unconsumed (not an error).  A malformed frame yields [Error (e,
+    consumed_before_it)]. *)
+
+val hello_frame : frame
+(** The greeting the server opens every connection with. *)
+
+val data_frames : string -> frame list
+(** The text as one or more [data] frames, split at {!max_payload}
+    boundaries (one frame for ordinary payloads). *)
+
+(** {2 Requests}
+
+    The payload of a [req] frame is line-oriented text: a command word,
+    positional arguments and [key=value] options on the first line
+    (parsed with {!Repl.Cmdline}), and — for [LOAD … inline] and
+    [ENTAIL] — a verbatim multi-line body after it. *)
+
+type source =
+  | From_path of string  (** server-side DLGP file path *)
+  | From_text of string  (** inline DLGP text shipped in the payload *)
+
+type request =
+  | Open of string  (** [OPEN name]: create a named session *)
+  | Load of { session : string; source : source }
+      (** [LOAD name path P] | [LOAD name inline\n<dlgp>]: set the KB *)
+  | Chase of {
+      session : string;
+      variant : Chase.variant;
+      steps : int;
+      atoms : int;
+    }
+      (** [CHASE name \[variant=core\] \[steps=500\] \[atoms=20000\]]:
+          run the chase writer, stamp a new snapshot generation *)
+  | Entail of { session : string; query : string }
+      (** [ENTAIL name\n<dlgp query>]: decide one query against the
+          session's snapshot (reader path) *)
+  | Analyze of string
+      (** [ANALYZE name]: termination analysis, cached per generation *)
+  | Stats of string  (** [STATS name]: session counters *)
+  | Close of string  (** [CLOSE name]: drop the session *)
+  | Ping  (** [PING] → [ok pong] *)
+  | Metrics  (** admin: dump the {!Obs.Metrics} registry *)
+  | Sessions  (** admin: list open sessions *)
+  | Shutdown  (** admin: graceful shutdown with drain *)
+
+val session_name_ok : string -> bool
+(** Valid session names: nonempty, [A-Za-z0-9_.-] only. *)
+
+val parse_request : string -> (request, string) result
+(** Parse a [req] payload; the error string is human-readable and
+    becomes a [bad-request] err frame. *)
+
+val print_request : request -> string
+(** Canonical payload text.  Round-trip law: [parse_request
+    (print_request r) = Ok r] for every well-formed [r] (session names
+    satisfying {!session_name_ok}, paths single-line, budgets
+    positive). *)
+
+(** {2 Error frames} *)
+
+type err_code =
+  | Bad_request  (** unparseable or ill-formed request *)
+  | Unknown_session
+  | Session_exists
+  | No_kb  (** the session has no KB loaded yet *)
+  | Busy  (** the session's chase writer is already running *)
+  | Chase_stopped
+      (** the chase writer was stopped by a non-budget interruption
+          (deadline, cancellation, caught resource exhaustion); the
+          session survives with its last consistent snapshot *)
+  | Io_error
+  | Shutting_down
+  | Protocol_violation  (** framing error; the connection closes *)
+
+val err_code_name : err_code -> string
+
+val err_code_of_name : string -> err_code option
+
+val err_frame : err_code -> string -> frame
+(** [err] frame with payload [<code>: <message>]. *)
+
+val parse_err : string -> (err_code * string) option
+(** Parse an [err] payload back.  Round-trip law:
+    [parse_err (err_frame c m).payload = Some (c, m)]. *)

@@ -1,0 +1,37 @@
+(** Shared rendering of entailment results (DESIGN.md §15).
+
+    The batch CLI's [entail] subcommand and the server's [ENTAIL]
+    handler both produce their verdict lines through this module, which
+    is what makes the differential law — server session answers are
+    byte-identical to batch CLI answers on the same KB — a statement
+    about {e one} renderer exercised through two transports, rather
+    than two renderers that happen to agree today. *)
+
+open Syntax
+
+(** How a result affects the CLI exit code / the server [ok] payload. *)
+type severity =
+  | Sev_ok  (** entailed / complete answers / consistent *)
+  | Sev_not_entailed  (** exit code 1 *)
+  | Sev_stopped  (** a budget stopped short of a verdict; exit code 2 *)
+
+val worst : severity -> severity -> severity
+
+val exit_code : severity -> int
+(** [Sev_ok] ↦ 0, [Sev_not_entailed] ↦ 1, [Sev_stopped] ↦ 2 — the
+    CLI's documented exit codes. *)
+
+val severity_name : severity -> string
+(** [ok] / [not-entailed] / [stopped]: the server's [ok]-frame payload
+    for an ENTAIL response. *)
+
+val verdict_line : Kb.Query.t -> Corechase.Entailment.verdict -> string * severity
+(** The ["Q  ⟶  verdict"] line for a Boolean query. *)
+
+val answers_line : Kb.Query.t -> Corechase.Entailment.answers -> string * severity
+(** The ["Q  ⟶  n certain answer(s): …"] line for a query with
+    answer variables ([≥n … (budget hit)] when only sound). *)
+
+val constraints_line : Corechase.Entailment.verdict -> string * severity
+(** The consistency line printed when the document has negative
+    constraints ([Entailed] here means {e inconsistent}). *)

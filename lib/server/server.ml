@@ -1,0 +1,697 @@
+(* The serving transport (DESIGN.md §15): a single-threaded select loop
+   over listening sockets and connections, the in-process loopback
+   client, and the socket client the cram layer uses.
+
+   The loop is the only writer of all server state.  Parallelism enters
+   in exactly one place: the leading ENTAILs of every connection's
+   request queue run as one [Par.Batch] across the domain pool, each
+   task under its connection's own cancellation token — many snapshot
+   readers, never concurrent with a chase writer, which runs inline on
+   the loop (and is thereby the only code that may stream trace-teed
+   [event] frames, since trace emission is main-domain-only). *)
+
+module Protocol = Protocol
+module Session = Session
+module Queryeval = Queryeval
+module P = Protocol
+module Trace = Obs.Trace
+module Metrics = Obs.Metrics
+
+type endpoint = Unix_sock of string | Tcp of string * int
+
+let endpoint_of_string s =
+  let fail () =
+    Error (Fmt.str "bad endpoint %S (expected unix:PATH or tcp:HOST:PORT)" s)
+  in
+  match String.index_opt s ':' with
+  | None -> fail ()
+  | Some i -> (
+      let scheme = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match scheme with
+      | "unix" -> if rest = "" then fail () else Ok (Unix_sock rest)
+      | "tcp" -> (
+          match String.rindex_opt rest ':' with
+          | None -> fail ()
+          | Some j -> (
+              let host = String.sub rest 0 j in
+              let port = String.sub rest (j + 1) (String.length rest - j - 1) in
+              match int_of_string_opt port with
+              | Some p when p >= 0 && p < 65536 && host <> "" ->
+                  Ok (Tcp (host, p))
+              | _ -> fail ()))
+      | _ -> fail ())
+
+let endpoint_to_string = function
+  | Unix_sock p -> "unix:" ^ p
+  | Tcp (h, p) -> Fmt.str "tcp:%s:%d" h p
+
+type config = {
+  endpoints : endpoint list;
+  drain_timeout : int;
+  ready_file : string option;
+  quiet : bool;
+}
+
+let default_config =
+  { endpoints = []; drain_timeout = 5; ready_file = None; quiet = false }
+
+(* --- shutdown plumbing --------------------------------------------- *)
+
+(* Signal handlers cannot reach the loop's state record, so the drain
+   flag and the token group live at module level (one [serve] at a time
+   per process, as the mli says). *)
+let shutting = Atomic.make false
+
+let active_group : Resilience.Group.t option ref = ref None
+
+let drain_s = ref 5
+
+let cancel_in_flight () =
+  match !active_group with
+  | Some g -> Resilience.Group.cancel_all g
+  | None -> ()
+
+let request_shutdown ?drain () =
+  let d = match drain with Some d -> d | None -> !drain_s in
+  Atomic.set shutting true;
+  if d <= 0 then cancel_in_flight () else ignore (Unix.alarm d)
+
+(* --- shared frame-level helpers ------------------------------------ *)
+
+let bye = { P.kind = P.K_bye; payload = "" }
+
+(* the two-frame close-out after a framing violation *)
+let violation msg =
+  [ P.err_frame P.Protocol_violation msg; bye ]
+
+let bad_frame_kind k =
+  Fmt.str "expected a req frame, got %s" (P.kind_name k)
+
+(* --- metrics / trace ----------------------------------------------- *)
+
+let m_conns = lazy (Metrics.counter "serve.conns")
+
+let m_accept_failures = lazy (Metrics.counter "serve.accept_failures")
+
+let conn_ev action conn =
+  if Trace.enabled () then Trace.emit (Trace.Conn_event { action; conn })
+
+(* --- loopback ------------------------------------------------------ *)
+
+module Loopback = struct
+  type t = {
+    sessions : Session.t;
+    mutable inbuf : string;
+    out : Buffer.t;
+    mutable greeted : bool;
+    mutable closed : bool;
+  }
+
+  let create () =
+    {
+      sessions = Session.create ();
+      inbuf = "";
+      out = Buffer.create 256;
+      greeted = false;
+      closed = false;
+    }
+
+  let greeting _ = P.hello_frame
+
+  let closed t = t.closed
+
+  let request t req =
+    let frames = ref [] in
+    let final =
+      Session.exec t.sessions ~emit:(fun f -> frames := f :: !frames) req
+    in
+    List.rev (final :: !frames)
+
+  let push t f = Buffer.add_string t.out (P.encode f)
+
+  let raw t bytes =
+    if t.closed then ""
+    else begin
+      if not t.greeted then begin
+        t.greeted <- true;
+        push t P.hello_frame
+      end;
+      t.inbuf <- t.inbuf ^ bytes;
+      let rec go pos =
+        if t.closed || pos >= String.length t.inbuf then
+          t.inbuf <-
+            String.sub t.inbuf pos (String.length t.inbuf - pos)
+        else
+          match P.decode ~pos t.inbuf with
+          | Ok (f, n) ->
+              (if f.P.kind <> P.K_req then begin
+                 List.iter (push t) (violation (bad_frame_kind f.P.kind));
+                 t.closed <- true
+               end
+               else
+                 match P.parse_request f.P.payload with
+                 | Error m -> push t (P.err_frame P.Bad_request m)
+                 | Ok req ->
+                     List.iter (push t) (request t req);
+                     if req = P.Shutdown then begin
+                       push t bye;
+                       t.closed <- true
+                     end);
+              go (pos + n)
+          | Error P.Truncated ->
+              t.inbuf <- String.sub t.inbuf pos (String.length t.inbuf - pos)
+          | Error e ->
+              List.iter (push t) (violation (Fmt.str "%a" P.pp_error e));
+              t.closed <- true;
+              t.inbuf <- ""
+      in
+      go 0;
+      let reply = Buffer.contents t.out in
+      Buffer.clear t.out;
+      reply
+    end
+end
+
+(* --- daemon connections -------------------------------------------- *)
+
+type conn = {
+  id : int;
+  fd : Unix.file_descr;
+  mutable inbuf : string;
+  outbuf : Buffer.t;
+  token : Resilience.Token.t;
+  pending : (P.request, P.frame) result Queue.t;
+  mutable closing : bool;  (* flush remaining output, then close *)
+  mutable eof : bool;  (* peer stopped sending *)
+  mutable dead : bool;  (* close now, drop output *)
+}
+
+let try_flush c =
+  if not c.dead then begin
+    let s = Buffer.contents c.outbuf in
+    if s <> "" then begin
+      Buffer.clear c.outbuf;
+      let n =
+        try Unix.write_substring c.fd s 0 (String.length s) with
+        | Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> 0
+        | Unix.Unix_error ((EPIPE | ECONNRESET), _, _) ->
+            c.dead <- true;
+            String.length s
+      in
+      if n < String.length s then
+        Buffer.add_substring c.outbuf s n (String.length s - n)
+    end
+  end
+
+let push_frame c f =
+  if not c.dead then Buffer.add_string c.outbuf (P.encode f)
+
+(* Longest conceivable frame: ~32 header bytes + max_payload + 1.  More
+   buffered input without a complete frame is not a slow client, it is
+   garbage that happens to avoid every parse error — cut it off. *)
+let max_inbuf = P.max_payload + 128
+
+let abort_conn c msg =
+  List.iter (push_frame c) (violation msg);
+  c.closing <- true;
+  c.inbuf <- "";
+  conn_ev "protocol-error" c.id
+
+let drain_input c =
+  let rec go pos =
+    if c.closing || pos >= String.length c.inbuf then
+      c.inbuf <- String.sub c.inbuf pos (String.length c.inbuf - pos)
+    else
+      match P.decode ~pos c.inbuf with
+      | Ok (f, n) ->
+          (if f.P.kind <> P.K_req then abort_conn c (bad_frame_kind f.P.kind)
+           else
+             Queue.add
+               (Result.map_error
+                  (fun m -> P.err_frame P.Bad_request m)
+                  (P.parse_request f.P.payload))
+               c.pending);
+          go (pos + n)
+      | Error P.Truncated ->
+          c.inbuf <- String.sub c.inbuf pos (String.length c.inbuf - pos);
+          if String.length c.inbuf > max_inbuf then
+            abort_conn c "frame larger than any the protocol allows"
+      | Error e -> abort_conn c (Fmt.str "%a" P.pp_error e)
+  in
+  go 0
+
+(* --- daemon state and loop ----------------------------------------- *)
+
+type state = {
+  sessions : Session.t;
+  mutable listeners : (endpoint * Unix.file_descr) list;
+  mutable conns : conn list;
+  group : Resilience.Group.t;
+  mutable next_id : int;
+  mutable draining : bool;  (* byes queued, listeners closed *)
+  quiet : bool;
+}
+
+let note state fmt =
+  if state.quiet then Fmt.kstr ignore fmt
+  else Fmt.kstr (fun m -> Fmt.epr "corechase serve: %s@.%!" m) fmt
+
+let resolve_host h =
+  try Unix.inet_addr_of_string h
+  with Failure _ -> (Unix.gethostbyname h).Unix.h_addr_list.(0)
+
+let bind_one ep =
+  match ep with
+  | Unix_sock path -> (
+      (try if Sys.file_exists path then Sys.remove path with Sys_error _ -> ());
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      try
+        Unix.bind fd (Unix.ADDR_UNIX path);
+        Unix.listen fd 64;
+        Unix.set_nonblock fd;
+        Ok fd
+      with Unix.Unix_error (e, _, _) ->
+        Unix.close fd;
+        Error (Fmt.str "%s: %s" (endpoint_to_string ep) (Unix.error_message e)))
+  | Tcp (host, port) -> (
+      match resolve_host host with
+      | exception _ -> Error (Fmt.str "tcp:%s:%d: unknown host" host port)
+      | addr -> (
+          let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+          try
+            Unix.setsockopt fd Unix.SO_REUSEADDR true;
+            Unix.bind fd (Unix.ADDR_INET (addr, port));
+            Unix.listen fd 64;
+            Unix.set_nonblock fd;
+            Ok fd
+          with Unix.Unix_error (e, _, _) ->
+            Unix.close fd;
+            Error
+              (Fmt.str "%s: %s" (endpoint_to_string ep) (Unix.error_message e))))
+
+let bind_all endpoints =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | ep :: rest -> (
+        match bind_one ep with
+        | Ok fd -> go ((ep, fd) :: acc) rest
+        | Error e ->
+            List.iter (fun (_, fd) -> Unix.close fd) acc;
+            Error e)
+  in
+  go [] endpoints
+
+let accept_burst state lfd =
+  let rec go () =
+    match Unix.accept ~cloexec:true lfd with
+    | fd, _ ->
+        Unix.set_nonblock fd;
+        let id = state.next_id in
+        state.next_id <- id + 1;
+        let c =
+          {
+            id;
+            fd;
+            inbuf = "";
+            outbuf = Buffer.create 256;
+            token = Resilience.Group.token state.group;
+            pending = Queue.create ();
+            closing = false;
+            eof = false;
+            dead = false;
+          }
+        in
+        push_frame c P.hello_frame;
+        try_flush c;
+        state.conns <- state.conns @ [ c ];
+        Lazy.force m_conns |> Metrics.incr;
+        conn_ev "accepted" id;
+        go ()
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error ((EMFILE | ENFILE | ECONNABORTED | EINTR), _, _)
+      ->
+        (* transient accept failure (fd exhaustion, aborted handshake):
+           count it, note it, back off, keep serving the open conns *)
+        Lazy.force m_accept_failures |> Metrics.incr;
+        conn_ev "accept-failed" (-1);
+        note state "accept failed (transient); backing off";
+        Unix.sleepf 0.05
+  in
+  go ()
+
+let read_conn c =
+  let buf = Bytes.create 8192 in
+  match Unix.read c.fd buf 0 8192 with
+  | 0 -> c.eof <- true
+  | n ->
+      c.inbuf <- c.inbuf ^ Bytes.sub_string buf 0 n;
+      drain_input c
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) -> c.dead <- true
+
+(* Execute one connection's queued non-ENTAIL requests inline, in
+   arrival order.  A CHASE streams its [event] frames live through
+   [try_flush] from inside [Session.exec]. *)
+let rec exec_inline state c =
+  if not (c.closing || c.dead) then
+    match Queue.take_opt c.pending with
+    | None -> ()
+    | Some entry ->
+        (match entry with
+        | Error f -> push_frame c f
+        | Ok req ->
+            if Atomic.get shutting && req <> P.Shutdown then
+              push_frame c
+                (P.err_frame P.Shutting_down "server is draining")
+            else begin
+              let final =
+                Resilience.with_token (Some c.token) (fun () ->
+                    Session.exec state.sessions
+                      ~emit:(fun f ->
+                        push_frame c f;
+                        try_flush c)
+                      req)
+              in
+              push_frame c final;
+              if req = P.Shutdown then Atomic.set shutting true
+            end);
+        try_flush c;
+        exec_inline state c
+
+(* One batch of snapshot readers across connections: the leading
+   ENTAILs of every queue, each task under its connection's token. *)
+let exec_batch state =
+  let jobs = ref [] in
+  List.iter
+    (fun c ->
+      if not (c.closing || c.dead || Atomic.get shutting) then
+        let rec take () =
+          match Queue.peek_opt c.pending with
+          | Some (Ok (P.Entail { session; query })) ->
+              ignore (Queue.take c.pending);
+              (* validation and counter bumps happen here, on the loop *)
+              jobs :=
+                (c, Session.entail_task state.sessions ~session ~query)
+                :: !jobs;
+              take ()
+          | _ -> ()
+        in
+        take ())
+    state.conns;
+  match List.rev !jobs with
+  | [] -> ()
+  | [ (c, task) ] ->
+      (* a single reader needs no pool round-trip *)
+      let frames = Resilience.with_token (Some c.token) task in
+      List.iter (push_frame c) frames;
+      try_flush c
+  | jobs ->
+      let tasks = Array.of_list (List.map snd jobs) in
+      let tokens =
+        Array.of_list (List.map (fun (c, _) -> Some c.token) jobs)
+      in
+      let results = Par.Batch.run ~site:"serve.entail" ~tokens tasks in
+      List.iteri
+        (fun i (c, _) ->
+          (match results.(i) with
+          | Ok frames -> List.iter (push_frame c) frames
+          | Error e ->
+              push_frame c (P.err_frame P.Io_error (Printexc.to_string e)));
+          try_flush c)
+        jobs
+
+let close_listeners state =
+  List.iter (fun (_, fd) -> try Unix.close fd with Unix.Unix_error _ -> ()) state.listeners;
+  state.listeners <- []
+
+let start_drain state =
+  if not state.draining then begin
+    state.draining <- true;
+    note state "shutting down (draining %d connection(s))"
+      (List.length state.conns);
+    close_listeners state;
+    List.iter
+      (fun c ->
+        if not (c.closing || c.dead || c.eof) then push_frame c bye;
+        c.closing <- true;
+        try_flush c)
+      state.conns
+  end
+
+let reap state =
+  let live, gone =
+    List.partition
+      (fun c ->
+        if c.dead then false
+        else if (c.closing || c.eof) && Buffer.length c.outbuf = 0
+                && Queue.is_empty c.pending
+        then false
+        else true)
+      state.conns
+  in
+  List.iter
+    (fun c ->
+      (try Unix.close c.fd with Unix.Unix_error _ -> ());
+      Resilience.Token.cancel c.token;
+      conn_ev "closed" c.id)
+    gone;
+  state.conns <- live
+
+let serve config =
+  match bind_all config.endpoints with
+  | Error e -> Error e
+  | Ok [] -> Error "no --listen endpoint given"
+  | Ok listeners ->
+      Atomic.set shutting false;
+      drain_s := config.drain_timeout;
+      let state =
+        {
+          sessions = Session.create ();
+          listeners;
+          conns = [];
+          group = Resilience.Group.create ();
+          next_id = 0;
+          draining = false;
+          quiet = config.quiet;
+        }
+      in
+      active_group := Some state.group;
+      let old_term =
+        Sys.signal Sys.sigterm
+          (Sys.Signal_handle (fun _ -> request_shutdown ()))
+      in
+      let old_int =
+        Sys.signal Sys.sigint
+          (Sys.Signal_handle (fun _ -> request_shutdown ()))
+      in
+      let old_alrm =
+        Sys.signal Sys.sigalrm
+          (Sys.Signal_handle (fun _ -> cancel_in_flight ()))
+      in
+      let old_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+      (match config.ready_file with
+      | None -> ()
+      | Some path ->
+          let oc = open_out path in
+          List.iter
+            (fun (ep, _) ->
+              output_string oc (endpoint_to_string ep);
+              output_char oc '\n')
+            listeners;
+          close_out oc);
+      List.iter
+        (fun (ep, _) -> note state "listening on %s" (endpoint_to_string ep))
+        state.listeners;
+      let rec loop () =
+        if state.draining && state.conns = [] then ()
+        else begin
+          let reads =
+            List.map snd state.listeners
+            @ List.filter_map
+                (fun c ->
+                  if c.eof || c.dead || c.closing then None else Some c.fd)
+                state.conns
+          in
+          let writes =
+            List.filter_map
+              (fun c ->
+                if (not c.dead) && Buffer.length c.outbuf > 0 then Some c.fd
+                else None)
+              state.conns
+          in
+          let r, w, _ =
+            try Unix.select reads writes [] 0.2
+            with Unix.Unix_error (EINTR, _, _) -> ([], [], [])
+          in
+          List.iter
+            (fun (_, lfd) -> if List.mem lfd r then accept_burst state lfd)
+            state.listeners;
+          List.iter
+            (fun c -> if List.mem c.fd r then read_conn c)
+            state.conns;
+          (* execute: the cross-connection reader batch first, then
+             everything else inline per connection; only then queue the
+             drain byes, so every reply precedes its connection's bye *)
+          exec_batch state;
+          List.iter (fun c -> exec_inline state c) state.conns;
+          if Atomic.get shutting then start_drain state;
+          List.iter (fun c -> if List.mem c.fd w then try_flush c) state.conns;
+          reap state;
+          loop ()
+        end
+      in
+      let finish () =
+        ignore (Unix.alarm 0);
+        List.iter
+          (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+          state.conns;
+        close_listeners state;
+        List.iter
+          (fun ep ->
+            match ep with
+            | Unix_sock path -> ( try Sys.remove path with Sys_error _ -> ())
+            | Tcp _ -> ())
+          config.endpoints;
+        (match config.ready_file with
+        | Some path -> ( try Sys.remove path with Sys_error _ -> ())
+        | None -> ());
+        active_group := None;
+        Sys.set_signal Sys.sigterm old_term;
+        Sys.set_signal Sys.sigint old_int;
+        Sys.set_signal Sys.sigalrm old_alrm;
+        Sys.set_signal Sys.sigpipe old_pipe
+      in
+      Fun.protect ~finally:finish (fun () ->
+          loop ();
+          note state "bye");
+      Ok ()
+
+(* --- socket client ------------------------------------------------- *)
+
+module Client = struct
+  (* "\n" and "\\" escapes in request arguments, so multi-line payloads
+     (ENTAIL, LOAD … inline) fit on a shell command line *)
+  let unescape s =
+    let b = Buffer.create (String.length s) in
+    let rec go i =
+      if i >= String.length s then Buffer.contents b
+      else if s.[i] = '\\' && i + 1 < String.length s then begin
+        (match s.[i + 1] with
+        | 'n' -> Buffer.add_char b '\n'
+        | '\\' -> Buffer.add_char b '\\'
+        | c ->
+            Buffer.add_char b '\\';
+            Buffer.add_char b c);
+        go (i + 2)
+      end
+      else begin
+        Buffer.add_char b s.[i];
+        go (i + 1)
+      end
+    in
+    go 0
+
+  let sockaddr_of = function
+    | Unix_sock path -> Unix.ADDR_UNIX path
+    | Tcp (host, port) -> Unix.ADDR_INET (resolve_host host, port)
+
+  let domain_of = function
+    | Unix_sock _ -> Unix.PF_UNIX
+    | Tcp _ -> Unix.PF_INET
+
+  let connect ~wait_s ep =
+    let deadline = Unix.gettimeofday () +. wait_s in
+    let rec go () =
+      let fd = Unix.socket ~cloexec:true (domain_of ep) Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (sockaddr_of ep) with
+      | () -> Ok fd
+      | exception Unix.Unix_error ((ENOENT | ECONNREFUSED), _, _)
+        when Unix.gettimeofday () < deadline ->
+          Unix.close fd;
+          Unix.sleepf 0.05;
+          go ()
+      | exception Unix.Unix_error (e, _, _) ->
+          Unix.close fd;
+          Error
+            (Fmt.str "%s: %s" (endpoint_to_string ep) (Unix.error_message e))
+      | exception e ->
+          Unix.close fd;
+          raise e
+    in
+    go ()
+
+  exception Closed of string
+
+  type reader = { fd : Unix.file_descr; mutable buf : string }
+
+  let read_frame r =
+    let chunk = Bytes.create 4096 in
+    let rec go () =
+      match P.decode r.buf with
+      | Ok (f, n) ->
+          r.buf <- String.sub r.buf n (String.length r.buf - n);
+          f
+      | Error P.Truncated -> (
+          match Unix.read r.fd chunk 0 4096 with
+          | 0 -> raise (Closed "connection closed by server")
+          | n ->
+              r.buf <- r.buf ^ Bytes.sub_string chunk 0 n;
+              go ()
+          | exception Unix.Unix_error (EINTR, _, _) -> go ())
+      | Error e -> raise (Closed (Fmt.str "protocol error: %a" P.pp_error e))
+    in
+    go ()
+
+  let send fd frame =
+    let s = P.encode frame in
+    let rec go off =
+      if off < String.length s then
+        match Unix.write_substring fd s off (String.length s - off) with
+        | n -> go (off + n)
+        | exception Unix.Unix_error (EINTR, _, _) -> go off
+    in
+    go 0
+
+  let run ?(wait_s = 0.) ep reqs =
+    match connect ~wait_s ep with
+    | Error e -> Error e
+    | Ok fd -> (
+        let r = { fd; buf = "" } in
+        let failed = ref false in
+        let print_frame (f : P.frame) =
+          match f.P.kind with
+          | P.K_hello -> Fmt.pr "hello: %s@." f.P.payload
+          | P.K_data -> Fmt.pr "%s@." f.P.payload
+          | P.K_event -> Fmt.pr "event: %s@." f.P.payload
+          | P.K_ok -> Fmt.pr "ok: %s@." f.P.payload
+          | P.K_err ->
+              failed := true;
+              Fmt.pr "err: %s@." f.P.payload
+          | P.K_bye -> Fmt.pr "bye@."
+          | P.K_req -> Fmt.pr "req?: %s@." f.P.payload
+        in
+        let finally () = try Unix.close fd with Unix.Unix_error _ -> () in
+        match
+          Fun.protect ~finally (fun () ->
+              (match read_frame r with
+              | { P.kind = P.K_hello; _ } as f -> print_frame f
+              | f -> print_frame f);
+              List.iter
+                (fun req ->
+                  send fd { P.kind = P.K_req; payload = unescape req };
+                  let rec until_final () =
+                    let f = read_frame r in
+                    print_frame f;
+                    match f.P.kind with
+                    | P.K_ok | P.K_err -> ()
+                    | P.K_bye -> raise (Closed "bye")
+                    | _ -> until_final ()
+                  in
+                  until_final ())
+                reqs)
+        with
+        | () -> Ok (if !failed then 1 else 0)
+        | exception Closed "bye" -> Ok (if !failed then 1 else 0)
+        | exception Closed m -> Error m)
+end

@@ -1,0 +1,103 @@
+(** The `corechase serve' daemon and its clients (DESIGN.md §15).
+
+    One single-threaded [select] loop owns all transport state.  Within
+    one loop iteration the completed requests are executed in two
+    phases: the leading ENTAILs of every connection's queue run as one
+    {!Par.Batch} across the pool — many snapshot readers, each under
+    its own connection's cancellation token — and everything else runs
+    inline on the loop, so a CHASE is the {e only} writer touching a
+    session and can stream [event] frames as its rounds start.
+
+    Graceful drain: SIGTERM (or a SHUTDOWN request) stops the accept
+    loop and arms a [drain_timeout]-second alarm; if in-flight work is
+    still running when it fires, every connection token is cancelled
+    through a {!Resilience.Group}, the engines stop at their next poll
+    point, and the affected requests answer with structured
+    [chase-stopped] frames before the server says [bye].
+
+    {!Loopback} is the same request interpreter without any socket —
+    the protocol logic tests run against it byte for byte. *)
+
+module Protocol : module type of Protocol
+(** Re-exported so clients of the wrapped library reach the codec as
+    [Server.Protocol]. *)
+
+module Session : module type of Session
+
+module Queryeval : module type of Queryeval
+
+type endpoint =
+  | Unix_sock of string  (** [unix:PATH] *)
+  | Tcp of string * int  (** [tcp:HOST:PORT] *)
+
+val endpoint_of_string : string -> (endpoint, string) result
+(** Parse [unix:PATH] or [tcp:HOST:PORT]. *)
+
+val endpoint_to_string : endpoint -> string
+
+type config = {
+  endpoints : endpoint list;  (** listen on all of these *)
+  drain_timeout : int;
+      (** seconds between SIGTERM and cancelling in-flight work *)
+  ready_file : string option;
+      (** write this file once every endpoint is bound (scripts wait on
+          it instead of polling connect) *)
+  quiet : bool;  (** suppress the stderr lifecycle notes *)
+}
+
+val default_config : config
+(** No endpoints, 5 s drain, no ready file, not quiet. *)
+
+val serve : config -> (unit, string) result
+(** Bind every endpoint and run the loop until SHUTDOWN / SIGTERM /
+    SIGINT completes its drain.  [Error] on bind/parse problems (the
+    CLI maps it to exit code 3).  Installs SIGTERM/SIGINT/SIGALRM
+    handlers and ignores SIGPIPE for the duration.  One [serve] at a
+    time per process. *)
+
+val request_shutdown : ?drain:int -> unit -> unit
+(** What the SIGTERM handler does, callable from tests: stop accepting
+    and arm the drain alarm ([drain = 0] cancels in-flight work
+    immediately). *)
+
+(** In-process client: the daemon's request interpreter with no socket
+    attached.  Logic tests drive this — same sessions, same frames,
+    same byte-level state machine — and leave the cram layer to prove
+    only the socket plumbing. *)
+module Loopback : sig
+  type t
+
+  val create : unit -> t
+  (** A fresh server state (its own session registry). *)
+
+  val greeting : t -> Protocol.frame
+  (** The [hello] frame a socket client would receive on connect. *)
+
+  val request : t -> Protocol.request -> Protocol.frame list
+  (** Execute one request; response frames in order, final [ok]/[err]
+      last. *)
+
+  val raw : t -> string -> string
+  (** Byte-level entry: feed wire bytes (any split, any number of
+      frames, malformed welcome) and collect the wire bytes the server
+      would answer — including the greeting before the first reply and
+      the [err]+[bye] close-out after a framing violation.  Never
+      raises. *)
+
+  val closed : t -> bool
+  (** The byte-level machine reached its close-out (after a framing
+      violation or a [bye]); further {!raw} input is ignored. *)
+end
+
+(** Socket client used by [corechase client] and the cram layer (so the
+    tests need no [socat]).  Each argument is one request payload with
+    [\n] escapes translated, e.g. ["ENTAIL s\\np(X)?"]. *)
+module Client : sig
+  val run :
+    ?wait_s:float -> endpoint -> string list -> (int, string) result
+  (** Connect (retrying for [wait_s] seconds — the server may still be
+      binding), send each request in order, print the response frames
+      to stdout ([data] payloads verbatim; [hello:]/[event:]/[ok:]/
+      [err:] prefixes otherwise) and return the exit code: 0 when every
+      reply was [ok], 1 otherwise.  [Error] when connecting fails. *)
+end

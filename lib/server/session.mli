@@ -1,0 +1,47 @@
+(** Named KB sessions and the request interpreter (DESIGN.md §15).
+
+    A session is a long-lived server-side object: a loaded KB plus a
+    {e generation-stamped chased snapshot} — the final chase element,
+    indexed once, together with the outcome that stopped the run.  The
+    lifecycle is
+
+    {v OPEN → LOAD → CHASE → (ENTAIL | ANALYZE | STATS)* → CLOSE v}
+
+    with LOAD and CHASE repeatable (a LOAD invalidates the snapshot, a
+    CHASE stamps the next generation).  ENTAIL reads the snapshot only
+    — one chase writer, many snapshot readers — which is sound because
+    every derivation element maps homomorphically into the final one
+    (see {!Corechase.Entailment.decide_in_snapshot}).
+
+    This module is transport-free: {!exec} turns one parsed request
+    into response frames and is driven identically by the in-process
+    loopback client and the socket daemon. *)
+
+type t
+(** A registry of open sessions.  Not thread-safe: all mutation happens
+    on the server's main loop (the loop is single-threaded; parallelism
+    lives inside {!entail_task} thunks, which only read). *)
+
+val create : unit -> t
+
+val count : t -> int
+
+val names : t -> string list
+(** In opening order. *)
+
+val exec : t -> emit:(Protocol.frame -> unit) -> Protocol.request -> Protocol.frame
+(** Execute one request: intermediate [data]/[event] frames go through
+    [emit] as they are produced (a CHASE streams one [event] frame per
+    saturation round), and the final [ok]/[err] frame is returned.
+    [Shutdown] answers [ok shutting down] — stopping the accept loop is
+    the transport's business, not this module's.  Never raises: chase
+    interruptions and fault injections become [err chase-stopped]
+    frames and the session keeps its last consistent snapshot. *)
+
+val entail_task : t -> session:string -> query:string -> (unit -> Protocol.frame list)
+(** The batched read path.  Validation and counter bumps happen {e now}
+    (on the caller); the returned thunk — response frames, final frame
+    last — is read-only on all shared state, so the server can run one
+    {!Par.Batch} of these across connections, each under its own
+    cancellation token.  [exec] on an [Entail] request is exactly this
+    thunk run in place. *)

@@ -63,5 +63,5 @@ refused (digest mismatch), exit 3:
 
   $ echo "parent(x, y)." >> family.dlgp
   $ corechase resume fam.ckpt --steps 100
-  corechase: fam.ckpt: family.dlgp changed since the checkpoint was written (digest mismatch); resuming against a different KB would not be exact
+  corechase: fam.ckpt: family.dlgp changed since the checkpoint was written (expected digest c9caa28e794c6f03611e7fe97ca991f6, found 57fa7049c6fe9ccf93605dd097f12617); resuming against a different KB would not be exact
   [3]

@@ -1,0 +1,71 @@
+Serving queries over a socket (DESIGN.md §15): `corechase serve' holds
+long-lived named KB sessions behind the wire protocol, and `corechase
+client' speaks it — so this test needs no socat.
+
+  $ cat > family.dlgp <<'KB'
+  > parent(alice, bob).
+  > parent(bob, carol).
+  > [anc-base] ancestor(X, Y) :- parent(X, Y).
+  > [anc-rec]  ancestor(X, Z) :- parent(X, Y), ancestor(Y, Z).
+  > KB
+
+Start a daemon on a Unix socket; the ready file appears once every
+endpoint is bound, so scripts wait on it instead of polling connect:
+
+  $ corechase serve --listen unix:serve.sock --ready-file ready --quiet &
+  $ for i in $(seq 100); do test -f ready && break; sleep 0.1; done
+
+Open a session, load the KB server-side, and chase it — the daemon
+streams one event frame per saturation round, then stamps generation 1:
+
+  $ corechase client -c unix:serve.sock "PING" "OPEN fam" "LOAD fam path family.dlgp" "CHASE fam variant=restricted steps=100"
+  hello: corechase 1 ready
+  ok: pong
+  ok: opened fam
+  ok: loaded fam: 2 facts, 2 rules
+  event: round 1: 2 atoms
+  event: round 2: 4 atoms
+  ok: chased fam generation 1: fixpoint, 3 steps, 5 atoms
+
+Entailment reads the snapshot (the chase is not re-run); the verdict
+lines are byte-identical to `corechase entail' on the same KB:
+
+  $ corechase client -c unix:serve.sock "ENTAIL fam\n? :- ancestor(alice, carol)."
+  hello: corechase 1 ready
+  ? :- ancestor(alice, carol)  ⟶  entailed
+  ok: ok
+
+  $ corechase client -c unix:serve.sock "ENTAIL fam\n?(X) :- ancestor(alice, X)."
+  hello: corechase 1 ready
+  ?(X) :- ancestor(alice, X)  ⟶  2 certain answer(s): (bob) (carol)
+  ok: ok
+
+Errors are structured frames, and the client exits 1 when any reply
+was an err:
+
+  $ corechase client -c unix:serve.sock "ENTAIL nosuch\n? :- p(a)."
+  hello: corechase 1 ready
+  err: unknown-session: no session "nosuch"
+  [1]
+
+Session accounting, then a graceful shutdown from the wire:
+
+  $ corechase client -c unix:serve.sock "STATS fam" "SESSIONS" "CLOSE fam" "SHUTDOWN"
+  hello: corechase 1 ready
+  session:    fam
+  generation: 1
+  kb:         2 facts, 2 rules (family.dlgp)
+  snapshot:   fixpoint, 5 atoms, 3 steps (restricted)
+  requests:   6
+  entails:    2
+  ok: stats
+  fam generation=1 requests=6
+  ok: 1 session(s)
+  ok: closed fam
+  ok: shutting down
+
+The daemon drains and exits 0, unlinking its socket and ready file:
+
+  $ wait
+  $ test ! -e serve.sock
+  $ test ! -e ready

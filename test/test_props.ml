@@ -25,7 +25,12 @@
        lattice on random KBs, never certifies termination the
        restricted chase does not deliver, and rejects every near-miss
        zoo mutant from exactly the class its one-edit mutation
-       targets. *)
+       targets;
+     - the serve wire codec (DESIGN.md §15): frame decode ∘ encode =
+       id on arbitrary (binary) frames, every strict prefix of a
+       well-formed frame is Truncated, oversized length prefixes are
+       rejected with the offending length, decode is total on random
+       bytes, and the request grammar's parse ∘ print = id. *)
 
 open Syntax
 
@@ -260,7 +265,7 @@ let strings =
 let gen_small rng = int_in rng 0 50
 
 let gen_event rng : Obs.Trace.event =
-  match int_in rng 0 11 with
+  match int_in rng 0 13 with
   | 0 ->
       Round_start
         { engine = pick rng strings; round = gen_small rng; size = gen_small rng }
@@ -324,6 +329,14 @@ let gen_event rng : Obs.Trace.event =
           ms = gen_small rng;
         }
   | 10 -> Deadline_hit { engine = pick rng strings; step = gen_small rng }
+  | 11 ->
+      Session_event
+        {
+          action = pick rng strings;
+          session = pick rng strings;
+          generation = gen_small rng;
+        }
+  | 12 -> Conn_event { action = pick rng strings; conn = gen_small rng - 1 }
   | _ ->
       Checkpoint_written
         { engine = pick rng strings; step = gen_small rng; path = pick rng strings }
@@ -380,6 +393,15 @@ let shrink_event (e : Obs.Trace.event) : Obs.Trace.event list =
           (str f.path)
       @ List.map (fun step -> Obs.Trace.Checkpoint_written { f with step })
           (half f.step)
+  | Session_event f ->
+      List.map (fun action -> Obs.Trace.Session_event { f with action }) (str f.action)
+      @ List.map (fun session -> Obs.Trace.Session_event { f with session })
+          (str f.session)
+      @ List.map (fun generation -> Obs.Trace.Session_event { f with generation })
+          (half f.generation)
+  | Conn_event f ->
+      List.map (fun action -> Obs.Trace.Conn_event { f with action }) (str f.action)
+      @ List.map (fun conn -> Obs.Trace.Conn_event { f with conn }) (half f.conn)
 
 let event_arb : Obs.Trace.event arbitrary =
   {
@@ -675,6 +697,140 @@ let mutant_rejected c =
 
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Laws 15–19: the serve wire protocol (DESIGN.md §15).  The codec is a
+   pure function pair, so its contract is stated as laws: total decode,
+   exact round trips, Truncated exactly on strict prefixes, Oversized
+   carrying the offending length, and the request grammar printing a
+   canonical form its own parser maps back to the same value. *)
+
+module Pr = Server.Protocol
+
+let wire_kinds =
+  Pr.[ K_hello; K_req; K_ok; K_err; K_data; K_event; K_bye ]
+
+let frame_arb =
+  let gen rng =
+    let kind = pick rng wire_kinds in
+    let n = int_in rng 0 80 in
+    (* full byte range: payloads are binary-safe, newlines included *)
+    let payload = String.init n (fun _ -> Char.chr (Random.State.int rng 256)) in
+    { Pr.kind; payload }
+  in
+  let shrink f =
+    let p = f.Pr.payload in
+    (if String.length p > 0 then
+       [
+         { f with Pr.payload = "" };
+         { f with Pr.payload = String.sub p 0 (String.length p / 2) };
+         { f with Pr.payload = String.map (fun _ -> 'a') p };
+       ]
+     else [])
+    @ if f.Pr.kind <> Pr.K_ok then [ { f with Pr.kind = Pr.K_ok } ] else []
+  in
+  let print f = Fmt.str "%s %S" (Pr.kind_name f.Pr.kind) f.Pr.payload in
+  { gen; shrink; print }
+
+let frame_roundtrip f =
+  let s = Pr.encode f in
+  Pr.decode s = Ok (f, String.length s)
+
+let frame_prefixes_truncated f =
+  let s = Pr.encode f in
+  let ok = ref true in
+  for i = 0 to String.length s - 1 do
+    match Pr.decode (String.sub s 0 i) with
+    | Error Pr.Truncated -> ()
+    | _ -> ok := false
+  done;
+  !ok
+
+let oversized_arb =
+  {
+    gen = (fun rng -> Pr.max_payload + 1 + Random.State.int rng 1_000_000);
+    shrink = (fun n -> if n > Pr.max_payload + 1 then [ Pr.max_payload + 1 ] else []);
+    print = string_of_int;
+  }
+
+let oversized_rejected n =
+  Pr.decode (Fmt.str "corechase/1 data %d\n" n) = Error (Pr.Oversized n)
+
+let wire_bytes_arb =
+  {
+    gen =
+      (fun rng ->
+        let n = int_in rng 0 60 in
+        String.init n (fun _ -> Char.chr (Random.State.int rng 256)));
+    shrink =
+      (fun s ->
+        if s = "" then []
+        else
+          [
+            String.sub s 0 (String.length s / 2);
+            String.sub s 1 (String.length s - 1);
+          ]);
+    print = (fun s -> Fmt.str "%S" s);
+  }
+
+(* any exception escaping decode falsifies the law (check treats raises
+   as failures), so this is the totality statement *)
+let decode_total s = match Pr.decode s with Ok _ | Error _ -> true
+
+let gen_sess rng =
+  let n = int_in rng 1 8 in
+  String.init n (fun _ ->
+      pick rng [ 'a'; 'b'; 'k'; 'z'; 'A'; 'Z'; '0'; '9'; '_'; '-'; '.' ])
+
+(* nonempty-trim multi-line body text (inline DLGP / ENTAIL queries are
+   carried verbatim, so the law only needs the grammar's precondition:
+   something non-blank) *)
+let gen_body rng =
+  let n = int_in rng 0 30 in
+  "p(a)."
+  ^ String.init n (fun _ ->
+        pick rng [ 'a'; ' '; '\n'; '('; ')'; ':'; '-'; '.'; 'X'; ',' ])
+
+let gen_path rng =
+  let n = int_in rng 1 12 in
+  String.init n (fun _ -> pick rng [ 'a'; 'b'; '/'; '.'; '-'; '_'; '0' ])
+
+let chase_variants = Chase.[ Oblivious; Skolem; Restricted; Frugal; Core ]
+
+let request_arb =
+  let gen rng =
+    match Random.State.int rng 12 with
+    | 0 -> Pr.Open (gen_sess rng)
+    | 1 -> Pr.Load { session = gen_sess rng; source = Pr.From_path (gen_path rng) }
+    | 2 -> Pr.Load { session = gen_sess rng; source = Pr.From_text (gen_body rng) }
+    | 3 ->
+        Pr.Chase
+          {
+            session = gen_sess rng;
+            variant = pick rng chase_variants;
+            steps = int_in rng 1 1_000_000;
+            atoms = int_in rng 1 1_000_000;
+          }
+    | 4 -> Pr.Entail { session = gen_sess rng; query = gen_body rng }
+    | 5 -> Pr.Analyze (gen_sess rng)
+    | 6 -> Pr.Stats (gen_sess rng)
+    | 7 -> Pr.Close (gen_sess rng)
+    | 8 -> Pr.Ping
+    | 9 -> Pr.Metrics
+    | 10 -> Pr.Sessions
+    | _ -> Pr.Shutdown
+  in
+  let shrink = function
+    | Pr.Open n when n <> "s" -> [ Pr.Open "s" ]
+    | Pr.Load { session; _ } -> [ Pr.Open session; Pr.Open "s" ]
+    | Pr.Chase { session; _ } -> [ Pr.Open session; Pr.Open "s" ]
+    | Pr.Entail { session; _ } -> [ Pr.Open session; Pr.Open "s" ]
+    | _ -> []
+  in
+  let print r = Fmt.str "%S" (Pr.print_request r) in
+  { gen; shrink; print }
+
+let request_roundtrip r = Pr.parse_request (Pr.print_request r) = Ok r
+
 let suites =
   [
     ( "props.laws",
@@ -706,5 +862,14 @@ let suites =
           analyzer_certificate_sound;
         check ~count:100 "zoo mutants rejected from the broken class"
           mutant_case mutant_rejected;
+        check ~count:400 "wire frames round trip" frame_arb frame_roundtrip;
+        check ~count:200 "wire frame prefixes are truncated" frame_arb
+          frame_prefixes_truncated;
+        check ~count:300 "oversized length prefixes rejected" oversized_arb
+          oversized_rejected;
+        check ~count:500 "wire decode total on random bytes" wire_bytes_arb
+          decode_total;
+        check ~count:400 "requests round trip through the grammar"
+          request_arb request_roundtrip;
       ] );
   ]
