@@ -158,6 +158,16 @@ let data_frames text =
     in
     chunks 0 []
 
+let clamp f =
+  if String.length f.payload <= max_payload then [ f ]
+  else
+    match f.kind with
+    | K_data -> data_frames f.payload
+    | _ ->
+        let marker = " [truncated]" in
+        let keep = max_payload - String.length marker in
+        [ { f with payload = String.sub f.payload 0 keep ^ marker } ]
+
 (* ------------------------------------------------------------------ *)
 (* Requests                                                            *)
 

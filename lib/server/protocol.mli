@@ -94,6 +94,15 @@ val data_frames : string -> frame list
 (** The text as one or more [data] frames, split at {!max_payload}
     boundaries (one frame for ordinary payloads). *)
 
+val clamp : frame -> frame list
+(** Make any frame encodable: an oversized [data] payload is split via
+    {!data_frames}; any other oversized kind is truncated in place with
+    a [" \[truncated\]"] marker (single-frame response positions cannot
+    split).  Frames within {!max_payload} pass through untouched.
+    Every frame the server queues goes through this, so {!encode} never
+    raises on the response path however large a rendered answer line,
+    metrics dump, or session listing gets. *)
+
 (** {2 Requests}
 
     The payload of a [req] frame is line-oriented text: a command word,

@@ -63,6 +63,12 @@ let default_config =
    per process, as the mli says). *)
 let shutting = Atomic.make false
 
+(* the drain deadline has passed: stop being graceful — cancel tokens
+   (done by the alarm) and let the loop force-close any connection that
+   still cannot flush, so a peer that stopped reading cannot keep the
+   daemon alive forever *)
+let drain_expired = Atomic.make false
+
 let active_group : Resilience.Group.t option ref = ref None
 
 let drain_s = ref 5
@@ -72,10 +78,14 @@ let cancel_in_flight () =
   | Some g -> Resilience.Group.cancel_all g
   | None -> ()
 
+let drain_deadline_hit () =
+  cancel_in_flight ();
+  Atomic.set drain_expired true
+
 let request_shutdown ?drain () =
   let d = match drain with Some d -> d | None -> !drain_s in
   Atomic.set shutting true;
-  if d <= 0 then cancel_in_flight () else ignore (Unix.alarm d)
+  if d <= 0 then drain_deadline_hit () else ignore (Unix.alarm d)
 
 (* --- shared frame-level helpers ------------------------------------ *)
 
@@ -128,7 +138,8 @@ module Loopback = struct
     in
     List.rev (final :: !frames)
 
-  let push t f = Buffer.add_string t.out (P.encode f)
+  let push t f =
+    List.iter (fun f -> Buffer.add_string t.out (P.encode f)) (P.clamp f)
 
   let raw t bytes =
     if t.closed then ""
@@ -205,7 +216,8 @@ let try_flush c =
   end
 
 let push_frame c f =
-  if not c.dead then Buffer.add_string c.outbuf (P.encode f)
+  if not c.dead then
+    List.iter (fun f -> Buffer.add_string c.outbuf (P.encode f)) (P.clamp f)
 
 (* Longest conceivable frame: ~32 header bytes + max_payload + 1.  More
    buffered input without a complete frame is not a slow client, it is
@@ -220,19 +232,24 @@ let abort_conn c msg =
 
 let drain_input c =
   let rec go pos =
-    if c.closing || pos >= String.length c.inbuf then
+    (* [abort_conn] empties [c.inbuf], so a violation must stop the
+       scan here — recursing (or trimming from [pos]) would index past
+       the cleared buffer *)
+    if c.closing then ()
+    else if pos >= String.length c.inbuf then
       c.inbuf <- String.sub c.inbuf pos (String.length c.inbuf - pos)
     else
       match P.decode ~pos c.inbuf with
       | Ok (f, n) ->
-          (if f.P.kind <> P.K_req then abort_conn c (bad_frame_kind f.P.kind)
-           else
-             Queue.add
-               (Result.map_error
-                  (fun m -> P.err_frame P.Bad_request m)
-                  (P.parse_request f.P.payload))
-               c.pending);
-          go (pos + n)
+          if f.P.kind <> P.K_req then abort_conn c (bad_frame_kind f.P.kind)
+          else begin
+            Queue.add
+              (Result.map_error
+                 (fun m -> P.err_frame P.Bad_request m)
+                 (P.parse_request f.P.payload))
+              c.pending;
+            go (pos + n)
+          end
       | Error P.Truncated ->
           c.inbuf <- String.sub c.inbuf pos (String.length c.inbuf - pos);
           if String.length c.inbuf > max_inbuf then
@@ -258,11 +275,31 @@ let note state fmt =
   else Fmt.kstr (fun m -> Fmt.epr "corechase serve: %s@.%!" m) fmt
 
 let resolve_host h =
+  if h = "" then raise Not_found;
   try Unix.inet_addr_of_string h
   with Failure _ -> (Unix.gethostbyname h).Unix.h_addr_list.(0)
 
+(* A live daemon owns this path iff something accepts on it; anything
+   else there (a stale socket from a crash, a leftover file) is
+   reclaimed — but never yank a running server's socket out from under
+   it. *)
+let unix_path_live path =
+  Sys.file_exists path
+  &&
+  let probe = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close probe with Unix.Unix_error _ -> ())
+    (fun () ->
+      match Unix.connect probe (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error (_, _, _) -> false)
+
 let bind_one ep =
   match ep with
+  | Unix_sock path when unix_path_live path ->
+      Error
+        (Fmt.str "%s: address already in use (another server is accepting)"
+           (endpoint_to_string ep))
   | Unix_sock path -> (
       (try if Sys.file_exists path then Sys.remove path with Sys_error _ -> ());
       let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -374,7 +411,9 @@ let rec exec_inline state c =
                       req)
               in
               push_frame c final;
-              if req = P.Shutdown then Atomic.set shutting true
+              (* arm the drain alarm too, not just the flag: a wire
+                 SHUTDOWN must also force-close stuck peers eventually *)
+              if req = P.Shutdown then request_shutdown ()
             end);
         try_flush c;
         exec_inline state c
@@ -444,9 +483,13 @@ let reap state =
     List.partition
       (fun c ->
         if c.dead then false
-        else if (c.closing || c.eof) && Buffer.length c.outbuf = 0
-                && Queue.is_empty c.pending
-        then false
+        else if c.closing then
+          (* pending requests will never execute once closing; only
+             unflushed output keeps the connection around *)
+          Buffer.length c.outbuf > 0
+        else if c.eof then
+          (* the peer half-closed: still answer what it already sent *)
+          Buffer.length c.outbuf > 0 || not (Queue.is_empty c.pending)
         else true)
       state.conns
   in
@@ -464,6 +507,7 @@ let serve config =
   | Ok [] -> Error "no --listen endpoint given"
   | Ok listeners ->
       Atomic.set shutting false;
+      Atomic.set drain_expired false;
       drain_s := config.drain_timeout;
       let state =
         {
@@ -487,7 +531,7 @@ let serve config =
       in
       let old_alrm =
         Sys.signal Sys.sigalrm
-          (Sys.Signal_handle (fun _ -> cancel_in_flight ()))
+          (Sys.Signal_handle (fun _ -> drain_deadline_hit ()))
       in
       let old_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
       (match config.ready_file with
@@ -537,6 +581,17 @@ let serve config =
           List.iter (fun c -> exec_inline state c) state.conns;
           if Atomic.get shutting then start_drain state;
           List.iter (fun c -> if List.mem c.fd w then try_flush c) state.conns;
+          (* past the drain deadline every connection has had its flush
+             chances; whoever still holds output gets force-closed so
+             the loop is guaranteed to terminate *)
+          if Atomic.get drain_expired && state.draining then
+            List.iter
+              (fun c ->
+                if (not c.dead) && Buffer.length c.outbuf > 0 then begin
+                  c.dead <- true;
+                  conn_ev "drain-expired" c.id
+                end)
+              state.conns;
           reap state;
           loop ()
         end
@@ -592,34 +647,47 @@ module Client = struct
     in
     go 0
 
+  (* resolution failures (gethostbyname Not_found, empty address list)
+     become [Error], never an escaping exception — the CLI turns the
+     string into its usual die path *)
   let sockaddr_of = function
-    | Unix_sock path -> Unix.ADDR_UNIX path
-    | Tcp (host, port) -> Unix.ADDR_INET (resolve_host host, port)
+    | Unix_sock path -> Ok (Unix.ADDR_UNIX path)
+    | Tcp (host, port) -> (
+        match resolve_host host with
+        | addr -> Ok (Unix.ADDR_INET (addr, port))
+        | exception _ ->
+            Error (Fmt.str "tcp:%s:%d: unknown host" host port))
 
   let domain_of = function
     | Unix_sock _ -> Unix.PF_UNIX
     | Tcp _ -> Unix.PF_INET
 
   let connect ~wait_s ep =
-    let deadline = Unix.gettimeofday () +. wait_s in
-    let rec go () =
-      let fd = Unix.socket ~cloexec:true (domain_of ep) Unix.SOCK_STREAM 0 in
-      match Unix.connect fd (sockaddr_of ep) with
-      | () -> Ok fd
-      | exception Unix.Unix_error ((ENOENT | ECONNREFUSED), _, _)
-        when Unix.gettimeofday () < deadline ->
-          Unix.close fd;
-          Unix.sleepf 0.05;
-          go ()
-      | exception Unix.Unix_error (e, _, _) ->
-          Unix.close fd;
-          Error
-            (Fmt.str "%s: %s" (endpoint_to_string ep) (Unix.error_message e))
-      | exception e ->
-          Unix.close fd;
-          raise e
-    in
-    go ()
+    match sockaddr_of ep with
+    | Error e -> Error e
+    | Ok addr ->
+        let deadline = Unix.gettimeofday () +. wait_s in
+        let rec go () =
+          let fd =
+            Unix.socket ~cloexec:true (domain_of ep) Unix.SOCK_STREAM 0
+          in
+          match Unix.connect fd addr with
+          | () -> Ok fd
+          | exception Unix.Unix_error ((ENOENT | ECONNREFUSED), _, _)
+            when Unix.gettimeofday () < deadline ->
+              Unix.close fd;
+              Unix.sleepf 0.05;
+              go ()
+          | exception Unix.Unix_error (e, _, _) ->
+              Unix.close fd;
+              Error
+                (Fmt.str "%s: %s" (endpoint_to_string ep)
+                   (Unix.error_message e))
+          | exception e ->
+              Unix.close fd;
+              raise e
+        in
+        go ()
 
   exception Closed of string
 

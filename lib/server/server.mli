@@ -57,8 +57,10 @@ val serve : config -> (unit, string) result
 
 val request_shutdown : ?drain:int -> unit -> unit
 (** What the SIGTERM handler does, callable from tests: stop accepting
-    and arm the drain alarm ([drain = 0] cancels in-flight work
-    immediately). *)
+    and arm the drain alarm.  When the alarm fires (immediately for
+    [drain = 0]) in-flight work is cancelled and connections that
+    still cannot flush their output are force-closed, so the drain
+    always terminates even against a peer that stopped reading. *)
 
 (** In-process client: the daemon's request interpreter with no socket
     attached.  Logic tests drive this — same sessions, same frames,

@@ -140,6 +140,29 @@ let codec_decode_all () =
         (String.length (P.encode (fr P.K_ok "fine")))
         n
 
+let has_suffix ~suffix s =
+  let n = String.length suffix and m = String.length s in
+  m >= n && String.sub s (m - n) n = suffix
+
+let codec_clamp () =
+  let small = fr P.K_ok "fine" in
+  Alcotest.(check (list frame_t)) "small untouched" [ small ] (P.clamp small);
+  let big = String.make (P.max_payload + 5) 'd' in
+  let fs = P.clamp (fr P.K_data big) in
+  Alcotest.(check int) "data splits" 2 (List.length fs);
+  Alcotest.(check string) "no data bytes lost" big
+    (String.concat "" (List.map (fun f -> f.P.payload) fs));
+  List.iter (fun f -> ignore (P.encode f)) fs;
+  match P.clamp (fr P.K_err big) with
+  | [ f ] ->
+      Alcotest.(check bool) "err kind kept" true (f.P.kind = P.K_err);
+      Alcotest.(check bool) "fits" true
+        (String.length f.P.payload <= P.max_payload);
+      Alcotest.(check bool) "marked" true
+        (has_suffix ~suffix:" [truncated]" f.P.payload);
+      ignore (P.encode f)
+  | fs -> Alcotest.failf "err clamp: %d frames" (List.length fs)
+
 let codec_data_frames () =
   let short = P.data_frames "hello" in
   Alcotest.(check (list frame_t)) "short" [ fr P.K_data "hello" ] short;
@@ -493,6 +516,42 @@ let raw_parse_error_keeps_connection () =
   let out2 = L.raw l (P.encode (fr P.K_req "PING")) in
   Alcotest.(check bool) "still answering" true (contains ~sub:"pong" out2)
 
+(* an oversized rendered response used to raise [Invalid_argument]
+   inside [encode] on the server's push path; now [data] payloads split
+   across frames and single-frame kinds truncate in place *)
+let raw_oversized_responses_split () =
+  let l = L.create () in
+  (* a session name just long enough that "opened <name>" and the
+     SESSIONS listing both exceed max_payload *)
+  let name = String.make (P.max_payload - 5) 'n' in
+  let out = L.raw l (P.encode (fr P.K_req ("OPEN " ^ name))) in
+  (match P.decode_all out with
+  | Ok (fs, _) -> (
+      match final fs with
+      | { P.kind = P.K_ok; payload } ->
+          Alcotest.(check bool) "ok truncated in place" true
+            (String.length payload <= P.max_payload
+            && has_suffix ~suffix:" [truncated]" payload)
+      | f -> Alcotest.failf "open final: %s" (P.kind_name f.P.kind))
+  | Error (e, _) -> Alcotest.failf "open response malformed: %a" P.pp_error e);
+  let out2 = L.raw l (P.encode (fr P.K_req "SESSIONS")) in
+  match P.decode_all out2 with
+  | Ok (fs, _) ->
+      let datas =
+        List.filter_map
+          (fun f -> if f.P.kind = P.K_data then Some f.P.payload else None)
+          fs
+      in
+      Alcotest.(check bool) "listing split across data frames" true
+        (List.length datas >= 2);
+      Alcotest.(check bool) "no listing bytes lost" true
+        (contains ~sub:name (String.concat "" datas));
+      (match final fs with
+      | { P.kind = P.K_ok; _ } -> ()
+      | f -> Alcotest.failf "sessions final: %s" (P.kind_name f.P.kind))
+  | Error (e, _) ->
+      Alcotest.failf "sessions response malformed: %a" P.pp_error e
+
 let raw_shutdown_says_bye () =
   let l = L.create () in
   let out = L.raw l (P.encode (fr P.K_req "SHUTDOWN")) in
@@ -645,16 +704,25 @@ let sock_reader fd =
   in
   next
 
-let drain_cancels_in_flight_chase () =
+(* Spawn a real daemon on a fresh Unix socket path — pre-seeded with a
+   genuinely stale socket file (bound once, closed), which [serve] must
+   probe, find dead, and reclaim — run [f sock], then join the server
+   domain and check the unlink cleanup.  On a failing [f] the finally
+   forces a zero-second drain so the join cannot hang the test run. *)
+let with_server ?(drain = 5) f =
   let sock = Filename.temp_file "corechase-serve" ".sock" in
   Sys.remove sock;
+  let stale = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind stale (Unix.ADDR_UNIX sock);
+  Unix.listen stale 1;
+  Unix.close stale;
   let ready = sock ^ ".ready" in
   let cfg =
     {
       Server.endpoints = [ Server.Unix_sock sock ];
       ready_file = Some ready;
       quiet = true;
-      drain_timeout = 30 (* the test requests its own 1 s drain *);
+      drain_timeout = drain;
     }
   in
   let srv = Domain.spawn (fun () -> Server.serve cfg) in
@@ -663,27 +731,46 @@ let drain_cancels_in_flight_chase () =
     Unix.sleepf 0.02
   done;
   Alcotest.(check bool) "server came up" true (Sys.file_exists ready);
+  Fun.protect
+    ~finally:(fun () ->
+      Server.request_shutdown ~drain:0 ();
+      match Domain.join srv with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "serve: %s" e)
+    (fun () -> f sock);
+  Alcotest.(check bool) "socket unlinked" false (Sys.file_exists sock);
+  Alcotest.(check bool) "ready file removed" false (Sys.file_exists ready)
+
+let sock_connect sock =
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.connect fd (Unix.ADDR_UNIX sock);
+  fd
+
+let sock_send_raw fd s =
+  let b = Bytes.of_string s in
+  ignore (retry_eintr (fun () -> Unix.write fd b 0 (Bytes.length b)))
+
+let sock_send fd s = sock_send_raw fd (P.encode (fr P.K_req s))
+
+let expect_kind next name k =
+  match next () with
+  | Some f when f.P.kind = k -> f
+  | Some f -> Alcotest.failf "%s: got %s" name (P.kind_name f.P.kind)
+  | None -> Alcotest.failf "%s: eof" name
+
+let drain_cancels_in_flight_chase () =
+  with_server ~drain:30 (* the test requests its own 1 s drain *)
+  @@ fun sock ->
+  let fd = sock_connect sock in
   let next = sock_reader fd in
-  let send s =
-    let b = Bytes.of_string (P.encode (fr P.K_req s)) in
-    ignore (retry_eintr (fun () -> Unix.write fd b 0 (Bytes.length b)))
-  in
-  let expect_kind name k =
-    match next () with
-    | Some f when f.P.kind = k -> f
-    | Some f -> Alcotest.failf "%s: got %s" name (P.kind_name f.P.kind)
-    | None -> Alcotest.failf "%s: eof" name
-  in
-  ignore (expect_kind "hello" P.K_hello);
-  send "OPEN d";
-  ignore (expect_kind "opened" P.K_ok);
-  send ("LOAD d inline\n" ^ diverge_kb);
-  ignore (expect_kind "loaded" P.K_ok);
+  ignore (expect_kind next "hello" P.K_hello);
+  sock_send fd "OPEN d";
+  ignore (expect_kind next "opened" P.K_ok);
+  sock_send fd ("LOAD d inline\n" ^ diverge_kb);
+  ignore (expect_kind next "loaded" P.K_ok);
   (* a chase that cannot finish on its own inside this test *)
-  send "CHASE d variant=restricted steps=10000000 atoms=100000000";
-  ignore (expect_kind "first round streamed" P.K_event);
+  sock_send fd "CHASE d variant=restricted steps=10000000 atoms=100000000";
+  ignore (expect_kind next "first round streamed" P.K_event);
   (* the chase is in flight on the server loop; request a 1 s drain *)
   Server.request_shutdown ~drain:1 ();
   let saw_stopped = ref false and saw_bye = ref false in
@@ -707,12 +794,72 @@ let drain_cancels_in_flight_chase () =
   collect ();
   Alcotest.(check bool) "chase answered chase-stopped" true !saw_stopped;
   Alcotest.(check bool) "server said bye" true !saw_bye;
-  (match Domain.join srv with
-  | Ok () -> ()
-  | Error e -> Alcotest.failf "serve: %s" e);
+  Unix.close fd
+
+(* the loopback proves the state machine; this drives the daemon path:
+   a well-formed frame of the wrong kind closes that one connection
+   with err+bye (dropping anything pipelined after it) and must NOT
+   take the select loop down — it used to crash the whole daemon *)
+let daemon_rejects_non_req_frame () =
+  with_server @@ fun sock ->
+  let fd = sock_connect sock in
+  let next = sock_reader fd in
+  ignore (expect_kind next "hello" P.K_hello);
+  sock_send_raw fd (P.encode (fr P.K_ok "") ^ P.encode (fr P.K_req "PING"));
+  let e = expect_kind next "violation" P.K_err in
+  (match P.parse_err e.P.payload with
+  | Some (P.Protocol_violation, _) -> ()
+  | _ -> Alcotest.failf "not protocol-error: %S" e.P.payload);
+  ignore (expect_kind next "bye" P.K_bye);
+  Alcotest.(check bool) "conn closed, pipelined PING dropped" true
+    (next () = None);
   Unix.close fd;
-  Alcotest.(check bool) "socket unlinked" false (Sys.file_exists sock);
-  Alcotest.(check bool) "ready file removed" false (Sys.file_exists ready)
+  (* the daemon survived: a fresh connection still answers *)
+  let fd2 = sock_connect sock in
+  let next2 = sock_reader fd2 in
+  ignore (expect_kind next2 "hello again" P.K_hello);
+  sock_send fd2 "PING";
+  Alcotest.(check string) "pong" "pong"
+    (expect_kind next2 "pong" P.K_ok).P.payload;
+  sock_send fd2 "SHUTDOWN";
+  ignore (expect_kind next2 "shutdown ok" P.K_ok);
+  ignore (expect_kind next2 "bye" P.K_bye);
+  Unix.close fd2
+
+(* binding over a path whose socket a live daemon is accepting on must
+   refuse, not yank the socket out from under the running server *)
+let bind_refuses_live_socket () =
+  with_server @@ fun sock ->
+  (match
+     Server.serve
+       {
+         Server.endpoints = [ Server.Unix_sock sock ];
+         ready_file = None;
+         quiet = true;
+         drain_timeout = 1;
+       }
+   with
+  | Error msg ->
+      Alcotest.(check bool) "refused as in use" true
+        (contains ~sub:"already in use" msg)
+  | Ok () -> Alcotest.fail "second serve bound over a live socket");
+  (* the first daemon is unharmed: its socket still answers *)
+  let fd = sock_connect sock in
+  let next = sock_reader fd in
+  ignore (expect_kind next "hello" P.K_hello);
+  sock_send fd "SHUTDOWN";
+  ignore (expect_kind next "shutdown ok" P.K_ok);
+  ignore (expect_kind next "bye" P.K_bye);
+  Unix.close fd
+
+(* host-resolution failure is a structured [Error], not an escaping
+   Not_found from gethostbyname *)
+let client_unknown_host () =
+  match Server.Client.run (Server.Tcp ("", 9)) [ "PING" ] with
+  | Error msg ->
+      Alcotest.(check bool) "unknown host" true
+        (contains ~sub:"unknown host" msg)
+  | Ok _ -> Alcotest.fail "client connected to an empty host"
 
 (* shutting-down refusals while draining are part of the same path but
    need a second connection; loopback covers the refusal text *)
@@ -735,6 +882,7 @@ let suites =
         tc "encode rejects oversized payloads" codec_encode_oversized;
         tc "decode_all consumes complete frames" codec_decode_all;
         tc "data_frames splits at max_payload" codec_data_frames;
+        tc "clamp makes any frame encodable" codec_clamp;
         tc "err frames round trip" codec_err_frames;
       ] );
     ( "server.request",
@@ -757,6 +905,7 @@ let suites =
         tc "framing violation closes with err+bye" raw_violation_closes;
         tc "non-req frame is a violation" raw_non_req_kind_violates;
         tc "parse error keeps the connection" raw_parse_error_keeps_connection;
+        tc "oversized responses split or truncate" raw_oversized_responses_split;
         tc "shutdown says bye" raw_shutdown_says_bye;
         tc "shutdown via request api" shutdown_refuses_new_work;
       ] );
@@ -776,4 +925,11 @@ let suites =
       [ tc "killed chase leaves a live session" fault_mid_chase ] );
     ( "server.drain",
       [ tc "drain cancels the in-flight chase" drain_cancels_in_flight_chase ] );
+    ( "server.socket",
+      [
+        tc "non-req frame closes one conn, not the daemon"
+          daemon_rejects_non_req_frame;
+        tc "bind refuses a live socket" bind_refuses_live_socket;
+        tc "client reports unknown hosts" client_unknown_host;
+      ] );
   ]
