@@ -94,6 +94,40 @@ let par_workload () =
 let staircase_derivation_20 =
   (Chase.Variants.core ~budget:(budget 20) (Zoo.Staircase.kb ())).Chase.Variants.derivation
 
+(* scratch WAL directories for the wal:sync-* rows; each iteration gets
+   a fresh one so segment length never accumulates across runs *)
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let wal_scratch_ctr = ref 0
+
+let wal_journaled_run sync =
+  incr wal_scratch_ctr;
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "corechase-bench-wal-%d" !wal_scratch_ctr)
+  in
+  rm_rf dir;
+  match Storage.Wal.open_dir ~sync ~quiet:true dir with
+  | Error e -> failwith e
+  | Ok w ->
+      Fun.protect
+        ~finally:(fun () ->
+          Storage.Wal.close w;
+          rm_rf dir)
+        (fun () ->
+          let journal =
+            Storage.Wal.journal w ~engine:"restricted" ~budget:(budget 20) ()
+          in
+          ignore
+            (Chase.Variants.restricted ~budget:(budget 20) ~journal
+               (Zoo.Staircase.kb ())))
+
 (* Engine routing (DESIGN.md §13): the analyzer's own cost and the
    routed run next to each fixed engine, on certified-terminating
    families — one per certificate source: acyclicity (wa-ladder),
@@ -266,6 +300,16 @@ let micro_tests =
         Homo.Hom.flat_enabled := false;
         ignore (Homo.Hom.count staircase_query staircase_instance);
         Homo.Hom.flat_enabled := true));
+    (* durability overhead (DESIGN.md §16): the same restricted chase
+       with every derivation step journaled into a fresh WAL directory,
+       once per fsync policy.  sync-every pays one fsync per record;
+       sync-none leaves flushing to the page cache.  The rows differ
+       only in the policy, so their ratio is the per-record fsync cost
+       the durability CI job tracks. *)
+    Test.make ~name:"wal:sync-every" (Staged.stage (fun () ->
+        wal_journaled_run Storage.Wal.Sync_every));
+    Test.make ~name:"wal:sync-none" (Staged.stage (fun () ->
+        wal_journaled_run Storage.Wal.Sync_none));
   ]
   @ route_tests
   @ [

@@ -252,6 +252,65 @@ let hook_with_cadence every hook =
           incr calls;
           if !calls mod max 1 every = 0 then save state)
 
+(* --- --wal plumbing (DESIGN.md §16) -------------------------------- *)
+
+let wal_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "wal" ] ~docv:"DIR"
+        ~doc:
+          "Write-ahead-log directory: journal every derivation step as a \
+           CRC-checked binary record, so a killed run recovers exactly with \
+           $(b,corechase resume --wal) $(i,DIR).")
+
+let wal_sync_arg =
+  let policy_conv =
+    Arg.conv
+      ( (fun s ->
+          Result.map_error
+            (fun m -> `Msg m)
+            (Storage.Wal.sync_policy_of_string s)),
+        fun ppf p -> Fmt.string ppf (Storage.Wal.sync_policy_to_string p) )
+  in
+  Arg.(
+    value
+    & opt policy_conv Storage.Wal.Sync_every
+    & info [ "wal-sync" ] ~docv:"POLICY"
+        ~doc:
+          "WAL fsync policy: $(b,every) (default; each record is durable \
+           before the engine proceeds), $(b,none), or $(b,interval:N).")
+
+let snapshot_every_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "snapshot-every" ] ~docv:"N"
+        ~doc:
+          "Write a binary WAL snapshot and rotate to a fresh segment every \
+           $(i,N) completed rounds ($(b,serve): state-changing requests); 0 \
+           disables snapshots.")
+
+let open_wal ~sync ~snapshot_every dir =
+  match Storage.Wal.open_dir ~sync ~snapshot_every dir with
+  | Ok w -> w
+  | Error m -> die exit_input "%s" m
+
+let combine_hooks a b =
+  match (a, b) with
+  | None, h | h, None -> h
+  | Some f, Some g ->
+      Some
+        (fun st ->
+          f st;
+          g st)
+
+(* the hint when `resume' is handed WAL data in the checkpoint position *)
+let wal_hint path =
+  if Storage.Wal.looks_like_wal_dir path then Some path
+  else if (not (Sys.is_directory path)) && Storage.Xlog.file_has_magic path
+  then Some (Filename.dirname path)
+  else None
+
 (* --batch: FILE is a manifest of DLGP paths, one per line; every KB is
    chased independently through Par.Batch (DESIGN.md §14).  KBs are
    parsed {e inside} the task so each file mints its variable ids under
@@ -306,9 +365,10 @@ let run_batch ~file ~variant ~budget ~token ~trace ~metrics ~jobs =
 
 let chase_cmd =
   let run file variant engine steps atoms deadline ckpt every verbose trace
-      metrics core_scope jobs batch =
-    if batch && (ckpt <> None || engine <> None) then
-      die exit_input "--batch cannot be combined with --checkpoint or --engine";
+      metrics core_scope jobs batch wal wal_sync snap_every =
+    if batch && (ckpt <> None || engine <> None || wal <> None) then
+      die exit_input
+        "--batch cannot be combined with --checkpoint, --engine or --wal";
     if batch then begin
       Homo.Core.scoping := core_scope;
       run_batch ~file ~variant ~budget:(budget_of steps atoms)
@@ -316,35 +376,64 @@ let chase_cmd =
     end
     else begin
     let kb = load_kb file in
-    (match (variant, ckpt) with
-    | (Chase.Oblivious | Chase.Skolem), Some _ ->
+    (match (variant, ckpt, wal) with
+    | (Chase.Oblivious | Chase.Skolem), Some _, _
+    | (Chase.Oblivious | Chase.Skolem), _, Some _ ->
         die exit_input
-          "--checkpoint requires a derivation engine (restricted, frugal or \
-           core)"
+          "--checkpoint/--wal requires a derivation engine (restricted, \
+           frugal or core)"
     | _ -> ());
-    (match (engine, ckpt) with
-    | Some _, Some _ ->
-        die exit_input "--checkpoint cannot be combined with --engine"
+    (match (engine, ckpt, wal) with
+    | Some _, Some _, _ | Some _, _, Some _ ->
+        die exit_input "--checkpoint/--wal cannot be combined with --engine"
     | _ -> ());
     Homo.Core.scoping := core_scope;
     Corechase.Par.set_jobs jobs;
     let budget = budget_of steps atoms in
     let token = token_of_deadline deadline in
-    let checkpoint =
-      hook_with_cadence every
-        (checkpoint_hook ~engine:(Chase.variant_name variant) ~kb_path:file
-           ~budget ckpt)
+    let wal_h =
+      Option.map (open_wal ~sync:wal_sync ~snapshot_every:snap_every) wal
     in
-    with_obs ~trace ~metrics (fun () ->
-        let report =
-          match engine with
-          | None -> Chase.run ~budget ?token ?checkpoint variant kb
-          | Some e ->
-              let choice = resolve_engine ~budget kb e in
-              Chase.run_engine ~budget ?token choice kb
-        in
-        print_report ~verbose report;
-        exit_of_outcome report.Chase.outcome)
+    (match (wal_h, wal) with
+    | Some w, Some dir when not (Storage.Wal.is_empty w) ->
+        die exit_input
+          "%s already holds a run; use `corechase resume --wal %s' to \
+           continue it (or point --wal at a fresh directory)"
+          dir dir
+    | _ -> ());
+    let journal, wal_hook =
+      match wal_h with
+      | None -> (None, None)
+      | Some w ->
+          let engine = Chase.variant_name variant in
+          let kb_digest = Chase.Checkpoint.digest_of_file file in
+          ( Some
+              (Storage.Wal.journal w ~engine ~kb_path:file ?kb_digest ~budget
+                 ()),
+            Some
+              (Storage.Wal.checkpoint_hook w ~engine ~kb_path:file ?kb_digest
+                 ~budget ()) )
+    in
+    let checkpoint =
+      combine_hooks
+        (hook_with_cadence every
+           (checkpoint_hook ~engine:(Chase.variant_name variant) ~kb_path:file
+              ~budget ckpt))
+        wal_hook
+    in
+    Fun.protect
+      ~finally:(fun () -> Option.iter Storage.Wal.close wal_h)
+      (fun () ->
+        with_obs ~trace ~metrics (fun () ->
+            let report =
+              match engine with
+              | None -> Chase.run ~budget ?token ?checkpoint ?journal variant kb
+              | Some e ->
+                  let choice = resolve_engine ~budget kb e in
+                  Chase.run_engine ~budget ?token choice kb
+            in
+            print_report ~verbose report;
+            exit_of_outcome report.Chase.outcome))
     end
   in
   let verbose =
@@ -365,34 +454,25 @@ let chase_cmd =
     CTerm.(
       const run $ file_arg $ variant_arg $ engine_arg $ steps_arg $ atoms_arg
       $ deadline_arg $ checkpoint_arg $ checkpoint_every_arg $ verbose
-      $ trace_arg $ metrics_arg $ core_scope_arg $ jobs_arg $ batch)
+      $ trace_arg $ metrics_arg $ core_scope_arg $ jobs_arg $ batch
+      $ wal_dir_arg $ wal_sync_arg $ snapshot_every_arg)
 
 (* resume *)
 let resume_cmd =
-  let run ckpt file_override steps atoms deadline ckpt_out every verbose trace
-      metrics core_scope jobs =
-    let header =
-      match Chase.Checkpoint.read_header ckpt with
-      | Ok h -> h
-      | Error msg -> die exit_input "%s" msg
-    in
-    let variant =
-      match header.Chase.Checkpoint.engine with
-      | "restricted" -> Chase.Restricted
-      | "frugal" -> Chase.Frugal
-      | "core" -> Chase.Core
-      | e -> die exit_input "%s: unknown engine %S" ckpt e
-    in
-    let kb_file =
-      match (file_override, header.Chase.Checkpoint.kb_path) with
-      | Some f, _ -> f
-      | None, Some f -> f
-      | None, None ->
-          die exit_input "%s records no KB path; pass --file" ckpt
-    in
-    (match
-       (header.Chase.Checkpoint.kb_digest, Chase.Checkpoint.digest_of_file kb_file)
-     with
+  let variant_of_engine ~where = function
+    | "restricted" -> Chase.Restricted
+    | "frugal" -> Chase.Frugal
+    | "core" -> Chase.Core
+    | e -> die exit_input "%s: unknown engine %S" where e
+  in
+  let kb_file_of ~where ~file_override ~recorded =
+    match (file_override, recorded) with
+    | Some f, _ -> f
+    | None, Some f -> f
+    | None, None -> die exit_input "%s records no KB path; pass --file" where
+  in
+  let check_digest ~where ~kb_file recorded =
+    match (recorded, Chase.Checkpoint.digest_of_file kb_file) with
     | Some d, Some d' when d <> d' ->
         (* name the digests, not just the fact of the mismatch: the
            operator deciding whether to re-chase or repoint --file needs
@@ -400,11 +480,34 @@ let resume_cmd =
         die exit_input
           "%s: %s changed since the checkpoint was written (expected digest \
            %s, found %s); resuming against a different KB would not be exact"
-          ckpt kb_file d d'
+          where kb_file d d'
     | Some _, None ->
         die exit_input "%s: cannot read %s to verify the checkpoint digest"
-          ckpt kb_file
-    | _ -> ());
+          where kb_file
+    | _ -> ()
+  in
+  let run_text ckpt ~file_override ~steps ~atoms ~deadline ~ckpt_out ~every
+      ~verbose ~trace ~metrics ~core_scope ~jobs =
+    (match wal_hint ckpt with
+    | Some dir ->
+        die exit_input
+          "%s is a write-ahead log, not a text checkpoint; use `corechase \
+           resume --wal %s'"
+          ckpt dir
+    | None -> ());
+    let header =
+      match Chase.Checkpoint.read_header ckpt with
+      | Ok h -> h
+      | Error msg -> die exit_input "%s" msg
+    in
+    let variant =
+      variant_of_engine ~where:ckpt header.Chase.Checkpoint.engine
+    in
+    let kb_file =
+      kb_file_of ~where:ckpt ~file_override
+        ~recorded:header.Chase.Checkpoint.kb_path
+    in
+    check_digest ~where:ckpt ~kb_file header.Chase.Checkpoint.kb_digest;
     (* KB first (deterministic variable ids), checkpoint second: load
        pins the freshness counter to the checkpointed value *)
     let kb = load_kb kb_file in
@@ -436,12 +539,92 @@ let resume_cmd =
         print_report ~verbose report;
         exit_of_outcome report.Chase.outcome)
   in
+  let run_wal dir ~wal_sync ~snap_every ~file_override ~steps ~atoms ~deadline
+      ~ckpt_out ~every ~verbose ~trace ~metrics ~core_scope ~jobs =
+    let w = open_wal ~sync:wal_sync ~snapshot_every:snap_every dir in
+    Fun.protect
+      ~finally:(fun () -> Storage.Wal.close w)
+      (fun () ->
+        let header =
+          match Storage.Wal.peek_header w with
+          | Ok (Some h) -> h
+          | Ok None ->
+              die exit_input "%s: WAL is empty (nothing to resume)" dir
+          | Error msg -> die exit_input "%s" msg
+        in
+        let variant =
+          variant_of_engine ~where:dir header.Storage.Wal.h_engine
+        in
+        let kb_file =
+          kb_file_of ~where:dir ~file_override
+            ~recorded:header.Storage.Wal.h_kb_path
+        in
+        check_digest ~where:dir ~kb_file header.Storage.Wal.h_kb_digest;
+        (* same discipline as the text path: KB first, then replay the
+           log (recover pins the counters to the last durable boundary) *)
+        let kb = load_kb kb_file in
+        let recovered =
+          match Storage.Wal.recover w kb with
+          | Ok r -> r
+          | Error msg -> die exit_input "%s" msg
+        in
+        let saved = header.Storage.Wal.h_budget in
+        let budget =
+          {
+            Chase.Variants.max_steps =
+              Option.value steps ~default:saved.Chase.Variants.max_steps;
+            max_atoms =
+              Option.value atoms ~default:saved.Chase.Variants.max_atoms;
+          }
+        in
+        Homo.Core.scoping := core_scope;
+        Corechase.Par.set_jobs jobs;
+        let token = token_of_deadline deadline in
+        let engine = header.Storage.Wal.h_engine in
+        let kb_digest = Chase.Checkpoint.digest_of_file kb_file in
+        let journal =
+          Storage.Wal.journal w ~engine ~kb_path:kb_file ?kb_digest ~budget
+            ~durable:recovered.Storage.Wal.r_durable ()
+        in
+        let checkpoint =
+          combine_hooks
+            (hook_with_cadence every
+               (checkpoint_hook ~engine ~kb_path:kb_file ~budget ckpt_out))
+            (Some
+               (Storage.Wal.checkpoint_hook w ~engine ~kb_path:kb_file
+                  ?kb_digest ~budget ()))
+        in
+        with_obs ~trace ~metrics (fun () ->
+            let report =
+              Chase.run ~budget ?token ?resume:recovered.Storage.Wal.r_state
+                ?checkpoint ~journal variant kb
+            in
+            print_report ~verbose report;
+            exit_of_outcome report.Chase.outcome))
+  in
+  let run ckpt wal file_override steps atoms deadline ckpt_out every verbose
+      trace metrics core_scope jobs wal_sync snap_every =
+    match (ckpt, wal) with
+    | None, None ->
+        die exit_input "pass a CHECKPOINT file or --wal DIR (one of the two)"
+    | Some _, Some _ ->
+        die exit_input "pass either a CHECKPOINT file or --wal DIR, not both"
+    | Some ckpt, None ->
+        run_text ckpt ~file_override ~steps ~atoms ~deadline ~ckpt_out ~every
+          ~verbose ~trace ~metrics ~core_scope ~jobs
+    | None, Some dir ->
+        run_wal dir ~wal_sync ~snap_every ~file_override ~steps ~atoms
+          ~deadline ~ckpt_out ~every ~verbose ~trace ~metrics ~core_scope
+          ~jobs
+  in
   let ckpt_pos =
     Arg.(
-      required
+      value
       & pos 0 (some file) None
       & info [] ~docv:"CHECKPOINT"
-          ~doc:"Checkpoint file written by $(b,corechase chase --checkpoint).")
+          ~doc:
+            "Checkpoint file written by $(b,corechase chase --checkpoint) \
+             (omit when resuming with $(b,--wal)).")
   in
   let file_override =
     Arg.(
@@ -473,9 +656,10 @@ let resume_cmd =
           agrees step for step with the uninterrupted one (same KB, same \
           budget).")
     CTerm.(
-      const run $ ckpt_pos $ file_override $ steps_override $ atoms_override
-      $ deadline_arg $ checkpoint_arg $ checkpoint_every_arg $ verbose
-      $ trace_arg $ metrics_arg $ core_scope_arg $ jobs_arg)
+      const run $ ckpt_pos $ wal_dir_arg $ file_override $ steps_override
+      $ atoms_override $ deadline_arg $ checkpoint_arg $ checkpoint_every_arg
+      $ verbose $ trace_arg $ metrics_arg $ core_scope_arg $ jobs_arg
+      $ wal_sync_arg $ snapshot_every_arg)
 
 (* entail *)
 let entail_cmd =
@@ -795,7 +979,8 @@ let zoo_cmd =
 
 (* serve / client (DESIGN.md §15) *)
 let serve_cmd =
-  let run listens drain ready_file quiet trace metrics jobs =
+  let run listens drain ready_file quiet trace metrics jobs wal wal_sync
+      snap_every =
     let endpoints =
       List.map
         (fun s ->
@@ -805,13 +990,25 @@ let serve_cmd =
         listens
     in
     Corechase.Par.set_jobs jobs;
-    with_obs ~trace ~metrics (fun () ->
-        match
-          Server.serve
-            { Server.endpoints; drain_timeout = drain; ready_file; quiet }
-        with
-        | Ok () -> exit_ok
-        | Error m -> die exit_input "%s" m)
+    let wal_h =
+      Option.map (open_wal ~sync:wal_sync ~snapshot_every:snap_every) wal
+    in
+    Fun.protect
+      ~finally:(fun () -> Option.iter Storage.Wal.close wal_h)
+      (fun () ->
+        with_obs ~trace ~metrics (fun () ->
+            match
+              Server.serve
+                {
+                  Server.endpoints;
+                  drain_timeout = drain;
+                  ready_file;
+                  quiet;
+                  wal = wal_h;
+                }
+            with
+            | Ok () -> exit_ok
+            | Error m -> die exit_input "%s" m))
   in
   let listen_arg =
     Arg.(
@@ -852,7 +1049,8 @@ let serve_cmd =
           (DESIGN.md §15).")
     CTerm.(
       const run $ listen_arg $ drain_arg $ ready_file_arg $ quiet_arg
-      $ trace_arg $ metrics_arg $ jobs_arg)
+      $ trace_arg $ metrics_arg $ jobs_arg $ wal_dir_arg $ wal_sync_arg
+      $ snapshot_every_arg)
 
 let client_cmd =
   let run connect wait reqs =
@@ -893,6 +1091,162 @@ let client_cmd =
           response frames.")
     CTerm.(const run $ connect_arg $ wait_arg $ reqs_arg)
 
+(* wal export / wal import: the bridge between the binary log and the
+   PR-5 text checkpoint format (DESIGN.md §16) *)
+let wal_cmd =
+  let digest_or_die ~where ~kb_file recorded =
+    match (recorded, Chase.Checkpoint.digest_of_file kb_file) with
+    | Some d, Some d' when d <> d' ->
+        die exit_input
+          "%s: %s changed since the log was written (expected digest %s, \
+           found %s); converting against a different KB would not be exact"
+          where kb_file d d'
+    | Some _, None ->
+        die exit_input "%s: cannot read %s to verify the recorded digest"
+          where kb_file
+    | _, fresh -> fresh
+  in
+  let kb_file_of ~where ~file_override ~recorded =
+    match (file_override, recorded) with
+    | Some f, _ -> f
+    | None, Some f -> f
+    | None, None -> die exit_input "%s records no KB path; pass --file" where
+  in
+  let file_override_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "file" ] ~docv:"FILE"
+          ~doc:"DLGP file (default: the path recorded in the source).")
+  in
+  let export =
+    let run dir out file_override =
+      let w =
+        match Storage.Wal.open_dir ~quiet:false dir with
+        | Ok w -> w
+        | Error m -> die exit_input "%s" m
+      in
+      Fun.protect
+        ~finally:(fun () -> Storage.Wal.close w)
+        (fun () ->
+          let header =
+            match Storage.Wal.peek_header w with
+            | Ok (Some h) -> h
+            | Ok None -> die exit_input "%s: WAL is empty" dir
+            | Error m -> die exit_input "%s" m
+          in
+          let kb_file =
+            kb_file_of ~where:dir ~file_override
+              ~recorded:header.Storage.Wal.h_kb_path
+          in
+          let kb_digest =
+            digest_or_die ~where:dir ~kb_file header.Storage.Wal.h_kb_digest
+          in
+          let kb = load_kb kb_file in
+          let recovered =
+            match Storage.Wal.recover w kb with
+            | Ok r -> r
+            | Error m -> die exit_input "%s" m
+          in
+          match recovered.Storage.Wal.r_state with
+          | None ->
+              die exit_input
+                "%s: no completed round is durable yet; a text checkpoint \
+                 captures only round boundaries"
+                dir
+          | Some state ->
+              Chase.Checkpoint.save ~path:out
+                ~engine:header.Storage.Wal.h_engine ~kb_path:kb_file
+                ?kb_digest ~budget:header.Storage.Wal.h_budget state;
+              Fmt.epr "exported %s (round boundary, %d durable record(s)) to \
+                       %s@."
+                dir recovered.Storage.Wal.r_records out;
+              exit_ok)
+    in
+    let dir_pos =
+      Arg.(
+        required
+        & pos 0 (some file) None
+        & info [] ~docv:"DIR" ~doc:"WAL directory to export.")
+    in
+    let out_arg =
+      Arg.(
+        required
+        & opt (some string) None
+        & info [ "out"; "o" ] ~docv:"CHECKPOINT"
+            ~doc:"Text checkpoint file to write.")
+    in
+    Cmd.v
+      (Cmd.info "export"
+         ~doc:
+           "Convert a WAL directory's last durable round boundary into a \
+            $(b,corechase resume)-compatible text checkpoint.")
+      CTerm.(const run $ dir_pos $ out_arg $ file_override_arg)
+  in
+  let import =
+    let run ckpt out file_override =
+      let header =
+        match Chase.Checkpoint.read_header ckpt with
+        | Ok h -> h
+        | Error m -> die exit_input "%s" m
+      in
+      let kb_file =
+        kb_file_of ~where:ckpt ~file_override
+          ~recorded:header.Chase.Checkpoint.kb_path
+      in
+      let kb_digest =
+        digest_or_die ~where:ckpt ~kb_file header.Chase.Checkpoint.kb_digest
+      in
+      let kb = load_kb kb_file in
+      let _, budget, state =
+        match Chase.Checkpoint.load kb ckpt with
+        | Ok v -> v
+        | Error m -> die exit_input "%s" m
+      in
+      let w =
+        match Storage.Wal.open_dir out with
+        | Ok w -> w
+        | Error m -> die exit_input "%s" m
+      in
+      Fun.protect
+        ~finally:(fun () -> Storage.Wal.close w)
+        (fun () ->
+          match
+            Storage.Wal.import_state w ~engine:header.Chase.Checkpoint.engine
+              ~kb_path:kb_file ?kb_digest ~budget state
+          with
+          | Error m -> die exit_input "%s" m
+          | Ok () ->
+              Fmt.epr "imported %s into %s@." ckpt out;
+              exit_ok)
+    in
+    let ckpt_pos =
+      Arg.(
+        required
+        & pos 0 (some file) None
+        & info [] ~docv:"CHECKPOINT" ~doc:"Text checkpoint file to import.")
+    in
+    let out_arg =
+      Arg.(
+        required
+        & opt (some string) None
+        & info [ "out"; "o" ] ~docv:"DIR"
+            ~doc:"WAL directory to seed (must not already hold a log).")
+    in
+    Cmd.v
+      (Cmd.info "import"
+         ~doc:
+           "Seed an empty WAL directory from a text checkpoint so the run \
+            can continue under $(b,corechase resume --wal).")
+      CTerm.(const run $ ckpt_pos $ out_arg $ file_override_arg)
+  in
+  Cmd.group
+    (Cmd.info "wal"
+       ~doc:
+         "Convert between WAL directories and text checkpoints (DESIGN.md \
+          §16).")
+    [ export; import ]
+
 let () =
   let info =
     Cmd.info "corechase" ~version:"1.0.0"
@@ -904,5 +1258,5 @@ let () =
           [
             chase_cmd; resume_cmd; entail_cmd; analyze_cmd; classify_cmd;
             treewidth_cmd; repro_cmd; tptp_cmd; dot_cmd; zoo_cmd; bench_cmd;
-            serve_cmd; client_cmd;
+            serve_cmd; client_cmd; wal_cmd;
           ]))

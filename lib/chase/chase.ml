@@ -36,7 +36,7 @@ type report = {
     [resume]/[checkpoint] (derivation engines only — [Oblivious] and
     [Skolem] reject them) thread the round-boundary checkpoint states of
     {!Variants.engine_state} through. *)
-let run ?budget ?token ?resume ?checkpoint variant kb =
+let run ?budget ?token ?resume ?checkpoint ?journal variant kb =
   let of_baseline (t : Variants.Baseline.trace) =
     {
       variant;
@@ -65,18 +65,21 @@ let run ?budget ?token ?resume ?checkpoint variant kb =
   in
   match variant with
   | Oblivious | Skolem ->
-      if resume <> None || checkpoint <> None then
+      if resume <> None || checkpoint <> None || journal <> None then
         invalid_arg
-          "Chase.run: checkpoint/resume requires a derivation engine \
-           (restricted, frugal or core)";
+          "Chase.run: checkpoint/resume/journal requires a derivation \
+           engine (restricted, frugal or core)";
       of_baseline
         (match variant with
         | Oblivious -> Variants.Baseline.oblivious ?budget ?token kb
         | _ -> Variants.Baseline.skolem ?budget ?token kb)
   | Restricted ->
-      of_run (Variants.restricted ?budget ?token ?resume ?checkpoint kb)
-  | Frugal -> of_run (Variants.frugal ?budget ?token ?resume ?checkpoint kb)
-  | Core -> of_run (Variants.core ?budget ?token ?resume ?checkpoint kb)
+      of_run
+        (Variants.restricted ?budget ?token ?resume ?checkpoint ?journal kb)
+  | Frugal ->
+      of_run (Variants.frugal ?budget ?token ?resume ?checkpoint ?journal kb)
+  | Core ->
+      of_run (Variants.core ?budget ?token ?resume ?checkpoint ?journal kb)
 
 (* ------------------------------------------------------------------ *)
 (* Engine routing targets (DESIGN.md §13).                             *)

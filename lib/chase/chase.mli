@@ -39,6 +39,7 @@ val run :
   ?token:Resilience.Token.t ->
   ?resume:Variants.engine_state ->
   ?checkpoint:(Variants.engine_state -> unit) ->
+  ?journal:Variants.journal ->
   variant ->
   Kb.t ->
   report
@@ -47,9 +48,10 @@ val run :
     derivation; use {!Variants} directly to inspect it.  [token] arms a
     wall-clock deadline / cancellation; [resume]/[checkpoint] thread
     round-boundary {!Variants.engine_state} values through the
-    derivation engines.
-    @raise Invalid_argument when [resume]/[checkpoint] is passed with
-    [Oblivious] or [Skolem] (no derivation to checkpoint). *)
+    derivation engines; [journal] receives the per-step
+    {!Variants.journal_event}s (the WAL sink, DESIGN.md §16).
+    @raise Invalid_argument when [resume]/[checkpoint]/[journal] is
+    passed with [Oblivious] or [Skolem] (no derivation to journal). *)
 
 type engine_choice = Engine_datalog | Engine_restricted | Engine_core
 (** Routing targets for the static analyzer (DESIGN.md §13): semi-naive

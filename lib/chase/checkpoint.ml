@@ -91,12 +91,14 @@ let subst_tokens s =
     (Subst.to_list s)
 
 let subst_of_tokens toks =
-  let rec pairs = function
-    | [] -> []
-    | x :: t :: rest -> (term_of_token x, term_of_token t) :: pairs rest
+  (* tail-recursive: a checkpoint line is attacker-sized input (fuzzed in
+     test/test_storage.ml), so it must not be able to blow the stack *)
+  let rec pairs acc = function
+    | [] -> List.rev acc
+    | x :: t :: rest -> pairs ((term_of_token x, term_of_token t) :: acc) rest
     | [ _ ] -> failwith "odd substitution token count"
   in
-  Subst.of_list (pairs toks)
+  Subst.of_list (pairs [] toks)
 
 (* ------------------------------------------------------------------ *)
 (* writing                                                             *)
@@ -255,6 +257,7 @@ let read_header path : (header, string) result =
   | h -> Ok h
   | exception Failure msg -> Error (path ^ ": " ^ msg)
   | exception Sys_error msg -> Error msg
+  | exception Invalid_argument msg -> Error (path ^ ": " ^ msg)
 
 (** [load path] parses the checkpoint and rebuilds the engine state.
 

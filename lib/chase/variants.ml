@@ -62,6 +62,35 @@ type run = { derivation : Derivation.t; outcome : outcome; rounds : int }
 
 type cadence = Every_application | Every_round
 
+(* Per-step journal events (DESIGN.md §16): the [?checkpoint] hook
+   generalized to step granularity.  A sink (lib/storage's WAL) receives
+   one event per durable fact about the run — σ₀, each rule application
+   as a delta, each round-end re-simplification, and the completed-round
+   consistent cut — in exactly the order the engine commits them, so an
+   append-only log of the events replays to the engine's state at any
+   prefix.  Events are emitted {e after} the corresponding [d]/[idx]
+   commit; a sink that raises (injected fault, disk error) is caught at
+   the same engine boundary as everything else. *)
+type journal_event =
+  | J_start of { sigma : Subst.t }  (** σ₀ of the start step *)
+  | J_step of {
+      index : int;
+      pi_safe : Subst.t;
+      sigma : Subst.t;
+      added : Atom.t list;  (** the genuinely new atoms of the firing *)
+    }
+  | J_round_sigma of { index : int; sigma : Subst.t }
+      (** a round-end simplification replaced step [index]'s σ *)
+  | J_round of { rounds : int; steps : int; snapshot_index : int }
+      (** completed-round boundary; [snapshot_index] is the derivation
+          index whose instance equals the pre-round discovery snapshot *)
+  | J_merge of { sigma : Subst.t }
+      (** an EGD unification ({!Egds.run} only — EGD runs are journaled
+          for the record but are not Definition-1 derivations, so they
+          are not resumable) *)
+
+type journal = journal_event -> unit
+
 (* A resumable engine state: everything the round loop reads at its top.
    Captured only at {e completed-round boundaries} — mid-round the active
    trigger snapshot and its σ-traces are live, and serializing them would
@@ -97,7 +126,10 @@ type engine_state = {
    last instance so the engine can patch its index. *)
 let run_engine ?(engine = "chase")
     ?(round_end = fun d ~idx:_ ~fresh:_ ~added:_ -> (d, Subst.empty)) ?token
-    ?resume ?checkpoint ~budget ~simplify ~start_simplification kb =
+    ?resume ?checkpoint ?journal ~budget ~simplify ~start_simplification kb =
+  let emit_journal ev =
+    match journal with Some j -> j ev | None -> ()
+  in
   let d, steps_done, rounds, prev_snapshot =
     match resume with
     | Some st ->
@@ -126,6 +158,17 @@ let run_engine ?(engine = "chase")
      instead of crashing (DESIGN.md §11). *)
   (try
      Resilience.with_token token @@ fun () ->
+     (* σ₀ is durable before the first round; on resume the log already
+        holds it (the sink skips the re-emission) *)
+     (match resume with
+     | None ->
+         emit_journal
+           (J_start
+              {
+                sigma =
+                  Option.value start_simplification ~default:Subst.empty;
+              })
+     | Some _ -> ());
      while !outcome = None do
        Resilience.poll ();
        Resilience.Fault.hit "round";
@@ -189,6 +232,16 @@ let run_engine ?(engine = "chase")
                        round_fresh := app.Trigger.fresh :: !round_fresh;
                        round_added := added :: !round_added;
                        incr steps_done;
+                       (if journal <> None then
+                          let last = Derivation.last !d in
+                          emit_journal
+                            (J_step
+                               {
+                                 index = last.Derivation.index;
+                                 pi_safe = last.Derivation.pi_safe;
+                                 sigma;
+                                 added;
+                               }));
                        if Obs.live () then begin
                          let stepi = (Derivation.last !d).Derivation.index in
                          obs_applied ~engine ~step:stepi
@@ -219,6 +272,12 @@ let run_engine ?(engine = "chase")
                let idx2 = Homo.Instance.apply_subst extra !idx in
                d := d';
                idx := idx2;
+               emit_journal
+                 (J_round_sigma
+                    {
+                      index = (Derivation.last !d).Derivation.index;
+                      sigma = extra;
+                    });
                if Obs.live () then
                  obs_retract ~engine
                    ~step:(Derivation.last !d).Derivation.index
@@ -229,6 +288,14 @@ let run_engine ?(engine = "chase")
               offers: every σ-trace is sealed inside [d], so the state
               below resumes exactly (DESIGN.md §11).  Partial rounds
               (budget fired above) are never checkpointed. *)
+           if !outcome = None then
+             emit_journal
+               (J_round
+                  {
+                    rounds = !rounds;
+                    steps = !steps_done;
+                    snapshot_index = base_index;
+                  });
            match checkpoint with
            | Some hook when !outcome = None ->
                hook
@@ -254,13 +321,14 @@ let run_engine ?(engine = "chase")
     rounds = !rounds;
   }
 
-let restricted ?(budget = default_budget) ?token ?resume ?checkpoint kb =
-  run_engine ~engine:"restricted" ~budget ?token ?resume ?checkpoint
+let restricted ?(budget = default_budget) ?token ?resume ?checkpoint ?journal
+    kb =
+  run_engine ~engine:"restricted" ~budget ?token ?resume ?checkpoint ?journal
     ~simplify:(fun _ ~added:_ _ -> Subst.empty)
     ~start_simplification:None kb
 
 let core ?(budget = default_budget) ?(cadence = Every_application)
-    ?(simplify_start = true) ?token ?resume ?checkpoint kb =
+    ?(simplify_start = true) ?token ?resume ?checkpoint ?journal kb =
   match
     (* σ_0 = retraction-to-core of the facts runs before the engine loop,
        so it needs the same token/boundary discipline: computed under the
@@ -288,7 +356,7 @@ let core ?(budget = default_budget) ?(cadence = Every_application)
   let invariant = ref (simplify_start || resume <> None) in
   match cadence with
   | Every_application ->
-      run_engine ~engine:"core" ~budget ?token ?resume ?checkpoint
+      run_engine ~engine:"core" ~budget ?token ?resume ?checkpoint ?journal
         ~simplify:(fun pre_idx ~added app ->
           let scope =
             if !invariant then
@@ -308,6 +376,7 @@ let core ?(budget = default_budget) ?(cadence = Every_application)
          the round-end pre-instance, so it is folded in place with the
          round's whole delta as scope. *)
       run_engine ~engine:"core-round" ~budget ?token ?resume ?checkpoint
+        ?journal
         ~simplify:(fun _ ~added:_ _ -> Subst.empty)
         ~round_end:(fun d ~idx ~fresh ~added ->
           let scope =
@@ -376,8 +445,8 @@ let frugal_simplification pre_idx ~added:_ (app : Trigger.application) =
          retraction of the pre-instance *)
       sigma
 
-let frugal ?(budget = default_budget) ?token ?resume ?checkpoint kb =
-  run_engine ~engine:"frugal" ~budget ?token ?resume ?checkpoint
+let frugal ?(budget = default_budget) ?token ?resume ?checkpoint ?journal kb =
+  run_engine ~engine:"frugal" ~budget ?token ?resume ?checkpoint ?journal
     ~simplify:frugal_simplification ~start_simplification:None kb
 
 let stream ~variant kb =
@@ -501,7 +570,8 @@ module Egds = struct
         if Term.compare_by_rank u v <= 0 then Some (Subst.singleton v u)
         else Some (Subst.singleton u v)
 
-  let run ?(budget = default_budget) ?(variant = `Restricted) ?token kb =
+  let run ?(budget = default_budget) ?(variant = `Restricted) ?token ?journal
+      kb =
     let egds = Kb.egds kb in
     let trace = ref [] in
     let steps = ref 0 in
@@ -540,6 +610,9 @@ module Egds = struct
               core_inv := false;
               let idx' = Homo.Instance.apply_subst s !idx in
               idx := idx';
+              (match journal with
+              | Some j -> j (J_merge { sigma = s })
+              | None -> ());
               if Obs.live () then begin
                 Obs.Metrics.incr m_egd_merges;
                 if Obs.Trace.enabled () then

@@ -65,11 +65,37 @@ type engine_state = {
           round's delta is computed against *)
 }
 
+(** Per-step journal events (DESIGN.md §16): the [?checkpoint] hook
+    generalized to step granularity, consumed by the WAL sink in
+    [lib/storage].  Events are emitted in commit order, immediately
+    after the engine's [d]/[idx] pair advances, so an append-only log
+    of them replays to the engine's state at any prefix; a sink that
+    raises is caught at the engine's resilience boundary like any
+    other interruption. *)
+type journal_event =
+  | J_start of { sigma : Subst.t }  (** σ₀ of the start step *)
+  | J_step of {
+      index : int;
+      pi_safe : Subst.t;
+      sigma : Subst.t;
+      added : Atom.t list;  (** the genuinely new atoms of the firing *)
+    }
+  | J_round_sigma of { index : int; sigma : Subst.t }
+      (** a round-end simplification replaced step [index]'s σ *)
+  | J_round of { rounds : int; steps : int; snapshot_index : int }
+      (** completed-round boundary; [snapshot_index] is the derivation
+          index whose instance equals the pre-round discovery snapshot *)
+  | J_merge of { sigma : Subst.t }
+      (** an EGD unification ({!Egds.run} only; not resumable) *)
+
+type journal = journal_event -> unit
+
 val restricted :
   ?budget:budget ->
   ?token:Resilience.Token.t ->
   ?resume:engine_state ->
   ?checkpoint:(engine_state -> unit) ->
+  ?journal:journal ->
   Kb.t ->
   run
 (** Run the restricted chase from [K].  [token] arms a wall-clock
@@ -81,14 +107,14 @@ val restricted :
 val core :
   ?budget:budget -> ?cadence:cadence -> ?simplify_start:bool ->
   ?token:Resilience.Token.t -> ?resume:engine_state ->
-  ?checkpoint:(engine_state -> unit) -> Kb.t -> run
+  ?checkpoint:(engine_state -> unit) -> ?journal:journal -> Kb.t -> run
 (** Run the core chase.  [simplify_start] (default [true]) applies [σ_0] =
     retraction-to-core to the initial facts, matching [F_0 = σ_0(F)].
     [token]/[resume]/[checkpoint] as in {!restricted}. *)
 
 val frugal :
   ?budget:budget -> ?token:Resilience.Token.t -> ?resume:engine_state ->
-  ?checkpoint:(engine_state -> unit) -> Kb.t -> run
+  ?checkpoint:(engine_state -> unit) -> ?journal:journal -> Kb.t -> run
 (** The frugal chase (Konstantinidis–Ambite; the paper's Section 3 notes
     that Definition 1 covers it): after each rule application, the
     simplification [σ_i] folds {e only the freshly created nulls} back
@@ -129,7 +155,7 @@ module Egds : sig
 
   val run :
     ?budget:budget -> ?variant:[ `Restricted | `Core ] ->
-    ?token:Resilience.Token.t -> Kb.t -> run
+    ?token:Resilience.Token.t -> ?journal:journal -> Kb.t -> run
   (** Alternate EGD saturation (unifying violated equalities, preferring
       constants and [<_X]-smaller variables as representatives) with TGD
       rounds of the chosen variant (default [`Restricted]). *)

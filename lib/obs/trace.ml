@@ -19,6 +19,9 @@ type event =
   | Checkpoint_written of { engine : string; step : int; path : string }
   | Session_event of { action : string; session : string; generation : int }
   | Conn_event of { action : string; conn : int }
+  | Wal_rotate of { segment : string; lsn : int }
+  | Snapshot_written of { path : string; lsn : int; records : int }
+  | Recovery_replayed of { dir : string; records : int; torn : bool }
 
 type sink =
   | Null
@@ -106,6 +109,14 @@ let pp_event ppf = function
         action generation
   | Conn_event { action; conn } ->
       Format.fprintf ppf "[serve] conn %d: %s" conn action
+  | Wal_rotate { segment; lsn } ->
+      Format.fprintf ppf "[wal] rotated to %s (next lsn %d)" segment lsn
+  | Snapshot_written { path; lsn; records } ->
+      Format.fprintf ppf "[wal] snapshot %s covers lsn %d (%d record(s))" path
+        lsn records
+  | Recovery_replayed { dir; records; torn } ->
+      Format.fprintf ppf "[wal] recovered %s: %d record(s)%s" dir records
+        (if torn then ", torn tail truncated" else "")
 
 (* ------------------------------------------------------------------ *)
 (* JSON encoding: flat objects with string / int / bool fields only.   *)
@@ -184,6 +195,18 @@ let to_json ev =
         ]
     | Conn_event { action; conn } ->
         [ s "ev" "conn_event"; s "action" action; i "conn" conn ]
+    | Wal_rotate { segment; lsn } ->
+        [ s "ev" "wal_rotate"; s "segment" segment; i "lsn" lsn ]
+    | Snapshot_written { path; lsn; records } ->
+        [
+          s "ev" "snapshot_written"; s "path" path; i "lsn" lsn;
+          i "records" records;
+        ]
+    | Recovery_replayed { dir; records; torn } ->
+        [
+          s "ev" "recovery_replayed"; s "dir" dir; i "records" records;
+          b "torn" torn;
+        ]
   in
   "{" ^ String.concat "," fields ^ "}"
 
@@ -379,6 +402,14 @@ let of_json_line line =
                 generation = int "generation";
               }
         | "conn_event" -> Conn_event { action = str "action"; conn = int "conn" }
+        | "wal_rotate" ->
+            Wal_rotate { segment = str "segment"; lsn = int "lsn" }
+        | "snapshot_written" ->
+            Snapshot_written
+              { path = str "path"; lsn = int "lsn"; records = int "records" }
+        | "recovery_replayed" ->
+            Recovery_replayed
+              { dir = str "dir"; records = int "records"; torn = bool "torn" }
         | _ -> raise Parse_error
       with
       | ev -> Some ev

@@ -70,6 +70,16 @@ type event =
           [accepted], [closed], [protocol-error] or [accept-failed];
           [conn] is the per-process connection id ([-1] for
           [accept-failed], which has no connection yet) *)
+  | Wal_rotate of { segment : string; lsn : int }
+      (** the WAL rotated to a fresh segment file starting at [lsn]
+          (after a snapshot; DESIGN.md §16) *)
+  | Snapshot_written of { path : string; lsn : int; records : int }
+      (** a binary snapshot covering every record up to [lsn] was
+          written atomically (tmp + rename) to [path] *)
+  | Recovery_replayed of { dir : string; records : int; torn : bool }
+      (** a WAL directory was recovered: [records] durable records
+          replayed; [torn] reports whether a torn final record (crash
+          mid-write) was truncated on open *)
 
 type sink =
   | Null  (** drop everything; {!enabled} is [false] *)

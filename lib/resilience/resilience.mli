@@ -148,7 +148,10 @@ val record : engine:string -> step:int -> outcome -> unit
     and atomically) of the named instrumented site.  Sites: [round]
     (engine round start), [step] (before a trigger application), [hom]
     ([Hom.solve] entry), [fold] (core fold search), [par] (pool
-    fan-out), [egd] (EGD saturation step).  Kinds: [stack_overflow],
+    fan-out), [egd] (EGD saturation step), [wal] (between a WAL frame's
+    write and its fsync — the mid-fsync kill, DESIGN.md §16), [snap]
+    (between a snapshot's temp-file write and its rename — the snapshot
+    is lost, recovery falls back).  Kinds: [stack_overflow],
     [out_of_memory] (raise the real stdlib exceptions, exercising the
     same catch path as genuine exhaustion), [deadline], [cancel] (raise
     {!Interrupted}).

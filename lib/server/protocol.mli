@@ -141,6 +141,11 @@ type request =
 val session_name_ok : string -> bool
 (** Valid session names: nonempty, [A-Za-z0-9_.-] only. *)
 
+val variant_of_name : string -> Chase.variant option
+(** The CHASE argument's variant names ([oblivious] … [core]); also the
+    inverse of [Chase.variant_name], used when replaying journaled
+    chase records (DESIGN.md §16). *)
+
 val parse_request : string -> (request, string) result
 (** Parse a [req] payload; the error string is human-readable and
     becomes a [bad-request] err frame. *)

@@ -51,10 +51,29 @@ type config = {
   drain_timeout : int;
   ready_file : string option;
   quiet : bool;
+  wal : Storage.Wal.t option;
 }
 
 let default_config =
-  { endpoints = []; drain_timeout = 5; ready_file = None; quiet = false }
+  {
+    endpoints = [];
+    drain_timeout = 5;
+    ready_file = None;
+    quiet = false;
+    wal = None;
+  }
+
+(* Build the session registry, replaying the WAL if it holds a prior
+   daemon's log (DESIGN.md §16). *)
+let restore_sessions wal =
+  let sessions = Session.create ?wal () in
+  match wal with
+  | Some w when not (Storage.Wal.is_empty w) ->
+      Result.bind (Storage.Wal.records w) (fun records ->
+          Result.map
+            (fun () -> sessions)
+            (Session.restore sessions records))
+  | _ -> Ok sessions
 
 (* --- shutdown plumbing --------------------------------------------- *)
 
@@ -118,14 +137,17 @@ module Loopback = struct
     mutable closed : bool;
   }
 
-  let create () =
-    {
-      sessions = Session.create ();
-      inbuf = "";
-      out = Buffer.create 256;
-      greeted = false;
-      closed = false;
-    }
+  let create ?wal () =
+    match restore_sessions wal with
+    | Error m -> failwith ("wal recovery: " ^ m)
+    | Ok sessions ->
+        {
+          sessions;
+          inbuf = "";
+          out = Buffer.create 256;
+          greeted = false;
+          closed = false;
+        }
 
   let greeting _ = P.hello_frame
 
@@ -502,6 +524,9 @@ let reap state =
   state.conns <- live
 
 let serve config =
+  match restore_sessions config.wal with
+  | Error e -> Error e
+  | Ok sessions -> (
   match bind_all config.endpoints with
   | Error e -> Error e
   | Ok [] -> Error "no --listen endpoint given"
@@ -511,7 +536,7 @@ let serve config =
       drain_s := config.drain_timeout;
       let state =
         {
-          sessions = Session.create ();
+          sessions;
           listeners;
           conns = [];
           group = Resilience.Group.create ();
@@ -547,6 +572,9 @@ let serve config =
       List.iter
         (fun (ep, _) -> note state "listening on %s" (endpoint_to_string ep))
         state.listeners;
+      if Session.count state.sessions > 0 then
+        note state "recovered %d session(s) from the wal"
+          (Session.count state.sessions);
       let rec loop () =
         if state.draining && state.conns = [] then ()
         else begin
@@ -620,7 +648,7 @@ let serve config =
       Fun.protect ~finally:finish (fun () ->
           loop ();
           note state "bye");
-      Ok ()
+      Ok ())
 
 (* --- socket client ------------------------------------------------- *)
 

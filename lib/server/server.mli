@@ -43,10 +43,14 @@ type config = {
       (** write this file once every endpoint is bound (scripts wait on
           it instead of polling connect) *)
   quiet : bool;  (** suppress the stderr lifecycle notes *)
+  wal : Storage.Wal.t option;
+      (** journal every state-changing request; on start, replay a
+          prior daemon's log so named sessions come back at their
+          generation-stamped snapshots (DESIGN.md §16) *)
 }
 
 val default_config : config
-(** No endpoints, 5 s drain, no ready file, not quiet. *)
+(** No endpoints, 5 s drain, no ready file, not quiet, no wal. *)
 
 val serve : config -> (unit, string) result
 (** Bind every endpoint and run the loop until SHUTDOWN / SIGTERM /
@@ -69,8 +73,13 @@ val request_shutdown : ?drain:int -> unit -> unit
 module Loopback : sig
   type t
 
-  val create : unit -> t
-  (** A fresh server state (its own session registry). *)
+  val create : ?wal:Storage.Wal.t -> unit -> t
+  (** A fresh server state (its own session registry).  With [wal] the
+      registry journals state-changing requests and replays a prior
+      log, exactly like the daemon.
+      @raise Failure when the log does not replay (the daemon path
+      reports the same condition as a structured [Error] from
+      {!serve}). *)
 
   val greeting : t -> Protocol.frame
   (** The [hello] frame a socket client would receive on connect. *)

@@ -12,6 +12,7 @@ type kb_info = {
   kb : Kb.t;
   doc : Dlgp.document;
   origin : string;  (* "path" or "(inline)" — for STATS *)
+  load_op : string;  (* canonical LOAD request text, for WAL snapshots *)
   mutable analysis : Analyze.report option;  (* cached per loaded KB *)
 }
 
@@ -36,9 +37,12 @@ type session = {
 type t = {
   table : (string, session) Hashtbl.t;
   mutable order : string list;  (* reverse opening order *)
+  wal : Storage.Wal.t option;
+  mutable logging : bool;  (* off while {!restore} replays the log *)
 }
 
-let create () = { table = Hashtbl.create 7; order = [] }
+let create ?wal () =
+  { table = Hashtbl.create 7; order = []; wal; logging = true }
 
 let count t = Hashtbl.length t.table
 
@@ -68,6 +72,52 @@ let find t name =
   | None -> Error (err Protocol.Unknown_session (Fmt.str "no session %S" name))
 
 let ( let* ) r f = match r with Ok v -> f v | Error e -> e
+
+(* --- durability (DESIGN.md §16) ------------------------------------ *)
+
+(* State-changing requests journal themselves to the registry's WAL:
+   OPEN/LOAD/CLOSE as their canonical request text (replayed through the
+   ordinary [exec] path on restart), a completed CHASE as the full
+   stamped snapshot (the chase is {e not} re-executed on restart — its
+   outcome may depend on wall-clock deadlines).  A WAL snapshot compacts
+   the registry to one op sequence per open session, with a [Sess_gen]
+   record pinning the generation the single serialized chase cannot
+   reproduce by counting. *)
+
+let snapshot_records t =
+  List.concat_map
+    (fun n ->
+      let s = Hashtbl.find t.table n in
+      (Storage.Record.Sess_op (Protocol.print_request (Protocol.Open s.name))
+      :: (match s.kb with
+         | Some info -> [ Storage.Record.Sess_op info.load_op ]
+         | None -> []))
+      @ (match s.snapshot with
+        | Some snap ->
+            [
+              Storage.Record.Sess_chase
+                {
+                  session = s.name;
+                  variant = Chase.variant_name snap.variant;
+                  max_steps = snap.budget.Chase.Variants.max_steps;
+                  max_atoms = snap.budget.Chase.Variants.max_atoms;
+                  outcome = Resilience.outcome_name snap.outcome;
+                  chase_steps = snap.chase_steps;
+                  final = Atomset.to_list snap.final;
+                };
+            ]
+        | None -> [])
+      @ [ Storage.Record.Sess_gen { session = s.name; generation = s.generation } ])
+    (names t)
+
+let wal_record t r =
+  match t.wal with
+  | Some w when t.logging ->
+      Storage.Wal.append w r;
+      Storage.Wal.maybe_snapshot w (fun () -> snapshot_records t)
+  | _ -> ()
+
+let wal_op t text = wal_record t (Storage.Record.Sess_op text)
 
 (* --- LOAD ---------------------------------------------------------- *)
 
@@ -102,11 +152,15 @@ let exec_load t ~session ~source =
   let* s = find t session in
   let* doc, origin = load_doc source in
   let kb = Dlgp.kb_of_document doc in
-  s.kb <- Some { kb; doc; origin; analysis = None };
+  let load_op =
+    Protocol.print_request (Protocol.Load { session; source })
+  in
+  s.kb <- Some { kb; doc; origin; load_op; analysis = None };
   (* the snapshot described the previous KB; a new CHASE must stamp a
      fresh generation before ENTAIL answers again *)
   s.snapshot <- None;
   session_ev "loaded" s;
+  wal_op t load_op;
   ok (Fmt.str "loaded %s: %s" s.name (kb_summary doc))
 
 (* --- CHASE --------------------------------------------------------- *)
@@ -166,6 +220,17 @@ let exec_chase t ~emit ~session ~variant ~steps ~atoms =
             indexed = Homo.Instance.of_atomset report.Chase.final;
           };
       session_ev "chased" s;
+      wal_record t
+        (Storage.Record.Sess_chase
+           {
+             session = s.name;
+             variant = Chase.variant_name variant;
+             max_steps = budget.Chase.Variants.max_steps;
+             max_atoms = budget.Chase.Variants.max_atoms;
+             outcome = Resilience.outcome_name report.Chase.outcome;
+             chase_steps = report.Chase.steps;
+             final = Atomset.to_list report.Chase.final;
+           });
       let size = Atomset.cardinal report.Chase.final in
       (match report.Chase.outcome with
       | Resilience.Fixpoint | Resilience.Step_budget | Resilience.Atom_budget
@@ -361,6 +426,7 @@ let exec t ~emit req =
         Hashtbl.replace t.table name s;
         t.order <- name :: t.order;
         session_ev "opened" s;
+        wal_op t (Protocol.print_request req);
         ok (Fmt.str "opened %s" name)
       end
   | Protocol.Load { session; source } ->
@@ -393,6 +459,7 @@ let exec t ~emit req =
       Hashtbl.remove t.table session;
       t.order <- List.filter (fun n -> n <> session) t.order;
       session_ev "closed" s;
+      wal_op t (Protocol.print_request req);
       ok (Fmt.str "closed %s" session)
   | Protocol.Ping ->
       Lazy.force m_requests |> Metrics.incr;
@@ -406,3 +473,87 @@ let exec t ~emit req =
   | Protocol.Shutdown ->
       Lazy.force m_requests |> Metrics.incr;
       ok "shutting down"
+
+(* --- restore ------------------------------------------------------- *)
+
+let restore t records =
+  (* Replay with journaling off (re-appending would duplicate the log)
+     and tracing muted (the events were already emitted by the original
+     run; a restart is not a second opening). *)
+  t.logging <- false;
+  Fun.protect
+    ~finally:(fun () -> t.logging <- true)
+    (fun () ->
+      Trace.with_muted (fun () ->
+          let replay i r =
+            match r with
+            | Storage.Record.Sess_op text -> (
+                match Protocol.parse_request text with
+                | Error m ->
+                    Error (Fmt.str "record %d: bad session op %S: %s" i text m)
+                | Ok req -> (
+                    match exec t ~emit:(fun _ -> ()) req with
+                    | { Protocol.kind = Protocol.K_err; payload } ->
+                        Error
+                          (Fmt.str "record %d: replaying %S failed: %s" i text
+                             payload)
+                    | _ -> Ok ()))
+            | Storage.Record.Sess_chase
+                {
+                  session;
+                  variant;
+                  max_steps;
+                  max_atoms;
+                  outcome;
+                  chase_steps;
+                  final;
+                } -> (
+                match
+                  ( Hashtbl.find_opt t.table session,
+                    Protocol.variant_of_name variant,
+                    Resilience.outcome_of_name outcome )
+                with
+                | None, _, _ ->
+                    Error
+                      (Fmt.str "record %d: chase for unopened session %S" i
+                         session)
+                | _, None, _ ->
+                    Error
+                      (Fmt.str "record %d: unknown chase variant %S" i variant)
+                | _, _, None ->
+                    Error
+                      (Fmt.str "record %d: unknown chase outcome %S" i outcome)
+                | Some s, Some variant, Some outcome ->
+                    let fin = Atomset.of_list final in
+                    s.generation <- s.generation + 1;
+                    s.snapshot <-
+                      Some
+                        {
+                          variant;
+                          budget = { Chase.Variants.max_steps; max_atoms };
+                          outcome;
+                          chase_steps;
+                          final = fin;
+                          indexed = Homo.Instance.of_atomset fin;
+                        };
+                    Ok ())
+            | Storage.Record.Sess_gen { session; generation } -> (
+                match Hashtbl.find_opt t.table session with
+                | None ->
+                    Error
+                      (Fmt.str "record %d: generation for unopened session %S"
+                         i session)
+                | Some s ->
+                    s.generation <- generation;
+                    Ok ())
+            | r ->
+                Error
+                  (Fmt.str "record %d: %s record in a session log" i
+                     (Storage.Record.kind_name r))
+          in
+          let rec go i = function
+            | [] -> Ok ()
+            | r :: rest -> (
+                match replay i r with Ok () -> go (i + 1) rest | e -> e)
+          in
+          go 0 records))

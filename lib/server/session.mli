@@ -22,7 +22,13 @@ type t
     on the server's main loop (the loop is single-threaded; parallelism
     lives inside {!entail_task} thunks, which only read). *)
 
-val create : unit -> t
+val create : ?wal:Storage.Wal.t -> unit -> t
+(** With [wal], every state-changing request journals itself:
+    OPEN/LOAD/CLOSE as canonical request text, a completed CHASE as the
+    full generation-stamped snapshot (outcome, steps, final atomset), so
+    a restarted registry answers ENTAIL byte-identically without
+    re-running chases (DESIGN.md §16).  WAL snapshots compact the log to
+    one op sequence per open session. *)
 
 val count : t -> int
 
@@ -37,6 +43,14 @@ val exec : t -> emit:(Protocol.frame -> unit) -> Protocol.request -> Protocol.fr
     the transport's business, not this module's.  Never raises: chase
     interruptions and fault injections become [err chase-stopped]
     frames and the session keeps its last consistent snapshot. *)
+
+val restore : t -> Storage.Record.t list -> (unit, string) result
+(** Replay a recovered session log (from [Storage.Wal.records]) into
+    the registry: ops re-execute through {!exec}, chase records stamp
+    their recorded snapshots directly.  Runs with journaling off and
+    tracing muted; structured [Error] on a record that does not replay
+    (a chase-log record, an op that now fails, an unknown variant or
+    outcome name). *)
 
 val entail_task : t -> session:string -> query:string -> (unit -> Protocol.frame list)
 (** The batched read path.  Validation and counter bumps happen {e now}

@@ -1,0 +1,39 @@
+(* Table-driven CRC-32 (IEEE 802.3 polynomial, the one zlib and
+   tarantool's xlog use).  OCaml ints are 63-bit so the whole update runs
+   in plain [land]/[lxor]/[lsr] arithmetic with no boxing; the table is
+   built once on first use. *)
+
+let polynomial = 0xedb88320
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then polynomial lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+(* Fold [len] bytes of [s] starting at [pos] into a running (already
+   pre-inverted) register. *)
+let update_raw reg s pos len =
+  let t = Lazy.force table in
+  let reg = ref reg in
+  for i = pos to pos + len - 1 do
+    reg := t.((!reg lxor Char.code (String.unsafe_get s i)) land 0xff)
+           lxor (!reg lsr 8)
+  done;
+  !reg
+
+let string_sub s pos len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Crc32.string_sub";
+  update_raw 0xffffffff s pos len lxor 0xffffffff land 0xffffffff
+
+let string s = string_sub s 0 (String.length s)
+
+(* CRC over the concatenation [a ^ b] without building it. *)
+let pair a b =
+  let reg = update_raw 0xffffffff a 0 (String.length a) in
+  let reg = update_raw reg b 0 (String.length b) in
+  reg lxor 0xffffffff land 0xffffffff

@@ -1,0 +1,11 @@
+(** CRC-32 (IEEE 802.3 / zlib polynomial) over strings, used as the
+    per-record checksum of the WAL frame format (DESIGN.md §16). *)
+
+val string : string -> int
+(** Checksum of the whole string, in [\[0, 2^32)]. *)
+
+val string_sub : string -> int -> int -> int
+(** [string_sub s pos len].  @raise Invalid_argument on bad bounds. *)
+
+val pair : string -> string -> int
+(** [pair a b = string (a ^ b)] without the concatenation. *)

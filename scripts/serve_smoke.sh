@@ -3,13 +3,17 @@
 #
 # Phase 1: a full session lifecycle (open -> load -> chase -> entail ->
 #   analyze -> stats -> close -> shutdown) against a daemon writing a
-#   JSONL trace; the trace is left at ./serve-trace.jsonl for CI to
-#   upload.
+#   JSONL trace.  Everything runs inside a mktemp scratch dir; set
+#   SERVE_SMOKE_ARTIFACT_DIR to also export the trace there for CI to
+#   upload (nothing is ever written into the repository itself).
 # Phase 2: the same daemon under a low open-file limit (ulimit -n),
 #   flooded with held-open connections so accept(2) hits EMFILE; the
 #   server must log accept failures, keep serving, and still drain
 #   cleanly.  Requires python3 to hold the flood open; the phase is
 #   skipped (with a note) when python3 is missing.
+# Phase 3: durability (DESIGN.md §16) — a daemon journaling to --wal is
+#   kill -9'd mid-life, restarted on the same directory, and must answer
+#   the same ENTAIL byte-identically.
 #
 # Usage: scripts/serve_smoke.sh [path-to-corechase-binary]
 set -eu
@@ -22,6 +26,7 @@ dir=$(mktemp -d)
 cleanup() {
   [ -n "${srv:-}" ] && kill "$srv" 2>/dev/null || true
   [ -n "${srv2:-}" ] && kill "$srv2" 2>/dev/null || true
+  [ -n "${srv3:-}" ] && kill -9 "$srv3" 2>/dev/null || true
   rm -rf "$dir"
 }
 trap cleanup EXIT
@@ -59,12 +64,47 @@ wait "$srv"; srv=
 test -s "$dir/serve-trace.jsonl" || { echo "no trace written"; exit 1; }
 grep -q '"ev":"session_event"' "$dir/serve-trace.jsonl" || {
   echo "trace has no session events"; head -5 "$dir/serve-trace.jsonl"; exit 1; }
-cp "$dir/serve-trace.jsonl" serve-trace.jsonl
-echo "trace: $(wc -l < serve-trace.jsonl) events"
+if [ -n "${SERVE_SMOKE_ARTIFACT_DIR:-}" ]; then
+  mkdir -p "$SERVE_SMOKE_ARTIFACT_DIR"
+  cp "$dir/serve-trace.jsonl" "$SERVE_SMOKE_ARTIFACT_DIR/serve-trace.jsonl"
+fi
+echo "trace: $(wc -l < "$dir/serve-trace.jsonl") events"
+
+phase3() {
+  echo "== phase 3: kill -9 + restart on the same --wal answers identically"
+  "$CC" serve --listen "unix:$dir/s3.sock" --ready-file "$dir/ready3" \
+      --wal "$dir/wal" --quiet &
+  srv3=$!
+  wait_ready "$dir/ready3"
+  "$CC" client -c "unix:$dir/s3.sock" \
+    "OPEN kb" \
+    "LOAD kb path $dir/kb.dlgp" \
+    "CHASE kb variant=restricted steps=100" \
+    "ENTAIL kb\n? :- ancestor(alice, carol)." > "$dir/before.txt"
+  kill -9 "$srv3"; wait "$srv3" 2>/dev/null || true; srv3=
+  rm -f "$dir/s3.sock" "$dir/ready3"
+  "$CC" serve --listen "unix:$dir/s3.sock" --ready-file "$dir/ready3" \
+      --wal "$dir/wal" --quiet &
+  srv3=$!
+  wait_ready "$dir/ready3"
+  "$CC" client -c "unix:$dir/s3.sock" \
+    "ENTAIL kb\n? :- ancestor(alice, carol)." > "$dir/after.txt"
+  "$CC" client -c "unix:$dir/s3.sock" "SHUTDOWN" >/dev/null
+  wait "$srv3"; srv3=
+  # the restarted daemon's answer must be byte-identical to the line the
+  # dead daemon gave for the same query
+  grep 'ancestor' "$dir/before.txt" > "$dir/before-entail.txt"
+  grep 'ancestor' "$dir/after.txt"  > "$dir/after-entail.txt"
+  cmp "$dir/before-entail.txt" "$dir/after-entail.txt" || {
+    echo "restart changed the ENTAIL answer"; exit 1; }
+  echo "durability: restart answered byte-identically"
+  echo "serve smoke: OK"
+}
 
 echo "== phase 2: accept-failure handling under ulimit -n 20"
 if ! command -v python3 >/dev/null 2>&1; then
   echo "python3 not available; skipping the connection flood"
+  phase3
   exit 0
 fi
 
@@ -101,4 +141,5 @@ echo "$out" | grep -q "ok: pong" || { echo "server did not survive the flood"; e
 echo "$out" | grep -q "serve.accept_failures" || {
   echo "no accept failures recorded (flood too small for this limit?)"; exit 1; }
 wait "$srv2"; srv2=
-echo "serve smoke: OK"
+
+phase3

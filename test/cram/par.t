@@ -51,6 +51,10 @@ test executes on a 1-core runner.)
     robust.aggregations              0
     robust.steps_built               0
     tw.computations                  0
+    wal.appends                      0
+    wal.fsyncs                       0
+    wal.replayed_records             0
+    wal.torn_tails                   0
   
   metrics by domain:
     chase.discoveries                3 = 3+0

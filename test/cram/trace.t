@@ -45,6 +45,10 @@ read 0: with one job no fan-out ever happens).
     robust.aggregations              0
     robust.steps_built               0
     tw.computations                  0
+    wal.appends                      0
+    wal.fsyncs                       0
+    wal.replayed_records             0
+    wal.torn_tails                   0
 
 
 The core.* rows come from incremental core maintenance (DESIGN.md §9):

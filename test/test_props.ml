@@ -30,7 +30,13 @@
        id on arbitrary (binary) frames, every strict prefix of a
        well-formed frame is Truncated, oversized length prefixes are
        rejected with the offending length, decode is total on random
-       bytes, and the request grammar's parse ∘ print = id. *)
+       bytes, and the request grammar's parse ∘ print = id;
+     - the WAL codec (DESIGN.md §16): record decode ∘ encode = id,
+       every strict prefix of a record or frame is an error (torn, for
+       frames), single-byte flips never pass the CRC, both decoders are
+       total on random bytes, and the PR-5 text checkpoint reader is
+       total on byte soup, prefixes and corruptions of genuine
+       checkpoints. *)
 
 open Syntax
 
@@ -265,7 +271,7 @@ let strings =
 let gen_small rng = int_in rng 0 50
 
 let gen_event rng : Obs.Trace.event =
-  match int_in rng 0 13 with
+  match int_in rng 0 16 with
   | 0 ->
       Round_start
         { engine = pick rng strings; round = gen_small rng; size = gen_small rng }
@@ -337,6 +343,21 @@ let gen_event rng : Obs.Trace.event =
           generation = gen_small rng;
         }
   | 12 -> Conn_event { action = pick rng strings; conn = gen_small rng - 1 }
+  | 13 -> Wal_rotate { segment = pick rng strings; lsn = gen_small rng }
+  | 14 ->
+      Snapshot_written
+        {
+          path = pick rng strings;
+          lsn = gen_small rng;
+          records = gen_small rng;
+        }
+  | 15 ->
+      Recovery_replayed
+        {
+          dir = pick rng strings;
+          records = gen_small rng;
+          torn = Random.State.bool rng;
+        }
   | _ ->
       Checkpoint_written
         { engine = pick rng strings; step = gen_small rng; path = pick rng strings }
@@ -402,6 +423,22 @@ let shrink_event (e : Obs.Trace.event) : Obs.Trace.event list =
   | Conn_event f ->
       List.map (fun action -> Obs.Trace.Conn_event { f with action }) (str f.action)
       @ List.map (fun conn -> Obs.Trace.Conn_event { f with conn }) (half f.conn)
+  | Wal_rotate f ->
+      List.map (fun segment -> Obs.Trace.Wal_rotate { f with segment })
+        (str f.segment)
+      @ List.map (fun lsn -> Obs.Trace.Wal_rotate { f with lsn }) (half f.lsn)
+  | Snapshot_written f ->
+      List.map (fun path -> Obs.Trace.Snapshot_written { f with path })
+        (str f.path)
+      @ List.map (fun lsn -> Obs.Trace.Snapshot_written { f with lsn })
+          (half f.lsn)
+      @ List.map (fun records -> Obs.Trace.Snapshot_written { f with records })
+          (half f.records)
+  | Recovery_replayed f ->
+      List.map (fun dir -> Obs.Trace.Recovery_replayed { f with dir })
+        (str f.dir)
+      @ List.map (fun records -> Obs.Trace.Recovery_replayed { f with records })
+          (half f.records)
 
 let event_arb : Obs.Trace.event arbitrary =
   {
@@ -831,6 +868,222 @@ let request_arb =
 
 let request_roundtrip r = Pr.parse_request (Pr.print_request r) = Ok r
 
+(* ------------------------------------------------------------------ *)
+(* WAL codec totality (DESIGN.md §16): typed records survive the binary
+   round trip, every strict prefix of a frame is torn, single-byte
+   damage never passes the checksum, and neither decoder ever raises on
+   byte soup.  Same discipline for the PR-5 text checkpoint parser. *)
+
+module Wr = Storage.Record
+module Wx = Storage.Xlog
+
+let gen_wal_atom rng =
+  Atom.make
+    (pick rng [ "p"; "q"; "r" ])
+    (List.init (int_in rng 0 3) (fun _ -> pick rng term_pool))
+
+let gen_wal_atoms rng = List.init (int_in rng 0 4) (fun _ -> gen_wal_atom rng)
+
+let gen_wal_subst rng = subst_of (gen_bindings rng)
+
+let gen_wal_string rng =
+  (* full byte range: record strings are binary-safe *)
+  String.init (int_in rng 0 16) (fun _ -> Char.chr (Random.State.int rng 256))
+
+let gen_record rng : Wr.t =
+  match Random.State.int rng 10 with
+  | 0 ->
+      Wr.Begin
+        {
+          engine = pick rng [ "restricted"; "frugal"; "core" ];
+          kb_path =
+            (if Random.State.bool rng then Some (gen_wal_string rng) else None);
+          kb_digest =
+            (if Random.State.bool rng then Some (gen_wal_string rng) else None);
+          max_steps = int_in rng 0 1_000_000;
+          max_atoms = int_in rng 0 1_000_000;
+          term_counter = int_in rng 0 1_000_000;
+          generation_counter = int_in rng 0 1_000_000;
+        }
+  | 1 -> Wr.Start { sigma = gen_wal_subst rng }
+  | 2 ->
+      Wr.Add
+        {
+          index = int_in rng 1 10_000;
+          pi_safe = gen_wal_subst rng;
+          sigma = gen_wal_subst rng;
+          added = gen_wal_atoms rng;
+        }
+  | 3 -> Wr.Retract { index = int_in rng 1 10_000; sigma = gen_wal_subst rng }
+  | 4 -> Wr.Merge { sigma = gen_wal_subst rng }
+  | 5 ->
+      Wr.Round
+        {
+          rounds = int_in rng 0 1_000;
+          steps = int_in rng 0 10_000;
+          snapshot_index = int_in rng (-1) 100;
+          term_counter = int_in rng 0 1_000_000;
+          generation_counter = int_in rng 0 1_000_000;
+        }
+  | 6 ->
+      Wr.Snap_step
+        {
+          index = int_in rng 0 10_000;
+          pi_safe = gen_wal_subst rng;
+          sigma = gen_wal_subst rng;
+          pre = gen_wal_atoms rng;
+          inst = gen_wal_atoms rng;
+        }
+  | 7 -> Wr.Sess_op (gen_wal_string rng)
+  | 8 ->
+      Wr.Sess_chase
+        {
+          session = gen_wal_string rng;
+          variant = pick rng [ "core"; "restricted" ];
+          max_steps = int_in rng 0 1_000_000;
+          max_atoms = int_in rng 0 1_000_000;
+          outcome = pick rng [ "fixpoint"; "steps"; "deadline" ];
+          chase_steps = int_in rng 0 10_000;
+          final = gen_wal_atoms rng;
+        }
+  | _ ->
+      Wr.Sess_gen
+        { session = gen_wal_string rng; generation = int_in rng 0 1_000 }
+
+let record_arb =
+  {
+    gen = gen_record;
+    shrink = (fun _ -> [ Wr.Sess_op "" ]);
+    print = (fun r -> Fmt.str "%a (%d bytes)" Wr.pp r (String.length (Wr.encode r)));
+  }
+
+let record_roundtrip r =
+  match Wr.decode (Wr.encode r) with Ok r' -> Wr.equal r r' | Error _ -> false
+
+let record_prefixes_error r =
+  let bytes = Wr.encode r in
+  let ok = ref true in
+  for len = 0 to String.length bytes - 1 do
+    match Wr.decode (String.sub bytes 0 len) with
+    | Error _ -> ()
+    | Ok _ -> ok := false
+  done;
+  !ok
+
+let framed_record_arb =
+  {
+    gen = (fun rng -> (int_in rng 0 1_000_000, gen_record rng));
+    shrink = (fun (lsn, r) -> if lsn > 1 then [ (1, r) ] else []);
+    print = (fun (lsn, r) -> Fmt.str "lsn %d %a" lsn Wr.pp r);
+  }
+
+let frame_prefixes_torn (lsn, r) =
+  let frame = Wx.encode_frame ~lsn (Wr.encode r) in
+  let ok = ref true in
+  for len = 0 to String.length frame - 1 do
+    match Wx.decode_frame (String.sub frame 0 len) with
+    | Error Wx.Torn -> ()
+    | _ -> ok := false
+  done;
+  !ok
+
+let flipped_frame_arb =
+  {
+    gen =
+      (fun rng ->
+        let lsn = int_in rng 0 1_000_000 in
+        let r = gen_record rng in
+        let frame = Wx.encode_frame ~lsn (Wr.encode r) in
+        (lsn, r, Random.State.int rng (String.length frame),
+         1 lsl Random.State.int rng 8));
+    shrink = (fun _ -> []);
+    print =
+      (fun (lsn, r, pos, mask) ->
+        Fmt.str "lsn %d %a, flip bit 0x%02x at byte %d" lsn Wr.pp r mask pos);
+  }
+
+(* a flip may land in the length field (frame now torn/malformed) or
+   anywhere else (checksum mismatch) — it must never decode back to the
+   original frame as if nothing happened *)
+let frame_flip_detected (lsn, r, pos, mask) =
+  let payload = Wr.encode r in
+  let frame = Wx.encode_frame ~lsn payload in
+  let b = Bytes.of_string frame in
+  Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor mask));
+  match Wx.decode_frame (Bytes.to_string b) with
+  | Ok (lsn', p', _) -> not (lsn' = lsn && p' = payload)
+  | Error _ -> true
+
+(* raising inside prop counts as falsified, so these are the totality
+   statements for both decoder layers *)
+let wal_decode_total s =
+  (match Wr.decode s with Ok _ | Error _ -> true)
+  && (match Wx.decode_frame s with Ok _ | Error _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Text checkpoint parser totality (DESIGN.md §16 hardening): feed the
+   PR-5 reader random bytes, prefixes of a genuine checkpoint, and
+   single-byte corruptions of one — every failure must be a structured
+   [Error], never an exception. *)
+
+let valid_ckpt_bytes =
+  lazy
+    (Term.reset_counter_for_tests ();
+     let kb = Zoo.Staircase.kb () in
+     let path = Filename.temp_file "corechase" ".ckpt" in
+     Fun.protect
+       ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+       (fun () ->
+         let budget = { Chase.Variants.max_steps = 8; max_atoms = 1_000 } in
+         let (_ : Chase.Variants.run) =
+           Chase.Variants.restricted ~budget
+             ~checkpoint:(fun st ->
+               Chase.Checkpoint.save ~path ~engine:"restricted" ~budget st)
+             kb
+         in
+         let ic = open_in_bin path in
+         Fun.protect
+           ~finally:(fun () -> close_in ic)
+           (fun () -> really_input_string ic (in_channel_length ic))))
+
+let ckpt_input_arb =
+  let gen rng =
+    let valid = Lazy.force valid_ckpt_bytes in
+    match Random.State.int rng 3 with
+    | 0 ->
+        (* raw byte soup *)
+        String.init (int_in rng 0 200) (fun _ ->
+            Char.chr (Random.State.int rng 256))
+    | 1 ->
+        (* a strict prefix of a genuine checkpoint *)
+        String.sub valid 0 (Random.State.int rng (String.length valid))
+    | _ ->
+        (* a genuine checkpoint with one byte flipped *)
+        let b = Bytes.of_string valid in
+        let pos = Random.State.int rng (Bytes.length b) in
+        Bytes.set b pos (Char.chr (Random.State.int rng 256));
+        Bytes.to_string b
+  in
+  let shrink s =
+    if s = "" then []
+    else
+      [ String.sub s 0 (String.length s / 2); String.sub s 1 (String.length s - 1) ]
+  in
+  { gen; shrink; print = (fun s -> Fmt.str "%S" s) }
+
+let checkpoint_reader_total bytes =
+  let path = Filename.temp_file "corechase" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc bytes;
+      close_out oc;
+      (match Chase.Checkpoint.read_header path with Ok _ | Error _ -> true)
+      &&
+      let kb = Zoo.Staircase.kb () in
+      match Chase.Checkpoint.load kb path with Ok _ | Error _ -> true)
+
 let suites =
   [
     ( "props.laws",
@@ -871,5 +1124,16 @@ let suites =
           decode_total;
         check ~count:400 "requests round trip through the grammar"
           request_arb request_roundtrip;
+        check ~count:400 "wal records round trip" record_arb record_roundtrip;
+        check ~count:150 "wal record prefixes are errors" record_arb
+          record_prefixes_error;
+        check ~count:150 "wal frame prefixes are torn" framed_record_arb
+          frame_prefixes_torn;
+        check ~count:400 "wal frame bit flips detected" flipped_frame_arb
+          frame_flip_detected;
+        check ~count:500 "wal decode total on random bytes" wire_bytes_arb
+          wal_decode_total;
+        check ~count:200 "checkpoint reader total on byte soup"
+          ckpt_input_arb checkpoint_reader_total;
       ] );
   ]

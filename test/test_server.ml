@@ -723,6 +723,7 @@ let with_server ?(drain = 5) f =
       ready_file = Some ready;
       quiet = true;
       drain_timeout = drain;
+      wal = None;
     }
   in
   let srv = Domain.spawn (fun () -> Server.serve cfg) in
@@ -837,6 +838,7 @@ let bind_refuses_live_socket () =
          ready_file = None;
          quiet = true;
          drain_timeout = 1;
+         wal = None;
        }
    with
   | Error msg ->
